@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Ablation: per-layer dynamic-clustering choices (Section IV) and the
+ * contribution of each MPT ingredient - fixed shapes vs the optimizer,
+ * prediction on/off, 1D vs 2D transfer - over the Table II layers.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "mpt/clustering.hh"
+#include "mpt/layer_sim.hh"
+#include "workloads/layers.hh"
+
+using namespace winomc;
+using namespace winomc::mpt;
+
+int
+main()
+{
+    std::printf("Ablation: dynamic clustering and prediction, 256 NDP "
+                "workers\n\n");
+    SystemParams sp;
+
+    Table t("per-layer iteration time (us) under each fixed shape; "
+            "* marks the dynamic choice");
+    t.header({"layer", "(1,256)", "(4,64)", "(16,16)", "chosen",
+              "pred off us", "pred gain"});
+    for (const auto &spec : workloads::tableTwoLayers()) {
+        auto choices = evaluateShapes(spec, sp);
+        double t1 = 0, t4 = 0, t16 = 0;
+        for (const auto &c : choices) {
+            double us = c.seconds * 1e6;
+            if (c.shape.ng == 1)
+                t1 = us;
+            else if (c.shape.ng == 4)
+                t4 = us;
+            else
+                t16 = us;
+        }
+        auto best = choices.front().shape;
+        double no_pred =
+            simulateLayerWithShape(spec, Strategy::WinoMPT, sp, best)
+                .totalSeconds() * 1e6;
+        double with_pred = choices.front().seconds * 1e6;
+
+        t.row()
+            .cell(spec.name)
+            .cell(t1, 1)
+            .cell(t4, 1)
+            .cell(t16, 1)
+            .cell(best.toString() + "*")
+            .cell(no_pred, 1)
+            .cell(no_pred / with_pred, 2);
+    }
+    t.print();
+
+    std::printf("expected: early layers choose (1,256); later layers "
+                "shift to (4,64)/(16,16); prediction only helps shapes "
+                "with tile transfer.\n");
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * HMC-stack microbenchmark: achieved bandwidth of the vault-level
+ * FR-FCFS model (Table III) under streaming, strided and random
+ * patterns - the validation behind the flat 320 GB/s used by the
+ * system-level model, and the reason Winograd's extra data accesses
+ * want a 3D-stacked memory under the compute (Fig 1 / Section VI).
+ */
+
+#include <cstdio>
+
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "ndp/hmc_dram.hh"
+
+using namespace winomc;
+using namespace winomc::ndp;
+
+namespace {
+
+double
+runPattern(const char *kind, bool frfcfs, uint64_t &hits, uint64_t &miss)
+{
+    HmcConfig cfg;
+    cfg.frfcfs = frfcfs;
+    HmcDram d(cfg);
+    Rng rng(13);
+    if (kind[0] == 's') { // stream
+        for (int k = 0; k < 512; ++k)
+            d.submit(uint64_t(k) * 4096, 4096);
+    } else if (kind[0] == 't') { // two thrashing streams
+        for (int k = 0; k < 6000; ++k)
+            d.submit(uint64_t(k % 2) * 8 * 1024 * 1024 +
+                         uint64_t(k / 2) * 32 +
+                         uint64_t(rng.uniformInt(0, 1)) * 1024 * 1024,
+                     32);
+    } else { // random
+        for (int k = 0; k < 20000; ++k)
+            d.submit(uint64_t(rng.uniformInt(0, 1 << 26)) & ~31ULL, 32);
+    }
+    d.drain(100'000'000);
+    hits = d.rowHits();
+    miss = d.rowMisses();
+    return d.achievedBandwidth();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("HMC vault model: 16 vaults x 20 B/cycle @ 1 GHz "
+                "(peak 320 GB/s), FR-FCFS window 16\n\n");
+    Table t("achieved bandwidth");
+    t.header({"pattern", "scheduler", "GB/s", "of peak", "row hits",
+              "row misses"});
+    for (const char *kind : {"stream", "thrash", "random"}) {
+        for (bool fr : {true, false}) {
+            uint64_t hits = 0, miss = 0;
+            double bw = runPattern(kind, fr, hits, miss);
+            t.row()
+                .cell(kind)
+                .cell(fr ? "FR-FCFS" : "FCFS")
+                .cell(bw / 1e9, 1)
+                .cell(bw / 320e9, 2)
+                .cell(hits)
+                .cell(miss);
+        }
+    }
+    t.print();
+    std::printf("streaming sustains most of the peak the system model "
+                "assumes; FR-FCFS (Table III) recovers bandwidth that "
+                "in-order scheduling loses to row thrashing.\n");
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 15: execution time and energy of forward (fprop) and backward
+ * (bprop + updateGrad) passes of the five Table II layers under the
+ * Table IV configurations on 256 NDP workers, normalized to w_dp's
+ * forward pass - the paper's headline layer-wise result.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/table.hh"
+#include "mpt/layer_sim.hh"
+#include "workloads/layers.hh"
+
+using namespace winomc;
+using namespace winomc::mpt;
+
+int
+main()
+{
+    std::printf("Figure 15: layer-wise execution time and energy, 256 "
+                "NDP workers, batch 256\n\n");
+
+    SystemParams sp;
+    const Strategy all[] = {Strategy::DirectDP, Strategy::WinoDP,
+                            Strategy::WinoMPT, Strategy::WinoMPTPredict,
+                            Strategy::WinoMPTPredictDyn};
+
+    double log_sum = 0.0;
+    int n = 0;
+    for (const auto &spec : workloads::tableTwoLayers()) {
+        LayerResult base = simulateLayer(spec, Strategy::WinoDP, sp);
+        const double norm = base.fwd.seconds;
+
+        Table t("layer " + spec.name + " (" + std::to_string(spec.inCh) +
+                "->" + std::to_string(spec.outCh) + " @" +
+                std::to_string(spec.h) + "^2); times normalized to "
+                "w_dp fwd");
+        t.header({"config", "shape", "fwd", "bwd", "total", "fwd us",
+                  "bwd us", "energy J", "compute J", "dram J",
+                  "link J"});
+        for (Strategy s : all) {
+            LayerResult r = simulateLayer(spec, s, sp);
+            auto e = r.totalEnergy();
+            t.row()
+                .cell(strategyName(s))
+                .cell(r.shape.toString())
+                .cell(r.fwd.seconds / norm, 2)
+                .cell(r.bwd.seconds / norm, 2)
+                .cell(r.totalSeconds() / norm, 2)
+                .cell(r.fwd.seconds * 1e6, 1)
+                .cell(r.bwd.seconds * 1e6, 1)
+                .cell(e.total(), 3)
+                .cell(e.computeJ, 3)
+                .cell(e.dramJ, 3)
+                .cell(e.linkJ, 3);
+        }
+        t.print();
+
+        double sp_up =
+            base.totalSeconds() /
+            simulateLayer(spec, Strategy::WinoMPTPredictDyn, sp)
+                .totalSeconds();
+        log_sum += std::log(sp_up);
+        ++n;
+        std::printf("w_mp++ speedup over w_dp: %.2fx\n\n", sp_up);
+    }
+
+    std::printf("geomean w_mp++ speedup over w_dp: %.2fx "
+                "(paper: 2.74x on average; late layers dominate, early "
+                "layers neutralized by dynamic clustering)\n",
+                std::exp(log_sum / n));
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 16: normalized performance of the Table IV configurations
+ * averaged (geomean) over the five layers, for 3x3 weights
+ * (F(2x2,3x3) / F(4x4,3x3)) and 5x5 weights (F(2x2,5x5)).
+ *
+ * The paper reports the w_mp++ advantage growing from 2.74x to 3.03x
+ * at 5x5 because MPT's weight-gradient reduction deepens with |w|; in
+ * this reproduction the collective advantage indeed grows, but the
+ * larger 5x5 tile volume (alpha^2: 16 -> 36 for MPT) offsets it in the
+ * end-to-end number - see EXPERIMENTS.md.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/table.hh"
+#include "mpt/layer_sim.hh"
+#include "workloads/layers.hh"
+
+using namespace winomc;
+using namespace winomc::mpt;
+
+namespace {
+
+double
+geomeanSpeedup(const std::vector<ConvSpec> &layers, Strategy s,
+               const SystemParams &sp)
+{
+    double log_sum = 0.0;
+    for (const auto &spec : layers) {
+        double base = simulateLayer(spec, Strategy::WinoDP, sp)
+                          .totalSeconds();
+        double t = simulateLayer(spec, s, sp).totalSeconds();
+        log_sum += std::log(base / t);
+    }
+    return std::exp(log_sum / double(layers.size()));
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 16: 3x3 vs 5x5 weights, geomean speedup over "
+                "w_dp across the five layers (256 NDP workers)\n\n");
+    SystemParams sp;
+    auto l3 = workloads::tableTwoLayers();
+    auto l5 = workloads::tableTwoLayers5x5();
+
+    Table t("geomean speedup vs w_dp");
+    t.header({"config", "3x3", "5x5"});
+    for (Strategy s : {Strategy::DirectDP, Strategy::WinoMPT,
+                       Strategy::WinoMPTPredict,
+                       Strategy::WinoMPTPredictDyn}) {
+        t.row()
+            .cell(strategyName(s))
+            .cell(geomeanSpeedup(l3, s, sp), 2)
+            .cell(geomeanSpeedup(l5, s, sp), 2);
+    }
+    t.print();
+
+    // The mechanism the paper credits: the weight-collective advantage
+    // of MPT over w_dp grows with the filter size.
+    auto shape = memnet::ClusterShape::groups16(sp.workers);
+    auto coll = [&](const ConvSpec &spec) {
+        double dp = simulateLayer(spec, Strategy::WinoDP, sp)
+                        .collectiveSeconds;
+        double mp = simulateLayerWithShape(spec,
+                                           Strategy::WinoMPTPredict, sp,
+                                           shape).collectiveSeconds;
+        return dp / mp;
+    };
+    std::printf("\nweight-collective advantage (w_dp coll time / "
+                "w_mp+(16Ng) coll time), Late-B: 3x3 %.1fx -> 5x5 "
+                "%.1fx\n",
+                coll(l3[4]), coll(l5[4]));
+    std::printf("paper: w_mp++ overall 2.74x (3x3) -> 3.03x (5x5)\n");
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 18: performance and performance-per-watt with the batch-size
+ * restriction lifted for the GPUs - each CNN trains on 8 GPUs at its
+ * best-throughput batch (2K-4K in the paper) while the 256-worker NDP
+ * system stays at batch 256; both systems draw comparable power.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/table.hh"
+#include "gpu/gpu_model.hh"
+#include "mpt/network_sim.hh"
+#include "workloads/networks.hh"
+
+using namespace winomc;
+using namespace winomc::mpt;
+
+int
+main()
+{
+    std::printf("Figure 18: best-batch 8-GPU vs 256-NDP (batch 256), "
+                "iso-power\n\n");
+
+    Table t("throughput and efficiency");
+    t.header({"network", "GPU batch", "GPU img/s", "GPU W",
+              "GPU img/s/W", "NDP img/s", "NDP W", "NDP img/s/W",
+              "perf ratio", "eff ratio"});
+
+    SystemParams sp;
+    double log_perf = 0.0, log_eff = 0.0;
+    int n = 0;
+    for (const auto &net : workloads::tableOneNetworks()) {
+        int batch = gpu::bestBatchSize(net, 8);
+        auto g = gpu::simulateGpuTraining(net, 8, {}, batch);
+        auto ndp = simulateNetwork(net, Strategy::WinoMPTPredictDyn, sp);
+
+        double g_eff = g.imagesPerSec / g.powerWatts;
+        double n_eff = ndp.imagesPerSec / ndp.averagePowerWatts;
+        t.row()
+            .cell(net.name)
+            .cell(int64_t(batch))
+            .cell(g.imagesPerSec, 0)
+            .cell(g.powerWatts, 0)
+            .cell(g_eff, 2)
+            .cell(ndp.imagesPerSec, 0)
+            .cell(ndp.averagePowerWatts, 0)
+            .cell(n_eff, 2)
+            .cell(ndp.imagesPerSec / g.imagesPerSec, 2)
+            .cell(n_eff / g_eff, 2);
+        log_perf += std::log(ndp.imagesPerSec / g.imagesPerSec);
+        log_eff += std::log(n_eff / g_eff);
+        ++n;
+    }
+    t.print();
+
+    std::printf("geomean: perf %.1fx, perf/W %.1fx "
+                "(paper: 9.5x perf/W on average; GPU batches 2K-4K)\n",
+                std::exp(log_perf / n), std::exp(log_eff / n));
+    return 0;
+}

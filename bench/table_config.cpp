@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Tables III and IV: simulated system configuration and the evaluated
+ * system variants, as encoded in this library's defaults.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "common/units.hh"
+#include "memnet/link_model.hh"
+#include "mpt/layer_sim.hh"
+#include "ndp/config.hh"
+#include "noc/network.hh"
+
+using namespace winomc;
+
+int
+main()
+{
+    Table t3("Table III: simulation configuration");
+    t3.header({"parameter", "value"});
+    ndp::NdpConfig ndp_cfg;
+    noc::NocConfig noc_cfg;
+    t3.row().cell("router clock").cell("1.0 GHz");
+    t3.row().cell("full link").cell("16 lanes x 15 Gbps = 30 GB/s/dir");
+    t3.row().cell("narrow link").cell("8 lanes x 10 Gbps = 10 GB/s/dir");
+    t3.row().cell("SerDes + router latency/hop").cell("7 ns");
+    t3.row().cell("topology").cell("ring (groups) + 2D FBFLY (cluster)");
+    t3.row().cell("routing").cell("minimal");
+    t3.row().cell("collective packet").cell("256 B");
+    t3.row().cell("other packets").cell("64 B");
+    t3.row().cell("VCs / buffer depth")
+        .cell(std::to_string(noc_cfg.vcs) + " / " +
+              std::to_string(noc_cfg.bufferDepth) + " flits");
+    t3.row().cell("DRAM bandwidth").cell("320 GB/s (HMC)");
+    t3.row().cell("systolic array")
+        .cell(std::to_string(ndp_cfg.systolicDim) + "x" +
+              std::to_string(ndp_cfg.systolicDim) + " FP32 MACs");
+    t3.row().cell("vector lanes")
+        .cell(std::to_string(ndp_cfg.vectorLanes));
+    t3.row().cell("transform units")
+        .cell(std::to_string(ndp_cfg.transformLanes) + " MACs/cycle");
+    t3.row().cell("input buffers").cell("2 x 512 KiB (double buffered)");
+    t3.print();
+
+    Table t4("Table IV: system configurations");
+    t4.header({"abbr", "description"});
+    t4.row().cell("d_dp").cell(
+        "direct convolution, data parallelism, update w");
+    t4.row().cell("w_dp").cell(
+        "Winograd conv F(4x4,3x3), data parallelism, update w");
+    t4.row().cell("w_mp").cell(
+        "Winograd + MPT (16Ng,16Nc), F(2x2,3x3), update W");
+    t4.row().cell("w_mp+").cell("w_mp + activation predict / 0-skip");
+    t4.row().cell("w_mp++").cell("w_mp+ + dynamic clustering "
+                                 "{(1,p),(4,p/4),(16,p/16)}");
+    t4.print();
+    return 0;
+}

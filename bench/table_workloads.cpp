@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Tables I and II: the evaluated networks and layers.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "common/units.hh"
+#include "workloads/layers.hh"
+#include "workloads/networks.hh"
+
+using namespace winomc;
+
+int
+main()
+{
+    Table t1("Table I: CNNs");
+    t1.header({"network", "dataset", "conv layers", "conv params"});
+    for (const auto &net : workloads::tableOneNetworks()) {
+        char params[32];
+        std::snprintf(params, sizeof(params), "%.1fM",
+                      double(net.paramCount()) / 1e6);
+        t1.row()
+            .cell(net.name)
+            .cell(net.dataset)
+            .cell(int64_t(net.layers.size()))
+            .cell(params);
+    }
+    t1.print();
+
+    Table t2("Table II: layers (batch 256)");
+    t2.header({"layer", "in ch", "out ch", "fmap", "filter", "|w|",
+               "input MiB"});
+    for (const auto &l : workloads::tableTwoLayers()) {
+        t2.row()
+            .cell(l.name)
+            .cell(int64_t(l.inCh))
+            .cell(int64_t(l.outCh))
+            .cell(std::to_string(l.h) + "x" + std::to_string(l.w))
+            .cell(std::to_string(l.r) + "x" + std::to_string(l.r))
+            .cell(int64_t(l.weightElems()))
+            .cell(double(l.inputElems()) * 4.0 / kMiB, 1);
+    }
+    t2.print();
+    return 0;
+}

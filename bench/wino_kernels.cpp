@@ -1,0 +1,115 @@
+/**
+ * @file
+ * google-benchmark timings of the numeric Winograd kernels against
+ * direct convolution - the host-side counterpart of the Fig 1
+ * compute-reduction story, measured on real code rather than the
+ * analytic model.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "winograd/algo.hh"
+#include "winograd/conv.hh"
+
+using namespace winomc;
+
+namespace {
+
+struct Shapes
+{
+    int batch, ch, hw;
+};
+
+Shapes
+shapeFor(int idx)
+{
+    switch (idx) {
+      case 0:
+        return {1, 16, 32};
+      case 1:
+        return {2, 32, 16};
+      default:
+        return {4, 8, 24};
+    }
+}
+
+void
+BM_DirectConv(benchmark::State &state)
+{
+    Shapes s = shapeFor(int(state.range(0)));
+    Rng rng(1);
+    Tensor x(s.batch, s.ch, s.hw, s.hw);
+    Tensor w(s.ch, s.ch, 3, 3);
+    x.fillUniform(rng);
+    w.fillUniform(rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(directConvForward(x, w));
+    state.SetItemsProcessed(int64_t(state.iterations()) * s.batch *
+                            s.ch * s.ch * s.hw * s.hw * 9);
+}
+BENCHMARK(BM_DirectConv)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_WinogradConvF2(benchmark::State &state)
+{
+    Shapes s = shapeFor(int(state.range(0)));
+    Rng rng(1);
+    Tensor x(s.batch, s.ch, s.hw, s.hw);
+    Tensor w(s.ch, s.ch, 3, 3);
+    x.fillUniform(rng);
+    w.fillUniform(rng);
+    const auto &algo = algoF2x2_3x3();
+    WinoWeights W = transformWeights(w, algo);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(winogradForward(x, W, algo));
+    state.SetItemsProcessed(int64_t(state.iterations()) * s.batch *
+                            s.ch * s.ch * s.hw * s.hw * 9);
+}
+BENCHMARK(BM_WinogradConvF2)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_WinogradConvF4(benchmark::State &state)
+{
+    Shapes s = shapeFor(int(state.range(0)));
+    Rng rng(1);
+    Tensor x(s.batch, s.ch, s.hw, s.hw);
+    Tensor w(s.ch, s.ch, 3, 3);
+    x.fillUniform(rng);
+    w.fillUniform(rng);
+    const auto &algo = algoF4x4_3x3();
+    WinoWeights W = transformWeights(w, algo);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(winogradForward(x, W, algo));
+    state.SetItemsProcessed(int64_t(state.iterations()) * s.batch *
+                            s.ch * s.ch * s.hw * s.hw * 9);
+}
+BENCHMARK(BM_WinogradConvF4)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_InputTransform(benchmark::State &state)
+{
+    Rng rng(1);
+    Tensor x(2, 32, 32, 32);
+    x.fillUniform(rng);
+    const auto &algo = algoF2x2_3x3();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(transformInput(x, algo));
+}
+BENCHMARK(BM_InputTransform)->Unit(benchmark::kMillisecond);
+
+void
+BM_ToomCookGenerate(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            makeWinograd(int(state.range(0)), int(state.range(1))));
+}
+BENCHMARK(BM_ToomCookGenerate)->Args({2, 3})->Args({4, 3})->Args({6, 3});
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Whole-network explorer: simulate one training iteration of any
+ * bundled CNN on the NDP system under every Table IV configuration,
+ * with per-layer dynamic-clustering decisions and the multi-GPU
+ * comparison.
+ *
+ * Usage: cnn_explorer [wrn|resnet34|fractalnet|vgg16] [workers]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/table.hh"
+#include "gpu/gpu_model.hh"
+#include "mpt/network_sim.hh"
+#include "workloads/networks.hh"
+
+using namespace winomc;
+using namespace winomc::mpt;
+
+int
+main(int argc, char **argv)
+{
+    const char *which = argc > 1 ? argv[1] : "resnet34";
+    workloads::NetworkSpec net;
+    if (std::strcmp(which, "wrn") == 0)
+        net = workloads::wideResnet40_10();
+    else if (std::strcmp(which, "fractalnet") == 0)
+        net = workloads::fractalNet();
+    else if (std::strcmp(which, "vgg16") == 0)
+        net = workloads::vgg16();
+    else
+        net = workloads::resnet34();
+
+    SystemParams sp;
+    if (argc > 2)
+        sp.workers = std::atoi(argv[2]);
+
+    std::printf("%s (%s, %.1fM conv params, batch %d) on %d NDP "
+                "workers\n\n", net.name.c_str(), net.dataset.c_str(),
+                double(net.paramCount()) / 1e6, net.layers.front().batch,
+                sp.workers);
+
+    Table t("one training iteration");
+    t.header({"config", "iteration ms", "img/s", "energy J", "avg W"});
+    for (Strategy s : {Strategy::DirectDP, Strategy::WinoDP,
+                       Strategy::WinoMPT, Strategy::WinoMPTPredict,
+                       Strategy::WinoMPTPredictDyn}) {
+        NetworkResult r = simulateNetwork(net, s, sp);
+        t.row()
+            .cell(strategyName(s))
+            .cell(r.iterationSeconds * 1e3, 2)
+            .cell(r.imagesPerSec, 0)
+            .cell(r.energy.total(), 2)
+            .cell(r.averagePowerWatts, 0);
+    }
+    t.print();
+
+    // Per-layer dynamic-clustering map (compressed to runs).
+    NetworkResult best = simulateNetwork(
+        net, Strategy::WinoMPTPredictDyn, sp);
+    std::printf("dynamic clustering: ");
+    std::string last;
+    int run = 0;
+    for (size_t l = 0; l <= best.layers.size(); ++l) {
+        std::string cur =
+            l < best.layers.size()
+                ? best.layers[l].shape.toString()
+                : std::string();
+        if (cur == last) {
+            ++run;
+            continue;
+        }
+        if (run > 0)
+            std::printf("%dx %s  ", run, last.c_str());
+        last = cur;
+        run = 1;
+    }
+    std::printf("\n\n");
+
+    auto g8 = gpu::simulateGpuTraining(net, 8);
+    std::printf("8-GPU reference (batch %d): %.2f ms, %.0f img/s -> "
+                "NDP w_mp++ is %.1fx faster\n",
+                net.layers.front().batch, g8.iterationSeconds * 1e3,
+                g8.imagesPerSec,
+                g8.iterationSeconds / best.iterationSeconds);
+    return 0;
+}

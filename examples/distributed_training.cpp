@@ -1,0 +1,104 @@
+/**
+ * @file
+ * End-to-end MPT training demonstration: the same CNN is trained twice
+ * on identical data and seeds - once with ordinary single-worker
+ * Winograd layers, once with MptConvLayer, whose every step runs the
+ * multi-dimensional partitioning (batch over clusters, tile elements
+ * over groups) with explicit scatter/gather and group reductions.
+ *
+ * The two training curves coincide (the parallelization never changes
+ * the math), and the distributed run reports exactly how much
+ * Winograd-domain data crossed worker boundaries to get there.
+ *
+ * Usage: distributed_training [ng] [nc]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "common/table.hh"
+#include "mpt/mpt_conv_layer.hh"
+#include "nn/basic_layers.hh"
+#include "nn/conv_layer.hh"
+#include "nn/dataset.hh"
+#include "nn/trainer.hh"
+#include "winograd/algo.hh"
+
+using namespace winomc;
+
+namespace {
+
+std::unique_ptr<nn::Sequential>
+buildNet(bool distributed, int ng, int nc, Rng &rng)
+{
+    const auto &algo = algoF2x2_3x3();
+    auto net = std::make_unique<nn::Sequential>();
+    auto conv = [&](int in_ch, int out_ch) -> nn::ModulePtr {
+        if (distributed)
+            return std::make_unique<mpt::MptConvLayer>(in_ch, out_ch, 3,
+                                                       ng, nc, algo,
+                                                       rng);
+        return std::make_unique<nn::ConvLayer>(
+            in_ch, out_ch, 3, nn::ConvMode::WinogradLayer, algo, rng);
+    };
+    net->add(conv(1, 8));
+    net->add(std::make_unique<nn::ReLU>());
+    net->add(std::make_unique<nn::MaxPool2>());
+    net->add(conv(8, 8));
+    net->add(std::make_unique<nn::ReLU>());
+    net->add(std::make_unique<nn::MaxPool2>());
+    net->add(std::make_unique<nn::Dense>(8 * 3 * 3, 3, rng));
+    return net;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const int ng = argc > 1 ? std::atoi(argv[1]) : 4;
+    const int nc = argc > 2 ? std::atoi(argv[2]) : 4;
+    std::printf("MPT distributed training on %d x %d = %d (virtual) "
+                "workers vs a single worker\n\n", ng, nc, ng * nc);
+
+    Rng data_rng(8);
+    nn::Dataset train_set = nn::makeShapeDataset(256, 12, 3, data_rng);
+    nn::Dataset val_set = nn::makeShapeDataset(96, 12, 3, data_rng);
+
+    nn::TrainConfig cfg;
+    cfg.epochs = 5;
+    cfg.batchSize = 16; // must divide by nc
+
+    Rng seed_a(1234), seed_b(1234), order_a(77), order_b(77);
+    auto solo = buildNet(false, ng, nc, seed_a);
+    auto dist = buildNet(true, ng, nc, seed_b);
+
+    auto h_solo = nn::train(*solo, train_set, val_set, cfg, order_a);
+    auto h_dist = nn::train(*dist, train_set, val_set, cfg, order_b);
+
+    Table t("training curves (identical seeds and data order)");
+    t.header({"epoch", "solo loss", "mpt loss", "solo val acc",
+              "mpt val acc"});
+    for (size_t e = 0; e < h_solo.size(); ++e) {
+        t.row()
+            .cell(int64_t(e + 1))
+            .cell(h_solo[e].trainLoss, 4)
+            .cell(h_dist[e].trainLoss, 4)
+            .cell(h_solo[e].valAcc, 3)
+            .cell(h_dist[e].valAcc, 3);
+    }
+    t.print();
+
+    auto &c1 = dynamic_cast<mpt::MptConvLayer &>(dist->child(0));
+    auto &c2 = dynamic_cast<mpt::MptConvLayer &>(dist->child(3));
+    std::printf("tile data across worker boundaries: %s + %s; weight "
+                "gradients reduced: %s elements\n",
+                formatBytes(double(c1.tileElemsTransferred()) * 4).c_str(),
+                formatBytes(double(c2.tileElemsTransferred()) * 4).c_str(),
+                std::to_string(c1.weightElemsReduced() +
+                               c2.weightElemsReduced()).c_str());
+    std::printf("the curves coincide: MPT redistributes the work, "
+                "never the result.\n");
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Explore multi-dimensional parallel training of a single convolution
+ * layer on the simulated 256-worker NDP system: pick (or define) a
+ * layer and see what every Table IV configuration and every cluster
+ * shape costs, and what dynamic clustering decides.
+ *
+ * Usage:
+ *   mpt_layer_explorer                      # the five Table II layers
+ *   mpt_layer_explorer I J HW [batch] [p]   # a custom layer
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/table.hh"
+#include "mpt/clustering.hh"
+#include "mpt/layer_sim.hh"
+#include "workloads/layers.hh"
+
+using namespace winomc;
+using namespace winomc::mpt;
+
+namespace {
+
+void
+explore(const ConvSpec &spec, SystemParams &sp)
+{
+    std::printf("== %s: %dx%d channels, %dx%d feature map, batch %d, "
+                "%d workers ==\n",
+                spec.name.c_str(), spec.inCh, spec.outCh, spec.h,
+                spec.w, spec.batch, sp.workers);
+
+    Table t("Table IV configurations");
+    t.header({"config", "shape", "algorithm", "fwd us", "bwd us",
+              "total us", "energy J"});
+    for (Strategy s : {Strategy::DirectDP, Strategy::WinoDP,
+                       Strategy::WinoMPT, Strategy::WinoMPTPredict,
+                       Strategy::WinoMPTPredictDyn}) {
+        LayerResult r = simulateLayer(spec, s, sp);
+        t.row()
+            .cell(strategyName(s))
+            .cell(r.shape.toString())
+            .cell(r.algoName)
+            .cell(r.fwd.seconds * 1e6, 1)
+            .cell(r.bwd.seconds * 1e6, 1)
+            .cell(r.totalSeconds() * 1e6, 1)
+            .cell(r.totalEnergy().total(), 3);
+    }
+    t.print();
+
+    Table c("dynamic-clustering candidates (prediction on)");
+    c.header({"shape", "total us", "comm MiB/worker"});
+    for (const auto &choice : evaluateShapes(spec, sp)) {
+        c.row()
+            .cell(choice.shape.toString())
+            .cell(choice.seconds * 1e6, 1)
+            .cell(choice.commBytesPerWorker / kMiB, 3);
+    }
+    c.print();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SystemParams sp;
+    if (argc >= 4) {
+        ConvSpec spec;
+        spec.name = "custom";
+        spec.inCh = std::atoi(argv[1]);
+        spec.outCh = std::atoi(argv[2]);
+        spec.h = spec.w = std::atoi(argv[3]);
+        spec.batch = argc >= 5 ? std::atoi(argv[4]) : 256;
+        spec.r = 3;
+        if (argc >= 6)
+            sp.workers = std::atoi(argv[5]);
+        if (spec.inCh <= 0 || spec.outCh <= 0 || spec.h <= 0 ||
+            spec.batch <= 0 || sp.workers <= 0) {
+            std::fprintf(stderr,
+                         "usage: %s [I J HW [batch] [workers]]\n",
+                         argv[0]);
+            return 1;
+        }
+        explore(spec, sp);
+        return 0;
+    }
+
+    for (const auto &spec : workloads::tableTwoLayers())
+        explore(spec, sp);
+    return 0;
+}

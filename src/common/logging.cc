@@ -1,0 +1,54 @@
+#include "common/logging.hh"
+
+#include <cstdlib>
+
+namespace winomc {
+
+namespace {
+int g_log_level = 2;
+} // namespace
+
+void
+setLogLevel(int level)
+{
+    g_log_level = level;
+}
+
+int
+logLevel()
+{
+    return g_log_level;
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n  @ %s:%d\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n  @ %s:%d\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (g_log_level >= 1)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (g_log_level >= 2)
+        std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+} // namespace winomc

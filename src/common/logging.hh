@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Status/error reporting in the gem5 style.
+ *
+ * panic()  - internal invariant violated; a winomc bug. Aborts.
+ * fatal()  - the user asked for something impossible (bad config). Exits.
+ * warn()   - something works but not as well as it should.
+ * inform() - normal status output.
+ */
+
+#ifndef WINOMC_COMMON_LOGGING_HH
+#define WINOMC_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace winomc {
+
+namespace detail {
+
+/** Append all args, stream-formatted, to one string. */
+template <typename... Args>
+std::string
+concatMessage(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Global verbosity: 0 = silent, 1 = warn, 2 = inform (default). */
+void setLogLevel(int level);
+int logLevel();
+
+} // namespace winomc
+
+/** Abort: something that should never happen happened (a winomc bug). */
+#define winomc_panic(...)                                                    \
+    ::winomc::detail::panicImpl(__FILE__, __LINE__,                          \
+        ::winomc::detail::concatMessage(__VA_ARGS__))
+
+/** Exit(1): the simulation cannot continue due to a user/config error. */
+#define winomc_fatal(...)                                                    \
+    ::winomc::detail::fatalImpl(__FILE__, __LINE__,                          \
+        ::winomc::detail::concatMessage(__VA_ARGS__))
+
+/** Non-fatal: functionality may be degraded. */
+#define winomc_warn(...)                                                     \
+    ::winomc::detail::warnImpl(::winomc::detail::concatMessage(__VA_ARGS__))
+
+/** Normal status message. */
+#define winomc_inform(...)                                                   \
+    ::winomc::detail::informImpl(                                            \
+        ::winomc::detail::concatMessage(__VA_ARGS__))
+
+/** Assert an internal invariant; compiled in all build types. */
+#define winomc_assert(cond, ...)                                             \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::winomc::detail::panicImpl(__FILE__, __LINE__,                  \
+                ::winomc::detail::concatMessage("assertion '" #cond          \
+                    "' failed. ", ##__VA_ARGS__));                           \
+        }                                                                    \
+    } while (0)
+
+#endif // WINOMC_COMMON_LOGGING_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Deterministic random number generation used across the library.
+ *
+ * Every stochastic component takes an explicit Rng (or seed) so that all
+ * experiments are reproducible run-to-run.
+ */
+
+#ifndef WINOMC_COMMON_RNG_HH
+#define WINOMC_COMMON_RNG_HH
+
+#include <cstdint>
+#include <random>
+
+namespace winomc {
+
+/**
+ * Thin wrapper around a 64-bit Mersenne twister with convenience
+ * distributions. Copyable; copies diverge independently.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x5eed'c0de'f00dULL) : engine(seed) {}
+
+    /** Uniform double in [0, 1). */
+    double uniform() { return unit(engine); }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    uniformInt(int64_t lo, int64_t hi)
+    {
+        return std::uniform_int_distribution<int64_t>(lo, hi)(engine);
+    }
+
+    /** Normal with the given mean / standard deviation. */
+    double
+    gaussian(double mean = 0.0, double sigma = 1.0)
+    {
+        return std::normal_distribution<double>(mean, sigma)(engine);
+    }
+
+    /** Bernoulli with probability p of true. */
+    bool coin(double p = 0.5) { return uniform() < p; }
+
+    std::mt19937_64 &raw() { return engine; }
+
+  private:
+    std::mt19937_64 engine;
+    std::uniform_real_distribution<double> unit{0.0, 1.0};
+};
+
+} // namespace winomc
+
+#endif // WINOMC_COMMON_RNG_HH

@@ -1,0 +1,120 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace winomc {
+
+void
+Accumulator::add(double v)
+{
+    if (n == 0) {
+        lo = hi = v;
+    } else {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    ++n;
+    total += v;
+    double delta = v - mu;
+    mu += delta / double(n);
+    m2 += delta * (v - mu);
+}
+
+void
+Accumulator::merge(const Accumulator &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    double delta = other.mu - mu;
+    uint64_t tot = n + other.n;
+    m2 += other.m2 + delta * delta * double(n) * double(other.n) /
+        double(tot);
+    mu = (mu * double(n) + other.mu * double(other.n)) / double(tot);
+    lo = std::min(lo, other.lo);
+    hi = std::max(hi, other.hi);
+    total += other.total;
+    n = tot;
+}
+
+void
+Accumulator::reset()
+{
+    *this = Accumulator();
+}
+
+double
+Accumulator::stddev() const
+{
+    return n ? std::sqrt(m2 / double(n)) : 0.0;
+}
+
+Histogram::Histogram(double lo_, double hi_, int buckets)
+    : lo(lo_), hi(hi_), width((hi_ - lo_) / buckets),
+      counts(size_t(buckets) + 2, 0)
+{
+    winomc_assert(buckets > 0 && hi_ > lo_,
+                  "histogram needs positive range and bucket count");
+}
+
+void
+Histogram::add(double v)
+{
+    ++n;
+    if (v < lo) {
+        ++counts.front();
+    } else if (v >= hi) {
+        ++counts.back();
+    } else {
+        ++counts[size_t((v - lo) / width) + 1];
+    }
+}
+
+double
+Histogram::bucketLow(int b) const
+{
+    return lo + b * width;
+}
+
+double
+Histogram::percentile(double frac) const
+{
+    winomc_assert(frac >= 0.0 && frac <= 1.0, "percentile frac in [0,1]");
+    if (n == 0)
+        return lo;
+    uint64_t target = uint64_t(frac * double(n));
+    uint64_t seen = counts.front();
+    if (seen > target)
+        return lo;
+    for (int b = 0; b < buckets(); ++b) {
+        seen += counts[size_t(b) + 1];
+        if (seen > target)
+            return bucketLow(b) + width;
+    }
+    return hi;
+}
+
+std::string
+Histogram::toString(int max_width) const
+{
+    uint64_t peak = 1;
+    for (int b = 0; b < buckets(); ++b)
+        peak = std::max(peak, bucketCount(b));
+    std::ostringstream oss;
+    for (int b = 0; b < buckets(); ++b) {
+        int bar = int(double(bucketCount(b)) / double(peak) * max_width);
+        oss << "[" << bucketLow(b) << ", " << bucketLow(b) + width << ") "
+            << std::string(size_t(bar), '#') << " " << bucketCount(b)
+            << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace winomc

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Simple statistics accumulators used by the simulators and benches.
+ */
+
+#ifndef WINOMC_COMMON_STATS_HH
+#define WINOMC_COMMON_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace winomc {
+
+/** Streaming scalar statistic: count / sum / min / max / mean / stddev. */
+class Accumulator
+{
+  public:
+    void add(double v);
+    void merge(const Accumulator &other);
+    void reset();
+
+    uint64_t count() const { return n; }
+    double sum() const { return total; }
+    double mean() const { return n ? total / double(n) : 0.0; }
+    double minimum() const { return n ? lo : 0.0; }
+    double maximum() const { return n ? hi : 0.0; }
+    /** Population standard deviation (Welford). */
+    double stddev() const;
+
+  private:
+    uint64_t n = 0;
+    double total = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+    double mu = 0.0;   // running mean (Welford)
+    double m2 = 0.0;   // running sum of squared deviations
+};
+
+/** Fixed-range linear histogram with under/overflow buckets. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, int buckets);
+
+    void add(double v);
+    uint64_t count() const { return n; }
+    uint64_t bucketCount(int b) const { return counts.at(b + 1); }
+    uint64_t underflow() const { return counts.front(); }
+    uint64_t overflow() const { return counts.back(); }
+    int buckets() const { return int(counts.size()) - 2; }
+    double bucketLow(int b) const;
+    /** Value below which the given fraction of samples fall. */
+    double percentile(double frac) const;
+
+    std::string toString(int max_width = 50) const;
+
+  private:
+    double lo, hi, width;
+    uint64_t n = 0;
+    std::vector<uint64_t> counts; // [under, b0..bN-1, over]
+};
+
+} // namespace winomc
+
+#endif // WINOMC_COMMON_STATS_HH

@@ -1,0 +1,161 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace winomc {
+
+Table::Table(std::string title_) : title(std::move(title_)) {}
+
+Table &
+Table::header(std::initializer_list<std::string> cols)
+{
+    head.assign(cols);
+    return *this;
+}
+
+Table &
+Table::header(const std::vector<std::string> &cols)
+{
+    head = cols;
+    return *this;
+}
+
+Table &
+Table::row()
+{
+    rows.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &v)
+{
+    winomc_assert(!rows.empty(), "cell() before row()");
+    rows.back().push_back(v);
+    return *this;
+}
+
+Table &
+Table::cell(const char *v)
+{
+    return cell(std::string(v));
+}
+
+Table &
+Table::cell(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return cell(std::string(buf));
+}
+
+Table &
+Table::cell(int64_t v)
+{
+    return cell(std::to_string(v));
+}
+
+Table &
+Table::cell(uint64_t v)
+{
+    return cell(std::to_string(v));
+}
+
+Table &
+Table::rule()
+{
+    rules_after.push_back(rows.size());
+    return *this;
+}
+
+std::string
+Table::toString() const
+{
+    std::vector<size_t> widths(head.size());
+    for (size_t c = 0; c < head.size(); ++c)
+        widths[c] = head[c].size();
+    for (const auto &r : rows) {
+        for (size_t c = 0; c < r.size(); ++c) {
+            if (c >= widths.size())
+                widths.resize(c + 1, 0);
+            widths[c] = std::max(widths[c], r[c].size());
+        }
+    }
+
+    auto emit_rule = [&](std::ostringstream &oss) {
+        for (size_t c = 0; c < widths.size(); ++c) {
+            oss << std::string(widths[c] + 2, '-');
+            if (c + 1 < widths.size())
+                oss << "+";
+        }
+        oss << "\n";
+    };
+    auto emit_row = [&](std::ostringstream &oss,
+                        const std::vector<std::string> &r) {
+        for (size_t c = 0; c < widths.size(); ++c) {
+            std::string v = c < r.size() ? r[c] : "";
+            oss << " " << v << std::string(widths[c] - v.size() + 1, ' ');
+            if (c + 1 < widths.size())
+                oss << "|";
+        }
+        oss << "\n";
+    };
+
+    std::ostringstream oss;
+    if (!title.empty())
+        oss << "== " << title << " ==\n";
+    if (!head.empty()) {
+        emit_row(oss, head);
+        emit_rule(oss);
+    }
+    for (size_t i = 0; i < rows.size(); ++i) {
+        emit_row(oss, rows[i]);
+        if (std::find(rules_after.begin(), rules_after.end(), i + 1) !=
+                rules_after.end()) {
+            emit_rule(oss);
+        }
+    }
+    return oss.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(toString().c_str(), stdout);
+    std::fputs("\n", stdout);
+}
+
+std::string
+formatBytes(double bytes)
+{
+    const char *suffix[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    int s = 0;
+    while (std::abs(bytes) >= 1024.0 && s < 4) {
+        bytes /= 1024.0;
+        ++s;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f %s", bytes, suffix[s]);
+    return buf;
+}
+
+std::string
+formatTime(double seconds)
+{
+    const char *suffix[] = {"s", "ms", "us", "ns", "ps"};
+    int s = 0;
+    while (seconds != 0.0 && std::abs(seconds) < 1.0 && s < 4) {
+        seconds *= 1000.0;
+        ++s;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f %s", seconds, suffix[s]);
+    return buf;
+}
+
+} // namespace winomc

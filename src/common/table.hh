@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Console table printer used by the bench harnesses to emit the rows the
+ * paper's tables and figures report.
+ */
+
+#ifndef WINOMC_COMMON_TABLE_HH
+#define WINOMC_COMMON_TABLE_HH
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace winomc {
+
+/**
+ * Accumulates rows of strings/numbers and prints them with aligned
+ * columns, a header rule, and an optional title.
+ */
+class Table
+{
+  public:
+    explicit Table(std::string title = "");
+
+    Table &header(std::initializer_list<std::string> cols);
+    Table &header(const std::vector<std::string> &cols);
+
+    /** Begin a new row. */
+    Table &row();
+    /** Append one cell to the current row. */
+    Table &cell(const std::string &v);
+    Table &cell(const char *v);
+    Table &cell(double v, int precision = 3);
+    Table &cell(int64_t v);
+    Table &cell(uint64_t v);
+    Table &cell(int v) { return cell(int64_t(v)); }
+    /** Insert a horizontal separator after the current row. */
+    Table &rule();
+
+    std::string toString() const;
+    /** Print to stdout. */
+    void print() const;
+
+  private:
+    std::string title;
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> rows;
+    std::vector<size_t> rules_after; // row indices followed by a rule
+};
+
+/** Format bytes with a binary-unit suffix (e.g. "3.2 MiB"). */
+std::string formatBytes(double bytes);
+/** Format seconds with an SI suffix (e.g. "1.24 ms"). */
+std::string formatTime(double seconds);
+
+} // namespace winomc
+
+#endif // WINOMC_COMMON_TABLE_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Units used throughout the performance and energy models.
+ *
+ * Conventions:
+ *   time       - double seconds (helpers for ns/us/ms)
+ *   ticks      - uint64_t cycles of the 1 GHz system clock (sim kernel)
+ *   bandwidth  - double bytes per second
+ *   energy     - double joules (helpers for pJ/nJ)
+ */
+
+#ifndef WINOMC_COMMON_UNITS_HH
+#define WINOMC_COMMON_UNITS_HH
+
+#include <cstdint>
+
+namespace winomc {
+
+using Tick = uint64_t;
+
+constexpr double kKilo = 1e3;
+constexpr double kMega = 1e6;
+constexpr double kGiga = 1e9;
+
+constexpr double kKiB = 1024.0;
+constexpr double kMiB = 1024.0 * 1024.0;
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+/** Convert nanoseconds to seconds. */
+constexpr double nsToSec(double ns) { return ns * 1e-9; }
+/** Convert seconds to nanoseconds. */
+constexpr double secToNs(double s) { return s * 1e9; }
+/** Convert picojoules to joules. */
+constexpr double pJ(double pj) { return pj * 1e-12; }
+/** Convert GB/s (decimal) to bytes/s. */
+constexpr double GBps(double gb) { return gb * 1e9; }
+/**
+ * Link rate from lane count and per-lane signalling rate in Gbps,
+ * returned in bytes per second (8b/lane-bit, no coding overhead modeled).
+ */
+constexpr double
+laneBandwidth(int lanes, double gbps_per_lane)
+{
+    return lanes * gbps_per_lane * 1e9 / 8.0;
+}
+
+} // namespace winomc
+
+#endif // WINOMC_COMMON_UNITS_HH

@@ -1,0 +1,51 @@
+#include "energy/energy.hh"
+
+#include <cstdio>
+
+namespace winomc::energy {
+
+std::string
+EnergyBreakdown::toString() const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "compute %.3g J, sram %.3g J, dram %.3g J, link %.3g J"
+                  " (total %.3g J)",
+                  computeJ, sramJ, dramJ, linkJ, total());
+    return buf;
+}
+
+double
+EnergyModel::macsEnergy(uint64_t mults, uint64_t adds) const
+{
+    return (double(mults) * params.fp32MulPj +
+            double(adds) * params.fp32AddPj) * 1e-12;
+}
+
+double
+EnergyModel::sramEnergy(uint64_t bytes) const
+{
+    return double(bytes) * params.sramPjPerByte * 1e-12;
+}
+
+double
+EnergyModel::dramEnergy(uint64_t bytes) const
+{
+    return double(bytes) * params.dramPjPerByte * 1e-12;
+}
+
+double
+EnergyModel::linkDynamicEnergy(uint64_t bytes) const
+{
+    return double(bytes) * params.linkPjPerByte * 1e-12;
+}
+
+double
+EnergyModel::linkIdleEnergy(int full_links, int narrow_links,
+                            double seconds) const
+{
+    return (full_links * params.fullLinkIdleWatts +
+            narrow_links * params.narrowLinkIdleWatts) * seconds;
+}
+
+} // namespace winomc::energy

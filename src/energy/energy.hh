@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Energy model of the NDP system (Section VII-A).
+ *
+ * Four components, as in Figure 15: compute (MAC units), SRAM buffers,
+ * 3D-stacked DRAM, and the memory-centric network's serial links
+ * (including their idle power - high-speed SerDes burn power even when
+ * no flit moves, which is why shorter execution time saves link energy).
+ *
+ * Constants: the paper gives 0.9 pJ / 3.7 pJ for FP32 ADD/MUL ([75]) and
+ * models SRAM/DRAM with CACTI 6.5 / CACTI-3DD; CACTI is not available
+ * offline, so representative published values are used instead (see
+ * DESIGN.md substitution table). All system configurations share these
+ * constants, and Fig 15/18 compare *relative* energy.
+ */
+
+#ifndef WINOMC_ENERGY_ENERGY_HH
+#define WINOMC_ENERGY_ENERGY_HH
+
+#include <cstdint>
+#include <string>
+
+namespace winomc::energy {
+
+struct EnergyParams
+{
+    // Compute ([75], 28 nm).
+    double fp32AddPj = 0.9;
+    double fp32MulPj = 3.7;
+
+    // Memory hierarchy (CACTI-representative).
+    double sramPjPerByte = 1.0;   ///< 512 KiB scratch buffers
+    double dramPjPerByte = 30.0;  ///< HMC internal access (~3.7 pJ/bit)
+
+    // Memory-centric network links (model of [45]).
+    double linkPjPerByte = 32.0;  ///< ~4 pJ/bit dynamic
+    double fullLinkIdleWatts = 1.2;   ///< 16 lanes x 15 Gbps SerDes
+    double narrowLinkIdleWatts = 0.4; ///< 8 lanes x 10 Gbps SerDes
+};
+
+/** Accumulated energy, split by the Figure 15 components. */
+struct EnergyBreakdown
+{
+    double computeJ = 0.0;
+    double sramJ = 0.0;
+    double dramJ = 0.0;
+    double linkJ = 0.0;
+
+    double total() const { return computeJ + sramJ + dramJ + linkJ; }
+
+    EnergyBreakdown &
+    operator+=(const EnergyBreakdown &o)
+    {
+        computeJ += o.computeJ;
+        sramJ += o.sramJ;
+        dramJ += o.dramJ;
+        linkJ += o.linkJ;
+        return *this;
+    }
+
+    std::string toString() const;
+};
+
+/** Stateless helpers mapping activity counts to joules. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const EnergyParams &p = {}) : params(p) {}
+
+    double macsEnergy(uint64_t mults, uint64_t adds) const;
+    double sramEnergy(uint64_t bytes) const;
+    double dramEnergy(uint64_t bytes) const;
+    /** Dynamic link energy for bytes moved over serial links. */
+    double linkDynamicEnergy(uint64_t bytes) const;
+    /** Idle/static link energy over a time window. */
+    double linkIdleEnergy(int full_links, int narrow_links,
+                          double seconds) const;
+
+    const EnergyParams &p() const { return params; }
+
+  private:
+    EnergyParams params;
+};
+
+} // namespace winomc::energy
+
+#endif // WINOMC_ENERGY_ENERGY_HH

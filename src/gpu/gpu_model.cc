@@ -1,0 +1,135 @@
+#include "gpu/gpu_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "mpt/task_graph.hh"
+
+namespace winomc::gpu {
+
+namespace {
+
+/** Occupancy-dependent efficiency: full above the knee, square-root
+ *  roll-off below it (small per-GPU batches underfill the SMs). */
+double
+effectiveEfficiency(const GpuConfig &cfg, double per_gpu_batch)
+{
+    double occ = std::min(1.0, per_gpu_batch / cfg.occupancyKneeBatch);
+    // Square-root roll-off below the knee (smaller kernels lose
+    // efficiency, but not proportionally), floored at 15%.
+    return cfg.convEfficiency * std::max(0.15, std::sqrt(occ));
+}
+
+/** NCCL ring all-reduce of `bytes` (FP16 gradients) across g GPUs. */
+double
+allReduceTime(uint64_t bytes, int gpus, const GpuConfig &cfg)
+{
+    if (gpus <= 1)
+        return 0.0;
+    double g = gpus;
+    double bw = cfg.nvlinkPerRing * cfg.ncclRings;
+    return 2.0 * (g - 1.0) / g * double(bytes) / bw +
+           2.0 * (g - 1.0) * cfg.ncclLatencySec;
+}
+
+} // namespace
+
+GpuLayerTime
+gpuLayerTime(const ConvSpec &spec, double per_gpu_batch,
+             const GpuConfig &cfg)
+{
+    winomc_assert(per_gpu_batch > 0, "empty per-GPU batch");
+    const double eff = effectiveEfficiency(cfg, per_gpu_batch);
+    double flops = 2.0 * per_gpu_batch * spec.inCh * spec.outCh *
+                   spec.h * spec.w * spec.r * spec.r;
+    if (spec.r == 3)
+        flops /= cfg.winogradSpeedup; // cuDNN picks the Winograd kernel
+
+    // FP16 activations + weights traffic (roofline memory term).
+    double bytes = 2.0 * (per_gpu_batch * (spec.inCh + spec.outCh) *
+                              spec.h * spec.w +
+                          double(spec.weightElems()));
+
+    double kernel = std::max(flops / (cfg.peakFp16Flops * eff),
+                             bytes / (cfg.memBandwidth *
+                                      cfg.memEfficiency)) +
+                    cfg.kernelOverheadSec;
+
+    GpuLayerTime t;
+    t.fwdSec = kernel;
+    // Backward runs two convolution kernels (dgrad + wgrad).
+    t.bwdSec = 2.0 * kernel;
+    return t;
+}
+
+GpuResult
+simulateGpuTraining(const workloads::NetworkSpec &net, int gpus,
+                    const GpuConfig &cfg, int batch_override)
+{
+    winomc_assert(gpus >= 1, "need at least one GPU");
+    winomc_assert(!net.layers.empty(), "empty network");
+    const int total_batch =
+        batch_override > 0 ? batch_override : net.layers.front().batch;
+    const double per_gpu = double(total_batch) / gpus;
+    winomc_assert(per_gpu >= 1.0, "more GPUs than batch items");
+
+    // Task graph: forward chain, backward chain, per-layer gradient
+    // all-reduce overlapped on the NVLink resource (NCCL streams).
+    constexpr int kCompute = 0;
+    constexpr int kNvlink = 1;
+    mpt::TaskGraph graph;
+    const int n = int(net.layers.size());
+    std::vector<mpt::TaskId> fwd(size_t(n), -1);
+    std::vector<mpt::TaskId> bwd(size_t(n), -1);
+    double coll_total = 0.0;
+
+    for (int l = 0; l < n; ++l) {
+        GpuLayerTime t = gpuLayerTime(net.layers[size_t(l)], per_gpu,
+                                      cfg);
+        fwd[size_t(l)] = graph.addTask("fwd", t.fwdSec, kCompute);
+        if (l > 0)
+            graph.addDependency(fwd[size_t(l - 1)], fwd[size_t(l)]);
+    }
+    for (int l = n - 1; l >= 0; --l) {
+        GpuLayerTime t = gpuLayerTime(net.layers[size_t(l)], per_gpu,
+                                      cfg);
+        bwd[size_t(l)] = graph.addTask("bwd", t.bwdSec, kCompute);
+        graph.addDependency(l == n - 1 ? fwd[size_t(n - 1)]
+                                       : bwd[size_t(l + 1)],
+                            bwd[size_t(l)]);
+        if (gpus > 1) {
+            // FP16 gradients.
+            uint64_t bytes = net.layers[size_t(l)].weightElems() * 2;
+            double coll = allReduceTime(bytes, gpus, cfg);
+            coll_total += coll;
+            mpt::TaskId c = graph.addTask("nccl", coll, kNvlink);
+            graph.addDependency(bwd[size_t(l)], c);
+        }
+    }
+
+    GpuResult res;
+    res.iterationSeconds = graph.simulate();
+    res.imagesPerSec = double(total_batch) / res.iterationSeconds;
+    res.powerWatts = gpus * cfg.boardPowerWatts + cfg.hostPowerWatts;
+    res.allReduceSeconds = coll_total;
+    return res;
+}
+
+int
+bestBatchSize(const workloads::NetworkSpec &net, int gpus,
+              const GpuConfig &cfg)
+{
+    int best = net.layers.front().batch;
+    double best_rate = 0.0;
+    for (int b : {256, 512, 1024, 2048, 4096}) {
+        GpuResult r = simulateGpuTraining(net, gpus, cfg, b);
+        if (r.imagesPerSec > best_rate) {
+            best_rate = r.imagesPerSec;
+            best = b;
+        }
+    }
+    return best;
+}
+
+} // namespace winomc::gpu

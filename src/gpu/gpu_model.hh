@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Analytic multi-GPU baseline (Section VII-C): a DGX-1-like node with
+ * Volta-class GPUs, NVLink, and NCCL ring all-reduce, training with
+ * data parallelism, FP16 tensor cores, and cuDNN Winograd kernels.
+ *
+ * A real DGX-1 is not available offline; this roofline-style model
+ * reproduces the *behaviour* the paper measures: strong per-GPU
+ * compute that decays in efficiency as the per-GPU batch shrinks
+ * (kernel overheads and low occupancy), and a weight all-reduce whose
+ * time is roughly batch-independent, giving the sub-linear fixed-batch
+ * scaling of Fig 17 and the large-batch recovery of Fig 18. Constants
+ * below are documented, not measured.
+ */
+
+#ifndef WINOMC_GPU_GPU_MODEL_HH
+#define WINOMC_GPU_GPU_MODEL_HH
+
+#include "workloads/networks.hh"
+
+namespace winomc::gpu {
+
+struct GpuConfig
+{
+    // Volta V100-like.
+    double peakFp16Flops = 125e12;    ///< tensor-core peak
+    double convEfficiency = 0.18;     ///< achieved fraction (TF-2017 era)
+    double winogradSpeedup = 1.8;     ///< cuDNN Winograd on 3x3 layers
+    double memBandwidth = 900e9;      ///< HBM2
+    double memEfficiency = 0.7;
+    double kernelOverheadSec = 20e-6; ///< launch + setup per conv kernel
+    /** Occupancy knee: efficiency degrades when the per-GPU batch drops
+     *  below this (the fixed-256-batch scaling problem of Fig 17). */
+    double occupancyKneeBatch = 128.0;
+
+    // NVLink + NCCL (six 25 GB/s links per GPU, 6 rings when all 8
+    // GPUs participate).
+    double nvlinkPerRing = 25e9;
+    int ncclRings = 6;
+    double ncclLatencySec = 8e-6;     ///< per collective step
+
+    double boardPowerWatts = 300.0;   ///< V100 TDP
+    double hostPowerWatts = 200.0;
+};
+
+struct GpuLayerTime
+{
+    double fwdSec = 0.0;
+    double bwdSec = 0.0;   ///< bprop + wgrad kernels
+};
+
+struct GpuResult
+{
+    double iterationSeconds = 0.0;
+    double imagesPerSec = 0.0;
+    double powerWatts = 0.0;
+    double allReduceSeconds = 0.0; ///< total collective time (overlapped)
+};
+
+/** One conv layer's kernel times on one GPU with per-GPU batch b. */
+GpuLayerTime gpuLayerTime(const ConvSpec &spec, double per_gpu_batch,
+                          const GpuConfig &cfg);
+
+/**
+ * One training iteration of the network on `gpus` GPUs with data
+ * parallelism. `batch_override` replaces the network's batch (0 keeps
+ * it); the Fig 18 experiment raises it to 2K-4K.
+ */
+GpuResult simulateGpuTraining(const workloads::NetworkSpec &net,
+                              int gpus, const GpuConfig &cfg = {},
+                              int batch_override = 0);
+
+/** Best-throughput batch from {256, 512, ..., 4096} (Fig 18). */
+int bestBatchSize(const workloads::NetworkSpec &net, int gpus,
+                  const GpuConfig &cfg = {});
+
+} // namespace winomc::gpu
+
+#endif // WINOMC_GPU_GPU_MODEL_HH

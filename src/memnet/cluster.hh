@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Cluster/group organization of the 2D worker array (Sections III-B,
+ * IV) and the per-configuration tile-transfer network.
+ *
+ * p workers are arranged as N_g groups x N_c clusters (N_g * N_c = p).
+ * A *group* holds one subset of the tile elements, replicated across the
+ * batch (data parallelism inside the group, ring collective for its
+ * weight slice). A *cluster* holds one batch shard spread over all
+ * N_g tile-element owners; tile scatter/gather is an all-to-all among
+ * the N_g workers of a cluster.
+ *
+ * Dynamic clustering (Section IV) picks per layer one of:
+ *   (N_g, N_c) = (16, p/16) tile elements fully spread; 2D predict;
+ *                FBFLY (4x4, narrow links) inside the cluster;
+ *   (N_g, N_c) = (4, p/4)   one tile line per worker; 1D predict (the
+ *                first 1D transform also shrinks gather lines from
+ *                alpha to m elements); fully connected 4-clique;
+ *   (N_g, N_c) = (1, p)     pure data parallelism, no tile transfer.
+ */
+
+#ifndef WINOMC_MEMNET_CLUSTER_HH
+#define WINOMC_MEMNET_CLUSTER_HH
+
+#include <memory>
+#include <string>
+
+#include "memnet/link_model.hh"
+#include "noc/topology.hh"
+
+namespace winomc::memnet {
+
+/** Tile-transfer flavor implied by the group count. */
+enum class TransferMode { None, OneD, TwoD };
+
+struct ClusterShape
+{
+    int ng; ///< groups (tile-element owners)
+    int nc; ///< clusters (batch shards)
+
+    int workers() const { return ng * nc; }
+    TransferMode transferMode() const;
+    std::string toString() const;
+
+    /** Ring length for the weight collective inside a group. */
+    int ringLength() const { return nc; }
+
+    /** The three configurations of Section IV for p workers. */
+    static ClusterShape groups16(int p);
+    static ClusterShape groups4(int p);
+    static ClusterShape dataParallel(int p);
+};
+
+/** Intra-cluster topology for tile transfer (nullptr when ng == 1). */
+std::unique_ptr<noc::Topology> clusterTopology(const ClusterShape &shape);
+
+/** Link class used for tile transfer in this configuration. */
+LinkSpec clusterLink(const ClusterShape &shape);
+
+} // namespace winomc::memnet
+
+#endif // WINOMC_MEMNET_CLUSTER_HH

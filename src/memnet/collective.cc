@@ -1,0 +1,34 @@
+#include "memnet/collective.hh"
+
+#include "common/logging.hh"
+
+namespace winomc::memnet {
+
+double
+ringAllReduceTime(uint64_t bytes, int workers, const CollectiveConfig &cfg)
+{
+    winomc_assert(workers >= 1, "collective needs >= 1 worker");
+    if (workers == 1 || bytes == 0)
+        return 0.0;
+
+    const double per_ring = double(bytes) / cfg.rings;
+    const double n = double(workers);
+    // Bandwidth term: reduce-scatter + all-gather move 2 (n-1)/n of the
+    // message across every link of the ring.
+    double bw_time = 2.0 * (n - 1.0) / n * per_ring / cfg.link.bandwidth;
+    // Pipeline fill: 2 (n-1) chunk hops.
+    double chunk_time = double(cfg.chunkBytes) / cfg.link.bandwidth +
+                        cfg.link.hopLatencySec;
+    return bw_time + 2.0 * (n - 1.0) * chunk_time;
+}
+
+uint64_t
+ringAllReduceBytesPerWorker(uint64_t bytes, int workers)
+{
+    if (workers <= 1)
+        return 0;
+    double n = double(workers);
+    return uint64_t(2.0 * (n - 1.0) / n * double(bytes));
+}
+
+} // namespace winomc::memnet

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Pipelined ring collective timing (Section VI-C).
+ *
+ * Weight-gradient reduction + updated-weight broadcast run as a
+ * pipelined ring collective: the message is split into 256-byte chunks
+ * (Table III) that travel the ring concurrently. With the data divided
+ * into n per-worker shards the bandwidth-optimal schedule moves
+ * 2 (n-1)/n of the bytes through every link (reduce-scatter +
+ * all-gather), plus 2 (n-1) chunk-hop latencies of pipeline fill.
+ * Multiple independent rings (the paper uses 2 for MPT, 4 for pure data
+ * parallelism) split the message evenly.
+ */
+
+#ifndef WINOMC_MEMNET_COLLECTIVE_HH
+#define WINOMC_MEMNET_COLLECTIVE_HH
+
+#include <cstdint>
+
+#include "memnet/link_model.hh"
+
+namespace winomc::memnet {
+
+struct CollectiveConfig
+{
+    int chunkBytes = 256;  ///< packet size for collectives (Table III)
+    LinkSpec link = LinkSpec::full();
+    int rings = 2;         ///< independent rings sharing the message
+};
+
+/**
+ * Seconds for an all-reduce (reduce + broadcast) of `bytes` across
+ * `workers` ring members. Returns 0 for a single worker.
+ */
+double ringAllReduceTime(uint64_t bytes, int workers,
+                         const CollectiveConfig &cfg);
+
+/** Bytes each worker moves during the collective (for link energy). */
+uint64_t ringAllReduceBytesPerWorker(uint64_t bytes, int workers);
+
+} // namespace winomc::memnet
+
+#endif // WINOMC_MEMNET_COLLECTIVE_HH

@@ -1,0 +1,83 @@
+#include "memnet/link_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace winomc::memnet {
+
+LinkSpec
+LinkSpec::full()
+{
+    return LinkSpec{laneBandwidth(16, 15.0), 5e-9 + 2e-9};
+}
+
+LinkSpec
+LinkSpec::narrow()
+{
+    return LinkSpec{laneBandwidth(8, 10.0), 5e-9 + 2e-9};
+}
+
+std::vector<double>
+linkLoads(const noc::Topology &topo,
+          const std::vector<std::vector<double>> &bytes)
+{
+    const int n = topo.nodes();
+    const int ports = topo.ports();
+    winomc_assert(int(bytes.size()) == n, "traffic matrix size mismatch");
+    std::vector<double> load(size_t(n) * ports, 0.0);
+
+    for (int s = 0; s < n; ++s) {
+        winomc_assert(int(bytes[size_t(s)].size()) == n,
+                      "traffic matrix row size mismatch");
+        for (int d = 0; d < n; ++d) {
+            double v = bytes[size_t(s)][size_t(d)];
+            if (s == d || v <= 0.0)
+                continue;
+            int cur = s;
+            while (cur != d) {
+                int port = topo.route(cur, d);
+                load[size_t(cur) * ports + port] += v;
+                cur = topo.neighbor(cur, port);
+            }
+        }
+    }
+    return load;
+}
+
+double
+bottleneckTime(const noc::Topology &topo,
+               const std::vector<std::vector<double>> &bytes,
+               const LinkSpec &link)
+{
+    std::vector<double> load = linkLoads(topo, bytes);
+    double max_load = 0.0;
+    for (double v : load)
+        max_load = std::max(max_load, v);
+    if (max_load == 0.0)
+        return 0.0;
+
+    int max_hops = 0;
+    const int n = topo.nodes();
+    for (int s = 0; s < n; ++s)
+        for (int d = 0; d < n; ++d)
+            if (s != d && bytes[size_t(s)][size_t(d)] > 0.0)
+                max_hops = std::max(max_hops, topo.hopCount(s, d));
+
+    return max_load / link.bandwidth + max_hops * link.hopLatencySec;
+}
+
+double
+allToAllTime(const noc::Topology &topo, double bytes_per_pair,
+             const LinkSpec &link)
+{
+    const int n = topo.nodes();
+    std::vector<std::vector<double>> bytes(
+        size_t(n), std::vector<double>(size_t(n), bytes_per_pair));
+    for (int i = 0; i < n; ++i)
+        bytes[size_t(i)][size_t(i)] = 0.0;
+    return bottleneckTime(topo, bytes, link);
+}
+
+} // namespace winomc::memnet

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Message-level model of the memory-centric network links.
+ *
+ * For the full-system evaluation the paper assumes optimally scheduled
+ * communication per layer (Section IV); under that assumption the time
+ * of a bulk transfer pattern is governed by the most-loaded directed
+ * link. This model routes a byte-level traffic matrix over a
+ * noc::Topology (the same minimal routing the flit simulator uses,
+ * which validates these numbers) and returns the bottleneck time plus
+ * the pipeline-fill latency of the longest path.
+ */
+
+#ifndef WINOMC_MEMNET_LINK_MODEL_HH
+#define WINOMC_MEMNET_LINK_MODEL_HH
+
+#include <vector>
+
+#include "noc/topology.hh"
+
+namespace winomc::memnet {
+
+/** One physical link class of Table III. */
+struct LinkSpec
+{
+    double bandwidth;      ///< bytes/s per direction
+    double hopLatencySec;  ///< SerDes + router per hop
+
+    /** Full-width link: 16 lanes x 15 Gbps = 30 GB/s. */
+    static LinkSpec full();
+    /** Narrow link: 8 lanes x 10 Gbps = 10 GB/s. */
+    static LinkSpec narrow();
+};
+
+/**
+ * Time for the traffic matrix (bytes[src][dst], src != dst) to drain
+ * over the topology with minimal routing and ideal scheduling.
+ */
+double bottleneckTime(const noc::Topology &topo,
+                      const std::vector<std::vector<double>> &bytes,
+                      const LinkSpec &link);
+
+/**
+ * All-to-all: every node sends `bytes_per_pair` to every other node
+ * (the tile gather/scatter pattern inside a cluster).
+ */
+double allToAllTime(const noc::Topology &topo, double bytes_per_pair,
+                    const LinkSpec &link);
+
+/** Per-directed-link byte loads for a traffic matrix (diagnostics). */
+std::vector<double>
+linkLoads(const noc::Topology &topo,
+          const std::vector<std::vector<double>> &bytes);
+
+} // namespace winomc::memnet
+
+#endif // WINOMC_MEMNET_LINK_MODEL_HH

@@ -1,0 +1,88 @@
+#include "memnet/message_sim.hh"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/logging.hh"
+
+namespace winomc::memnet {
+
+namespace {
+
+/** Seconds -> picosecond ticks (event kernel granularity). */
+Tick
+toTicks(double sec)
+{
+    return Tick(sec * 1e12 + 0.5);
+}
+
+double
+toSec(Tick t)
+{
+    return double(t) * 1e-12;
+}
+
+} // namespace
+
+double
+simulateMessages(const noc::Topology &topo, const LinkSpec &link,
+                 std::vector<Message> &messages)
+{
+    const int ports = topo.ports();
+    // linkFree[node * ports + port]: tick the directed link frees up.
+    std::vector<Tick> link_free(size_t(topo.nodes()) * ports, 0);
+
+    sim::EventQueue eq;
+    Tick makespan = 0;
+    const Tick hop_lat = toTicks(link.hopLatencySec);
+
+    // One hop of one message: occupy the link for serialization time,
+    // then arrive at the next node after the hop latency.
+    std::function<void(size_t, int)> advance = [&](size_t mi, int node) {
+        Message &m = messages[mi];
+        if (node == m.dst) {
+            m.finish = toSec(eq.now());
+            makespan = std::max(makespan, eq.now());
+            return;
+        }
+        int port = topo.route(node, m.dst);
+        Tick &free_at = link_free[size_t(node) * ports + port];
+        Tick start = std::max(eq.now(), free_at);
+        Tick ser = toTicks(m.bytes / link.bandwidth);
+        free_at = start + ser;
+        int next = topo.neighbor(node, port);
+        eq.schedule(start + ser + hop_lat,
+                    [&advance, mi, next] { advance(mi, next); });
+    };
+
+    for (size_t mi = 0; mi < messages.size(); ++mi) {
+        winomc_assert(messages[mi].src != messages[mi].dst,
+                      "message to self");
+        winomc_assert(messages[mi].bytes > 0, "empty message");
+        int src = messages[mi].src;
+        eq.schedule(toTicks(messages[mi].start),
+                    [&advance, mi, src] { advance(mi, src); });
+    }
+    eq.run();
+    return toSec(makespan);
+}
+
+double
+simulateAllToAll(const noc::Topology &topo, const LinkSpec &link,
+                 double bytes_per_pair)
+{
+    std::vector<Message> msgs;
+    const int n = topo.nodes();
+    // The communication engines packetize bulk transfers (Section VI-C);
+    // split each pairwise flow into chunks and interleave sources and
+    // destinations round-robin, which lets multi-hop flows pipeline.
+    constexpr int kChunks = 8;
+    const double chunk = bytes_per_pair / kChunks;
+    for (int c = 0; c < kChunks; ++c)
+        for (int k = 1; k < n; ++k)
+            for (int s = 0; s < n; ++s)
+                msgs.push_back(Message{s, (s + k) % n, chunk, 0.0, -1.0});
+    return simulateMessages(topo, link, msgs);
+}
+
+} // namespace winomc::memnet

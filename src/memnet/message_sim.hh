@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Event-driven message-level network simulator.
+ *
+ * Each (src -> dst, bytes) message follows the topology's minimal route
+ * hop by hop; every directed link is a serialized resource (bytes /
+ * bandwidth occupancy plus the per-hop SerDes latency). Contention is
+ * resolved in event order (virtual cut-through at message granularity).
+ *
+ * This is the dynamic counterpart of link_model.hh's ideal-schedule
+ * bottleneck bound: for the bulk, regular patterns the system model
+ * uses (all-to-all tile transfer, neighbor rings) the two agree within
+ * the pipeline-fill term, which the tests assert; for irregular
+ * patterns this simulator shows the queueing the analytic bound hides.
+ */
+
+#ifndef WINOMC_MEMNET_MESSAGE_SIM_HH
+#define WINOMC_MEMNET_MESSAGE_SIM_HH
+
+#include <vector>
+
+#include "memnet/link_model.hh"
+#include "sim/event_queue.hh"
+
+namespace winomc::memnet {
+
+struct Message
+{
+    int src;
+    int dst;
+    double bytes;
+    double start = 0.0;   ///< earliest departure, seconds
+    double finish = -1.0; ///< filled by the simulation
+};
+
+/**
+ * Simulate all messages to completion; returns the makespan in seconds.
+ * `messages` is updated in place with per-message finish times.
+ */
+double simulateMessages(const noc::Topology &topo, const LinkSpec &link,
+                        std::vector<Message> &messages);
+
+/** Convenience: simulate an all-to-all of bytes_per_pair. */
+double simulateAllToAll(const noc::Topology &topo, const LinkSpec &link,
+                        double bytes_per_pair);
+
+} // namespace winomc::memnet
+
+#endif // WINOMC_MEMNET_MESSAGE_SIM_HH

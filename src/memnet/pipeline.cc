@@ -1,0 +1,39 @@
+#include "memnet/pipeline.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace winomc::memnet {
+
+double
+pipelinedPhaseTime(const PhaseWork &work)
+{
+    winomc_assert(work.waves >= 1, "need at least one wave");
+    winomc_assert(work.scatterSec >= 0 && work.computeSec >= 0 &&
+                  work.gatherSec >= 0, "negative phase work");
+
+    const int w = work.waves;
+    const double sc = work.scatterSec / w;
+    const double co = work.computeSec / w;
+    const double ga = work.gatherSec / w;
+
+    // Deterministic greedy resource schedule: the communication engine
+    // serializes scatter_i / gather_j, the compute unit serializes
+    // compute_i; wave order fixes all ties.
+    double comm_free = 0.0, comp_free = 0.0, makespan = 0.0;
+    for (int i = 0; i < w; ++i) {
+        double s_end = comm_free + sc;
+        comm_free = s_end;
+
+        double c_end = std::max(comp_free, s_end) + co;
+        comp_free = c_end;
+
+        double g_end = std::max(comm_free, c_end) + ga;
+        comm_free = g_end;
+        makespan = std::max(makespan, g_end);
+    }
+    return makespan;
+}
+
+} // namespace winomc::memnet

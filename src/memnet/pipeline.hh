@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Event-driven wave pipeline of one layer phase on one (representative)
+ * worker (Section VI: double buffering overlaps DMA, compute, and the
+ * communication engines).
+ *
+ * A phase is split into `waves`; wave i runs scatter_i (communication
+ * resource) -> compute_i (systolic/vector resource) -> gather_i
+ * (communication resource). Scatter and gather share the tile-transfer
+ * links; compute has its own resource. The returned makespan captures
+ * the overlap (roughly max of the totals) plus the pipeline fill.
+ */
+
+#ifndef WINOMC_MEMNET_PIPELINE_HH
+#define WINOMC_MEMNET_PIPELINE_HH
+
+namespace winomc::memnet {
+
+struct PhaseWork
+{
+    double scatterSec = 0.0;  ///< total inbound tile communication
+    double computeSec = 0.0;  ///< total compute (already DRAM-overlapped)
+    double gatherSec = 0.0;   ///< total outbound tile communication
+    int waves = 16;           ///< pipeline depth
+};
+
+/** Makespan of the wave pipeline. */
+double pipelinedPhaseTime(const PhaseWork &work);
+
+} // namespace winomc::memnet
+
+#endif // WINOMC_MEMNET_PIPELINE_HH

@@ -1,0 +1,179 @@
+#include "memnet/reduce_engine.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/logging.hh"
+#include "sim/event_queue.hh"
+
+namespace winomc::memnet {
+
+namespace {
+
+Tick
+toTicks(double sec)
+{
+    return Tick(sec * 1e12 + 0.5);
+}
+
+double
+toSec(Tick t)
+{
+    return double(t) * 1e-12;
+}
+
+} // namespace
+
+RingCollectiveEngine::RingCollectiveEngine(int workers,
+                                           const LinkSpec &link_,
+                                           int chunk_bytes)
+    : n(workers), link(link_), chunkBytes(chunk_bytes),
+      chunkFloats(chunk_bytes / 4)
+{
+    winomc_assert(workers >= 2, "ring needs >= 2 workers");
+    winomc_assert(chunk_bytes >= 4 && chunk_bytes % 4 == 0,
+                  "chunk must hold whole floats");
+}
+
+int
+RingCollectiveEngine::submit(std::vector<std::vector<float>> per_worker,
+                             double start_sec)
+{
+    winomc_assert(int(per_worker.size()) == n,
+                  "need one partial vector per worker");
+    const size_t len = per_worker.front().size();
+    winomc_assert(len > 0, "empty message");
+    for (const auto &v : per_worker)
+        winomc_assert(v.size() == len, "ragged partial vectors");
+
+    Message m;
+    m.data = std::move(per_worker);
+    m.start = start_sec;
+    m.len = len;
+    messages.push_back(std::move(m));
+    outcomes.emplace_back();
+    return int(messages.size()) - 1;
+}
+
+void
+RingCollectiveEngine::run()
+{
+    sim::EventQueue eq;
+    // Directed ring links w -> (w+1) only (one rotation direction, as
+    // the engine of Fig 13(c) uses; the reverse direction would carry a
+    // second concurrent ring in the real system).
+    std::vector<Tick> link_free(size_t(n), 0);
+
+    const Tick ser = toTicks(double(chunkBytes) / link.bandwidth);
+    const Tick lat = toTicks(link.hopLatencySec);
+    const int total_hops = 2 * (n - 1);
+
+    // Keep the original contributions for the reduce accumulation.
+    std::vector<std::vector<std::vector<float>>> originals;
+    originals.reserve(messages.size());
+    for (const auto &m : messages)
+        originals.push_back(m.data);
+
+    Tick makespan = 0;
+
+    struct Hop
+    {
+        int msg;
+        size_t lo, hi;       ///< float range of this chunk
+        int shard;           ///< originating shard (= start worker)
+        int hop;             ///< chain position 0 .. 2n-3
+        std::vector<float> payload;
+    };
+
+    // Forward declaration via std::function for the recursive chain.
+    std::function<void(Hop)> send = [&](Hop h) {
+        const int sender = (h.shard + h.hop) % n;
+        Tick &free_at = link_free[size_t(sender)];
+        if (free_at > eq.now()) {
+            Tick at = free_at;
+            eq.schedule(at, [&send, h]() mutable { send(std::move(h)); });
+            return;
+        }
+        free_at = eq.now() + ser;
+        Tick arrive = eq.now() + ser + lat;
+        eq.schedule(arrive, [this, &send, &originals, &makespan, &eq,
+                             total_hops, h]() mutable {
+            const int receiver = (h.shard + h.hop + 1) % n;
+            Message &m = messages[size_t(h.msg)];
+            if (h.hop < n - 1) {
+                // Reduce block: accumulate the receiver's contribution.
+                const auto &own = originals[size_t(h.msg)]
+                                           [size_t(receiver)];
+                for (size_t i = h.lo; i < h.hi; ++i)
+                    h.payload[i - h.lo] += own[i];
+            }
+            // The receiver's buffer now holds the partial (or, past the
+            // reduce-scatter phase, final) chunk.
+            for (size_t i = h.lo; i < h.hi; ++i)
+                m.data[size_t(receiver)][i] = h.payload[i - h.lo];
+
+            ++m.result.chunksMoved;
+            if (h.hop + 1 < total_hops) {
+                ++h.hop;
+                send(std::move(h));
+            } else {
+                Tick now = eq.now();
+                makespan = std::max(makespan, now);
+                if (toSec(now) > m.result.finishSec)
+                    m.result.finishSec = toSec(now);
+            }
+        });
+    };
+
+    // Seed: every shard's chunk chains start at their owners.
+    for (int mi = 0; mi < int(messages.size()); ++mi) {
+        Message &m = messages[size_t(mi)];
+        const size_t shard_len = (m.len + size_t(n) - 1) / size_t(n);
+        for (int s = 0; s < n; ++s) {
+            size_t s_lo = size_t(s) * shard_len;
+            size_t s_hi = std::min(m.len, s_lo + shard_len);
+            for (size_t lo = s_lo; lo < s_hi;
+                 lo += size_t(chunkFloats)) {
+                Hop h;
+                h.msg = mi;
+                h.lo = lo;
+                h.hi = std::min(s_hi, lo + size_t(chunkFloats));
+                h.shard = s;
+                h.hop = 0;
+                h.payload.assign(
+                    m.data[size_t(s)].begin() + long(h.lo),
+                    m.data[size_t(s)].begin() + long(h.hi));
+                eq.schedule(toTicks(m.start),
+                            [&send, h]() mutable { send(std::move(h)); });
+            }
+        }
+    }
+
+    eq.run();
+    makespanSec = toSec(makespan);
+
+    // Finalize and verify replication.
+    for (size_t mi = 0; mi < messages.size(); ++mi) {
+        Message &m = messages[mi];
+        m.result.reduced = m.data.front();
+        for (int w = 1; w < n; ++w) {
+            for (size_t i = 0; i < m.len; ++i) {
+                winomc_assert(
+                    std::fabs(m.data[size_t(w)][i] -
+                              m.result.reduced[i]) <= 1e-4f *
+                        std::max(1.0f, std::fabs(m.result.reduced[i])),
+                    "collective result not replicated at worker ", w);
+            }
+        }
+        outcomes[mi] = m.result;
+    }
+}
+
+const CollectiveOutcome &
+RingCollectiveEngine::outcome(int id) const
+{
+    return outcomes.at(size_t(id));
+}
+
+} // namespace winomc::memnet

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Functional, event-driven model of the collective communication engine
+ * (Section VI-C, Fig 13(c)).
+ *
+ * Weight gradients all-reduce over a ring as reduce-scatter followed by
+ * all-gather, at 256-byte chunk granularity (Table III): every chunk is
+ * a packet, chunks of one message arrive in order, but chunks of
+ * *different* concurrent messages interleave arbitrarily on the links -
+ * the per-message Reduce blocks and communication buffers of Fig 13(c)
+ * are what make that legal, and this model reproduces the behaviour:
+ * it really adds the floating-point data, so the tests can check both
+ * the numerics (result == sum, replicated on every worker) and the
+ * timing (against the closed-form collective model).
+ */
+
+#ifndef WINOMC_MEMNET_REDUCE_ENGINE_HH
+#define WINOMC_MEMNET_REDUCE_ENGINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "memnet/link_model.hh"
+
+namespace winomc::memnet {
+
+/** Outcome of one all-reduced message. */
+struct CollectiveOutcome
+{
+    /** Fully reduced vector (identical on every worker at the end;
+     *  checked internally). */
+    std::vector<float> reduced;
+    double finishSec = 0.0;
+    uint64_t chunksMoved = 0;
+};
+
+class RingCollectiveEngine
+{
+  public:
+    /**
+     * @param workers     ring length
+     * @param link        link class the ring runs on
+     * @param chunk_bytes collective packet size (Table III: 256)
+     */
+    RingCollectiveEngine(int workers, const LinkSpec &link,
+                         int chunk_bytes = 256);
+
+    /**
+     * Submit one message: per_worker[w] is worker w's partial vector
+     * (all the same length). @param start_sec earliest start.
+     * Returns the message id.
+     */
+    int submit(std::vector<std::vector<float>> per_worker,
+               double start_sec = 0.0);
+
+    /** Simulate every submitted message to completion. */
+    void run();
+
+    const CollectiveOutcome &outcome(int id) const;
+    double makespan() const { return makespanSec; }
+
+  private:
+    struct Message
+    {
+        std::vector<std::vector<float>> data; ///< evolving per worker
+        double start;
+        size_t len;
+        CollectiveOutcome result;
+    };
+
+    int n;
+    LinkSpec link;
+    int chunkBytes;
+    int chunkFloats;
+    std::vector<Message> messages;
+    std::vector<CollectiveOutcome> outcomes;
+    double makespanSec = 0.0;
+};
+
+} // namespace winomc::memnet
+
+#endif // WINOMC_MEMNET_REDUCE_ENGINE_HH

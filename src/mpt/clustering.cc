@@ -1,0 +1,41 @@
+#include "mpt/clustering.hh"
+
+#include <algorithm>
+
+namespace winomc::mpt {
+
+std::vector<ClusteringChoice>
+evaluateShapes(const ConvSpec &spec, const SystemParams &params)
+{
+    std::vector<ClusteringChoice> out;
+    auto consider = [&](const memnet::ClusterShape &shape) {
+        LayerResult r = simulateLayerWithShape(
+            spec, Strategy::WinoMPTPredict, params, shape);
+        ClusteringChoice c;
+        c.shape = shape;
+        c.seconds = r.totalSeconds();
+        c.commBytesPerWorker = r.fwd.linkBytesSent + r.bwd.linkBytesSent;
+        out.push_back(c);
+    };
+
+    const int p = params.workers;
+    consider(memnet::ClusterShape::dataParallel(p));
+    if (p % 4 == 0)
+        consider(memnet::ClusterShape::groups4(p));
+    if (p % 16 == 0)
+        consider(memnet::ClusterShape::groups16(p));
+
+    std::sort(out.begin(), out.end(),
+              [](const ClusteringChoice &a, const ClusteringChoice &b) {
+                  return a.seconds < b.seconds;
+              });
+    return out;
+}
+
+memnet::ClusterShape
+chooseShape(const ConvSpec &spec, const SystemParams &params)
+{
+    return evaluateShapes(spec, params).front().shape;
+}
+
+} // namespace winomc::mpt

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Dynamic-clustering optimizer (Section IV): per layer, evaluate the
+ * available (N_g, N_c) configurations and pick the one minimizing the
+ * iteration time. Neural networks have fixed layer structure, so the
+ * choice is precomputed once; reconfiguration between layers only
+ * reroutes traffic through the host and costs no data movement.
+ */
+
+#ifndef WINOMC_MPT_CLUSTERING_HH
+#define WINOMC_MPT_CLUSTERING_HH
+
+#include <vector>
+
+#include "mpt/layer_sim.hh"
+
+namespace winomc::mpt {
+
+struct ClusteringChoice
+{
+    memnet::ClusterShape shape{1, 1};
+    double seconds = 0.0;       ///< layer iteration time
+    double commBytesPerWorker = 0.0;
+};
+
+/**
+ * Evaluate every available configuration for a layer (prediction on,
+ * as in w_mp++). Sorted fastest-first.
+ */
+std::vector<ClusteringChoice> evaluateShapes(const ConvSpec &spec,
+                                             const SystemParams &params);
+
+/** The shape dynamic clustering selects for this layer. */
+memnet::ClusterShape chooseShape(const ConvSpec &spec,
+                                 const SystemParams &params);
+
+} // namespace winomc::mpt
+
+#endif // WINOMC_MPT_CLUSTERING_HH

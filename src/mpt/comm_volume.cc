@@ -1,0 +1,107 @@
+#include "mpt/comm_volume.hh"
+
+#include "common/logging.hh"
+#include "winograd/tiling.hh"
+
+namespace winomc::mpt {
+
+namespace {
+constexpr double kBytesPerScalar = 4.0;
+} // namespace
+
+double
+gatherScale(const PredictionParams &p, memnet::TransferMode mode)
+{
+    if (mode == memnet::TransferMode::None)
+        return 0.0;
+    const bool one_d = mode == memnet::TransferMode::OneD;
+    const double skip = one_d ? p.gatherSkip1D : p.gatherSkip2D;
+    const int qbits = one_d ? p.quantBits1D : p.quantBits2D;
+    // Quantized pre-transmission of everything + real values for the
+    // fraction not predicted dead.
+    return double(qbits) / 32.0 + (1.0 - skip);
+}
+
+double
+scatterScale(const PredictionParams &p, memnet::TransferMode mode)
+{
+    if (mode == memnet::TransferMode::None)
+        return 0.0;
+    const bool one_d = mode == memnet::TransferMode::OneD;
+    const double skip = one_d ? p.scatterSkip1D : p.scatterSkip2D;
+    // Surviving non-zero values + the shared activation map.
+    return (1.0 - skip) + p.mapBitsPerElem / 32.0;
+}
+
+CommVolume
+mptCommVolume(const ConvSpec &spec, const WinogradAlgo &algo,
+              const memnet::ClusterShape &shape,
+              const PredictionParams *predict)
+{
+    winomc_assert(spec.r == algo.r, "spec/algo filter size mismatch");
+    const double ng = shape.ng;
+    const double nc = shape.nc;
+    winomc_assert(shape.ng >= 1 && shape.nc >= 1, "bad shape");
+    winomc_assert(double(algo.alpha) * algo.alpha >= ng,
+                  "more groups than tile elements");
+
+    TileGrid grid(spec.h, spec.w, algo);
+    const double t = grid.tiles();
+    const double a2 = double(algo.alpha) * algo.alpha;
+
+    CommVolume v;
+
+    // Weight collective: the group's Winograd-domain slice |W|/N_g,
+    // reduce + broadcast over the ring of N_c group members.
+    const double wino_w_bytes =
+        double(spec.inCh) * spec.outCh * a2 * kBytesPerScalar;
+    if (shape.nc > 1)
+        v.weightBytes = wino_w_bytes / ng * 2.0 * (nc - 1.0) / nc;
+
+    if (shape.ng > 1) {
+        const auto mode = shape.transferMode();
+        // Per-worker resident tile bytes per direction and transfer
+        // fraction (Section III-C).
+        const double frac = (ng - 1.0) / ng;
+        const double in_tiles =
+            double(spec.batch) * spec.inCh * t * a2 / (nc * ng) *
+            kBytesPerScalar;
+        const double out_tiles =
+            double(spec.batch) * spec.outCh * t * a2 / (nc * ng) *
+            kBytesPerScalar;
+        // Source-side 1D transform shrinks gathered tiles from alpha^2
+        // to alpha * m values (Section IV).
+        const double gather_rep =
+            mode == memnet::TransferMode::OneD
+                ? double(algo.m) / algo.alpha
+                : 1.0;
+
+        double gather_f = 1.0, scatter_f = 1.0;
+        if (predict) {
+            gather_f = gatherScale(*predict, mode);
+            scatter_f = scatterScale(*predict, mode);
+        }
+
+        // fprop: scatter x-tiles, gather y-tiles;
+        // bprop: scatter dy-tiles, gather dx-tiles.
+        double scatter = (in_tiles + out_tiles) * frac * scatter_f;
+        double gather =
+            (out_tiles + in_tiles) * frac * gather_rep * gather_f;
+        v.tileBytes = scatter + gather;
+    }
+    return v;
+}
+
+CommVolume
+dataParallelCommVolume(uint64_t weight_elems, int workers)
+{
+    CommVolume v;
+    if (workers > 1) {
+        double p = workers;
+        v.weightBytes = double(weight_elems) * kBytesPerScalar * 2.0 *
+                        (p - 1.0) / p;
+    }
+    return v;
+}
+
+} // namespace winomc::mpt

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Per-worker communication volumes of Section III-C (Figures 6 and 7).
+ *
+ * Data parallelism: every worker moves ~|w| 2(p-1)/p weight-gradient
+ * bytes per iteration and no tile traffic.
+ *
+ * MPT with (N_g, N_c): the weight collective shrinks to the group's
+ * slice (|W|/N_g over a ring of N_c), while tile scatter/gather appears:
+ * a worker holds |Tiles| / (N_c N_g) tile data per transfer direction
+ * and exchanges the (N_g - 1)/N_g fraction of it inside its cluster.
+ * Activation prediction, zero skipping, and the source-side 1D
+ * transform (which shrinks gathered lines from alpha to m elements)
+ * scale the tile terms.
+ */
+
+#ifndef WINOMC_MPT_COMM_VOLUME_HH
+#define WINOMC_MPT_COMM_VOLUME_HH
+
+#include "memnet/cluster.hh"
+#include "mpt/system_config.hh"
+#include "winograd/algo.hh"
+#include "winograd/conv_spec.hh"
+
+namespace winomc::mpt {
+
+/** Bytes one worker sends per training iteration of one layer. */
+struct CommVolume
+{
+    double weightBytes = 0.0;  ///< collective (reduce + broadcast)
+    double tileBytes = 0.0;    ///< scatter + gather, fprop + bprop
+
+    double total() const { return weightBytes + tileBytes; }
+};
+
+/**
+ * Per-worker volume for a Winograd layer under MPT.
+ *
+ * @param predict  nullptr disables prediction/zero-skip scaling.
+ */
+CommVolume mptCommVolume(const ConvSpec &spec, const WinogradAlgo &algo,
+                         const memnet::ClusterShape &shape,
+                         const PredictionParams *predict);
+
+/** Per-worker volume for data-parallel training (weights only).
+ *  `weight_elems` is |w| (direct / w_dp) or |W| (Winograd layer). */
+CommVolume dataParallelCommVolume(uint64_t weight_elems, int workers);
+
+/** Tile-transfer scale factor from prediction + zero skipping for the
+ *  gather (output) direction under the given transfer mode. */
+double gatherScale(const PredictionParams &p, memnet::TransferMode mode);
+/** Same for the scatter (input) direction. */
+double scatterScale(const PredictionParams &p, memnet::TransferMode mode);
+
+} // namespace winomc::mpt
+
+#endif // WINOMC_MPT_COMM_VOLUME_HH

@@ -1,0 +1,508 @@
+#include "mpt/layer_sim.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "memnet/collective.hh"
+#include "memnet/link_model.hh"
+#include "memnet/pipeline.hh"
+#include "mpt/comm_volume.hh"
+#include "ndp/timing.hh"
+#include "winograd/algo.hh"
+#include "winograd/cost.hh"
+#include "winograd/tiling.hh"
+
+namespace winomc::mpt {
+
+namespace {
+
+constexpr double kB = 4.0; ///< bytes per FP32 scalar
+
+/** Algorithm choice of Section VII-A: F(2x2,3x3) when tile elements are
+ *  split across groups (smaller Winograd-domain weights), F(4x4,3x3)
+ *  for a single group (more compute reduction); F(2x2,5x5) for r=5. */
+const WinogradAlgo &
+algoFor(int r, int ng)
+{
+    if (r == 3)
+        return ng > 1 ? algoF2x2_3x3() : algoF4x4_3x3();
+    if (r == 5)
+        return algoF2x2_5x5();
+    winomc_fatal("no Winograd algorithm for r=", r);
+}
+
+/** Per-worker, single-phase work of a Winograd layer under MPT. */
+struct WinoPhase
+{
+    double systolicSec = 0, vectorSec = 0, dramSec = 0;
+    double macs = 0, vecOps = 0, xformOps = 0, dramBytes = 0;
+    double scatterSend = 0, gatherSend = 0; ///< bytes per worker
+    double scatterSec = 0, gatherSec = 0;
+};
+
+struct WinoGeometry
+{
+    double t;    ///< tiles per image per channel
+    double bc;   ///< batch shard per cluster
+    double uv;   ///< tile elements owned per worker
+    double a2, a3;
+    double mrows; ///< dot-product M dimension (bc * t)
+};
+
+WinoGeometry
+geometry(const ConvSpec &spec, const WinogradAlgo &algo,
+         const memnet::ClusterShape &shape)
+{
+    WinoGeometry g;
+    TileGrid grid(spec.h, spec.w, algo);
+    g.t = grid.tiles();
+    g.bc = double(spec.batch) / shape.nc;
+    g.a2 = double(algo.alpha) * algo.alpha;
+    g.a3 = g.a2 * algo.alpha;
+    g.uv = g.a2 / shape.ng;
+    g.mrows = g.bc * g.t;
+    winomc_assert(g.bc >= 1.0, "more clusters than batch items");
+    winomc_assert(g.uv >= 1.0, "more groups than tile elements");
+    return g;
+}
+
+/** All-to-all time among the ng cluster members for per-worker send
+ *  volume `send_bytes`, including the flit-level contention factor. */
+double
+clusterAllToAll(const memnet::ClusterShape &shape, double send_bytes,
+                const SystemParams &params)
+{
+    if (shape.ng <= 1 || send_bytes <= 0.0)
+        return 0.0;
+    auto topo = memnet::clusterTopology(shape);
+    return memnet::allToAllTime(*topo, send_bytes / (shape.ng - 1),
+                                memnet::clusterLink(shape)) *
+           params.tileContentionFactor;
+}
+
+/**
+ * fprop / bprop of the Winograd layer. For bprop pass in_ch/out_ch
+ * swapped: the scattered tiles are the dy side, the gathered ones dx.
+ */
+WinoPhase
+winoPropPhase(const ConvSpec &spec, const WinogradAlgo &algo,
+              const memnet::ClusterShape &shape,
+              const SystemParams &params, const PredictionParams *pred,
+              bool backward, bool spatial_weights)
+{
+    const WinoGeometry g = geometry(spec, algo, shape);
+    const double in_ch = backward ? spec.outCh : spec.inCh;
+    const double out_ch = backward ? spec.inCh : spec.outCh;
+    const double s = params.ndp.systolicDim;
+    const auto mode = shape.transferMode();
+
+    WinoPhase ph;
+
+    // Element-wise dot products: uv applications of
+    // (mrows x in_ch) * (in_ch x out_ch) on the systolic array.
+    ph.systolicSec = g.uv * ndp::systolicTime(params.ndp,
+                                              uint64_t(g.mrows),
+                                              uint64_t(in_ch),
+                                              uint64_t(out_ch));
+    ph.macs = g.uv * g.mrows * in_ch * out_ch;
+
+    // Vector unit: forward transform at the tile source, inverse
+    // transform + activation at the gatherer. Spatial data of the
+    // cluster's batch shard is spread over its ng workers.
+    const double xform_tiles = g.bc * in_ch * g.t / shape.ng;
+    const double inv_tiles = g.bc * out_ch * g.t / shape.ng;
+    ph.xformOps = (xform_tiles + inv_tiles) * 2.0 * g.a3;
+    ph.vecOps = g.bc * out_ch * spec.h * spec.w / shape.ng;
+    if (spatial_weights && !backward) {
+        // w_dp re-transforms the updated spatial weights to the
+        // Winograd domain every iteration (W = G w G^T; the Winograd
+        // layer of Fig 2(b) avoids exactly this).
+        ph.xformOps += double(spec.inCh) * spec.outCh *
+                       (g.a2 * spec.r + double(algo.alpha) * spec.r *
+                                            spec.r);
+    }
+    ph.vectorSec = ndp::vectorTime(params.ndp, uint64_t(ph.vecOps)) +
+                   ndp::transformTime(params.ndp, uint64_t(ph.xformOps));
+
+    // Stacked-DRAM traffic per worker.
+    const double x_res = g.uv * in_ch * g.mrows * kB;
+    const double y_res = g.uv * out_ch * g.mrows * kB;
+    const double w_slice = g.uv * in_ch * out_ch * kB;
+    const double spatial_in = g.bc * in_ch * spec.h * spec.w * kB /
+                              shape.ng;
+    const double spatial_out = g.bc * out_ch * spec.h * spec.w * kB /
+                               shape.ng;
+    ph.dramBytes = spatial_in           // read spatial input
+                 + x_res                 // store received tiles
+                 + x_res * std::ceil(out_ch / s) // stream for dots
+                 + w_slice               // weights
+                 + y_res * 2.0           // output tiles store + reload
+                 + spatial_out;          // write spatial output
+    ph.dramSec = ph.dramBytes / params.ndp.dramBandwidth;
+
+    // Tile transfer (none when ng == 1).
+    if (shape.ng > 1) {
+        const double frac = double(shape.ng - 1) / shape.ng;
+        double scatter_f = 1.0, gather_f = 1.0, gather_rep = 1.0;
+        if (pred) {
+            scatter_f = scatterScale(*pred, mode);
+            gather_f = gatherScale(*pred, mode);
+        }
+        if (mode == memnet::TransferMode::OneD)
+            gather_rep = double(algo.m) / algo.alpha;
+
+        ph.scatterSend = xform_tiles * g.a2 * kB * frac * scatter_f;
+        ph.gatherSend = y_res * frac * gather_rep * gather_f;
+        ph.scatterSec = clusterAllToAll(shape, ph.scatterSend, params);
+        ph.gatherSec = clusterAllToAll(shape, ph.gatherSend, params);
+    }
+    return ph;
+}
+
+/** updateGrad compute of the Winograd layer (no tile transfer). */
+WinoPhase
+winoUpdatePhase(const ConvSpec &spec, const WinogradAlgo &algo,
+                const memnet::ClusterShape &shape,
+                const SystemParams &params, bool spatial_weights)
+{
+    const WinoGeometry g = geometry(spec, algo, shape);
+    const double s = params.ndp.systolicDim;
+
+    WinoPhase ph;
+    // dW[uv] (J x I) = dY[uv] (J x mrows) * X[uv]^T (mrows x I).
+    ph.systolicSec = g.uv * ndp::systolicTime(params.ndp,
+                                              uint64_t(spec.outCh),
+                                              uint64_t(g.mrows),
+                                              uint64_t(spec.inCh));
+    ph.macs = g.uv * g.mrows * spec.inCh * spec.outCh;
+
+    const double w_slice = g.uv * spec.inCh * spec.outCh * kB;
+    // Weight update touches each updated parameter twice (scale + add):
+    // the spatial |w| for w_dp, the group's W slice for the Winograd
+    // layer.
+    ph.vecOps = 2.0 * (spatial_weights ? double(spec.weightElems())
+                                       : w_slice / kB);
+    if (spatial_weights) {
+        // w_dp maps dW back through the transform adjoint before the
+        // collective: dw = G^T dW G, r*alpha^2 + r^2*alpha MACs per
+        // (i, j) pair.
+        ph.xformOps += double(spec.inCh) * spec.outCh *
+                       (g.a2 * spec.r + double(algo.alpha) * spec.r *
+                                            spec.r);
+    }
+    ph.vectorSec = ndp::vectorTime(params.ndp, uint64_t(ph.vecOps)) +
+                   ndp::transformTime(params.ndp, uint64_t(ph.xformOps));
+
+    const double x_res = g.uv * spec.inCh * g.mrows * kB;
+    const double y_res = g.uv * spec.outCh * g.mrows * kB;
+    // Weight-side traffic: the Winograd layer reads + writes its W
+    // slice; w_dp transforms each completed dW block to the (4x
+    // smaller) spatial dw on the fly in the transformation unit, so
+    // only |w| spills.
+    const double w_traffic =
+        spatial_weights
+            ? 2.0 * double(spec.weightElems()) * kB
+            : 2.0 * w_slice;
+    ph.dramBytes = y_res + x_res * std::ceil(spec.outCh / s) + w_traffic;
+    ph.dramSec = ph.dramBytes / params.ndp.dramBandwidth;
+    return ph;
+}
+
+/** Direct convolution per-worker phase (d_dp). */
+WinoPhase
+directPhase(const ConvSpec &spec, const memnet::ClusterShape &shape,
+            const SystemParams &params, Phase phase)
+{
+    winomc_assert(shape.ng == 1, "direct convolution is data parallel");
+    const double bc = double(spec.batch) / shape.nc;
+    winomc_assert(bc >= 1.0, "more workers than batch items");
+
+    ConvSpec worker_spec = spec;
+    worker_spec.batch = int(bc);
+
+    WinoPhase ph;
+    const uint64_t hw = uint64_t(spec.h) * spec.w;
+    const uint64_t rr = uint64_t(spec.r) * spec.r;
+    switch (phase) {
+      case Phase::Fprop:
+        ph.systolicSec = ndp::systolicTime(params.ndp,
+                                           uint64_t(bc) * hw,
+                                           uint64_t(spec.inCh) * rr,
+                                           uint64_t(spec.outCh));
+        break;
+      case Phase::Bprop:
+        ph.systolicSec = ndp::systolicTime(params.ndp,
+                                           uint64_t(bc) * hw,
+                                           uint64_t(spec.outCh) * rr,
+                                           uint64_t(spec.inCh));
+        break;
+      case Phase::UpdateGrad:
+        ph.systolicSec = ndp::systolicTime(params.ndp,
+                                           uint64_t(spec.outCh),
+                                           uint64_t(bc) * hw,
+                                           uint64_t(spec.inCh) * rr);
+        break;
+    }
+    ConvCost cost = directConvCost(worker_spec, phase);
+    ph.macs = double(cost.mults);
+    ph.vecOps = bc * spec.outCh * hw / 16.0; // activation etc.
+    ph.vectorSec = ndp::vectorTime(params.ndp, uint64_t(ph.vecOps));
+    ph.dramBytes = double(cost.dramBytes());
+    ph.dramSec = ph.dramBytes / params.ndp.dramBandwidth;
+    return ph;
+}
+
+/** Links powered per worker in each situation (for idle energy). */
+struct LinksOn
+{
+    int full;
+    int narrow;
+};
+
+LinksOn
+propLinks(const memnet::ClusterShape &shape)
+{
+    if (shape.ng == 1)
+        return {1, 0}; // minimal host connectivity, rest turned off
+    if (shape.ng <= 4)
+        return {4, 0}; // clique over full-width links via host
+    return {1, 6};     // fbfly narrow links + host
+}
+
+LinksOn
+collectiveLinks(const memnet::ClusterShape &shape, int rings)
+{
+    (void)shape;
+    return {rings, 0};
+}
+
+PhaseResult
+assemblePropPhase(const WinoPhase &ph, const SystemParams &params,
+                  const LinksOn &links)
+{
+    PhaseResult r;
+    r.computeSec = std::max({ph.systolicSec, ph.vectorSec, ph.dramSec}) +
+                   params.pipelineWaves * params.ndp.taskOverheadSec;
+    r.scatterSec = ph.scatterSec;
+    r.gatherSec = ph.gatherSec;
+
+    memnet::PhaseWork w;
+    w.scatterSec = ph.scatterSec;
+    w.computeSec = r.computeSec;
+    w.gatherSec = ph.gatherSec;
+    w.waves = params.pipelineWaves;
+    r.seconds = memnet::pipelinedPhaseTime(w);
+
+    r.macs = ph.macs;
+    r.vecOps = ph.vecOps;
+    r.dramBytes = ph.dramBytes;
+    r.linkBytesSent = ph.scatterSend + ph.gatherSend;
+
+    const double p = params.workers;
+    energy::EnergyModel em(params.energy);
+    r.energy.computeJ = em.macsEnergy(
+        uint64_t(ph.macs * p),
+        uint64_t((ph.macs + ph.vecOps + ph.xformOps) * p));
+    r.energy.dramJ = em.dramEnergy(uint64_t(ph.dramBytes * p));
+    r.energy.sramJ = em.sramEnergy(uint64_t(3.0 * ph.dramBytes * p));
+    r.energy.linkJ = em.linkDynamicEnergy(uint64_t(r.linkBytesSent * p))
+                   + em.linkIdleEnergy(int(links.full * p),
+                                       int(links.narrow * p), r.seconds);
+    return r;
+}
+
+} // namespace
+
+std::string
+strategyName(Strategy s)
+{
+    switch (s) {
+      case Strategy::DirectDP:
+        return "d_dp";
+      case Strategy::WinoDP:
+        return "w_dp";
+      case Strategy::WinoMPT:
+        return "w_mp";
+      case Strategy::WinoMPTPredict:
+        return "w_mp+";
+      case Strategy::WinoMPTPredictDyn:
+        return "w_mp++";
+    }
+    return "?";
+}
+
+bool
+usesMpt(Strategy s)
+{
+    return s == Strategy::WinoMPT || s == Strategy::WinoMPTPredict ||
+           s == Strategy::WinoMPTPredictDyn;
+}
+
+bool
+usesPrediction(Strategy s)
+{
+    return s == Strategy::WinoMPTPredict ||
+           s == Strategy::WinoMPTPredictDyn;
+}
+
+LayerResult
+simulateLayerWithShape(const ConvSpec &spec, Strategy strategy,
+                       const SystemParams &params,
+                       const memnet::ClusterShape &shape)
+{
+    winomc_assert(shape.workers() == params.workers,
+                  "shape ", shape.toString(), " does not cover ",
+                  params.workers, " workers");
+    LayerResult res;
+    res.shape = shape;
+    energy::EnergyModel em(params.energy);
+    const double p = params.workers;
+
+    if (strategy == Strategy::DirectDP) {
+        res.algoName = "direct";
+        WinoPhase f = directPhase(spec, shape, params, Phase::Fprop);
+        WinoPhase b = directPhase(spec, shape, params, Phase::Bprop);
+        WinoPhase u = directPhase(spec, shape, params,
+                                  Phase::UpdateGrad);
+        res.fwd = assemblePropPhase(f, params, propLinks(shape));
+        PhaseResult bp = assemblePropPhase(b, params, propLinks(shape));
+
+        // Weight collective: |w| over all p workers, 4 rings.
+        memnet::CollectiveConfig cc;
+        cc.rings = params.dpCollectiveRings;
+        const uint64_t w_bytes = uint64_t(spec.weightElems() * kB);
+        double coll = memnet::ringAllReduceTime(w_bytes, shape.nc, cc);
+        double ug_compute =
+            std::max({u.systolicSec, u.vectorSec, u.dramSec}) +
+            params.ndp.taskOverheadSec;
+
+        PhaseResult ug = assemblePropPhase(
+            u, params, collectiveLinks(shape, cc.rings));
+        ug.collectiveSec = coll;
+        ug.seconds = std::max(ug_compute, coll) +
+                     params.ndp.taskOverheadSec;
+        ug.linkBytesSent = double(memnet::ringAllReduceBytesPerWorker(
+            w_bytes, shape.nc));
+        ug.energy.linkJ =
+            em.linkDynamicEnergy(uint64_t(ug.linkBytesSent * p)) +
+            em.linkIdleEnergy(int(cc.rings * p), 0, ug.seconds);
+
+        res.bwd = bp;
+        res.bwd.seconds += ug.seconds;
+        res.bwd.collectiveSec = coll;
+        res.bwd.macs += ug.macs;
+        res.bwd.vecOps += ug.vecOps;
+        res.bwd.dramBytes += ug.dramBytes;
+        res.bwd.linkBytesSent += ug.linkBytesSent;
+        res.bwd.energy += ug.energy;
+        res.bpropSeconds = bp.seconds;
+        res.ugradComputeSeconds = ug_compute;
+        res.collectiveSeconds = coll;
+        return res;
+    }
+
+    // Winograd strategies. A single-group shape *is* data parallelism
+    // (the dynamic-clustering DP configuration): weights update in the
+    // spatial domain and all four links serve the collective rings.
+    const WinogradAlgo &algo = algoFor(spec.r, shape.ng);
+    res.algoName = algo.name();
+    const PredictionParams *pred =
+        usesPrediction(strategy) ? &params.predict : nullptr;
+
+    const bool spatial_weights =
+        strategy == Strategy::WinoDP || shape.ng == 1;
+    WinoPhase f = winoPropPhase(spec, algo, shape, params, pred, false,
+                                spatial_weights);
+    WinoPhase b = winoPropPhase(spec, algo, shape, params, pred, true,
+                                spatial_weights);
+    WinoPhase u = winoUpdatePhase(spec, algo, shape, params,
+                                  spatial_weights);
+
+    res.fwd = assemblePropPhase(f, params, propLinks(shape));
+    PhaseResult bp = assemblePropPhase(b, params, propLinks(shape));
+
+    // Collective: w_dp reduces spatial |w| over p workers (4 rings);
+    // MPT reduces the group slice |W|/ng over the N_c ring (2 rings).
+    memnet::CollectiveConfig cc;
+    uint64_t coll_bytes;
+    if (spatial_weights) {
+        cc.rings = params.dpCollectiveRings;
+        coll_bytes = uint64_t(spec.weightElems() * kB);
+    } else {
+        cc.rings = params.mptCollectiveRings;
+        coll_bytes = uint64_t(double(spec.inCh) * spec.outCh *
+                              algo.alpha * algo.alpha * kB / shape.ng);
+    }
+    double coll = memnet::ringAllReduceTime(coll_bytes, shape.nc, cc);
+    double ug_compute =
+        std::max({u.systolicSec, u.vectorSec, u.dramSec}) +
+        params.ndp.taskOverheadSec;
+
+    PhaseResult ug = assemblePropPhase(
+        u, params, collectiveLinks(shape, cc.rings));
+    ug.collectiveSec = coll;
+    ug.seconds = std::max(ug_compute, coll) + params.ndp.taskOverheadSec;
+    ug.linkBytesSent = double(memnet::ringAllReduceBytesPerWorker(
+        coll_bytes, shape.nc));
+    ug.energy.linkJ =
+        em.linkDynamicEnergy(uint64_t(ug.linkBytesSent * p)) +
+        em.linkIdleEnergy(int(cc.rings * p), 0, ug.seconds);
+
+    res.bwd = bp;
+    res.bwd.seconds += ug.seconds;
+    res.bwd.collectiveSec = coll;
+    res.bwd.macs += ug.macs;
+    res.bwd.vecOps += ug.vecOps;
+    res.bwd.dramBytes += ug.dramBytes;
+    res.bwd.linkBytesSent += ug.linkBytesSent;
+    res.bwd.energy += ug.energy;
+    res.bpropSeconds = bp.seconds;
+    res.ugradComputeSeconds = ug_compute;
+    res.collectiveSeconds = coll;
+    return res;
+}
+
+LayerResult
+simulateLayer(const ConvSpec &spec, Strategy strategy,
+              const SystemParams &params)
+{
+    const int p = params.workers;
+    switch (strategy) {
+      case Strategy::DirectDP:
+      case Strategy::WinoDP:
+        return simulateLayerWithShape(
+            spec, strategy, params, memnet::ClusterShape::dataParallel(p));
+      case Strategy::WinoMPT:
+      case Strategy::WinoMPTPredict: {
+        auto shape = p % 16 == 0 ? memnet::ClusterShape::groups16(p)
+                     : p % 4 == 0 ? memnet::ClusterShape::groups4(p)
+                                  : memnet::ClusterShape::dataParallel(p);
+        return simulateLayerWithShape(spec, strategy, params, shape);
+      }
+      case Strategy::WinoMPTPredictDyn: {
+        // Dynamic clustering: evaluate the available configurations and
+        // keep the fastest (Section IV; the choice is precomputed per
+        // layer and reconfiguration costs nothing).
+        LayerResult best;
+        bool have = false;
+        auto consider = [&](const memnet::ClusterShape &shape) {
+            LayerResult r = simulateLayerWithShape(
+                spec, Strategy::WinoMPTPredict, params, shape);
+            if (!have || r.totalSeconds() < best.totalSeconds()) {
+                best = r;
+                have = true;
+            }
+        };
+        consider(memnet::ClusterShape::dataParallel(p));
+        if (p % 4 == 0)
+            consider(memnet::ClusterShape::groups4(p));
+        if (p % 16 == 0)
+            consider(memnet::ClusterShape::groups16(p));
+        return best;
+      }
+    }
+    winomc_panic("unknown strategy");
+}
+
+} // namespace winomc::mpt

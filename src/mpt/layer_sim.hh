@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Performance and energy simulation of one convolution layer's training
+ * iteration on the 256-worker NDP system, for every Table IV
+ * configuration (the machinery behind Figures 15 and 16).
+ *
+ * Per phase the model composes:
+ *  - systolic-array time of the element-wise dot products (Eq. 2),
+ *  - vector-unit time of the (inverse) transforms, activation and
+ *    weight update,
+ *  - stacked-DRAM streaming (overlapped with compute by the double
+ *    buffers),
+ *  - tile scatter/gather as an all-to-all over the intra-cluster
+ *    topology (bottleneck link model, validated against the flit and
+ *    message simulators),
+ *  - the pipelined ring collective of the group's weight slice,
+ * and overlaps them with the wave pipeline / task-graph scheduler.
+ */
+
+#ifndef WINOMC_MPT_LAYER_SIM_HH
+#define WINOMC_MPT_LAYER_SIM_HH
+
+#include <string>
+
+#include "memnet/cluster.hh"
+#include "mpt/system_config.hh"
+#include "winograd/conv_spec.hh"
+
+namespace winomc::mpt {
+
+/** One phase (fwd = fprop; bwd = bprop + updateGrad). */
+struct PhaseResult
+{
+    double seconds = 0.0;
+
+    // Pre-overlap totals per worker (diagnostics / energy).
+    double computeSec = 0.0;
+    double scatterSec = 0.0;
+    double gatherSec = 0.0;
+    double collectiveSec = 0.0;
+
+    double macs = 0.0;          ///< per worker
+    double vecOps = 0.0;        ///< per worker
+    double dramBytes = 0.0;     ///< per worker
+    double linkBytesSent = 0.0; ///< per worker
+
+    energy::EnergyBreakdown energy; ///< whole system
+};
+
+struct LayerResult
+{
+    PhaseResult fwd;
+    PhaseResult bwd;
+    memnet::ClusterShape shape{1, 1};
+    std::string algoName;
+
+    /** Split timings for the network-level task graph: bwd.seconds ==
+     *  bpropSeconds + max(ugradComputeSeconds, collectiveSeconds) +
+     *  scheduling overhead; the graph overlaps collectives with other
+     *  layers' compute (Section VI-C's concurrent Reduce blocks). */
+    double bpropSeconds = 0.0;
+    double ugradComputeSeconds = 0.0;
+    double collectiveSeconds = 0.0;
+
+    double totalSeconds() const { return fwd.seconds + bwd.seconds; }
+    energy::EnergyBreakdown
+    totalEnergy() const
+    {
+        energy::EnergyBreakdown e = fwd.energy;
+        e += bwd.energy;
+        return e;
+    }
+};
+
+/** Simulate with the strategy's own shape policy (dynamic clustering
+ *  optimizes the shape for WinoMPTPredictDyn). */
+LayerResult simulateLayer(const ConvSpec &spec, Strategy strategy,
+                          const SystemParams &params);
+
+/** Simulate with an explicitly fixed cluster shape (ablations /
+ *  the dynamic-clustering optimizer). */
+LayerResult simulateLayerWithShape(const ConvSpec &spec,
+                                   Strategy strategy,
+                                   const SystemParams &params,
+                                   const memnet::ClusterShape &shape);
+
+} // namespace winomc::mpt
+
+#endif // WINOMC_MPT_LAYER_SIM_HH

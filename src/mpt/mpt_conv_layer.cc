@@ -1,0 +1,122 @@
+#include "mpt/mpt_conv_layer.hh"
+
+namespace winomc::mpt {
+
+namespace {
+
+Tensor
+shardOf(const Tensor &t, int b0, int count)
+{
+    Tensor out(count, t.c(), t.h(), t.w());
+    for (int b = 0; b < count; ++b)
+        for (int c = 0; c < t.c(); ++c)
+            for (int i = 0; i < t.h(); ++i)
+                for (int j = 0; j < t.w(); ++j)
+                    out.at(b, c, i, j) = t.at(b0 + b, c, i, j);
+    return out;
+}
+
+void
+pasteShard(Tensor &dst, const Tensor &shard, int b0)
+{
+    for (int b = 0; b < shard.n(); ++b)
+        for (int c = 0; c < shard.c(); ++c)
+            for (int i = 0; i < shard.h(); ++i)
+                for (int j = 0; j < shard.w(); ++j)
+                    dst.at(b0 + b, c, i, j) = shard.at(b, c, i, j);
+}
+
+} // namespace
+
+MptConvLayer::MptConvLayer(int in_ch, int out_ch, int r, int ng_,
+                           int nc_, const WinogradAlgo &algo_, Rng &rng)
+    : inCh(in_ch), outCh(out_ch), ng(ng_), nc(nc_), algo(algo_)
+{
+    winomc_assert(algo.r == r, "algo r mismatch");
+    const int a2 = algo.alpha * algo.alpha;
+    winomc_assert(ng >= 1 && a2 % ng == 0,
+                  "alpha^2 must divide across groups");
+    winomc_assert(nc >= 1, "need at least one cluster");
+    uvShare = a2 / ng;
+
+    Tensor w(out_ch, in_ch, r, r);
+    w.fillKaiming(rng);
+    W = transformWeights(w, algo);
+    dW = WinoWeights(algo.alpha, out_ch, in_ch);
+}
+
+Tensor
+MptConvLayer::forward(const Tensor &x, bool train)
+{
+    winomc_assert(x.c() == inCh, "channel mismatch");
+    winomc_assert(x.n() % nc == 0, "batch ", x.n(),
+                  " must divide across ", nc, " clusters");
+    lastH = x.h();
+    lastW = x.w();
+    shard = x.n() / nc;
+
+    Tensor y(x.n(), outCh, x.h(), x.w());
+    if (train)
+        cachedX.clear();
+
+    for (int c = 0; c < nc; ++c) {
+        Tensor x_c = shardOf(x, c * shard, shard);
+        WinoTiles X = transformInput(x_c, algo);
+        WinoTiles Y(algo.alpha, outCh, shard, X.tiles());
+        for (int g = 0; g < ng; ++g) {
+            partialElementwiseForward(X, W, g * uvShare,
+                                      (g + 1) * uvShare, Y);
+            tileElems += uint64_t(uvShare) * (inCh + outCh) * shard *
+                         X.tiles() * uint64_t(ng - 1) / uint64_t(ng);
+        }
+        pasteShard(y, inverseTransform(Y, algo, x.h(), x.w()),
+                   c * shard);
+        if (train)
+            cachedX.push_back(std::move(X));
+    }
+    return y;
+}
+
+Tensor
+MptConvLayer::backward(const Tensor &dy)
+{
+    winomc_assert(int(cachedX.size()) == nc,
+                  "backward without cached forward");
+    haveGrad = true;
+    Tensor dx(dy.n(), inCh, lastH, lastW);
+
+    for (int c = 0; c < nc; ++c) {
+        Tensor dy_c = shardOf(dy, c * shard, shard);
+        WinoTiles dYt = inverseTransformAdjoint(dy_c, algo);
+        WinoTiles dXt(algo.alpha, inCh, shard, dYt.tiles());
+        for (int g = 0; g < ng; ++g) {
+            partialElementwiseBackwardData(dYt, W, g * uvShare,
+                                           (g + 1) * uvShare, dXt);
+            // The cross-cluster accumulation into dW below is the ring
+            // reduction of the group's weight slice.
+            partialElementwiseGradWeights(dYt, cachedX[size_t(c)],
+                                          g * uvShare,
+                                          (g + 1) * uvShare, dW);
+            tileElems += uint64_t(uvShare) * (inCh + outCh) * shard *
+                         dYt.tiles() * uint64_t(ng - 1) / uint64_t(ng);
+            weightElems += uint64_t(uvShare) * inCh * outCh;
+        }
+        pasteShard(dx,
+                   transformInputAdjoint(dXt, algo, lastH, lastW),
+                   c * shard);
+    }
+    return dx;
+}
+
+void
+MptConvLayer::step(float lr)
+{
+    if (!haveGrad)
+        return;
+    haveGrad = false;
+    dW *= -lr;
+    W += dW;
+    dW.fill(0.0f);
+}
+
+} // namespace winomc::mpt

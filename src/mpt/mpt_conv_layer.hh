@@ -1,0 +1,62 @@
+/**
+ * @file
+ * A trainable Winograd-layer convolution whose every training step runs
+ * through the MPT partitioning (batch over N_c clusters, tile elements
+ * over N_g groups) with explicit scatter/gather and group reductions -
+ * a drop-in nn::Module that *is* the distributed execution, plus
+ * communication accounting.
+ *
+ * Training a network built from these layers produces bit-equivalent
+ * results (up to FP accumulation order) to training the single-worker
+ * nn::ConvLayer in WinogradLayer mode - the end-to-end demonstration
+ * that MPT changes the schedule, never the learned model.
+ */
+
+#ifndef WINOMC_MPT_MPT_CONV_LAYER_HH
+#define WINOMC_MPT_MPT_CONV_LAYER_HH
+
+#include "mpt/functional.hh"
+#include "nn/module.hh"
+
+namespace winomc::mpt {
+
+class MptConvLayer : public nn::Module
+{
+  public:
+    /**
+     * @param ng, nc  worker organization; alpha^2 % ng == 0, batch %
+     *                nc == 0 at forward time
+     */
+    MptConvLayer(int in_ch, int out_ch, int r, int ng, int nc,
+                 const WinogradAlgo &algo, Rng &rng);
+
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &dy) override;
+    void step(float lr) override;
+    size_t paramCount() const override { return W.size(); }
+    std::string name() const override { return "mpt_conv"; }
+
+    const WinoWeights &winoWeights() const { return W; }
+    /** Winograd-domain values that crossed worker boundaries so far. */
+    uint64_t tileElemsTransferred() const { return tileElems; }
+    /** Gradient elements reduced across clusters so far. */
+    uint64_t weightElemsReduced() const { return weightElems; }
+
+  private:
+    int inCh, outCh, ng, nc, uvShare;
+    const WinogradAlgo &algo;
+    WinoWeights W;
+    WinoWeights dW;
+    bool haveGrad = false;
+
+    /** Per-cluster cached forward state (tile-scattered inputs). */
+    std::vector<WinoTiles> cachedX;
+    int lastH = 0, lastW = 0, shard = 0;
+
+    uint64_t tileElems = 0;
+    uint64_t weightElems = 0;
+};
+
+} // namespace winomc::mpt
+
+#endif // WINOMC_MPT_MPT_CONV_LAYER_HH

@@ -1,0 +1,67 @@
+#include "mpt/network_sim.hh"
+
+#include "common/logging.hh"
+#include "mpt/task_graph.hh"
+
+namespace winomc::mpt {
+
+NetworkResult
+simulateNetwork(const workloads::NetworkSpec &net, Strategy strategy,
+                const SystemParams &params)
+{
+    winomc_assert(!net.layers.empty(), "empty network");
+
+    NetworkResult res;
+    res.layers.reserve(net.layers.size());
+    for (const auto &spec : net.layers) {
+        res.layers.push_back(simulateLayer(spec, strategy, params));
+        res.energy += res.layers.back().totalEnergy();
+    }
+
+    // Section VI-A task graph of one training iteration.
+    constexpr int kCompute = 0;
+    constexpr int kRing = 1;
+    TaskGraph graph;
+    const int n = int(net.layers.size());
+    std::vector<TaskId> fwd(size_t(n), -1);
+    std::vector<TaskId> bprop(size_t(n), -1);
+    std::vector<TaskId> ugrad(size_t(n), -1);
+    std::vector<TaskId> coll(size_t(n), -1);
+
+    for (int l = 0; l < n; ++l) {
+        const LayerResult &lr = res.layers[size_t(l)];
+        fwd[size_t(l)] = graph.addTask("fwd_" + net.layers[size_t(l)].name,
+                                       lr.fwd.seconds, kCompute);
+        if (l > 0)
+            graph.addDependency(fwd[size_t(l - 1)], fwd[size_t(l)]);
+    }
+    for (int l = n - 1; l >= 0; --l) {
+        const LayerResult &lr = res.layers[size_t(l)];
+        const std::string &nm = net.layers[size_t(l)].name;
+        bprop[size_t(l)] = graph.addTask("bprop_" + nm, lr.bpropSeconds,
+                                         kCompute);
+        graph.addDependency(l == n - 1 ? fwd[size_t(n - 1)]
+                                       : bprop[size_t(l + 1)],
+                            bprop[size_t(l)]);
+        ugrad[size_t(l)] = graph.addTask("ugrad_" + nm,
+                                         lr.ugradComputeSeconds,
+                                         kCompute);
+        graph.addDependency(bprop[size_t(l)], ugrad[size_t(l)]);
+        if (lr.collectiveSeconds > 0.0) {
+            coll[size_t(l)] = graph.addTask("coll_" + nm,
+                                            lr.collectiveSeconds, kRing);
+            graph.addDependency(ugrad[size_t(l)], coll[size_t(l)]);
+        }
+    }
+
+    res.iterationSeconds = graph.simulate();
+    res.fwdSeconds = graph.finishTime(fwd[size_t(n - 1)]);
+    res.imagesPerSec = net.layers.front().batch / res.iterationSeconds;
+    res.averagePowerWatts =
+        res.iterationSeconds > 0.0
+            ? res.energy.total() / res.iterationSeconds
+            : 0.0;
+    return res;
+}
+
+} // namespace winomc::mpt

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Whole-CNN training-iteration simulation on the NDP system (the
+ * machinery behind Figures 17 and 18).
+ *
+ * Builds the Section VI-A task graph of one iteration - forward chain,
+ * backward chain, weight-gradient compute, and the weight collectives -
+ * and schedules it with the update-counter scheduler. Collectives run
+ * on their own (ring-link) resource, so they overlap the bprop of
+ * earlier layers exactly as the concurrent Reduce blocks of Section
+ * VI-C allow.
+ */
+
+#ifndef WINOMC_MPT_NETWORK_SIM_HH
+#define WINOMC_MPT_NETWORK_SIM_HH
+
+#include <vector>
+
+#include "mpt/layer_sim.hh"
+#include "workloads/networks.hh"
+
+namespace winomc::mpt {
+
+struct NetworkResult
+{
+    double iterationSeconds = 0.0;
+    double fwdSeconds = 0.0;   ///< completion of the forward chain
+    double imagesPerSec = 0.0;
+    energy::EnergyBreakdown energy; ///< whole system, one iteration
+    double averagePowerWatts = 0.0;
+    std::vector<LayerResult> layers;
+};
+
+NetworkResult simulateNetwork(const workloads::NetworkSpec &net,
+                              Strategy strategy,
+                              const SystemParams &params);
+
+} // namespace winomc::mpt
+
+#endif // WINOMC_MPT_NETWORK_SIM_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * System configurations of Table IV and the shared model parameters.
+ *
+ *   d_dp    direct convolution, data parallelism, update w
+ *   w_dp    Winograd convolution (F(4x4,3x3)), data parallelism,
+ *           update w - the paper's baseline
+ *   w_mp    Winograd + MPT at fixed (16 Ng, 16 Nc), update W
+ *   w_mp+   w_mp + activation prediction and zero skipping
+ *   w_mp++  w_mp+ + dynamic clustering (per-layer (1,p)/(4,p/4)/(16,p/16))
+ */
+
+#ifndef WINOMC_MPT_SYSTEM_CONFIG_HH
+#define WINOMC_MPT_SYSTEM_CONFIG_HH
+
+#include <string>
+
+#include "energy/energy.hh"
+#include "memnet/collective.hh"
+#include "ndp/config.hh"
+
+namespace winomc::mpt {
+
+enum class Strategy
+{
+    DirectDP,          ///< d_dp
+    WinoDP,            ///< w_dp
+    WinoMPT,           ///< w_mp
+    WinoMPTPredict,    ///< w_mp+
+    WinoMPTPredictDyn, ///< w_mp++
+};
+
+std::string strategyName(Strategy s);
+/** True for the three MPT variants. */
+bool usesMpt(Strategy s);
+/** True when activation prediction / zero skipping applies. */
+bool usesPrediction(Strategy s);
+
+/**
+ * Communication-reduction parameters of Section V. Defaults are the
+ * paper's measured ratios (Fig 12); the fig12 bench re-measures them
+ * from this library's own trained CNNs and synthetic tiles.
+ */
+struct PredictionParams
+{
+    /** Tile-gathering skip: predicted-dead tile ratio (2D predict,
+     *  6-bit) / predicted-dead line ratio (1D predict, 5-bit). */
+    double gatherSkip2D = 0.340;
+    double gatherSkip1D = 0.781;
+    /** Input-tile scattering zero ratios. */
+    double scatterSkip2D = 0.393;
+    double scatterSkip1D = 0.647;
+    /** Quantized pre-transmission width. */
+    int quantBits2D = 6;
+    int quantBits1D = 5;
+    /** Activation-map overhead, bits per element. */
+    double mapBitsPerElem = 1.0;
+};
+
+/** Everything the layer/network simulations need. */
+struct SystemParams
+{
+    int workers = 256;
+    ndp::NdpConfig ndp;
+    energy::EnergyParams energy;
+    PredictionParams predict;
+    /** Double-buffered waves per layer phase (Section VI-B). */
+    int pipelineWaves = 16;
+    /** Tile-transfer contention factor over the ideal-schedule link
+     *  bound, measured by the flit-level simulator on the 64 B-packet
+     *  all-to-all (bench/memnet_validation: ~1.6x at saturation; the
+     *  packing DMA's larger transfers sit lower). */
+    double tileContentionFactor = 1.5;
+    /** Rings for the weight collective: MPT splits the I/O bandwidth
+     *  half/half between collectives and tile transfer (2 rings); pure
+     *  data parallelism uses all four links (4 rings). */
+    int mptCollectiveRings = 2;
+    int dpCollectiveRings = 4;
+};
+
+} // namespace winomc::mpt
+
+#endif // WINOMC_MPT_SYSTEM_CONFIG_HH

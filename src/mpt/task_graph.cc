@@ -1,0 +1,132 @@
+#include "mpt/task_graph.hh"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+
+#include "common/logging.hh"
+
+namespace winomc::mpt {
+
+TaskId
+TaskGraph::addTask(std::string name, double seconds, int resource)
+{
+    winomc_assert(seconds >= 0.0, "negative task duration for ", name);
+    winomc_assert(resource >= kNoResource, "bad resource id");
+    Task t;
+    t.name = std::move(name);
+    t.seconds = seconds;
+    t.resource = resource;
+    tasks.push_back(std::move(t));
+    maxResource = std::max(maxResource, resource);
+    return TaskId(tasks.size()) - 1;
+}
+
+void
+TaskGraph::addDependency(TaskId before, TaskId after)
+{
+    winomc_assert(before >= 0 && before < TaskId(tasks.size()) &&
+                  after >= 0 && after < TaskId(tasks.size()),
+                  "dependency on unknown task");
+    winomc_assert(before != after, "self dependency");
+    tasks[size_t(before)].dependents.push_back(after);
+    ++tasks[size_t(after)].pendingDeps;
+}
+
+double
+TaskGraph::simulate()
+{
+    sim::EventQueue eq;
+    auto to_ticks = [](double sec) { return Tick(sec * 1e12 + 0.5); };
+    auto to_sec = [](Tick t) { return double(t) * 1e-12; };
+
+    // Per-resource ready queues (FIFO in task-id order for determinism)
+    // and busy flags.
+    std::vector<std::deque<TaskId>> ready(size_t(maxResource) + 1);
+    std::vector<bool> busy(size_t(maxResource) + 1, false);
+    Tick makespan = 0;
+
+    std::function<void(TaskId)> start_task;
+    std::function<void(TaskId)> complete_task;
+
+    auto dispatch = [&](int resource) {
+        if (resource == kNoResource)
+            return;
+        if (busy[size_t(resource)] || ready[size_t(resource)].empty())
+            return;
+        TaskId id = ready[size_t(resource)].front();
+        ready[size_t(resource)].pop_front();
+        busy[size_t(resource)] = true;
+        start_task(id);
+    };
+
+    start_task = [&](TaskId id) {
+        Task &t = tasks[size_t(id)];
+        t.start = to_sec(eq.now());
+        eq.scheduleAfter(to_ticks(t.seconds),
+                         [&complete_task, id] { complete_task(id); });
+    };
+
+    complete_task = [&](TaskId id) {
+        Task &t = tasks[size_t(id)];
+        t.finish = to_sec(eq.now());
+        makespan = std::max(makespan, eq.now());
+        if (t.resource != kNoResource) {
+            busy[size_t(t.resource)] = false;
+            dispatch(t.resource);
+        }
+        for (TaskId dep : t.dependents) {
+            Task &d = tasks[size_t(dep)];
+            winomc_assert(d.pendingDeps > 0, "dependency underflow");
+            if (--d.pendingDeps == 0) {
+                if (d.resource == kNoResource) {
+                    start_task(dep);
+                } else {
+                    ready[size_t(d.resource)].push_back(dep);
+                    dispatch(d.resource);
+                }
+            }
+        }
+    };
+
+    // Seed the initially-ready tasks.
+    for (TaskId id = 0; id < TaskId(tasks.size()); ++id) {
+        const Task &t = tasks[size_t(id)];
+        if (t.pendingDeps == 0) {
+            if (t.resource == kNoResource)
+                start_task(id);
+            else
+                ready[size_t(t.resource)].push_back(id);
+        }
+    }
+    for (int r = 0; r <= maxResource; ++r)
+        dispatch(r);
+
+    eq.run();
+
+    for (const Task &t : tasks) {
+        winomc_assert(t.finish >= 0.0, "task '", t.name,
+                      "' never ran - dependency cycle?");
+    }
+    return to_sec(makespan);
+}
+
+double
+TaskGraph::finishTime(TaskId id) const
+{
+    return tasks.at(size_t(id)).finish;
+}
+
+double
+TaskGraph::startTime(TaskId id) const
+{
+    return tasks.at(size_t(id)).start;
+}
+
+const std::string &
+TaskGraph::taskName(TaskId id) const
+{
+    return tasks.at(size_t(id)).name;
+}
+
+} // namespace winomc::mpt

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Task graph and update-counter scheduler (Section VI-A).
+ *
+ * The host compiles the CNN into a graph whose nodes are computation or
+ * communication blocks and whose edges are data dependencies; each NDP's
+ * task scheduler starts a task once the update counters of all its
+ * predecessors have incremented and its execution resource is free.
+ *
+ * This implementation simulates that scheduler on the event kernel:
+ * every task carries a duration and a resource id; a resource runs one
+ * task at a time; ready tasks start in task-creation order, so the
+ * schedule is deterministic.
+ */
+
+#ifndef WINOMC_MPT_TASK_GRAPH_HH
+#define WINOMC_MPT_TASK_GRAPH_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace winomc::mpt {
+
+using TaskId = int;
+
+class TaskGraph
+{
+  public:
+    /** Tasks with this resource never contend. */
+    static constexpr int kNoResource = -1;
+
+    /**
+     * @param name      diagnostic label
+     * @param seconds   execution time (>= 0)
+     * @param resource  serialization domain (e.g. one per compute unit,
+     *                  tile network, ring network), or kNoResource
+     */
+    TaskId addTask(std::string name, double seconds, int resource);
+
+    /** `after` cannot start until `before` completes. */
+    void addDependency(TaskId before, TaskId after);
+
+    /** Run the schedule; returns the makespan in seconds. */
+    double simulate();
+
+    /** Completion time of a task (valid after simulate()). */
+    double finishTime(TaskId id) const;
+    double startTime(TaskId id) const;
+    size_t taskCount() const { return tasks.size(); }
+    const std::string &taskName(TaskId id) const;
+
+  private:
+    struct Task
+    {
+        std::string name;
+        double seconds;
+        int resource;
+        std::vector<TaskId> dependents;
+        int pendingDeps = 0;  ///< the update counter of Section VI-A
+        double start = -1.0;
+        double finish = -1.0;
+    };
+
+    std::vector<Task> tasks;
+    int maxResource = -1;
+};
+
+} // namespace winomc::mpt
+
+#endif // WINOMC_MPT_TASK_GRAPH_HH

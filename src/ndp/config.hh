@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Configuration of one near-data-processing worker (Section VI / Table
+ * III): a 3D-stacked memory module whose logic layer carries a systolic
+ * array, a vector processor on scratch-pad memory, double-buffered SRAM,
+ * and the communication engines.
+ */
+
+#ifndef WINOMC_NDP_CONFIG_HH
+#define WINOMC_NDP_CONFIG_HH
+
+#include <cstddef>
+
+#include "common/units.hh"
+
+namespace winomc::ndp {
+
+struct NdpConfig
+{
+    /** S x S MAC systolic array. 64 (FP32, layer-wise eval, Section
+     *  VI-B) or 96 (FP16 mul / FP32 acc, whole-CNN eval, Section
+     *  VII-C). */
+    int systolicDim = 64;
+    double clockHz = 1e9;
+
+    /** HMC-style stacked DRAM bandwidth (Table III). */
+    double dramBandwidth = GBps(320);
+
+    /** Vector processor lanes (ReLU, pooling, joins, weight update). */
+    int vectorLanes = 64;
+
+    /** Dedicated transformation-unit throughput in MACs/cycle: the
+     *  (inverse) Winograd transforms run in the communication engines'
+     *  transformation units (Section VI-C), which are wider than the
+     *  vector processor. */
+    int transformLanes = 256;
+
+    /** Double-buffered input SRAM (two 512 KiB instances). */
+    size_t inputBufBytes = 512 * 1024;
+    size_t outputBufBytes = 128 * 1024;
+
+    /** Fixed per-task scheduling overhead (descriptor fetch, dependency
+     *  counter check, DMA programming - Section VI-A), in seconds. */
+    double taskOverheadSec = 0.5e-6;
+};
+
+} // namespace winomc::ndp
+
+#endif // WINOMC_NDP_CONFIG_HH

@@ -1,0 +1,171 @@
+#include "ndp/hmc_dram.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace winomc::ndp {
+
+HmcDram::HmcDram(const HmcConfig &cfg_) : cfg(cfg_)
+{
+    winomc_assert(cfg.vaults >= 1 && cfg.banksPerVault >= 1,
+                  "degenerate HMC geometry");
+    winomc_assert(cfg.accessBytes > 0 && cfg.rowBytes >= cfg.accessBytes,
+                  "bad access/row sizes");
+    vaults.resize(size_t(cfg.vaults));
+    for (auto &v : vaults)
+        v.banks.resize(size_t(cfg.banksPerVault));
+}
+
+int
+HmcDram::vaultOf(uint64_t addr) const
+{
+    // Low-order interleaving at access granularity spreads streams
+    // across vaults (the HMC default).
+    return int((addr / cfg.accessBytes) % uint64_t(cfg.vaults));
+}
+
+int
+HmcDram::bankOf(uint64_t addr) const
+{
+    uint64_t per_vault = (addr / cfg.accessBytes) / uint64_t(cfg.vaults);
+    uint64_t row_units = cfg.rowBytes / cfg.accessBytes;
+    return int((per_vault / row_units) % uint64_t(cfg.banksPerVault));
+}
+
+int64_t
+HmcDram::rowOf(uint64_t addr) const
+{
+    uint64_t per_vault = (addr / cfg.accessBytes) / uint64_t(cfg.vaults);
+    uint64_t row_units = cfg.rowBytes / cfg.accessBytes;
+    return int64_t(per_vault / row_units / uint64_t(cfg.banksPerVault));
+}
+
+int
+HmcDram::submit(uint64_t addr, uint32_t bytes)
+{
+    winomc_assert(bytes > 0, "empty request");
+    int id = int(requests.size());
+    DramRequest req;
+    req.addr = addr;
+    req.bytes = bytes;
+    req.issued = cycle;
+    requests.push_back(req);
+    ++pending;
+
+    // Split into access-granularity beats; all beats of a request go to
+    // the vault queues (contiguous requests stripe across vaults by
+    // construction), and the request completes at its last beat.
+    int beats = 0;
+    for (uint32_t off = 0; off < bytes; off += cfg.accessBytes) {
+        Vault &v = vaults[size_t(vaultOf(addr + off))];
+        VaultEntry e;
+        e.reqId = id;
+        e.bank = bankOf(addr + off);
+        e.row = rowOf(addr + off);
+        v.queue.push_back(e);
+        ++beats;
+    }
+    requests.back().beatsLeft = beats;
+    return id;
+}
+
+void
+HmcDram::scheduleVault(Vault &vault)
+{
+    if (vault.queue.empty())
+        return;
+    const Tick burst =
+        Tick((cfg.accessBytes + cfg.busBytesPerCycle - 1) /
+             uint32_t(cfg.busBytesPerCycle));
+    // Don't reserve the data TSVs unboundedly far ahead: allow the
+    // CAS-latency pipeline plus a few bursts of slack.
+    if (vault.busFreeAt > cycle + Tick(cfg.tCas) + 4 * burst)
+        return;
+
+    // FR-FCFS: oldest row-hit within the window first; else oldest.
+    size_t pick = 0;
+    if (cfg.frfcfs) {
+        size_t window = std::min(vault.queue.size(),
+                                 size_t(cfg.windowDepth));
+        bool found = false;
+        for (size_t k = 0; k < window; ++k) {
+            const VaultEntry &e = vault.queue[k];
+            const Bank &b = vault.banks[size_t(e.bank)];
+            if (b.openRow == e.row && b.readyAt <= cycle) {
+                pick = k;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            pick = 0;
+    }
+
+    VaultEntry e = vault.queue[pick];
+    Bank &bank = vault.banks[size_t(e.bank)];
+    if (bank.readyAt > cycle)
+        return; // bank busy; try again next cycle
+
+    // Column commands pipeline: the data TSVs are the serializing
+    // resource; CAS/activate latency overlaps with earlier bursts.
+    Tick data_at;
+    if (bank.openRow == e.row) {
+        ++row_hits;
+        data_at = std::max(cycle + Tick(cfg.tCas), vault.busFreeAt);
+        bank.readyAt = cycle + burst; // hit stream at burst rate
+    } else {
+        ++row_misses;
+        Tick penalty = bank.openRow >= 0 ? Tick(cfg.tRp) : 0;
+        data_at = std::max(cycle + penalty + Tick(cfg.tRcd) +
+                               Tick(cfg.tCas),
+                           vault.busFreeAt);
+        bank.openRow = e.row;
+        bank.readyAt = cycle + penalty + Tick(cfg.tRcd);
+    }
+    vault.busFreeAt = data_at + burst;
+    vault.queue.erase(vault.queue.begin() + long(pick));
+
+    DramRequest &req = requests[size_t(e.reqId)];
+    Tick done_at = data_at + burst;
+    if (done_at > req.completed)
+        req.completed = done_at;
+    winomc_assert(req.beatsLeft > 0, "beat underflow");
+    if (--req.beatsLeft == 0) {
+        req.done = true;
+        --pending;
+        bytesDone += req.bytes;
+    }
+}
+
+void
+HmcDram::step()
+{
+    for (auto &v : vaults)
+        scheduleVault(v);
+    ++cycle;
+}
+
+bool
+HmcDram::drain(uint64_t max_cycles)
+{
+    for (uint64_t k = 0; k < max_cycles && pending > 0; ++k)
+        step();
+    return pending == 0;
+}
+
+const DramRequest &
+HmcDram::request(int id) const
+{
+    return requests.at(size_t(id));
+}
+
+double
+HmcDram::achievedBandwidth() const
+{
+    if (cycle == 0)
+        return 0.0;
+    return double(bytesDone) / (double(cycle) * 1e-9);
+}
+
+} // namespace winomc::ndp

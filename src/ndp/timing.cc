@@ -1,0 +1,56 @@
+#include "ndp/timing.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace winomc::ndp {
+
+uint64_t
+systolicCycles(const NdpConfig &cfg, uint64_t m, uint64_t k, uint64_t n)
+{
+    winomc_assert(m > 0 && k > 0 && n > 0, "degenerate matmul");
+    const uint64_t s = uint64_t(cfg.systolicDim);
+    const uint64_t blocks = ((m + s - 1) / s) * ((n + s - 1) / s);
+    // Double-buffered weight-stationary dataflow: consecutive output
+    // blocks overlap their fill/drain, so the pipeline is filled once.
+    return blocks * k + 2 * s;
+}
+
+double
+systolicTime(const NdpConfig &cfg, uint64_t m, uint64_t k, uint64_t n)
+{
+    return double(systolicCycles(cfg, m, k, n)) / cfg.clockHz;
+}
+
+double
+vectorTime(const NdpConfig &cfg, uint64_t ops)
+{
+    const uint64_t lanes = uint64_t(cfg.vectorLanes);
+    uint64_t cycles = (ops + lanes - 1) / lanes;
+    return double(cycles) / cfg.clockHz;
+}
+
+double
+transformTime(const NdpConfig &cfg, uint64_t macs)
+{
+    const uint64_t lanes = uint64_t(cfg.transformLanes);
+    uint64_t cycles = (macs + lanes - 1) / lanes;
+    return double(cycles) / cfg.clockHz;
+}
+
+double
+dramTime(const NdpConfig &cfg, uint64_t bytes)
+{
+    return double(bytes) / cfg.dramBandwidth;
+}
+
+double
+overlappedTaskTime(const NdpConfig &cfg, double compute_sec,
+                   uint64_t dram_bytes)
+{
+    return std::max(compute_sec, dramTime(cfg, dram_bytes)) +
+           cfg.taskOverheadSec;
+}
+
+} // namespace winomc::ndp

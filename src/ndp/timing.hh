@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Timing model of the NDP computation units (Section VI-B).
+ *
+ * Systolic array: an (M x K) * (K x N) matrix multiplication tiles into
+ * ceil(M/S) * ceil(N/S) output blocks; each block streams K partial
+ * sums, with fill/drain overlapped across blocks by the double-buffered
+ * weight-stationary dataflow. One side of the array is fed from the
+ * on-chip buffer, the other streams from DRAM in the worst case, so the
+ * effective time is the maximum of the compute time and the DRAM stream
+ * time (double buffering overlaps them).
+ */
+
+#ifndef WINOMC_NDP_TIMING_HH
+#define WINOMC_NDP_TIMING_HH
+
+#include <cstdint>
+
+#include "ndp/config.hh"
+
+namespace winomc::ndp {
+
+/** Cycles for the systolic array to compute (M x K) * (K x N). */
+uint64_t systolicCycles(const NdpConfig &cfg, uint64_t m, uint64_t k,
+                        uint64_t n);
+
+/** Seconds for the systolic array to compute (M x K) * (K x N). */
+double systolicTime(const NdpConfig &cfg, uint64_t m, uint64_t k,
+                    uint64_t n);
+
+/** Seconds for the vector unit to run `ops` lane-operations. */
+double vectorTime(const NdpConfig &cfg, uint64_t ops);
+
+/** Seconds for the transformation units to run `macs` operations. */
+double transformTime(const NdpConfig &cfg, uint64_t macs);
+
+/** Seconds to stream `bytes` to/from stacked DRAM. */
+double dramTime(const NdpConfig &cfg, uint64_t bytes);
+
+/**
+ * Seconds for one double-buffered task: compute overlapped with its
+ * DRAM traffic, plus the task-scheduling overhead.
+ */
+double overlappedTaskTime(const NdpConfig &cfg, double compute_sec,
+                          uint64_t dram_bytes);
+
+} // namespace winomc::ndp
+
+#endif // WINOMC_NDP_TIMING_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Stateless / small trainable layers: ReLU, 2x2 max pooling, global
+ * average pooling, and a dense (fully connected) classifier head.
+ */
+
+#ifndef WINOMC_NN_BASIC_LAYERS_HH
+#define WINOMC_NN_BASIC_LAYERS_HH
+
+#include "nn/module.hh"
+
+namespace winomc::nn {
+
+/** Rectified linear unit (the paper's assumed activation, Section V-A). */
+class ReLU : public Module
+{
+  public:
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &dy) override;
+    std::string name() const override { return "relu"; }
+
+  private:
+    Tensor mask; ///< 1 where x > 0
+};
+
+/** 2x2 max pooling, stride 2 (odd trailing row/col dropped). */
+class MaxPool2 : public Module
+{
+  public:
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &dy) override;
+    std::string name() const override { return "maxpool2"; }
+
+  private:
+    Tensor argmax; ///< winner index 0..3 per output element
+    int inH = 0, inW = 0;
+};
+
+/** 2x2 average pooling, stride 2 (odd trailing row/col dropped). */
+class AvgPool2 : public Module
+{
+  public:
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &dy) override;
+    std::string name() const override { return "avgpool2"; }
+
+  private:
+    int inH = 0, inW = 0;
+};
+
+/** Global average pooling: (B, C, H, W) -> (B, C, 1, 1). */
+class GlobalAvgPool : public Module
+{
+  public:
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &dy) override;
+    std::string name() const override { return "gap"; }
+
+  private:
+    int inH = 0, inW = 0;
+};
+
+/** Fully connected layer on flattened input, with bias. */
+class Dense : public Module
+{
+  public:
+    Dense(int in_features, int out_features, Rng &rng);
+
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &dy) override;
+    void step(float lr) override;
+    size_t paramCount() const override;
+    std::string name() const override { return "dense"; }
+
+  private:
+    int inF, outF;
+    Tensor w;  ///< (1, 1, outF, inF)
+    Tensor b;  ///< (1, 1, 1, outF)
+    Tensor dw, db;
+    Tensor cachedX; ///< flattened input (B, 1, 1, inF)
+    int xc = 0, xh = 0, xw = 0; ///< original shape for backward
+};
+
+} // namespace winomc::nn
+
+#endif // WINOMC_NN_BASIC_LAYERS_HH

@@ -1,0 +1,125 @@
+#include "nn/batchnorm.hh"
+
+#include <cmath>
+
+namespace winomc::nn {
+
+BatchNorm2d::BatchNorm2d(int channels_, float eps_, float momentum)
+    : channels(channels_), eps(eps_), statMomentum(momentum),
+      gamma_(size_t(channels_), 1.0f), beta_(size_t(channels_), 0.0f),
+      dgamma(size_t(channels_), 0.0f), dbeta(size_t(channels_), 0.0f),
+      running_mean(size_t(channels_), 0.0f),
+      running_var(size_t(channels_), 1.0f),
+      batch_mean(size_t(channels_), 0.0f),
+      batch_inv_std(size_t(channels_), 1.0f)
+{
+    winomc_assert(channels_ > 0, "batchnorm needs channels");
+}
+
+Tensor
+BatchNorm2d::forward(const Tensor &x, bool train)
+{
+    winomc_assert(x.c() == channels, "batchnorm channel mismatch");
+    const int count = x.n() * x.h() * x.w();
+    winomc_assert(count > 0, "empty batchnorm input");
+    Tensor y(x.n(), x.c(), x.h(), x.w());
+    if (train)
+        xhat = Tensor(x.n(), x.c(), x.h(), x.w());
+
+    for (int c = 0; c < channels; ++c) {
+        float mean, inv_std;
+        if (train) {
+            double sum = 0.0, sum2 = 0.0;
+            for (int b = 0; b < x.n(); ++b)
+                for (int i = 0; i < x.h(); ++i)
+                    for (int j = 0; j < x.w(); ++j) {
+                        double v = x.at(b, c, i, j);
+                        sum += v;
+                        sum2 += v * v;
+                    }
+            mean = float(sum / count);
+            float var = float(sum2 / count) - mean * mean;
+            var = std::max(var, 0.0f);
+            inv_std = 1.0f / std::sqrt(var + eps);
+
+            running_mean[size_t(c)] =
+                (1.0f - statMomentum) * running_mean[size_t(c)] +
+                statMomentum * mean;
+            running_var[size_t(c)] =
+                (1.0f - statMomentum) * running_var[size_t(c)] +
+                statMomentum * var;
+            batch_mean[size_t(c)] = mean;
+            batch_inv_std[size_t(c)] = inv_std;
+        } else {
+            mean = running_mean[size_t(c)];
+            inv_std = 1.0f /
+                      std::sqrt(running_var[size_t(c)] + eps);
+        }
+
+        for (int b = 0; b < x.n(); ++b) {
+            for (int i = 0; i < x.h(); ++i) {
+                for (int j = 0; j < x.w(); ++j) {
+                    float xn = (x.at(b, c, i, j) - mean) * inv_std;
+                    if (train)
+                        xhat.at(b, c, i, j) = xn;
+                    y.at(b, c, i, j) =
+                        gamma_[size_t(c)] * xn + beta_[size_t(c)];
+                }
+            }
+        }
+    }
+    return y;
+}
+
+Tensor
+BatchNorm2d::backward(const Tensor &dy)
+{
+    winomc_assert(dy.sameShape(xhat), "batchnorm backward shape");
+    haveGrad = true;
+    const int count = dy.n() * dy.h() * dy.w();
+    Tensor dx(dy.n(), dy.c(), dy.h(), dy.w());
+
+    for (int c = 0; c < channels; ++c) {
+        // dgamma = sum dy * xhat; dbeta = sum dy.
+        double sum_dy = 0.0, sum_dy_xhat = 0.0;
+        for (int b = 0; b < dy.n(); ++b)
+            for (int i = 0; i < dy.h(); ++i)
+                for (int j = 0; j < dy.w(); ++j) {
+                    double g = dy.at(b, c, i, j);
+                    sum_dy += g;
+                    sum_dy_xhat += g * xhat.at(b, c, i, j);
+                }
+        dgamma[size_t(c)] += float(sum_dy_xhat);
+        dbeta[size_t(c)] += float(sum_dy);
+
+        // dx = gamma * inv_std / N *
+        //      (N dy - sum dy - xhat * sum(dy * xhat)).
+        const float scale = gamma_[size_t(c)] *
+                            batch_inv_std[size_t(c)] / float(count);
+        for (int b = 0; b < dy.n(); ++b)
+            for (int i = 0; i < dy.h(); ++i)
+                for (int j = 0; j < dy.w(); ++j)
+                    dx.at(b, c, i, j) =
+                        scale * (float(count) * dy.at(b, c, i, j) -
+                                 float(sum_dy) -
+                                 xhat.at(b, c, i, j) *
+                                     float(sum_dy_xhat));
+    }
+    return dx;
+}
+
+void
+BatchNorm2d::step(float lr)
+{
+    if (!haveGrad)
+        return;
+    haveGrad = false;
+    for (int c = 0; c < channels; ++c) {
+        gamma_[size_t(c)] -= lr * dgamma[size_t(c)];
+        beta_[size_t(c)] -= lr * dbeta[size_t(c)];
+        dgamma[size_t(c)] = 0.0f;
+        dbeta[size_t(c)] = 0.0f;
+    }
+}
+
+} // namespace winomc::nn

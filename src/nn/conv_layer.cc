@@ -1,0 +1,115 @@
+#include "nn/conv_layer.hh"
+
+namespace winomc::nn {
+
+ConvLayer::ConvLayer(int in_ch, int out_ch, int r_, ConvMode mode,
+                     const WinogradAlgo &algo_, Rng &rng)
+    : inCh(in_ch), outCh(out_ch), r(r_), convMode(mode), algo(algo_),
+      w(out_ch, in_ch, r_, r_), dw(out_ch, in_ch, r_, r_)
+{
+    winomc_assert(r_ % 2 == 1, "ConvLayer needs odd filter size");
+    if (mode != ConvMode::Direct) {
+        winomc_assert(algo.r == r_, "algorithm r=", algo.r,
+                      " mismatches layer r=", r_);
+    }
+    w.fillKaiming(rng);
+    if (mode != ConvMode::Direct) {
+        W = transformWeights(w, algo);
+        dW = WinoWeights(algo.alpha, out_ch, in_ch);
+    }
+}
+
+Tensor
+ConvLayer::forward(const Tensor &x, bool train)
+{
+    winomc_assert(x.c() == inCh, "ConvLayer expected ", inCh,
+                  " channels, got ", x.c());
+    lastH = x.h();
+    lastW = x.w();
+
+    if (convMode == ConvMode::Direct) {
+        if (train)
+            cachedX = x;
+        return directConvForward(x, w);
+    }
+
+    WinoTiles X = transformInput(x, algo);
+    WinoTiles Y = elementwiseForward(X, W);
+    Tensor y = inverseTransform(Y, algo, x.h(), x.w());
+    if (train) {
+        cachedXt = std::move(X);
+        cachedY = std::move(Y);
+    }
+    return y;
+}
+
+Tensor
+ConvLayer::backward(const Tensor &dy)
+{
+    haveGrad = true;
+    if (convMode == ConvMode::Direct) {
+        dw += directConvGradWeights(cachedX, dy, r);
+        return directConvBackwardData(dy, w);
+    }
+
+    WinoTiles dY = inverseTransformAdjoint(dy, algo);
+    WinoWeights g = elementwiseGradWeights(dY, cachedXt);
+    if (convMode == ConvMode::WinogradLayer) {
+        dW += g;
+    } else {
+        // Chain through W = G w G^T back to the spatial parameters.
+        dw += transformWeightsAdjoint(g, algo);
+    }
+    WinoTiles dX = elementwiseBackwardData(dY, W);
+    return transformInputAdjoint(dX, algo, lastH, lastW);
+}
+
+void
+ConvLayer::step(float lr)
+{
+    if (!haveGrad)
+        return;
+    haveGrad = false;
+    switch (convMode) {
+      case ConvMode::Direct:
+        dw *= -lr;
+        w += dw;
+        dw.fill(0.0f);
+        break;
+      case ConvMode::WinogradSpatial:
+        dw *= -lr;
+        w += dw;
+        dw.fill(0.0f);
+        W = transformWeights(w, algo);
+        break;
+      case ConvMode::WinogradLayer:
+        dW *= -lr;
+        W += dW;
+        dW.fill(0.0f);
+        break;
+    }
+}
+
+size_t
+ConvLayer::paramCount() const
+{
+    if (convMode == ConvMode::WinogradLayer)
+        return W.size();
+    return w.size();
+}
+
+std::string
+ConvLayer::name() const
+{
+    switch (convMode) {
+      case ConvMode::Direct:
+        return "conv_direct";
+      case ConvMode::WinogradSpatial:
+        return "conv_wino_spatial";
+      case ConvMode::WinogradLayer:
+        return "conv_wino_layer";
+    }
+    return "conv";
+}
+
+} // namespace winomc::nn

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Trainable "same" 3x3/5x5 convolution layer with three execution modes:
+ *
+ *  - Direct:        spatial weights, direct convolution;
+ *  - WinogradSpatial: spatial weights, executed through the Winograd
+ *                   pipeline (Fig 2(a)) - gradients map back through the
+ *                   weight-transform adjoint;
+ *  - WinogradLayer: the paper's Winograd layer (Fig 2(b), [29]) - the
+ *                   parameters ARE the Winograd-domain weights W and are
+ *                   updated there directly.
+ *
+ * All three compute the same function at initialization; WinogradLayer
+ * then evolves in a (slightly larger) parameter space.
+ */
+
+#ifndef WINOMC_NN_CONV_LAYER_HH
+#define WINOMC_NN_CONV_LAYER_HH
+
+#include "nn/module.hh"
+#include "winograd/algo.hh"
+#include "winograd/conv.hh"
+
+namespace winomc::nn {
+
+enum class ConvMode { Direct, WinogradSpatial, WinogradLayer };
+
+class ConvLayer : public Module
+{
+  public:
+    /**
+     * @param in_ch, out_ch  channels
+     * @param r              odd filter edge
+     * @param mode           execution / weight-domain mode
+     * @param algo           Winograd algorithm (ignored for Direct)
+     */
+    ConvLayer(int in_ch, int out_ch, int r, ConvMode mode,
+              const WinogradAlgo &algo, Rng &rng);
+
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &dy) override;
+    void step(float lr) override;
+    size_t paramCount() const override;
+    std::string name() const override;
+
+    ConvMode mode() const { return convMode; }
+    /** Spatial weights (valid in Direct / WinogradSpatial modes). */
+    const Tensor &spatialWeights() const { return w; }
+    /** Winograd-domain weights (valid in Winograd modes). */
+    const WinoWeights &winoWeights() const { return W; }
+    /** Cached pre-activation Winograd tiles from the last forward (for
+     *  the activation-prediction experiments). */
+    const WinoTiles &lastOutputTiles() const { return cachedY; }
+
+  private:
+    int inCh, outCh, r;
+    ConvMode convMode;
+    const WinogradAlgo &algo;
+
+    Tensor w;       ///< spatial parameters (Direct / WinogradSpatial)
+    Tensor dw;      ///< spatial gradient
+    WinoWeights W;  ///< Winograd-domain parameters (Winograd modes)
+    WinoWeights dW; ///< Winograd-domain gradient
+    bool haveGrad = false;
+
+    Tensor cachedX;    ///< input (Direct mode backward)
+    WinoTiles cachedXt; ///< transformed input tiles (Winograd modes)
+    WinoTiles cachedY; ///< pre-inverse output tiles
+    int lastH = 0, lastW = 0;
+};
+
+} // namespace winomc::nn
+
+#endif // WINOMC_NN_CONV_LAYER_HH

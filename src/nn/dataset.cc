@@ -1,0 +1,103 @@
+#include "nn/dataset.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace winomc::nn {
+
+Tensor
+Dataset::batch(size_t first, size_t count, std::vector<int> &labels_out)
+const
+{
+    winomc_assert(first + count <= images.size(), "batch out of range");
+    Tensor out(int(count), 1, imageSize, imageSize);
+    labels_out.resize(count);
+    for (size_t k = 0; k < count; ++k) {
+        const Tensor &img = images[first + k];
+        for (int i = 0; i < imageSize; ++i)
+            for (int j = 0; j < imageSize; ++j)
+                out.at(int(k), 0, i, j) = img.at(i, j);
+        labels_out[k] = labels[first + k];
+    }
+    return out;
+}
+
+namespace {
+
+void
+drawShape(Tensor &img, int cls, int s, Rng &rng)
+{
+    const int cx = int(rng.uniformInt(s / 3, 2 * s / 3));
+    const int cy = int(rng.uniformInt(s / 3, 2 * s / 3));
+    const int len = int(rng.uniformInt(s / 3, s / 2));
+    const float amp = float(rng.uniform(0.8, 1.2));
+
+    auto put = [&](int y, int x) {
+        if (y >= 0 && y < s && x >= 0 && x < s)
+            img.at(y, x) += amp;
+    };
+
+    switch (cls) {
+      case 0: // horizontal bar
+        for (int d = -len; d <= len; ++d)
+            put(cy, cx + d);
+        break;
+      case 1: // vertical bar
+        for (int d = -len; d <= len; ++d)
+            put(cy + d, cx);
+        break;
+      case 2: // diagonal
+        for (int d = -len; d <= len; ++d)
+            put(cy + d, cx + d);
+        break;
+      case 3: // cross
+        for (int d = -len; d <= len; ++d) {
+            put(cy, cx + d);
+            put(cy + d, cx);
+        }
+        break;
+      case 4: { // ring
+        const int rad = len;
+        for (int a = 0; a < 64; ++a) {
+            double th = 2.0 * M_PI * a / 64.0;
+            put(cy + int(std::lround(rad * std::sin(th))),
+                cx + int(std::lround(rad * std::cos(th))));
+        }
+        break;
+      }
+      default: { // filled blob
+        const int rad = std::max(1, len / 2);
+        for (int dy = -rad; dy <= rad; ++dy)
+            for (int dx = -rad; dx <= rad; ++dx)
+                if (dy * dy + dx * dx <= rad * rad)
+                    put(cy + dy, cx + dx);
+        break;
+      }
+    }
+}
+
+} // namespace
+
+Dataset
+makeShapeDataset(int count, int image_size, int classes, Rng &rng)
+{
+    winomc_assert(classes >= 2 && classes <= 6, "2..6 classes supported");
+    Dataset ds;
+    ds.imageSize = image_size;
+    ds.classes = classes;
+    ds.images.reserve(size_t(count));
+    ds.labels.reserve(size_t(count));
+
+    for (int k = 0; k < count; ++k) {
+        int cls = int(rng.uniformInt(0, classes - 1));
+        Tensor img(image_size, image_size);
+        img.fillGaussian(rng, 0.0f, 0.15f); // background noise
+        drawShape(img, cls, image_size, rng);
+        ds.images.push_back(std::move(img));
+        ds.labels.push_back(cls);
+    }
+    return ds;
+}
+
+} // namespace winomc::nn

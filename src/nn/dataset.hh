@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Procedurally generated image-classification dataset.
+ *
+ * The paper's data-dependent experiments use CIFAR / ImageNet, which are
+ * unavailable offline; this generator produces a shape-classification
+ * task (bars, crosses, rings, blobs with noise and jitter) whose trained
+ * CNNs exhibit the properties those experiments rely on: sparse ReLU
+ * activations and approximately normal Winograd-domain tile values (the
+ * paper itself observes the normality, Section V-A). See the
+ * substitution table in DESIGN.md.
+ */
+
+#ifndef WINOMC_NN_DATASET_HH
+#define WINOMC_NN_DATASET_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "tensor/tensor.hh"
+
+namespace winomc::nn {
+
+/** A labeled set of single-channel images. */
+struct Dataset
+{
+    int imageSize;       ///< square edge
+    int classes;
+    std::vector<Tensor> images;  ///< each (1, 1, s, s)
+    std::vector<int> labels;
+
+    size_t size() const { return images.size(); }
+
+    /** Stack items [first, first+count) into one (count,1,s,s) batch. */
+    Tensor batch(size_t first, size_t count,
+                 std::vector<int> &labels_out) const;
+};
+
+/**
+ * Generate a synthetic shape dataset.
+ *
+ * Classes: 0 horizontal bar, 1 vertical bar, 2 diagonal, 3 cross,
+ * 4 ring, 5 filled blob (classes beyond `classes` unused).
+ */
+Dataset makeShapeDataset(int count, int image_size, int classes, Rng &rng);
+
+} // namespace winomc::nn
+
+#endif // WINOMC_NN_DATASET_HH

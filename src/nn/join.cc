@@ -1,0 +1,101 @@
+#include "nn/join.hh"
+
+namespace winomc::nn {
+
+FractalJoinBlock::FractalJoinBlock(std::vector<ModulePtr> branches_,
+                                   JoinMode mode_)
+    : branches(std::move(branches_)), branchRelus(branches.size()),
+      mode(mode_)
+{
+    winomc_assert(branches.size() >= 2, "join needs >= 2 branches");
+}
+
+Tensor
+FractalJoinBlock::forward(const Tensor &x, bool train)
+{
+    const float scale = 1.0f / float(branches.size());
+    Tensor acc;
+    for (size_t k = 0; k < branches.size(); ++k) {
+        Tensor out = branches[k]->forward(x, train);
+        if (mode == JoinMode::Standard)
+            out = branchRelus[k].forward(out, train);
+        if (k == 0) {
+            acc = std::move(out);
+        } else {
+            winomc_assert(acc.sameShape(out),
+                          "join branch shape mismatch");
+            acc += out;
+        }
+    }
+    acc *= scale;
+    if (mode == JoinMode::Modified)
+        acc = joinRelu.forward(acc, train);
+    return acc;
+}
+
+Tensor
+FractalJoinBlock::backward(const Tensor &dy)
+{
+    const float scale = 1.0f / float(branches.size());
+    Tensor djoin = dy;
+    if (mode == JoinMode::Modified)
+        djoin = joinRelu.backward(djoin);
+    djoin *= scale;
+
+    Tensor dx;
+    for (size_t k = 0; k < branches.size(); ++k) {
+        Tensor g = djoin;
+        if (mode == JoinMode::Standard)
+            g = branchRelus[k].backward(g);
+        Tensor d = branches[k]->backward(g);
+        if (k == 0)
+            dx = std::move(d);
+        else
+            dx += d;
+    }
+    return dx;
+}
+
+void
+FractalJoinBlock::step(float lr)
+{
+    for (auto &b : branches)
+        b->step(lr);
+}
+
+size_t
+FractalJoinBlock::paramCount() const
+{
+    size_t n = 0;
+    for (const auto &b : branches)
+        n += b->paramCount();
+    return n;
+}
+
+std::string
+FractalJoinBlock::name() const
+{
+    return mode == JoinMode::Standard ? "join_standard" : "join_modified";
+}
+
+ModulePtr
+makeFractalPair(int in_ch, int out_ch, int r, JoinMode join,
+                ConvMode conv_mode, const WinogradAlgo &algo, Rng &rng)
+{
+    auto deep = std::make_unique<Sequential>();
+    deep->add(std::make_unique<ConvLayer>(in_ch, out_ch, r, conv_mode,
+                                          algo, rng));
+    deep->add(std::make_unique<ReLU>());
+    deep->add(std::make_unique<ConvLayer>(out_ch, out_ch, r, conv_mode,
+                                          algo, rng));
+
+    auto shallow = std::make_unique<ConvLayer>(in_ch, out_ch, r,
+                                               conv_mode, algo, rng);
+
+    std::vector<ModulePtr> branches;
+    branches.push_back(std::move(deep));
+    branches.push_back(std::move(shallow));
+    return std::make_unique<FractalJoinBlock>(std::move(branches), join);
+}
+
+} // namespace winomc::nn

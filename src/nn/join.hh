@@ -1,0 +1,65 @@
+/**
+ * @file
+ * FractalNet-style multi-branch block with the join operation of
+ * Section VII-A / Figure 14.
+ *
+ * Standard join: each branch ends with its own ReLU, and the join
+ * computes the element-wise mean of the *activated* branch outputs.
+ *
+ * Modified join (the paper's): branches emit pre-activation outputs, the
+ * join computes their mean, and a single ReLU follows the join. Because
+ * the mean is linear it commutes with the inverse Winograd transform, so
+ * the join can run in the Winograd domain and one tile gather per join
+ * is saved. The experiment of Fig 14 shows the two train to the same
+ * validation accuracy.
+ */
+
+#ifndef WINOMC_NN_JOIN_HH
+#define WINOMC_NN_JOIN_HH
+
+#include "nn/basic_layers.hh"
+#include "nn/conv_layer.hh"
+#include "nn/module.hh"
+
+namespace winomc::nn {
+
+enum class JoinMode { Standard, Modified };
+
+/**
+ * Join block: N parallel branches whose outputs are averaged.
+ * Branch modules must map equal input shapes to equal output shapes.
+ */
+class FractalJoinBlock : public Module
+{
+  public:
+    FractalJoinBlock(std::vector<ModulePtr> branches, JoinMode mode);
+
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &dy) override;
+    void step(float lr) override;
+    size_t paramCount() const override;
+    std::string name() const override;
+
+    JoinMode joinMode() const { return mode; }
+    size_t branchCount() const { return branches.size(); }
+
+  private:
+    std::vector<ModulePtr> branches;
+    /** Per-branch ReLUs (Standard) or one post-join ReLU (Modified). */
+    std::vector<ReLU> branchRelus;
+    ReLU joinRelu;
+    JoinMode mode;
+};
+
+/**
+ * Convenience factory: the 2-column fractal unit used in the Fig 14
+ * experiment - deep branch conv-ReLU-conv, shallow branch conv, then the
+ * selected join.
+ */
+ModulePtr makeFractalPair(int in_ch, int out_ch, int r, JoinMode join,
+                          ConvMode conv_mode, const WinogradAlgo &algo,
+                          Rng &rng);
+
+} // namespace winomc::nn
+
+#endif // WINOMC_NN_JOIN_HH

@@ -1,0 +1,54 @@
+#include "nn/loss.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace winomc::nn {
+
+LossResult
+softmaxCrossEntropy(const Tensor &logits, const std::vector<int> &labels)
+{
+    const int B = logits.n();
+    const int C = logits.w();
+    winomc_assert(logits.c() == 1 && logits.h() == 1,
+                  "logits must be (B,1,1,C)");
+    winomc_assert(int(labels.size()) == B, "labels/batch mismatch");
+
+    LossResult res;
+    res.dlogits = Tensor(B, 1, 1, C);
+    res.loss = 0.0;
+    res.correct = 0;
+
+    for (int b = 0; b < B; ++b) {
+        winomc_assert(labels[size_t(b)] >= 0 && labels[size_t(b)] < C,
+                      "label out of range");
+        float mx = logits.at(b, 0, 0, 0);
+        int arg = 0;
+        for (int c = 1; c < C; ++c) {
+            if (logits.at(b, 0, 0, c) > mx) {
+                mx = logits.at(b, 0, 0, c);
+                arg = c;
+            }
+        }
+        if (arg == labels[size_t(b)])
+            ++res.correct;
+
+        double denom = 0.0;
+        for (int c = 0; c < C; ++c)
+            denom += std::exp(double(logits.at(b, 0, 0, c)) - mx);
+        double logden = std::log(denom) + mx;
+        res.loss += logden - logits.at(b, 0, 0, labels[size_t(b)]);
+
+        for (int c = 0; c < C; ++c) {
+            double p = std::exp(double(logits.at(b, 0, 0, c)) - logden);
+            double grad = p - (c == labels[size_t(b)] ? 1.0 : 0.0);
+            res.dlogits.at(b, 0, 0, c) = float(grad / B);
+        }
+    }
+    res.loss /= B;
+    return res;
+}
+
+} // namespace winomc::nn

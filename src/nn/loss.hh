@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Softmax cross-entropy loss for classification training.
+ */
+
+#ifndef WINOMC_NN_LOSS_HH
+#define WINOMC_NN_LOSS_HH
+
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace winomc::nn {
+
+/** Loss value plus gradient w.r.t. the logits. */
+struct LossResult
+{
+    double loss;     ///< mean cross-entropy over the batch
+    Tensor dlogits;  ///< (B, 1, 1, classes)
+    int correct;     ///< top-1 hits in the batch
+};
+
+/**
+ * Softmax + cross-entropy on logits (B, 1, 1, classes) against integer
+ * labels. The returned gradient is already divided by the batch size.
+ */
+LossResult softmaxCrossEntropy(const Tensor &logits,
+                               const std::vector<int> &labels);
+
+} // namespace winomc::nn
+
+#endif // WINOMC_NN_LOSS_HH

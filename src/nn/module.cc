@@ -1,0 +1,46 @@
+#include "nn/module.hh"
+
+namespace winomc::nn {
+
+Sequential &
+Sequential::add(ModulePtr m)
+{
+    children.push_back(std::move(m));
+    return *this;
+}
+
+Tensor
+Sequential::forward(const Tensor &x, bool train)
+{
+    Tensor cur = x;
+    for (auto &c : children)
+        cur = c->forward(cur, train);
+    return cur;
+}
+
+Tensor
+Sequential::backward(const Tensor &dy)
+{
+    Tensor cur = dy;
+    for (auto it = children.rbegin(); it != children.rend(); ++it)
+        cur = (*it)->backward(cur);
+    return cur;
+}
+
+void
+Sequential::step(float lr)
+{
+    for (auto &c : children)
+        c->step(lr);
+}
+
+size_t
+Sequential::paramCount() const
+{
+    size_t n = 0;
+    for (const auto &c : children)
+        n += c->paramCount();
+    return n;
+}
+
+} // namespace winomc::nn

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Minimal trainable-module abstraction for the neural-network substrate.
+ *
+ * This is deliberately small: enough to train the CNNs the algorithmic
+ * experiments need (activation-prediction statistics, the modified-join
+ * equivalence of Fig 14, end-to-end convergence checks), not a deep
+ * learning framework. Modules cache what they need on forward() and
+ * consume it on backward().
+ */
+
+#ifndef WINOMC_NN_MODULE_HH
+#define WINOMC_NN_MODULE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace winomc::nn {
+
+/** Base class of every trainable or stateless layer. */
+class Module
+{
+  public:
+    virtual ~Module() = default;
+
+    /**
+     * Run the layer. @param train true during training (layers may cache
+     * activations for backward()).
+     */
+    virtual Tensor forward(const Tensor &x, bool train) = 0;
+
+    /** Backpropagate; returns dL/dx. Only valid after forward(train). */
+    virtual Tensor backward(const Tensor &dy) = 0;
+
+    /** SGD step with the accumulated gradients, then clear them. */
+    virtual void step(float lr) { (void)lr; }
+
+    /** Number of trainable parameters. */
+    virtual size_t paramCount() const { return 0; }
+
+    virtual std::string name() const = 0;
+};
+
+using ModulePtr = std::unique_ptr<Module>;
+
+/** Runs children in order. */
+class Sequential : public Module
+{
+  public:
+    Sequential() = default;
+
+    Sequential &add(ModulePtr m);
+
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &dy) override;
+    void step(float lr) override;
+    size_t paramCount() const override;
+    std::string name() const override { return "sequential"; }
+
+    size_t size() const { return children.size(); }
+    Module &child(size_t i) { return *children.at(i); }
+
+  private:
+    std::vector<ModulePtr> children;
+};
+
+} // namespace winomc::nn
+
+#endif // WINOMC_NN_MODULE_HH

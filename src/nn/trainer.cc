@@ -1,0 +1,81 @@
+#include "nn/trainer.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "nn/loss.hh"
+
+namespace winomc::nn {
+
+std::vector<EpochStats>
+train(Module &model, const Dataset &train_set, const Dataset &val_set,
+      const TrainConfig &cfg, Rng &rng)
+{
+    std::vector<EpochStats> history;
+    std::vector<size_t> order(train_set.size());
+    std::iota(order.begin(), order.end(), 0);
+
+    float lr = cfg.lr;
+    for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+        std::shuffle(order.begin(), order.end(), rng.raw());
+
+        double loss_sum = 0.0;
+        int correct = 0, seen = 0, batches = 0;
+        for (size_t pos = 0; pos + cfg.batchSize <= train_set.size();
+             pos += size_t(cfg.batchSize)) {
+            // Gather the shuffled batch.
+            Tensor xb(cfg.batchSize, 1, train_set.imageSize,
+                      train_set.imageSize);
+            std::vector<int> yb(size_t(cfg.batchSize));
+            for (int k = 0; k < cfg.batchSize; ++k) {
+                const Tensor &img = train_set.images[order[pos + k]];
+                for (int i = 0; i < train_set.imageSize; ++i)
+                    for (int j = 0; j < train_set.imageSize; ++j)
+                        xb.at(k, 0, i, j) = img.at(i, j);
+                yb[size_t(k)] = train_set.labels[order[pos + k]];
+            }
+
+            Tensor logits = model.forward(xb, true);
+            LossResult res = softmaxCrossEntropy(logits, yb);
+            model.backward(res.dlogits);
+            model.step(lr);
+
+            loss_sum += res.loss;
+            correct += res.correct;
+            seen += cfg.batchSize;
+            ++batches;
+        }
+
+        EpochStats st;
+        st.trainLoss = batches ? loss_sum / batches : 0.0;
+        st.trainAcc = seen ? double(correct) / seen : 0.0;
+        st.valAcc = evaluate(model, val_set, cfg.batchSize);
+        history.push_back(st);
+        if (cfg.verbose) {
+            winomc_inform("epoch ", epoch + 1, "/", cfg.epochs, " loss ",
+                          st.trainLoss, " train acc ", st.trainAcc,
+                          " val acc ", st.valAcc);
+        }
+        lr *= cfg.lrDecay;
+    }
+    return history;
+}
+
+double
+evaluate(Module &model, const Dataset &ds, int batch_size)
+{
+    int correct = 0, seen = 0;
+    for (size_t pos = 0; pos < ds.size(); pos += size_t(batch_size)) {
+        size_t count = std::min(size_t(batch_size), ds.size() - pos);
+        std::vector<int> yb;
+        Tensor xb = ds.batch(pos, count, yb);
+        Tensor logits = model.forward(xb, false);
+        LossResult res = softmaxCrossEntropy(logits, yb);
+        correct += res.correct;
+        seen += int(count);
+    }
+    return seen ? double(correct) / seen : 0.0;
+}
+
+} // namespace winomc::nn

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Mini-batch SGD training loop with per-epoch validation.
+ */
+
+#ifndef WINOMC_NN_TRAINER_HH
+#define WINOMC_NN_TRAINER_HH
+
+#include <vector>
+
+#include "nn/dataset.hh"
+#include "nn/module.hh"
+
+namespace winomc::nn {
+
+struct TrainConfig
+{
+    int epochs = 10;
+    int batchSize = 16;
+    float lr = 0.05f;
+    float lrDecay = 1.0f;  ///< multiplicative per-epoch decay
+    bool verbose = false;
+};
+
+struct EpochStats
+{
+    double trainLoss;
+    double trainAcc;
+    double valAcc;
+};
+
+/**
+ * Train `model` (which must end in logits of `train.classes` width) and
+ * return per-epoch statistics. Data order is shuffled with `rng`.
+ */
+std::vector<EpochStats> train(Module &model, const Dataset &train_set,
+                              const Dataset &val_set,
+                              const TrainConfig &cfg, Rng &rng);
+
+/** Top-1 accuracy of the model on a dataset. */
+double evaluate(Module &model, const Dataset &ds, int batch_size = 32);
+
+} // namespace winomc::nn
+
+#endif // WINOMC_NN_TRAINER_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Flit and packet descriptors of the flit-level network simulator.
+ */
+
+#ifndef WINOMC_NOC_FLIT_HH
+#define WINOMC_NOC_FLIT_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+
+namespace winomc::noc {
+
+/** One flow-control unit. Packet metadata lives in Network::packets. */
+struct Flit
+{
+    int packet = -1;  ///< owning packet id
+    bool head = false;
+    bool tail = false;
+    int dst = -1;     ///< destination node (copied from packet for route)
+    int vc = 0;       ///< virtual channel currently occupied
+};
+
+/** Packet bookkeeping (created at injection, finalized at ejection). */
+struct PacketInfo
+{
+    int src = -1;
+    int dst = -1;
+    int flits = 1;
+    Tick injected = 0;   ///< when offered to the source queue
+    Tick network_in = 0; ///< when the head flit entered the router
+    Tick ejected = 0;
+    bool done = false;
+};
+
+} // namespace winomc::noc
+
+#endif // WINOMC_NOC_FLIT_HH

@@ -1,0 +1,301 @@
+#include "noc/network.hh"
+
+#include "common/logging.hh"
+
+namespace winomc::noc {
+
+Network::Network(std::unique_ptr<Topology> topo_, const NocConfig &cfg_)
+    : topo(std::move(topo_)), cfg(cfg_)
+{
+    winomc_assert(cfg.vcs >= topo->vcsNeeded(),
+                  "topology '", topo->name(), "' needs ",
+                  topo->vcsNeeded(), " VCs, config has ", cfg.vcs);
+    const int n = topo->nodes();
+    routers.reserve(size_t(n));
+    winomc_assert(cfg.injectionLanes >= 1, "need an injection lane");
+    for (int i = 0; i < n; ++i)
+        routers.emplace_back(i, topo->ports(), cfg.vcs, cfg.bufferDepth,
+                             cfg.injectionLanes);
+    sourceQueues.assign(size_t(n),
+                        std::vector<std::deque<Flit>>(
+                            size_t(cfg.injectionLanes)));
+    wheel.emplace_back(); // current cycle bucket
+}
+
+int
+Network::offerPacket(int src, int dst, int bytes)
+{
+    winomc_assert(src >= 0 && src < topo->nodes() && dst >= 0 &&
+                  dst < topo->nodes(), "bad packet endpoints");
+    winomc_assert(src != dst, "packet to self");
+    winomc_assert(bytes > 0, "empty packet");
+
+    int id = int(packets.size());
+    int flits = (bytes + cfg.flitBytes - 1) / cfg.flitBytes;
+    PacketInfo info;
+    info.src = src;
+    info.dst = dst;
+    info.flits = flits;
+    info.injected = cycle;
+    packets.push_back(info);
+
+    int vc = topo->selectVc(src, dst);
+    // Whole packets stay on one lane so wormhole ordering holds.
+    size_t lane = size_t(nextLane++) % size_t(cfg.injectionLanes);
+    for (int k = 0; k < flits; ++k) {
+        Flit f;
+        f.packet = id;
+        f.head = (k == 0);
+        f.tail = (k == flits - 1);
+        f.dst = dst;
+        f.vc = vc;
+        sourceQueues[size_t(src)][lane].push_back(f);
+    }
+    return id;
+}
+
+void
+Network::deliverArrivals()
+{
+    auto &bucket = wheel.front();
+    for (const auto &a : bucket) {
+        if (a.is_credit)
+            routers[size_t(a.node)].acceptCredit(a.port, a.vc);
+        else
+            routers[size_t(a.node)].acceptFlit(a.port, a.vc, a.flit);
+    }
+    bucket.clear();
+}
+
+void
+Network::switchAllocation()
+{
+    const int n = topo->nodes();
+    const int net_ports = topo->ports();
+    const int egress = net_ports;
+
+    for (int node = 0; node < n; ++node) {
+        Router &r = routers[size_t(node)];
+        const int in_slots = r.inputPorts() * cfg.vcs;
+
+        // Ejection first: the terminal empties into the NDP's on-chip
+        // crossbar (Table III), which is far wider than one serial
+        // link, so any number of head flits may eject per cycle.
+        for (int p = 0; p < r.inputPorts(); ++p) {
+            for (int v = 0; v < cfg.vcs; ++v) {
+                auto &in = r.inputs[size_t(p)][size_t(v)];
+                while (!in.fifo.empty()) {
+                    Flit f = in.fifo.front();
+                    if (in.outPort == -1) {
+                        if (!f.head || f.dst != node)
+                            break;
+                        in.outPort = egress;
+                        in.outVc = 0;
+                    }
+                    if (in.outPort != egress)
+                        break;
+                    in.fifo.pop_front();
+                    if (f.tail) {
+                        PacketInfo &pi = packets[size_t(f.packet)];
+                        pi.ejected = cycle;
+                        pi.done = true;
+                        ++ejected;
+                        latency.add(double(cycle - pi.injected));
+                        in.outPort = -1;
+                        in.outVc = -1;
+                    }
+                    ++ejectedFlits;
+                    if (p < net_ports) {
+                        Arrival c;
+                        c.when = cycle + Tick(cfg.hopLatency);
+                        c.node = topo->neighbor(node, p);
+                        c.port = topo->peerPort(node, p);
+                        c.vc = v;
+                        c.is_credit = true;
+                        size_t off = size_t(cfg.hopLatency);
+                        while (wheel.size() <= off)
+                            wheel.emplace_back();
+                        wheel[off].push_back(c);
+                    }
+                }
+            }
+        }
+
+        // One grant per network output port per cycle.
+        for (int o = 0; o < net_ports; ++o) {
+            int &ptr = r.rrPtr[size_t(o)];
+            for (int k = 0; k < in_slots; ++k) {
+                int slot = (ptr + k) % in_slots;
+                int p = slot / cfg.vcs;
+                int v = slot % cfg.vcs;
+                auto &in = r.inputs[size_t(p)][size_t(v)];
+                if (in.fifo.empty())
+                    continue;
+                Flit f = in.fifo.front();
+
+                // Route computation at the head flit.
+                if (in.outPort == -1) {
+                    winomc_assert(f.head, "body flit with no route at ",
+                                  node);
+                    if (f.dst == node) {
+                        in.outPort = egress;
+                        in.outVc = 0;
+                    } else {
+                        in.outPort = topo->route(node, f.dst);
+                        in.outVc = topo->nextVc(node, in.outPort, f.vc);
+                    }
+                }
+                if (in.outPort != o)
+                    continue;
+
+                // Output VC ownership (wormhole) and credits.
+                if (o != egress) {
+                    int &owner = r.ownerIn[size_t(o)][size_t(in.outVc)];
+                    if (owner != slot && owner != -1)
+                        continue; // another packet owns this output VC
+                    if (r.credits[size_t(o)][size_t(in.outVc)] <= 0)
+                        continue;
+                    owner = slot;
+                    --r.credits[size_t(o)][size_t(in.outVc)];
+                }
+
+                // Grant: move the flit.
+                in.fifo.pop_front();
+                if (o == egress) {
+                    if (f.tail) {
+                        PacketInfo &pi = packets[size_t(f.packet)];
+                        pi.ejected = cycle;
+                        pi.done = true;
+                        ++ejected;
+                        latency.add(double(cycle - pi.injected));
+                    }
+                    ++ejectedFlits;
+                } else {
+                    Flit out = f;
+                    out.vc = in.outVc;
+                    Arrival a;
+                    a.when = cycle + Tick(cfg.hopLatency);
+                    a.node = topo->neighbor(node, o);
+                    a.port = topo->peerPort(node, o);
+                    a.vc = in.outVc;
+                    a.is_credit = false;
+                    a.flit = out;
+                    size_t off = size_t(cfg.hopLatency);
+                    while (wheel.size() <= off)
+                        wheel.emplace_back();
+                    wheel[off].push_back(a);
+                }
+
+                // Release the output VC at the tail.
+                if (f.tail && o != egress)
+                    r.ownerIn[size_t(o)][size_t(in.outVc)] = -1;
+                if (f.tail) {
+                    in.outPort = -1;
+                    in.outVc = -1;
+                }
+
+                // Credit back to the upstream router (network inputs).
+                if (p < net_ports) {
+                    Arrival c;
+                    c.when = cycle + Tick(cfg.hopLatency);
+                    c.node = topo->neighbor(node, p);
+                    c.port = topo->peerPort(node, p);
+                    c.vc = v;
+                    c.is_credit = true;
+                    size_t off = size_t(cfg.hopLatency);
+                    while (wheel.size() <= off)
+                        wheel.emplace_back();
+                    wheel[off].push_back(c);
+                }
+
+                ptr = (slot + 1) % in_slots;
+                break;
+            }
+        }
+    }
+}
+
+void
+Network::injection()
+{
+    for (int node = 0; node < topo->nodes(); ++node) {
+        Router &r = routers[size_t(node)];
+        for (int lane = 0; lane < cfg.injectionLanes; ++lane) {
+            auto &q = sourceQueues[size_t(node)][size_t(lane)];
+            if (q.empty())
+                continue;
+            Flit &f = q.front();
+            if (!r.hasSpace(r.injectionPort(lane), f.vc))
+                continue;
+            if (f.head)
+                packets[size_t(f.packet)].network_in = cycle;
+            r.acceptFlit(r.injectionPort(lane), f.vc, f);
+            q.pop_front();
+        }
+    }
+}
+
+void
+Network::step()
+{
+    deliverArrivals();
+    switchAllocation();
+    injection();
+    ++cycle;
+    wheel.pop_front();
+    if (wheel.empty())
+        wheel.emplace_back();
+}
+
+void
+Network::run(int cycles)
+{
+    for (int k = 0; k < cycles; ++k)
+        step();
+}
+
+bool
+Network::drain(int max_cycles)
+{
+    for (int k = 0; k < max_cycles; ++k) {
+        if (ejected == packets.size() && flitsInFlight() == 0)
+            return true;
+        step();
+    }
+    return ejected == packets.size() && flitsInFlight() == 0;
+}
+
+double
+Network::acceptedFlitRate() const
+{
+    Tick elapsed = cycle - statsSince;
+    if (elapsed == 0)
+        return 0.0;
+    return double(ejectedFlits) / double(elapsed) / topo->nodes();
+}
+
+void
+Network::resetStats()
+{
+    latency.reset();
+    ejectedFlits = 0;
+    statsSince = cycle;
+}
+
+size_t
+Network::flitsInFlight() const
+{
+    size_t n = 0;
+    for (const auto &r : routers)
+        n += r.occupancy();
+    for (const auto &lanes : sourceQueues)
+        for (const auto &q : lanes)
+            n += q.size();
+    for (const auto &bucket : wheel)
+        for (const auto &a : bucket)
+            if (!a.is_credit)
+                ++n;
+    return n;
+}
+
+} // namespace winomc::noc

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Cycle-stepped flit-level network: routers wired by a Topology, flit
+ * and credit propagation with per-hop SerDes latency, packet injection /
+ * ejection with latency statistics.
+ *
+ * Link widths follow Table III: a full-width link moves 30 bytes per
+ * 1 GHz cycle (16 lanes x 15 Gbps), a narrow link 10 bytes per cycle
+ * (8 lanes x 10 Gbps); a packet of B bytes therefore serializes into
+ * ceil(B / flit_bytes) flits.
+ */
+
+#ifndef WINOMC_NOC_NETWORK_HH
+#define WINOMC_NOC_NETWORK_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "noc/router.hh"
+#include "noc/topology.hh"
+
+namespace winomc::noc {
+
+struct NocConfig
+{
+    int vcs = 2;
+    int bufferDepth = 32;  ///< flits per input VC (covers credit RTT)
+    /** Cycles from switch grant to downstream buffer: router pipeline
+     *  (2) + serialization + deserialization (5 ns, Table III). */
+    int hopLatency = 7;
+    int flitBytes = 30;    ///< link phit per cycle (full-width default)
+    /** Parallel injection channels from the terminal (the NDP feeds
+     *  its router through the on-chip crossbar, so multi-port routers
+     *  can accept several flits per cycle). */
+    int injectionLanes = 1;
+};
+
+class Network
+{
+  public:
+    Network(std::unique_ptr<Topology> topo, const NocConfig &cfg);
+
+    /**
+     * Offer a packet to node `src`'s source queue. Returns the packet
+     * id. Size is given in bytes and converted to flits.
+     */
+    int offerPacket(int src, int dst, int bytes);
+
+    /** Advance one cycle. */
+    void step();
+    /** Run `cycles` cycles. */
+    void run(int cycles);
+    /** Step until all offered packets eject (or `max_cycles` pass);
+     *  returns true if drained. */
+    bool drain(int max_cycles);
+
+    Tick now() const { return cycle; }
+    const Topology &topology() const { return *topo; }
+    const NocConfig &config() const { return cfg; }
+
+    const PacketInfo &packet(int id) const { return packets[size_t(id)]; }
+    size_t packetCount() const { return packets.size(); }
+    uint64_t ejectedCount() const { return ejected; }
+
+    /** Packet latency (inject -> eject) of ejected packets. */
+    const Accumulator &latencyStats() const { return latency; }
+    /** Flits ejected per node per cycle since the last resetStats(). */
+    double acceptedFlitRate() const;
+    void resetStats();
+
+    /** Flits currently buffered anywhere (0 when idle). */
+    size_t flitsInFlight() const;
+
+  private:
+    struct Arrival
+    {
+        Tick when;
+        int node, port, vc;
+        bool is_credit;
+        Flit flit; ///< valid when !is_credit
+    };
+
+    void deliverArrivals();
+    void switchAllocation();
+    void injection();
+
+    std::unique_ptr<Topology> topo;
+    NocConfig cfg;
+    Tick cycle = 0;
+
+    std::vector<Router> routers;
+    std::vector<PacketInfo> packets;
+    /** Per-(node, lane) source queues of un-injected flits. */
+    std::vector<std::vector<std::deque<Flit>>> sourceQueues;
+    uint64_t nextLane = 0;
+    /** In-flight flits/credits sorted into per-cycle buckets. */
+    std::deque<std::vector<Arrival>> wheel; ///< wheel[0] = this cycle
+
+    Accumulator latency;
+    uint64_t ejected = 0;
+    uint64_t ejectedFlits = 0;
+    Tick statsSince = 0;
+};
+
+} // namespace winomc::noc
+
+#endif // WINOMC_NOC_NETWORK_HH

@@ -1,0 +1,55 @@
+#include "noc/router.hh"
+
+#include "common/logging.hh"
+
+namespace winomc::noc {
+
+Router::Router(int node_, int net_ports, int vcs_, int buf_depth,
+               int inj_lanes)
+    : node(node_), netPorts(net_ports), vcs(vcs_), bufDepth(buf_depth),
+      injLanes(inj_lanes),
+      inputs(size_t(net_ports) + size_t(inj_lanes),
+             std::vector<InputVc>(size_t(vcs_))),
+      credits(size_t(net_ports), std::vector<int>(size_t(vcs_),
+                                                  buf_depth)),
+      ownerIn(size_t(net_ports), std::vector<int>(size_t(vcs_), -1)),
+      rrPtr(size_t(net_ports) + 1, 0)
+{
+    winomc_assert(inj_lanes >= 1, "need at least one injection lane");
+}
+
+bool
+Router::hasSpace(int port, int vc) const
+{
+    return int(inputs[size_t(port)][size_t(vc)].fifo.size()) < bufDepth;
+}
+
+void
+Router::acceptFlit(int port, int vc, const Flit &f)
+{
+    auto &in = inputs[size_t(port)][size_t(vc)];
+    winomc_assert(int(in.fifo.size()) < bufDepth,
+                  "input buffer overflow at node ", node, " port ", port,
+                  " vc ", vc);
+    in.fifo.push_back(f);
+}
+
+void
+Router::acceptCredit(int port, int vc)
+{
+    int &c = credits[size_t(port)][size_t(vc)];
+    ++c;
+    winomc_assert(c <= bufDepth, "credit overflow at node ", node);
+}
+
+size_t
+Router::occupancy() const
+{
+    size_t n = 0;
+    for (const auto &port : inputs)
+        for (const auto &vc : port)
+            n += vc.fifo.size();
+    return n;
+}
+
+} // namespace winomc::noc

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Input-queued wormhole router with virtual channels and credit-based
+ * flow control (Table III: 1 GHz router clock, minimal routing).
+ *
+ * Per cycle each output port grants at most one flit, chosen round-robin
+ * among the input VCs routed to it. A head flit acquires the output VC
+ * (wormhole: the packet owns it until the tail passes) and must see a
+ * downstream credit; body/tail flits follow the established path.
+ */
+
+#ifndef WINOMC_NOC_ROUTER_HH
+#define WINOMC_NOC_ROUTER_HH
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "noc/flit.hh"
+
+namespace winomc::noc {
+
+class Network;
+
+/** Per-router state; the Network steps all routers synchronously. */
+class Router
+{
+  public:
+    /**
+     * @param node       node id
+     * @param net_ports  network ports (injection ports follow, egress
+     *                   is conceptual)
+     * @param vcs        virtual channels per port
+     * @param buf_depth  flits of buffering per input VC
+     * @param inj_lanes  parallel injection channels
+     */
+    Router(int node, int net_ports, int vcs, int buf_depth,
+           int inj_lanes = 1);
+
+    int inputPorts() const { return netPorts + injLanes; }
+    int injectionPort(int lane = 0) const { return netPorts + lane; }
+
+    /** True if input (port, vc) can accept one more flit. */
+    bool hasSpace(int port, int vc) const;
+    /** Deposit an arriving flit into an input buffer. */
+    void acceptFlit(int port, int vc, const Flit &f);
+    /** Return one credit for output (port, vc). */
+    void acceptCredit(int port, int vc);
+
+    /** Total buffered flits (for drain checks). */
+    size_t occupancy() const;
+
+  private:
+    friend class Network;
+
+    struct InputVc
+    {
+        std::deque<Flit> fifo;
+        int outPort = -1; ///< assigned at head, -1 when idle
+        int outVc = -1;
+    };
+
+    int node;
+    int netPorts;
+    int vcs;
+    int bufDepth;
+    int injLanes;
+
+    /** inputs[port][vc]; port == netPorts is the injection port. */
+    std::vector<std::vector<InputVc>> inputs;
+    /** credits[port][vc]: free downstream slots (network ports only). */
+    std::vector<std::vector<int>> credits;
+    /** ownerIn[port][vc]: flattened input id owning output VC, or -1. */
+    std::vector<std::vector<int>> ownerIn;
+    /** Round-robin pointers per output port (egress = netPorts). */
+    std::vector<int> rrPtr;
+};
+
+} // namespace winomc::noc
+
+#endif // WINOMC_NOC_ROUTER_HH

@@ -1,0 +1,139 @@
+#include "noc/topology.hh"
+
+#include "common/logging.hh"
+
+namespace winomc::noc {
+
+int
+Topology::hopCount(int src, int dst) const
+{
+    int hops = 0;
+    int cur = src;
+    while (cur != dst) {
+        int port = route(cur, dst);
+        cur = neighbor(cur, port);
+        ++hops;
+        winomc_assert(hops <= nodes(), "routing loop ", src, "->", dst);
+    }
+    return hops;
+}
+
+// ---------------------------------------------------------------- Ring
+
+RingTopology::RingTopology(int n_) : n(n_)
+{
+    winomc_assert(n_ >= 2, "ring needs >= 2 nodes");
+}
+
+int
+RingTopology::neighbor(int node, int port) const
+{
+    winomc_assert(port == 0 || port == 1, "bad ring port");
+    return port == 0 ? (node + 1) % n : (node + n - 1) % n;
+}
+
+int
+RingTopology::peerPort(int, int port) const
+{
+    return port == 0 ? 1 : 0; // +1 link enters the peer's CCW port
+}
+
+int
+RingTopology::route(int cur, int dst) const
+{
+    winomc_assert(cur != dst, "routing to self");
+    int fwd = (dst - cur + n) % n;
+    return fwd <= n - fwd ? 0 : 1;
+}
+
+int
+RingTopology::nextVc(int node, int out_port, int cur_vc) const
+{
+    // Dateline between node n-1 and node 0: packets switch to the high
+    // VC when crossing it (in either direction), which breaks the
+    // channel-dependency cycle around the ring.
+    bool crossing = (node == n - 1 && out_port == 0) ||
+                    (node == 0 && out_port == 1);
+    return crossing ? 1 : cur_vc;
+}
+
+// ----------------------------------------------------- FlatButterfly2D
+
+FlatButterfly2D::FlatButterfly2D(int k_) : k(k_)
+{
+    winomc_assert(k_ >= 2, "flattened butterfly needs k >= 2");
+}
+
+int
+FlatButterfly2D::neighbor(int node, int port) const
+{
+    winomc_assert(port >= 0 && port < ports(), "bad fbfly port");
+    int row = rowOf(node), col = colOf(node);
+    if (port < k - 1) {
+        // Row link to the port-th other column.
+        int other = port < col ? port : port + 1;
+        return row * k + other;
+    }
+    int p = port - (k - 1);
+    int other = p < row ? p : p + 1;
+    return other * k + col;
+}
+
+int
+FlatButterfly2D::peerPort(int node, int port) const
+{
+    int peer = neighbor(node, port);
+    if (port < k - 1) {
+        int my_col = colOf(node);
+        int peer_col = colOf(peer);
+        (void)peer_col;
+        // On the peer, the link back to us is its row port toward my_col.
+        return my_col < colOf(peer) ? my_col : my_col - 1;
+    }
+    int my_row = rowOf(node);
+    return (k - 1) + (my_row < rowOf(peer) ? my_row : my_row - 1);
+}
+
+int
+FlatButterfly2D::route(int cur, int dst) const
+{
+    winomc_assert(cur != dst, "routing to self");
+    int ccol = colOf(cur), dcol = colOf(dst);
+    int crow = rowOf(cur), drow = rowOf(dst);
+    if (ccol != dcol) {
+        // Row (column-changing) hop first.
+        return dcol < ccol ? dcol : dcol - 1;
+    }
+    winomc_assert(crow != drow, "inconsistent route state");
+    return (k - 1) + (drow < crow ? drow : drow - 1);
+}
+
+// ------------------------------------------------------- FullyConnected
+
+FullyConnected::FullyConnected(int n_) : n(n_)
+{
+    winomc_assert(n_ >= 2, "clique needs >= 2 nodes");
+}
+
+int
+FullyConnected::neighbor(int node, int port) const
+{
+    winomc_assert(port >= 0 && port < n - 1, "bad clique port");
+    return port < node ? port : port + 1;
+}
+
+int
+FullyConnected::peerPort(int node, int port) const
+{
+    int peer = neighbor(node, port);
+    return node < peer ? node : node - 1;
+}
+
+int
+FullyConnected::route(int cur, int dst) const
+{
+    winomc_assert(cur != dst, "routing to self");
+    return dst < cur ? dst : dst - 1;
+}
+
+} // namespace winomc::noc

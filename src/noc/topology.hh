@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Topologies of the memory-centric network (Section IV / Table III):
+ * bidirectional ring (weight collectives), 2D flattened butterfly (tile
+ * transfer inside a cluster, max 2 hops), and a fully connected clique
+ * (the 4-worker cluster of the (4, 64) configuration; single hop).
+ *
+ * A topology describes wiring (neighbor/port maps), minimal routing
+ * (output port per hop) and virtual-channel selection (dateline VCs on
+ * the ring for deadlock freedom).
+ */
+
+#ifndef WINOMC_NOC_TOPOLOGY_HH
+#define WINOMC_NOC_TOPOLOGY_HH
+
+#include <memory>
+#include <string>
+
+namespace winomc::noc {
+
+class Topology
+{
+  public:
+    virtual ~Topology() = default;
+
+    virtual std::string name() const = 0;
+    virtual int nodes() const = 0;
+    /** Network ports per router (terminal port excluded). */
+    virtual int ports() const = 0;
+    /** Peer node reached through `port` of `node` (-1 if unwired). */
+    virtual int neighbor(int node, int port) const = 0;
+    /** Port on the peer that this link enters. */
+    virtual int peerPort(int node, int port) const = 0;
+    /** Minimal route: output port at `cur` toward `dst`. */
+    virtual int route(int cur, int dst) const = 0;
+    /** VC a packet uses at injection. */
+    virtual int selectVc(int src, int dst) const { (void)src; (void)dst;
+        return 0; }
+    /**
+     * VC on the outgoing link given the current VC (deadlock avoidance;
+     * the ring switches to the high VC when crossing its dateline).
+     */
+    virtual int
+    nextVc(int node, int out_port, int cur_vc) const
+    {
+        (void)node;
+        (void)out_port;
+        return cur_vc;
+    }
+    /** VCs the network must provision. */
+    virtual int vcsNeeded() const { return 1; }
+    /** Hop count of the minimal route. */
+    int hopCount(int src, int dst) const;
+};
+
+/** Bidirectional ring; minimal (shorter-direction) routing; 2 dateline
+ *  VCs. Port 0 = clockwise (+1), port 1 = counter-clockwise (-1). */
+class RingTopology : public Topology
+{
+  public:
+    explicit RingTopology(int n);
+
+    std::string name() const override { return "ring"; }
+    int nodes() const override { return n; }
+    int ports() const override { return 2; }
+    int neighbor(int node, int port) const override;
+    int peerPort(int node, int port) const override;
+    int route(int cur, int dst) const override;
+    int nextVc(int node, int out_port, int cur_vc) const override;
+    int vcsNeeded() const override { return 2; }
+
+  private:
+    int n;
+};
+
+/**
+ * 2D flattened butterfly: k x k routers, every router directly linked to
+ * all routers sharing its row and all sharing its column. Minimal
+ * routing goes row first, then column (<= 2 hops).
+ * Ports 0..k-2: row links; ports k-1..2k-3: column links.
+ */
+class FlatButterfly2D : public Topology
+{
+  public:
+    explicit FlatButterfly2D(int k);
+
+    std::string name() const override { return "fbfly2d"; }
+    int nodes() const override { return k * k; }
+    int ports() const override { return 2 * (k - 1); }
+    int neighbor(int node, int port) const override;
+    int peerPort(int node, int port) const override;
+    int route(int cur, int dst) const override;
+
+    int edge() const { return k; }
+
+  private:
+    int rowOf(int node) const { return node / k; }
+    int colOf(int node) const { return node % k; }
+
+    int k;
+};
+
+/** Fully connected clique (single-hop between any pair). */
+class FullyConnected : public Topology
+{
+  public:
+    explicit FullyConnected(int n);
+
+    std::string name() const override { return "clique"; }
+    int nodes() const override { return n; }
+    int ports() const override { return n - 1; }
+    int neighbor(int node, int port) const override;
+    int peerPort(int node, int port) const override;
+    int route(int cur, int dst) const override;
+
+  private:
+    int n;
+};
+
+} // namespace winomc::noc
+
+#endif // WINOMC_NOC_TOPOLOGY_HH

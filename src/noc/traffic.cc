@@ -1,0 +1,80 @@
+#include "noc/traffic.hh"
+
+#include "common/logging.hh"
+
+namespace winomc::noc {
+
+TrafficPattern
+uniformRandom(int nodes)
+{
+    return [nodes](int src, Rng &rng) {
+        int d = int(rng.uniformInt(0, nodes - 2));
+        return d >= src ? d + 1 : d;
+    };
+}
+
+TrafficPattern
+ringNeighbor(int nodes)
+{
+    return [nodes](int src, Rng &) { return (src + 1) % nodes; };
+}
+
+TrafficPattern
+transpose(int k)
+{
+    return [k](int src, Rng &) {
+        int row = src / k, col = src % k;
+        return col * k + row;
+    };
+}
+
+LoadPoint
+measureLoadPoint(Network &net, const TrafficPattern &pattern,
+                 double offered_flit_rate, int packet_bytes,
+                 int warmup_cycles, int measure_cycles, Rng &rng)
+{
+    const int n = net.topology().nodes();
+    const int flits_per_packet =
+        (packet_bytes + net.config().flitBytes - 1) /
+        net.config().flitBytes;
+    const double packet_rate = offered_flit_rate / flits_per_packet;
+
+    auto offer = [&](int cycles) {
+        for (int c = 0; c < cycles; ++c) {
+            for (int s = 0; s < n; ++s) {
+                if (rng.uniform() < packet_rate) {
+                    int d = pattern(s, rng);
+                    if (d == s) {
+                        // Self-send (e.g. transpose diagonal): redirect
+                        // uniformly so offered load stays constant.
+                        d = int(rng.uniformInt(0, n - 2));
+                        if (d >= s)
+                            ++d;
+                    }
+                    net.offerPacket(s, d, packet_bytes);
+                }
+            }
+            net.step();
+        }
+    };
+
+    offer(warmup_cycles);
+    net.resetStats();
+    size_t backlog_before = net.flitsInFlight();
+    offer(measure_cycles);
+    size_t backlog_after = net.flitsInFlight();
+
+    LoadPoint pt;
+    pt.offered = offered_flit_rate;
+    pt.accepted = net.acceptedFlitRate();
+    pt.avgLatency = net.latencyStats().mean();
+    // Saturation heuristic: backlog grew by more than 25% of what was
+    // offered during measurement.
+    double offered_flits = offered_flit_rate * n * measure_cycles;
+    pt.saturated =
+        double(backlog_after) - double(backlog_before) >
+        0.25 * offered_flits;
+    return pt;
+}
+
+} // namespace winomc::noc

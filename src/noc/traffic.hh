@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Synthetic traffic generation and load-latency measurement for the
+ * flit-level simulator (the methodology behind validating Table III's
+ * link assumptions and the noc_micro bench).
+ */
+
+#ifndef WINOMC_NOC_TRAFFIC_HH
+#define WINOMC_NOC_TRAFFIC_HH
+
+#include <functional>
+
+#include "common/rng.hh"
+#include "noc/network.hh"
+
+namespace winomc::noc {
+
+/** Destination pattern: maps (src, rng) -> dst (!= src). */
+using TrafficPattern = std::function<int(int src, Rng &rng)>;
+
+/** Uniform random over all other nodes. */
+TrafficPattern uniformRandom(int nodes);
+/** Ring neighbor (clockwise): the collective-communication pattern. */
+TrafficPattern ringNeighbor(int nodes);
+/** Matrix transpose for a square fbfly (k x k); self-sends fall back to
+ *  uniform, handled by the caller. */
+TrafficPattern transpose(int k);
+
+/** Result of one open-loop load point. */
+struct LoadPoint
+{
+    double offered;      ///< flits / node / cycle offered
+    double accepted;     ///< flits / node / cycle ejected
+    double avgLatency;   ///< cycles, inject -> eject
+    bool saturated;      ///< source queues kept growing
+};
+
+/**
+ * Open-loop experiment: every node offers `packet_bytes` packets as a
+ * Bernoulli process with the given flit rate; measures accepted rate
+ * and mean latency after warmup.
+ */
+LoadPoint measureLoadPoint(Network &net, const TrafficPattern &pattern,
+                           double offered_flit_rate, int packet_bytes,
+                           int warmup_cycles, int measure_cycles,
+                           Rng &rng);
+
+} // namespace winomc::noc
+
+#endif // WINOMC_NOC_TRAFFIC_HH

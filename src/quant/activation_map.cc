@@ -1,0 +1,100 @@
+#include "quant/activation_map.hh"
+
+#include "common/logging.hh"
+
+namespace winomc::quant {
+
+ActivationMap::ActivationMap(size_t units)
+    : nUnits(units), bits((units + 7) / 8, 0)
+{
+    winomc_assert(units > 0, "empty activation map");
+}
+
+void
+ActivationMap::set(size_t unit, bool live)
+{
+    winomc_assert(unit < nUnits, "activation map index out of range");
+    uint8_t mask = uint8_t(1u << (unit % 8));
+    if (live)
+        bits[unit / 8] |= mask;
+    else
+        bits[unit / 8] &= uint8_t(~mask);
+}
+
+bool
+ActivationMap::live(size_t unit) const
+{
+    winomc_assert(unit < nUnits, "activation map index out of range");
+    return (bits[unit / 8] >> (unit % 8)) & 1u;
+}
+
+size_t
+ActivationMap::liveCount() const
+{
+    size_t n = 0;
+    for (size_t u = 0; u < nUnits; ++u)
+        if (live(u))
+            ++n;
+    return n;
+}
+
+std::vector<float>
+packUnits(const float *data, size_t unit_floats, const ActivationMap &map)
+{
+    winomc_assert(unit_floats > 0, "empty unit");
+    std::vector<float> out;
+    out.reserve(map.liveCount() * unit_floats);
+    for (size_t u = 0; u < map.units(); ++u) {
+        if (!map.live(u))
+            continue;
+        const float *p = data + u * unit_floats;
+        out.insert(out.end(), p, p + unit_floats);
+    }
+    return out;
+}
+
+void
+unpackUnits(const std::vector<float> &packed, size_t unit_floats,
+            const ActivationMap &map, float *out)
+{
+    winomc_assert(packed.size() == map.liveCount() * unit_floats,
+                  "packed payload size mismatch: ", packed.size(),
+                  " vs ", map.liveCount() * unit_floats);
+    size_t src = 0;
+    for (size_t u = 0; u < map.units(); ++u) {
+        float *p = out + u * unit_floats;
+        if (map.live(u)) {
+            for (size_t k = 0; k < unit_floats; ++k)
+                p[k] = packed[src++];
+        } else {
+            for (size_t k = 0; k < unit_floats; ++k)
+                p[k] = 0.0f;
+        }
+    }
+}
+
+ActivationMap
+mapFromZeroUnits(const float *data, size_t units, size_t unit_floats)
+{
+    ActivationMap map(units);
+    for (size_t u = 0; u < units; ++u) {
+        bool live = false;
+        for (size_t k = 0; k < unit_floats; ++k) {
+            if (data[u * unit_floats + k] != 0.0f) {
+                live = true;
+                break;
+            }
+        }
+        map.set(u, live);
+    }
+    return map;
+}
+
+size_t
+packedWireBytes(const ActivationMap &map, size_t unit_floats)
+{
+    return map.liveCount() * unit_floats * sizeof(float) +
+           map.mapBytes();
+}
+
+} // namespace winomc::quant

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Activation map and packing engine of the P2P communication unit
+ * (Section VI-C, Fig 13(b)).
+ *
+ * The source worker packs (compresses) tile data before sending: units
+ * predicted non-activated (gathering) or exactly zero (scattering) are
+ * dropped, and a bit-per-unit activation map - shared between source
+ * and destination - tells the receiver where to re-insert zeros. The
+ * hardware uses pointer-shift registers so the data itself never moves
+ * inside the buffers; this model is the behavioural equivalent and
+ * accounts for the exact wire bytes (packed payload + map).
+ */
+
+#ifndef WINOMC_QUANT_ACTIVATION_MAP_HH
+#define WINOMC_QUANT_ACTIVATION_MAP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace winomc::quant {
+
+/** One bit per transfer unit (tile, line, or element). */
+class ActivationMap
+{
+  public:
+    explicit ActivationMap(size_t units);
+
+    void set(size_t unit, bool live);
+    bool live(size_t unit) const;
+
+    size_t units() const { return nUnits; }
+    size_t liveCount() const;
+    /** Wire overhead of shipping the map itself. */
+    size_t mapBytes() const { return bits.size(); }
+
+  private:
+    size_t nUnits;
+    std::vector<uint8_t> bits;
+};
+
+/**
+ * Pack: emit only the live units (unit_floats consecutive values per
+ * unit) in order. The payload the wire carries.
+ */
+std::vector<float> packUnits(const float *data, size_t unit_floats,
+                             const ActivationMap &map);
+
+/**
+ * Unpack at the receiver: live units from the payload, zeros elsewhere.
+ * `out` must hold units() * unit_floats values.
+ */
+void unpackUnits(const std::vector<float> &packed, size_t unit_floats,
+                 const ActivationMap &map, float *out);
+
+/** Build a map marking all-zero units dead (scatter zero-skipping). */
+ActivationMap mapFromZeroUnits(const float *data, size_t units,
+                               size_t unit_floats);
+
+/** Wire bytes of a packed transfer: payload + activation map. */
+size_t packedWireBytes(const ActivationMap &map, size_t unit_floats);
+
+} // namespace winomc::quant
+
+#endif // WINOMC_QUANT_ACTIVATION_MAP_HH

@@ -1,0 +1,261 @@
+#include "quant/predict.hh"
+
+#include <array>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace winomc::quant {
+
+namespace {
+constexpr int kMaxAlpha = 8;
+} // namespace
+
+double
+PredictStats::tileDeadActualRatio() const
+{
+    return tiles ? double(tilesDeadActual) / double(tiles) : 0.0;
+}
+
+double
+PredictStats::tileDeadPredictedRatio() const
+{
+    return tiles ? double(tilesDeadPredicted) / double(tiles) : 0.0;
+}
+
+double
+PredictStats::lineDeadActualRatio() const
+{
+    return lines ? double(linesDeadActual) / double(lines) : 0.0;
+}
+
+double
+PredictStats::lineDeadPredictedRatio() const
+{
+    return lines ? double(linesDeadPredicted) / double(lines) : 0.0;
+}
+
+void
+PredictStats::merge(const PredictStats &o)
+{
+    tiles += o.tiles;
+    tilesDeadActual += o.tilesDeadActual;
+    tilesDeadPredicted += o.tilesDeadPredicted;
+    lines += o.lines;
+    linesDeadActual += o.linesDeadActual;
+    linesDeadPredicted += o.linesDeadPredicted;
+    overflowTiles += o.overflowTiles;
+    falseNegatives += o.falseNegatives;
+}
+
+ActivationPredictor::ActivationPredictor(const WinogradAlgo &algo_,
+                                         NonUniformQuantizer quantizer,
+                                         PredictMode mode)
+    : algo(algo_), qz(quantizer), predictMode(mode)
+{
+    winomc_assert(algo.alpha <= kMaxAlpha, "alpha too large");
+}
+
+TilePrediction
+ActivationPredictor::predictTile(const float *Y) const
+{
+    const int a = algo.alpha;
+    const int m = algo.m;
+    TilePrediction out;
+
+    // ---- Exact spatial neurons (ground truth): y = AT * Y * A.
+    std::array<double, kMaxAlpha * kMaxAlpha> exact{};
+    {
+        std::array<double, kMaxAlpha * kMaxAlpha> tmp{}; // AT*Y (m x a)
+        for (int u = 0; u < m; ++u)
+            for (int j = 0; j < a; ++j) {
+                double acc = 0;
+                for (int i = 0; i < a; ++i)
+                    acc += algo.AT.at(u, i) * double(Y[i * a + j]);
+                tmp[size_t(u * a + j)] = acc;
+            }
+        for (int u = 0; u < m; ++u)
+            for (int v = 0; v < m; ++v) {
+                double acc = 0;
+                for (int j = 0; j < a; ++j)
+                    acc += tmp[size_t(u * a + j)] * algo.A.at(j, v);
+                exact[size_t(u * m + v)] = acc;
+            }
+    }
+
+    // ---- Estimate + max positive error from quantized wire data.
+    std::array<double, kMaxAlpha * kMaxAlpha> est{};
+    std::array<double, kMaxAlpha * kMaxAlpha> errp{};
+    bool overflow = false;
+
+    if (predictMode == PredictMode::TwoD) {
+        // Quantize every raw element; two-stage propagation.
+        std::array<double, kMaxAlpha * kMaxAlpha> q{}, res{};
+        for (int k = 0; k < a * a; ++k) {
+            Quantized z = qz.quantize(Y[k]);
+            overflow = overflow || z.overflow;
+            q[size_t(k)] = z.q;
+            res[size_t(k)] = z.res;
+        }
+        // Stage 1 (rows, coefficients AT): estimate and +/- error.
+        std::array<double, kMaxAlpha * kMaxAlpha> t{}, tpos{}, tneg{};
+        for (int u = 0; u < m; ++u) {
+            for (int j = 0; j < a; ++j) {
+                double e = 0, p = 0, n = 0;
+                for (int i = 0; i < a; ++i) {
+                    double c = algo.AT.at(u, i);
+                    e += c * q[size_t(i * a + j)];
+                    if (c > 0)
+                        p += c * res[size_t(i * a + j)];
+                    else
+                        n += c * res[size_t(i * a + j)];
+                }
+                t[size_t(u * a + j)] = e;
+                tpos[size_t(u * a + j)] = p;
+                tneg[size_t(u * a + j)] = n;
+            }
+        }
+        // Stage 2 (columns, coefficients A): positive error couples the
+        // sign of the coefficient with the +/- stage-1 bounds.
+        for (int u = 0; u < m; ++u) {
+            for (int v = 0; v < m; ++v) {
+                double e = 0, p = 0;
+                for (int j = 0; j < a; ++j) {
+                    double c = algo.A.at(j, v);
+                    e += c * t[size_t(u * a + j)];
+                    p += c * (c > 0 ? tpos[size_t(u * a + j)]
+                                    : tneg[size_t(u * a + j)]);
+                }
+                est[size_t(u * m + v)] = e;
+                errp[size_t(u * m + v)] = p;
+            }
+        }
+    } else {
+        // 1D predict: the source owning row i computes z[i][v] =
+        // sum_j Y[i][j] A[j][v] exactly, then quantizes z.
+        std::array<double, kMaxAlpha * kMaxAlpha> zq{}, zres{};
+        for (int i = 0; i < a; ++i) {
+            for (int v = 0; v < m; ++v) {
+                double z = 0;
+                for (int j = 0; j < a; ++j)
+                    z += double(Y[i * a + j]) * algo.A.at(j, v);
+                Quantized c = qz.quantize(float(z));
+                overflow = overflow || c.overflow;
+                zq[size_t(i * m + v)] = c.q;
+                zres[size_t(i * m + v)] = c.res;
+            }
+        }
+        // Destination: y[u][v] = sum_i AT[u][i] z[i][v]; one error stage.
+        for (int u = 0; u < m; ++u) {
+            for (int v = 0; v < m; ++v) {
+                double e = 0, p = 0;
+                for (int i = 0; i < a; ++i) {
+                    double c = algo.AT.at(u, i);
+                    e += c * zq[size_t(i * m + v)];
+                    if (c > 0)
+                        p += c * zres[size_t(i * m + v)];
+                }
+                est[size_t(u * m + v)] = e;
+                errp[size_t(u * m + v)] = p;
+            }
+        }
+    }
+
+    // ---- Classify.
+    out.overflow = overflow;
+    bool all_dead_actual = true;
+    bool all_dead_pred = true;
+    for (int v = 0; v < m; ++v) {
+        bool line_dead_actual = true;
+        bool line_dead_pred = true;
+        for (int u = 0; u < m; ++u) {
+            bool dead = exact[size_t(u * m + v)] <= 0.0;
+            bool pred = !overflow &&
+                        est[size_t(u * m + v)] + errp[size_t(u * m + v)]
+                            <= 0.0;
+            if (pred && !dead)
+                out.falseNegative = true;
+            line_dead_actual = line_dead_actual && dead;
+            line_dead_pred = line_dead_pred && pred;
+            all_dead_actual = all_dead_actual && dead;
+            all_dead_pred = all_dead_pred && pred;
+        }
+        out.linesDeadActual += line_dead_actual ? 1 : 0;
+        out.linesDeadPredicted += line_dead_pred ? 1 : 0;
+    }
+    out.tileDeadActual = all_dead_actual;
+    out.tileDeadPredicted = all_dead_pred;
+    return out;
+}
+
+PredictStats
+ActivationPredictor::run(const WinoTiles &Y) const
+{
+    const int a = algo.alpha;
+    winomc_assert(Y.alphaEdge() == a, "tile size mismatch");
+    PredictStats st;
+    std::array<float, kMaxAlpha * kMaxAlpha> buf{};
+
+    for (int c = 0; c < Y.channels(); ++c) {
+        for (int b = 0; b < Y.batch(); ++b) {
+            for (int t = 0; t < Y.tiles(); ++t) {
+                for (int uv = 0; uv < a * a; ++uv)
+                    buf[size_t(uv)] = Y.at(uv, c, b, t);
+                TilePrediction p = predictTile(buf.data());
+                ++st.tiles;
+                st.tilesDeadActual += p.tileDeadActual ? 1 : 0;
+                st.tilesDeadPredicted += p.tileDeadPredicted ? 1 : 0;
+                st.lines += uint64_t(algo.m);
+                st.linesDeadActual += uint64_t(p.linesDeadActual);
+                st.linesDeadPredicted += uint64_t(p.linesDeadPredicted);
+                st.overflowTiles += p.overflow ? 1 : 0;
+                if (p.falseNegative)
+                    ++st.falseNegatives;
+            }
+        }
+    }
+    return st;
+}
+
+double
+ActivationPredictor::wireSigma(const WinoTiles &Y, const WinogradAlgo &algo,
+                               PredictMode mode)
+{
+    const int a = algo.alpha;
+    double sum = 0, sum2 = 0;
+    uint64_t n = 0;
+
+    for (int c = 0; c < Y.channels(); ++c) {
+        for (int b = 0; b < Y.batch(); ++b) {
+            for (int t = 0; t < Y.tiles(); ++t) {
+                if (mode == PredictMode::TwoD) {
+                    for (int uv = 0; uv < a * a; ++uv) {
+                        double v = Y.at(uv, c, b, t);
+                        sum += v;
+                        sum2 += v * v;
+                        ++n;
+                    }
+                } else {
+                    for (int i = 0; i < a; ++i) {
+                        for (int v = 0; v < algo.m; ++v) {
+                            double z = 0;
+                            for (int j = 0; j < a; ++j)
+                                z += double(Y.at(i * a + j, c, b, t)) *
+                                     algo.A.at(j, v);
+                            sum += z;
+                            sum2 += z * z;
+                            ++n;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if (n == 0)
+        return 1.0;
+    double mean = sum / double(n);
+    double var = sum2 / double(n) - mean * mean;
+    return var > 1e-30 ? std::sqrt(var) : 1.0;
+}
+
+} // namespace winomc::quant

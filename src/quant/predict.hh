@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Conservative activation prediction of spatial-domain neurons from
+ * quantized Winograd-domain data (Section V, Fig 11).
+ *
+ * The destination worker inverse-transforms the *quantized* values to an
+ * estimate of each neuron and, in parallel, propagates the quantization
+ * resolutions through the same transform to a maximum possible positive
+ * error. A neuron is predicted non-activated only when
+ * estimate + max_error <= 0, so a predicted-dead neuron is guaranteed
+ * dead (no false negatives, hence no accuracy loss).
+ *
+ * Two flows, matching Fig 11:
+ *  - 2D predict (many groups): each worker owns individual tile
+ *    elements; quantized raw elements are sent and the full 2D inverse
+ *    transform (and two-stage +/- error propagation) happens at the
+ *    destination.
+ *  - 1D predict (few groups): each worker owns a full tile line, applies
+ *    the first 1D inverse transform exactly (real values), and sends the
+ *    quantized 1D-transformed line; only one transform stage accumulates
+ *    quantization error, so prediction is tighter.
+ */
+
+#ifndef WINOMC_QUANT_PREDICT_HH
+#define WINOMC_QUANT_PREDICT_HH
+
+#include <cstdint>
+
+#include "quant/quantizer.hh"
+#include "winograd/algo.hh"
+#include "winograd/tiling.hh"
+
+namespace winomc::quant {
+
+/** Prediction flow variant. */
+enum class PredictMode { TwoD, OneD };
+
+/** Outcome of predicting one output tile. */
+struct TilePrediction
+{
+    bool tileDeadActual = false;
+    bool tileDeadPredicted = false;
+    /** Dead output lines (the 1D-predict skip unit): out of algo.m. */
+    int linesDeadActual = 0;
+    int linesDeadPredicted = 0;
+    bool overflow = false; ///< some input overflowed; nothing skipped
+    /** A neuron was predicted dead while actually alive (must never
+     *  happen - prediction would lose accuracy). */
+    bool falseNegative = false;
+};
+
+/** Aggregate statistics over many tiles (feeds Fig 12). */
+struct PredictStats
+{
+    uint64_t tiles = 0;
+    uint64_t tilesDeadActual = 0;
+    uint64_t tilesDeadPredicted = 0;
+    uint64_t lines = 0;
+    uint64_t linesDeadActual = 0;
+    uint64_t linesDeadPredicted = 0;
+    uint64_t overflowTiles = 0;
+    /** Predicted dead but actually alive; must stay zero. */
+    uint64_t falseNegatives = 0;
+
+    double tileDeadActualRatio() const;
+    double tileDeadPredictedRatio() const;
+    double lineDeadActualRatio() const;
+    double lineDeadPredictedRatio() const;
+
+    void merge(const PredictStats &o);
+};
+
+class ActivationPredictor
+{
+  public:
+    ActivationPredictor(const WinogradAlgo &algo,
+                        NonUniformQuantizer quantizer, PredictMode mode);
+
+    /**
+     * Predict one output tile from its exact pre-activation
+     * Winograd-domain values Y (alpha x alpha, row-major). Quantization
+     * of what the wire would carry happens inside.
+     */
+    TilePrediction predictTile(const float *Y) const;
+
+    /** Run over every (channel, batch, tile) of a WinoTiles tensor. */
+    PredictStats run(const WinoTiles &Y) const;
+
+    PredictMode mode() const { return predictMode; }
+    const NonUniformQuantizer &quantizer() const { return qz; }
+
+    /**
+     * Sigma the quantizer should be built with: standard deviation of
+     * the values actually transmitted (raw elements for 2D predict,
+     * 1D-transformed values for 1D predict).
+     */
+    static double wireSigma(const WinoTiles &Y, const WinogradAlgo &algo,
+                            PredictMode mode);
+
+  private:
+    WinogradAlgo algo; ///< by value: predictor owns its matrices
+    NonUniformQuantizer qz;
+    PredictMode predictMode;
+};
+
+} // namespace winomc::quant
+
+#endif // WINOMC_QUANT_PREDICT_HH

@@ -1,0 +1,137 @@
+#include "quant/quantizer.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace winomc::quant {
+
+NonUniformQuantizer::NonUniformQuantizer(int levels, int regions,
+                                         double sigma,
+                                         double range_sigmas)
+    : nLevels(levels), nRegions(regions)
+{
+    winomc_assert(levels >= 4 && (levels & (levels - 1)) == 0,
+                  "levels must be a power of two >= 4, got ", levels);
+    const int per_side = levels / 2;
+    winomc_assert(regions >= 1 && regions <= per_side,
+                  "regions must be in [1, levels/2]");
+    winomc_assert(per_side % regions == 0,
+                  "levels/2 must be divisible by regions");
+    stepsPerRegion = per_side / regions;
+    winomc_assert(sigma > 0.0, "sigma must be positive");
+
+    // Side range = steps * (delta + 2 delta + ... + 2^(R-1) delta).
+    const double units =
+        double(stepsPerRegion) * double((1 << regions) - 1);
+    range = range_sigmas * sigma;
+    delta = range / units;
+}
+
+int
+NonUniformQuantizer::bits() const
+{
+    int b = 0;
+    while ((1 << b) < nLevels)
+        ++b;
+    return b;
+}
+
+namespace {
+
+/** Step width at 0-based magnitude step index s: delta * 2^region(s). */
+double
+stepWidth(double delta, int steps_per_region, int s)
+{
+    return delta * double(1 << (s / steps_per_region));
+}
+
+/** Magnitude grid edge k (edge 0 = 0, edge per_side = full scale). */
+double
+gridEdge(double delta, int steps_per_region, int k)
+{
+    // Sum of full regions below k plus the remainder inside its region.
+    int full_regions = k / steps_per_region;
+    int rem = k % steps_per_region;
+    // Full region r contributes steps_per_region * delta * 2^r.
+    double e = delta * double(steps_per_region) *
+               double((1 << full_regions) - 1);
+    e += double(rem) * delta * double(1 << full_regions);
+    return e;
+}
+
+} // namespace
+
+int
+NonUniformQuantizer::encode(float v) const
+{
+    const int per_side = nLevels / 2;
+    const double x = double(v);
+    const double mag = std::fabs(x);
+
+    if (x >= 0.0 && mag >= range)
+        return nLevels; // positive overflow sentinel
+    if (x < 0.0 && mag > range)
+        return -1;      // negative overflow sentinel
+
+    // Magnitude step index s with edge(s) <= mag < edge(s+1).
+    int s = 0;
+    {
+        double base = 0.0;
+        double step = delta;
+        for (int reg = 0; reg < nRegions; ++reg) {
+            double top = base + step * stepsPerRegion;
+            if (mag < top || reg == nRegions - 1) {
+                int in_reg = int((mag - base) / step);
+                if (in_reg >= stepsPerRegion)
+                    in_reg = stepsPerRegion - 1;
+                s += in_reg;
+                break;
+            }
+            s += stepsPerRegion;
+            base = top;
+            step *= 2.0;
+        }
+    }
+
+    int sidx;
+    if (x >= 0.0) {
+        sidx = s;
+    } else if (mag == gridEdge(delta, stepsPerRegion, s)) {
+        sidx = -s; // exactly on an edge: floor is itself
+    } else {
+        sidx = -(s + 1);
+        if (sidx < -per_side)
+            sidx = -per_side; // mag == range handled above; clamp -0.0
+    }
+    return sidx + per_side;
+}
+
+Quantized
+NonUniformQuantizer::decode(int code) const
+{
+    if (code == -1 || code == nLevels)
+        return Quantized{0.0f, 0.0f, true};
+    winomc_assert(code >= 0 && code < nLevels, "bad quantizer code ",
+                  code);
+    const int per_side = nLevels / 2;
+    const int sidx = code - per_side;
+
+    double q, res;
+    if (sidx >= 0) {
+        q = gridEdge(delta, stepsPerRegion, sidx);
+        res = stepWidth(delta, stepsPerRegion, sidx);
+    } else {
+        q = -gridEdge(delta, stepsPerRegion, -sidx);
+        res = stepWidth(delta, stepsPerRegion, -sidx - 1);
+    }
+    return Quantized{float(q), float(res), false};
+}
+
+Quantized
+NonUniformQuantizer::quantize(float v) const
+{
+    return decode(encode(v));
+}
+
+} // namespace winomc::quant

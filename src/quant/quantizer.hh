@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Non-uniform quantizer of Winograd-domain values (Section V, Fig 10).
+ *
+ * The value range is symmetric around zero and split per side into R
+ * regions; every region holds the same number of steps and the step size
+ * doubles from one region to the next (delta, 2 delta, 4 delta, ...).
+ * The base step delta is derived from the standard deviation of the real
+ * values so the fine region covers the bulk of the (approximately
+ * normal) distribution. R = 1 degenerates to a uniform quantizer.
+ *
+ * Quantization is *floor* (toward -infinity): the real value always lies
+ * in [q, q + resolution). This one-sided bracket is what makes the
+ * conservative activation prediction of predict.hh possible: an upper
+ * bound of any +/- weighted sum of real values can be built from q and
+ * the per-value resolution alone.
+ *
+ * Values beyond the representable range are flagged as overflow; the
+ * predictor then refuses to skip anything depending on them.
+ */
+
+#ifndef WINOMC_QUANT_QUANTIZER_HH
+#define WINOMC_QUANT_QUANTIZER_HH
+
+#include <cstdint>
+
+namespace winomc::quant {
+
+/** One quantized sample: reconstruction value, bracket width, overflow. */
+struct Quantized
+{
+    float q;        ///< reconstruction (lower bracket edge)
+    float res;      ///< resolution: real in [q, q + res)
+    bool overflow;  ///< real value outside the representable range
+};
+
+class NonUniformQuantizer
+{
+  public:
+    /**
+     * @param levels       total quantization levels (both signs),
+     *                     e.g. 64 for the paper's 6-bit 2D predict,
+     *                     32 for the 5-bit 1D predict
+     * @param regions      regions per side (1 = uniform, paper sweeps
+     *                     2 / 4 / 8; 4 matched the distribution best)
+     * @param sigma        standard deviation of the real values
+     * @param range_sigmas full-scale range per side, in sigmas
+     */
+    NonUniformQuantizer(int levels, int regions, double sigma,
+                        double range_sigmas = 4.0);
+
+    Quantized quantize(float v) const;
+
+    /** Encode to the integer level index a real link would carry. */
+    int encode(float v) const;
+    /** Decode a level index back to (q, res). */
+    Quantized decode(int code) const;
+
+    int levels() const { return nLevels; }
+    int regions() const { return nRegions; }
+    /** Bits per transmitted value. */
+    int bits() const;
+    /** Base (finest) step size. */
+    double baseStep() const { return delta; }
+    /** Representable magnitude limit. */
+    double fullScale() const { return range; }
+
+  private:
+    int nLevels;
+    int nRegions;
+    int stepsPerRegion; ///< per side
+    double delta;
+    double range;
+};
+
+} // namespace winomc::quant
+
+#endif // WINOMC_QUANT_QUANTIZER_HH

@@ -1,0 +1,80 @@
+#include "quant/zero_skip.hh"
+
+#include <array>
+
+#include "common/logging.hh"
+#include "winograd/tiling.hh"
+
+namespace winomc::quant {
+
+ZeroSkipStats
+zeroSkipScatter(const Tensor &x, const WinogradAlgo &algo,
+                PredictMode mode)
+{
+    constexpr int kMaxAlpha = 8;
+    winomc_assert(algo.alpha <= kMaxAlpha, "alpha too large");
+    const int a = algo.alpha;
+    TileGrid grid(x.h(), x.w(), algo);
+
+    ZeroSkipStats st;
+    std::array<double, kMaxAlpha * kMaxAlpha> patch{};
+    std::array<double, kMaxAlpha * kMaxAlpha> out{};
+
+    for (int b = 0; b < x.n(); ++b) {
+        for (int c = 0; c < x.c(); ++c) {
+            for (int th = 0; th < grid.tilesH; ++th) {
+                for (int tw = 0; tw < grid.tilesW; ++tw) {
+                    const int r0 = grid.tileRow(th);
+                    const int c0 = grid.tileCol(tw);
+                    for (int i = 0; i < a; ++i) {
+                        for (int j = 0; j < a; ++j) {
+                            int rr = r0 + i, cc = c0 + j;
+                            bool in = rr >= 0 && rr < x.h() && cc >= 0 &&
+                                      cc < x.w();
+                            patch[size_t(i * a + j)] =
+                                in ? double(x.at(b, c, rr, cc)) : 0.0;
+                        }
+                    }
+                    if (mode == PredictMode::TwoD) {
+                        // Full B^T patch B.
+                        std::array<double, kMaxAlpha * kMaxAlpha> tmp{};
+                        for (int i = 0; i < a; ++i)
+                            for (int j = 0; j < a; ++j) {
+                                double acc = 0;
+                                for (int k = 0; k < a; ++k)
+                                    acc += algo.BT.at(i, k) *
+                                           patch[size_t(k * a + j)];
+                                tmp[size_t(i * a + j)] = acc;
+                            }
+                        for (int i = 0; i < a; ++i)
+                            for (int j = 0; j < a; ++j) {
+                                double acc = 0;
+                                for (int k = 0; k < a; ++k)
+                                    acc += tmp[size_t(i * a + k)] *
+                                           algo.B.at(k, j);
+                                out[size_t(i * a + j)] = acc;
+                            }
+                    } else {
+                        // One-sided B^T patch (rows stay spatial).
+                        for (int i = 0; i < a; ++i)
+                            for (int j = 0; j < a; ++j) {
+                                double acc = 0;
+                                for (int k = 0; k < a; ++k)
+                                    acc += algo.BT.at(i, k) *
+                                           patch[size_t(k * a + j)];
+                                out[size_t(i * a + j)] = acc;
+                            }
+                    }
+                    for (int k = 0; k < a * a; ++k) {
+                        ++st.elems;
+                        if (out[size_t(k)] == 0.0)
+                            ++st.zeros;
+                    }
+                }
+            }
+        }
+    }
+    return st;
+}
+
+} // namespace winomc::quant

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Zero-skipping of input-tile scattering (Section V-B).
+ *
+ * Post-ReLU feature maps are sparse; after the (partial) input transform
+ * many transferred values are exactly zero and can be omitted from the
+ * scatter, with the receiving worker re-inserting zeros from the shared
+ * activation map. This module measures the skippable fraction for the
+ * two transfer representations:
+ *
+ *  - 2D (many groups): fully transformed tile elements B^T x B;
+ *  - 1D (few groups):  one-sided 1D transform B^T x, computed at the
+ *    source before the transfer (Section IV).
+ */
+
+#ifndef WINOMC_QUANT_ZERO_SKIP_HH
+#define WINOMC_QUANT_ZERO_SKIP_HH
+
+#include <cstdint>
+
+#include "quant/predict.hh"
+#include "tensor/tensor.hh"
+#include "winograd/algo.hh"
+
+namespace winomc::quant {
+
+struct ZeroSkipStats
+{
+    uint64_t elems = 0;
+    uint64_t zeros = 0;
+
+    double ratio() const { return elems ? double(zeros) / elems : 0.0; }
+
+    void
+    merge(const ZeroSkipStats &o)
+    {
+        elems += o.elems;
+        zeros += o.zeros;
+    }
+};
+
+/**
+ * Count skippable (exactly zero) values in the scatter representation of
+ * input feature maps x under the given predict/transfer mode.
+ */
+ZeroSkipStats zeroSkipScatter(const Tensor &x, const WinogradAlgo &algo,
+                              PredictMode mode);
+
+} // namespace winomc::quant
+
+#endif // WINOMC_QUANT_ZERO_SKIP_HH

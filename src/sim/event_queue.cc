@@ -1,0 +1,59 @@
+#include "sim/event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace winomc::sim {
+
+void
+EventQueue::schedule(Tick when, std::function<void()> fn)
+{
+    winomc_assert(when >= current, "scheduling into the past: ", when,
+                  " < ", current);
+    events.push(Entry{when, next_seq++, std::move(fn)});
+}
+
+void
+EventQueue::scheduleAfter(Tick delay, std::function<void()> fn)
+{
+    schedule(current + delay, std::move(fn));
+}
+
+bool
+EventQueue::runOne()
+{
+    if (events.empty())
+        return false;
+    Entry e = events.top();
+    // priority_queue::top returns const ref; copy then pop (the function
+    // object is small; correctness over micro-optimization here).
+    events.pop();
+    current = e.when;
+    e.fn();
+    return true;
+}
+
+void
+EventQueue::run(uint64_t max_events)
+{
+    for (uint64_t n = 0; n < max_events && runOne(); ++n) {
+    }
+}
+
+void
+EventQueue::runUntil(Tick until)
+{
+    while (!events.empty() && events.top().when <= until)
+        runOne();
+    if (current < until)
+        current = until;
+}
+
+void
+EventQueue::reset()
+{
+    events = {};
+    current = 0;
+    next_seq = 0;
+}
+
+} // namespace winomc::sim

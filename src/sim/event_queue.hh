@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * Ticks are cycles of the 1 GHz system clock (Table III): 1 tick = 1 ns.
+ * Events scheduled for the same tick execute in scheduling order
+ * (deterministic FIFO tie-break), which makes every simulation
+ * reproducible.
+ */
+
+#ifndef WINOMC_SIM_EVENT_QUEUE_HH
+#define WINOMC_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace winomc::sim {
+
+class EventQueue
+{
+  public:
+    Tick now() const { return current; }
+
+    /** Schedule fn at absolute tick `when` (>= now). */
+    void schedule(Tick when, std::function<void()> fn);
+    /** Schedule fn `delay` ticks from now. */
+    void scheduleAfter(Tick delay, std::function<void()> fn);
+
+    bool empty() const { return events.empty(); }
+    size_t pending() const { return events.size(); }
+
+    /** Execute the next event; returns false if none remain. */
+    bool runOne();
+    /** Run until the queue drains or `max_events` fire. */
+    void run(uint64_t max_events = UINT64_MAX);
+    /** Run events with tick <= until. */
+    void runUntil(Tick until);
+
+    /** Drop everything and reset time to zero. */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        uint64_t seq;
+        std::function<void()> fn;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> events;
+    Tick current = 0;
+    uint64_t next_seq = 0;
+};
+
+} // namespace winomc::sim
+
+#endif // WINOMC_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,153 @@
+#include "tensor/matrix.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace winomc {
+
+Matrix::Matrix(int rows, int cols)
+    : nrows(rows), ncols(cols), buf(size_t(rows) * cols, 0.0)
+{
+    winomc_assert(rows >= 0 && cols >= 0, "negative matrix dim");
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init)
+    : nrows(int(init.size())), ncols(0)
+{
+    for (const auto &row : init) {
+        if (ncols == 0)
+            ncols = int(row.size());
+        winomc_assert(int(row.size()) == ncols, "ragged matrix init");
+        buf.insert(buf.end(), row.begin(), row.end());
+    }
+}
+
+double &
+Matrix::at(int r, int c)
+{
+    winomc_assert(r >= 0 && r < nrows && c >= 0 && c < ncols,
+                  "matrix index (", r, ",", c, ") out of (", nrows, ",",
+                  ncols, ")");
+    return buf[size_t(r) * ncols + c];
+}
+
+double
+Matrix::at(int r, int c) const
+{
+    return const_cast<Matrix *>(this)->at(r, c);
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix t(ncols, nrows);
+    for (int r = 0; r < nrows; ++r)
+        for (int c = 0; c < ncols; ++c)
+            t.at(c, r) = at(r, c);
+    return t;
+}
+
+Matrix
+Matrix::abs() const
+{
+    Matrix a(nrows, ncols);
+    for (int r = 0; r < nrows; ++r)
+        for (int c = 0; c < ncols; ++c)
+            a.at(r, c) = std::abs(at(r, c));
+    return a;
+}
+
+double
+Matrix::maxAbsDiff(const Matrix &o) const
+{
+    winomc_assert(nrows == o.nrows && ncols == o.ncols,
+                  "maxAbsDiff shape mismatch");
+    double m = 0.0;
+    for (int r = 0; r < nrows; ++r)
+        for (int c = 0; c < ncols; ++c)
+            m = std::max(m, std::abs(at(r, c) - o.at(r, c)));
+    return m;
+}
+
+Matrix
+Matrix::identity(int n)
+{
+    Matrix m(n, n);
+    for (int i = 0; i < n; ++i)
+        m.at(i, i) = 1.0;
+    return m;
+}
+
+std::string
+Matrix::toString(int precision) const
+{
+    std::ostringstream oss;
+    for (int r = 0; r < nrows; ++r) {
+        oss << "[";
+        for (int c = 0; c < ncols; ++c) {
+            char cell[64];
+            std::snprintf(cell, sizeof(cell), " %.*g", precision, at(r, c));
+            oss << cell;
+        }
+        oss << " ]\n";
+    }
+    return oss.str();
+}
+
+Matrix
+operator*(const Matrix &a, const Matrix &b)
+{
+    winomc_assert(a.cols() == b.rows(), "matmul shape mismatch: (",
+                  a.rows(), "x", a.cols(), ") * (", b.rows(), "x",
+                  b.cols(), ")");
+    Matrix out(a.rows(), b.cols());
+    for (int r = 0; r < a.rows(); ++r) {
+        for (int k = 0; k < a.cols(); ++k) {
+            double av = a.at(r, k);
+            if (av == 0.0)
+                continue;
+            for (int c = 0; c < b.cols(); ++c)
+                out.at(r, c) += av * b.at(k, c);
+        }
+    }
+    return out;
+}
+
+Matrix
+operator+(const Matrix &a, const Matrix &b)
+{
+    winomc_assert(a.rows() == b.rows() && a.cols() == b.cols(),
+                  "matrix + shape mismatch");
+    Matrix out(a.rows(), a.cols());
+    for (int r = 0; r < a.rows(); ++r)
+        for (int c = 0; c < a.cols(); ++c)
+            out.at(r, c) = a.at(r, c) + b.at(r, c);
+    return out;
+}
+
+Matrix
+operator-(const Matrix &a, const Matrix &b)
+{
+    winomc_assert(a.rows() == b.rows() && a.cols() == b.cols(),
+                  "matrix - shape mismatch");
+    Matrix out(a.rows(), a.cols());
+    for (int r = 0; r < a.rows(); ++r)
+        for (int c = 0; c < a.cols(); ++c)
+            out.at(r, c) = a.at(r, c) - b.at(r, c);
+    return out;
+}
+
+Matrix
+operator*(double s, const Matrix &a)
+{
+    Matrix out(a.rows(), a.cols());
+    for (int r = 0; r < a.rows(); ++r)
+        for (int c = 0; c < a.cols(); ++c)
+            out.at(r, c) = s * a.at(r, c);
+    return out;
+}
+
+} // namespace winomc

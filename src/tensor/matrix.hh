@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Small dense double-precision matrix used for Winograd transform
+ * coefficients and the activation-prediction error analysis.
+ */
+
+#ifndef WINOMC_TENSOR_MATRIX_HH
+#define WINOMC_TENSOR_MATRIX_HH
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace winomc {
+
+/** Row-major double matrix; sized for transform coefficients (≤ ~8×8). */
+class Matrix
+{
+  public:
+    Matrix() : nrows(0), ncols(0) {}
+    Matrix(int rows, int cols);
+    /** Construct from nested braces: Matrix{{1,2},{3,4}}. */
+    Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+    int rows() const { return nrows; }
+    int cols() const { return ncols; }
+
+    double &at(int r, int c);
+    double at(int r, int c) const;
+
+    Matrix transposed() const;
+    /** Elementwise absolute value (used for error-bound propagation). */
+    Matrix abs() const;
+    /** max |a - b| over all elements. */
+    double maxAbsDiff(const Matrix &o) const;
+
+    static Matrix identity(int n);
+
+    std::string toString(int precision = 6) const;
+
+  private:
+    int nrows, ncols;
+    std::vector<double> buf;
+};
+
+/** Standard matrix product. */
+Matrix operator*(const Matrix &a, const Matrix &b);
+Matrix operator+(const Matrix &a, const Matrix &b);
+Matrix operator-(const Matrix &a, const Matrix &b);
+Matrix operator*(double s, const Matrix &a);
+
+} // namespace winomc
+
+#endif // WINOMC_TENSOR_MATRIX_HH

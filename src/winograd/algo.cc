@@ -1,0 +1,60 @@
+#include "winograd/algo.hh"
+
+#include "common/logging.hh"
+#include "winograd/toom_cook.hh"
+
+namespace winomc {
+
+std::string
+WinogradAlgo::name() const
+{
+    return "F(" + std::to_string(m) + "x" + std::to_string(m) + "," +
+           std::to_string(r) + "x" + std::to_string(r) + ")";
+}
+
+WinogradAlgo
+makeWinograd(int m, int r)
+{
+    ToomCookMatrices tc = generateToomCook(m, r);
+    WinogradAlgo a;
+    a.m = m;
+    a.r = r;
+    a.alpha = tc.alpha;
+    a.BT = toMatrix(tc.BT);
+    a.G = toMatrix(tc.G);
+    a.AT = toMatrix(tc.AT);
+    a.B = a.BT.transposed();
+    a.GT = a.G.transposed();
+    a.A = a.AT.transposed();
+    return a;
+}
+
+const WinogradAlgo &
+algoF2x2_3x3()
+{
+    static const WinogradAlgo a = makeWinograd(2, 3);
+    return a;
+}
+
+const WinogradAlgo &
+algoF4x4_3x3()
+{
+    static const WinogradAlgo a = makeWinograd(4, 3);
+    return a;
+}
+
+const WinogradAlgo &
+algoF2x2_5x5()
+{
+    static const WinogradAlgo a = makeWinograd(2, 5);
+    return a;
+}
+
+const WinogradAlgo &
+algoF2_3()
+{
+    static const WinogradAlgo a = makeWinograd(2, 3);
+    return a;
+}
+
+} // namespace winomc

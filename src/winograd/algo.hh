@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Winograd filtering algorithm descriptor F(m x m, r x r).
+ *
+ * Holds the double-precision transform triple (B^T, G, A^T) generated
+ * exactly by the Toom-Cook generator, plus derived metadata. Supports the
+ * transforms the paper evaluates: F(2x2,3x3), F(4x4,3x3), F(2x2,5x5) and
+ * the 1D F(2,3).
+ */
+
+#ifndef WINOMC_WINOGRAD_ALGO_HH
+#define WINOMC_WINOGRAD_ALGO_HH
+
+#include <string>
+
+#include "tensor/matrix.hh"
+
+namespace winomc {
+
+/**
+ * One Winograd algorithm instance. 2D algorithms are separable: the same
+ * 1D triple is applied to rows and columns (tiles are alpha x alpha).
+ */
+struct WinogradAlgo
+{
+    int m;      ///< outputs per tile edge
+    int r;      ///< filter taps per edge
+    int alpha;  ///< tile edge m + r - 1
+
+    Matrix BT;  ///< alpha x alpha input transform
+    Matrix G;   ///< alpha x r   weight transform
+    Matrix AT;  ///< m x alpha   inverse (output) transform
+
+    // Cached transposes (used in gradients / adjoints).
+    Matrix B;   ///< BT^T
+    Matrix GT;  ///< G^T
+    Matrix A;   ///< AT^T
+
+    std::string name() const;
+
+    /** Winograd-domain weight element count per (i, j) pair: alpha^2. */
+    int tileElems() const { return alpha * alpha; }
+};
+
+/** Build F(m x m, r x r) from the exact Toom-Cook generator. */
+WinogradAlgo makeWinograd(int m, int r);
+
+/** The transforms used in the paper's evaluation. */
+const WinogradAlgo &algoF2x2_3x3();
+const WinogradAlgo &algoF4x4_3x3();
+const WinogradAlgo &algoF2x2_5x5();
+/** 1D F(2,3): tile 4x1 (for 3x1 filters, Section VII-B). */
+const WinogradAlgo &algoF2_3();
+
+} // namespace winomc
+
+#endif // WINOMC_WINOGRAD_ALGO_HH

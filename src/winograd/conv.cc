@@ -1,0 +1,450 @@
+#include "winograd/conv.hh"
+
+#include <array>
+
+namespace winomc {
+
+namespace {
+
+constexpr int kMaxAlpha = 8;
+
+/**
+ * out (a x b) = L (a x n) * in (n x k) * R (k x b), all small dense,
+ * double precision. Buffers are caller-provided flat arrays.
+ */
+void
+sandwich(const Matrix &L, const double *in, int n, int k, const Matrix &R,
+         double *out)
+{
+    winomc_assert(L.cols() == n && R.rows() == k, "sandwich shape");
+    const int a = L.rows();
+    const int b = R.cols();
+    std::array<double, kMaxAlpha * kMaxAlpha> tmp{};
+    // tmp = L * in (a x k)
+    for (int i = 0; i < a; ++i) {
+        for (int j = 0; j < k; ++j) {
+            double acc = 0.0;
+            for (int t = 0; t < n; ++t)
+                acc += L.at(i, t) * in[t * k + j];
+            tmp[size_t(i * k + j)] = acc;
+        }
+    }
+    // out = tmp * R (a x b)
+    for (int i = 0; i < a; ++i) {
+        for (int j = 0; j < b; ++j) {
+            double acc = 0.0;
+            for (int t = 0; t < k; ++t)
+                acc += tmp[size_t(i * k + t)] * R.at(t, j);
+            out[i * b + j] = acc;
+        }
+    }
+}
+
+} // namespace
+
+WinoTiles
+transformInput(const Tensor &x, const WinogradAlgo &algo)
+{
+    winomc_assert(algo.alpha <= kMaxAlpha, "alpha too large");
+    TileGrid grid(x.h(), x.w(), algo);
+    WinoTiles out(algo.alpha, x.c(), x.n(), grid.tiles());
+
+    const int a = algo.alpha;
+    std::array<double, kMaxAlpha * kMaxAlpha> patch{};
+    std::array<double, kMaxAlpha * kMaxAlpha> tx{};
+
+    for (int b = 0; b < x.n(); ++b) {
+        for (int c = 0; c < x.c(); ++c) {
+            for (int th = 0; th < grid.tilesH; ++th) {
+                for (int tw = 0; tw < grid.tilesW; ++tw) {
+                    const int r0 = grid.tileRow(th);
+                    const int c0 = grid.tileCol(tw);
+                    for (int i = 0; i < a; ++i) {
+                        for (int j = 0; j < a; ++j) {
+                            int rr = r0 + i, cc = c0 + j;
+                            bool in_map = rr >= 0 && rr < x.h() &&
+                                          cc >= 0 && cc < x.w();
+                            patch[size_t(i * a + j)] =
+                                in_map ? double(x.at(b, c, rr, cc)) : 0.0;
+                        }
+                    }
+                    sandwich(algo.BT, patch.data(), a, a, algo.B,
+                             tx.data());
+                    const int t = th * grid.tilesW + tw;
+                    for (int uv = 0; uv < a * a; ++uv)
+                        out.at(uv, c, b, t) = float(tx[size_t(uv)]);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+transformInputAdjoint(const WinoTiles &dX, const WinogradAlgo &algo,
+                      int h, int w)
+{
+    TileGrid grid(h, w, algo);
+    winomc_assert(grid.tiles() == dX.tiles(),
+                  "tile count mismatch in input adjoint");
+    Tensor dx(dX.batch(), dX.channels(), h, w);
+
+    const int a = algo.alpha;
+    std::array<double, kMaxAlpha * kMaxAlpha> tile{};
+    std::array<double, kMaxAlpha * kMaxAlpha> sp{};
+
+    for (int b = 0; b < dX.batch(); ++b) {
+        for (int c = 0; c < dX.channels(); ++c) {
+            for (int th = 0; th < grid.tilesH; ++th) {
+                for (int tw = 0; tw < grid.tilesW; ++tw) {
+                    const int t = th * grid.tilesW + tw;
+                    for (int uv = 0; uv < a * a; ++uv)
+                        tile[size_t(uv)] = double(dX.at(uv, c, b, t));
+                    // Adjoint of X = BT x B is dx = B dX B^T.
+                    sandwich(algo.B, tile.data(), a, a, algo.BT, sp.data());
+                    const int r0 = grid.tileRow(th);
+                    const int c0 = grid.tileCol(tw);
+                    for (int i = 0; i < a; ++i) {
+                        for (int j = 0; j < a; ++j) {
+                            int rr = r0 + i, cc = c0 + j;
+                            if (rr < 0 || rr >= h || cc < 0 || cc >= w)
+                                continue;
+                            dx.at(b, c, rr, cc) +=
+                                float(sp[size_t(i * a + j)]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return dx;
+}
+
+WinoWeights
+transformWeights(const Tensor &w, const WinogradAlgo &algo)
+{
+    winomc_assert(w.h() == algo.r && w.w() == algo.r,
+                  "weight size does not match algorithm r");
+    WinoWeights out(algo.alpha, w.n(), w.c());
+    const int a = algo.alpha;
+    const int r = algo.r;
+    std::array<double, kMaxAlpha * kMaxAlpha> ker{};
+    std::array<double, kMaxAlpha * kMaxAlpha> tw{};
+
+    for (int j = 0; j < w.n(); ++j) {
+        for (int i = 0; i < w.c(); ++i) {
+            for (int y = 0; y < r; ++y)
+                for (int x = 0; x < r; ++x)
+                    ker[size_t(y * r + x)] = double(w.at(j, i, y, x));
+            sandwich(algo.G, ker.data(), r, r, algo.GT, tw.data());
+            for (int uv = 0; uv < a * a; ++uv)
+                out.at(uv, j, i) = float(tw[size_t(uv)]);
+        }
+    }
+    return out;
+}
+
+Tensor
+transformWeightsAdjoint(const WinoWeights &dW, const WinogradAlgo &algo)
+{
+    const int a = algo.alpha;
+    const int r = algo.r;
+    Tensor dw(dW.outChannels(), dW.inChannels(), r, r);
+    std::array<double, kMaxAlpha * kMaxAlpha> tile{};
+    std::array<double, kMaxAlpha * kMaxAlpha> sp{};
+
+    for (int j = 0; j < dW.outChannels(); ++j) {
+        for (int i = 0; i < dW.inChannels(); ++i) {
+            for (int uv = 0; uv < a * a; ++uv)
+                tile[size_t(uv)] = double(dW.at(uv, j, i));
+            // Adjoint of W = G w G^T is dw = G^T dW G.
+            sandwich(algo.GT, tile.data(), a, a, algo.G, sp.data());
+            for (int y = 0; y < r; ++y)
+                for (int x = 0; x < r; ++x)
+                    dw.at(j, i, y, x) = float(sp[size_t(y * r + x)]);
+        }
+    }
+    return dw;
+}
+
+WinoTiles
+elementwiseForward(const WinoTiles &X, const WinoWeights &W)
+{
+    winomc_assert(X.alphaEdge() == W.alphaEdge(),
+                  "algo mismatch between tiles and weights");
+    winomc_assert(X.channels() == W.inChannels(),
+                  "channel mismatch: tiles ", X.channels(), " weights ",
+                  W.inChannels());
+    WinoTiles Y(X.alphaEdge(), W.outChannels(), X.batch(), X.tiles());
+    const int bt = X.batch() * X.tiles();
+
+    for (int uv = 0; uv < X.uvCount(); ++uv) {
+        for (int j = 0; j < W.outChannels(); ++j) {
+            float *yrow = Y.row(uv, j);
+            for (int i = 0; i < W.inChannels(); ++i) {
+                const float wji = W.at(uv, j, i);
+                if (wji == 0.0f)
+                    continue;
+                const float *xrow = X.row(uv, i);
+                for (int k = 0; k < bt; ++k)
+                    yrow[k] += wji * xrow[k];
+            }
+        }
+    }
+    return Y;
+}
+
+WinoTiles
+elementwiseBackwardData(const WinoTiles &dY, const WinoWeights &W)
+{
+    winomc_assert(dY.channels() == W.outChannels(),
+                  "channel mismatch in backward data");
+    WinoTiles dX(dY.alphaEdge(), W.inChannels(), dY.batch(), dY.tiles());
+    const int bt = dY.batch() * dY.tiles();
+
+    for (int uv = 0; uv < dY.uvCount(); ++uv) {
+        for (int j = 0; j < W.outChannels(); ++j) {
+            const float *dyrow = dY.row(uv, j);
+            for (int i = 0; i < W.inChannels(); ++i) {
+                const float wji = W.at(uv, j, i);
+                if (wji == 0.0f)
+                    continue;
+                float *dxrow = dX.row(uv, i);
+                for (int k = 0; k < bt; ++k)
+                    dxrow[k] += wji * dyrow[k];
+            }
+        }
+    }
+    return dX;
+}
+
+WinoWeights
+elementwiseGradWeights(const WinoTiles &dY, const WinoTiles &X)
+{
+    winomc_assert(dY.batch() == X.batch() && dY.tiles() == X.tiles() &&
+                  dY.alphaEdge() == X.alphaEdge(),
+                  "shape mismatch in weight gradient");
+    WinoWeights dW(X.alphaEdge(), dY.channels(), X.channels());
+    const int bt = X.batch() * X.tiles();
+
+    for (int uv = 0; uv < X.uvCount(); ++uv) {
+        for (int j = 0; j < dY.channels(); ++j) {
+            const float *dyrow = dY.row(uv, j);
+            for (int i = 0; i < X.channels(); ++i) {
+                const float *xrow = X.row(uv, i);
+                double acc = 0.0;
+                for (int k = 0; k < bt; ++k)
+                    acc += double(dyrow[k]) * xrow[k];
+                dW.at(uv, j, i) = float(acc);
+            }
+        }
+    }
+    return dW;
+}
+
+Tensor
+inverseTransform(const WinoTiles &Y, const WinogradAlgo &algo, int h,
+                 int w)
+{
+    TileGrid grid(h, w, algo);
+    winomc_assert(grid.tiles() == Y.tiles(),
+                  "tile count mismatch in inverse transform");
+    Tensor y(Y.batch(), Y.channels(), h, w);
+    const int a = algo.alpha;
+    const int m = algo.m;
+    std::array<double, kMaxAlpha * kMaxAlpha> tile{};
+    std::array<double, kMaxAlpha * kMaxAlpha> sp{};
+
+    for (int b = 0; b < Y.batch(); ++b) {
+        for (int c = 0; c < Y.channels(); ++c) {
+            for (int th = 0; th < grid.tilesH; ++th) {
+                for (int tw = 0; tw < grid.tilesW; ++tw) {
+                    const int t = th * grid.tilesW + tw;
+                    for (int uv = 0; uv < a * a; ++uv)
+                        tile[size_t(uv)] = double(Y.at(uv, c, b, t));
+                    sandwich(algo.AT, tile.data(), a, a, algo.A, sp.data());
+                    for (int i = 0; i < m; ++i) {
+                        for (int j = 0; j < m; ++j) {
+                            int rr = th * m + i, cc = tw * m + j;
+                            if (rr >= h || cc >= w)
+                                continue; // boundary crop
+                            y.at(b, c, rr, cc) = float(sp[size_t(i*m + j)]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return y;
+}
+
+WinoTiles
+inverseTransformAdjoint(const Tensor &dy, const WinogradAlgo &algo)
+{
+    TileGrid grid(dy.h(), dy.w(), algo);
+    WinoTiles dY(algo.alpha, dy.c(), dy.n(), grid.tiles());
+    const int a = algo.alpha;
+    const int m = algo.m;
+    std::array<double, kMaxAlpha * kMaxAlpha> patch{};
+    std::array<double, kMaxAlpha * kMaxAlpha> tile{};
+
+    for (int b = 0; b < dy.n(); ++b) {
+        for (int c = 0; c < dy.c(); ++c) {
+            for (int th = 0; th < grid.tilesH; ++th) {
+                for (int tw = 0; tw < grid.tilesW; ++tw) {
+                    for (int i = 0; i < m; ++i) {
+                        for (int j = 0; j < m; ++j) {
+                            int rr = th * m + i, cc = tw * m + j;
+                            bool in_map = rr < dy.h() && cc < dy.w();
+                            patch[size_t(i * m + j)] =
+                                in_map ? double(dy.at(b, c, rr, cc)) : 0.0;
+                        }
+                    }
+                    // Adjoint of y = AT Y A is dY = A dy A^T.
+                    sandwich(algo.A, patch.data(), m, m, algo.AT,
+                             tile.data());
+                    const int t = th * grid.tilesW + tw;
+                    for (int uv = 0; uv < a * a; ++uv)
+                        dY.at(uv, c, b, t) = float(tile[size_t(uv)]);
+                }
+            }
+        }
+    }
+    return dY;
+}
+
+Tensor
+winogradForward(const Tensor &x, const WinoWeights &W,
+                const WinogradAlgo &algo)
+{
+    WinoTiles X = transformInput(x, algo);
+    WinoTiles Y = elementwiseForward(X, W);
+    return inverseTransform(Y, algo, x.h(), x.w());
+}
+
+Tensor
+winogradBackwardData(const Tensor &dy, const WinoWeights &W,
+                     const WinogradAlgo &algo, int h, int w)
+{
+    WinoTiles dY = inverseTransformAdjoint(dy, algo);
+    WinoTiles dX = elementwiseBackwardData(dY, W);
+    return transformInputAdjoint(dX, algo, h, w);
+}
+
+WinoWeights
+winogradGradWeights(const Tensor &x, const Tensor &dy,
+                    const WinogradAlgo &algo)
+{
+    WinoTiles X = transformInput(x, algo);
+    WinoTiles dY = inverseTransformAdjoint(dy, algo);
+    return elementwiseGradWeights(dY, X);
+}
+
+Tensor
+directConvForward(const Tensor &x, const Tensor &w)
+{
+    winomc_assert(x.c() == w.c(), "channel mismatch in direct conv");
+    winomc_assert(w.h() == w.w() && w.h() % 2 == 1,
+                  "direct conv expects odd square filters");
+    const int r = w.h();
+    const int pad = (r - 1) / 2;
+    Tensor y(x.n(), w.n(), x.h(), x.w());
+
+    for (int b = 0; b < x.n(); ++b) {
+        for (int j = 0; j < w.n(); ++j) {
+            for (int oy = 0; oy < x.h(); ++oy) {
+                for (int ox = 0; ox < x.w(); ++ox) {
+                    double acc = 0.0;
+                    for (int i = 0; i < x.c(); ++i) {
+                        for (int ky = 0; ky < r; ++ky) {
+                            int iy = oy + ky - pad;
+                            if (iy < 0 || iy >= x.h())
+                                continue;
+                            for (int kx = 0; kx < r; ++kx) {
+                                int ix = ox + kx - pad;
+                                if (ix < 0 || ix >= x.w())
+                                    continue;
+                                acc += double(x.at(b, i, iy, ix)) *
+                                       w.at(j, i, ky, kx);
+                            }
+                        }
+                    }
+                    y.at(b, j, oy, ox) = float(acc);
+                }
+            }
+        }
+    }
+    return y;
+}
+
+Tensor
+directConvBackwardData(const Tensor &dy, const Tensor &w)
+{
+    winomc_assert(dy.c() == w.n(), "channel mismatch in backward data");
+    const int r = w.h();
+    const int pad = (r - 1) / 2;
+    Tensor dx(dy.n(), w.c(), dy.h(), dy.w());
+
+    for (int b = 0; b < dy.n(); ++b) {
+        for (int i = 0; i < w.c(); ++i) {
+            for (int iy = 0; iy < dy.h(); ++iy) {
+                for (int ix = 0; ix < dy.w(); ++ix) {
+                    double acc = 0.0;
+                    for (int j = 0; j < dy.c(); ++j) {
+                        for (int ky = 0; ky < r; ++ky) {
+                            int oy = iy - ky + pad;
+                            if (oy < 0 || oy >= dy.h())
+                                continue;
+                            for (int kx = 0; kx < r; ++kx) {
+                                int ox = ix - kx + pad;
+                                if (ox < 0 || ox >= dy.w())
+                                    continue;
+                                acc += double(dy.at(b, j, oy, ox)) *
+                                       w.at(j, i, ky, kx);
+                            }
+                        }
+                    }
+                    dx.at(b, i, iy, ix) = float(acc);
+                }
+            }
+        }
+    }
+    return dx;
+}
+
+Tensor
+directConvGradWeights(const Tensor &x, const Tensor &dy, int r)
+{
+    winomc_assert(x.n() == dy.n() && x.h() == dy.h() && x.w() == dy.w(),
+                  "shape mismatch in direct weight gradient");
+    const int pad = (r - 1) / 2;
+    Tensor dw(dy.c(), x.c(), r, r);
+
+    for (int j = 0; j < dy.c(); ++j) {
+        for (int i = 0; i < x.c(); ++i) {
+            for (int ky = 0; ky < r; ++ky) {
+                for (int kx = 0; kx < r; ++kx) {
+                    double acc = 0.0;
+                    for (int b = 0; b < x.n(); ++b) {
+                        for (int oy = 0; oy < x.h(); ++oy) {
+                            int iy = oy + ky - pad;
+                            if (iy < 0 || iy >= x.h())
+                                continue;
+                            for (int ox = 0; ox < x.w(); ++ox) {
+                                int ix = ox + kx - pad;
+                                if (ix < 0 || ix >= x.w())
+                                    continue;
+                                acc += double(dy.at(b, j, oy, ox)) *
+                                       x.at(b, i, iy, ix);
+                            }
+                        }
+                    }
+                    dw.at(j, i, ky, kx) = float(acc);
+                }
+            }
+        }
+    }
+    return dw;
+}
+
+} // namespace winomc

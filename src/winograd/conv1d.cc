@@ -1,0 +1,117 @@
+#include "winograd/conv1d.hh"
+
+#include <array>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace winomc {
+
+Tensor
+winograd1dForward(const Tensor &x, const Tensor &w,
+                  const WinogradAlgo &algo)
+{
+    winomc_assert(w.h() == algo.r && w.w() == 1,
+                  "1D Winograd expects (J, I, r, 1) filters matching "
+                  "algo r");
+    winomc_assert(x.c() == w.c(), "channel mismatch");
+    winomc_assert(algo.r % 2 == 1, "\"same\" needs odd r");
+    constexpr int kMaxAlpha = 8;
+    winomc_assert(algo.alpha <= kMaxAlpha, "alpha too large");
+
+    const int a = algo.alpha;
+    const int m = algo.m;
+    const int pad = (algo.r - 1) / 2;
+    const int tiles = (x.h() + m - 1) / m;
+    const int I = x.c(), J = w.n();
+
+    // Winograd-domain filters: G w (a x 1 per (j, i) pair).
+    std::vector<double> gw(size_t(J) * I * a, 0.0);
+    for (int j = 0; j < J; ++j)
+        for (int i = 0; i < I; ++i)
+            for (int u = 0; u < a; ++u) {
+                double acc = 0;
+                for (int k = 0; k < algo.r; ++k)
+                    acc += algo.G.at(u, k) * w.at(j, i, k, 0);
+                gw[(size_t(j) * I + i) * a + u] = acc;
+            }
+
+    Tensor y(x.n(), J, x.h(), x.w());
+    std::array<double, kMaxAlpha> seg{};
+    std::array<double, kMaxAlpha> tx{};
+
+    for (int b = 0; b < x.n(); ++b) {
+        for (int col = 0; col < x.w(); ++col) {
+            for (int t = 0; t < tiles; ++t) {
+                const int r0 = t * m - pad;
+                // Transform every input channel's segment, then the
+                // element-wise dot across channels per output channel.
+                std::vector<double> X(size_t(I) * a, 0.0);
+                for (int i = 0; i < I; ++i) {
+                    for (int u = 0; u < a; ++u) {
+                        int rr = r0 + u;
+                        seg[size_t(u)] =
+                            rr >= 0 && rr < x.h()
+                                ? double(x.at(b, i, rr, col))
+                                : 0.0;
+                    }
+                    for (int u = 0; u < a; ++u) {
+                        double acc = 0;
+                        for (int k = 0; k < a; ++k)
+                            acc += algo.BT.at(u, k) * seg[size_t(k)];
+                        X[size_t(i) * a + u] = acc;
+                    }
+                }
+                for (int j = 0; j < J; ++j) {
+                    for (int u = 0; u < a; ++u) {
+                        double acc = 0;
+                        for (int i = 0; i < I; ++i)
+                            acc += X[size_t(i) * a + u] *
+                                   gw[(size_t(j) * I + i) * a + u];
+                        tx[size_t(u)] = acc;
+                    }
+                    for (int o = 0; o < m; ++o) {
+                        int rr = t * m + o;
+                        if (rr >= x.h())
+                            continue;
+                        double acc = 0;
+                        for (int u = 0; u < a; ++u)
+                            acc += algo.AT.at(o, u) * tx[size_t(u)];
+                        y.at(b, j, rr, col) = float(acc);
+                    }
+                }
+            }
+        }
+    }
+    return y;
+}
+
+Tensor
+directConv1dForward(const Tensor &x, const Tensor &w)
+{
+    winomc_assert(w.w() == 1 && w.h() % 2 == 1,
+                  "expects odd (J, I, r, 1) filters");
+    winomc_assert(x.c() == w.c(), "channel mismatch");
+    const int r = w.h();
+    const int pad = (r - 1) / 2;
+    Tensor y(x.n(), w.n(), x.h(), x.w());
+
+    for (int b = 0; b < x.n(); ++b)
+        for (int j = 0; j < w.n(); ++j)
+            for (int oy = 0; oy < x.h(); ++oy)
+                for (int ox = 0; ox < x.w(); ++ox) {
+                    double acc = 0;
+                    for (int i = 0; i < x.c(); ++i)
+                        for (int k = 0; k < r; ++k) {
+                            int iy = oy + k - pad;
+                            if (iy < 0 || iy >= x.h())
+                                continue;
+                            acc += double(x.at(b, i, iy, ox)) *
+                                   w.at(j, i, k, 0);
+                        }
+                    y.at(b, j, oy, ox) = float(acc);
+                }
+    return y;
+}
+
+} // namespace winomc

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * One-dimensional Winograd filtering for (r x 1) filters
+ * (Section VII-B: "for the 3x1 weights, F(2,3) can be used with a tile
+ * size of 4x1"). The transform is applied along the height axis only;
+ * every column of the feature map is an independent 1D signal.
+ */
+
+#ifndef WINOMC_WINOGRAD_CONV1D_HH
+#define WINOMC_WINOGRAD_CONV1D_HH
+
+#include "tensor/tensor.hh"
+#include "winograd/algo.hh"
+
+namespace winomc {
+
+/**
+ * y = x (*) w, "same", with w of shape (J, I, r, 1), via F(m, r)
+ * applied 1D (tiles of alpha x 1, stride m along the rows).
+ */
+Tensor winograd1dForward(const Tensor &x, const Tensor &w,
+                         const WinogradAlgo &algo);
+
+/** Reference direct 1D convolution with (J, I, r, 1) filters. */
+Tensor directConv1dForward(const Tensor &x, const Tensor &w);
+
+} // namespace winomc
+
+#endif // WINOMC_WINOGRAD_CONV1D_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shape descriptor of one "same" convolution layer (stride 1, square
+ * feature maps and filters), the unit of evaluation throughout the paper.
+ */
+
+#ifndef WINOMC_WINOGRAD_CONV_SPEC_HH
+#define WINOMC_WINOGRAD_CONV_SPEC_HH
+
+#include <cstdint>
+#include <string>
+
+namespace winomc {
+
+/** One convolution layer: batch x in_ch x h x w (*) out_ch x in_ch x r x r. */
+struct ConvSpec
+{
+    std::string name;
+    int batch;   ///< B
+    int inCh;    ///< I
+    int outCh;   ///< J
+    int h;       ///< feature map height (== width of output, "same")
+    int w;       ///< feature map width
+    int r;       ///< filter edge (odd)
+
+    /** Spatial-domain weight element count |w| = I*J*r*r. */
+    uint64_t weightElems() const { return uint64_t(inCh) * outCh * r * r; }
+    /** Input feature-map element count B*I*H*W. */
+    uint64_t
+    inputElems() const
+    {
+        return uint64_t(batch) * inCh * h * w;
+    }
+    /** Output feature-map element count B*J*H*W. */
+    uint64_t
+    outputElems() const
+    {
+        return uint64_t(batch) * outCh * h * w;
+    }
+};
+
+} // namespace winomc
+
+#endif // WINOMC_WINOGRAD_CONV_SPEC_HH

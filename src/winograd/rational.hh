@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Exact rational arithmetic for Toom-Cook transform-matrix generation.
+ *
+ * The interpolation points used for Winograd filtering are tiny integers
+ * (0, +-1, +-2, ...), so numerators/denominators stay minuscule; int64
+ * storage with __int128 intermediates is far more than sufficient.
+ */
+
+#ifndef WINOMC_WINOGRAD_RATIONAL_HH
+#define WINOMC_WINOGRAD_RATIONAL_HH
+
+#include <cstdint>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace winomc {
+
+/** Exact rational number, always stored normalized with positive den. */
+class Rational
+{
+  public:
+    constexpr Rational() : numv(0), denv(1) {}
+    constexpr Rational(int64_t n) : numv(n), denv(1) {}
+    Rational(int64_t n, int64_t d) : numv(n), denv(d) { normalize(); }
+
+    int64_t num() const { return numv; }
+    int64_t den() const { return denv; }
+    double toDouble() const { return double(numv) / double(denv); }
+    bool isZero() const { return numv == 0; }
+
+    Rational
+    operator+(const Rational &o) const
+    {
+        return make(i128(numv) * o.denv + i128(o.numv) * denv,
+                    i128(denv) * o.denv);
+    }
+    Rational
+    operator-(const Rational &o) const
+    {
+        return make(i128(numv) * o.denv - i128(o.numv) * denv,
+                    i128(denv) * o.denv);
+    }
+    Rational
+    operator*(const Rational &o) const
+    {
+        return make(i128(numv) * o.numv, i128(denv) * o.denv);
+    }
+    Rational
+    operator/(const Rational &o) const
+    {
+        winomc_assert(o.numv != 0, "rational division by zero");
+        return make(i128(numv) * o.denv, i128(denv) * o.numv);
+    }
+    Rational operator-() const { return Rational(-numv, denv); }
+
+    Rational &operator+=(const Rational &o) { return *this = *this + o; }
+    Rational &operator-=(const Rational &o) { return *this = *this - o; }
+    Rational &operator*=(const Rational &o) { return *this = *this * o; }
+
+    bool
+    operator==(const Rational &o) const
+    {
+        return numv == o.numv && denv == o.denv;
+    }
+    bool operator!=(const Rational &o) const { return !(*this == o); }
+
+  private:
+    using i128 = __int128;
+
+    static Rational
+    make(i128 n, i128 d)
+    {
+        winomc_assert(d != 0, "zero denominator");
+        if (d < 0) {
+            n = -n;
+            d = -d;
+        }
+        i128 g = gcd128(n < 0 ? -n : n, d);
+        if (g > 1) {
+            n /= g;
+            d /= g;
+        }
+        winomc_assert(n <= INT64_MAX && n >= INT64_MIN && d <= INT64_MAX,
+                      "rational overflow");
+        Rational r;
+        r.numv = int64_t(n);
+        r.denv = int64_t(d);
+        return r;
+    }
+
+    static i128
+    gcd128(i128 a, i128 b)
+    {
+        while (b != 0) {
+            i128 t = a % b;
+            a = b;
+            b = t;
+        }
+        return a == 0 ? 1 : a;
+    }
+
+    void
+    normalize()
+    {
+        *this = make(numv, denv);
+    }
+
+    int64_t numv;
+    int64_t denv;
+};
+
+} // namespace winomc
+
+#endif // WINOMC_WINOGRAD_RATIONAL_HH

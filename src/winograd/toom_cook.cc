@@ -1,0 +1,138 @@
+#include "winograd/toom_cook.hh"
+
+#include "common/logging.hh"
+
+namespace winomc {
+
+namespace {
+
+using Poly = std::vector<Rational>; // coefficient i multiplies t^i
+
+Poly
+polyMul(const Poly &a, const Poly &b)
+{
+    Poly out(a.size() + b.size() - 1, Rational(0));
+    for (size_t i = 0; i < a.size(); ++i)
+        for (size_t j = 0; j < b.size(); ++j)
+            out[i + j] += a[i] * b[j];
+    return out;
+}
+
+Poly
+polyScale(const Poly &a, const Rational &s)
+{
+    Poly out = a;
+    for (auto &c : out)
+        c *= s;
+    return out;
+}
+
+} // namespace
+
+std::vector<Rational>
+defaultPoints(int count)
+{
+    std::vector<Rational> pts;
+    pts.reserve(size_t(count));
+    if (count >= 1)
+        pts.emplace_back(0);
+    for (int k = 1; int(pts.size()) < count; ++k) {
+        pts.emplace_back(k);
+        if (int(pts.size()) < count)
+            pts.emplace_back(-k);
+    }
+    return pts;
+}
+
+ToomCookMatrices
+generateToomCook(int m, int r, std::vector<Rational> points)
+{
+    winomc_assert(m >= 1 && r >= 1, "F(m,r) needs m,r >= 1");
+    const int alpha = m + r - 1;
+    const int nfinite = alpha - 1;
+
+    if (points.empty())
+        points = defaultPoints(nfinite);
+    winomc_assert(int(points.size()) == nfinite,
+                  "F(", m, ",", r, ") needs ", nfinite,
+                  " finite points, got ", points.size());
+    for (int i = 0; i < nfinite; ++i)
+        for (int j = i + 1; j < nfinite; ++j)
+            winomc_assert(points[i] != points[j],
+                          "interpolation points must be distinct");
+
+    ToomCookMatrices tc;
+    tc.m = m;
+    tc.r = r;
+    tc.alpha = alpha;
+
+    // Evaluation matrices. Row i < alpha-1 evaluates at a_i: [1, a, a^2,
+    // ...]; the last row is the point at infinity (leading coefficient).
+    auto eval_matrix = [&](int cols) {
+        std::vector<std::vector<Rational>> e(
+            size_t(alpha), std::vector<Rational>(size_t(cols),
+                                                 Rational(0)));
+        for (int i = 0; i < nfinite; ++i) {
+            Rational p(1);
+            for (int j = 0; j < cols; ++j) {
+                e[size_t(i)][size_t(j)] = p;
+                p *= points[size_t(i)];
+            }
+        }
+        e[size_t(alpha - 1)][size_t(cols - 1)] = Rational(1);
+        return e;
+    };
+
+    tc.G = eval_matrix(r);
+
+    // A^T = E^T where E = eval_matrix(m): A^T[j][i] = a_i^j, last column
+    // is e_{m-1}.
+    auto em = eval_matrix(m);
+    tc.AT.assign(size_t(m), std::vector<Rational>(size_t(alpha),
+                                                  Rational(0)));
+    for (int i = 0; i < alpha; ++i)
+        for (int j = 0; j < m; ++j)
+            tc.AT[size_t(j)][size_t(i)] = em[size_t(i)][size_t(j)];
+
+    // B^T row i < alpha-1: coefficients of the Lagrange basis polynomial
+    // L_i(t) = prod_{j != i} (t - a_j) / (a_i - a_j), padded to degree
+    // alpha-1. Row alpha-1: coefficients of M(t) = prod (t - a_i).
+    tc.BT.assign(size_t(alpha), std::vector<Rational>(size_t(alpha),
+                                                      Rational(0)));
+    for (int i = 0; i < nfinite; ++i) {
+        Poly num{Rational(1)};
+        Rational den(1);
+        for (int j = 0; j < nfinite; ++j) {
+            if (j == i)
+                continue;
+            num = polyMul(num, Poly{-points[size_t(j)], Rational(1)});
+            den *= points[size_t(i)] - points[size_t(j)];
+        }
+        Poly li = polyScale(num, Rational(1) / den);
+        for (size_t k = 0; k < li.size(); ++k)
+            tc.BT[size_t(i)][k] = li[k];
+    }
+    Poly master{Rational(1)};
+    for (int j = 0; j < nfinite; ++j)
+        master = polyMul(master, Poly{-points[size_t(j)], Rational(1)});
+    for (size_t k = 0; k < master.size(); ++k)
+        tc.BT[size_t(alpha - 1)][k] = master[k];
+
+    return tc;
+}
+
+Matrix
+toMatrix(const std::vector<std::vector<Rational>> &rm)
+{
+    winomc_assert(!rm.empty(), "empty rational matrix");
+    Matrix out(int(rm.size()), int(rm.front().size()));
+    for (size_t r = 0; r < rm.size(); ++r) {
+        winomc_assert(rm[r].size() == rm.front().size(),
+                      "ragged rational matrix");
+        for (size_t c = 0; c < rm[r].size(); ++c)
+            out.at(int(r), int(c)) = rm[r][c].toDouble();
+    }
+    return out;
+}
+
+} // namespace winomc

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Toom-Cook / Winograd minimal-filtering transform-matrix generator.
+ *
+ * Generates exact B^T, G, A^T for F(m, r) (m outputs, r-tap filter,
+ * alpha = m + r - 1 multiplications) from alpha - 1 finite interpolation
+ * points plus the point at infinity.
+ *
+ * Derivation (transposition of Toom-Cook polynomial multiplication):
+ * a linear-convolution algorithm s = C [(E u) (.) (G w)] with evaluation
+ * matrices E (alpha x m), G (alpha x r) and interpolation matrix
+ * C (alpha x alpha) transposes, in u <-> s, into the minimal filtering
+ * algorithm  y = E^T [(G w) (.) (C^T x)],  i.e.  A^T = E^T, B^T = C^T.
+ *
+ * C's column i < alpha-1 holds the coefficients of the Lagrange basis
+ * polynomial L_i(t); column alpha-1 holds the coefficients of the monic
+ * master polynomial M(t) = prod (t - a_i) (the infinity point).
+ */
+
+#ifndef WINOMC_WINOGRAD_TOOM_COOK_HH
+#define WINOMC_WINOGRAD_TOOM_COOK_HH
+
+#include <vector>
+
+#include "tensor/matrix.hh"
+#include "winograd/rational.hh"
+
+namespace winomc {
+
+/** Exact rational transform triple for F(m, r). */
+struct ToomCookMatrices
+{
+    int m;      ///< outputs per application
+    int r;      ///< filter taps
+    int alpha;  ///< tile size m + r - 1 (= number of products)
+    std::vector<std::vector<Rational>> BT; ///< alpha x alpha
+    std::vector<std::vector<Rational>> G;  ///< alpha x r
+    std::vector<std::vector<Rational>> AT; ///< m x alpha
+};
+
+/**
+ * Generate exact F(m, r) matrices.
+ *
+ * @param m       output count (>= 1)
+ * @param r       filter taps (>= 1)
+ * @param points  alpha - 1 distinct finite interpolation points;
+ *                if empty, the default sequence 0, 1, -1, 2, -2, ... is
+ *                used (the same family the canonical Lavin matrices use).
+ */
+ToomCookMatrices generateToomCook(int m, int r,
+                                  std::vector<Rational> points = {});
+
+/** Default interpolation point sequence 0, 1, -1, 2, -2, 3, -3, ... */
+std::vector<Rational> defaultPoints(int count);
+
+/** Convert an exact rational matrix to a double Matrix. */
+Matrix toMatrix(const std::vector<std::vector<Rational>> &rm);
+
+} // namespace winomc
+
+#endif // WINOMC_WINOGRAD_TOOM_COOK_HH

@@ -1,0 +1,28 @@
+#include "workloads/layers.hh"
+
+namespace winomc::workloads {
+
+std::vector<ConvSpec>
+tableTwoLayers(int batch)
+{
+    return {
+        {"Early", batch, 64, 64, 112, 112, 3},
+        {"Mid-A", batch, 128, 128, 56, 56, 3},
+        {"Mid-B", batch, 256, 256, 28, 28, 3},
+        {"Late-A", batch, 512, 512, 14, 14, 3},
+        {"Late-B", batch, 512, 512, 7, 7, 3},
+    };
+}
+
+std::vector<ConvSpec>
+tableTwoLayers5x5(int batch)
+{
+    std::vector<ConvSpec> layers = tableTwoLayers(batch);
+    for (auto &l : layers) {
+        l.r = 5;
+        l.name += "-5x5";
+    }
+    return layers;
+}
+
+} // namespace winomc::workloads

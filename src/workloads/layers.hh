@@ -1,0 +1,29 @@
+/**
+ * @file
+ * The five representative convolution layers of Table II.
+ *
+ * The paper evaluates one early, two middle, and two late 3x3 layers at
+ * batch 256; the exact dimensions are not legible in the available
+ * text, so representative ResNet/VGG-family shapes are used that match
+ * the description (early = largest feature map / smallest weights, late
+ * = smallest feature map / largest weights). See DESIGN.md.
+ */
+
+#ifndef WINOMC_WORKLOADS_LAYERS_HH
+#define WINOMC_WORKLOADS_LAYERS_HH
+
+#include <vector>
+
+#include "winograd/conv_spec.hh"
+
+namespace winomc::workloads {
+
+/** The Table II layers at the given batch size (paper: 256). */
+std::vector<ConvSpec> tableTwoLayers(int batch = 256);
+
+/** Same shapes with 5x5 filters (the Fig 16 experiment). */
+std::vector<ConvSpec> tableTwoLayers5x5(int batch = 256);
+
+} // namespace winomc::workloads
+
+#endif // WINOMC_WORKLOADS_LAYERS_HH

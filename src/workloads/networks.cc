@@ -1,0 +1,102 @@
+#include "workloads/networks.hh"
+
+namespace winomc::workloads {
+
+uint64_t
+NetworkSpec::paramCount() const
+{
+    uint64_t n = 0;
+    for (const auto &l : layers)
+        n += l.weightElems();
+    return n;
+}
+
+namespace {
+
+void
+repeatConv(std::vector<ConvSpec> &out, const std::string &prefix,
+           int count, int batch, int in_ch, int out_ch, int hw)
+{
+    for (int k = 0; k < count; ++k) {
+        ConvSpec s;
+        s.name = prefix + "_" + std::to_string(k);
+        s.batch = batch;
+        s.inCh = k == 0 ? in_ch : out_ch;
+        s.outCh = out_ch;
+        s.h = hw;
+        s.w = hw;
+        s.r = 3;
+        out.push_back(s);
+    }
+}
+
+} // namespace
+
+NetworkSpec
+wideResnet40_10(int batch)
+{
+    // Depth 40 = 6n+4 with n=6: three groups of 6 basic blocks
+    // (2 convs each), widths 160/320/640 at 32/16/8.
+    NetworkSpec net;
+    net.name = "WRN-40-10";
+    net.dataset = "CIFAR";
+    repeatConv(net.layers, "g1", 12, batch, 16, 160, 32);
+    repeatConv(net.layers, "g2", 12, batch, 160, 320, 16);
+    repeatConv(net.layers, "g3", 12, batch, 320, 640, 8);
+    return net;
+}
+
+NetworkSpec
+resnet34(int batch)
+{
+    NetworkSpec net;
+    net.name = "ResNet-34";
+    net.dataset = "ImageNet";
+    repeatConv(net.layers, "conv2", 6, batch, 64, 64, 56);
+    repeatConv(net.layers, "conv3", 8, batch, 64, 128, 28);
+    repeatConv(net.layers, "conv4", 12, batch, 128, 256, 14);
+    repeatConv(net.layers, "conv5", 6, batch, 256, 512, 7);
+    return net;
+}
+
+NetworkSpec
+fractalNet(int batch)
+{
+    // 4 blocks, 4 columns: a block with C columns holds
+    // sum_{c=1..C} 2^(c-1) = 15 convolutions; column depth varies but
+    // every conv in block b has the block's width and feature size.
+    NetworkSpec net;
+    net.name = "FractalNet";
+    net.dataset = "ImageNet";
+    const int widths[4] = {128, 256, 512, 1024};
+    const int sizes[4] = {56, 28, 14, 7};
+    int in_ch = 64; // stem output
+    for (int b = 0; b < 4; ++b) {
+        repeatConv(net.layers, "block" + std::to_string(b + 1), 15,
+                   batch, in_ch, widths[b], sizes[b]);
+        in_ch = widths[b];
+    }
+    return net;
+}
+
+NetworkSpec
+vgg16(int batch)
+{
+    NetworkSpec net;
+    net.name = "VGG-16";
+    net.dataset = "ImageNet";
+    repeatConv(net.layers, "conv1", 2, batch, 3, 64, 224);
+    repeatConv(net.layers, "conv2", 2, batch, 64, 128, 112);
+    repeatConv(net.layers, "conv3", 3, batch, 128, 256, 56);
+    repeatConv(net.layers, "conv4", 3, batch, 256, 512, 28);
+    repeatConv(net.layers, "conv5", 3, batch, 512, 512, 14);
+    return net;
+}
+
+std::vector<NetworkSpec>
+tableOneNetworks(int batch)
+{
+    return {wideResnet40_10(batch), resnet34(batch), fractalNet(batch)};
+}
+
+} // namespace winomc::workloads

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Convolution-layer inventories of the three CNNs of Table I:
+ * Wide ResNet WRN-40-10 (CIFAR), ResNet-34 (ImageNet) and
+ * FractalNet (4 blocks, 4 columns, ImageNet).
+ *
+ * Only the 3x3 convolution layers are enumerated - they dominate both
+ * computation and weight volume in all three networks and are the
+ * layers the Winograd transform / MPT apply to, matching the paper's
+ * layer-wise treatment.
+ */
+
+#ifndef WINOMC_WORKLOADS_NETWORKS_HH
+#define WINOMC_WORKLOADS_NETWORKS_HH
+
+#include <string>
+#include <vector>
+
+#include "winograd/conv_spec.hh"
+
+namespace winomc::workloads {
+
+struct NetworkSpec
+{
+    std::string name;
+    std::string dataset;
+    std::vector<ConvSpec> layers;
+
+    /** Total spatial-domain weight elements over all conv layers. */
+    uint64_t paramCount() const;
+};
+
+/** WRN-40-10 on CIFAR (32x32), ~55.5M conv parameters. */
+NetworkSpec wideResnet40_10(int batch = 256);
+
+/** ResNet-34 on ImageNet (224x224), ~21M conv parameters. */
+NetworkSpec resnet34(int batch = 256);
+
+/**
+ * FractalNet, 4 blocks x 4 columns on ImageNet. Channel widths
+ * (128, 256, 512, 1024) at feature sizes (56, 28, 14, 7); each block
+ * expands to 15 convolutions across its four columns.
+ */
+NetworkSpec fractalNet(int batch = 256);
+
+/** All three Table I networks. */
+std::vector<NetworkSpec> tableOneNetworks(int batch = 256);
+
+/**
+ * VGG-16 on ImageNet (~14.7M conv parameters): not in Table I, but the
+ * classic all-3x3 network Winograd papers target; useful for extending
+ * the scaling studies.
+ */
+NetworkSpec vgg16(int batch = 256);
+
+} // namespace winomc::workloads
+
+#endif // WINOMC_WORKLOADS_NETWORKS_HH

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the common substrate: stats accumulators, histograms, table
+ * formatting, RNG determinism, unit helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+
+namespace winomc {
+namespace {
+
+TEST(Accumulator, BasicMoments)
+{
+    Accumulator a;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        a.add(v);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(a.minimum(), 1.0);
+    EXPECT_DOUBLE_EQ(a.maximum(), 4.0);
+    EXPECT_NEAR(a.stddev(), std::sqrt(1.25), 1e-12);
+}
+
+TEST(Accumulator, EmptyIsZero)
+{
+    Accumulator a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.mean(), 0.0);
+    EXPECT_EQ(a.stddev(), 0.0);
+}
+
+TEST(Accumulator, MergeEqualsCombinedStream)
+{
+    Rng rng(11);
+    Accumulator whole, left, right;
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.gaussian(3.0, 2.0);
+        whole.add(v);
+        (i % 2 ? left : right).add(v);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(left.stddev(), whole.stddev(), 1e-9);
+    EXPECT_DOUBLE_EQ(left.maximum(), whole.maximum());
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(-1.0);
+    h.add(0.5);
+    h.add(9.99);
+    h.add(10.0);
+    h.add(25.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(9), 1u);
+    EXPECT_EQ(h.count(), 5u);
+}
+
+TEST(Histogram, PercentileMonotone)
+{
+    Histogram h(0.0, 100.0, 100);
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i)
+        h.add(rng.uniform(0, 100));
+    double p50 = h.percentile(0.5);
+    double p90 = h.percentile(0.9);
+    double p99 = h.percentile(0.99);
+    EXPECT_LE(p50, p90);
+    EXPECT_LE(p90, p99);
+    EXPECT_NEAR(p50, 50.0, 5.0);
+    EXPECT_NEAR(p90, 90.0, 5.0);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, UniformIntInRange)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        int64_t v = rng.uniformInt(-3, 7);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 7);
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(9);
+    Accumulator a;
+    for (int i = 0; i < 20000; ++i)
+        a.add(rng.gaussian(1.0, 2.0));
+    EXPECT_NEAR(a.mean(), 1.0, 0.1);
+    EXPECT_NEAR(a.stddev(), 2.0, 0.1);
+}
+
+TEST(Table, FormatsAlignedColumns)
+{
+    Table t("demo");
+    t.header({"layer", "time"});
+    t.row().cell("early").cell(1.5, 1);
+    t.row().cell("late").cell(uint64_t(42));
+    std::string s = t.toString();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("early"), std::string::npos);
+    EXPECT_NE(s.find("1.5"), std::string::npos);
+    EXPECT_NE(s.find("42"), std::string::npos);
+}
+
+TEST(Units, Conversions)
+{
+    EXPECT_DOUBLE_EQ(nsToSec(5.0), 5e-9);
+    EXPECT_DOUBLE_EQ(secToNs(1e-6), 1000.0);
+    EXPECT_DOUBLE_EQ(GBps(320), 320e9);
+    // Full-width link of Table III: 16 lanes x 15 Gbps = 30 GB/s.
+    EXPECT_DOUBLE_EQ(laneBandwidth(16, 15.0), 30e9);
+    // Narrow link: 8 lanes x 10 Gbps = 10 GB/s.
+    EXPECT_DOUBLE_EQ(laneBandwidth(8, 10.0), 10e9);
+}
+
+TEST(Units, FormatHelpers)
+{
+    EXPECT_EQ(formatBytes(2048.0), "2.00 KiB");
+    EXPECT_EQ(formatTime(0.00124), "1.240 ms");
+}
+
+} // namespace
+} // namespace winomc

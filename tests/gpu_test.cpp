@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the multi-GPU baseline model: roofline behaviour,
+ * sub-linear fixed-batch scaling, large-batch recovery, and the
+ * NDP-vs-GPU comparisons of Figs 17/18.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gpu/gpu_model.hh"
+#include "mpt/network_sim.hh"
+#include "workloads/networks.hh"
+
+namespace winomc::gpu {
+namespace {
+
+TEST(GpuLayer, BackwardCostsTwoKernels)
+{
+    ConvSpec spec{"x", 256, 128, 128, 28, 28, 3};
+    GpuLayerTime t = gpuLayerTime(spec, 32.0, {});
+    EXPECT_NEAR(t.bwdSec, 2.0 * t.fwdSec, 1e-12);
+}
+
+TEST(GpuLayer, SmallBatchLosesEfficiency)
+{
+    ConvSpec spec{"x", 256, 256, 256, 14, 14, 3};
+    GpuLayerTime big = gpuLayerTime(spec, 256.0, {});
+    GpuLayerTime small = gpuLayerTime(spec, 8.0, {});
+    // 32x less work but far less than 32x faster.
+    EXPECT_LT(small.fwdSec * 32.0 * 0.9, big.fwdSec * 32.0);
+    EXPECT_GT(small.fwdSec, big.fwdSec / 32.0 * 2.0);
+}
+
+TEST(GpuTraining, FixedBatchScalingSubLinear)
+{
+    // Fig 17: at fixed batch 256, 8 GPUs deliver much less than 8x.
+    auto net = workloads::resnet34();
+    double r1 = simulateGpuTraining(net, 1).imagesPerSec;
+    double r8 = simulateGpuTraining(net, 8).imagesPerSec;
+    EXPECT_GT(r8, r1);          // still faster...
+    EXPECT_LT(r8 / r1, 5.0);    // ...but clearly sub-linear
+}
+
+TEST(GpuTraining, LargeBatchRestoresScaling)
+{
+    // Fig 18: growing the batch to 2K-4K recovers GPU throughput.
+    auto net = workloads::resnet34();
+    double fixed = simulateGpuTraining(net, 8).imagesPerSec;
+    double big = simulateGpuTraining(net, 8, {}, 4096).imagesPerSec;
+    EXPECT_GT(big, 2.0 * fixed);
+    int best = bestBatchSize(net, 8);
+    EXPECT_GE(best, 1024);
+}
+
+TEST(GpuTraining, PowerModel)
+{
+    auto net = workloads::wideResnet40_10();
+    GpuResult r8 = simulateGpuTraining(net, 8);
+    GpuConfig cfg;
+    EXPECT_DOUBLE_EQ(r8.powerWatts,
+                     8 * cfg.boardPowerWatts + cfg.hostPowerWatts);
+}
+
+TEST(GpuVsNdp, MptNdpBeatsEightGpuAtFixedBatch)
+{
+    // Fig 17: 256 NDP with w_mp++ vs the 8-GPU system at batch 256
+    // (paper: 21.6x; our analytic GPU model is more charitable, so
+    // accept anything clearly above 3x).
+    mpt::SystemParams sp;
+    for (const auto &net : workloads::tableOneNetworks()) {
+        double ndp = mpt::simulateNetwork(
+            net, mpt::Strategy::WinoMPTPredictDyn, sp).iterationSeconds;
+        double gpu = simulateGpuTraining(net, 8).iterationSeconds;
+        EXPECT_GT(gpu / ndp, 3.0) << net.name;
+    }
+}
+
+TEST(GpuVsNdp, PerfPerWattAdvantageAtBestBatch)
+{
+    // Fig 18: iso-power, GPUs at their best batch, NDP at 256: the NDP
+    // system sustains a clear perf/W lead (paper: 9.5x on average).
+    mpt::SystemParams sp;
+    double log_sum = 0.0;
+    int n = 0;
+    for (const auto &net : workloads::tableOneNetworks()) {
+        auto ndp = mpt::simulateNetwork(
+            net, mpt::Strategy::WinoMPTPredictDyn, sp);
+        double ndp_ppw = ndp.imagesPerSec / ndp.averagePowerWatts;
+        int batch = bestBatchSize(net, 8);
+        GpuResult g = simulateGpuTraining(net, 8, {}, batch);
+        double gpu_ppw = g.imagesPerSec / g.powerWatts;
+        log_sum += std::log(ndp_ppw / gpu_ppw);
+        ++n;
+    }
+    double geomean = std::exp(log_sum / n);
+    EXPECT_GT(geomean, 2.0);
+    EXPECT_LT(geomean, 30.0);
+}
+
+} // namespace
+} // namespace winomc::gpu

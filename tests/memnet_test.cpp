@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Tests for the memory-centric network system model: link specs,
+ * bottleneck analytics vs. the event-driven message simulator, ring
+ * collective timing, cluster shapes, and the wave pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "memnet/cluster.hh"
+#include "memnet/collective.hh"
+#include "memnet/link_model.hh"
+#include "memnet/message_sim.hh"
+#include "memnet/pipeline.hh"
+#include "memnet/reduce_engine.hh"
+
+#include "common/rng.hh"
+
+namespace winomc::memnet {
+namespace {
+
+TEST(LinkSpec, TableIIIRates)
+{
+    EXPECT_DOUBLE_EQ(LinkSpec::full().bandwidth, 30e9);
+    EXPECT_DOUBLE_EQ(LinkSpec::narrow().bandwidth, 10e9);
+}
+
+TEST(LinkModel, SingleFlowTime)
+{
+    noc::RingTopology ring(8);
+    std::vector<std::vector<double>> traffic(
+        8, std::vector<double>(8, 0.0));
+    traffic[0][2] = 30e9; // one second of a full link, 2 hops
+    double t = bottleneckTime(ring, traffic, LinkSpec::full());
+    EXPECT_NEAR(t, 1.0 + 2 * LinkSpec::full().hopLatencySec, 1e-9);
+}
+
+TEST(LinkModel, NeighborRingLoadsAreUniform)
+{
+    noc::RingTopology ring(8);
+    std::vector<std::vector<double>> traffic(
+        8, std::vector<double>(8, 0.0));
+    for (int s = 0; s < 8; ++s)
+        traffic[size_t(s)][size_t((s + 1) % 8)] = 1000.0;
+    auto loads = linkLoads(ring, traffic);
+    // All clockwise links carry 1000; all CCW links idle.
+    int busy = 0;
+    for (double v : loads) {
+        if (v > 0) {
+            EXPECT_DOUBLE_EQ(v, 1000.0);
+            ++busy;
+        }
+    }
+    EXPECT_EQ(busy, 8);
+}
+
+TEST(LinkModel, FbflyAllToAllBottleneck)
+{
+    // k=4 fbfly, all-to-all V per pair: a row link src->B carries the
+    // direct flow plus the 3 flows continuing into B's column: 4 V.
+    noc::FlatButterfly2D fbfly(4);
+    double v = 1e6;
+    double t = allToAllTime(fbfly, v, LinkSpec::narrow());
+    double expect = 4.0 * v / 10e9 + 2 * LinkSpec::narrow().hopLatencySec;
+    EXPECT_NEAR(t, expect, 1e-9);
+}
+
+TEST(LinkModel, CliqueAllToAllIsSingleFlowPerLink)
+{
+    noc::FullyConnected clique(4);
+    double v = 1e6;
+    double t = allToAllTime(clique, v, LinkSpec::full());
+    EXPECT_NEAR(t, v / 30e9 + LinkSpec::full().hopLatencySec, 1e-9);
+}
+
+TEST(MessageSim, MatchesAnalyticOnAllToAll)
+{
+    // The event-driven simulator should land within ~30% of the
+    // ideal-schedule bound for the regular all-to-all pattern.
+    for (int k : {2, 4}) {
+        noc::FlatButterfly2D topo(k);
+        double v = 4e6;
+        double analytic = allToAllTime(topo, v, LinkSpec::narrow());
+        noc::FlatButterfly2D topo2(k);
+        double sim = simulateAllToAll(topo2, LinkSpec::narrow(), v);
+        EXPECT_GE(sim, analytic * 0.95) << "k=" << k;
+        EXPECT_LE(sim, analytic * 1.35) << "k=" << k;
+    }
+}
+
+TEST(MessageSim, SerializesContendingMessages)
+{
+    noc::RingTopology ring(4);
+    std::vector<Message> msgs{
+        {0, 1, 30e9 * 0.001}, // 1 ms of link time
+        {0, 1, 30e9 * 0.001},
+    };
+    double t = simulateMessages(ring, LinkSpec::full(), msgs);
+    EXPECT_NEAR(t, 0.002, 0.0005);
+    EXPECT_GT(msgs[1].finish, msgs[0].finish);
+}
+
+TEST(Collective, SingleWorkerFree)
+{
+    EXPECT_DOUBLE_EQ(ringAllReduceTime(1 << 20, 1, {}), 0.0);
+    EXPECT_EQ(ringAllReduceBytesPerWorker(1 << 20, 1), 0u);
+}
+
+TEST(Collective, BandwidthTermDominatesLargeMessages)
+{
+    CollectiveConfig cfg;
+    cfg.rings = 1;
+    uint64_t bytes = 64 << 20; // 64 MiB
+    double t = ringAllReduceTime(bytes, 16, cfg);
+    double bw_term = 2.0 * 15.0 / 16.0 * double(bytes) / 30e9;
+    EXPECT_NEAR(t, bw_term, 0.1 * bw_term);
+}
+
+TEST(Collective, MoreRingsCutTime)
+{
+    CollectiveConfig one;
+    one.rings = 1;
+    CollectiveConfig four;
+    four.rings = 4;
+    uint64_t bytes = 16 << 20;
+    EXPECT_GT(ringAllReduceTime(bytes, 64, one),
+              2.0 * ringAllReduceTime(bytes, 64, four));
+}
+
+TEST(Collective, ShorterRingSameBandwidthTerm)
+{
+    // 2(n-1)/n -> the bandwidth term saturates with n; the fill term
+    // grows with n. Small vs large ring differ mostly in fill.
+    CollectiveConfig cfg;
+    uint64_t bytes = 1 << 20;
+    double t16 = ringAllReduceTime(bytes, 16, cfg);
+    double t256 = ringAllReduceTime(bytes, 256, cfg);
+    EXPECT_GT(t256, t16);
+}
+
+TEST(Cluster, ShapesOfSectionIV)
+{
+    auto s16 = ClusterShape::groups16(256);
+    EXPECT_EQ(s16.ng, 16);
+    EXPECT_EQ(s16.nc, 16);
+    EXPECT_EQ(s16.transferMode(), TransferMode::TwoD);
+    EXPECT_EQ(s16.ringLength(), 16);
+
+    auto s4 = ClusterShape::groups4(256);
+    EXPECT_EQ(s4.nc, 64);
+    EXPECT_EQ(s4.transferMode(), TransferMode::OneD);
+
+    auto dp = ClusterShape::dataParallel(256);
+    EXPECT_EQ(dp.ng, 1);
+    EXPECT_EQ(dp.transferMode(), TransferMode::None);
+    EXPECT_EQ(dp.ringLength(), 256);
+}
+
+TEST(Cluster, TopologiesMatchShapes)
+{
+    EXPECT_EQ(clusterTopology(ClusterShape::dataParallel(256)), nullptr);
+    auto t4 = clusterTopology(ClusterShape::groups4(256));
+    ASSERT_NE(t4, nullptr);
+    EXPECT_EQ(t4->nodes(), 4);
+    EXPECT_EQ(t4->name(), "clique");
+    auto t16 = clusterTopology(ClusterShape::groups16(256));
+    ASSERT_NE(t16, nullptr);
+    EXPECT_EQ(t16->nodes(), 16);
+    EXPECT_EQ(t16->name(), "fbfly2d");
+}
+
+TEST(Pipeline, ComputeBoundApproachesComputeTotal)
+{
+    PhaseWork w;
+    w.scatterSec = 0.1;
+    w.computeSec = 10.0;
+    w.gatherSec = 0.1;
+    w.waves = 16;
+    double t = pipelinedPhaseTime(w);
+    EXPECT_GE(t, 10.0);
+    EXPECT_LE(t, 10.0 + 0.2 + 10.0 / 16);
+}
+
+TEST(Pipeline, CommBoundApproachesCommTotal)
+{
+    PhaseWork w;
+    w.scatterSec = 5.0;
+    w.computeSec = 0.5;
+    w.gatherSec = 5.0;
+    w.waves = 16;
+    double t = pipelinedPhaseTime(w);
+    EXPECT_GE(t, 10.0);
+    EXPECT_LE(t, 10.0 + 0.5 / 16 + 1.0);
+}
+
+TEST(Pipeline, SingleWaveIsSerial)
+{
+    PhaseWork w;
+    w.scatterSec = 1.0;
+    w.computeSec = 2.0;
+    w.gatherSec = 3.0;
+    w.waves = 1;
+    EXPECT_DOUBLE_EQ(pipelinedPhaseTime(w), 6.0);
+}
+
+TEST(Pipeline, MoreWavesNeverSlower)
+{
+    PhaseWork a;
+    a.scatterSec = 2.0;
+    a.computeSec = 3.0;
+    a.gatherSec = 1.0;
+    a.waves = 1;
+    PhaseWork b = a;
+    b.waves = 8;
+    PhaseWork c = a;
+    c.waves = 64;
+    EXPECT_GE(pipelinedPhaseTime(a), pipelinedPhaseTime(b));
+    EXPECT_GE(pipelinedPhaseTime(b), pipelinedPhaseTime(c));
+}
+
+// -------------------------------------------------------- ReduceEngine
+
+std::vector<std::vector<float>>
+randomPartials(int workers, size_t len, Rng &rng)
+{
+    std::vector<std::vector<float>> data;
+    data.resize(size_t(workers));
+    for (auto &v : data) {
+        v.resize(len);
+        for (auto &x : v)
+            x = float(rng.uniform(-1, 1));
+    }
+    return data;
+}
+
+TEST(ReduceEngine, ComputesExactSumReplicatedEverywhere)
+{
+    Rng rng(41);
+    const int workers = 8;
+    const size_t len = 1000;
+    auto data = randomPartials(workers, len, rng);
+
+    std::vector<double> expect(len, 0.0);
+    for (const auto &v : data)
+        for (size_t i = 0; i < len; ++i)
+            expect[i] += v[i];
+
+    RingCollectiveEngine eng(workers, LinkSpec::full());
+    int id = eng.submit(data);
+    eng.run();
+    const auto &out = eng.outcome(id);
+    ASSERT_EQ(out.reduced.size(), len);
+    for (size_t i = 0; i < len; ++i)
+        EXPECT_NEAR(out.reduced[i], float(expect[i]), 1e-4f) << i;
+    // The internal replication check already ran; chunks moved =
+    // chunks * 2(n-1).
+    size_t shard = (len + workers - 1) / workers;
+    (void)shard;
+    EXPECT_GT(out.chunksMoved, 0u);
+}
+
+TEST(ReduceEngine, TimingMatchesClosedFormModel)
+{
+    Rng rng(42);
+    const int workers = 16;
+    const size_t len = 64 * 1024; // 256 KiB message
+    auto data = randomPartials(workers, len, rng);
+
+    RingCollectiveEngine eng(workers, LinkSpec::full());
+    int id = eng.submit(data);
+    eng.run();
+
+    CollectiveConfig cfg;
+    cfg.rings = 1;
+    double model = ringAllReduceTime(len * 4, workers, cfg);
+    double sim = eng.outcome(id).finishSec;
+    EXPECT_GT(sim, 0.7 * model);
+    EXPECT_LT(sim, 1.4 * model);
+}
+
+TEST(ReduceEngine, ConcurrentMessagesBothCorrect)
+{
+    // Chunks of different messages interleave on the links; the
+    // per-message Reduce blocks keep them separate (Fig 13(c)).
+    Rng rng(43);
+    const int workers = 4;
+    auto a = randomPartials(workers, 300, rng);
+    auto b = randomPartials(workers, 500, rng);
+
+    std::vector<double> ea(300, 0.0), eb(500, 0.0);
+    for (const auto &v : a)
+        for (size_t i = 0; i < 300; ++i)
+            ea[i] += v[i];
+    for (const auto &v : b)
+        for (size_t i = 0; i < 500; ++i)
+            eb[i] += v[i];
+
+    RingCollectiveEngine eng(workers, LinkSpec::full());
+    int ia = eng.submit(a, 0.0);
+    int ib = eng.submit(b, 1e-7); // staggered start
+    eng.run();
+
+    for (size_t i = 0; i < 300; ++i)
+        EXPECT_NEAR(eng.outcome(ia).reduced[i], float(ea[i]), 1e-4f);
+    for (size_t i = 0; i < 500; ++i)
+        EXPECT_NEAR(eng.outcome(ib).reduced[i], float(eb[i]), 1e-4f);
+    EXPECT_GT(eng.makespan(), 0.0);
+}
+
+TEST(ReduceEngine, ConcurrentMessagesShareBandwidth)
+{
+    // Two equal messages together must take longer than one alone
+    // (they serialize on the same directed ring links) but much less
+    // than twice (pipelining).
+    Rng rng(44);
+    const int workers = 8;
+    const size_t len = 16 * 1024;
+
+    RingCollectiveEngine solo(workers, LinkSpec::full());
+    solo.submit(randomPartials(workers, len, rng));
+    solo.run();
+
+    RingCollectiveEngine duo(workers, LinkSpec::full());
+    duo.submit(randomPartials(workers, len, rng));
+    duo.submit(randomPartials(workers, len, rng));
+    duo.run();
+
+    EXPECT_GT(duo.makespan(), solo.makespan());
+    EXPECT_LT(duo.makespan(), 2.5 * solo.makespan());
+}
+
+} // namespace
+} // namespace winomc::memnet

@@ -1,0 +1,453 @@
+/**
+ * @file
+ * Tests for the MPT core: Section III-C communication-volume formulas,
+ * the task-graph scheduler, the layer/network simulations, and the
+ * dynamic-clustering optimizer - including the qualitative claims of
+ * the paper (DP flat vs MPT shrinking comm, early-vs-late layer
+ * behaviour, MPT speedups at 256 workers).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mpt/clustering.hh"
+#include "mpt/comm_volume.hh"
+#include "mpt/layer_sim.hh"
+#include "mpt/network_sim.hh"
+#include "mpt/task_graph.hh"
+#include "winograd/algo.hh"
+#include "workloads/layers.hh"
+#include "workloads/networks.hh"
+
+namespace winomc::mpt {
+namespace {
+
+using memnet::ClusterShape;
+
+// ------------------------------------------------------------ TaskGraph
+
+TEST(TaskGraphSched, ChainIsSequential)
+{
+    TaskGraph g;
+    TaskId a = g.addTask("a", 1.0, 0);
+    TaskId b = g.addTask("b", 2.0, 0);
+    TaskId c = g.addTask("c", 3.0, 0);
+    g.addDependency(a, b);
+    g.addDependency(b, c);
+    EXPECT_DOUBLE_EQ(g.simulate(), 6.0);
+    EXPECT_DOUBLE_EQ(g.finishTime(a), 1.0);
+    EXPECT_DOUBLE_EQ(g.finishTime(c), 6.0);
+}
+
+TEST(TaskGraphSched, IndependentResourcesOverlap)
+{
+    TaskGraph g;
+    g.addTask("compute", 5.0, 0);
+    g.addTask("network", 4.0, 1);
+    EXPECT_DOUBLE_EQ(g.simulate(), 5.0);
+}
+
+TEST(TaskGraphSched, SharedResourceSerializes)
+{
+    TaskGraph g;
+    g.addTask("a", 2.0, 0);
+    g.addTask("b", 2.0, 0);
+    EXPECT_DOUBLE_EQ(g.simulate(), 4.0);
+}
+
+TEST(TaskGraphSched, DiamondDependency)
+{
+    TaskGraph g;
+    TaskId a = g.addTask("a", 1.0, TaskGraph::kNoResource);
+    TaskId b = g.addTask("b", 2.0, TaskGraph::kNoResource);
+    TaskId c = g.addTask("c", 3.0, TaskGraph::kNoResource);
+    TaskId d = g.addTask("d", 1.0, TaskGraph::kNoResource);
+    g.addDependency(a, b);
+    g.addDependency(a, c);
+    g.addDependency(b, d);
+    g.addDependency(c, d);
+    EXPECT_DOUBLE_EQ(g.simulate(), 5.0); // 1 + max(2,3) + 1
+}
+
+TEST(TaskGraphSched, CollectiveOverlapsCompute)
+{
+    // bprop_2 -> ugrad_2 -> coll_2 (ring); bprop_1 continues on compute
+    // while coll_2 runs: the Section VI-C overlap.
+    TaskGraph g;
+    TaskId b2 = g.addTask("bprop2", 2.0, 0);
+    TaskId u2 = g.addTask("ugrad2", 1.0, 0);
+    TaskId c2 = g.addTask("coll2", 5.0, 1);
+    TaskId b1 = g.addTask("bprop1", 4.0, 0);
+    g.addDependency(b2, u2);
+    g.addDependency(u2, c2);
+    g.addDependency(b2, b1);
+    double makespan = g.simulate();
+    // coll2 starts at 3 and runs to 8; b1 runs 3..7 in parallel.
+    EXPECT_DOUBLE_EQ(makespan, 8.0);
+    EXPECT_DOUBLE_EQ(g.finishTime(b1), 7.0);
+}
+
+// ---------------------------------------------------------- Comm volume
+
+TEST(CommVolume, DataParallelNearlyFlatWithWorkers)
+{
+    uint64_t w = 512 * 512 * 9;
+    double v64 = dataParallelCommVolume(w, 64).total();
+    double v256 = dataParallelCommVolume(w, 256).total();
+    EXPECT_NEAR(v256 / v64, 1.0, 0.02); // ~2|w|(p-1)/p
+    EXPECT_EQ(dataParallelCommVolume(w, 1).total(), 0.0);
+}
+
+TEST(CommVolume, MptShrinksWithWorkersAtSqrtOrganization)
+{
+    // Fig 7: with Ng = Nc = sqrt(p), per-worker volume falls ~1/sqrt(p).
+    ConvSpec spec = workloads::tableTwoLayers()[2]; // Mid-B
+    const auto &algo = algoF2x2_3x3();
+    double v16 = mptCommVolume(spec, algo, ClusterShape{4, 4}, nullptr)
+                     .total();
+    double v256 =
+        mptCommVolume(spec, algo, ClusterShape{16, 16}, nullptr).total();
+    EXPECT_LT(v256, v16);
+}
+
+TEST(CommVolume, MptWeightsShrinkByGroups)
+{
+    ConvSpec spec = workloads::tableTwoLayers()[4]; // Late-B
+    const auto &algo = algoF2x2_3x3();
+    auto v4 = mptCommVolume(spec, algo, ClusterShape{4, 64}, nullptr);
+    auto v16 = mptCommVolume(spec, algo, ClusterShape{16, 16}, nullptr);
+    // Weight bytes scale ~1/Ng (ring-length factor differs slightly).
+    EXPECT_NEAR(v16.weightBytes / v4.weightBytes, 4.0 / 16.0, 0.05);
+}
+
+TEST(CommVolume, CrossoverDpVsMpt)
+{
+    // Fig 6: for a late layer MPT beats DP on total volume at large p;
+    // for the early layer (huge feature maps) MPT's tile traffic makes
+    // it worse without dynamic clustering.
+    auto layers = workloads::tableTwoLayers();
+    const auto &algo = algoF2x2_3x3();
+
+    const ConvSpec &late = layers[4];
+    double dp_late =
+        dataParallelCommVolume(late.weightElems(), 256).total();
+    double mp_late =
+        mptCommVolume(late, algo, ClusterShape{16, 16}, nullptr).total();
+    EXPECT_LT(mp_late, dp_late);
+
+    const ConvSpec &early = layers[0];
+    double dp_early =
+        dataParallelCommVolume(early.weightElems(), 256).total();
+    double mp_early =
+        mptCommVolume(early, algo, ClusterShape{16, 16}, nullptr)
+            .total();
+    EXPECT_GT(mp_early, dp_early);
+}
+
+TEST(CommVolume, PredictionReducesTileTraffic)
+{
+    ConvSpec spec = workloads::tableTwoLayers()[2];
+    const auto &algo = algoF2x2_3x3();
+    PredictionParams pp;
+    auto plain = mptCommVolume(spec, algo, ClusterShape{16, 16}, nullptr);
+    auto pred = mptCommVolume(spec, algo, ClusterShape{16, 16}, &pp);
+    EXPECT_LT(pred.tileBytes, plain.tileBytes);
+    EXPECT_DOUBLE_EQ(pred.weightBytes, plain.weightBytes);
+}
+
+TEST(CommVolume, OneDTransferCheaperThanTwoD)
+{
+    // Scale factors: 1D predict skips more and sends fewer bits.
+    PredictionParams pp;
+    EXPECT_LT(gatherScale(pp, memnet::TransferMode::OneD),
+              gatherScale(pp, memnet::TransferMode::TwoD));
+    EXPECT_LT(scatterScale(pp, memnet::TransferMode::OneD),
+              scatterScale(pp, memnet::TransferMode::TwoD));
+    EXPECT_EQ(gatherScale(pp, memnet::TransferMode::None), 0.0);
+}
+
+// ------------------------------------------------------------ Layer sim
+
+SystemParams
+defaultParams()
+{
+    return SystemParams{};
+}
+
+TEST(LayerSim, AllStrategiesProducePositiveTimes)
+{
+    SystemParams sp = defaultParams();
+    for (const auto &spec : workloads::tableTwoLayers()) {
+        for (Strategy s :
+             {Strategy::DirectDP, Strategy::WinoDP, Strategy::WinoMPT,
+              Strategy::WinoMPTPredict, Strategy::WinoMPTPredictDyn}) {
+            LayerResult r = simulateLayer(spec, s, sp);
+            EXPECT_GT(r.fwd.seconds, 0.0) << spec.name;
+            EXPECT_GT(r.bwd.seconds, 0.0) << spec.name;
+            EXPECT_GT(r.totalEnergy().total(), 0.0) << spec.name;
+        }
+    }
+}
+
+TEST(LayerSim, PredictionNeverSlower)
+{
+    SystemParams sp = defaultParams();
+    for (const auto &spec : workloads::tableTwoLayers()) {
+        double mp = simulateLayer(spec, Strategy::WinoMPT, sp)
+                        .totalSeconds();
+        double mpp = simulateLayer(spec, Strategy::WinoMPTPredict, sp)
+                         .totalSeconds();
+        EXPECT_LE(mpp, mp * 1.0001) << spec.name;
+    }
+}
+
+TEST(LayerSim, DynamicClusteringNeverSlowerThanFixed)
+{
+    SystemParams sp = defaultParams();
+    for (const auto &spec : workloads::tableTwoLayers()) {
+        double fixed = simulateLayer(spec, Strategy::WinoMPTPredict, sp)
+                           .totalSeconds();
+        double dyn = simulateLayer(spec, Strategy::WinoMPTPredictDyn, sp)
+                         .totalSeconds();
+        EXPECT_LE(dyn, fixed * 1.0001) << spec.name;
+    }
+}
+
+TEST(LayerSim, EarlyLayerPrefersDataParallelShape)
+{
+    // Fig 15: the Early layer's tile transfer overwhelms MPT; dynamic
+    // clustering configures it as (1, 256).
+    SystemParams sp = defaultParams();
+    auto early = workloads::tableTwoLayers()[0];
+    LayerResult r = simulateLayer(early, Strategy::WinoMPTPredictDyn, sp);
+    EXPECT_EQ(r.shape.ng, 1) << r.shape.toString();
+
+    double dp = simulateLayer(early, Strategy::WinoDP, sp).totalSeconds();
+    double mp = simulateLayer(early, Strategy::WinoMPT, sp)
+                    .totalSeconds();
+    EXPECT_GT(mp, dp); // plain MPT is a loss on the early layer
+}
+
+TEST(LayerSim, LateLayerPrefersManyGroups)
+{
+    SystemParams sp = defaultParams();
+    auto late = workloads::tableTwoLayers()[4];
+    LayerResult r = simulateLayer(late, Strategy::WinoMPTPredictDyn, sp);
+    EXPECT_GT(r.shape.ng, 1) << r.shape.toString();
+
+    double dp = simulateLayer(late, Strategy::WinoDP, sp).totalSeconds();
+    double mp = simulateLayer(late, Strategy::WinoMPTPredict, sp)
+                    .totalSeconds();
+    EXPECT_GT(dp / mp, 3.0) << "late layers show the biggest MPT win";
+}
+
+TEST(LayerSim, GeomeanSpeedupNearPaper)
+{
+    // Fig 15: w_mp++ achieves ~2.74x over w_dp averaged over the five
+    // layers. Our substrate differs, so accept a generous band.
+    SystemParams sp = defaultParams();
+    double log_sum = 0.0;
+    int n = 0;
+    for (const auto &spec : workloads::tableTwoLayers()) {
+        double dp = simulateLayer(spec, Strategy::WinoDP, sp)
+                        .totalSeconds();
+        double best = simulateLayer(spec, Strategy::WinoMPTPredictDyn,
+                                    sp).totalSeconds();
+        log_sum += std::log(dp / best);
+        ++n;
+    }
+    double geomean = std::exp(log_sum / n);
+    EXPECT_GT(geomean, 1.2);
+    EXPECT_LT(geomean, 6.0);
+}
+
+TEST(LayerSim, FiveByFiveCutsWeightCollectiveMore)
+{
+    // Fig 16's mechanism: for 5x5 weights MPT reduces the weight-
+    // gradient communication even more than for 3x3 (the spatial |w|
+    // grows 25/9 while the MPT group slice grows only 36/16), so the
+    // collective-time advantage of MPT over w_dp widens.
+    SystemParams sp = defaultParams();
+    auto l3 = workloads::tableTwoLayers()[4];
+    auto l5 = workloads::tableTwoLayers5x5()[4];
+    auto shape = memnet::ClusterShape::groups16(sp.workers);
+
+    double adv3 =
+        simulateLayer(l3, Strategy::WinoDP, sp).collectiveSeconds /
+        simulateLayerWithShape(l3, Strategy::WinoMPTPredict, sp, shape)
+            .collectiveSeconds;
+    double adv5 =
+        simulateLayer(l5, Strategy::WinoDP, sp).collectiveSeconds /
+        simulateLayerWithShape(l5, Strategy::WinoMPTPredict, sp, shape)
+            .collectiveSeconds;
+    EXPECT_GT(adv3, 1.0);
+    EXPECT_GT(adv5, adv3);
+}
+
+TEST(LayerSim, FiveByFiveSpeedupComparable)
+{
+    // End-to-end our 5x5 geomean lands near the 3x3 one rather than
+    // above it (see EXPERIMENTS.md for the deviation discussion); both
+    // must remain clear MPT wins.
+    SystemParams sp = defaultParams();
+    auto l3 = workloads::tableTwoLayers();
+    auto l5 = workloads::tableTwoLayers5x5();
+    double s3 = 0, s5 = 0;
+    for (size_t k = 0; k < l3.size(); ++k) {
+        s3 += std::log(
+            simulateLayer(l3[k], Strategy::WinoDP, sp).totalSeconds() /
+            simulateLayer(l3[k], Strategy::WinoMPTPredictDyn, sp)
+                .totalSeconds());
+        s5 += std::log(
+            simulateLayer(l5[k], Strategy::WinoDP, sp).totalSeconds() /
+            simulateLayer(l5[k], Strategy::WinoMPTPredictDyn, sp)
+                .totalSeconds());
+    }
+    EXPECT_GT(std::exp(s3 / double(l3.size())), 1.2);
+    EXPECT_GT(std::exp(s5 / double(l5.size())), 1.2);
+}
+
+TEST(LayerSim, MptCutsDramEnergyViaWeightPartitioning)
+{
+    // Section VII-B: MPT stores only a weight slice per worker and
+    // reuses inputs more, cutting DRAM energy on weight-heavy layers.
+    SystemParams sp = defaultParams();
+    auto late = workloads::tableTwoLayers()[4];
+    auto dp = simulateLayer(late, Strategy::WinoDP, sp);
+    auto mp = simulateLayer(late, Strategy::WinoMPT, sp);
+    EXPECT_LT(mp.totalEnergy().dramJ, dp.totalEnergy().dramJ);
+}
+
+// ----------------------------------------------------------- Clustering
+
+TEST(Clustering, EvaluatesAllShapes)
+{
+    SystemParams sp = defaultParams();
+    auto choices = evaluateShapes(workloads::tableTwoLayers()[2], sp);
+    ASSERT_EQ(choices.size(), 3u);
+    EXPECT_LE(choices[0].seconds, choices[1].seconds);
+    EXPECT_LE(choices[1].seconds, choices[2].seconds);
+}
+
+TEST(Clustering, ChoiceShiftsFromDpToGroupsAcrossDepth)
+{
+    SystemParams sp = defaultParams();
+    auto layers = workloads::tableTwoLayers();
+    int early_ng = chooseShape(layers[0], sp).ng;
+    int late_ng = chooseShape(layers[4], sp).ng;
+    EXPECT_EQ(early_ng, 1);
+    EXPECT_GE(late_ng, 4);
+}
+
+// ---------------------------------------------------------- Network sim
+
+TEST(NetworkSim, IterationCoversForward)
+{
+    SystemParams sp = defaultParams();
+    auto net = workloads::resnet34();
+    NetworkResult r = simulateNetwork(net, Strategy::WinoDP, sp);
+    EXPECT_GT(r.fwdSeconds, 0.0);
+    EXPECT_GT(r.iterationSeconds, r.fwdSeconds);
+    EXPECT_GT(r.imagesPerSec, 0.0);
+    EXPECT_EQ(r.layers.size(), net.layers.size());
+}
+
+TEST(NetworkSim, MptSpeedsUpAllThreeCnns)
+{
+    // Fig 17: w_mp++ improves over w_dp by ~2.7x at 256 workers; our
+    // substrate lands in the 2-8x band across the three CNNs.
+    SystemParams sp = defaultParams();
+    for (const auto &net : workloads::tableOneNetworks()) {
+        double dp = simulateNetwork(net, Strategy::WinoDP, sp)
+                        .iterationSeconds;
+        double pp = simulateNetwork(net, Strategy::WinoMPTPredictDyn, sp)
+                        .iterationSeconds;
+        double speedup = dp / pp;
+        EXPECT_GT(speedup, 1.8) << net.name;
+        EXPECT_LT(speedup, 10.0) << net.name;
+    }
+}
+
+TEST(NetworkSim, MptScalesFarBetterThanDp)
+{
+    // Fig 17: 256-worker speedups over 1 NDP - sub-linear for w_dp,
+    // near-linear for w_mp++ (paper: 71x vs 191x).
+    SystemParams sp = defaultParams();
+    SystemParams one = sp;
+    one.workers = 1;
+    auto net = workloads::fractalNet();
+    double base = simulateNetwork(net, Strategy::WinoDP, one)
+                      .iterationSeconds;
+    double dp = simulateNetwork(net, Strategy::WinoDP, sp)
+                    .iterationSeconds;
+    double pp = simulateNetwork(net, Strategy::WinoMPTPredictDyn, sp)
+                    .iterationSeconds;
+    double dp_scal = base / dp;
+    double pp_scal = base / pp;
+    EXPECT_LT(dp_scal, 100.0);
+    EXPECT_GT(pp_scal, 120.0);
+    EXPECT_GT(pp_scal / dp_scal, 2.0);
+}
+
+TEST(NetworkSim, ThroughputMonotoneInWorkersForMpt)
+{
+    SystemParams sp = defaultParams();
+    auto net = workloads::wideResnet40_10();
+    double prev = 0.0;
+    for (int p : {16, 64, 256}) {
+        SystemParams s = sp;
+        s.workers = p;
+        double rate = simulateNetwork(net, Strategy::WinoMPTPredictDyn,
+                                      s).imagesPerSec;
+        EXPECT_GT(rate, prev) << "p=" << p;
+        prev = rate;
+    }
+}
+
+TEST(NetworkSim, OverlapBetweenBoundsHolds)
+{
+    // The task-graph makespan must be at least the serial compute
+    // chain (fwd + bprop + ugrad on one compute resource) and at most
+    // that chain plus every collective run serially.
+    SystemParams sp = defaultParams();
+    auto net = workloads::wideResnet40_10();
+    NetworkResult r = simulateNetwork(net, Strategy::WinoMPTPredictDyn,
+                                      sp);
+    double chain = 0.0, colls = 0.0;
+    for (const auto &lr : r.layers) {
+        chain += lr.fwd.seconds + lr.bpropSeconds +
+                 lr.ugradComputeSeconds;
+        colls += lr.collectiveSeconds;
+    }
+    EXPECT_GE(r.iterationSeconds, chain * 0.999);
+    EXPECT_LE(r.iterationSeconds, chain + colls + 1e-6);
+    // Collectives overlap bprop, so the makespan should sit strictly
+    // below the fully-serial bound on a deep network.
+    EXPECT_LT(r.iterationSeconds, chain + colls * 0.9);
+}
+
+TEST(NetworkSim, DeterministicAcrossRuns)
+{
+    SystemParams sp = defaultParams();
+    auto net = workloads::resnet34();
+    NetworkResult a = simulateNetwork(net, Strategy::WinoMPT, sp);
+    NetworkResult b = simulateNetwork(net, Strategy::WinoMPT, sp);
+    EXPECT_DOUBLE_EQ(a.iterationSeconds, b.iterationSeconds);
+    EXPECT_DOUBLE_EQ(a.energy.total(), b.energy.total());
+}
+
+TEST(NetworkSim, PowerInPlausibleRange)
+{
+    // The paper quotes 1800-2600 W for both systems; our constants are
+    // substitutes, so accept a wide band around it.
+    SystemParams sp = defaultParams();
+    auto net = workloads::resnet34();
+    NetworkResult r = simulateNetwork(net, Strategy::WinoMPTPredictDyn,
+                                      sp);
+    EXPECT_GT(r.averagePowerWatts, 500.0);
+    EXPECT_LT(r.averagePowerWatts, 8000.0);
+}
+
+} // namespace
+} // namespace winomc::mpt

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for the NDP timing and energy models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "energy/energy.hh"
+#include "ndp/hmc_dram.hh"
+#include "ndp/timing.hh"
+
+namespace winomc {
+namespace {
+
+using namespace ndp;
+using namespace energy;
+
+TEST(SystolicTiming, SingleBlock)
+{
+    NdpConfig cfg;
+    // 64x64 output, K=128: one block, 128 + 2*64 cycles.
+    EXPECT_EQ(systolicCycles(cfg, 64, 128, 64), uint64_t(128 + 128));
+    EXPECT_EQ(systolicCycles(cfg, 64, 1000, 64), uint64_t(1000 + 128));
+}
+
+TEST(SystolicTiming, BlocksTile)
+{
+    NdpConfig cfg;
+    // 130 x 70 output: ceil(130/64)=3, ceil(70/64)=2 -> 6 blocks; the
+    // pipeline fill/drain is paid once (double-buffered dataflow).
+    EXPECT_EQ(systolicCycles(cfg, 130, 32, 70),
+              uint64_t(6) * 32 + 128);
+}
+
+TEST(SystolicTiming, TimeScalesWithClock)
+{
+    NdpConfig cfg;
+    double t1 = systolicTime(cfg, 64, 64, 64);
+    cfg.clockHz = 2e9;
+    EXPECT_NEAR(systolicTime(cfg, 64, 64, 64), t1 / 2, 1e-12);
+}
+
+TEST(VectorTiming, LaneRounding)
+{
+    NdpConfig cfg; // 64 lanes at 1 GHz
+    EXPECT_NEAR(vectorTime(cfg, 64), 1e-9, 1e-15);
+    EXPECT_NEAR(vectorTime(cfg, 65), 2e-9, 1e-15);
+}
+
+TEST(DramTiming, BandwidthModel)
+{
+    NdpConfig cfg; // 320 GB/s
+    EXPECT_NEAR(dramTime(cfg, 320'000'000), 1e-3, 1e-9);
+}
+
+TEST(OverlappedTask, MaxOfComputeAndDram)
+{
+    NdpConfig cfg;
+    cfg.taskOverheadSec = 0.0;
+    // Compute-bound.
+    EXPECT_NEAR(overlappedTaskTime(cfg, 1e-3, 1000), 1e-3, 1e-9);
+    // DRAM-bound: 3.2 GB at 320 GB/s = 10 ms.
+    EXPECT_NEAR(overlappedTaskTime(cfg, 1e-3, 3'200'000'000ULL), 1e-2,
+                1e-8);
+}
+
+TEST(OverlappedTask, OverheadAdds)
+{
+    NdpConfig cfg;
+    cfg.taskOverheadSec = 1e-6;
+    double t = overlappedTaskTime(cfg, 1e-3, 0);
+    EXPECT_NEAR(t, 1e-3 + 1e-6, 1e-12);
+}
+
+TEST(EnergyModel, PaperMacConstants)
+{
+    EnergyModel em;
+    // 1e12 mults at 3.7 pJ + 1e12 adds at 0.9 pJ = 4.6 J.
+    EXPECT_NEAR(em.macsEnergy(1'000'000'000'000ULL,
+                              1'000'000'000'000ULL), 4.6, 1e-9);
+}
+
+TEST(EnergyModel, LinkIdleScalesWithTimeAndLinks)
+{
+    EnergyModel em;
+    double e = em.linkIdleEnergy(4, 0, 2.0);
+    EXPECT_NEAR(e, 4 * 1.2 * 2.0, 1e-12);
+    EXPECT_GT(em.linkIdleEnergy(0, 4, 1.0), 0.0);
+}
+
+TEST(EnergyBreakdown, AccumulatesAndTotals)
+{
+    EnergyBreakdown a;
+    a.computeJ = 1.0;
+    a.dramJ = 2.0;
+    EnergyBreakdown b;
+    b.sramJ = 0.5;
+    b.linkJ = 0.25;
+    a += b;
+    EXPECT_DOUBLE_EQ(a.total(), 3.75);
+    EXPECT_NE(a.toString().find("total"), std::string::npos);
+}
+
+// ------------------------------------------------------------- HMC DRAM
+
+TEST(HmcDram, SingleRequestLatency)
+{
+    HmcDram d;
+    int id = d.submit(0, 32);
+    ASSERT_TRUE(d.drain(1000));
+    const DramRequest &req = d.request(id);
+    EXPECT_TRUE(req.done);
+    // Cold access: tRCD + tCAS + burst.
+    HmcConfig cfg;
+    Tick burst = Tick((cfg.accessBytes + cfg.busBytesPerCycle - 1) /
+                      uint32_t(cfg.busBytesPerCycle));
+    EXPECT_EQ(req.completed, Tick(cfg.tRcd + cfg.tCas) + burst);
+}
+
+TEST(HmcDram, StreamingSustainsMostOfPeak)
+{
+    HmcDram d;
+    for (int k = 0; k < 256; ++k)
+        d.submit(uint64_t(k) * 4096, 4096);
+    ASSERT_TRUE(d.drain(10'000'000));
+    // Table III's 320 GB/s assumption: streams must get close to it.
+    EXPECT_GT(d.achievedBandwidth(), 0.55 * d.config().peakBandwidth());
+    EXPECT_GT(d.rowHits(), 10 * d.rowMisses());
+}
+
+TEST(HmcDram, RandomAccessesCollapse)
+{
+    HmcDram d;
+    Rng rng(5);
+    for (int k = 0; k < 5000; ++k)
+        d.submit(uint64_t(rng.uniformInt(0, 1 << 26)) & ~31ULL, 32);
+    ASSERT_TRUE(d.drain(10'000'000));
+    EXPECT_LT(d.achievedBandwidth(), 0.2 * d.config().peakBandwidth());
+    EXPECT_GT(d.rowMisses(), d.rowHits());
+}
+
+TEST(HmcDram, FrFcfsBeatsFcfsOnConflictingStreams)
+{
+    auto run = [](bool frfcfs) {
+        HmcConfig cfg;
+        cfg.frfcfs = frfcfs;
+        HmcDram d(cfg);
+        Rng rng(2);
+        // Interleaved streams thrashing row buffers when served
+        // strictly in order.
+        for (int k = 0; k < 3000; ++k) {
+            d.submit(uint64_t(k % 2) * 8 * 1024 * 1024 +
+                         uint64_t(k / 2) * 32 +
+                         uint64_t(rng.uniformInt(0, 1)) * 1024 * 1024,
+                     32);
+        }
+        EXPECT_TRUE(d.drain(10'000'000));
+        return d.achievedBandwidth();
+    };
+    double fcfs = run(false);
+    double frfcfs = run(true);
+    EXPECT_GT(frfcfs, 2.0 * fcfs);
+}
+
+TEST(HmcDram, AllRequestsComplete)
+{
+    HmcDram d;
+    Rng rng(9);
+    std::vector<int> ids;
+    for (int k = 0; k < 500; ++k)
+        ids.push_back(d.submit(
+            uint64_t(rng.uniformInt(0, 1 << 22)) & ~31ULL,
+            uint32_t(32 * rng.uniformInt(1, 8))));
+    ASSERT_TRUE(d.drain(10'000'000));
+    EXPECT_EQ(d.pendingCount(), 0u);
+    for (int id : ids) {
+        EXPECT_TRUE(d.request(id).done);
+        EXPECT_GE(d.request(id).completed, d.request(id).issued);
+    }
+}
+
+} // namespace
+} // namespace winomc

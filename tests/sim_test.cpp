@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for the discrete-event kernel: ordering, determinism, time
+ * semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+
+namespace winomc::sim {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, FifoTieBreakAtSameTick)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int k = 0; k < 10; ++k)
+        eq.schedule(5, [&order, k] { order.push_back(k); });
+    eq.run();
+    for (int k = 0; k < 10; ++k)
+        EXPECT_EQ(order[size_t(k)], k);
+}
+
+TEST(EventQueue, ScheduleFromWithinEvent)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        ++fired;
+        eq.scheduleAfter(4, [&] {
+            ++fired;
+            EXPECT_EQ(eq.now(), 5u);
+        });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, RunUntilStopsAndAdvancesTime)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    eq.runUntil(15);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 15u);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, ResetClears)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.reset();
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.now(), 0u);
+}
+
+TEST(EventQueue, MaxEventsBound)
+{
+    EventQueue eq;
+    int fired = 0;
+    for (int k = 0; k < 100; ++k)
+        eq.schedule(Tick(k), [&] { ++fired; });
+    eq.run(10);
+    EXPECT_EQ(fired, 10);
+}
+
+} // namespace
+} // namespace winomc::sim

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the tensor / small-matrix substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/matrix.hh"
+#include "tensor/tensor.hh"
+
+namespace winomc {
+namespace {
+
+TEST(Tensor, ShapeAndIndexing)
+{
+    Tensor t(2, 3, 4, 5);
+    EXPECT_EQ(t.n(), 2);
+    EXPECT_EQ(t.c(), 3);
+    EXPECT_EQ(t.h(), 4);
+    EXPECT_EQ(t.w(), 5);
+    EXPECT_EQ(t.size(), 120u);
+    t.at(1, 2, 3, 4) = 7.0f;
+    EXPECT_FLOAT_EQ(t.at(1, 2, 3, 4), 7.0f);
+    EXPECT_FLOAT_EQ(t.at(0, 0, 0, 0), 0.0f);
+}
+
+TEST(Tensor, TwoDConvenience)
+{
+    Tensor m(3, 4);
+    m.at(2, 3) = 1.5f;
+    EXPECT_FLOAT_EQ(m.at(0, 0, 2, 3), 1.5f);
+    EXPECT_EQ(m.n(), 1);
+    EXPECT_EQ(m.h(), 3);
+}
+
+TEST(Tensor, ArithmeticOps)
+{
+    Tensor a(1, 1, 2, 2), b(1, 1, 2, 2);
+    a.fill(2.0f);
+    b.fill(3.0f);
+    a += b;
+    EXPECT_FLOAT_EQ(a.at(0, 0, 1, 1), 5.0f);
+    a -= b;
+    EXPECT_FLOAT_EQ(a.at(0, 0, 0, 1), 2.0f);
+    a *= 0.5f;
+    EXPECT_FLOAT_EQ(a.at(0, 0, 0, 0), 1.0f);
+}
+
+TEST(Tensor, Reductions)
+{
+    Tensor a(1, 1, 1, 4);
+    a.at(0, 0) = -3.0f;
+    a.at(0, 1) = 1.0f;
+    a.at(0, 2) = 2.0f;
+    a.at(0, 3) = 0.0f;
+    EXPECT_FLOAT_EQ(a.absMax(), 3.0f);
+    Tensor b = a;
+    b.at(0, 2) = 5.0f;
+    EXPECT_FLOAT_EQ(a.maxAbsDiff(b), 3.0f);
+    EXPECT_NEAR(a.stddev(), std::sqrt(3.5), 1e-5);
+}
+
+TEST(Tensor, KaimingInitScale)
+{
+    Rng rng(21);
+    Tensor w(64, 32, 3, 3); // fan_in = 288
+    w.fillKaiming(rng);
+    EXPECT_NEAR(w.stddev(), std::sqrt(2.0 / 288.0), 0.005);
+}
+
+TEST(Matrix, InitializerAndTranspose)
+{
+    Matrix m{{1, 2, 3}, {4, 5, 6}};
+    EXPECT_EQ(m.rows(), 2);
+    EXPECT_EQ(m.cols(), 3);
+    Matrix t = m.transposed();
+    EXPECT_EQ(t.rows(), 3);
+    EXPECT_DOUBLE_EQ(t.at(2, 1), 6.0);
+}
+
+TEST(Matrix, Product)
+{
+    Matrix a{{1, 2}, {3, 4}};
+    Matrix b{{5, 6}, {7, 8}};
+    Matrix c = a * b;
+    EXPECT_DOUBLE_EQ(c.at(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(c.at(0, 1), 22.0);
+    EXPECT_DOUBLE_EQ(c.at(1, 0), 43.0);
+    EXPECT_DOUBLE_EQ(c.at(1, 1), 50.0);
+}
+
+TEST(Matrix, IdentityNeutral)
+{
+    Matrix a{{1, 2}, {3, 4}};
+    Matrix i = Matrix::identity(2);
+    EXPECT_LT((a * i).maxAbsDiff(a), 1e-15);
+    EXPECT_LT((i * a).maxAbsDiff(a), 1e-15);
+}
+
+TEST(Matrix, AbsAndAddSub)
+{
+    Matrix a{{-1, 2}, {3, -4}};
+    Matrix b = a.abs();
+    EXPECT_DOUBLE_EQ(b.at(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(b.at(1, 1), 4.0);
+    Matrix s = a + b;
+    EXPECT_DOUBLE_EQ(s.at(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(s.at(0, 1), 4.0);
+    Matrix d = a - b;
+    EXPECT_DOUBLE_EQ(d.at(1, 0), 0.0);
+    Matrix h = 0.5 * b;
+    EXPECT_DOUBLE_EQ(h.at(1, 1), 2.0);
+}
+
+} // namespace
+} // namespace winomc

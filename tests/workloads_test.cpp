@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the Table I / Table II workload definitions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/layers.hh"
+#include "workloads/networks.hh"
+
+namespace winomc::workloads {
+namespace {
+
+TEST(TableTwo, FiveLayersWithPaperTrends)
+{
+    auto layers = tableTwoLayers();
+    ASSERT_EQ(layers.size(), 5u);
+    // Early: largest feature map, smallest weights; late: the reverse.
+    for (size_t k = 1; k < layers.size(); ++k) {
+        EXPECT_LE(layers[k].h, layers[k - 1].h);
+        EXPECT_GE(layers[k].weightElems(), layers[k - 1].weightElems());
+    }
+    for (const auto &l : layers) {
+        EXPECT_EQ(l.batch, 256);
+        EXPECT_EQ(l.r, 3);
+        EXPECT_EQ(l.h, l.w);
+    }
+}
+
+TEST(TableTwo, FiveByFiveVariant)
+{
+    auto layers = tableTwoLayers5x5();
+    ASSERT_EQ(layers.size(), 5u);
+    for (const auto &l : layers)
+        EXPECT_EQ(l.r, 5);
+    // 25/9 more weight elements than the 3x3 versions.
+    auto base = tableTwoLayers();
+    for (size_t k = 0; k < layers.size(); ++k)
+        EXPECT_EQ(layers[k].weightElems(), base[k].weightElems() / 9 * 25);
+}
+
+TEST(ConvSpecHelpers, ElementCounts)
+{
+    ConvSpec s{"x", 2, 3, 4, 8, 8, 3};
+    EXPECT_EQ(s.weightElems(), uint64_t(3) * 4 * 9);
+    EXPECT_EQ(s.inputElems(), uint64_t(2) * 3 * 64);
+    EXPECT_EQ(s.outputElems(), uint64_t(2) * 4 * 64);
+}
+
+TEST(TableOne, WrnParamCountMatchesPaper)
+{
+    auto net = wideResnet40_10();
+    // Table I: 55.6M (55.5M with 3x3-only counting).
+    double m = double(net.paramCount()) / 1e6;
+    EXPECT_GT(m, 50.0);
+    EXPECT_LT(m, 60.0);
+    EXPECT_EQ(net.layers.size(), 36u); // 3 groups x 12 convs
+}
+
+TEST(TableOne, Resnet34ShapeAndParams)
+{
+    auto net = resnet34();
+    double m = double(net.paramCount()) / 1e6;
+    EXPECT_GT(m, 15.0);
+    EXPECT_LT(m, 25.0);
+    EXPECT_EQ(net.layers.size(), 32u);
+    EXPECT_EQ(net.layers.front().h, 56);
+    EXPECT_EQ(net.layers.back().h, 7);
+}
+
+TEST(TableOne, FractalNetLargestModel)
+{
+    auto nets = tableOneNetworks();
+    ASSERT_EQ(nets.size(), 3u);
+    auto &fractal = nets[2];
+    EXPECT_EQ(fractal.name, "FractalNet");
+    EXPECT_EQ(fractal.layers.size(), 60u); // 4 blocks x 15 convs
+    // Table I: 164M; our 4-column construction lands close (see
+    // DESIGN.md substitutions).
+    double m = double(fractal.paramCount()) / 1e6;
+    EXPECT_GT(m, 120.0);
+    EXPECT_LT(m, 220.0);
+    // Largest of the three.
+    EXPECT_GT(fractal.paramCount(), nets[0].paramCount());
+    EXPECT_GT(fractal.paramCount(), nets[1].paramCount());
+}
+
+TEST(ModelZoo, Vgg16Shape)
+{
+    auto net = vgg16();
+    EXPECT_EQ(net.layers.size(), 13u);
+    double m = double(net.paramCount()) / 1e6;
+    EXPECT_GT(m, 12.0);
+    EXPECT_LT(m, 17.0);
+    EXPECT_EQ(net.layers.front().inCh, 3);
+    EXPECT_EQ(net.layers.back().h, 14);
+    for (const auto &l : net.layers)
+        EXPECT_EQ(l.r, 3);
+}
+
+TEST(TableOne, BatchPropagates)
+{
+    auto net = resnet34(64);
+    for (const auto &l : net.layers)
+        EXPECT_EQ(l.batch, 64);
+}
+
+} // namespace
+} // namespace winomc::workloads
