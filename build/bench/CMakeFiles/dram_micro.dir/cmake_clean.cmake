@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_micro.dir/dram_micro.cpp.o"
+  "CMakeFiles/dram_micro.dir/dram_micro.cpp.o.d"
+  "dram_micro"
+  "dram_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_comm_per_layer.dir/fig06_comm_per_layer.cpp.o"
+  "CMakeFiles/fig06_comm_per_layer.dir/fig06_comm_per_layer.cpp.o.d"
+  "fig06_comm_per_layer"
+  "fig06_comm_per_layer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_comm_per_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_comm_per_layer.
+# This may be replaced when dependencies are built.

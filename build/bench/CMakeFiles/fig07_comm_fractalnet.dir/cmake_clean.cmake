@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_comm_fractalnet.dir/fig07_comm_fractalnet.cpp.o"
+  "CMakeFiles/fig07_comm_fractalnet.dir/fig07_comm_fractalnet.cpp.o.d"
+  "fig07_comm_fractalnet"
+  "fig07_comm_fractalnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_comm_fractalnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

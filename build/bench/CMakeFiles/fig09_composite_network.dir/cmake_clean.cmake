@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_composite_network.dir/fig09_composite_network.cpp.o"
+  "CMakeFiles/fig09_composite_network.dir/fig09_composite_network.cpp.o.d"
+  "fig09_composite_network"
+  "fig09_composite_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_composite_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_modified_join.dir/fig14_modified_join.cpp.o"
+  "CMakeFiles/fig14_modified_join.dir/fig14_modified_join.cpp.o.d"
+  "fig14_modified_join"
+  "fig14_modified_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_modified_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_weight_size.dir/fig16_weight_size.cpp.o"
+  "CMakeFiles/fig16_weight_size.dir/fig16_weight_size.cpp.o.d"
+  "fig16_weight_size"
+  "fig16_weight_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_weight_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_scaling.dir/fig17_scaling.cpp.o"
+  "CMakeFiles/fig17_scaling.dir/fig17_scaling.cpp.o.d"
+  "fig17_scaling"
+  "fig17_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

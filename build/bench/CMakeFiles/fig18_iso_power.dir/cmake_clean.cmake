@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_iso_power.dir/fig18_iso_power.cpp.o"
+  "CMakeFiles/fig18_iso_power.dir/fig18_iso_power.cpp.o.d"
+  "fig18_iso_power"
+  "fig18_iso_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_iso_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/memnet_validation.cpp" "bench/CMakeFiles/memnet_validation.dir/memnet_validation.cpp.o" "gcc" "bench/CMakeFiles/memnet_validation.dir/memnet_validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/memnet/CMakeFiles/winomc_memnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/winomc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/winomc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/winomc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

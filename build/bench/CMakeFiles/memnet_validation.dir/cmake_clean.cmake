@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memnet_validation.dir/memnet_validation.cpp.o"
+  "CMakeFiles/memnet_validation.dir/memnet_validation.cpp.o.d"
+  "memnet_validation"
+  "memnet_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memnet_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_micro.dir/noc_micro.cpp.o"
+  "CMakeFiles/noc_micro.dir/noc_micro.cpp.o.d"
+  "noc_micro"
+  "noc_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_workloads.dir/table_workloads.cpp.o"
+  "CMakeFiles/table_workloads.dir/table_workloads.cpp.o.d"
+  "table_workloads"
+  "table_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

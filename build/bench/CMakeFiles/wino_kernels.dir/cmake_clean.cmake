@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wino_kernels.dir/wino_kernels.cpp.o"
+  "CMakeFiles/wino_kernels.dir/wino_kernels.cpp.o.d"
+  "wino_kernels"
+  "wino_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wino_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnn_explorer.dir/cnn_explorer.cpp.o"
+  "CMakeFiles/cnn_explorer.dir/cnn_explorer.cpp.o.d"
+  "cnn_explorer"
+  "cnn_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnn_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

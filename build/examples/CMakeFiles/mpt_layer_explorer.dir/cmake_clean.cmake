@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpt_layer_explorer.dir/mpt_layer_explorer.cpp.o"
+  "CMakeFiles/mpt_layer_explorer.dir/mpt_layer_explorer.cpp.o.d"
+  "mpt_layer_explorer"
+  "mpt_layer_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpt_layer_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/prediction_demo.cpp" "examples/CMakeFiles/prediction_demo.dir/prediction_demo.cpp.o" "gcc" "examples/CMakeFiles/prediction_demo.dir/prediction_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/quant/CMakeFiles/winomc_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/winomc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/winomc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/winograd/CMakeFiles/winomc_winograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/winomc_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prediction_demo.dir/prediction_demo.cpp.o"
+  "CMakeFiles/prediction_demo.dir/prediction_demo.cpp.o.d"
+  "prediction_demo"
+  "prediction_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prediction_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

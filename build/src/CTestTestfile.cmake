@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("tensor")
+subdirs("winograd")
+subdirs("nn")
+subdirs("quant")
+subdirs("sim")
+subdirs("noc")
+subdirs("ndp")
+subdirs("energy")
+subdirs("memnet")
+subdirs("workloads")
+subdirs("mpt")
+subdirs("gpu")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/winomc_common.dir/logging.cc.o"
+  "CMakeFiles/winomc_common.dir/logging.cc.o.d"
+  "CMakeFiles/winomc_common.dir/stats.cc.o"
+  "CMakeFiles/winomc_common.dir/stats.cc.o.d"
+  "CMakeFiles/winomc_common.dir/table.cc.o"
+  "CMakeFiles/winomc_common.dir/table.cc.o.d"
+  "libwinomc_common.a"
+  "libwinomc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/winomc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/winomc_energy.dir/energy.cc.o"
+  "CMakeFiles/winomc_energy.dir/energy.cc.o.d"
+  "libwinomc_energy.a"
+  "libwinomc_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/winomc_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

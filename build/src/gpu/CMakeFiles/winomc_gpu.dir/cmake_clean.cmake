@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/winomc_gpu.dir/gpu_model.cc.o"
+  "CMakeFiles/winomc_gpu.dir/gpu_model.cc.o.d"
+  "libwinomc_gpu.a"
+  "libwinomc_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/winomc_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memnet/cluster.cc" "src/memnet/CMakeFiles/winomc_memnet.dir/cluster.cc.o" "gcc" "src/memnet/CMakeFiles/winomc_memnet.dir/cluster.cc.o.d"
+  "/root/repo/src/memnet/collective.cc" "src/memnet/CMakeFiles/winomc_memnet.dir/collective.cc.o" "gcc" "src/memnet/CMakeFiles/winomc_memnet.dir/collective.cc.o.d"
+  "/root/repo/src/memnet/link_model.cc" "src/memnet/CMakeFiles/winomc_memnet.dir/link_model.cc.o" "gcc" "src/memnet/CMakeFiles/winomc_memnet.dir/link_model.cc.o.d"
+  "/root/repo/src/memnet/message_sim.cc" "src/memnet/CMakeFiles/winomc_memnet.dir/message_sim.cc.o" "gcc" "src/memnet/CMakeFiles/winomc_memnet.dir/message_sim.cc.o.d"
+  "/root/repo/src/memnet/pipeline.cc" "src/memnet/CMakeFiles/winomc_memnet.dir/pipeline.cc.o" "gcc" "src/memnet/CMakeFiles/winomc_memnet.dir/pipeline.cc.o.d"
+  "/root/repo/src/memnet/reduce_engine.cc" "src/memnet/CMakeFiles/winomc_memnet.dir/reduce_engine.cc.o" "gcc" "src/memnet/CMakeFiles/winomc_memnet.dir/reduce_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/noc/CMakeFiles/winomc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/winomc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/winomc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

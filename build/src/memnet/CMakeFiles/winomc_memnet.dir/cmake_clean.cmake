@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/winomc_memnet.dir/cluster.cc.o"
+  "CMakeFiles/winomc_memnet.dir/cluster.cc.o.d"
+  "CMakeFiles/winomc_memnet.dir/collective.cc.o"
+  "CMakeFiles/winomc_memnet.dir/collective.cc.o.d"
+  "CMakeFiles/winomc_memnet.dir/link_model.cc.o"
+  "CMakeFiles/winomc_memnet.dir/link_model.cc.o.d"
+  "CMakeFiles/winomc_memnet.dir/message_sim.cc.o"
+  "CMakeFiles/winomc_memnet.dir/message_sim.cc.o.d"
+  "CMakeFiles/winomc_memnet.dir/pipeline.cc.o"
+  "CMakeFiles/winomc_memnet.dir/pipeline.cc.o.d"
+  "CMakeFiles/winomc_memnet.dir/reduce_engine.cc.o"
+  "CMakeFiles/winomc_memnet.dir/reduce_engine.cc.o.d"
+  "libwinomc_memnet.a"
+  "libwinomc_memnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/winomc_memnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

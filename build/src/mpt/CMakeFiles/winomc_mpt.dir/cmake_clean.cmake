@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/winomc_mpt.dir/clustering.cc.o"
+  "CMakeFiles/winomc_mpt.dir/clustering.cc.o.d"
+  "CMakeFiles/winomc_mpt.dir/comm_volume.cc.o"
+  "CMakeFiles/winomc_mpt.dir/comm_volume.cc.o.d"
+  "CMakeFiles/winomc_mpt.dir/functional.cc.o"
+  "CMakeFiles/winomc_mpt.dir/functional.cc.o.d"
+  "CMakeFiles/winomc_mpt.dir/layer_sim.cc.o"
+  "CMakeFiles/winomc_mpt.dir/layer_sim.cc.o.d"
+  "CMakeFiles/winomc_mpt.dir/mpt_conv_layer.cc.o"
+  "CMakeFiles/winomc_mpt.dir/mpt_conv_layer.cc.o.d"
+  "CMakeFiles/winomc_mpt.dir/network_sim.cc.o"
+  "CMakeFiles/winomc_mpt.dir/network_sim.cc.o.d"
+  "CMakeFiles/winomc_mpt.dir/task_graph.cc.o"
+  "CMakeFiles/winomc_mpt.dir/task_graph.cc.o.d"
+  "libwinomc_mpt.a"
+  "libwinomc_mpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/winomc_mpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/winomc_ndp.dir/hmc_dram.cc.o"
+  "CMakeFiles/winomc_ndp.dir/hmc_dram.cc.o.d"
+  "CMakeFiles/winomc_ndp.dir/timing.cc.o"
+  "CMakeFiles/winomc_ndp.dir/timing.cc.o.d"
+  "libwinomc_ndp.a"
+  "libwinomc_ndp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/winomc_ndp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

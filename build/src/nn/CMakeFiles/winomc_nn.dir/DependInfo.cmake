@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/basic_layers.cc" "src/nn/CMakeFiles/winomc_nn.dir/basic_layers.cc.o" "gcc" "src/nn/CMakeFiles/winomc_nn.dir/basic_layers.cc.o.d"
+  "/root/repo/src/nn/batchnorm.cc" "src/nn/CMakeFiles/winomc_nn.dir/batchnorm.cc.o" "gcc" "src/nn/CMakeFiles/winomc_nn.dir/batchnorm.cc.o.d"
+  "/root/repo/src/nn/conv_layer.cc" "src/nn/CMakeFiles/winomc_nn.dir/conv_layer.cc.o" "gcc" "src/nn/CMakeFiles/winomc_nn.dir/conv_layer.cc.o.d"
+  "/root/repo/src/nn/dataset.cc" "src/nn/CMakeFiles/winomc_nn.dir/dataset.cc.o" "gcc" "src/nn/CMakeFiles/winomc_nn.dir/dataset.cc.o.d"
+  "/root/repo/src/nn/join.cc" "src/nn/CMakeFiles/winomc_nn.dir/join.cc.o" "gcc" "src/nn/CMakeFiles/winomc_nn.dir/join.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/winomc_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/winomc_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/nn/CMakeFiles/winomc_nn.dir/module.cc.o" "gcc" "src/nn/CMakeFiles/winomc_nn.dir/module.cc.o.d"
+  "/root/repo/src/nn/trainer.cc" "src/nn/CMakeFiles/winomc_nn.dir/trainer.cc.o" "gcc" "src/nn/CMakeFiles/winomc_nn.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/winograd/CMakeFiles/winomc_winograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/winomc_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/winomc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/winomc_nn.dir/basic_layers.cc.o"
+  "CMakeFiles/winomc_nn.dir/basic_layers.cc.o.d"
+  "CMakeFiles/winomc_nn.dir/batchnorm.cc.o"
+  "CMakeFiles/winomc_nn.dir/batchnorm.cc.o.d"
+  "CMakeFiles/winomc_nn.dir/conv_layer.cc.o"
+  "CMakeFiles/winomc_nn.dir/conv_layer.cc.o.d"
+  "CMakeFiles/winomc_nn.dir/dataset.cc.o"
+  "CMakeFiles/winomc_nn.dir/dataset.cc.o.d"
+  "CMakeFiles/winomc_nn.dir/join.cc.o"
+  "CMakeFiles/winomc_nn.dir/join.cc.o.d"
+  "CMakeFiles/winomc_nn.dir/loss.cc.o"
+  "CMakeFiles/winomc_nn.dir/loss.cc.o.d"
+  "CMakeFiles/winomc_nn.dir/module.cc.o"
+  "CMakeFiles/winomc_nn.dir/module.cc.o.d"
+  "CMakeFiles/winomc_nn.dir/trainer.cc.o"
+  "CMakeFiles/winomc_nn.dir/trainer.cc.o.d"
+  "libwinomc_nn.a"
+  "libwinomc_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/winomc_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

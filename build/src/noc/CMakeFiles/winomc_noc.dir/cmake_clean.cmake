@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/winomc_noc.dir/memcentric.cc.o"
+  "CMakeFiles/winomc_noc.dir/memcentric.cc.o.d"
+  "CMakeFiles/winomc_noc.dir/network.cc.o"
+  "CMakeFiles/winomc_noc.dir/network.cc.o.d"
+  "CMakeFiles/winomc_noc.dir/router.cc.o"
+  "CMakeFiles/winomc_noc.dir/router.cc.o.d"
+  "CMakeFiles/winomc_noc.dir/topology.cc.o"
+  "CMakeFiles/winomc_noc.dir/topology.cc.o.d"
+  "CMakeFiles/winomc_noc.dir/traffic.cc.o"
+  "CMakeFiles/winomc_noc.dir/traffic.cc.o.d"
+  "libwinomc_noc.a"
+  "libwinomc_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/winomc_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quant/activation_map.cc" "src/quant/CMakeFiles/winomc_quant.dir/activation_map.cc.o" "gcc" "src/quant/CMakeFiles/winomc_quant.dir/activation_map.cc.o.d"
+  "/root/repo/src/quant/predict.cc" "src/quant/CMakeFiles/winomc_quant.dir/predict.cc.o" "gcc" "src/quant/CMakeFiles/winomc_quant.dir/predict.cc.o.d"
+  "/root/repo/src/quant/quantizer.cc" "src/quant/CMakeFiles/winomc_quant.dir/quantizer.cc.o" "gcc" "src/quant/CMakeFiles/winomc_quant.dir/quantizer.cc.o.d"
+  "/root/repo/src/quant/zero_skip.cc" "src/quant/CMakeFiles/winomc_quant.dir/zero_skip.cc.o" "gcc" "src/quant/CMakeFiles/winomc_quant.dir/zero_skip.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/winograd/CMakeFiles/winomc_winograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/winomc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/winomc_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

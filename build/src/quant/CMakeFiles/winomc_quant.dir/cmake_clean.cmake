@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/winomc_quant.dir/activation_map.cc.o"
+  "CMakeFiles/winomc_quant.dir/activation_map.cc.o.d"
+  "CMakeFiles/winomc_quant.dir/predict.cc.o"
+  "CMakeFiles/winomc_quant.dir/predict.cc.o.d"
+  "CMakeFiles/winomc_quant.dir/quantizer.cc.o"
+  "CMakeFiles/winomc_quant.dir/quantizer.cc.o.d"
+  "CMakeFiles/winomc_quant.dir/zero_skip.cc.o"
+  "CMakeFiles/winomc_quant.dir/zero_skip.cc.o.d"
+  "libwinomc_quant.a"
+  "libwinomc_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/winomc_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

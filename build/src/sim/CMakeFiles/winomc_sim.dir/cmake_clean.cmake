@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/winomc_sim.dir/event_queue.cc.o"
+  "CMakeFiles/winomc_sim.dir/event_queue.cc.o.d"
+  "libwinomc_sim.a"
+  "libwinomc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/winomc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/winomc_tensor.dir/matrix.cc.o"
+  "CMakeFiles/winomc_tensor.dir/matrix.cc.o.d"
+  "CMakeFiles/winomc_tensor.dir/tensor.cc.o"
+  "CMakeFiles/winomc_tensor.dir/tensor.cc.o.d"
+  "libwinomc_tensor.a"
+  "libwinomc_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/winomc_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

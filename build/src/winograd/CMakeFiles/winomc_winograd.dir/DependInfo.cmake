@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/winograd/algo.cc" "src/winograd/CMakeFiles/winomc_winograd.dir/algo.cc.o" "gcc" "src/winograd/CMakeFiles/winomc_winograd.dir/algo.cc.o.d"
+  "/root/repo/src/winograd/conv.cc" "src/winograd/CMakeFiles/winomc_winograd.dir/conv.cc.o" "gcc" "src/winograd/CMakeFiles/winomc_winograd.dir/conv.cc.o.d"
+  "/root/repo/src/winograd/conv1d.cc" "src/winograd/CMakeFiles/winomc_winograd.dir/conv1d.cc.o" "gcc" "src/winograd/CMakeFiles/winomc_winograd.dir/conv1d.cc.o.d"
+  "/root/repo/src/winograd/cost.cc" "src/winograd/CMakeFiles/winomc_winograd.dir/cost.cc.o" "gcc" "src/winograd/CMakeFiles/winomc_winograd.dir/cost.cc.o.d"
+  "/root/repo/src/winograd/tiling.cc" "src/winograd/CMakeFiles/winomc_winograd.dir/tiling.cc.o" "gcc" "src/winograd/CMakeFiles/winomc_winograd.dir/tiling.cc.o.d"
+  "/root/repo/src/winograd/toom_cook.cc" "src/winograd/CMakeFiles/winomc_winograd.dir/toom_cook.cc.o" "gcc" "src/winograd/CMakeFiles/winomc_winograd.dir/toom_cook.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/winomc_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/winomc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

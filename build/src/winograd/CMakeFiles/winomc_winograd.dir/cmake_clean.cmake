@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/winomc_winograd.dir/algo.cc.o"
+  "CMakeFiles/winomc_winograd.dir/algo.cc.o.d"
+  "CMakeFiles/winomc_winograd.dir/conv.cc.o"
+  "CMakeFiles/winomc_winograd.dir/conv.cc.o.d"
+  "CMakeFiles/winomc_winograd.dir/conv1d.cc.o"
+  "CMakeFiles/winomc_winograd.dir/conv1d.cc.o.d"
+  "CMakeFiles/winomc_winograd.dir/cost.cc.o"
+  "CMakeFiles/winomc_winograd.dir/cost.cc.o.d"
+  "CMakeFiles/winomc_winograd.dir/tiling.cc.o"
+  "CMakeFiles/winomc_winograd.dir/tiling.cc.o.d"
+  "CMakeFiles/winomc_winograd.dir/toom_cook.cc.o"
+  "CMakeFiles/winomc_winograd.dir/toom_cook.cc.o.d"
+  "libwinomc_winograd.a"
+  "libwinomc_winograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/winomc_winograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/winomc_workloads.dir/layers.cc.o"
+  "CMakeFiles/winomc_workloads.dir/layers.cc.o.d"
+  "CMakeFiles/winomc_workloads.dir/networks.cc.o"
+  "CMakeFiles/winomc_workloads.dir/networks.cc.o.d"
+  "libwinomc_workloads.a"
+  "libwinomc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/winomc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

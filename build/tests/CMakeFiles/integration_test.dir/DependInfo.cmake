@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/integration_test.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpt/CMakeFiles/winomc_mpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/winomc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/winomc_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/winomc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/memnet/CMakeFiles/winomc_memnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndp/CMakeFiles/winomc_ndp.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/winomc_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/winomc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/winomc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/winograd/CMakeFiles/winomc_winograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/winomc_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/winomc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memnet_test.dir/memnet_test.cpp.o"
+  "CMakeFiles/memnet_test.dir/memnet_test.cpp.o.d"
+  "memnet_test"
+  "memnet_test.pdb"
+  "memnet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memnet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

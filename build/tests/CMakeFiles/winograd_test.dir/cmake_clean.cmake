@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/winograd_test.dir/winograd_test.cpp.o"
+  "CMakeFiles/winograd_test.dir/winograd_test.cpp.o.d"
+  "winograd_test"
+  "winograd_test.pdb"
+  "winograd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/winograd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
