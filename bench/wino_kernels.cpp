@@ -4,10 +4,18 @@
  * direct convolution - the host-side counterpart of the Fig 1
  * compute-reduction story, measured on real code rather than the
  * analytic model.
+ *
+ * The elementwise / transform kernels and the end-to-end pipeline also
+ * sweep the execution-engine thread count (1/2/4/hardware max) so the
+ * scaling of the blocked GEMM path is tracked release to release.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <vector>
+
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "winograd/algo.hh"
 #include "winograd/conv.hh"
@@ -32,6 +40,19 @@ shapeFor(int idx)
       default:
         return {4, 8, 24};
     }
+}
+
+/** Thread sweep 1/2/4/max, deduplicated for small machines. */
+void
+threadArgs(benchmark::internal::Benchmark *b)
+{
+    b->ArgName("threads");
+    std::vector<int> counts = {1, 2, 4, defaultThreadCount()};
+    std::sort(counts.begin(), counts.end());
+    counts.erase(std::unique(counts.begin(), counts.end()),
+                 counts.end());
+    for (int c : counts)
+        b->Arg(c);
 }
 
 void
@@ -89,9 +110,84 @@ BM_WinogradConvF4(benchmark::State &state)
 BENCHMARK(BM_WinogradConvF4)->Arg(0)->Arg(1)->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
+// -------------------------------------------------------------------
+// Threaded kernel benchmarks. Largest shape: batch 8, 64 -> 64
+// channels, 32x32 feature maps, F(4x4, 3x3); batch*tiles = 512 per uv.
+// -------------------------------------------------------------------
+
+struct ElementwiseFixture
+{
+    ElementwiseFixture()
+    {
+        Rng rng(1);
+        Tensor x(8, 64, 32, 32);
+        Tensor w(64, 64, 3, 3);
+        x.fillUniform(rng);
+        w.fillUniform(rng);
+        const auto &algo = algoF4x4_3x3();
+        W = transformWeights(w, algo);
+        X = transformInput(x, algo);
+        dY = inverseTransformAdjoint(x, algo);
+    }
+
+    WinoWeights W;
+    WinoTiles X, dY;
+};
+
+ElementwiseFixture &
+elementwiseFixture()
+{
+    static ElementwiseFixture f;
+    return f;
+}
+
+void
+BM_ElementwiseForward(benchmark::State &state)
+{
+    ThreadPool::global().setThreadCount(int(state.range(0)));
+    auto &f = elementwiseFixture();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(elementwiseForward(f.X, f.W));
+    // 2 flops per (uv, j, i, k) MAC.
+    state.SetItemsProcessed(int64_t(state.iterations()) * f.X.uvCount() *
+                            f.W.outChannels() * f.W.inChannels() *
+                            f.X.batch() * f.X.tiles() * 2);
+}
+BENCHMARK(BM_ElementwiseForward)->Apply(threadArgs)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_ElementwiseBackwardData(benchmark::State &state)
+{
+    ThreadPool::global().setThreadCount(int(state.range(0)));
+    auto &f = elementwiseFixture();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(elementwiseBackwardData(f.dY, f.W));
+    state.SetItemsProcessed(int64_t(state.iterations()) * f.X.uvCount() *
+                            f.W.outChannels() * f.W.inChannels() *
+                            f.X.batch() * f.X.tiles() * 2);
+}
+BENCHMARK(BM_ElementwiseBackwardData)->Apply(threadArgs)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_ElementwiseGradWeights(benchmark::State &state)
+{
+    ThreadPool::global().setThreadCount(int(state.range(0)));
+    auto &f = elementwiseFixture();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(elementwiseGradWeights(f.dY, f.X));
+    state.SetItemsProcessed(int64_t(state.iterations()) * f.X.uvCount() *
+                            f.W.outChannels() * f.W.inChannels() *
+                            f.X.batch() * f.X.tiles() * 2);
+}
+BENCHMARK(BM_ElementwiseGradWeights)->Apply(threadArgs)
+    ->Unit(benchmark::kMillisecond);
+
 void
 BM_InputTransform(benchmark::State &state)
 {
+    ThreadPool::global().setThreadCount(int(state.range(0)));
     Rng rng(1);
     Tensor x(2, 32, 32, 32);
     x.fillUniform(rng);
@@ -99,7 +195,51 @@ BM_InputTransform(benchmark::State &state)
     for (auto _ : state)
         benchmark::DoNotOptimize(transformInput(x, algo));
 }
-BENCHMARK(BM_InputTransform)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_InputTransform)->Apply(threadArgs)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_InverseTransform(benchmark::State &state)
+{
+    ThreadPool::global().setThreadCount(int(state.range(0)));
+    auto &f = elementwiseFixture();
+    const auto &algo = algoF4x4_3x3();
+    WinoTiles Y = elementwiseForward(f.X, f.W);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(inverseTransform(Y, algo, 32, 32));
+}
+BENCHMARK(BM_InverseTransform)->Apply(threadArgs)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * One full training step of a Winograd layer: forward, backward-data,
+ * and Winograd-domain weight gradient. The single end-to-end number
+ * future PRs track.
+ */
+void
+BM_WinoEndToEnd(benchmark::State &state)
+{
+    ThreadPool::global().setThreadCount(int(state.range(0)));
+    Rng rng(1);
+    const auto &algo = algoF4x4_3x3();
+    Tensor x(4, 32, 32, 32);
+    Tensor w(32, 32, 3, 3);
+    Tensor dy(4, 32, 32, 32);
+    x.fillUniform(rng);
+    w.fillUniform(rng);
+    dy.fillUniform(rng);
+    WinoWeights W = transformWeights(w, algo);
+    for (auto _ : state) {
+        Tensor y = winogradForward(x, W, algo);
+        Tensor dx = winogradBackwardData(dy, W, algo, 32, 32);
+        WinoWeights dW = winogradGradWeights(x, dy, algo);
+        benchmark::DoNotOptimize(y);
+        benchmark::DoNotOptimize(dx);
+        benchmark::DoNotOptimize(dW);
+    }
+}
+BENCHMARK(BM_WinoEndToEnd)->Apply(threadArgs)
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_ToomCookGenerate(benchmark::State &state)

@@ -1,0 +1,223 @@
+#include "common/parallel.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+
+#include "common/logging.hh"
+
+namespace winomc {
+
+namespace {
+
+/**
+ * True while this thread is executing a parallelFor chunk; nested calls
+ * see it and degrade to inline serial execution.
+ */
+thread_local bool tlsInParallelRegion = false;
+
+/** Chunks per thread: more gives better load balance, more overhead. */
+constexpr std::int64_t kChunksPerThread = 4;
+
+} // namespace
+
+int
+parseThreadCount(const char *str)
+{
+    if (!str || !*str)
+        return 0;
+    char *end = nullptr;
+    long v = std::strtol(str, &end, 10);
+    if (!end || *end != '\0' || v <= 0 || v > 4096)
+        return 0;
+    return int(v);
+}
+
+int
+defaultThreadCount()
+{
+    if (int v = parseThreadCount(std::getenv("WINOMC_THREADS")))
+        return v;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? int(hw) : 1;
+}
+
+/**
+ * One parallelFor invocation. Chunk c covers
+ * [begin + c*chunkSize, min(end, begin + (c+1)*chunkSize)).
+ * Workers (and the poster) claim chunk indices from `next`; the poster
+ * waits until `completed` reaches `count`.
+ */
+struct ThreadPool::Job
+{
+    const RangeFn *fn = nullptr;
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+    std::int64_t chunkSize = 1;
+    std::int64_t count = 0;
+    std::atomic<std::int64_t> next{0};
+    std::atomic<std::int64_t> completed{0};
+    std::mutex doneMu;
+    std::condition_variable doneCv;
+    std::mutex errMu;
+    std::exception_ptr error;
+};
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+ThreadPool::ThreadPool(int threads)
+{
+    nthreads = threads > 0 ? threads : defaultThreadCount();
+    startWorkers();
+}
+
+ThreadPool::~ThreadPool()
+{
+    stopWorkers();
+}
+
+void
+ThreadPool::startWorkers()
+{
+    // nthreads includes the caller; spawn nthreads - 1 workers. A pool
+    // of one thread spawns nothing and runs everything inline.
+    workers.reserve(size_t(std::max(0, nthreads - 1)));
+    for (int t = 0; t < nthreads - 1; ++t)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+void
+ThreadPool::stopWorkers()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        stopping = true;
+    }
+    cv.notify_all();
+    for (auto &w : workers)
+        w.join();
+    workers.clear();
+    std::lock_guard<std::mutex> lk(mu);
+    stopping = false;
+    job.reset();
+}
+
+void
+ThreadPool::setThreadCount(int threads)
+{
+    winomc_assert(!tlsInParallelRegion,
+                  "setThreadCount called from inside a parallelFor body");
+    if (threads <= 0)
+        threads = defaultThreadCount();
+    std::lock_guard<std::mutex> post(postMu);
+    if (threads == nthreads)
+        return;
+    stopWorkers();
+    nthreads = threads;
+    startWorkers();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(mu);
+    for (;;) {
+        cv.wait(lk, [&] { return stopping || jobSeq != seen; });
+        if (stopping)
+            return;
+        seen = jobSeq;
+        std::shared_ptr<Job> j = job;
+        lk.unlock();
+        if (j)
+            runJob(*j);
+        lk.lock();
+    }
+}
+
+void
+ThreadPool::runJob(Job &j)
+{
+    bool saved = tlsInParallelRegion;
+    tlsInParallelRegion = true;
+    std::int64_t c;
+    while ((c = j.next.fetch_add(1, std::memory_order_relaxed)) < j.count) {
+        const std::int64_t lo = j.begin + c * j.chunkSize;
+        const std::int64_t hi = std::min(j.end, lo + j.chunkSize);
+        try {
+            (*j.fn)(lo, hi);
+        } catch (...) {
+            std::lock_guard<std::mutex> g(j.errMu);
+            if (!j.error)
+                j.error = std::current_exception();
+        }
+        if (j.completed.fetch_add(1) + 1 == j.count) {
+            std::lock_guard<std::mutex> g(j.doneMu);
+            j.doneCv.notify_all();
+        }
+    }
+    tlsInParallelRegion = saved;
+}
+
+void
+ThreadPool::parallelFor(std::int64_t begin, std::int64_t end,
+                        std::int64_t grainSize, const RangeFn &fn)
+{
+    if (end <= begin)
+        return;
+    const std::int64_t n = end - begin;
+    const std::int64_t grain = std::max<std::int64_t>(1, grainSize);
+    if (nthreads <= 1 || tlsInParallelRegion || n <= grain) {
+        fn(begin, end);
+        return;
+    }
+
+    auto j = std::make_shared<Job>();
+    j->fn = &fn;
+    j->begin = begin;
+    j->end = end;
+    j->chunkSize = std::max(
+        grain, (n + nthreads * kChunksPerThread - 1) /
+                   (nthreads * kChunksPerThread));
+    j->count = (n + j->chunkSize - 1) / j->chunkSize;
+    if (j->count <= 1) {
+        fn(begin, end);
+        return;
+    }
+
+    std::lock_guard<std::mutex> post(postMu);
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        job = j;
+        ++jobSeq;
+    }
+    cv.notify_all();
+    runJob(*j); // the posting thread works too
+    {
+        std::unique_lock<std::mutex> lk(j->doneMu);
+        j->doneCv.wait(lk, [&] {
+            return j->completed.load() == j->count;
+        });
+    }
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        if (job == j)
+            job.reset();
+    }
+    if (j->error)
+        std::rethrow_exception(j->error);
+}
+
+void
+parallelFor(std::int64_t begin, std::int64_t end, std::int64_t grainSize,
+            const ThreadPool::RangeFn &fn)
+{
+    ThreadPool::global().parallelFor(begin, end, grainSize, fn);
+}
+
+} // namespace winomc

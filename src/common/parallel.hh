@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Host-side parallel execution engine: a lazily-initialized shared
+ * thread pool with a chunked-range parallelFor primitive.
+ *
+ * The numeric Winograd/convolution kernels are embarrassingly parallel
+ * across output slices; this pool gives them a single shared set of
+ * worker threads instead of per-call thread spawning. Design points:
+ *
+ *  - Thread count comes from the WINOMC_THREADS environment variable,
+ *    defaulting to std::thread::hardware_concurrency(). A count of 1
+ *    means fully serial inline execution (no workers are spawned), so
+ *    deterministic single-threaded runs keep a serial escape hatch.
+ *  - parallelFor partitions [begin, end) into contiguous chunks of at
+ *    least grainSize iterations; workers claim chunks dynamically. A
+ *    callee always owns its whole chunk, so kernels that partition
+ *    *output* ranges are data-race free and bitwise deterministic for
+ *    any thread count (scheduling only changes which thread runs a
+ *    chunk, never the arithmetic inside one).
+ *  - Nested parallelFor calls execute inline on the calling worker;
+ *    there is no nested work splitting (and no deadlock).
+ *  - Exceptions thrown by chunk bodies are captured and the first one
+ *    is rethrown on the calling thread after all chunks finish.
+ */
+
+#ifndef WINOMC_COMMON_PARALLEL_HH
+#define WINOMC_COMMON_PARALLEL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace winomc {
+
+/** Parse a thread-count string (env var); 0 if missing/invalid. */
+int parseThreadCount(const char *str);
+
+/** WINOMC_THREADS if set and valid, else hardware_concurrency(), >= 1. */
+int defaultThreadCount();
+
+/**
+ * Shared worker pool. Use ThreadPool::global() (lazily constructed on
+ * first use); direct construction is also allowed for tests.
+ */
+class ThreadPool
+{
+  public:
+    using RangeFn = std::function<void(std::int64_t, std::int64_t)>;
+
+    /** The process-wide pool used by the free parallelFor(). */
+    static ThreadPool &global();
+
+    explicit ThreadPool(int threads = 0);
+    ~ThreadPool();
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Active thread count (including the calling thread). */
+    int threadCount() const { return nthreads; }
+
+    /**
+     * Resize the pool (0 => defaultThreadCount()). Blocks until idle;
+     * must not be called from inside a parallelFor body.
+     */
+    void setThreadCount(int threads);
+
+    /**
+     * Run fn(chunkBegin, chunkEnd) over disjoint contiguous chunks
+     * covering [begin, end), each at least grainSize iterations (except
+     * possibly the last). The calling thread participates. Serial inline
+     * execution when the pool has one thread, the range is within one
+     * grain, or the call is nested inside another parallelFor body.
+     */
+    void parallelFor(std::int64_t begin, std::int64_t end,
+                     std::int64_t grainSize, const RangeFn &fn);
+
+  private:
+    struct Job;
+
+    void startWorkers();
+    void stopWorkers();
+    void workerLoop();
+    static void runJob(Job &job);
+
+    int nthreads = 1;
+    std::vector<std::thread> workers;
+    std::shared_ptr<Job> job;      ///< currently published job, if any
+    std::uint64_t jobSeq = 0;      ///< bumped per published job
+    bool stopping = false;
+    std::mutex mu;                 ///< guards job/jobSeq/stopping
+    std::condition_variable cv;    ///< wakes workers for a new job
+    std::mutex postMu;             ///< serializes posters and resizing
+};
+
+/** parallelFor on the shared global pool. */
+void parallelFor(std::int64_t begin, std::int64_t end,
+                 std::int64_t grainSize, const ThreadPool::RangeFn &fn);
+
+} // namespace winomc
+
+#endif // WINOMC_COMMON_PARALLEL_HH

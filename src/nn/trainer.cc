@@ -1,9 +1,11 @@
 #include "nn/trainer.hh"
 
 #include <algorithm>
+#include <mutex>
 #include <numeric>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "nn/loss.hh"
 
 namespace winomc::nn {
@@ -12,6 +14,13 @@ std::vector<EpochStats>
 train(Module &model, const Dataset &train_set, const Dataset &val_set,
       const TrainConfig &cfg, Rng &rng)
 {
+    static std::once_flag engine_logged;
+    std::call_once(engine_logged, [] {
+        winomc_inform("host execution engine: ",
+                      ThreadPool::global().threadCount(),
+                      " thread(s) (WINOMC_THREADS overrides)");
+    });
+
     std::vector<EpochStats> history;
     std::vector<size_t> order(train_set.size());
     std::iota(order.begin(), order.end(), 0);

@@ -1,12 +1,30 @@
 #include "winograd/conv.hh"
 
+#include <algorithm>
 #include <array>
+
+#include "common/parallel.hh"
 
 namespace winomc {
 
 namespace {
 
 constexpr int kMaxAlpha = 8;
+
+/**
+ * Cache/register blocking for the per-uv GEMMs of Equation (2).
+ *
+ * Each uv slice is a dense (channels) x (batch*tiles) matrix product.
+ * The kernels walk the (batch*tiles) axis in panels of kKBlock floats
+ * (so a panel of every streamed row stays L1-resident), process output
+ * channels in register blocks of kJBlock rows (one input-row read feeds
+ * kJBlock outputs), and tile reduction outputs in kIBlock columns so
+ * the accumulator block lives on the stack.
+ */
+constexpr int kKBlock = 256;
+constexpr int kJBlock = 4;
+constexpr int kIBlock = 16;
+constexpr int kIUnroll = 8;
 
 /**
  * out (a x b) = L (a x n) * in (n x k) * R (k x b), all small dense,
@@ -50,11 +68,17 @@ transformInput(const Tensor &x, const WinogradAlgo &algo)
     WinoTiles out(algo.alpha, x.c(), x.n(), grid.tiles());
 
     const int a = algo.alpha;
-    std::array<double, kMaxAlpha * kMaxAlpha> patch{};
-    std::array<double, kMaxAlpha * kMaxAlpha> tx{};
+    const int nc = x.c();
 
-    for (int b = 0; b < x.n(); ++b) {
-        for (int c = 0; c < x.c(); ++c) {
+    // Each (batch, channel) plane is independent; workers keep their
+    // scratch tiles on the stack so the loop never allocates.
+    parallelFor(0, std::int64_t(x.n()) * nc, 1,
+                [&](std::int64_t lo, std::int64_t hi) {
+        std::array<double, kMaxAlpha * kMaxAlpha> patch{};
+        std::array<double, kMaxAlpha * kMaxAlpha> tx{};
+        for (std::int64_t bc = lo; bc < hi; ++bc) {
+            const int b = int(bc / nc);
+            const int c = int(bc % nc);
             for (int th = 0; th < grid.tilesH; ++th) {
                 for (int tw = 0; tw < grid.tilesW; ++tw) {
                     const int r0 = grid.tileRow(th);
@@ -76,7 +100,7 @@ transformInput(const Tensor &x, const WinogradAlgo &algo)
                 }
             }
         }
-    }
+    });
     return out;
 }
 
@@ -90,11 +114,18 @@ transformInputAdjoint(const WinoTiles &dX, const WinogradAlgo &algo,
     Tensor dx(dX.batch(), dX.channels(), h, w);
 
     const int a = algo.alpha;
-    std::array<double, kMaxAlpha * kMaxAlpha> tile{};
-    std::array<double, kMaxAlpha * kMaxAlpha> sp{};
+    const int nc = dX.channels();
 
-    for (int b = 0; b < dX.batch(); ++b) {
-        for (int c = 0; c < dX.channels(); ++c) {
+    // Partitioned over output (batch, channel) planes: overlap-add only
+    // ever collides within one plane, so any thread count is race-free
+    // and bitwise identical to serial.
+    parallelFor(0, std::int64_t(dX.batch()) * nc, 1,
+                [&](std::int64_t lo, std::int64_t hi) {
+        std::array<double, kMaxAlpha * kMaxAlpha> tile{};
+        std::array<double, kMaxAlpha * kMaxAlpha> sp{};
+        for (std::int64_t bc = lo; bc < hi; ++bc) {
+            const int b = int(bc / nc);
+            const int c = int(bc % nc);
             for (int th = 0; th < grid.tilesH; ++th) {
                 for (int tw = 0; tw < grid.tilesW; ++tw) {
                     const int t = th * grid.tilesW + tw;
@@ -116,7 +147,7 @@ transformInputAdjoint(const WinoTiles &dX, const WinogradAlgo &algo,
                 }
             }
         }
-    }
+    });
     return dx;
 }
 
@@ -128,11 +159,15 @@ transformWeights(const Tensor &w, const WinogradAlgo &algo)
     WinoWeights out(algo.alpha, w.n(), w.c());
     const int a = algo.alpha;
     const int r = algo.r;
-    std::array<double, kMaxAlpha * kMaxAlpha> ker{};
-    std::array<double, kMaxAlpha * kMaxAlpha> tw{};
+    const int ni = w.c();
 
-    for (int j = 0; j < w.n(); ++j) {
-        for (int i = 0; i < w.c(); ++i) {
+    parallelFor(0, std::int64_t(w.n()) * ni, 1,
+                [&](std::int64_t lo, std::int64_t hi) {
+        std::array<double, kMaxAlpha * kMaxAlpha> ker{};
+        std::array<double, kMaxAlpha * kMaxAlpha> tw{};
+        for (std::int64_t ji = lo; ji < hi; ++ji) {
+            const int j = int(ji / ni);
+            const int i = int(ji % ni);
             for (int y = 0; y < r; ++y)
                 for (int x = 0; x < r; ++x)
                     ker[size_t(y * r + x)] = double(w.at(j, i, y, x));
@@ -140,7 +175,7 @@ transformWeights(const Tensor &w, const WinogradAlgo &algo)
             for (int uv = 0; uv < a * a; ++uv)
                 out.at(uv, j, i) = float(tw[size_t(uv)]);
         }
-    }
+    });
     return out;
 }
 
@@ -150,11 +185,15 @@ transformWeightsAdjoint(const WinoWeights &dW, const WinogradAlgo &algo)
     const int a = algo.alpha;
     const int r = algo.r;
     Tensor dw(dW.outChannels(), dW.inChannels(), r, r);
-    std::array<double, kMaxAlpha * kMaxAlpha> tile{};
-    std::array<double, kMaxAlpha * kMaxAlpha> sp{};
+    const int ni = dW.inChannels();
 
-    for (int j = 0; j < dW.outChannels(); ++j) {
-        for (int i = 0; i < dW.inChannels(); ++i) {
+    parallelFor(0, std::int64_t(dW.outChannels()) * ni, 1,
+                [&](std::int64_t lo, std::int64_t hi) {
+        std::array<double, kMaxAlpha * kMaxAlpha> tile{};
+        std::array<double, kMaxAlpha * kMaxAlpha> sp{};
+        for (std::int64_t ji = lo; ji < hi; ++ji) {
+            const int j = int(ji / ni);
+            const int i = int(ji % ni);
             for (int uv = 0; uv < a * a; ++uv)
                 tile[size_t(uv)] = double(dW.at(uv, j, i));
             // Adjoint of W = G w G^T is dw = G^T dW G.
@@ -163,7 +202,7 @@ transformWeightsAdjoint(const WinoWeights &dW, const WinogradAlgo &algo)
                 for (int x = 0; x < r; ++x)
                     dw.at(j, i, y, x) = float(sp[size_t(y * r + x)]);
         }
-    }
+    });
     return dw;
 }
 
@@ -177,20 +216,63 @@ elementwiseForward(const WinoTiles &X, const WinoWeights &W)
                   W.inChannels());
     WinoTiles Y(X.alphaEdge(), W.outChannels(), X.batch(), X.tiles());
     const int bt = X.batch() * X.tiles();
+    const int nj = W.outChannels();
+    const int ni = W.inChannels();
+    const int jBlocks = (nj + kJBlock - 1) / kJBlock;
 
-    for (int uv = 0; uv < X.uvCount(); ++uv) {
-        for (int j = 0; j < W.outChannels(); ++j) {
-            float *yrow = Y.row(uv, j);
-            for (int i = 0; i < W.inChannels(); ++i) {
-                const float wji = W.at(uv, j, i);
-                if (wji == 0.0f)
-                    continue;
-                const float *xrow = X.row(uv, i);
-                for (int k = 0; k < bt; ++k)
-                    yrow[k] += wji * xrow[k];
+    // Y[uv] (J x BT) = W[uv] (J x I) * X[uv] (I x BT), parallel over
+    // the uv x J-block output space; each task owns kJBlock Y rows.
+    parallelFor(0, std::int64_t(X.uvCount()) * jBlocks, 1,
+                [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t task = lo; task < hi; ++task) {
+            const int uv = int(task / jBlocks);
+            const int j0 = int(task % jBlocks) * kJBlock;
+            const int jn = std::min(kJBlock, nj - j0);
+            float *yrows[kJBlock];
+            for (int jj = 0; jj < jn; ++jj)
+                yrows[jj] = Y.row(uv, j0 + jj);
+            for (int k0 = 0; k0 < bt; k0 += kKBlock) {
+                const int kb = std::min(kKBlock, bt - k0);
+                // Register unroll over kIUnroll input channels: every
+                // Y load/store amortizes kIUnroll FMAs instead of one.
+                for (int i0 = 0; i0 < ni; i0 += kIUnroll) {
+                    const int ib = std::min(kIUnroll, ni - i0);
+                    const float *xr[kIUnroll];
+                    for (int ii = 0; ii < ib; ++ii)
+                        xr[ii] = X.row(uv, i0 + ii) + k0;
+                    for (int jj = 0; jj < jn; ++jj) {
+                        float wv[kIUnroll];
+                        bool any = false;
+                        for (int ii = 0; ii < ib; ++ii) {
+                            wv[ii] = W.at(uv, j0 + jj, i0 + ii);
+                            any = any || wv[ii] != 0.0f;
+                        }
+                        if (!any)
+                            continue; // zero weight block skips wholesale
+                        float *y = yrows[jj] + k0;
+                        if (ib == kIUnroll) {
+                            for (int k = 0; k < kb; ++k)
+                                y[k] += wv[0] * xr[0][k] +
+                                        wv[1] * xr[1][k] +
+                                        wv[2] * xr[2][k] +
+                                        wv[3] * xr[3][k] +
+                                        wv[4] * xr[4][k] +
+                                        wv[5] * xr[5][k] +
+                                        wv[6] * xr[6][k] +
+                                        wv[7] * xr[7][k];
+                        } else {
+                            for (int k = 0; k < kb; ++k) {
+                                float acc = y[k];
+                                for (int ii = 0; ii < ib; ++ii)
+                                    acc += wv[ii] * xr[ii][k];
+                                y[k] = acc;
+                            }
+                        }
+                    }
+                }
             }
         }
-    }
+    });
     return Y;
 }
 
@@ -201,20 +283,64 @@ elementwiseBackwardData(const WinoTiles &dY, const WinoWeights &W)
                   "channel mismatch in backward data");
     WinoTiles dX(dY.alphaEdge(), W.inChannels(), dY.batch(), dY.tiles());
     const int bt = dY.batch() * dY.tiles();
+    const int nj = W.outChannels();
+    const int ni = W.inChannels();
+    const int iBlocks = (ni + kJBlock - 1) / kJBlock;
 
-    for (int uv = 0; uv < dY.uvCount(); ++uv) {
-        for (int j = 0; j < W.outChannels(); ++j) {
-            const float *dyrow = dY.row(uv, j);
-            for (int i = 0; i < W.inChannels(); ++i) {
-                const float wji = W.at(uv, j, i);
-                if (wji == 0.0f)
-                    continue;
-                float *dxrow = dX.row(uv, i);
-                for (int k = 0; k < bt; ++k)
-                    dxrow[k] += wji * dyrow[k];
+    // dX[uv] (I x BT) = W[uv]^T (I x J) * dY[uv] (J x BT); same blocked
+    // kernel as forward with the roles of I and J swapped. The weight
+    // register block W.at(uv, j, i0..i0+3) is contiguous in memory.
+    parallelFor(0, std::int64_t(dY.uvCount()) * iBlocks, 1,
+                [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t task = lo; task < hi; ++task) {
+            const int uv = int(task / iBlocks);
+            const int i0 = int(task % iBlocks) * kJBlock;
+            const int in = std::min(kJBlock, ni - i0);
+            float *dxrows[kJBlock];
+            for (int ii = 0; ii < in; ++ii)
+                dxrows[ii] = dX.row(uv, i0 + ii);
+            for (int k0 = 0; k0 < bt; k0 += kKBlock) {
+                const int kb = std::min(kKBlock, bt - k0);
+                // Register unroll over kIUnroll output channels (the
+                // reduction axis here), mirroring the forward kernel.
+                for (int j0 = 0; j0 < nj; j0 += kIUnroll) {
+                    const int jb = std::min(kIUnroll, nj - j0);
+                    const float *dyr[kIUnroll];
+                    for (int jj = 0; jj < jb; ++jj)
+                        dyr[jj] = dY.row(uv, j0 + jj) + k0;
+                    for (int ii = 0; ii < in; ++ii) {
+                        float wv[kIUnroll];
+                        bool any = false;
+                        for (int jj = 0; jj < jb; ++jj) {
+                            wv[jj] = W.at(uv, j0 + jj, i0 + ii);
+                            any = any || wv[jj] != 0.0f;
+                        }
+                        if (!any)
+                            continue;
+                        float *dx = dxrows[ii] + k0;
+                        if (jb == kIUnroll) {
+                            for (int k = 0; k < kb; ++k)
+                                dx[k] += wv[0] * dyr[0][k] +
+                                         wv[1] * dyr[1][k] +
+                                         wv[2] * dyr[2][k] +
+                                         wv[3] * dyr[3][k] +
+                                         wv[4] * dyr[4][k] +
+                                         wv[5] * dyr[5][k] +
+                                         wv[6] * dyr[6][k] +
+                                         wv[7] * dyr[7][k];
+                        } else {
+                            for (int k = 0; k < kb; ++k) {
+                                float acc = dx[k];
+                                for (int jj = 0; jj < jb; ++jj)
+                                    acc += wv[jj] * dyr[jj][k];
+                                dx[k] = acc;
+                            }
+                        }
+                    }
+                }
             }
         }
-    }
+    });
     return dX;
 }
 
@@ -226,19 +352,57 @@ elementwiseGradWeights(const WinoTiles &dY, const WinoTiles &X)
                   "shape mismatch in weight gradient");
     WinoWeights dW(X.alphaEdge(), dY.channels(), X.channels());
     const int bt = X.batch() * X.tiles();
+    const int nj = dY.channels();
+    const int ni = X.channels();
+    const int jBlocks = (nj + kJBlock - 1) / kJBlock;
 
-    for (int uv = 0; uv < X.uvCount(); ++uv) {
-        for (int j = 0; j < dY.channels(); ++j) {
-            const float *dyrow = dY.row(uv, j);
-            for (int i = 0; i < X.channels(); ++i) {
-                const float *xrow = X.row(uv, i);
-                double acc = 0.0;
-                for (int k = 0; k < bt; ++k)
-                    acc += double(dyrow[k]) * xrow[k];
-                dW.at(uv, j, i) = float(acc);
+    // dW[uv] (J x I) = dY[uv] (J x BT) * X[uv]^T (BT x I). Partitioned
+    // over the *output* (uv, J-block) space: every dW element is owned
+    // by exactly one task and its reduction runs over k in ascending
+    // order, so results are bitwise identical for any thread count.
+    parallelFor(0, std::int64_t(X.uvCount()) * jBlocks, 1,
+                [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t task = lo; task < hi; ++task) {
+            const int uv = int(task / jBlocks);
+            const int j0 = int(task % jBlocks) * kJBlock;
+            const int jn = std::min(kJBlock, nj - j0);
+            double acc[kJBlock][kIBlock];
+            for (int i0 = 0; i0 < ni; i0 += kIBlock) {
+                const int in = std::min(kIBlock, ni - i0);
+                for (int jj = 0; jj < jn; ++jj)
+                    for (int ii = 0; ii < in; ++ii)
+                        acc[jj][ii] = 0.0;
+                for (int k0 = 0; k0 < bt; k0 += kKBlock) {
+                    const int kb = std::min(kKBlock, bt - k0);
+                    for (int ii = 0; ii < in; ++ii) {
+                        const float *x = X.row(uv, i0 + ii) + k0;
+                        for (int jj = 0; jj < jn; ++jj) {
+                            const float *dy = dY.row(uv, j0 + jj) + k0;
+                            // Four fixed accumulator chains vectorize
+                            // the double-precision reduction while
+                            // keeping a deterministic summation order.
+                            double s0 = 0.0, s1 = 0.0;
+                            double s2 = 0.0, s3 = 0.0;
+                            int k = 0;
+                            for (; k + 4 <= kb; k += 4) {
+                                s0 += double(dy[k]) * x[k];
+                                s1 += double(dy[k + 1]) * x[k + 1];
+                                s2 += double(dy[k + 2]) * x[k + 2];
+                                s3 += double(dy[k + 3]) * x[k + 3];
+                            }
+                            for (; k < kb; ++k)
+                                s0 += double(dy[k]) * x[k];
+                            acc[jj][ii] += (s0 + s1) + (s2 + s3);
+                        }
+                    }
+                }
+                for (int jj = 0; jj < jn; ++jj)
+                    for (int ii = 0; ii < in; ++ii)
+                        dW.at(uv, j0 + jj, i0 + ii) =
+                            float(acc[jj][ii]);
             }
         }
-    }
+    });
     return dW;
 }
 
@@ -252,11 +416,15 @@ inverseTransform(const WinoTiles &Y, const WinogradAlgo &algo, int h,
     Tensor y(Y.batch(), Y.channels(), h, w);
     const int a = algo.alpha;
     const int m = algo.m;
-    std::array<double, kMaxAlpha * kMaxAlpha> tile{};
-    std::array<double, kMaxAlpha * kMaxAlpha> sp{};
+    const int nc = Y.channels();
 
-    for (int b = 0; b < Y.batch(); ++b) {
-        for (int c = 0; c < Y.channels(); ++c) {
+    parallelFor(0, std::int64_t(Y.batch()) * nc, 1,
+                [&](std::int64_t lo, std::int64_t hi) {
+        std::array<double, kMaxAlpha * kMaxAlpha> tile{};
+        std::array<double, kMaxAlpha * kMaxAlpha> sp{};
+        for (std::int64_t bc = lo; bc < hi; ++bc) {
+            const int b = int(bc / nc);
+            const int c = int(bc % nc);
             for (int th = 0; th < grid.tilesH; ++th) {
                 for (int tw = 0; tw < grid.tilesW; ++tw) {
                     const int t = th * grid.tilesW + tw;
@@ -274,7 +442,7 @@ inverseTransform(const WinoTiles &Y, const WinogradAlgo &algo, int h,
                 }
             }
         }
-    }
+    });
     return y;
 }
 
@@ -285,11 +453,15 @@ inverseTransformAdjoint(const Tensor &dy, const WinogradAlgo &algo)
     WinoTiles dY(algo.alpha, dy.c(), dy.n(), grid.tiles());
     const int a = algo.alpha;
     const int m = algo.m;
-    std::array<double, kMaxAlpha * kMaxAlpha> patch{};
-    std::array<double, kMaxAlpha * kMaxAlpha> tile{};
+    const int nc = dy.c();
 
-    for (int b = 0; b < dy.n(); ++b) {
-        for (int c = 0; c < dy.c(); ++c) {
+    parallelFor(0, std::int64_t(dy.n()) * nc, 1,
+                [&](std::int64_t lo, std::int64_t hi) {
+        std::array<double, kMaxAlpha * kMaxAlpha> patch{};
+        std::array<double, kMaxAlpha * kMaxAlpha> tile{};
+        for (std::int64_t bc = lo; bc < hi; ++bc) {
+            const int b = int(bc / nc);
+            const int c = int(bc % nc);
             for (int th = 0; th < grid.tilesH; ++th) {
                 for (int tw = 0; tw < grid.tilesW; ++tw) {
                     for (int i = 0; i < m; ++i) {
@@ -309,7 +481,7 @@ inverseTransformAdjoint(const Tensor &dy, const WinogradAlgo &algo)
                 }
             }
         }
-    }
+    });
     return dY;
 }
 
@@ -349,9 +521,13 @@ directConvForward(const Tensor &x, const Tensor &w)
     const int r = w.h();
     const int pad = (r - 1) / 2;
     Tensor y(x.n(), w.n(), x.h(), x.w());
+    const int nj = w.n();
 
-    for (int b = 0; b < x.n(); ++b) {
-        for (int j = 0; j < w.n(); ++j) {
+    parallelFor(0, std::int64_t(x.n()) * nj, 1,
+                [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t bj = lo; bj < hi; ++bj) {
+            const int b = int(bj / nj);
+            const int j = int(bj % nj);
             for (int oy = 0; oy < x.h(); ++oy) {
                 for (int ox = 0; ox < x.w(); ++ox) {
                     double acc = 0.0;
@@ -373,7 +549,7 @@ directConvForward(const Tensor &x, const Tensor &w)
                 }
             }
         }
-    }
+    });
     return y;
 }
 
@@ -384,9 +560,13 @@ directConvBackwardData(const Tensor &dy, const Tensor &w)
     const int r = w.h();
     const int pad = (r - 1) / 2;
     Tensor dx(dy.n(), w.c(), dy.h(), dy.w());
+    const int ni = w.c();
 
-    for (int b = 0; b < dy.n(); ++b) {
-        for (int i = 0; i < w.c(); ++i) {
+    parallelFor(0, std::int64_t(dy.n()) * ni, 1,
+                [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t bi = lo; bi < hi; ++bi) {
+            const int b = int(bi / ni);
+            const int i = int(bi % ni);
             for (int iy = 0; iy < dy.h(); ++iy) {
                 for (int ix = 0; ix < dy.w(); ++ix) {
                     double acc = 0.0;
@@ -408,7 +588,7 @@ directConvBackwardData(const Tensor &dy, const Tensor &w)
                 }
             }
         }
-    }
+    });
     return dx;
 }
 
@@ -419,9 +599,15 @@ directConvGradWeights(const Tensor &x, const Tensor &dy, int r)
                   "shape mismatch in direct weight gradient");
     const int pad = (r - 1) / 2;
     Tensor dw(dy.c(), x.c(), r, r);
+    const int ni = x.c();
 
-    for (int j = 0; j < dy.c(); ++j) {
-        for (int i = 0; i < x.c(); ++i) {
+    // Output partition over (j, i): the batch reduction stays inside
+    // one task, keeping the summation order thread-count invariant.
+    parallelFor(0, std::int64_t(dy.c()) * ni, 1,
+                [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t ji = lo; ji < hi; ++ji) {
+            const int j = int(ji / ni);
+            const int i = int(ji % ni);
             for (int ky = 0; ky < r; ++ky) {
                 for (int kx = 0; kx < r; ++kx) {
                     double acc = 0.0;
@@ -443,7 +629,7 @@ directConvGradWeights(const Tensor &x, const Tensor &dy, int r)
                 }
             }
         }
-    }
+    });
     return dw;
 }
 
