@@ -8,15 +8,22 @@
  * The elementwise / transform kernels and the end-to-end pipeline also
  * sweep the execution-engine thread count (1/2/4/hardware max) so the
  * scaling of the blocked GEMM path is tracked release to release.
+ *
+ * With WINOMC_METRICS=BENCH_wino.json the run additionally dumps the
+ * per-stage timer registry (wino.xform.*, wino.ew.*) as a reproducible
+ * JSON artifact; WINOMC_TRACE=wino.trace.json captures the spans for
+ * chrome://tracing / Perfetto.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <vector>
 
 #include "common/parallel.hh"
 #include "common/rng.hh"
+#include "common/trace.hh"
 #include "winograd/algo.hh"
 #include "winograd/conv.hh"
 
@@ -252,4 +259,23 @@ BENCHMARK(BM_ToomCookGenerate)->Args({2, 3})->Args({4, 3})->Args({6, 3});
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    // Emit the observability artifacts before returning so the dump
+    // exists even if a wrapper kills the process at exit.
+    winomc::metrics::dumpIfConfigured();
+    winomc::trace::flushIfConfigured();
+    if (!winomc::metrics::configuredPath().empty())
+        std::printf("metrics dump: %s\n",
+                    winomc::metrics::configuredPath().c_str());
+    if (!winomc::trace::configuredPath().empty())
+        std::printf("trace file:   %s\n",
+                    winomc::trace::configuredPath().c_str());
+    return 0;
+}

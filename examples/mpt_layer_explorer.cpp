@@ -14,7 +14,9 @@
 #include <cstdlib>
 #include <vector>
 
+#include "common/metrics.hh"
 #include "common/table.hh"
+#include "common/trace.hh"
 #include "mpt/clustering.hh"
 #include "mpt/layer_sim.hh"
 #include "workloads/layers.hh"
@@ -85,10 +87,21 @@ main(int argc, char **argv)
             return 1;
         }
         explore(spec, sp);
+        metrics::dumpIfConfigured();
+        trace::flushIfConfigured();
         return 0;
     }
 
     for (const auto &spec : workloads::tableTwoLayers())
         explore(spec, sp);
+
+    // WINOMC_METRICS=<path> collects the per-phase
+    // compute/scatter/gather/collective accounting of every simulated
+    // layer (the Fig 15/16 decomposition) as a JSON/CSV artifact.
+    metrics::dumpIfConfigured();
+    trace::flushIfConfigured();
+    if (!metrics::configuredPath().empty())
+        std::printf("metrics dump (WINOMC_METRICS): %s\n",
+                    metrics::configuredPath().c_str());
     return 0;
 }

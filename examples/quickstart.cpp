@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "common/trace.hh"
 #include "nn/basic_layers.hh"
 #include "nn/conv_layer.hh"
 #include "nn/dataset.hh"
@@ -79,5 +80,15 @@ main()
     auto hist = nn::train(net, train_set, val_set, cfg, rng);
     std::printf("final validation accuracy: %.2f (chance 0.33)\n",
                 hist.back().valAcc);
+
+    // ---- 4. Observability artifacts (per-stage timings, spans).
+    metrics::dumpIfConfigured();
+    trace::flushIfConfigured();
+    if (!metrics::configuredPath().empty())
+        std::printf("metrics dump (WINOMC_METRICS): %s\n",
+                    metrics::configuredPath().c_str());
+    if (!trace::configuredPath().empty())
+        std::printf("trace file (WINOMC_TRACE): %s\n",
+                    trace::configuredPath().c_str());
     return 0;
 }

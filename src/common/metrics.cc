@@ -1,0 +1,311 @@
+#include "common/metrics.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace winomc::metrics {
+
+std::atomic<bool> gEnabled{false};
+
+namespace {
+
+/** Accumulation state of one metric inside one shard (or merged). */
+struct Value
+{
+    Kind kind = Kind::Counter;
+    double value = 0.0;
+    std::uint64_t count = 0;
+    double totalSec = 0.0;
+    double minSec = 0.0;
+    double maxSec = 0.0;
+
+    void
+    mergeFrom(const Value &o)
+    {
+        kind = o.kind;
+        value += o.value;
+        if (o.kind == Kind::Gauge)
+            value = o.value;
+        if (o.kind == Kind::Timer) {
+            minSec = count ? std::min(minSec, o.minSec) : o.minSec;
+            maxSec = count ? std::max(maxSec, o.maxSec) : o.maxSec;
+        }
+        count += o.count;
+        totalSec += o.totalSec;
+    }
+};
+
+using ValueMap = std::map<std::string, Value>;
+
+/**
+ * Per-thread accumulation shard. The owning thread takes the shard
+ * mutex for each record; snapshot/reset take it briefly from outside.
+ * The mutex is uncontended except during a snapshot, so the enabled
+ * hot path stays cheap and TSan-clean.
+ */
+struct Shard
+{
+    std::mutex mu;
+    ValueMap values;
+};
+
+struct Registry
+{
+    std::mutex mu;
+    std::vector<std::shared_ptr<Shard>> shards;
+    ValueMap retired; ///< gauges + shards of exited threads
+    std::string path; ///< WINOMC_METRICS, if set
+
+    static Registry &
+    instance()
+    {
+        static Registry *r = new Registry; // never destroyed: shards
+        return *r;                         // may outlive main()
+    }
+};
+
+/** Registers this thread's shard on first use, merges it on exit. */
+struct ShardHandle
+{
+    std::shared_ptr<Shard> shard = std::make_shared<Shard>();
+
+    ShardHandle()
+    {
+        Registry &r = Registry::instance();
+        std::lock_guard<std::mutex> lk(r.mu);
+        r.shards.push_back(shard);
+    }
+
+    ~ShardHandle()
+    {
+        Registry &r = Registry::instance();
+        std::lock_guard<std::mutex> lk(r.mu);
+        {
+            std::lock_guard<std::mutex> slk(shard->mu);
+            for (const auto &[name, v] : shard->values)
+                r.retired[name].mergeFrom(v);
+            shard->values.clear();
+        }
+        r.shards.erase(
+            std::remove(r.shards.begin(), r.shards.end(), shard),
+            r.shards.end());
+    }
+};
+
+Shard &
+localShard()
+{
+    thread_local ShardHandle handle;
+    return *handle.shard;
+}
+
+void
+dumpAtExit()
+{
+    dumpIfConfigured();
+}
+
+/** Reads WINOMC_METRICS once and arms the at-exit dump. */
+struct EnvInit
+{
+    EnvInit()
+    {
+        const char *p = std::getenv("WINOMC_METRICS");
+        if (p && *p) {
+            Registry::instance().path = p;
+            gEnabled.store(true, std::memory_order_relaxed);
+            std::atexit(dumpAtExit);
+        }
+    }
+};
+EnvInit envInit;
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+ValueMap
+mergedValues()
+{
+    Registry &r = Registry::instance();
+    std::lock_guard<std::mutex> lk(r.mu);
+    ValueMap out = r.retired;
+    for (const auto &shard : r.shards) {
+        std::lock_guard<std::mutex> slk(shard->mu);
+        for (const auto &[name, v] : shard->values)
+            out[name].mergeFrom(v);
+    }
+    return out;
+}
+
+const char *
+kindName(Kind k)
+{
+    switch (k) {
+      case Kind::Counter:
+        return "counter";
+      case Kind::Gauge:
+        return "gauge";
+      case Kind::Timer:
+        return "timer";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setEnabled(bool on)
+{
+    gEnabled.store(on, std::memory_order_relaxed);
+}
+
+const std::string &
+configuredPath()
+{
+    return Registry::instance().path;
+}
+
+void
+counterAdd(const char *name, double v)
+{
+    if (!enabled())
+        return;
+    Shard &s = localShard();
+    std::lock_guard<std::mutex> lk(s.mu);
+    Value &val = s.values[name];
+    val.kind = Kind::Counter;
+    val.value += v;
+    ++val.count;
+}
+
+void
+gaugeSet(const char *name, double v)
+{
+    if (!enabled())
+        return;
+    Registry &r = Registry::instance();
+    std::lock_guard<std::mutex> lk(r.mu);
+    Value &val = r.retired[name];
+    val.kind = Kind::Gauge;
+    val.value = v;
+    ++val.count;
+}
+
+void
+timerAdd(const char *name, double seconds)
+{
+    if (!enabled())
+        return;
+    Shard &s = localShard();
+    std::lock_guard<std::mutex> lk(s.mu);
+    Value &val = s.values[name];
+    val.kind = Kind::Timer;
+    val.minSec = val.count ? std::min(val.minSec, seconds) : seconds;
+    val.maxSec = val.count ? std::max(val.maxSec, seconds) : seconds;
+    val.totalSec += seconds;
+    ++val.count;
+}
+
+std::vector<Sample>
+snapshot()
+{
+    std::vector<Sample> out;
+    for (const auto &[name, v] : mergedValues()) {
+        Sample s;
+        s.name = name;
+        s.kind = v.kind;
+        s.value = v.value;
+        s.count = v.count;
+        s.totalSec = v.totalSec;
+        s.minSec = v.minSec;
+        s.maxSec = v.maxSec;
+        out.push_back(std::move(s));
+    }
+    return out; // std::map iteration is already name-sorted
+}
+
+void
+reset()
+{
+    Registry &r = Registry::instance();
+    std::lock_guard<std::mutex> lk(r.mu);
+    r.retired.clear();
+    for (const auto &shard : r.shards) {
+        std::lock_guard<std::mutex> slk(shard->mu);
+        shard->values.clear();
+    }
+}
+
+std::string
+toJson()
+{
+    std::ostringstream oss;
+    oss.precision(17);
+    oss << "{\n  \"metrics\": [";
+    bool first = true;
+    for (const Sample &s : snapshot()) {
+        oss << (first ? "\n" : ",\n");
+        first = false;
+        oss << "    {\"name\": \"" << s.name << "\", \"kind\": \""
+            << kindName(s.kind) << "\", \"count\": " << s.count;
+        if (s.kind == Kind::Timer) {
+            oss << ", \"total_sec\": " << s.totalSec
+                << ", \"min_sec\": " << s.minSec
+                << ", \"max_sec\": " << s.maxSec;
+        } else {
+            oss << ", \"value\": " << s.value;
+        }
+        oss << "}";
+    }
+    oss << "\n  ]\n}\n";
+    return oss.str();
+}
+
+std::string
+toCsv()
+{
+    std::ostringstream oss;
+    oss.precision(17);
+    oss << "name,kind,count,value,total_sec,min_sec,max_sec\n";
+    for (const Sample &s : snapshot()) {
+        oss << s.name << "," << kindName(s.kind) << "," << s.count << ","
+            << s.value << "," << s.totalSec << "," << s.minSec << ","
+            << s.maxSec << "\n";
+    }
+    return oss.str();
+}
+
+void
+dumpToFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        winomc_warn("cannot write metrics dump to '", path, "'");
+        return;
+    }
+    std::string body = endsWith(path, ".csv") ? toCsv() : toJson();
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+}
+
+void
+dumpIfConfigured()
+{
+    const std::string &path = configuredPath();
+    if (path.empty())
+        return;
+    dumpToFile(path);
+}
+
+} // namespace winomc::metrics

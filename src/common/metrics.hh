@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Process-wide metrics registry: counters, gauges, and timers with
+ * JSON/CSV export.
+ *
+ * Design points:
+ *
+ *  - Disabled by default. The knob is WINOMC_METRICS=<path>: when set,
+ *    recording turns on and a dump is written to <path> at process
+ *    exit (CSV when the path ends in ".csv", JSON otherwise). Tests
+ *    and tools can also flip recording programmatically with
+ *    setEnabled() and dump explicitly with dumpToFile().
+ *  - When disabled every record call is a single relaxed atomic load
+ *    and branch, so instrumented kernels stay within noise of the
+ *    uninstrumented build.
+ *  - Counters and timers accumulate into per-thread shards that are
+ *    merged on snapshot/flush, so recording composes with
+ *    common/parallel.hh workers without cross-thread contention on the
+ *    hot path. Each shard carries its own mutex (uncontended in steady
+ *    state) so snapshots are race-free under TSan. Gauges are
+ *    last-write-wins and rare, so they write straight to the registry.
+ *  - Names are dotted paths ("wino.ew.fwd", "train.samples"); the
+ *    exporters emit them sorted for deterministic artifacts.
+ */
+
+#ifndef WINOMC_COMMON_METRICS_HH
+#define WINOMC_COMMON_METRICS_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace winomc::metrics {
+
+enum class Kind { Counter, Gauge, Timer };
+
+/** One merged metric in a snapshot. */
+struct Sample
+{
+    std::string name;
+    Kind kind = Kind::Counter;
+    double value = 0.0;    ///< counter total / gauge last value
+    std::uint64_t count = 0; ///< record events (counter/timer)
+    double totalSec = 0.0; ///< timers only
+    double minSec = 0.0;
+    double maxSec = 0.0;
+};
+
+/** True when recording is on (one relaxed atomic load). */
+inline bool
+enabled()
+{
+    extern std::atomic<bool> gEnabled;
+    return gEnabled.load(std::memory_order_relaxed);
+}
+
+/** Turn recording on/off programmatically (tests, tools). */
+void setEnabled(bool on);
+
+/** Path configured via WINOMC_METRICS, or "" when unset. */
+const std::string &configuredPath();
+
+/** Accumulate `v` into counter `name`. No-op when disabled. */
+void counterAdd(const char *name, double v = 1.0);
+
+/** Set gauge `name` to its latest value. No-op when disabled. */
+void gaugeSet(const char *name, double v);
+
+/** Accumulate one timed interval into timer `name`. */
+void timerAdd(const char *name, double seconds);
+
+/** Merged view of every metric recorded so far, sorted by name. */
+std::vector<Sample> snapshot();
+
+/** Drop all recorded values (all shards). Recording state unchanged. */
+void reset();
+
+/** Serialize the current snapshot. */
+std::string toJson();
+std::string toCsv();
+
+/** Write the snapshot to `path` (CSV iff it ends in ".csv"). */
+void dumpToFile(const std::string &path);
+
+/** dumpToFile(configuredPath()) when WINOMC_METRICS is set; also runs
+ *  automatically at process exit. Explicit calls let benches emit the
+ *  artifact before a hard exit. */
+void dumpIfConfigured();
+
+/** RAII timer: accumulates its lifetime into timer `name`. */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(const char *name)
+        : name(name), active(enabled())
+    {
+        if (active)
+            start = std::chrono::steady_clock::now();
+    }
+    ~ScopedTimer()
+    {
+        if (active) {
+            std::chrono::duration<double> d =
+                std::chrono::steady_clock::now() - start;
+            timerAdd(name, d.count());
+        }
+    }
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    const char *name;
+    bool active;
+    std::chrono::steady_clock::time_point start;
+};
+
+} // namespace winomc::metrics
+
+#endif // WINOMC_COMMON_METRICS_HH

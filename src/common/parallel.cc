@@ -1,6 +1,7 @@
 #include "common/parallel.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 #include <exception>
 
@@ -26,10 +27,24 @@ parseThreadCount(const char *str)
 {
     if (!str || !*str)
         return 0;
+    errno = 0;
     char *end = nullptr;
     long v = std::strtol(str, &end, 10);
-    if (!end || *end != '\0' || v <= 0 || v > 4096)
+    while (end && (*end == ' ' || *end == '\t'))
+        ++end;
+    if (!end || end == str || *end != '\0') {
+        winomc_warn("ignoring unparsable thread count '", str, "'");
         return 0;
+    }
+    if (v <= 0) {
+        winomc_warn("ignoring non-positive thread count '", str, "'");
+        return 0;
+    }
+    if (v > long(kMaxThreadCount) || errno == ERANGE) {
+        winomc_warn("thread count '", str, "' clamped to ",
+                    kMaxThreadCount);
+        return kMaxThreadCount;
+    }
     return int(v);
 }
 
@@ -72,7 +87,8 @@ ThreadPool::global()
 
 ThreadPool::ThreadPool(int threads)
 {
-    nthreads = threads > 0 ? threads : defaultThreadCount();
+    nthreads = threads > 0 ? std::min(threads, kMaxThreadCount)
+                           : defaultThreadCount();
     startWorkers();
 }
 
@@ -114,6 +130,11 @@ ThreadPool::setThreadCount(int threads)
                   "setThreadCount called from inside a parallelFor body");
     if (threads <= 0)
         threads = defaultThreadCount();
+    if (threads > kMaxThreadCount) {
+        winomc_warn("thread count ", threads, " clamped to ",
+                    kMaxThreadCount);
+        threads = kMaxThreadCount;
+    }
     std::lock_guard<std::mutex> post(postMu);
     if (threads == nthreads)
         return;

@@ -37,7 +37,15 @@
 
 namespace winomc {
 
-/** Parse a thread-count string (env var); 0 if missing/invalid. */
+/** Hard ceiling on the pool size; larger requests clamp here. */
+constexpr int kMaxThreadCount = 4096;
+
+/**
+ * Parse a thread-count string (env var); 0 if missing/invalid (the
+ * caller then falls back to hardware_concurrency()). Never crashes:
+ * garbage, negative, and zero values warn and return 0; values above
+ * kMaxThreadCount warn and clamp.
+ */
 int parseThreadCount(const char *str);
 
 /** WINOMC_THREADS if set and valid, else hardware_concurrency(), >= 1. */

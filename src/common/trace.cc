@@ -1,0 +1,304 @@
+#include "common/trace.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace winomc::trace {
+
+std::atomic<bool> gEnabled{false};
+
+namespace {
+
+struct Event
+{
+    std::string name;
+    std::string cat;
+    double tsUs = 0.0;
+    double durUs = 0.0;
+    int pid = kHostPid;
+    int tid = 0;
+    bool metadata = false; ///< process_name record instead of a span
+};
+
+/** Per-thread event buffer; same locking discipline as the metrics
+ *  shards (owner locks per append, flush locks from outside). */
+struct Buffer
+{
+    std::mutex mu;
+    std::vector<Event> events;
+};
+
+struct Recorder
+{
+    std::mutex mu;
+    std::vector<std::shared_ptr<Buffer>> buffers;
+    std::vector<Event> retired; ///< events of exited threads + metadata
+    std::string path;
+    std::atomic<int> nextTid{0};
+    std::atomic<int> nextSimPid{kHostPid + 1};
+
+    static Recorder &
+    instance()
+    {
+        static Recorder *r = new Recorder; // outlives worker threads
+        return *r;
+    }
+};
+
+struct BufferHandle
+{
+    std::shared_ptr<Buffer> buffer = std::make_shared<Buffer>();
+
+    BufferHandle()
+    {
+        Recorder &r = Recorder::instance();
+        std::lock_guard<std::mutex> lk(r.mu);
+        r.buffers.push_back(buffer);
+    }
+
+    ~BufferHandle()
+    {
+        Recorder &r = Recorder::instance();
+        std::lock_guard<std::mutex> lk(r.mu);
+        {
+            std::lock_guard<std::mutex> blk(buffer->mu);
+            r.retired.insert(r.retired.end(), buffer->events.begin(),
+                             buffer->events.end());
+            buffer->events.clear();
+        }
+        r.buffers.erase(
+            std::remove(r.buffers.begin(), r.buffers.end(), buffer),
+            r.buffers.end());
+    }
+};
+
+Buffer &
+localBuffer()
+{
+    thread_local BufferHandle handle;
+    return *handle.buffer;
+}
+
+std::chrono::steady_clock::time_point
+processStart()
+{
+    static const auto t0 = std::chrono::steady_clock::now();
+    return t0;
+}
+
+void
+flushAtExit()
+{
+    flushIfConfigured();
+}
+
+struct EnvInit
+{
+    EnvInit()
+    {
+        processStart(); // pin t0 as early as possible
+        const char *p = std::getenv("WINOMC_TRACE");
+        if (p && *p) {
+            Recorder::instance().path = p;
+            gEnabled.store(true, std::memory_order_relaxed);
+            std::atexit(flushAtExit);
+        }
+    }
+};
+EnvInit envInit;
+
+void
+append(Event ev)
+{
+    Buffer &b = localBuffer();
+    std::lock_guard<std::mutex> lk(b.mu);
+    b.events.push_back(std::move(ev));
+}
+
+/** Minimal JSON string escaping (names are plain identifiers). */
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (static_cast<unsigned char>(c) < 0x20)
+            continue;
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+void
+setEnabled(bool on)
+{
+    gEnabled.store(on, std::memory_order_relaxed);
+}
+
+const std::string &
+configuredPath()
+{
+    return Recorder::instance().path;
+}
+
+double
+nowUs()
+{
+    std::chrono::duration<double, std::micro> d =
+        std::chrono::steady_clock::now() - processStart();
+    return d.count();
+}
+
+int
+currentTid()
+{
+    thread_local int tid =
+        Recorder::instance().nextTid.fetch_add(1,
+                                               std::memory_order_relaxed);
+    return tid;
+}
+
+void
+emitComplete(const char *name, const char *cat, double ts_us,
+             double dur_us)
+{
+    if (!enabled())
+        return;
+    Event ev;
+    ev.name = name;
+    ev.cat = cat;
+    ev.tsUs = ts_us;
+    ev.durUs = dur_us;
+    ev.pid = kHostPid;
+    ev.tid = currentTid();
+    append(std::move(ev));
+}
+
+void
+emitCompleteAt(const std::string &name, const char *cat, double ts_us,
+               double dur_us, int pid, int tid)
+{
+    if (!enabled())
+        return;
+    Event ev;
+    ev.name = name;
+    ev.cat = cat;
+    ev.tsUs = ts_us;
+    ev.durUs = dur_us;
+    ev.pid = pid;
+    ev.tid = tid;
+    append(std::move(ev));
+}
+
+void
+namePid(int pid, const std::string &name)
+{
+    if (!enabled())
+        return;
+    Event ev;
+    ev.name = name;
+    ev.pid = pid;
+    ev.metadata = true;
+    append(std::move(ev));
+}
+
+int
+allocSimPid()
+{
+    return Recorder::instance().nextSimPid.fetch_add(
+        1, std::memory_order_relaxed);
+}
+
+void
+reset()
+{
+    Recorder &r = Recorder::instance();
+    std::lock_guard<std::mutex> lk(r.mu);
+    r.retired.clear();
+    for (const auto &buffer : r.buffers) {
+        std::lock_guard<std::mutex> blk(buffer->mu);
+        buffer->events.clear();
+    }
+}
+
+std::string
+toJson()
+{
+    Recorder &r = Recorder::instance();
+    std::vector<Event> events;
+    {
+        std::lock_guard<std::mutex> lk(r.mu);
+        events = r.retired;
+        for (const auto &buffer : r.buffers) {
+            std::lock_guard<std::mutex> blk(buffer->mu);
+            events.insert(events.end(), buffer->events.begin(),
+                          buffer->events.end());
+        }
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Event &a, const Event &b) {
+                         if (a.pid != b.pid)
+                             return a.pid < b.pid;
+                         if (a.tid != b.tid)
+                             return a.tid < b.tid;
+                         return a.tsUs < b.tsUs;
+                     });
+
+    std::ostringstream oss;
+    oss.precision(17);
+    oss << "{\"traceEvents\": [";
+    bool first = true;
+    for (const Event &ev : events) {
+        oss << (first ? "\n" : ",\n");
+        first = false;
+        if (ev.metadata) {
+            oss << " {\"name\": \"process_name\", \"ph\": \"M\", "
+                << "\"pid\": " << ev.pid << ", \"tid\": 0, "
+                << "\"args\": {\"name\": \"" << escape(ev.name)
+                << "\"}}";
+        } else {
+            oss << " {\"name\": \"" << escape(ev.name) << "\", "
+                << "\"cat\": \"" << escape(ev.cat) << "\", "
+                << "\"ph\": \"X\", \"ts\": " << ev.tsUs
+                << ", \"dur\": " << ev.durUs << ", \"pid\": " << ev.pid
+                << ", \"tid\": " << ev.tid << "}";
+        }
+    }
+    oss << "\n], \"displayTimeUnit\": \"ms\"}\n";
+    return oss.str();
+}
+
+void
+flushToFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        winomc_warn("cannot write trace to '", path, "'");
+        return;
+    }
+    std::string body = toJson();
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+}
+
+void
+flushIfConfigured()
+{
+    const std::string &path = configuredPath();
+    if (path.empty())
+        return;
+    flushToFile(path);
+}
+
+} // namespace winomc::trace

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Chrome trace-event recorder: span files loadable in chrome://tracing
+ * and Perfetto.
+ *
+ *  - Knob: WINOMC_TRACE=<path>. When set, spans record and the trace
+ *    file is written at process exit; when unset every span is a
+ *    single relaxed atomic load and branch. Tests/tools can flip
+ *    recording with setEnabled() and write with flushToFile().
+ *  - Host spans ("X" complete events) carry the wall-clock time since
+ *    process start in microseconds, pid kHostPid, and a small
+ *    per-thread tid, buffered per thread and merged on flush (same
+ *    sharding discipline as common/metrics.hh, TSan-clean).
+ *  - Simulators can emit spans on *virtual* timelines with
+ *    emitCompleteAt() under their own pid (e.g. the MPT task-graph
+ *    schedule with one track per execution resource); namePid()
+ *    attaches a process_name metadata record so the viewer labels the
+ *    track group.
+ *
+ * The combined WINOMC_SPAN(name, cat) macro below times a scope once
+ * and feeds both this recorder and the metrics timer of the same name.
+ */
+
+#ifndef WINOMC_COMMON_TRACE_HH
+#define WINOMC_COMMON_TRACE_HH
+
+#include <atomic>
+#include <chrono>
+#include <string>
+
+#include "common/metrics.hh"
+
+namespace winomc::trace {
+
+/** pid of the host (real wall-clock) timeline. */
+constexpr int kHostPid = 1;
+
+/** True when trace recording is on (one relaxed atomic load). */
+inline bool
+enabled()
+{
+    extern std::atomic<bool> gEnabled;
+    return gEnabled.load(std::memory_order_relaxed);
+}
+
+/** Turn recording on/off programmatically (tests, tools). */
+void setEnabled(bool on);
+
+/** Path configured via WINOMC_TRACE, or "" when unset. */
+const std::string &configuredPath();
+
+/** Microseconds of wall clock since process start. */
+double nowUs();
+
+/** Small dense id of the calling thread (host timeline tid). */
+int currentTid();
+
+/** Record a completed host span [ts_us, ts_us + dur_us). */
+void emitComplete(const char *name, const char *cat, double ts_us,
+                  double dur_us);
+
+/** Record a completed span on an arbitrary (pid, tid) timeline —
+ *  virtual time is fine; simulators pick their own pid. */
+void emitCompleteAt(const std::string &name, const char *cat,
+                    double ts_us, double dur_us, int pid, int tid);
+
+/** Attach a process_name metadata record to `pid`. */
+void namePid(int pid, const std::string &name);
+
+/** Fresh pid for one simulator timeline (monotonic, starts above
+ *  kHostPid). */
+int allocSimPid();
+
+/** Drop all buffered events. Recording state unchanged. */
+void reset();
+
+/** Serialize buffered events as a Chrome JSON trace. */
+std::string toJson();
+
+/** Write the trace to `path`. */
+void flushToFile(const std::string &path);
+
+/** flushToFile(configuredPath()) when WINOMC_TRACE is set; also runs
+ *  automatically at process exit. */
+void flushIfConfigured();
+
+} // namespace winomc::trace
+
+namespace winomc {
+
+/**
+ * RAII scope instrumentation: one steady_clock interval feeding the
+ * trace recorder (a host "X" span) and the metrics timer of the same
+ * name. Costs two relaxed loads when both are disabled.
+ */
+class ScopedSpan
+{
+  public:
+    explicit ScopedSpan(const char *name, const char *cat = "host")
+        : name(name), cat(cat),
+          active(trace::enabled() || metrics::enabled())
+    {
+        if (active)
+            start = std::chrono::steady_clock::now();
+    }
+
+    ~ScopedSpan()
+    {
+        if (!active)
+            return;
+        const auto end = std::chrono::steady_clock::now();
+        const double sec =
+            std::chrono::duration<double>(end - start).count();
+        if (trace::enabled()) {
+            const double end_us = trace::nowUs();
+            trace::emitComplete(name, cat, end_us - sec * 1e6,
+                                sec * 1e6);
+        }
+        if (metrics::enabled())
+            metrics::timerAdd(name, sec);
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    const char *name;
+    const char *cat;
+    bool active;
+    std::chrono::steady_clock::time_point start;
+};
+
+} // namespace winomc
+
+#define WINOMC_SPAN_CONCAT2(a, b) a##b
+#define WINOMC_SPAN_CONCAT(a, b) WINOMC_SPAN_CONCAT2(a, b)
+
+/** Time the enclosing scope into trace span + metrics timer `name`. */
+#define WINOMC_SPAN(name, cat)                                               \
+    ::winomc::ScopedSpan WINOMC_SPAN_CONCAT(winomc_span_, __LINE__)(name,    \
+                                                                    cat)
+
+#endif // WINOMC_COMMON_TRACE_HH

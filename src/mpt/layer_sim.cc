@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/trace.hh"
 #include "memnet/collective.hh"
 #include "memnet/link_model.hh"
 #include "memnet/pipeline.hh"
@@ -312,6 +313,76 @@ assemblePropPhase(const WinoPhase &ph, const SystemParams &params,
     return r;
 }
 
+/** Export one simulated phase under `prefix` ("mpt.<config>.<phase>").
+ *  Seconds-valued fields go to timers (count = simulated phases, total
+ *  = accumulated model time), work/traffic totals to counters. */
+void
+exportPhaseMetrics(const std::string &prefix, const PhaseResult &r)
+{
+    metrics::timerAdd((prefix + ".seconds").c_str(), r.seconds);
+    metrics::timerAdd((prefix + ".compute_sec").c_str(), r.computeSec);
+    metrics::timerAdd((prefix + ".scatter_sec").c_str(), r.scatterSec);
+    metrics::timerAdd((prefix + ".gather_sec").c_str(), r.gatherSec);
+    metrics::timerAdd((prefix + ".collective_sec").c_str(),
+                      r.collectiveSec);
+    metrics::counterAdd((prefix + ".macs").c_str(), r.macs);
+    metrics::counterAdd((prefix + ".vec_ops").c_str(), r.vecOps);
+    metrics::counterAdd((prefix + ".dram_bytes").c_str(), r.dramBytes);
+    metrics::counterAdd((prefix + ".link_bytes").c_str(),
+                        r.linkBytesSent);
+    metrics::counterAdd((prefix + ".energy_j").c_str(),
+                        r.energy.total());
+}
+
+/** Per-phase accounting of one simulated layer (Figures 15/16). */
+void
+exportLayerMetrics(Strategy strategy, const LayerResult &res)
+{
+    const std::string base = "mpt." + strategyName(strategy);
+    exportPhaseMetrics(base + ".fwd", res.fwd);
+    exportPhaseMetrics(base + ".bwd", res.bwd);
+    metrics::counterAdd((base + ".layers").c_str());
+}
+
+/** Lay one phase's sub-steps end to end on a virtual-time timeline
+ *  (sub-steps overlap in the model, so this shows composition, not the
+ *  critical path — that is `PhaseResult::seconds`). */
+double
+exportPhaseTrace(int pid, double t0_sec, const char *which,
+                 const PhaseResult &r)
+{
+    struct Part {
+        const char *name;
+        double sec;
+    };
+    const Part parts[] = {{"scatter", r.scatterSec},
+                          {"compute", r.computeSec},
+                          {"gather", r.gatherSec},
+                          {"collective", r.collectiveSec}};
+    double t = t0_sec;
+    for (const auto &p : parts) {
+        if (p.sec <= 0.0)
+            continue;
+        trace::emitCompleteAt(std::string(which) + "." + p.name,
+                              "mpt-phase", t * 1e6, p.sec * 1e6, pid,
+                              1);
+        t += p.sec;
+    }
+    return t;
+}
+
+/** One simulated layer as its own virtual-time trace process. */
+void
+exportLayerTrace(Strategy strategy, const LayerResult &res)
+{
+    const int pid = trace::allocSimPid();
+    trace::namePid(pid, "mpt " + strategyName(strategy) + " " +
+                            res.shape.toString() + " " + res.algoName +
+                            " (virtual time)");
+    double t = exportPhaseTrace(pid, 0.0, "fwd", res.fwd);
+    exportPhaseTrace(pid, t, "bwd", res.bwd);
+}
+
 } // namespace
 
 std::string
@@ -399,6 +470,10 @@ simulateLayerWithShape(const ConvSpec &spec, Strategy strategy,
         res.bpropSeconds = bp.seconds;
         res.ugradComputeSeconds = ug_compute;
         res.collectiveSeconds = coll;
+        if (metrics::enabled())
+            exportLayerMetrics(strategy, res);
+        if (trace::enabled())
+            exportLayerTrace(strategy, res);
         return res;
     }
 
@@ -460,6 +535,10 @@ simulateLayerWithShape(const ConvSpec &spec, Strategy strategy,
     res.bpropSeconds = bp.seconds;
     res.ugradComputeSeconds = ug_compute;
     res.collectiveSeconds = coll;
+    if (metrics::enabled())
+        exportLayerMetrics(strategy, res);
+    if (trace::enabled())
+        exportLayerTrace(strategy, res);
     return res;
 }
 

@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "common/logging.hh"
+#include "common/trace.hh"
 
 namespace winomc::mpt {
 
@@ -108,7 +109,30 @@ TaskGraph::simulate()
         winomc_assert(t.finish >= 0.0, "task '", t.name,
                       "' never ran - dependency cycle?");
     }
+    if (trace::enabled())
+        exportTrace("mpt task graph");
     return to_sec(makespan);
+}
+
+void
+TaskGraph::exportTrace(const std::string &label) const
+{
+    if (!trace::enabled())
+        return;
+    // Each export gets its own trace process so overlapping simulated
+    // schedules (e.g. the dynamic-clustering candidates) stay on
+    // separate timelines; one track per execution resource, with the
+    // unserialized (kNoResource) tasks on track 0.
+    const int pid = trace::allocSimPid();
+    trace::namePid(pid, label + " (sim pid " + std::to_string(pid) +
+                            ", virtual time)");
+    for (const Task &t : tasks) {
+        if (t.finish < 0.0)
+            continue;
+        trace::emitCompleteAt(t.name, "mpt-sim", t.start * 1e6,
+                              (t.finish - t.start) * 1e6, pid,
+                              t.resource - kNoResource);
+    }
 }
 
 double

@@ -42,8 +42,15 @@ class TaskGraph
     /** `after` cannot start until `before` completes. */
     void addDependency(TaskId before, TaskId after);
 
-    /** Run the schedule; returns the makespan in seconds. */
+    /** Run the schedule; returns the makespan in seconds. When
+     *  WINOMC_TRACE is set the simulated schedule is also exported as
+     *  a Chrome-trace timeline (one track per resource). */
     double simulate();
+
+    /** Export start/finish of every completed task to the trace
+     *  recorder under its own virtual-time process (no-op when tracing
+     *  is off; simulate() already calls this). */
+    void exportTrace(const std::string &label) const;
 
     /** Completion time of a task (valid after simulate()). */
     double finishTime(TaskId id) const;

@@ -4,6 +4,7 @@
 #include <array>
 
 #include "common/parallel.hh"
+#include "common/trace.hh"
 
 namespace winomc {
 
@@ -63,6 +64,7 @@ sandwich(const Matrix &L, const double *in, int n, int k, const Matrix &R,
 WinoTiles
 transformInput(const Tensor &x, const WinogradAlgo &algo)
 {
+    WINOMC_SPAN("wino.xform.input", "wino");
     winomc_assert(algo.alpha <= kMaxAlpha, "alpha too large");
     TileGrid grid(x.h(), x.w(), algo);
     WinoTiles out(algo.alpha, x.c(), x.n(), grid.tiles());
@@ -108,6 +110,7 @@ Tensor
 transformInputAdjoint(const WinoTiles &dX, const WinogradAlgo &algo,
                       int h, int w)
 {
+    WINOMC_SPAN("wino.xform.input_adjoint", "wino");
     TileGrid grid(h, w, algo);
     winomc_assert(grid.tiles() == dX.tiles(),
                   "tile count mismatch in input adjoint");
@@ -154,6 +157,7 @@ transformInputAdjoint(const WinoTiles &dX, const WinogradAlgo &algo,
 WinoWeights
 transformWeights(const Tensor &w, const WinogradAlgo &algo)
 {
+    WINOMC_SPAN("wino.xform.weights", "wino");
     winomc_assert(w.h() == algo.r && w.w() == algo.r,
                   "weight size does not match algorithm r");
     WinoWeights out(algo.alpha, w.n(), w.c());
@@ -182,6 +186,7 @@ transformWeights(const Tensor &w, const WinogradAlgo &algo)
 Tensor
 transformWeightsAdjoint(const WinoWeights &dW, const WinogradAlgo &algo)
 {
+    WINOMC_SPAN("wino.xform.weights_adjoint", "wino");
     const int a = algo.alpha;
     const int r = algo.r;
     Tensor dw(dW.outChannels(), dW.inChannels(), r, r);
@@ -209,6 +214,7 @@ transformWeightsAdjoint(const WinoWeights &dW, const WinogradAlgo &algo)
 WinoTiles
 elementwiseForward(const WinoTiles &X, const WinoWeights &W)
 {
+    WINOMC_SPAN("wino.ew.fwd", "wino");
     winomc_assert(X.alphaEdge() == W.alphaEdge(),
                   "algo mismatch between tiles and weights");
     winomc_assert(X.channels() == W.inChannels(),
@@ -279,6 +285,7 @@ elementwiseForward(const WinoTiles &X, const WinoWeights &W)
 WinoTiles
 elementwiseBackwardData(const WinoTiles &dY, const WinoWeights &W)
 {
+    WINOMC_SPAN("wino.ew.bwd_data", "wino");
     winomc_assert(dY.channels() == W.outChannels(),
                   "channel mismatch in backward data");
     WinoTiles dX(dY.alphaEdge(), W.inChannels(), dY.batch(), dY.tiles());
@@ -347,6 +354,7 @@ elementwiseBackwardData(const WinoTiles &dY, const WinoWeights &W)
 WinoWeights
 elementwiseGradWeights(const WinoTiles &dY, const WinoTiles &X)
 {
+    WINOMC_SPAN("wino.ew.grad_weights", "wino");
     winomc_assert(dY.batch() == X.batch() && dY.tiles() == X.tiles() &&
                   dY.alphaEdge() == X.alphaEdge(),
                   "shape mismatch in weight gradient");
@@ -410,6 +418,7 @@ Tensor
 inverseTransform(const WinoTiles &Y, const WinogradAlgo &algo, int h,
                  int w)
 {
+    WINOMC_SPAN("wino.xform.inverse", "wino");
     TileGrid grid(h, w, algo);
     winomc_assert(grid.tiles() == Y.tiles(),
                   "tile count mismatch in inverse transform");
@@ -449,6 +458,7 @@ inverseTransform(const WinoTiles &Y, const WinogradAlgo &algo, int h,
 WinoTiles
 inverseTransformAdjoint(const Tensor &dy, const WinogradAlgo &algo)
 {
+    WINOMC_SPAN("wino.xform.inverse_adjoint", "wino");
     TileGrid grid(dy.h(), dy.w(), algo);
     WinoTiles dY(algo.alpha, dy.c(), dy.n(), grid.tiles());
     const int a = algo.alpha;
@@ -489,6 +499,7 @@ Tensor
 winogradForward(const Tensor &x, const WinoWeights &W,
                 const WinogradAlgo &algo)
 {
+    WINOMC_SPAN("wino.phase.fwd", "wino");
     WinoTiles X = transformInput(x, algo);
     WinoTiles Y = elementwiseForward(X, W);
     return inverseTransform(Y, algo, x.h(), x.w());
@@ -498,6 +509,7 @@ Tensor
 winogradBackwardData(const Tensor &dy, const WinoWeights &W,
                      const WinogradAlgo &algo, int h, int w)
 {
+    WINOMC_SPAN("wino.phase.bwd_data", "wino");
     WinoTiles dY = inverseTransformAdjoint(dy, algo);
     WinoTiles dX = elementwiseBackwardData(dY, W);
     return transformInputAdjoint(dX, algo, h, w);
@@ -507,6 +519,7 @@ WinoWeights
 winogradGradWeights(const Tensor &x, const Tensor &dy,
                     const WinogradAlgo &algo)
 {
+    WINOMC_SPAN("wino.phase.grad_weights", "wino");
     WinoTiles X = transformInput(x, algo);
     WinoTiles dY = inverseTransformAdjoint(dy, algo);
     return elementwiseGradWeights(dY, X);
@@ -515,6 +528,7 @@ winogradGradWeights(const Tensor &x, const Tensor &dy,
 Tensor
 directConvForward(const Tensor &x, const Tensor &w)
 {
+    WINOMC_SPAN("direct.fwd", "wino");
     winomc_assert(x.c() == w.c(), "channel mismatch in direct conv");
     winomc_assert(w.h() == w.w() && w.h() % 2 == 1,
                   "direct conv expects odd square filters");
@@ -556,6 +570,7 @@ directConvForward(const Tensor &x, const Tensor &w)
 Tensor
 directConvBackwardData(const Tensor &dy, const Tensor &w)
 {
+    WINOMC_SPAN("direct.bwd_data", "wino");
     winomc_assert(dy.c() == w.n(), "channel mismatch in backward data");
     const int r = w.h();
     const int pad = (r - 1) / 2;
@@ -595,6 +610,7 @@ directConvBackwardData(const Tensor &dy, const Tensor &w)
 Tensor
 directConvGradWeights(const Tensor &x, const Tensor &dy, int r)
 {
+    WINOMC_SPAN("direct.grad_weights", "wino");
     winomc_assert(x.n() == dy.n() && x.h() == dy.h() && x.w() == dy.w(),
                   "shape mismatch in direct weight gradient");
     const int pad = (r - 1) / 2;

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Tests for the observability layer: the metrics registry (counters /
+ * gauges / timers, per-thread shard merging, JSON/CSV export) and the
+ * Chrome trace-event recorder. The thread-merge tests run under an
+ * 8-thread pool and carry the `concurrency` label so a
+ * WINOMC_SANITIZE=thread build keeps the registry TSan-clean.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/metrics.hh"
+#include "common/parallel.hh"
+#include "common/trace.hh"
+
+namespace winomc {
+namespace {
+
+/** Enables metrics + trace for one test and restores/clears after. */
+class ObservabilityTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        wasMetrics = metrics::enabled();
+        wasTrace = trace::enabled();
+        metrics::setEnabled(true);
+        trace::setEnabled(true);
+        metrics::reset();
+        trace::reset();
+    }
+
+    void
+    TearDown() override
+    {
+        metrics::reset();
+        trace::reset();
+        metrics::setEnabled(wasMetrics);
+        trace::setEnabled(wasTrace);
+    }
+
+    bool wasMetrics = false;
+    bool wasTrace = false;
+};
+
+const metrics::Sample *
+find(const std::vector<metrics::Sample> &snap, const std::string &name)
+{
+    for (const auto &s : snap)
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+TEST_F(ObservabilityTest, CounterGaugeTimerBasics)
+{
+    metrics::counterAdd("t.counter", 2.0);
+    metrics::counterAdd("t.counter", 3.0);
+    metrics::gaugeSet("t.gauge", 1.5);
+    metrics::gaugeSet("t.gauge", 2.5);
+    metrics::timerAdd("t.timer", 0.25);
+    metrics::timerAdd("t.timer", 0.75);
+
+    auto snap = metrics::snapshot();
+    const auto *c = find(snap, "t.counter");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->kind, metrics::Kind::Counter);
+    EXPECT_DOUBLE_EQ(c->value, 5.0);
+    EXPECT_EQ(c->count, 2u);
+
+    const auto *g = find(snap, "t.gauge");
+    ASSERT_NE(g, nullptr);
+    EXPECT_EQ(g->kind, metrics::Kind::Gauge);
+    EXPECT_DOUBLE_EQ(g->value, 2.5); // last write wins
+
+    const auto *t = find(snap, "t.timer");
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->kind, metrics::Kind::Timer);
+    EXPECT_EQ(t->count, 2u);
+    EXPECT_DOUBLE_EQ(t->totalSec, 1.0);
+    EXPECT_DOUBLE_EQ(t->minSec, 0.25);
+    EXPECT_DOUBLE_EQ(t->maxSec, 0.75);
+}
+
+TEST_F(ObservabilityTest, DisabledPathIsANoOp)
+{
+    metrics::setEnabled(false);
+    metrics::counterAdd("t.hidden", 7.0);
+    metrics::gaugeSet("t.hidden_gauge", 7.0);
+    metrics::timerAdd("t.hidden_timer", 7.0);
+    {
+        metrics::ScopedTimer timer("t.hidden_scope");
+    }
+    metrics::setEnabled(true);
+    auto snap = metrics::snapshot();
+    EXPECT_EQ(find(snap, "t.hidden"), nullptr);
+    EXPECT_EQ(find(snap, "t.hidden_gauge"), nullptr);
+    EXPECT_EQ(find(snap, "t.hidden_timer"), nullptr);
+    EXPECT_EQ(find(snap, "t.hidden_scope"), nullptr);
+}
+
+/// Counters and timers recorded concurrently from an 8-thread
+/// parallelFor merge to exact totals (the TSan target of the
+/// `concurrency` label).
+TEST_F(ObservabilityTest, ShardsMergeExactlyUnderParallelFor)
+{
+    constexpr std::int64_t kN = 10000;
+    ThreadPool pool(8);
+    pool.parallelFor(0, kN, 1, [](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+            metrics::counterAdd("t.par.counter");
+            metrics::timerAdd("t.par.timer", 0.001);
+        }
+    });
+
+    auto snap = metrics::snapshot();
+    const auto *c = find(snap, "t.par.counter");
+    ASSERT_NE(c, nullptr);
+    EXPECT_DOUBLE_EQ(c->value, double(kN));
+    EXPECT_EQ(c->count, std::uint64_t(kN));
+
+    const auto *t = find(snap, "t.par.timer");
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->count, std::uint64_t(kN));
+    EXPECT_NEAR(t->totalSec, double(kN) * 0.001, 1e-6);
+}
+
+/// Shards of exited worker threads survive into the merged snapshot.
+TEST_F(ObservabilityTest, RetiredThreadShardsAreKept)
+{
+    {
+        ThreadPool pool(4);
+        pool.parallelFor(0, 1000, 1,
+                         [](std::int64_t lo, std::int64_t hi) {
+                             for (std::int64_t i = lo; i < hi; ++i)
+                                 metrics::counterAdd("t.retired");
+                         });
+    } // pool destroyed: worker shards merge into the registry
+    const auto *c = find(metrics::snapshot(), "t.retired");
+    ASSERT_NE(c, nullptr);
+    EXPECT_DOUBLE_EQ(c->value, 1000.0);
+}
+
+TEST_F(ObservabilityTest, JsonDumpRoundTrips)
+{
+    metrics::counterAdd("t.json.counter", 42.0);
+    metrics::timerAdd("t.json.timer", 0.5);
+    metrics::gaugeSet("t.json.gauge", 2.25);
+
+    const std::string path =
+        ::testing::TempDir() + "metrics_roundtrip.json";
+    metrics::dumpToFile(path);
+    const std::string body = slurp(path);
+    std::remove(path.c_str());
+
+    // Structural JSON (one object, metrics array) with the exact
+    // recorded values, so the artifact reparses downstream.
+    EXPECT_EQ(body.front(), '{');
+    EXPECT_NE(body.find("\"metrics\": ["), std::string::npos);
+    EXPECT_NE(body.find("{\"name\": \"t.json.counter\", "
+                        "\"kind\": \"counter\", \"count\": 1, "
+                        "\"value\": 42}"),
+              std::string::npos);
+    EXPECT_NE(body.find("{\"name\": \"t.json.gauge\", "
+                        "\"kind\": \"gauge\", \"count\": 1, "
+                        "\"value\": 2.25}"),
+              std::string::npos);
+    EXPECT_NE(body.find("\"name\": \"t.json.timer\", "
+                        "\"kind\": \"timer\", \"count\": 1, "
+                        "\"total_sec\": 0.5"),
+              std::string::npos);
+}
+
+TEST_F(ObservabilityTest, CsvDumpHasHeaderAndRows)
+{
+    metrics::counterAdd("t.csv.counter", 3.0);
+    const std::string path = ::testing::TempDir() + "metrics.csv";
+    metrics::dumpToFile(path);
+    const std::string body = slurp(path);
+    std::remove(path.c_str());
+    EXPECT_EQ(body.rfind("name,kind,count,value,total_sec", 0), 0u);
+    EXPECT_NE(body.find("t.csv.counter,counter,1,3"),
+              std::string::npos);
+}
+
+TEST_F(ObservabilityTest, ResetClearsEverything)
+{
+    metrics::counterAdd("t.reset");
+    metrics::reset();
+    EXPECT_TRUE(metrics::snapshot().empty());
+}
+
+TEST_F(ObservabilityTest, SpanFeedsTraceAndMetrics)
+{
+    {
+        WINOMC_SPAN("t.span", "test");
+    }
+    const auto *t = find(metrics::snapshot(), "t.span");
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->kind, metrics::Kind::Timer);
+    EXPECT_EQ(t->count, 1u);
+
+    const std::string json = trace::toJson();
+    EXPECT_NE(json.find("\"name\": \"t.span\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+}
+
+TEST_F(ObservabilityTest, TraceFileIsChromeLoadable)
+{
+    {
+        WINOMC_SPAN("t.file_span", "test");
+    }
+    trace::emitCompleteAt("sim.task", "mpt-sim", 10.0, 5.0, 7, 2);
+    trace::namePid(7, "simulated timeline");
+
+    const std::string path = ::testing::TempDir() + "t.trace.json";
+    trace::flushToFile(path);
+    const std::string body = slurp(path);
+    std::remove(path.c_str());
+
+    // The chrome://tracing loader wants a traceEvents array of "X"
+    // spans with numeric ts/dur/pid/tid.
+    EXPECT_EQ(body.rfind("{\"traceEvents\": [", 0), 0u);
+    EXPECT_NE(body.find("\"name\": \"sim.task\", \"cat\": \"mpt-sim\", "
+                        "\"ph\": \"X\", \"ts\": 10, \"dur\": 5, "
+                        "\"pid\": 7, \"tid\": 2"),
+              std::string::npos);
+    EXPECT_NE(body.find("\"name\": \"process_name\", \"ph\": \"M\", "
+                        "\"pid\": 7"),
+              std::string::npos);
+    EXPECT_NE(body.find("\"name\": \"t.file_span\""),
+              std::string::npos);
+}
+
+TEST_F(ObservabilityTest, TraceEventsRecordFromWorkers)
+{
+    ThreadPool pool(8);
+    pool.parallelFor(0, 64, 1, [](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+            WINOMC_SPAN("t.worker_span", "test");
+        }
+    });
+    const std::string json = trace::toJson();
+    size_t count = 0, at = 0;
+    while ((at = json.find("t.worker_span", at)) != std::string::npos) {
+        ++count;
+        ++at;
+    }
+    EXPECT_EQ(count, 64u);
+}
+
+TEST_F(ObservabilityTest, DisabledTraceRecordsNothing)
+{
+    trace::setEnabled(false);
+    {
+        WINOMC_SPAN("t.invisible", "test");
+    }
+    trace::emitCompleteAt("t.invisible2", "test", 0, 1, 3, 0);
+    trace::setEnabled(true);
+    const std::string json = trace::toJson();
+    EXPECT_EQ(json.find("t.invisible"), std::string::npos);
+}
+
+} // namespace
+} // namespace winomc

@@ -404,6 +404,102 @@ TEST(DatasetGen, BatchStacksImages)
     EXPECT_FLOAT_EQ(batch.at(1, 0, 3, 3), ds.images[3].at(3, 3));
 }
 
+/// Identity layer that records the batch size of every training-mode
+/// forward pass (lets the tests observe exactly what train() feeds the
+/// model).
+class BatchSpy : public Module
+{
+  public:
+    Tensor forward(const Tensor &x, bool train) override
+    {
+        if (train)
+            trainBatches.push_back(x.n());
+        return x;
+    }
+    Tensor backward(const Tensor &dy) override { return dy; }
+    std::string name() const override { return "batch-spy"; }
+
+    std::vector<int> trainBatches;
+};
+
+/// Regression: the trailing partial batch used to be silently dropped
+/// (23 samples at batchSize 8 trained only 16 per epoch).
+TEST(Training, TrailingPartialBatchIsTrained)
+{
+    Rng rng(41);
+    Dataset train_set = makeShapeDataset(23, 8, 3, rng);
+    Dataset val_set = makeShapeDataset(8, 8, 3, rng);
+
+    Sequential net;
+    auto spy_owned = std::make_unique<BatchSpy>();
+    BatchSpy *spy = spy_owned.get();
+    net.add(std::move(spy_owned));
+    net.add(std::make_unique<Dense>(8 * 8, 3, rng));
+
+    TrainConfig cfg;
+    cfg.epochs = 2;
+    cfg.batchSize = 8;
+    train(net, train_set, val_set, cfg, rng);
+
+    // Each epoch must touch every sample exactly once: 8 + 8 + 7.
+    ASSERT_EQ(spy->trainBatches.size(), 6u);
+    for (int e = 0; e < 2; ++e) {
+        int samples = 0;
+        for (int b = 0; b < 3; ++b) {
+            EXPECT_GT(spy->trainBatches[size_t(e * 3 + b)], 0);
+            samples += spy->trainBatches[size_t(e * 3 + b)];
+        }
+        EXPECT_EQ(samples, 23) << "epoch " << e;
+    }
+}
+
+/// Regression: batchSize > dataset size used to make training a
+/// complete no-op; it must degrade to one small batch per epoch that
+/// still learns.
+TEST(Training, BatchLargerThanDatasetStillLearns)
+{
+    Rng rng(42);
+    Dataset train_set = makeShapeDataset(5, 8, 2, rng);
+    Dataset val_set = makeShapeDataset(8, 8, 2, rng);
+
+    Sequential net;
+    auto spy_owned = std::make_unique<BatchSpy>();
+    BatchSpy *spy = spy_owned.get();
+    net.add(std::move(spy_owned));
+    net.add(std::make_unique<Dense>(8 * 8, 2, rng));
+
+    TrainConfig cfg;
+    cfg.epochs = 20;
+    cfg.batchSize = 8; // > 5 samples
+    cfg.lr = 0.05f;
+    auto hist = train(net, train_set, val_set, cfg, rng);
+
+    ASSERT_EQ(spy->trainBatches.size(), 20u);
+    for (int b : spy->trainBatches)
+        EXPECT_EQ(b, 5);
+    EXPECT_LT(hist.back().trainLoss, hist.front().trainLoss);
+    EXPECT_GT(hist.back().trainAcc, 0.5);
+}
+
+/// An empty dataset stays a warning-level no-op (no crash, no NaNs).
+TEST(Training, EmptyDatasetIsANoOp)
+{
+    Rng rng(43);
+    Dataset train_set = makeShapeDataset(0, 8, 2, rng);
+    Dataset val_set = makeShapeDataset(4, 8, 2, rng);
+
+    Sequential net;
+    net.add(std::make_unique<Dense>(8 * 8, 2, rng));
+
+    TrainConfig cfg;
+    cfg.epochs = 2;
+    cfg.batchSize = 4;
+    auto hist = train(net, train_set, val_set, cfg, rng);
+    ASSERT_EQ(hist.size(), 2u);
+    EXPECT_EQ(hist[0].trainLoss, 0.0);
+    EXPECT_EQ(hist[0].trainAcc, 0.0);
+}
+
 /// End-to-end: a small CNN with a Winograd-layer conv learns the shape
 /// dataset well above chance.
 TEST(Training, SmallCnnConverges)

@@ -36,7 +36,38 @@ TEST(ParseThreadCount, RejectsGarbage)
     EXPECT_EQ(parseThreadCount("-4"), 0);
     EXPECT_EQ(parseThreadCount("abc"), 0);
     EXPECT_EQ(parseThreadCount("4x"), 0);
-    EXPECT_EQ(parseThreadCount("999999999"), 0);
+    EXPECT_EQ(parseThreadCount("1.5"), 0);
+    EXPECT_EQ(parseThreadCount(" "), 0);
+}
+
+TEST(ParseThreadCount, ClampsOversizedValues)
+{
+    // Too large (including strtol overflow) clamps to the ceiling
+    // instead of crashing or spawning an absurd pool.
+    EXPECT_EQ(parseThreadCount("999999999"), kMaxThreadCount);
+    EXPECT_EQ(parseThreadCount("4097"), kMaxThreadCount);
+    EXPECT_EQ(parseThreadCount("99999999999999999999999"),
+              kMaxThreadCount);
+    EXPECT_EQ(parseThreadCount("4096"), kMaxThreadCount);
+    // Negative overflow is non-positive, not oversized.
+    EXPECT_EQ(parseThreadCount("-99999999999999999999999"), 0);
+}
+
+TEST(ParseThreadCount, TrailingWhitespaceIsTolerated)
+{
+    EXPECT_EQ(parseThreadCount("8 "), 8);
+    EXPECT_EQ(parseThreadCount(" 8"), 8);
+    EXPECT_EQ(parseThreadCount("8\t"), 8);
+}
+
+TEST(ThreadPool, SetThreadCountRestoresDefaultOnNonPositive)
+{
+    ThreadPool pool(2);
+    EXPECT_EQ(pool.threadCount(), 2);
+    pool.setThreadCount(-7);
+    EXPECT_EQ(pool.threadCount(), defaultThreadCount());
+    pool.setThreadCount(3);
+    EXPECT_EQ(pool.threadCount(), 3);
 }
 
 TEST(ParseThreadCount, DefaultIsAtLeastOne)
