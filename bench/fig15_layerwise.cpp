@@ -9,6 +9,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/metrics.hh"
 #include "common/table.hh"
 #include "mpt/layer_sim.hh"
 #include "workloads/layers.hh"
@@ -30,6 +31,10 @@ main()
     double log_sum = 0.0;
     int n = 0;
     for (const auto &spec : workloads::tableTwoLayers()) {
+        // Scope the exported metrics to this layer so winomc-report
+        // can group them ("<layer>/mpt.<strategy>.*").
+        metrics::RunScope scope(spec.name);
+
         LayerResult base = simulateLayer(spec, Strategy::WinoDP, sp);
         const double norm = base.fwd.seconds;
 
@@ -40,6 +45,10 @@ main()
         t.header({"config", "shape", "fwd", "bwd", "total", "fwd us",
                   "bwd us", "energy J", "compute J", "dram J",
                   "link J"});
+        Table bt("layer " + spec.name + " time breakdown (us; "
+                 "exact-sum: compute + intra + inter + idle == total)");
+        bt.header({"config", "compute", "intra-comm", "inter-comm",
+                   "idle", "total", "link idle %"});
         for (Strategy s : all) {
             LayerResult r = simulateLayer(spec, s, sp);
             auto e = r.totalEnergy();
@@ -55,8 +64,19 @@ main()
                 .cell(e.computeJ, 3)
                 .cell(e.dramJ, 3)
                 .cell(e.linkJ, 3);
+            LayerBreakdown b = layerBreakdown(r);
+            bt.row()
+                .cell(strategyName(s))
+                .cell(b.computeSec * 1e6, 1)
+                .cell(b.intraCommSec * 1e6, 1)
+                .cell(b.interCommSec * 1e6, 1)
+                .cell(b.idleSec * 1e6, 1)
+                .cell(b.totalSec * 1e6, 1)
+                .cell(e.linkJ > 0.0 ? 100.0 * e.linkIdleJ / e.linkJ
+                                    : 0.0, 1);
         }
         t.print();
+        bt.print();
 
         double sp_up =
             base.totalSeconds() /
@@ -71,5 +91,9 @@ main()
                 "(paper: 2.74x on average; late layers dominate, early "
                 "layers neutralized by dynamic clustering)\n",
                 std::exp(log_sum / n));
+    if (metrics::enabled() && !metrics::configuredPath().empty())
+        std::printf("\nmetrics dump: %s (render with "
+                    "tools/winomc-report)\n",
+                    metrics::configuredPath().c_str());
     return 0;
 }

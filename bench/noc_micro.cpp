@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "common/metrics.hh"
 #include "common/table.hh"
 #include "memnet/link_model.hh"
 #include "memnet/message_sim.hh"
@@ -28,11 +29,14 @@ loadLatencyTable()
 {
     Table t("flit-level load-latency (64 B packets, uniform random)");
     t.header({"topology", "offered", "accepted", "avg latency (cyc)",
-              "saturated"});
+              "util max", "util mean", "stalls/node/cyc", "saturated"});
     for (double load : {0.1, 0.3, 0.5, 0.7, 0.9}) {
         for (int which = 0; which < 2; ++which) {
             NocConfig cfg;
             cfg.flitBytes = which == 0 ? 30 : 10;
+            // The occupancy distribution is part of the saturation
+            // story; sampling costs nothing at this scale.
+            cfg.sampleOccupancy = true;
             std::unique_ptr<Topology> topo;
             if (which == 0)
                 topo = std::make_unique<RingTopology>(16);
@@ -42,12 +46,24 @@ loadLatencyTable()
             Rng rng(77);
             LoadPoint pt = measureLoadPoint(
                 net, uniformRandom(16), load, 64, 1500, 4000, rng);
+            const char *name =
+                which == 0 ? "ring-16 (full)" : "fbfly-4x4 (narrow)";
             t.row()
-                .cell(which == 0 ? "ring-16 (full)" : "fbfly-4x4 (narrow)")
+                .cell(name)
                 .cell(pt.offered, 2)
                 .cell(pt.accepted, 2)
                 .cell(pt.avgLatency, 1)
+                .cell(pt.maxLinkUtil, 2)
+                .cell(pt.meanLinkUtil, 2)
+                .cell(pt.creditStallRate + pt.holBlockRate, 3)
                 .cell(pt.saturated ? "yes" : "no");
+            if (metrics::enabled()) {
+                char prefix[64];
+                std::snprintf(prefix, sizeof(prefix),
+                              "noc.%s.load%.1f",
+                              which == 0 ? "ring16" : "fbfly4x4", load);
+                net.exportMetrics(prefix);
+            }
         }
     }
     t.print();

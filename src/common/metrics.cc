@@ -3,18 +3,22 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <sstream>
 
 #include "common/logging.hh"
+#include "common/stats.hh"
 
 namespace winomc::metrics {
 
 std::atomic<bool> gEnabled{false};
 
 namespace {
+
+std::atomic<bool> gWarnedHistShape{false};
 
 /** Accumulation state of one metric inside one shard (or merged). */
 struct Value
@@ -25,6 +29,21 @@ struct Value
     double totalSec = 0.0;
     double minSec = 0.0;
     double maxSec = 0.0;
+    std::shared_ptr<winomc::Histogram> hist; ///< Kind::Histogram only
+
+    void
+    mergeHist(const winomc::Histogram &o)
+    {
+        if (!hist) {
+            hist = std::make_shared<winomc::Histogram>(o);
+        } else if (hist->sameShape(o)) {
+            hist->merge(o);
+        } else if (!gWarnedHistShape.exchange(true)) {
+            winomc_warn("histogram metric recorded with conflicting "
+                        "bucket layouts; keeping the first layout's "
+                        "buckets (count/sum still aggregate)");
+        }
+    }
 
     void
     mergeFrom(const Value &o)
@@ -39,6 +58,8 @@ struct Value
         }
         count += o.count;
         totalSec += o.totalSec;
+        if (o.hist)
+            mergeHist(*o.hist);
     }
 };
 
@@ -139,7 +160,12 @@ mergedValues()
 {
     Registry &r = Registry::instance();
     std::lock_guard<std::mutex> lk(r.mu);
-    ValueMap out = r.retired;
+    // Build fresh Values via mergeFrom (never copy the maps wholesale):
+    // histogram payloads are cloned on first merge, so the snapshot
+    // cannot alias — and later mutate — registry state.
+    ValueMap out;
+    for (const auto &[name, v] : r.retired)
+        out[name].mergeFrom(v);
     for (const auto &shard : r.shards) {
         std::lock_guard<std::mutex> slk(shard->mu);
         for (const auto &[name, v] : shard->values)
@@ -158,8 +184,86 @@ kindName(Kind k)
         return "gauge";
       case Kind::Timer:
         return "timer";
+      case Kind::Histogram:
+        return "histogram";
     }
     return "?";
+}
+
+/**
+ * Run-scope prefix. Readers load an immutable string published with
+ * release ordering; setRunScope intentionally leaks the previous
+ * string so a concurrent reader can never see it die (scope changes
+ * are rare run boundaries, so the leak is bounded and tiny).
+ */
+std::atomic<const std::string *> gScope{nullptr};
+
+std::string
+scopedKey(const char *name)
+{
+    const std::string *scope =
+        gScope.load(std::memory_order_acquire);
+    if (!scope)
+        return name;
+    std::string key;
+    key.reserve(scope->size() + 1 + std::strlen(name));
+    key += *scope;
+    key += '/';
+    key += name;
+    return key;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              unsigned(static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** RFC 4180 quoting: fields carrying separators/quotes/newlines are
+ *  wrapped in quotes with embedded quotes doubled. */
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n\r") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
 }
 
 } // namespace
@@ -183,7 +287,7 @@ counterAdd(const char *name, double v)
         return;
     Shard &s = localShard();
     std::lock_guard<std::mutex> lk(s.mu);
-    Value &val = s.values[name];
+    Value &val = s.values[scopedKey(name)];
     val.kind = Kind::Counter;
     val.value += v;
     ++val.count;
@@ -196,7 +300,7 @@ gaugeSet(const char *name, double v)
         return;
     Registry &r = Registry::instance();
     std::lock_guard<std::mutex> lk(r.mu);
-    Value &val = r.retired[name];
+    Value &val = r.retired[scopedKey(name)];
     val.kind = Kind::Gauge;
     val.value = v;
     ++val.count;
@@ -209,12 +313,60 @@ timerAdd(const char *name, double seconds)
         return;
     Shard &s = localShard();
     std::lock_guard<std::mutex> lk(s.mu);
-    Value &val = s.values[name];
+    Value &val = s.values[scopedKey(name)];
     val.kind = Kind::Timer;
     val.minSec = val.count ? std::min(val.minSec, seconds) : seconds;
     val.maxSec = val.count ? std::max(val.maxSec, seconds) : seconds;
     val.totalSec += seconds;
     ++val.count;
+}
+
+void
+histogramAdd(const char *name, double v, double lo, double hi,
+             int buckets)
+{
+    if (!enabled())
+        return;
+    Shard &s = localShard();
+    std::lock_guard<std::mutex> lk(s.mu);
+    Value &val = s.values[scopedKey(name)];
+    val.kind = Kind::Histogram;
+    if (!val.hist) {
+        val.hist =
+            std::make_shared<winomc::Histogram>(lo, hi, buckets);
+    }
+    val.hist->add(v);
+    val.value += v;
+    ++val.count;
+}
+
+void
+histogramMerge(const char *name, const winomc::Histogram &h)
+{
+    if (!enabled() || h.count() == 0)
+        return;
+    Shard &s = localShard();
+    std::lock_guard<std::mutex> lk(s.mu);
+    Value &val = s.values[scopedKey(name)];
+    val.kind = Kind::Histogram;
+    val.mergeHist(h);
+    val.value += h.sum();
+    val.count += h.count();
+}
+
+void
+setRunScope(const std::string &scope)
+{
+    gScope.store(scope.empty() ? nullptr : new std::string(scope),
+                 std::memory_order_release);
+}
+
+std::string
+runScope()
+{
+    const std::string *scope =
+        gScope.load(std::memory_order_acquire);
+    return scope ? *scope : std::string();
 }
 
 std::vector<Sample>
@@ -230,6 +382,11 @@ snapshot()
         s.totalSec = v.totalSec;
         s.minSec = v.minSec;
         s.maxSec = v.maxSec;
+        if (v.hist) {
+            s.p50 = v.hist->percentile(0.50);
+            s.p90 = v.hist->percentile(0.90);
+            s.p99 = v.hist->percentile(0.99);
+        }
         out.push_back(std::move(s));
     }
     return out; // std::map iteration is already name-sorted
@@ -257,12 +414,18 @@ toJson()
     for (const Sample &s : snapshot()) {
         oss << (first ? "\n" : ",\n");
         first = false;
-        oss << "    {\"name\": \"" << s.name << "\", \"kind\": \""
-            << kindName(s.kind) << "\", \"count\": " << s.count;
+        oss << "    {\"name\": \"" << jsonEscape(s.name)
+            << "\", \"kind\": \"" << kindName(s.kind)
+            << "\", \"count\": " << s.count;
         if (s.kind == Kind::Timer) {
             oss << ", \"total_sec\": " << s.totalSec
                 << ", \"min_sec\": " << s.minSec
                 << ", \"max_sec\": " << s.maxSec;
+        } else if (s.kind == Kind::Histogram) {
+            oss << ", \"sum\": " << s.value
+                << ", \"mean\": " << s.mean()
+                << ", \"p50\": " << s.p50 << ", \"p90\": " << s.p90
+                << ", \"p99\": " << s.p99;
         } else {
             oss << ", \"value\": " << s.value;
         }
@@ -277,11 +440,13 @@ toCsv()
 {
     std::ostringstream oss;
     oss.precision(17);
-    oss << "name,kind,count,value,total_sec,min_sec,max_sec\n";
+    oss << "name,kind,count,value,total_sec,min_sec,max_sec,"
+           "p50,p90,p99\n";
     for (const Sample &s : snapshot()) {
-        oss << s.name << "," << kindName(s.kind) << "," << s.count << ","
-            << s.value << "," << s.totalSec << "," << s.minSec << ","
-            << s.maxSec << "\n";
+        oss << csvField(s.name) << "," << kindName(s.kind) << ","
+            << s.count << "," << s.value << "," << s.totalSec << ","
+            << s.minSec << "," << s.maxSec << "," << s.p50 << ","
+            << s.p90 << "," << s.p99 << "\n";
     }
     return oss.str();
 }

@@ -32,20 +32,30 @@
 #include <string>
 #include <vector>
 
+namespace winomc {
+class Histogram;
+}
+
 namespace winomc::metrics {
 
-enum class Kind { Counter, Gauge, Timer };
+enum class Kind { Counter, Gauge, Timer, Histogram };
 
 /** One merged metric in a snapshot. */
 struct Sample
 {
     std::string name;
     Kind kind = Kind::Counter;
-    double value = 0.0;    ///< counter total / gauge last value
-    std::uint64_t count = 0; ///< record events (counter/timer)
+    double value = 0.0;    ///< counter total / gauge last / histogram sum
+    std::uint64_t count = 0; ///< record events (counter/timer/histogram)
     double totalSec = 0.0; ///< timers only
     double minSec = 0.0;
     double maxSec = 0.0;
+    // Histograms only: distribution summary surviving the dump.
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+
+    double mean() const { return count ? value / double(count) : 0.0; }
 };
 
 /** True when recording is on (one relaxed atomic load). */
@@ -70,6 +80,49 @@ void gaugeSet(const char *name, double v);
 
 /** Accumulate one timed interval into timer `name`. */
 void timerAdd(const char *name, double seconds);
+
+/**
+ * Accumulate `v` into histogram metric `name`. The first add of a name
+ * fixes its bucket layout ([lo, hi) split into `buckets` linear buckets
+ * plus under/overflow); later adds reuse it, and callers must use one
+ * layout per name (a mismatch is warned once and folded into the
+ * count/sum without bucket detail). Snapshots expose count, sum, and
+ * p50/p90/p99. No-op when disabled.
+ */
+void histogramAdd(const char *name, double v, double lo, double hi,
+                  int buckets = 32);
+
+/** Merge an externally accumulated histogram (e.g. a simulator's
+ *  per-cycle occupancy distribution) into histogram metric `name`.
+ *  No-op when disabled. */
+void histogramMerge(const char *name, const winomc::Histogram &h);
+
+/**
+ * Per-simulation-run metric scoping: while a scope `s` is set, every
+ * recorded metric name is prefixed "s/", so sweeps (one scope per
+ * configuration) dump side by side instead of smearing together.
+ * Scoping is process-global — worker threads inherit it — and meant
+ * for coarse, sequential run boundaries, not per-task tagging.
+ */
+void setRunScope(const std::string &scope);
+/** Current run scope ("" when none). */
+std::string runScope();
+
+/** RAII run scope: sets on construction, restores on destruction. */
+class RunScope
+{
+  public:
+    explicit RunScope(const std::string &scope) : prev(runScope())
+    {
+        setRunScope(scope);
+    }
+    ~RunScope() { setRunScope(prev); }
+    RunScope(const RunScope &) = delete;
+    RunScope &operator=(const RunScope &) = delete;
+
+  private:
+    std::string prev;
+};
 
 /** Merged view of every metric recorded so far, sorted by name. */
 std::vector<Sample> snapshot();

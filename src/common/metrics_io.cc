@@ -1,0 +1,312 @@
+#include "common/metrics_io.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace winomc::metrics {
+
+namespace {
+
+/** Cursor over the dump body with the few JSON moves the dumper uses. */
+struct Cursor
+{
+    const char *p;
+    const char *end;
+
+    explicit Cursor(const std::string &s)
+        : p(s.data()), end(s.data() + s.size())
+    {
+    }
+
+    bool done() const { return p >= end; }
+
+    void
+    skipWs()
+    {
+        while (!done() && std::isspace(static_cast<unsigned char>(*p)))
+            ++p;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        winomc_assert(!done(), "unexpected end of metrics dump");
+        return *p;
+    }
+
+    void
+    expect(char c)
+    {
+        winomc_assert(peek() == c, "metrics dump: expected '", c,
+                      "', got '", *p, "'");
+        ++p;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (!done() && peek() == c) {
+            ++p;
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            winomc_assert(!done(), "unterminated string in dump");
+            char c = *p++;
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            winomc_assert(!done(), "dangling escape in dump");
+            char e = *p++;
+            switch (e) {
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              case '/':
+                out += '/';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                winomc_assert(end - p >= 4, "truncated \\u escape");
+                unsigned code = 0;
+                for (int k = 0; k < 4; ++k) {
+                    char h = *p++;
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= unsigned(h - 'A' + 10);
+                    else
+                        winomc_fatal("bad \\u escape in dump");
+                }
+                // The dumper only emits \u00XX control characters.
+                out += char(code & 0xff);
+                break;
+              }
+              default:
+                winomc_fatal("unknown escape '\\", e, "' in dump");
+            }
+        }
+    }
+
+    double
+    parseNumber()
+    {
+        skipWs();
+        char *after = nullptr;
+        double v = std::strtod(p, &after);
+        winomc_assert(after != p, "metrics dump: expected a number");
+        p = after;
+        return v;
+    }
+};
+
+void
+applyField(Sample &s, const std::string &key, double num)
+{
+    if (key == "count")
+        s.count = std::uint64_t(num);
+    else if (key == "value" || key == "sum")
+        s.value = num;
+    else if (key == "total_sec")
+        s.totalSec = num;
+    else if (key == "min_sec")
+        s.minSec = num;
+    else if (key == "max_sec")
+        s.maxSec = num;
+    else if (key == "p50")
+        s.p50 = num;
+    else if (key == "p90")
+        s.p90 = num;
+    else if (key == "p99")
+        s.p99 = num;
+    // "mean" is derived; unknown numeric fields are ignored so newer
+    // dumps stay readable.
+}
+
+Sample
+parseMetricObject(Cursor &c)
+{
+    Sample s;
+    c.expect('{');
+    if (!c.consume('}')) {
+        do {
+            std::string key = c.parseString();
+            c.expect(':');
+            if (c.peek() == '"') {
+                std::string v = c.parseString();
+                if (key == "name")
+                    s.name = v;
+                else if (key == "kind")
+                    s.kind = kindFromName(v);
+            } else {
+                applyField(s, key, c.parseNumber());
+            }
+        } while (c.consume(','));
+        c.expect('}');
+    }
+    return s;
+}
+
+/** Split one CSV record (quote-aware); returns fields, advances pos
+ *  past the record's newline. */
+std::vector<std::string>
+csvRecord(const std::string &body, size_t &pos)
+{
+    std::vector<std::string> fields;
+    std::string cur;
+    bool quoted = false;
+    while (pos < body.size()) {
+        char ch = body[pos];
+        if (quoted) {
+            if (ch == '"') {
+                if (pos + 1 < body.size() && body[pos + 1] == '"') {
+                    cur += '"';
+                    pos += 2;
+                    continue;
+                }
+                quoted = false;
+                ++pos;
+                continue;
+            }
+            cur += ch;
+            ++pos;
+            continue;
+        }
+        if (ch == '"') {
+            quoted = true;
+            ++pos;
+        } else if (ch == ',') {
+            fields.push_back(std::move(cur));
+            cur.clear();
+            ++pos;
+        } else if (ch == '\n') {
+            ++pos;
+            break;
+        } else if (ch == '\r') {
+            ++pos; // swallow; the \n case ends the record
+        } else {
+            cur += ch;
+            ++pos;
+        }
+    }
+    fields.push_back(std::move(cur));
+    return fields;
+}
+
+} // namespace
+
+Kind
+kindFromName(const std::string &name)
+{
+    if (name == "gauge")
+        return Kind::Gauge;
+    if (name == "timer")
+        return Kind::Timer;
+    if (name == "histogram")
+        return Kind::Histogram;
+    return Kind::Counter;
+}
+
+std::vector<Sample>
+parseJsonDump(const std::string &body)
+{
+    std::vector<Sample> out;
+    Cursor c(body);
+    c.expect('{');
+    if (c.consume('}'))
+        return out;
+    do {
+        std::string key = c.parseString();
+        c.expect(':');
+        winomc_assert(key == "metrics",
+                      "metrics dump: unexpected top-level key '", key,
+                      "'");
+        c.expect('[');
+        if (!c.consume(']')) {
+            do {
+                out.push_back(parseMetricObject(c));
+            } while (c.consume(','));
+            c.expect(']');
+        }
+    } while (c.consume(','));
+    c.expect('}');
+    return out;
+}
+
+std::vector<Sample>
+parseCsvDump(const std::string &body)
+{
+    std::vector<Sample> out;
+    size_t pos = 0;
+    std::vector<std::string> header = csvRecord(body, pos);
+    winomc_assert(!header.empty() && header.front() == "name",
+                  "metrics CSV: missing header row");
+    while (pos < body.size()) {
+        std::vector<std::string> row = csvRecord(body, pos);
+        if (row.size() <= 1 && (row.empty() || row.front().empty()))
+            continue; // trailing blank line
+        Sample s;
+        for (size_t i = 0; i < row.size() && i < header.size(); ++i) {
+            const std::string &col = header[i];
+            if (col == "name")
+                s.name = row[i];
+            else if (col == "kind")
+                s.kind = kindFromName(row[i]);
+            else
+                applyField(s, col, std::atof(row[i].c_str()));
+        }
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+std::vector<Sample>
+parseDumpFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        winomc_warn("cannot read metrics dump '", path, "'");
+        return {};
+    }
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    const std::string body = oss.str();
+    size_t first = body.find_first_not_of(" \t\r\n");
+    if (first == std::string::npos) {
+        winomc_warn("metrics dump '", path, "' is empty");
+        return {};
+    }
+    return body[first] == '{' ? parseJsonDump(body)
+                              : parseCsvDump(body);
+}
+
+} // namespace winomc::metrics

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Readers for the metric dump formats written by common/metrics.hh.
+ *
+ * The JSON/CSV dumpers escape names (quotes, commas, newlines, control
+ * characters); these parsers reverse that, so a dump -> parse round
+ * trip preserves every Sample field the dump carries. They accept
+ * exactly the subset of JSON/CSV the dumpers emit (flat metric records
+ * with string and number fields) — enough for tools/winomc-report to
+ * consume any WINOMC_METRICS artifact without external dependencies.
+ */
+
+#ifndef WINOMC_COMMON_METRICS_IO_HH
+#define WINOMC_COMMON_METRICS_IO_HH
+
+#include <string>
+#include <vector>
+
+#include "common/metrics.hh"
+
+namespace winomc::metrics {
+
+/** Parse a JSON dump (the toJson() format). Throws via winomc_fatal on
+ *  malformed input. */
+std::vector<Sample> parseJsonDump(const std::string &body);
+
+/** Parse a CSV dump (the toCsv() format, RFC 4180 quoting). */
+std::vector<Sample> parseCsvDump(const std::string &body);
+
+/** Read `path` and parse by content ('{' first => JSON, else CSV).
+ *  Returns an empty vector (with a warning) when unreadable. */
+std::vector<Sample> parseDumpFile(const std::string &path);
+
+/** "counter" / "gauge" / "timer" / "histogram" -> Kind. */
+Kind kindFromName(const std::string &name);
+
+} // namespace winomc::metrics
+
+#endif // WINOMC_COMMON_METRICS_IO_HH

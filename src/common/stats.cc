@@ -64,10 +64,37 @@ Histogram::Histogram(double lo_, double hi_, int buckets)
                   "histogram needs positive range and bucket count");
 }
 
+bool
+Histogram::sameShape(const Histogram &other) const
+{
+    return lo == other.lo && hi == other.hi &&
+           counts.size() == other.counts.size();
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    winomc_assert(sameShape(other),
+                  "merging histograms of different shapes");
+    n += other.n;
+    total += other.total;
+    for (size_t b = 0; b < counts.size(); ++b)
+        counts[b] += other.counts[b];
+}
+
+void
+Histogram::reset()
+{
+    n = 0;
+    total = 0.0;
+    std::fill(counts.begin(), counts.end(), 0);
+}
+
 void
 Histogram::add(double v)
 {
     ++n;
+    total += v;
     if (v < lo) {
         ++counts.front();
     } else if (v >= hi) {

@@ -44,6 +44,17 @@ class Histogram
     Histogram(double lo, double hi, int buckets);
 
     void add(double v);
+    /** Accumulate another histogram of the same shape (same lo/hi/
+     *  bucket count; checked). */
+    void merge(const Histogram &other);
+    /** True when `other` uses the same lo/hi/bucket configuration. */
+    bool sameShape(const Histogram &other) const;
+    void reset();
+
+    double low() const { return lo; }
+    double high() const { return hi; }
+    double sum() const { return total; }
+    double mean() const { return n ? total / double(n) : 0.0; }
     uint64_t count() const { return n; }
     uint64_t bucketCount(int b) const { return counts.at(b + 1); }
     uint64_t underflow() const { return counts.front(); }
@@ -58,6 +69,7 @@ class Histogram
   private:
     double lo, hi, width;
     uint64_t n = 0;
+    double total = 0.0;
     std::vector<uint64_t> counts; // [under, b0..bN-1, over]
 };
 

@@ -7,11 +7,13 @@ namespace winomc::energy {
 std::string
 EnergyBreakdown::toString() const
 {
-    char buf[160];
+    char buf[200];
     std::snprintf(buf, sizeof(buf),
                   "compute %.3g J, sram %.3g J, dram %.3g J, link %.3g J"
-                  " (total %.3g J)",
-                  computeJ, sramJ, dramJ, linkJ, total());
+                  " (%.0f%% idle; total %.3g J)",
+                  computeJ, sramJ, dramJ, linkJ,
+                  linkJ > 0.0 ? 100.0 * linkIdleJ / linkJ : 0.0,
+                  total());
     return buf;
 }
 

@@ -45,8 +45,14 @@ struct EnergyBreakdown
     double sramJ = 0.0;
     double dramJ = 0.0;
     double linkJ = 0.0;
+    /** Idle/static SerDes share of linkJ (already included in linkJ,
+     *  never added again); the paper's argument that faster execution
+     *  saves link energy hangs on this share being large. */
+    double linkIdleJ = 0.0;
 
     double total() const { return computeJ + sramJ + dramJ + linkJ; }
+    /** Dynamic (bytes-moved) share of linkJ. */
+    double linkDynamicJ() const { return linkJ - linkIdleJ; }
 
     EnergyBreakdown &
     operator+=(const EnergyBreakdown &o)
@@ -55,6 +61,7 @@ struct EnergyBreakdown
         sramJ += o.sramJ;
         dramJ += o.dramJ;
         linkJ += o.linkJ;
+        linkIdleJ += o.linkIdleJ;
         return *this;
     }
 

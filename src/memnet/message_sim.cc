@@ -4,6 +4,8 @@
 #include <functional>
 
 #include "common/logging.hh"
+#include "common/metrics.hh"
+#include "common/trace.hh"
 
 namespace winomc::memnet {
 
@@ -25,12 +27,87 @@ toSec(Tick t)
 } // namespace
 
 double
+MessageSimStats::linkUtilization(int node, int port) const
+{
+    if (makespanSec <= 0.0)
+        return 0.0;
+    return linkBusySec[size_t(node) * size_t(ports) + size_t(port)] /
+           makespanSec;
+}
+
+double
+MessageSimStats::maxLinkUtilization() const
+{
+    double best = 0.0;
+    for (int node = 0; node < nodes; ++node)
+        for (int port = 0; port < ports; ++port)
+            if (wired[size_t(node) * size_t(ports) + size_t(port)])
+                best = std::max(best, linkUtilization(node, port));
+    return best;
+}
+
+double
+MessageSimStats::meanLinkUtilization() const
+{
+    double sum = 0.0;
+    int n_wired = 0;
+    for (int node = 0; node < nodes; ++node)
+        for (int port = 0; port < ports; ++port)
+            if (wired[size_t(node) * size_t(ports) + size_t(port)]) {
+                sum += linkUtilization(node, port);
+                ++n_wired;
+            }
+    return n_wired ? sum / n_wired : 0.0;
+}
+
+void
+MessageSimStats::exportMetrics(const std::string &prefix) const
+{
+    if (!metrics::enabled())
+        return;
+    metrics::counterAdd((prefix + ".bytes").c_str(), totalBytes);
+    metrics::counterAdd((prefix + ".hops").c_str(), double(hops));
+    metrics::gaugeSet((prefix + ".makespan_sec").c_str(), makespanSec);
+    metrics::gaugeSet((prefix + ".link_util_max").c_str(),
+                      maxLinkUtilization());
+    metrics::gaugeSet((prefix + ".link_util_mean").c_str(),
+                      meanLinkUtilization());
+    const std::string util = prefix + ".link_utilization";
+    for (int node = 0; node < nodes; ++node)
+        for (int port = 0; port < ports; ++port)
+            if (wired[size_t(node) * size_t(ports) + size_t(port)])
+                metrics::histogramAdd(util.c_str(),
+                                      linkUtilization(node, port), 0.0,
+                                      1.0, 20);
+}
+
+double
 simulateMessages(const noc::Topology &topo, const LinkSpec &link,
-                 std::vector<Message> &messages)
+                 std::vector<Message> &messages,
+                 MessageSimStats *stats)
 {
     const int ports = topo.ports();
     // linkFree[node * ports + port]: tick the directed link frees up.
     std::vector<Tick> link_free(size_t(topo.nodes()) * ports, 0);
+
+    if (stats) {
+        *stats = MessageSimStats();
+        stats->nodes = topo.nodes();
+        stats->ports = ports;
+        stats->linkBusySec.assign(link_free.size(), 0.0);
+        stats->wired.assign(link_free.size(), 0);
+        for (int node = 0; node < topo.nodes(); ++node)
+            for (int port = 0; port < ports; ++port)
+                if (topo.neighbor(node, port) >= 0)
+                    stats->wired[size_t(node) * ports + port] = 1;
+    }
+    // Replay link occupations onto their own trace timeline: one track
+    // (tid) per directed link, virtual microseconds.
+    const bool tracing = trace::enabled();
+    const int trace_pid = tracing ? trace::allocSimPid() : 0;
+    if (tracing)
+        trace::namePid(trace_pid,
+                       "memnet:" + std::string(topo.name()));
 
     sim::EventQueue eq;
     Tick makespan = 0;
@@ -50,6 +127,23 @@ simulateMessages(const noc::Topology &topo, const LinkSpec &link,
         Tick start = std::max(eq.now(), free_at);
         Tick ser = toTicks(m.bytes / link.bandwidth);
         free_at = start + ser;
+        if (stats) {
+            stats->linkBusySec[size_t(node) * ports + port] +=
+                toSec(ser);
+            stats->totalBytes += m.bytes;
+            ++stats->hops;
+        }
+        if (tracing) {
+            std::string name = "m";
+            name += std::to_string(mi);
+            name += ' ';
+            name += std::to_string(m.src);
+            name += "->";
+            name += std::to_string(m.dst);
+            trace::emitCompleteAt(name, "memnet", toSec(start) * 1e6,
+                                  toSec(ser) * 1e6, trace_pid,
+                                  node * ports + port);
+        }
         int next = topo.neighbor(node, port);
         eq.schedule(start + ser + hop_lat,
                     [&advance, mi, next] { advance(mi, next); });
@@ -64,6 +158,8 @@ simulateMessages(const noc::Topology &topo, const LinkSpec &link,
                     [&advance, mi, src] { advance(mi, src); });
     }
     eq.run();
+    if (stats)
+        stats->makespanSec = toSec(makespan);
     return toSec(makespan);
 }
 

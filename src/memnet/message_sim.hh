@@ -17,6 +17,8 @@
 #ifndef WINOMC_MEMNET_MESSAGE_SIM_HH
 #define WINOMC_MEMNET_MESSAGE_SIM_HH
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "memnet/link_model.hh"
@@ -33,12 +35,42 @@ struct Message
     double finish = -1.0; ///< filled by the simulation
 };
 
+/** Per-run introspection of one simulateMessages() call. */
+struct MessageSimStats
+{
+    double makespanSec = 0.0;
+    double totalBytes = 0.0;   ///< bytes x hops moved over links
+    uint64_t hops = 0;         ///< link occupations simulated
+    int nodes = 0;
+    int ports = 0;
+    /** Serialization-busy seconds per directed link
+     *  [node * ports + port]. */
+    std::vector<double> linkBusySec;
+    /** Which directed links exist in the topology. */
+    std::vector<uint8_t> wired;
+
+    /** Busy fraction of one directed link over the makespan. */
+    double linkUtilization(int node, int port) const;
+    double maxLinkUtilization() const;
+    /** Mean busy fraction over wired links (idle links count). */
+    double meanLinkUtilization() const;
+
+    /** Counters/gauges/per-link utilization histogram under `prefix`
+     *  (e.g. "memnet.p2p"). No-op when metrics are disabled. */
+    void exportMetrics(const std::string &prefix) const;
+};
+
 /**
  * Simulate all messages to completion; returns the makespan in seconds.
- * `messages` is updated in place with per-message finish times.
+ * `messages` is updated in place with per-message finish times. When
+ * `stats` is given it is overwritten with this run's link occupancy;
+ * when tracing is enabled each link occupation is also replayed as a
+ * span on a fresh virtual timeline (1 us of sim time = 1 us of trace
+ * time, one track per directed link).
  */
 double simulateMessages(const noc::Topology &topo, const LinkSpec &link,
-                        std::vector<Message> &messages);
+                        std::vector<Message> &messages,
+                        MessageSimStats *stats = nullptr);
 
 /** Convenience: simulate an all-to-all of bytes_per_pair. */
 double simulateAllToAll(const noc::Topology &topo, const LinkSpec &link,

@@ -7,7 +7,7 @@
 namespace winomc::memnet {
 
 double
-pipelinedPhaseTime(const PhaseWork &work)
+pipelinedPhaseTime(const PhaseWork &work, PipelineStats *stats)
 {
     winomc_assert(work.waves >= 1, "need at least one wave");
     winomc_assert(work.scatterSec >= 0 && work.computeSec >= 0 &&
@@ -32,6 +32,15 @@ pipelinedPhaseTime(const PhaseWork &work)
         double g_end = std::max(comm_free, c_end) + ga;
         comm_free = g_end;
         makespan = std::max(makespan, g_end);
+    }
+    if (stats) {
+        stats->makespanSec = makespan;
+        stats->commBusySec = work.scatterSec + work.gatherSec;
+        stats->compBusySec = work.computeSec;
+        stats->commIdleSec =
+            std::max(0.0, makespan - stats->commBusySec);
+        stats->compIdleSec =
+            std::max(0.0, makespan - stats->compBusySec);
     }
     return makespan;
 }

@@ -24,8 +24,21 @@ struct PhaseWork
     int waves = 16;           ///< pipeline depth
 };
 
-/** Makespan of the wave pipeline. */
-double pipelinedPhaseTime(const PhaseWork &work);
+/** Busy-vs-wait split of the two pipeline resources over one phase. */
+struct PipelineStats
+{
+    double makespanSec = 0.0;
+    double commBusySec = 0.0; ///< engine serializing scatter + gather
+    double compBusySec = 0.0; ///< systolic/vector occupied
+    /** Cycles a ready resource sat waiting for the other one (pipeline
+     *  fill + bubbles); busy + idle == makespan per resource. */
+    double commIdleSec = 0.0;
+    double compIdleSec = 0.0;
+};
+
+/** Makespan of the wave pipeline; fills `stats` when given. */
+double pipelinedPhaseTime(const PhaseWork &work,
+                          PipelineStats *stats = nullptr);
 
 } // namespace winomc::memnet
 

@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "common/logging.hh"
+#include "common/metrics.hh"
 #include "sim/event_queue.hh"
 
 namespace winomc::memnet {
@@ -64,6 +65,7 @@ RingCollectiveEngine::run()
     // the engine of Fig 13(c) uses; the reverse direction would carry a
     // second concurrent ring in the real system).
     std::vector<Tick> link_free(size_t(n), 0);
+    linkBusy.assign(size_t(n), 0.0);
 
     const Tick ser = toTicks(double(chunkBytes) / link.bandwidth);
     const Tick lat = toTicks(link.hopLatencySec);
@@ -96,6 +98,7 @@ RingCollectiveEngine::run()
             return;
         }
         free_at = eq.now() + ser;
+        linkBusy[size_t(sender)] += toSec(ser);
         Tick arrive = eq.now() + ser + lat;
         eq.schedule(arrive, [this, &send, &originals, &makespan, &eq,
                              total_hops, h]() mutable {
@@ -174,6 +177,46 @@ const CollectiveOutcome &
 RingCollectiveEngine::outcome(int id) const
 {
     return outcomes.at(size_t(id));
+}
+
+double
+RingCollectiveEngine::linkUtilization(int w) const
+{
+    return makespanSec > 0.0 ? linkBusySeconds(w) / makespanSec : 0.0;
+}
+
+uint64_t
+RingCollectiveEngine::totalChunksMoved() const
+{
+    uint64_t total = 0;
+    for (const auto &o : outcomes)
+        total += o.chunksMoved;
+    return total;
+}
+
+double
+RingCollectiveEngine::totalBytesMoved() const
+{
+    return double(totalChunksMoved()) * chunkBytes;
+}
+
+void
+RingCollectiveEngine::exportMetrics(const std::string &prefix) const
+{
+    if (!metrics::enabled())
+        return;
+    metrics::counterAdd((prefix + ".chunks").c_str(),
+                        double(totalChunksMoved()));
+    metrics::counterAdd((prefix + ".bytes").c_str(), totalBytesMoved());
+    metrics::gaugeSet((prefix + ".makespan_sec").c_str(), makespanSec);
+    double mean = 0.0;
+    const std::string util = prefix + ".link_utilization";
+    for (int w = 0; w < n; ++w) {
+        double u = linkUtilization(w);
+        mean += u / n;
+        metrics::histogramAdd(util.c_str(), u, 0.0, 1.0, 20);
+    }
+    metrics::gaugeSet((prefix + ".link_util_mean").c_str(), mean);
 }
 
 } // namespace winomc::memnet

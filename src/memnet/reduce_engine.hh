@@ -18,6 +18,7 @@
 #define WINOMC_MEMNET_REDUCE_ENGINE_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "memnet/link_model.hh"
@@ -59,6 +60,23 @@ class RingCollectiveEngine
     const CollectiveOutcome &outcome(int id) const;
     double makespan() const { return makespanSec; }
 
+    // ------------------------------------------------- introspection
+    /** Serialization-busy seconds of the directed ring link out of
+     *  worker w (valid after run()). */
+    double linkBusySeconds(int w) const { return linkBusy.at(size_t(w)); }
+    /** Busy fraction of link w over the makespan. */
+    double linkUtilization(int w) const;
+    /** Chunks moved over all links, all messages. */
+    uint64_t totalChunksMoved() const;
+    /** Bytes moved over all links (chunks x chunk size). */
+    double totalBytesMoved() const;
+
+    /** Counters (.chunks, .bytes), gauges (.makespan_sec,
+     *  .link_util_mean) and a per-link utilization histogram under
+     *  `prefix` (e.g. "memnet.collective"). No-op when metrics are
+     *  disabled. */
+    void exportMetrics(const std::string &prefix) const;
+
   private:
     struct Message
     {
@@ -75,6 +93,7 @@ class RingCollectiveEngine
     std::vector<Message> messages;
     std::vector<CollectiveOutcome> outcomes;
     double makespanSec = 0.0;
+    std::vector<double> linkBusy; ///< busy seconds per ring link
 };
 
 } // namespace winomc::memnet

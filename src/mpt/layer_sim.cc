@@ -37,6 +37,7 @@ algoFor(int r, int ng)
 struct WinoPhase
 {
     double systolicSec = 0, vectorSec = 0, dramSec = 0;
+    double systolicUtil = 0; ///< useful-MAC fraction of the array
     double macs = 0, vecOps = 0, xformOps = 0, dramBytes = 0;
     double scatterSend = 0, gatherSend = 0; ///< bytes per worker
     double scatterSec = 0, gatherSec = 0;
@@ -106,6 +107,10 @@ winoPropPhase(const ConvSpec &spec, const WinogradAlgo &algo,
                                               uint64_t(g.mrows),
                                               uint64_t(in_ch),
                                               uint64_t(out_ch));
+    ph.systolicUtil = ndp::systolicUtilization(params.ndp,
+                                               uint64_t(g.mrows),
+                                               uint64_t(in_ch),
+                                               uint64_t(out_ch));
     ph.macs = g.uv * g.mrows * in_ch * out_ch;
 
     // Vector unit: forward transform at the tile source, inverse
@@ -176,6 +181,10 @@ winoUpdatePhase(const ConvSpec &spec, const WinogradAlgo &algo,
                                               uint64_t(spec.outCh),
                                               uint64_t(g.mrows),
                                               uint64_t(spec.inCh));
+    ph.systolicUtil = ndp::systolicUtilization(params.ndp,
+                                               uint64_t(spec.outCh),
+                                               uint64_t(g.mrows),
+                                               uint64_t(spec.inCh));
     ph.macs = g.uv * g.mrows * spec.inCh * spec.outCh;
 
     const double w_slice = g.uv * spec.inCh * spec.outCh * kB;
@@ -225,26 +234,26 @@ directPhase(const ConvSpec &spec, const memnet::ClusterShape &shape,
     WinoPhase ph;
     const uint64_t hw = uint64_t(spec.h) * spec.w;
     const uint64_t rr = uint64_t(spec.r) * spec.r;
+    uint64_t mm = 0, kk = 0, nn = 0;
     switch (phase) {
       case Phase::Fprop:
-        ph.systolicSec = ndp::systolicTime(params.ndp,
-                                           uint64_t(bc) * hw,
-                                           uint64_t(spec.inCh) * rr,
-                                           uint64_t(spec.outCh));
+        mm = uint64_t(bc) * hw;
+        kk = uint64_t(spec.inCh) * rr;
+        nn = uint64_t(spec.outCh);
         break;
       case Phase::Bprop:
-        ph.systolicSec = ndp::systolicTime(params.ndp,
-                                           uint64_t(bc) * hw,
-                                           uint64_t(spec.outCh) * rr,
-                                           uint64_t(spec.inCh));
+        mm = uint64_t(bc) * hw;
+        kk = uint64_t(spec.outCh) * rr;
+        nn = uint64_t(spec.inCh);
         break;
       case Phase::UpdateGrad:
-        ph.systolicSec = ndp::systolicTime(params.ndp,
-                                           uint64_t(spec.outCh),
-                                           uint64_t(bc) * hw,
-                                           uint64_t(spec.inCh) * rr);
+        mm = uint64_t(spec.outCh);
+        kk = uint64_t(bc) * hw;
+        nn = uint64_t(spec.inCh) * rr;
         break;
     }
+    ph.systolicSec = ndp::systolicTime(params.ndp, mm, kk, nn);
+    ph.systolicUtil = ndp::systolicUtilization(params.ndp, mm, kk, nn);
     ConvCost cost = directConvCost(worker_spec, phase);
     ph.macs = double(cost.mults);
     ph.vecOps = bc * spec.outCh * hw / 16.0; // activation etc.
@@ -287,6 +296,12 @@ assemblePropPhase(const WinoPhase &ph, const SystemParams &params,
                    params.pipelineWaves * params.ndp.taskOverheadSec;
     r.scatterSec = ph.scatterSec;
     r.gatherSec = ph.gatherSec;
+    r.systolicSec = ph.systolicSec;
+    r.vectorSec = ph.vectorSec;
+    r.dramSec = ph.dramSec;
+    r.dmaStallSec = std::max(
+        0.0, ph.dramSec - std::max(ph.systolicSec, ph.vectorSec));
+    r.systolicUtil = ph.systolicUtil;
 
     memnet::PhaseWork w;
     w.scatterSec = ph.scatterSec;
@@ -307,9 +322,11 @@ assemblePropPhase(const WinoPhase &ph, const SystemParams &params,
         uint64_t((ph.macs + ph.vecOps + ph.xformOps) * p));
     r.energy.dramJ = em.dramEnergy(uint64_t(ph.dramBytes * p));
     r.energy.sramJ = em.sramEnergy(uint64_t(3.0 * ph.dramBytes * p));
-    r.energy.linkJ = em.linkDynamicEnergy(uint64_t(r.linkBytesSent * p))
-                   + em.linkIdleEnergy(int(links.full * p),
-                                       int(links.narrow * p), r.seconds);
+    r.energy.linkIdleJ = em.linkIdleEnergy(
+        int(links.full * p), int(links.narrow * p), r.seconds);
+    r.energy.linkJ =
+        em.linkDynamicEnergy(uint64_t(r.linkBytesSent * p)) +
+        r.energy.linkIdleJ;
     return r;
 }
 
@@ -325,6 +342,14 @@ exportPhaseMetrics(const std::string &prefix, const PhaseResult &r)
     metrics::timerAdd((prefix + ".gather_sec").c_str(), r.gatherSec);
     metrics::timerAdd((prefix + ".collective_sec").c_str(),
                       r.collectiveSec);
+    metrics::timerAdd((prefix + ".systolic_sec").c_str(),
+                      r.systolicSec);
+    metrics::timerAdd((prefix + ".vector_sec").c_str(), r.vectorSec);
+    metrics::timerAdd((prefix + ".dram_sec").c_str(), r.dramSec);
+    metrics::timerAdd((prefix + ".dma_stall_sec").c_str(),
+                      r.dmaStallSec);
+    metrics::histogramAdd((prefix + ".systolic_util").c_str(),
+                          r.systolicUtil, 0.0, 1.0, 20);
     metrics::counterAdd((prefix + ".macs").c_str(), r.macs);
     metrics::counterAdd((prefix + ".vec_ops").c_str(), r.vecOps);
     metrics::counterAdd((prefix + ".dram_bytes").c_str(), r.dramBytes);
@@ -334,7 +359,9 @@ exportPhaseMetrics(const std::string &prefix, const PhaseResult &r)
                         r.energy.total());
 }
 
-/** Per-phase accounting of one simulated layer (Figures 15/16). */
+/** Per-phase accounting of one simulated layer (Figures 15/16), the
+ *  exact-sum time breakdown, the Fig 15 energy split (incl. the idle-
+ *  link share), and the P2P-vs-collective traffic split. */
 void
 exportLayerMetrics(Strategy strategy, const LayerResult &res)
 {
@@ -342,6 +369,32 @@ exportLayerMetrics(Strategy strategy, const LayerResult &res)
     exportPhaseMetrics(base + ".fwd", res.fwd);
     exportPhaseMetrics(base + ".bwd", res.bwd);
     metrics::counterAdd((base + ".layers").c_str());
+
+    const LayerBreakdown b = layerBreakdown(res);
+    metrics::timerAdd((base + ".breakdown.compute_sec").c_str(),
+                      b.computeSec);
+    metrics::timerAdd((base + ".breakdown.intra_comm_sec").c_str(),
+                      b.intraCommSec);
+    metrics::timerAdd((base + ".breakdown.inter_comm_sec").c_str(),
+                      b.interCommSec);
+    metrics::timerAdd((base + ".breakdown.idle_sec").c_str(),
+                      b.idleSec);
+    metrics::timerAdd((base + ".breakdown.total_sec").c_str(),
+                      b.totalSec);
+
+    const energy::EnergyBreakdown e = res.totalEnergy();
+    metrics::counterAdd((base + ".energy.compute_j").c_str(),
+                        e.computeJ);
+    metrics::counterAdd((base + ".energy.sram_j").c_str(), e.sramJ);
+    metrics::counterAdd((base + ".energy.dram_j").c_str(), e.dramJ);
+    metrics::counterAdd((base + ".energy.link_j").c_str(), e.linkJ);
+    metrics::counterAdd((base + ".energy.link_idle_j").c_str(),
+                        e.linkIdleJ);
+
+    metrics::counterAdd((base + ".p2p_bytes").c_str(),
+                        res.p2pLinkBytes);
+    metrics::counterAdd((base + ".collective_bytes").c_str(),
+                        res.collectiveLinkBytes);
 }
 
 /** Lay one phase's sub-steps end to end on a virtual-time timeline
@@ -417,10 +470,36 @@ usesPrediction(Strategy s)
            s == Strategy::WinoMPTPredictDyn;
 }
 
+LayerBreakdown
+layerBreakdown(const LayerResult &res)
+{
+    LayerBreakdown b;
+    b.totalSec = res.totalSeconds();
+    // Pre-overlap component totals over the whole iteration.
+    const double compute_raw = res.fwd.computeSec +
+                               res.bwd.computeSec +
+                               res.ugradComputeSeconds;
+    const double intra_raw = res.fwd.scatterSec + res.fwd.gatherSec +
+                             res.bwd.scatterSec + res.bwd.gatherSec;
+    const double inter_raw = res.collectiveSeconds;
+    // Greedy exposure, each part capped by the remaining end-to-end
+    // time, so the four parts sum to totalSec exactly.
+    double rem = b.totalSec;
+    b.computeSec = std::min(compute_raw, rem);
+    rem -= b.computeSec;
+    b.intraCommSec = std::min(intra_raw, rem);
+    rem -= b.intraCommSec;
+    b.interCommSec = std::min(inter_raw, rem);
+    rem -= b.interCommSec;
+    b.idleSec = rem;
+    return b;
+}
+
 LayerResult
 simulateLayerWithShape(const ConvSpec &spec, Strategy strategy,
                        const SystemParams &params,
-                       const memnet::ClusterShape &shape)
+                       const memnet::ClusterShape &shape,
+                       bool export_artifacts)
 {
     winomc_assert(shape.workers() == params.workers,
                   "shape ", shape.toString(), " does not cover ",
@@ -455,9 +534,11 @@ simulateLayerWithShape(const ConvSpec &spec, Strategy strategy,
                      params.ndp.taskOverheadSec;
         ug.linkBytesSent = double(memnet::ringAllReduceBytesPerWorker(
             w_bytes, shape.nc));
+        ug.energy.linkIdleJ =
+            em.linkIdleEnergy(int(cc.rings * p), 0, ug.seconds);
         ug.energy.linkJ =
             em.linkDynamicEnergy(uint64_t(ug.linkBytesSent * p)) +
-            em.linkIdleEnergy(int(cc.rings * p), 0, ug.seconds);
+            ug.energy.linkIdleJ;
 
         res.bwd = bp;
         res.bwd.seconds += ug.seconds;
@@ -466,13 +547,19 @@ simulateLayerWithShape(const ConvSpec &spec, Strategy strategy,
         res.bwd.vecOps += ug.vecOps;
         res.bwd.dramBytes += ug.dramBytes;
         res.bwd.linkBytesSent += ug.linkBytesSent;
+        res.bwd.systolicSec += ug.systolicSec;
+        res.bwd.vectorSec += ug.vectorSec;
+        res.bwd.dramSec += ug.dramSec;
+        res.bwd.dmaStallSec += ug.dmaStallSec;
         res.bwd.energy += ug.energy;
         res.bpropSeconds = bp.seconds;
         res.ugradComputeSeconds = ug_compute;
         res.collectiveSeconds = coll;
-        if (metrics::enabled())
+        res.p2pLinkBytes = res.fwd.linkBytesSent + bp.linkBytesSent;
+        res.collectiveLinkBytes = ug.linkBytesSent;
+        if (export_artifacts && metrics::enabled())
             exportLayerMetrics(strategy, res);
-        if (trace::enabled())
+        if (export_artifacts && trace::enabled())
             exportLayerTrace(strategy, res);
         return res;
     }
@@ -520,9 +607,11 @@ simulateLayerWithShape(const ConvSpec &spec, Strategy strategy,
     ug.seconds = std::max(ug_compute, coll) + params.ndp.taskOverheadSec;
     ug.linkBytesSent = double(memnet::ringAllReduceBytesPerWorker(
         coll_bytes, shape.nc));
+    ug.energy.linkIdleJ =
+        em.linkIdleEnergy(int(cc.rings * p), 0, ug.seconds);
     ug.energy.linkJ =
         em.linkDynamicEnergy(uint64_t(ug.linkBytesSent * p)) +
-        em.linkIdleEnergy(int(cc.rings * p), 0, ug.seconds);
+        ug.energy.linkIdleJ;
 
     res.bwd = bp;
     res.bwd.seconds += ug.seconds;
@@ -531,13 +620,19 @@ simulateLayerWithShape(const ConvSpec &spec, Strategy strategy,
     res.bwd.vecOps += ug.vecOps;
     res.bwd.dramBytes += ug.dramBytes;
     res.bwd.linkBytesSent += ug.linkBytesSent;
+    res.bwd.systolicSec += ug.systolicSec;
+    res.bwd.vectorSec += ug.vectorSec;
+    res.bwd.dramSec += ug.dramSec;
+    res.bwd.dmaStallSec += ug.dmaStallSec;
     res.bwd.energy += ug.energy;
     res.bpropSeconds = bp.seconds;
     res.ugradComputeSeconds = ug_compute;
     res.collectiveSeconds = coll;
-    if (metrics::enabled())
+    res.p2pLinkBytes = res.fwd.linkBytesSent + bp.linkBytesSent;
+    res.collectiveLinkBytes = ug.linkBytesSent;
+    if (export_artifacts && metrics::enabled())
         exportLayerMetrics(strategy, res);
-    if (trace::enabled())
+    if (export_artifacts && trace::enabled())
         exportLayerTrace(strategy, res);
     return res;
 }
@@ -562,12 +657,14 @@ simulateLayer(const ConvSpec &spec, Strategy strategy,
       case Strategy::WinoMPTPredictDyn: {
         // Dynamic clustering: evaluate the available configurations and
         // keep the fastest (Section IV; the choice is precomputed per
-        // layer and reconfiguration costs nothing).
+        // layer and reconfiguration costs nothing). The exploration
+        // runs silent; only the chosen shape is exported, under w_mp++.
         LayerResult best;
         bool have = false;
         auto consider = [&](const memnet::ClusterShape &shape) {
             LayerResult r = simulateLayerWithShape(
-                spec, Strategy::WinoMPTPredict, params, shape);
+                spec, Strategy::WinoMPTPredict, params, shape,
+                /*export_artifacts=*/false);
             if (!have || r.totalSeconds() < best.totalSeconds()) {
                 best = r;
                 have = true;
@@ -578,6 +675,10 @@ simulateLayer(const ConvSpec &spec, Strategy strategy,
             consider(memnet::ClusterShape::groups4(p));
         if (p % 16 == 0)
             consider(memnet::ClusterShape::groups16(p));
+        if (metrics::enabled())
+            exportLayerMetrics(Strategy::WinoMPTPredictDyn, best);
+        if (trace::enabled())
+            exportLayerTrace(Strategy::WinoMPTPredictDyn, best);
         return best;
       }
     }

@@ -39,6 +39,18 @@ struct PhaseResult
     double gatherSec = 0.0;
     double collectiveSec = 0.0;
 
+    // Compute-unit composition of computeSec (pre-overlap): computeSec
+    // == max of the three + task overhead, double buffering overlaps
+    // the rest.
+    double systolicSec = 0.0;
+    double vectorSec = 0.0;
+    double dramSec = 0.0;
+    /** Time the compute units stall on the DRAM stream despite the
+     *  SRAM double buffers (max(0, dramSec - other units)). */
+    double dmaStallSec = 0.0;
+    /** Useful-MAC fraction of the systolic array while it runs. */
+    double systolicUtil = 0.0;
+
     double macs = 0.0;          ///< per worker
     double vecOps = 0.0;        ///< per worker
     double dramBytes = 0.0;     ///< per worker
@@ -62,6 +74,11 @@ struct LayerResult
     double ugradComputeSeconds = 0.0;
     double collectiveSeconds = 0.0;
 
+    /** Link-byte split per worker: point-to-point tile scatter/gather
+     *  vs. the weight-gradient ring collective. */
+    double p2pLinkBytes = 0.0;
+    double collectiveLinkBytes = 0.0;
+
     double totalSeconds() const { return fwd.seconds + bwd.seconds; }
     energy::EnergyBreakdown
     totalEnergy() const
@@ -72,17 +89,41 @@ struct LayerResult
     }
 };
 
+/**
+ * Paper-style time breakdown of one simulated layer (the Figure 15
+ * bars): where the iteration's wall-clock went. Built by greedy
+ * exposure — compute first, then intra-cluster tile communication,
+ * then the inter-cluster collective, each capped by what is left of
+ * the end-to-end time — so the four parts sum to totalSec *exactly*
+ * (overlapped work is not double-counted; the remainder is pipeline
+ * fill / scheduling idle).
+ */
+struct LayerBreakdown
+{
+    double computeSec = 0.0;
+    double intraCommSec = 0.0; ///< tile scatter/gather inside clusters
+    double interCommSec = 0.0; ///< weight-gradient ring collective
+    double idleSec = 0.0;      ///< pipeline fill + scheduling gaps
+    double totalSec = 0.0;     ///< == sum of the four above
+};
+
+LayerBreakdown layerBreakdown(const LayerResult &res);
+
 /** Simulate with the strategy's own shape policy (dynamic clustering
  *  optimizes the shape for WinoMPTPredictDyn). */
 LayerResult simulateLayer(const ConvSpec &spec, Strategy strategy,
                           const SystemParams &params);
 
 /** Simulate with an explicitly fixed cluster shape (ablations /
- *  the dynamic-clustering optimizer). */
+ *  the dynamic-clustering optimizer). When `export_artifacts` is
+ *  false the run skips metric/trace export — the dynamic-clustering
+ *  search uses this so only the *chosen* shape is exported (under
+ *  w_mp++, not smeared over the considered candidates). */
 LayerResult simulateLayerWithShape(const ConvSpec &spec,
                                    Strategy strategy,
                                    const SystemParams &params,
-                                   const memnet::ClusterShape &shape);
+                                   const memnet::ClusterShape &shape,
+                                   bool export_artifacts = true);
 
 } // namespace winomc::mpt
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/metrics.hh"
 
 namespace winomc::ndp {
 
@@ -166,6 +167,23 @@ HmcDram::achievedBandwidth() const
     if (cycle == 0)
         return 0.0;
     return double(bytesDone) / (double(cycle) * 1e-9);
+}
+
+void
+HmcDram::exportMetrics(const std::string &prefix) const
+{
+    if (!metrics::enabled())
+        return;
+    metrics::counterAdd((prefix + ".bytes").c_str(), double(bytesDone));
+    metrics::counterAdd((prefix + ".row_hits").c_str(),
+                        double(row_hits));
+    metrics::counterAdd((prefix + ".row_misses").c_str(),
+                        double(row_misses));
+    metrics::gaugeSet((prefix + ".achieved_bw").c_str(),
+                      achievedBandwidth());
+    metrics::gaugeSet((prefix + ".bw_utilization").c_str(),
+                      bandwidthUtilization());
+    metrics::gaugeSet((prefix + ".row_hit_rate").c_str(), rowHitRate());
 }
 
 } // namespace winomc::ndp

@@ -19,6 +19,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <vector>
 
 #include "common/units.hh"
@@ -80,8 +81,23 @@ class HmcDram
 
     /** Bytes completed / elapsed time, in bytes per second. */
     double achievedBandwidth() const;
+    /** achievedBandwidth() as a fraction of the stack's peak. */
+    double bandwidthUtilization() const
+    {
+        return achievedBandwidth() / cfg.peakBandwidth();
+    }
     uint64_t rowHits() const { return row_hits; }
     uint64_t rowMisses() const { return row_misses; }
+    /** Row-buffer hit fraction of all column accesses so far. */
+    double rowHitRate() const
+    {
+        uint64_t all = row_hits + row_misses;
+        return all ? double(row_hits) / double(all) : 0.0;
+    }
+
+    /** Bandwidth/row-buffer gauges and counters under `prefix`
+     *  (e.g. "hmc.stream"). No-op when metrics are disabled. */
+    void exportMetrics(const std::string &prefix) const;
 
     const HmcConfig &config() const { return cfg; }
 

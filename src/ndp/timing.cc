@@ -24,6 +24,15 @@ systolicTime(const NdpConfig &cfg, uint64_t m, uint64_t k, uint64_t n)
 }
 
 double
+systolicUtilization(const NdpConfig &cfg, uint64_t m, uint64_t k,
+                    uint64_t n)
+{
+    const double s = double(cfg.systolicDim);
+    const double cycles = double(systolicCycles(cfg, m, k, n));
+    return double(m) * double(k) * double(n) / (cycles * s * s);
+}
+
+double
 vectorTime(const NdpConfig &cfg, uint64_t ops)
 {
     const uint64_t lanes = uint64_t(cfg.vectorLanes);

@@ -28,6 +28,12 @@ uint64_t systolicCycles(const NdpConfig &cfg, uint64_t m, uint64_t k,
 double systolicTime(const NdpConfig &cfg, uint64_t m, uint64_t k,
                     uint64_t n);
 
+/** Useful-MAC fraction of the systolic array over that computation:
+ *  m*k*n MACs / (cycles x S x S PE slots), in (0, 1]. Ragged edge
+ *  blocks and the fill/drain term are what it loses. */
+double systolicUtilization(const NdpConfig &cfg, uint64_t m, uint64_t k,
+                           uint64_t n);
+
 /** Seconds for the vector unit to run `ops` lane-operations. */
 double vectorTime(const NdpConfig &cfg, uint64_t ops);
 

@@ -1,6 +1,10 @@
 #include "noc/network.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
+#include "common/metrics.hh"
+#include "common/trace.hh"
 
 namespace winomc::noc {
 
@@ -20,6 +24,18 @@ Network::Network(std::unique_ptr<Topology> topo_, const NocConfig &cfg_)
                         std::vector<std::deque<Flit>>(
                             size_t(cfg.injectionLanes)));
     wheel.emplace_back(); // current cycle bucket
+
+    linkBusy.assign(size_t(n) * size_t(topo->ports()), 0);
+    nodeInjected.assign(size_t(n), 0);
+    nodeEjected.assign(size_t(n), 0);
+    creditStalls.assign(size_t(n), 0);
+    holBlocks.assign(size_t(n), 0);
+    if (cfg.sampleOccupancy) {
+        // One bucket range covering an entirely full router.
+        int capacity = (topo->ports() + cfg.injectionLanes) * cfg.vcs *
+                       cfg.bufferDepth;
+        occupancyHist.emplace(0.0, double(capacity + 1), 32);
+    }
 }
 
 int
@@ -38,6 +54,7 @@ Network::offerPacket(int src, int dst, int bytes)
     info.flits = flits;
     info.injected = cycle;
     packets.push_back(info);
+    offeredFlits += uint64_t(flits);
 
     int vc = topo->selectVc(src, dst);
     // Whole packets stay on one lane so wormhole ordering holds.
@@ -105,6 +122,8 @@ Network::switchAllocation()
                         in.outVc = -1;
                     }
                     ++ejectedFlits;
+                    ++totalEjectedFlits;
+                    ++nodeEjected[size_t(node)];
                     if (p < net_ports) {
                         Arrival c;
                         c.when = cycle + Tick(cfg.hopLatency);
@@ -151,10 +170,14 @@ Network::switchAllocation()
                 // Output VC ownership (wormhole) and credits.
                 if (o != egress) {
                     int &owner = r.ownerIn[size_t(o)][size_t(in.outVc)];
-                    if (owner != slot && owner != -1)
+                    if (owner != slot && owner != -1) {
+                        ++holBlocks[size_t(node)];
                         continue; // another packet owns this output VC
-                    if (r.credits[size_t(o)][size_t(in.outVc)] <= 0)
+                    }
+                    if (r.credits[size_t(o)][size_t(in.outVc)] <= 0) {
+                        ++creditStalls[size_t(node)];
                         continue;
+                    }
                     owner = slot;
                     --r.credits[size_t(o)][size_t(in.outVc)];
                 }
@@ -170,7 +193,11 @@ Network::switchAllocation()
                         latency.add(double(cycle - pi.injected));
                     }
                     ++ejectedFlits;
+                    ++totalEjectedFlits;
+                    ++nodeEjected[size_t(node)];
                 } else {
+                    ++linkBusy[size_t(node) * size_t(net_ports) +
+                               size_t(o)];
                     Flit out = f;
                     out.vc = in.outVc;
                     Arrival a;
@@ -230,6 +257,7 @@ Network::injection()
             if (f.head)
                 packets[size_t(f.packet)].network_in = cycle;
             r.acceptFlit(r.injectionPort(lane), f.vc, f);
+            ++nodeInjected[size_t(node)];
             q.pop_front();
         }
     }
@@ -241,6 +269,9 @@ Network::step()
     deliverArrivals();
     switchAllocation();
     injection();
+    if (occupancyHist)
+        for (const auto &r : routers)
+            occupancyHist->add(double(r.occupancy()));
     ++cycle;
     wheel.pop_front();
     if (wheel.empty())
@@ -279,6 +310,13 @@ Network::resetStats()
 {
     latency.reset();
     ejectedFlits = 0;
+    std::fill(linkBusy.begin(), linkBusy.end(), 0);
+    std::fill(nodeInjected.begin(), nodeInjected.end(), 0);
+    std::fill(nodeEjected.begin(), nodeEjected.end(), 0);
+    std::fill(creditStalls.begin(), creditStalls.end(), 0);
+    std::fill(holBlocks.begin(), holBlocks.end(), 0);
+    if (occupancyHist)
+        occupancyHist->reset();
     statsSince = cycle;
 }
 
@@ -296,6 +334,156 @@ Network::flitsInFlight() const
             if (!a.is_credit)
                 ++n;
     return n;
+}
+
+double
+Network::linkUtilization(int node, int port) const
+{
+    Tick elapsed = statsElapsed();
+    if (elapsed == 0)
+        return 0.0;
+    return double(linkBusy[size_t(node) * size_t(topo->ports()) +
+                           size_t(port)]) /
+           double(elapsed);
+}
+
+double
+Network::maxLinkUtilization() const
+{
+    double best = 0.0;
+    for (int node = 0; node < topo->nodes(); ++node)
+        for (int port = 0; port < topo->ports(); ++port)
+            if (topo->neighbor(node, port) >= 0)
+                best = std::max(best, linkUtilization(node, port));
+    return best;
+}
+
+double
+Network::meanLinkUtilization() const
+{
+    double sum = 0.0;
+    int wired = 0;
+    for (int node = 0; node < topo->nodes(); ++node)
+        for (int port = 0; port < topo->ports(); ++port)
+            if (topo->neighbor(node, port) >= 0) {
+                sum += linkUtilization(node, port);
+                ++wired;
+            }
+    return wired ? sum / wired : 0.0;
+}
+
+uint64_t
+Network::creditStallCount() const
+{
+    uint64_t n = 0;
+    for (uint64_t c : creditStalls)
+        n += c;
+    return n;
+}
+
+uint64_t
+Network::holBlockCount() const
+{
+    uint64_t n = 0;
+    for (uint64_t c : holBlocks)
+        n += c;
+    return n;
+}
+
+double
+Network::injectionRate(int node) const
+{
+    Tick elapsed = statsElapsed();
+    return elapsed ? double(nodeInjected[size_t(node)]) /
+                         double(elapsed)
+                   : 0.0;
+}
+
+double
+Network::ejectionRate(int node) const
+{
+    Tick elapsed = statsElapsed();
+    return elapsed ? double(nodeEjected[size_t(node)]) /
+                         double(elapsed)
+                   : 0.0;
+}
+
+const Histogram &
+Network::occupancyHistogram() const
+{
+    winomc_assert(occupancyHist,
+                  "occupancy histogram needs cfg.sampleOccupancy");
+    return *occupancyHist;
+}
+
+void
+Network::exportMetrics(const std::string &prefix) const
+{
+    if (!metrics::enabled())
+        return;
+    auto key = [&](const char *suffix) { return prefix + suffix; };
+
+    metrics::counterAdd(key(".flits_offered").c_str(),
+                        double(offeredFlits));
+    metrics::counterAdd(key(".flits_ejected").c_str(),
+                        double(totalEjectedFlits));
+    metrics::counterAdd(key(".credit_stall_events").c_str(),
+                        double(creditStallCount()));
+    metrics::counterAdd(key(".hol_block_events").c_str(),
+                        double(holBlockCount()));
+    metrics::gaugeSet(key(".cycles").c_str(), double(cycle));
+    metrics::gaugeSet(key(".accepted_flit_rate").c_str(),
+                      acceptedFlitRate());
+    metrics::gaugeSet(key(".link_util_max").c_str(),
+                      maxLinkUtilization());
+    metrics::gaugeSet(key(".link_util_mean").c_str(),
+                      meanLinkUtilization());
+    if (latency.count()) {
+        metrics::gaugeSet(key(".latency_mean_cycles").c_str(),
+                          latency.mean());
+        metrics::gaugeSet(key(".latency_max_cycles").c_str(),
+                          latency.maximum());
+    }
+
+    const std::string util = key(".link_utilization");
+    const std::string inj = key(".injection_rate");
+    const std::string ej = key(".ejection_rate");
+    for (int node = 0; node < topo->nodes(); ++node) {
+        for (int port = 0; port < topo->ports(); ++port)
+            if (topo->neighbor(node, port) >= 0)
+                metrics::histogramAdd(util.c_str(),
+                                      linkUtilization(node, port), 0.0,
+                                      1.0, 20);
+        metrics::histogramAdd(inj.c_str(), injectionRate(node), 0.0,
+                              double(cfg.injectionLanes), 20);
+        metrics::histogramAdd(ej.c_str(), ejectionRate(node), 0.0,
+                              double(cfg.injectionLanes), 20);
+    }
+    if (occupancyHist && occupancyHist->count())
+        metrics::histogramMerge(key(".router_occupancy").c_str(),
+                                *occupancyHist);
+}
+
+void
+Network::exportTrace(const std::string &label) const
+{
+    if (!trace::enabled())
+        return;
+    int pid = trace::allocSimPid();
+    trace::namePid(pid, "noc:" + label + " (" + topo->name() + ")");
+    // Virtual time: 1 router cycle rendered as 1 us; one track (tid)
+    // per source node so concurrent packets stack sensibly.
+    for (size_t id = 0; id < packets.size(); ++id) {
+        const PacketInfo &pi = packets[id];
+        if (!pi.done)
+            continue;
+        std::string name = "pkt" + std::to_string(id) + " " +
+                           std::to_string(pi.src) + "->" +
+                           std::to_string(pi.dst);
+        double dur = double(pi.ejected - pi.injected);
+        trace::emitCompleteAt(name, "noc", double(pi.injected),
+                              dur > 0 ? dur : 1.0, pid, pi.src);
+    }
 }
 
 } // namespace winomc::noc

@@ -15,6 +15,8 @@
 
 #include <deque>
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "common/stats.hh"
@@ -35,6 +37,12 @@ struct NocConfig
      *  its router through the on-chip crossbar, so multi-port routers
      *  can accept several flits per cycle). */
     int injectionLanes = 1;
+    /** Sample every router's buffered-flit count into a histogram each
+     *  cycle. Off by default: the O(routers) per-cycle pass is only
+     *  worth paying when the occupancy distribution is wanted. The
+     *  cheap counters (link busy, stalls, inject/eject) are always
+     *  collected. */
+    bool sampleOccupancy = false;
 };
 
 class Network
@@ -68,10 +76,57 @@ class Network
     const Accumulator &latencyStats() const { return latency; }
     /** Flits ejected per node per cycle since the last resetStats(). */
     double acceptedFlitRate() const;
+    /** Reset every windowed statistic (latency, link/stall/inject/
+     *  eject counters, occupancy histogram) and restart the window at
+     *  the current cycle. Lifetime conservation counters
+     *  (offeredFlitCount / ejectedFlitCount) are simulation state and
+     *  survive. */
     void resetStats();
 
     /** Flits currently buffered anywhere (0 when idle). */
     size_t flitsInFlight() const;
+
+    // ------------------------------------------------- introspection
+    /** Cycles covered by the current stats window. */
+    Tick statsElapsed() const { return cycle - statsSince; }
+    /** Lifetime flits offered via offerPacket (conservation). */
+    uint64_t offeredFlitCount() const { return offeredFlits; }
+    /** Lifetime flits ejected at terminals (conservation:
+     *  offered == ejected + flitsInFlight() at any cycle). */
+    uint64_t ejectedFlitCount() const { return totalEjectedFlits; }
+
+    /** Busy fraction of the directed link out of (node, port) over the
+     *  stats window: flits sent / elapsed cycles, always in [0, 1]
+     *  (one flit per link per cycle). */
+    double linkUtilization(int node, int port) const;
+    /** Max / mean utilization over all wired directed links. */
+    double maxLinkUtilization() const;
+    double meanLinkUtilization() const;
+
+    /** Arbitration scans blocked on exhausted downstream credits /
+     *  on an output VC owned by another packet (head-of-line block),
+     *  summed over routers, this stats window. */
+    uint64_t creditStallCount() const;
+    uint64_t holBlockCount() const;
+
+    /** Flits per cycle this node injected / ejected over the window. */
+    double injectionRate(int node) const;
+    double ejectionRate(int node) const;
+
+    /** Per-cycle buffered-flits-per-router distribution; only
+     *  populated when cfg.sampleOccupancy is set. */
+    const Histogram &occupancyHistogram() const;
+
+    /** Push the window's statistics into the common/metrics registry
+     *  under `prefix` (e.g. "noc.ring16"): counters for flit/stall
+     *  totals, gauges for rates and utilization extremes, histogram
+     *  metrics for per-link utilization, per-node injection/ejection
+     *  rates, and router occupancy. No-op when metrics are disabled. */
+    void exportMetrics(const std::string &prefix) const;
+    /** Replay every ejected packet as a span on a fresh virtual-time
+     *  trace timeline (1 cycle == 1 us, tid == source node). No-op
+     *  when tracing is disabled. */
+    void exportTrace(const std::string &label) const;
 
   private:
     struct Arrival
@@ -102,6 +157,18 @@ class Network
     uint64_t ejected = 0;
     uint64_t ejectedFlits = 0;
     Tick statsSince = 0;
+
+    // Windowed introspection state (cleared by resetStats()).
+    std::vector<uint64_t> linkBusy;        ///< [node * ports + port]
+    std::vector<uint64_t> nodeInjected;    ///< flits entering router
+    std::vector<uint64_t> nodeEjected;     ///< flits leaving at terminal
+    std::vector<uint64_t> creditStalls;    ///< per node
+    std::vector<uint64_t> holBlocks;       ///< per node
+    std::optional<Histogram> occupancyHist;
+
+    // Lifetime conservation counters (survive resetStats()).
+    uint64_t offeredFlits = 0;
+    uint64_t totalEjectedFlits = 0;
 };
 
 } // namespace winomc::noc

@@ -68,6 +68,13 @@ measureLoadPoint(Network &net, const TrafficPattern &pattern,
     pt.offered = offered_flit_rate;
     pt.accepted = net.acceptedFlitRate();
     pt.avgLatency = net.latencyStats().mean();
+    pt.maxLinkUtil = net.maxLinkUtilization();
+    pt.meanLinkUtil = net.meanLinkUtilization();
+    double node_cycles = double(n) * double(net.statsElapsed());
+    pt.creditStallRate =
+        node_cycles ? double(net.creditStallCount()) / node_cycles : 0.0;
+    pt.holBlockRate =
+        node_cycles ? double(net.holBlockCount()) / node_cycles : 0.0;
     // Saturation heuristic: backlog grew by more than 25% of what was
     // offered during measurement.
     double offered_flits = offered_flit_rate * n * measure_cycles;

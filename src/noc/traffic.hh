@@ -33,6 +33,11 @@ struct LoadPoint
     double accepted;     ///< flits / node / cycle ejected
     double avgLatency;   ///< cycles, inject -> eject
     bool saturated;      ///< source queues kept growing
+    double maxLinkUtil;  ///< hottest directed link, measure window
+    double meanLinkUtil; ///< mean over wired links
+    /** Stalled arbitration scans per node per cycle over the window. */
+    double creditStallRate;
+    double holBlockRate;
 };
 
 /**

@@ -221,6 +221,76 @@ TEST(Pipeline, MoreWavesNeverSlower)
     EXPECT_GE(pipelinedPhaseTime(b), pipelinedPhaseTime(c));
 }
 
+/// MessageSimStats accounts the same run the makespan describes: busy
+/// seconds on every wired link, utilizations in [0, 1], totals
+/// matching bytes x hops.
+TEST(MessageSim, StatsAccountLinkOccupancy)
+{
+    noc::FlatButterfly2D topo(4);
+    std::vector<Message> msgs;
+    for (int s = 0; s < topo.nodes(); ++s)
+        for (int d = 0; d < topo.nodes(); ++d)
+            if (s != d)
+                msgs.push_back({s, d, 64e3, 0.0, -1.0});
+    MessageSimStats st;
+    double mk =
+        simulateMessages(topo, LinkSpec::narrow(), msgs, &st);
+    ASSERT_GT(mk, 0.0);
+    EXPECT_DOUBLE_EQ(st.makespanSec, mk);
+    EXPECT_EQ(st.nodes, 16);
+    EXPECT_GT(st.hops, 0u);
+    EXPECT_GT(st.totalBytes, 0.0);
+
+    double busy_sum = 0.0;
+    for (int n = 0; n < st.nodes; ++n) {
+        for (int p = 0; p < st.ports; ++p) {
+            double u = st.linkUtilization(n, p);
+            EXPECT_GE(u, 0.0);
+            EXPECT_LE(u, 1.0) << "node " << n << " port " << p;
+            busy_sum += st.linkBusySec[size_t(n * st.ports + p)];
+        }
+    }
+    EXPECT_GT(busy_sum, 0.0);
+    EXPECT_GT(st.maxLinkUtilization(), 0.0);
+    EXPECT_LE(st.meanLinkUtilization(), st.maxLinkUtilization());
+    // The bottleneck link must be busy a large fraction of the
+    // makespan - otherwise the sim finished later than its own
+    // critical resource explains.
+    EXPECT_GT(st.maxLinkUtilization(), 0.5);
+}
+
+/// The busy/idle split of each pipeline resource sums to the makespan
+/// exactly, in both the compute-bound and the comm-bound regime.
+TEST(Pipeline, StatsBusyPlusIdleIsMakespan)
+{
+    for (double compute : {0.5, 10.0}) {
+        PhaseWork w;
+        w.scatterSec = 2.0;
+        w.computeSec = compute;
+        w.gatherSec = 3.0;
+        w.waves = 16;
+        PipelineStats st;
+        double t = pipelinedPhaseTime(w, &st);
+        EXPECT_DOUBLE_EQ(st.makespanSec, t);
+        EXPECT_DOUBLE_EQ(st.commBusySec, w.scatterSec + w.gatherSec);
+        EXPECT_DOUBLE_EQ(st.compBusySec, w.computeSec);
+        EXPECT_NEAR(st.commBusySec + st.commIdleSec, t, 1e-12);
+        EXPECT_NEAR(st.compBusySec + st.compIdleSec, t, 1e-12);
+        EXPECT_GE(st.commIdleSec, 0.0);
+        EXPECT_GE(st.compIdleSec, 0.0);
+    }
+    // Comm-bound phase: the communication engine is the one that never
+    // waits (up to the fill bubble).
+    PhaseWork w;
+    w.scatterSec = 5.0;
+    w.computeSec = 0.5;
+    w.gatherSec = 5.0;
+    w.waves = 16;
+    PipelineStats st;
+    pipelinedPhaseTime(w, &st);
+    EXPECT_LT(st.commIdleSec, st.compIdleSec);
+}
+
 // -------------------------------------------------------- ReduceEngine
 
 std::vector<std::vector<float>>
@@ -330,6 +400,37 @@ TEST(ReduceEngine, ConcurrentMessagesShareBandwidth)
 
     EXPECT_GT(duo.makespan(), solo.makespan());
     EXPECT_LT(duo.makespan(), 2.5 * solo.makespan());
+}
+
+/// Link accounting of the collective engine: every ring link moves the
+/// same chunk count (2(n-1) per shard round-robin), busy seconds are
+/// positive everywhere, utilizations bounded, and the byte total
+/// matches chunks x chunk size.
+TEST(ReduceEngine, LinkAccountingMatchesAlgorithm)
+{
+    Rng rng(45);
+    const int workers = 8;
+    const size_t len = 8 * 1024;
+
+    RingCollectiveEngine eng(workers, LinkSpec::full());
+    int id = eng.submit(randomPartials(workers, len, rng));
+    eng.run();
+
+    EXPECT_GT(eng.totalChunksMoved(), 0u);
+    EXPECT_EQ(eng.totalChunksMoved(),
+              uint64_t(eng.outcome(id).chunksMoved));
+    EXPECT_DOUBLE_EQ(eng.totalBytesMoved(),
+                     double(eng.totalChunksMoved()) * 256.0);
+    for (int w = 0; w < workers; ++w) {
+        EXPECT_GT(eng.linkBusySeconds(w), 0.0) << "link " << w;
+        EXPECT_GE(eng.linkUtilization(w), 0.0);
+        EXPECT_LE(eng.linkUtilization(w), 1.0);
+    }
+    // Ring symmetry: all links carry the same load, so every busy
+    // time equals the first one.
+    for (int w = 1; w < workers; ++w)
+        EXPECT_NEAR(eng.linkBusySeconds(w), eng.linkBusySeconds(0),
+                    1e-12);
 }
 
 } // namespace

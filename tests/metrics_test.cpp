@@ -15,7 +15,9 @@
 #include <string>
 
 #include "common/metrics.hh"
+#include "common/metrics_io.hh"
 #include "common/parallel.hh"
+#include "common/stats.hh"
 #include "common/trace.hh"
 
 namespace winomc {
@@ -262,6 +264,146 @@ TEST_F(ObservabilityTest, TraceEventsRecordFromWorkers)
         ++at;
     }
     EXPECT_EQ(count, 64u);
+}
+
+/// Histogram adds from an 8-thread pool merge to exact counts, and the
+/// percentiles land on the deterministic bucket edges: 1000 values
+/// 0.0,0.1,...,99.9 over 100 unit buckets put the 500th sample in
+/// bucket 50, so p50 reports that bucket's upper edge (51), p90 -> 91,
+/// p99 -> 100.
+TEST_F(ObservabilityTest, HistogramExactPercentilesUnderConcurrentAdd)
+{
+    constexpr std::int64_t kN = 1000;
+    ThreadPool pool(8);
+    pool.parallelFor(0, kN, 1, [](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i)
+            metrics::histogramAdd("t.hist", double(i) / 10.0, 0.0,
+                                  100.0, 100);
+    });
+
+    const auto *h = find(metrics::snapshot(), "t.hist");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->kind, metrics::Kind::Histogram);
+    EXPECT_EQ(h->count, std::uint64_t(kN));
+    EXPECT_DOUBLE_EQ(h->value, 49950.0); // sum of i/10, i in [0,1000)
+    EXPECT_DOUBLE_EQ(h->p50, 51.0);
+    EXPECT_DOUBLE_EQ(h->p90, 91.0);
+    EXPECT_DOUBLE_EQ(h->p99, 100.0);
+}
+
+TEST_F(ObservabilityTest, HistogramDisabledIsANoOp)
+{
+    metrics::setEnabled(false);
+    metrics::histogramAdd("t.hist.hidden", 1.0, 0.0, 10.0);
+    Histogram ext(0.0, 10.0, 8);
+    ext.add(3.0);
+    metrics::histogramMerge("t.hist.hidden_merge", ext);
+    metrics::setEnabled(true);
+    auto snap = metrics::snapshot();
+    EXPECT_EQ(find(snap, "t.hist.hidden"), nullptr);
+    EXPECT_EQ(find(snap, "t.hist.hidden_merge"), nullptr);
+}
+
+/// A simulator-side Histogram merged via histogramMerge() carries its
+/// full distribution into the snapshot, and later merges into the same
+/// name accumulate.
+TEST_F(ObservabilityTest, HistogramMergeAccumulates)
+{
+    Histogram a(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        a.add(double(i) + 0.5);
+    metrics::histogramMerge("t.hist.merged", a);
+    metrics::histogramMerge("t.hist.merged", a);
+
+    const auto *h = find(metrics::snapshot(), "t.hist.merged");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count, 20u);
+    EXPECT_DOUBLE_EQ(h->value, 2.0 * a.sum());
+    EXPECT_DOUBLE_EQ(h->p50, 6.0); // 10th of 20 samples in bucket 5
+}
+
+/// Histogram samples survive a dump -> parse round trip (both formats)
+/// with count, sum, and percentiles intact.
+TEST_F(ObservabilityTest, HistogramDumpRoundTrips)
+{
+    for (int i = 0; i < 100; ++i)
+        metrics::histogramAdd("t.hist.rt", double(i), 0.0, 100.0, 100);
+    auto snap = metrics::snapshot();
+    const auto *orig = find(snap, "t.hist.rt");
+    ASSERT_NE(orig, nullptr);
+
+    for (bool csv : {false, true}) {
+        auto parsed = csv
+                          ? metrics::parseCsvDump(metrics::toCsv())
+                          : metrics::parseJsonDump(metrics::toJson());
+        const auto *h = find(parsed, "t.hist.rt");
+        ASSERT_NE(h, nullptr) << (csv ? "csv" : "json");
+        EXPECT_EQ(h->kind, metrics::Kind::Histogram);
+        EXPECT_EQ(h->count, orig->count);
+        EXPECT_DOUBLE_EQ(h->value, orig->value);
+        EXPECT_DOUBLE_EQ(h->p50, orig->p50);
+        EXPECT_DOUBLE_EQ(h->p90, orig->p90);
+        EXPECT_DOUBLE_EQ(h->p99, orig->p99);
+    }
+}
+
+/// Metric names containing quotes, commas, newlines, backslashes, and
+/// control bytes survive a JSON and a CSV dump -> parse round trip
+/// byte-for-byte.
+TEST_F(ObservabilityTest, EscapedNamesRoundTripJsonAndCsv)
+{
+    const std::string nasty[] = {
+        "t.evil\"quote",
+        "t.evil,comma,comma",
+        "t.evil\nnewline",
+        "t.evil\\backslash",
+        std::string("t.evil\x01"
+                    "\x1f"
+                    "ctl"),
+        "t.evil \"all, of\nthe\\above\"",
+    };
+    double v = 1.0;
+    for (const auto &name : nasty)
+        metrics::counterAdd(name.c_str(), v += 1.0);
+
+    for (bool csv : {false, true}) {
+        auto parsed = csv
+                          ? metrics::parseCsvDump(metrics::toCsv())
+                          : metrics::parseJsonDump(metrics::toJson());
+        double expect = 1.0;
+        for (const auto &name : nasty) {
+            const auto *c = find(parsed, name);
+            ASSERT_NE(c, nullptr)
+                << (csv ? "csv" : "json") << " lost: " << name;
+            EXPECT_DOUBLE_EQ(c->value, expect += 1.0);
+        }
+    }
+}
+
+/// RunScope prefixes every recorded name with "<scope>/", nests, and
+/// restores the previous scope on destruction.
+TEST_F(ObservabilityTest, RunScopePrefixesAndRestores)
+{
+    metrics::counterAdd("t.scope.before");
+    {
+        metrics::RunScope outer("layerA");
+        metrics::counterAdd("t.scope.in");
+        {
+            metrics::RunScope inner("layerB");
+            metrics::counterAdd("t.scope.nested");
+        }
+        metrics::counterAdd("t.scope.in"); // back to outer
+    }
+    metrics::counterAdd("t.scope.after");
+
+    auto snap = metrics::snapshot();
+    EXPECT_NE(find(snap, "t.scope.before"), nullptr);
+    EXPECT_NE(find(snap, "t.scope.after"), nullptr);
+    const auto *in = find(snap, "layerA/t.scope.in");
+    ASSERT_NE(in, nullptr);
+    EXPECT_DOUBLE_EQ(in->value, 2.0);
+    EXPECT_NE(find(snap, "layerB/t.scope.nested"), nullptr);
+    EXPECT_EQ(find(snap, "t.scope.in"), nullptr);
 }
 
 TEST_F(ObservabilityTest, DisabledTraceRecordsNothing)

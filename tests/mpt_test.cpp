@@ -11,6 +11,7 @@
 
 #include <cmath>
 
+#include "common/metrics.hh"
 #include "mpt/clustering.hh"
 #include "mpt/comm_volume.hh"
 #include "mpt/layer_sim.hh"
@@ -425,6 +426,107 @@ TEST(NetworkSim, OverlapBetweenBoundsHolds)
     // Collectives overlap bprop, so the makespan should sit strictly
     // below the fully-serial bound on a deep network.
     EXPECT_LT(r.iterationSeconds, chain + colls * 0.9);
+}
+
+// ------------------------------------------------------ Introspection
+
+/// The exact-sum invariant of the reported breakdown: the four
+/// components sum to the end-to-end layer time, bit-for-bit within
+/// rounding, for every layer and strategy.
+TEST(LayerSim, BreakdownSumsExactlyToTotal)
+{
+    SystemParams sp = defaultParams();
+    for (const auto &spec : workloads::tableTwoLayers()) {
+        for (Strategy s :
+             {Strategy::DirectDP, Strategy::WinoDP, Strategy::WinoMPT,
+              Strategy::WinoMPTPredict, Strategy::WinoMPTPredictDyn}) {
+            LayerResult r = simulateLayer(spec, s, sp);
+            LayerBreakdown b = layerBreakdown(r);
+            EXPECT_GE(b.computeSec, 0.0) << spec.name;
+            EXPECT_GE(b.intraCommSec, 0.0) << spec.name;
+            EXPECT_GE(b.interCommSec, 0.0) << spec.name;
+            EXPECT_GE(b.idleSec, 0.0) << spec.name;
+            EXPECT_DOUBLE_EQ(b.totalSec, r.totalSeconds())
+                << spec.name;
+            const double sum = b.computeSec + b.intraCommSec +
+                               b.interCommSec + b.idleSec;
+            EXPECT_NEAR(sum, b.totalSec, 1e-12 + 1e-9 * b.totalSec)
+                << spec.name << " " << strategyName(s);
+        }
+    }
+}
+
+/// Phase introspection fields are populated and physically sensible:
+/// systolic utilization in (0, 1], non-negative DMA stall, idle-link
+/// energy a proper subcomponent of link energy, and the traffic split
+/// seeing both P2P tile traffic and collective gradient traffic under
+/// the model-parallel strategy.
+TEST(LayerSim, PhaseIntrospectionPopulated)
+{
+    SystemParams sp = defaultParams();
+    const auto layers = workloads::tableTwoLayers();
+    for (const auto &spec : layers) {
+        LayerResult r = simulateLayer(spec, Strategy::WinoMPT, sp);
+        for (const PhaseResult *p : {&r.fwd, &r.bwd}) {
+            EXPECT_GT(p->systolicUtil, 0.0) << spec.name;
+            EXPECT_LE(p->systolicUtil, 1.0) << spec.name;
+            EXPECT_GT(p->systolicSec, 0.0) << spec.name;
+            EXPECT_GE(p->dramSec, 0.0) << spec.name;
+            EXPECT_GE(p->dmaStallSec, 0.0) << spec.name;
+        }
+        auto e = r.totalEnergy();
+        EXPECT_GE(e.linkIdleJ, 0.0) << spec.name;
+        EXPECT_LE(e.linkIdleJ, e.linkJ * (1.0 + 1e-9)) << spec.name;
+        EXPECT_GT(r.p2pLinkBytes, 0.0) << spec.name;
+        EXPECT_GT(r.collectiveLinkBytes, 0.0) << spec.name;
+    }
+}
+
+/// The dynamic strategy exports its *chosen* configuration under its
+/// own metric namespace (mpt.w_mp++.*) - one export, not one per
+/// candidate shape explored - and the breakdown it publishes passes
+/// the same exact-sum check winomc-report applies.
+TEST(LayerSim, DynStrategyExportsUnderOwnName)
+{
+    const bool was = metrics::enabled();
+    metrics::setEnabled(true);
+    metrics::reset();
+
+    SystemParams sp = defaultParams();
+    const auto layers = workloads::tableTwoLayers();
+    LayerResult r =
+        simulateLayer(layers[0], Strategy::WinoMPTPredictDyn, sp);
+
+    auto snap = metrics::snapshot();
+    auto get = [&](const std::string &name) -> const metrics::Sample * {
+        for (const auto &s : snap)
+            if (s.name == name)
+                return &s;
+        return nullptr;
+    };
+    const std::string base =
+        "mpt." + strategyName(Strategy::WinoMPTPredictDyn);
+    const auto *layers_count = get(base + ".layers");
+    ASSERT_NE(layers_count, nullptr);
+    EXPECT_DOUBLE_EQ(layers_count->value, 1.0); // chosen config only
+    const auto *total = get(base + ".breakdown.total_sec");
+    ASSERT_NE(total, nullptr);
+    EXPECT_DOUBLE_EQ(total->totalSec, r.totalSeconds());
+    const auto *comp = get(base + ".breakdown.compute_sec");
+    const auto *intra = get(base + ".breakdown.intra_comm_sec");
+    const auto *inter = get(base + ".breakdown.inter_comm_sec");
+    const auto *idle = get(base + ".breakdown.idle_sec");
+    ASSERT_TRUE(comp && intra && inter && idle);
+    EXPECT_NEAR(comp->totalSec + intra->totalSec + inter->totalSec +
+                    idle->totalSec,
+                total->totalSec, 1e-9 * total->totalSec + 1e-12);
+    // No stray exports from the explored-but-rejected shapes.
+    for (const auto &s : snap)
+        EXPECT_EQ(s.name.rfind("mpt.w_mp.", 0), std::string::npos)
+            << s.name;
+
+    metrics::reset();
+    metrics::setEnabled(was);
 }
 
 TEST(NetworkSim, DeterministicAcrossRuns)

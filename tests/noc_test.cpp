@@ -7,7 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+
+#include "common/metrics.hh"
 
 #include "noc/memcentric.hh"
 #include "noc/network.hh"
@@ -229,6 +232,167 @@ TEST(Network, LatencyRisesWithLoad)
     LoadPoint ph = measureLoadPoint(high, uniformRandom(16), 0.6, 64,
                                     2000, 5000, rng_b);
     EXPECT_GT(ph.avgLatency, pl.avgLatency);
+}
+
+// ------------------------------------------- Stats and conservation
+
+/// Drive uniform traffic, checking offered == ejected + in-flight at
+/// arbitrary mid-flight cycles and after the drain, on every topology.
+void
+checkConservation(std::unique_ptr<Topology> topo, int nodes)
+{
+    Network net(std::move(topo), smallCfg());
+    Rng rng(11);
+    for (int burst = 0; burst < 10; ++burst) {
+        for (int k = 0; k < 40; ++k) {
+            int s = int(rng.uniformInt(0, nodes - 1));
+            int d = int(rng.uniformInt(0, nodes - 2));
+            if (d >= s)
+                ++d;
+            net.offerPacket(s, d, int(rng.uniformInt(1, 200)));
+        }
+        net.run(17); // deliberately mid-flight
+        EXPECT_EQ(net.offeredFlitCount(),
+                  net.ejectedFlitCount() + net.flitsInFlight())
+            << net.topology().name() << " burst " << burst;
+    }
+    ASSERT_TRUE(net.drain(500000)) << net.topology().name();
+    EXPECT_EQ(net.flitsInFlight(), 0u);
+    EXPECT_EQ(net.offeredFlitCount(), net.ejectedFlitCount())
+        << net.topology().name();
+    EXPECT_GT(net.offeredFlitCount(), 0u);
+}
+
+TEST(NetworkStats, FlitConservationRing)
+{
+    checkConservation(std::make_unique<RingTopology>(16), 16);
+}
+
+TEST(NetworkStats, FlitConservationFbfly)
+{
+    checkConservation(std::make_unique<FlatButterfly2D>(4), 16);
+}
+
+TEST(NetworkStats, FlitConservationClique)
+{
+    checkConservation(std::make_unique<FullyConnected>(8), 8);
+}
+
+/// Every per-link utilization lies in [0, 1] (one flit per link per
+/// cycle), the mean never exceeds the max, and injection/ejection
+/// rates stay within the injection-lane budget.
+TEST(NetworkStats, UtilizationBounded)
+{
+    NocConfig cfg = smallCfg();
+    cfg.sampleOccupancy = true;
+    Network net(std::make_unique<RingTopology>(16), cfg);
+    Rng rng(12);
+    measureLoadPoint(net, uniformRandom(16), 0.8, 64, 1000, 3000, rng);
+
+    const Topology &t = net.topology();
+    double max_seen = 0.0;
+    for (int node = 0; node < t.nodes(); ++node) {
+        for (int port = 0; port < t.ports(); ++port) {
+            double u = net.linkUtilization(node, port);
+            EXPECT_GE(u, 0.0);
+            EXPECT_LE(u, 1.0) << "node " << node << " port " << port;
+            max_seen = std::max(max_seen, u);
+        }
+        EXPECT_GE(net.injectionRate(node), 0.0);
+        EXPECT_LE(net.injectionRate(node), double(cfg.injectionLanes));
+        EXPECT_GE(net.ejectionRate(node), 0.0);
+        EXPECT_LE(net.ejectionRate(node), double(cfg.injectionLanes));
+    }
+    EXPECT_DOUBLE_EQ(net.maxLinkUtilization(), max_seen);
+    EXPECT_GT(net.maxLinkUtilization(), 0.0);
+    EXPECT_LE(net.meanLinkUtilization(), net.maxLinkUtilization());
+    EXPECT_GT(net.occupancyHistogram().count(), 0u);
+}
+
+/// resetStats() zeroes the window (latency, links, stalls, occupancy)
+/// but the lifetime conservation counters survive and the invariant
+/// keeps holding afterwards.
+TEST(NetworkStats, ResetStatsKeepsConservationCounters)
+{
+    NocConfig cfg = smallCfg();
+    cfg.sampleOccupancy = true;
+    Network net(std::make_unique<RingTopology>(8), cfg);
+    Rng rng(13);
+    for (int k = 0; k < 200; ++k) {
+        int s = int(rng.uniformInt(0, 7));
+        int d = int(rng.uniformInt(0, 6));
+        if (d >= s)
+            ++d;
+        net.offerPacket(s, d, 64);
+    }
+    net.run(300);
+    const uint64_t offered = net.offeredFlitCount();
+    const uint64_t ejected_before = net.ejectedFlitCount();
+    ASSERT_GT(net.creditStallCount() + net.holBlockCount(), 0u);
+
+    net.resetStats();
+    EXPECT_EQ(net.statsElapsed(), Tick(0));
+    EXPECT_EQ(net.creditStallCount(), 0u);
+    EXPECT_EQ(net.holBlockCount(), 0u);
+    EXPECT_DOUBLE_EQ(net.maxLinkUtilization(), 0.0);
+    EXPECT_EQ(net.latencyStats().count(), 0u);
+    EXPECT_EQ(net.occupancyHistogram().count(), 0u);
+    // Lifetime counters are simulation state, not window state.
+    EXPECT_EQ(net.offeredFlitCount(), offered);
+    EXPECT_EQ(net.ejectedFlitCount(), ejected_before);
+    EXPECT_EQ(net.offeredFlitCount(),
+              net.ejectedFlitCount() + net.flitsInFlight());
+
+    // A fresh batch accumulates into the new window on top of the
+    // surviving lifetime counters.
+    for (int k = 0; k < 50; ++k) {
+        int s = int(rng.uniformInt(0, 7));
+        net.offerPacket(s, (s + 1 + int(rng.uniformInt(0, 6))) % 8, 64);
+    }
+    ASSERT_TRUE(net.drain(100000));
+    EXPECT_EQ(net.offeredFlitCount(), net.ejectedFlitCount());
+    EXPECT_GT(net.offeredFlitCount(), offered);
+    EXPECT_GT(net.maxLinkUtilization(), 0.0); // new window accumulated
+}
+
+/// exportMetrics() lands the conservation counters and bounded gauges
+/// in the registry under the requested prefix.
+TEST(NetworkStats, ExportMetricsMatchesAccessors)
+{
+    const bool was = metrics::enabled();
+    metrics::setEnabled(true);
+    metrics::reset();
+
+    NocConfig cfg = smallCfg();
+    cfg.sampleOccupancy = true;
+    Network net(std::make_unique<FlatButterfly2D>(4), cfg);
+    Rng rng(14);
+    measureLoadPoint(net, uniformRandom(16), 0.4, 64, 500, 2000, rng);
+    net.exportMetrics("t.noc");
+
+    auto snap = metrics::snapshot();
+    auto get = [&](const char *name) -> const metrics::Sample * {
+        for (const auto &s : snap)
+            if (s.name == name)
+                return &s;
+        return nullptr;
+    };
+    const auto *off = get("t.noc.flits_offered");
+    ASSERT_NE(off, nullptr);
+    EXPECT_DOUBLE_EQ(off->value, double(net.offeredFlitCount()));
+    const auto *ej = get("t.noc.flits_ejected");
+    ASSERT_NE(ej, nullptr);
+    EXPECT_DOUBLE_EQ(ej->value, double(net.ejectedFlitCount()));
+    const auto *util = get("t.noc.link_util_max");
+    ASSERT_NE(util, nullptr);
+    EXPECT_DOUBLE_EQ(util->value, net.maxLinkUtilization());
+    const auto *occ = get("t.noc.router_occupancy");
+    ASSERT_NE(occ, nullptr);
+    EXPECT_EQ(occ->kind, metrics::Kind::Histogram);
+    EXPECT_EQ(occ->count, net.occupancyHistogram().count());
+
+    metrics::reset();
+    metrics::setEnabled(was);
 }
 
 // ------------------------------------------------ MemCentricTopology

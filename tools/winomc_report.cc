@@ -1,0 +1,359 @@
+/**
+ * @file
+ * winomc-report: turn WINOMC_METRICS dumps into the paper-style summary
+ * tables (the Figure 15/16 views of a run).
+ *
+ * Reads one or more metric dumps (JSON or CSV, auto-detected) written
+ * by any winomc binary run with WINOMC_METRICS=<path>, and emits:
+ *
+ *  - the per-layer / per-strategy time breakdown (compute,
+ *    intra-cluster tile communication, inter-cluster collective, idle),
+ *    verifying that every row sums to the end-to-end iteration time
+ *    within 1% (the exporter constructs them to match exactly);
+ *  - the energy split by component, including the idle-link share of
+ *    link energy (the paper's Fig 15 argument);
+ *  - the P2P-vs-collective traffic split;
+ *  - a NoC/memnet saturation summary (hottest and mean link
+ *    utilization, credit-stall and head-of-line-block events, router
+ *    occupancy percentiles).
+ *
+ * Output is markdown (default) or CSV (--csv). Exits non-zero when a
+ * breakdown row fails the 1% sum check.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/metrics_io.hh"
+
+namespace {
+
+using winomc::metrics::Kind;
+using winomc::metrics::Sample;
+
+struct Options
+{
+    bool csv = false;
+    std::vector<std::string> inputs;
+};
+
+/** (scope, rest) from a possibly run-scoped metric name. */
+std::pair<std::string, std::string>
+splitScope(const std::string &name)
+{
+    size_t slash = name.find('/');
+    if (slash == std::string::npos)
+        return {"", name};
+    return {name.substr(0, slash), name.substr(slash + 1)};
+}
+
+/** (strategy, rest) from "mpt.<strategy>.<rest>"; empty on no match. */
+std::pair<std::string, std::string>
+splitStrategy(const std::string &rest)
+{
+    if (rest.rfind("mpt.", 0) != 0)
+        return {"", ""};
+    size_t dot = rest.find('.', 4);
+    if (dot == std::string::npos)
+        return {"", ""};
+    return {rest.substr(4, dot - 4), rest.substr(dot + 1)};
+}
+
+/** One (layer scope, strategy) row of the time-breakdown table. */
+struct BreakdownRow
+{
+    double computeSec = 0, intraSec = 0, interSec = 0, idleSec = 0;
+    double totalSec = 0;
+    bool haveTotal = false;
+};
+
+struct EnergyRow
+{
+    double computeJ = 0, sramJ = 0, dramJ = 0, linkJ = 0, linkIdleJ = 0;
+    double total() const { return computeJ + sramJ + dramJ + linkJ; }
+};
+
+struct TrafficRow
+{
+    double p2pBytes = 0, collectiveBytes = 0;
+};
+
+/** Saturation numbers of one simulated network (noc.* / memnet.*). */
+struct NetRow
+{
+    double linkUtilMax = 0, linkUtilMean = 0;
+    double creditStalls = 0, holBlocks = 0;
+    double occP50 = 0, occP90 = 0, occP99 = 0;
+    bool haveOccupancy = false;
+};
+
+using RowKey = std::pair<std::string, std::string>; // (scope, strategy)
+
+struct Report
+{
+    std::map<RowKey, BreakdownRow> breakdown;
+    std::map<RowKey, EnergyRow> energy;
+    std::map<RowKey, TrafficRow> traffic;
+    std::map<std::string, NetRow> nets; // key: scoped network prefix
+};
+
+void
+ingest(Report &rep, const Sample &s)
+{
+    auto [scope, rest] = splitScope(s.name);
+    auto [strategy, leaf] = splitStrategy(rest);
+    if (!strategy.empty()) {
+        RowKey key{scope, strategy};
+        if (leaf.rfind("breakdown.", 0) == 0) {
+            BreakdownRow &r = rep.breakdown[key];
+            const std::string part = leaf.substr(10);
+            if (part == "compute_sec")
+                r.computeSec = s.totalSec;
+            else if (part == "intra_comm_sec")
+                r.intraSec = s.totalSec;
+            else if (part == "inter_comm_sec")
+                r.interSec = s.totalSec;
+            else if (part == "idle_sec")
+                r.idleSec = s.totalSec;
+            else if (part == "total_sec") {
+                r.totalSec = s.totalSec;
+                r.haveTotal = true;
+            }
+        } else if (leaf.rfind("energy.", 0) == 0) {
+            EnergyRow &r = rep.energy[key];
+            const std::string part = leaf.substr(7);
+            if (part == "compute_j")
+                r.computeJ = s.value;
+            else if (part == "sram_j")
+                r.sramJ = s.value;
+            else if (part == "dram_j")
+                r.dramJ = s.value;
+            else if (part == "link_j")
+                r.linkJ = s.value;
+            else if (part == "link_idle_j")
+                r.linkIdleJ = s.value;
+        } else if (leaf == "p2p_bytes") {
+            rep.traffic[key].p2pBytes = s.value;
+        } else if (leaf == "collective_bytes") {
+            rep.traffic[key].collectiveBytes = s.value;
+        }
+        return;
+    }
+
+    // Network saturation metrics: "<net prefix>.<leaf>" where the
+    // prefix starts with noc. or memnet. (keep the scope visible).
+    if (rest.rfind("noc.", 0) != 0 && rest.rfind("memnet.", 0) != 0)
+        return;
+    size_t dot = rest.rfind('.');
+    if (dot == std::string::npos)
+        return;
+    std::string leaf2 = rest.substr(dot + 1);
+    std::string prefix = rest.substr(0, dot);
+    // Histogram names carry one more level (e.g. ...router_occupancy).
+    std::string full = scope.empty() ? prefix : scope + "/" + prefix;
+    NetRow &r = rep.nets[full];
+    if (leaf2 == "link_util_max")
+        r.linkUtilMax = s.value;
+    else if (leaf2 == "link_util_mean")
+        r.linkUtilMean = s.value;
+    else if (leaf2 == "credit_stall_events")
+        r.creditStalls = s.value;
+    else if (leaf2 == "hol_block_events")
+        r.holBlocks = s.value;
+    else if (leaf2 == "router_occupancy") {
+        r.occP50 = s.p50;
+        r.occP90 = s.p90;
+        r.occP99 = s.p99;
+        r.haveOccupancy = true;
+    }
+}
+
+std::string
+fmt(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4g", v);
+    return buf;
+}
+
+std::string
+rowName(const RowKey &key)
+{
+    return key.first.empty() ? "-" : key.first;
+}
+
+// ------------------------------------------------------------ markdown
+
+void
+mdTable(const std::vector<std::string> &head,
+        const std::vector<std::vector<std::string>> &rows)
+{
+    auto line = [](const std::vector<std::string> &cells) {
+        std::string out = "|";
+        for (const auto &c : cells)
+            out += " " + c + " |";
+        std::printf("%s\n", out.c_str());
+    };
+    line(head);
+    std::vector<std::string> rule(head.size(), "---");
+    line(rule);
+    for (const auto &r : rows)
+        line(r);
+    std::printf("\n");
+}
+
+void
+csvTable(const char *section, const std::vector<std::string> &head,
+         const std::vector<std::vector<std::string>> &rows)
+{
+    std::printf("section,%s\n", section);
+    std::string h;
+    for (size_t i = 0; i < head.size(); ++i)
+        h += (i ? "," : "") + head[i];
+    std::printf("%s\n", h.c_str());
+    for (const auto &r : rows) {
+        std::string l;
+        for (size_t i = 0; i < r.size(); ++i)
+            l += (i ? "," : "") + r[i];
+        std::printf("%s\n", l.c_str());
+    }
+    std::printf("\n");
+}
+
+void
+emitSection(const Options &opt, const char *title,
+            const std::vector<std::string> &head,
+            const std::vector<std::vector<std::string>> &rows)
+{
+    if (rows.empty())
+        return;
+    if (opt.csv) {
+        csvTable(title, head, rows);
+    } else {
+        std::printf("## %s\n\n", title);
+        mdTable(head, rows);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--csv") == 0)
+            opt.csv = true;
+        else if (std::strcmp(argv[i], "--help") == 0 ||
+                 std::strcmp(argv[i], "-h") == 0) {
+            std::printf("usage: winomc-report [--csv] <dump>...\n"
+                        "  <dump>  WINOMC_METRICS artifact (.json or "
+                        ".csv)\n");
+            return 0;
+        } else {
+            opt.inputs.push_back(argv[i]);
+        }
+    }
+    if (opt.inputs.empty()) {
+        std::fprintf(stderr, "winomc-report: no input dumps "
+                             "(try --help)\n");
+        return 2;
+    }
+
+    Report rep;
+    size_t samples = 0;
+    for (const auto &path : opt.inputs) {
+        auto parsed = winomc::metrics::parseDumpFile(path);
+        samples += parsed.size();
+        for (const auto &s : parsed)
+            ingest(rep, s);
+    }
+    if (samples == 0) {
+        std::fprintf(stderr, "winomc-report: no metrics parsed\n");
+        return 2;
+    }
+
+    int sum_failures = 0;
+    {
+        std::vector<std::vector<std::string>> rows;
+        for (const auto &[key, r] : rep.breakdown) {
+            const double sum =
+                r.computeSec + r.intraSec + r.interSec + r.idleSec;
+            const double ref = r.haveTotal ? r.totalSec : sum;
+            const bool ok =
+                ref <= 0.0 ? sum <= 0.0
+                           : std::fabs(sum - ref) <= 0.01 * ref;
+            if (!ok)
+                ++sum_failures;
+            rows.push_back({rowName(key), key.second, fmt(r.computeSec),
+                            fmt(r.intraSec), fmt(r.interSec),
+                            fmt(r.idleSec), fmt(ref),
+                            ok ? "ok" : "MISMATCH"});
+        }
+        emitSection(opt, "Time breakdown (seconds)",
+                    {"layer", "strategy", "compute", "intra-comm",
+                     "inter-comm", "idle", "total", "sum check"},
+                    rows);
+    }
+
+    {
+        std::vector<std::vector<std::string>> rows;
+        for (const auto &[key, r] : rep.energy) {
+            const double idle_pct =
+                r.linkJ > 0.0 ? 100.0 * r.linkIdleJ / r.linkJ : 0.0;
+            rows.push_back({rowName(key), key.second, fmt(r.computeJ),
+                            fmt(r.sramJ), fmt(r.dramJ), fmt(r.linkJ),
+                            fmt(idle_pct), fmt(r.total())});
+        }
+        emitSection(opt, "Energy breakdown (joules)",
+                    {"layer", "strategy", "compute", "sram", "dram",
+                     "link", "link idle %", "total"},
+                    rows);
+    }
+
+    {
+        std::vector<std::vector<std::string>> rows;
+        for (const auto &[key, r] : rep.traffic) {
+            const double total = r.p2pBytes + r.collectiveBytes;
+            rows.push_back(
+                {rowName(key), key.second, fmt(r.p2pBytes),
+                 fmt(r.collectiveBytes),
+                 fmt(total > 0.0 ? 100.0 * r.p2pBytes / total : 0.0)});
+        }
+        emitSection(opt, "Link traffic split (bytes per worker)",
+                    {"layer", "strategy", "p2p", "collective", "p2p %"},
+                    rows);
+    }
+
+    {
+        std::vector<std::vector<std::string>> rows;
+        for (const auto &[net, r] : rep.nets) {
+            rows.push_back(
+                {net, fmt(r.linkUtilMax), fmt(r.linkUtilMean),
+                 fmt(r.creditStalls), fmt(r.holBlocks),
+                 r.haveOccupancy ? fmt(r.occP50) + " / " +
+                                       fmt(r.occP90) + " / " +
+                                       fmt(r.occP99)
+                                 : "-"});
+        }
+        emitSection(opt, "Network saturation",
+                    {"network", "util max", "util mean", "credit stalls",
+                     "HoL blocks", "occupancy p50/p90/p99"},
+                    rows);
+    }
+
+    if (sum_failures) {
+        std::fprintf(stderr,
+                     "winomc-report: %d breakdown row(s) fail the 1%% "
+                     "sum check\n",
+                     sum_failures);
+        return 1;
+    }
+    return 0;
+}
