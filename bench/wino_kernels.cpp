@@ -13,23 +13,55 @@
  * per-stage timer registry (wino.xform.*, wino.ew.*) as a reproducible
  * JSON artifact; WINOMC_TRACE=wino.trace.json captures the spans for
  * chrome://tracing / Perfetto.
+ *
+ * --json <path> writes a compact baseline artifact: ms per kernel plus
+ * the workspace traffic per iteration (fresh heap bytes and slab
+ * acquires), so allocation regressions in the hot path are as visible
+ * as time regressions.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "common/parallel.hh"
 #include "common/rng.hh"
 #include "common/trace.hh"
+#include "tensor/workspace.hh"
 #include "winograd/algo.hh"
 #include "winograd/conv.hh"
 
 using namespace winomc;
 
 namespace {
+
+/**
+ * Brackets a benchmark's timing loop with workspace-counter snapshots
+ * and reports the per-iteration allocation traffic as user counters
+ * (picked up by the console table and the --json artifact).
+ */
+struct WsProbe
+{
+    ws::Stats s0 = ws::Workspace::global().stats();
+
+    void
+    report(benchmark::State &state) const
+    {
+        const ws::Stats s1 = ws::Workspace::global().stats();
+        const double iters = double(std::max<int64_t>(
+            state.iterations(), 1));
+        state.counters["ws_fresh_bytes_per_iter"] =
+            double(s1.freshBytes - s0.freshBytes) / iters;
+        state.counters["ws_acquires_per_iter"] =
+            double((s1.freshAllocs + s1.reuses) -
+                   (s0.freshAllocs + s0.reuses)) /
+            iters;
+    }
+};
 
 struct Shapes
 {
@@ -71,8 +103,10 @@ BM_DirectConv(benchmark::State &state)
     Tensor w(s.ch, s.ch, 3, 3);
     x.fillUniform(rng);
     w.fillUniform(rng);
+    WsProbe probe;
     for (auto _ : state)
         benchmark::DoNotOptimize(directConvForward(x, w));
+    probe.report(state);
     state.SetItemsProcessed(int64_t(state.iterations()) * s.batch *
                             s.ch * s.ch * s.hw * s.hw * 9);
 }
@@ -90,8 +124,10 @@ BM_WinogradConvF2(benchmark::State &state)
     w.fillUniform(rng);
     const auto &algo = algoF2x2_3x3();
     WinoWeights W = transformWeights(w, algo);
+    WsProbe probe;
     for (auto _ : state)
         benchmark::DoNotOptimize(winogradForward(x, W, algo));
+    probe.report(state);
     state.SetItemsProcessed(int64_t(state.iterations()) * s.batch *
                             s.ch * s.ch * s.hw * s.hw * 9);
 }
@@ -109,8 +145,10 @@ BM_WinogradConvF4(benchmark::State &state)
     w.fillUniform(rng);
     const auto &algo = algoF4x4_3x3();
     WinoWeights W = transformWeights(w, algo);
+    WsProbe probe;
     for (auto _ : state)
         benchmark::DoNotOptimize(winogradForward(x, W, algo));
+    probe.report(state);
     state.SetItemsProcessed(int64_t(state.iterations()) * s.batch *
                             s.ch * s.ch * s.hw * s.hw * 9);
 }
@@ -153,8 +191,10 @@ BM_ElementwiseForward(benchmark::State &state)
 {
     ThreadPool::global().setThreadCount(int(state.range(0)));
     auto &f = elementwiseFixture();
+    WsProbe probe;
     for (auto _ : state)
         benchmark::DoNotOptimize(elementwiseForward(f.X, f.W));
+    probe.report(state);
     // 2 flops per (uv, j, i, k) MAC.
     state.SetItemsProcessed(int64_t(state.iterations()) * f.X.uvCount() *
                             f.W.outChannels() * f.W.inChannels() *
@@ -168,8 +208,10 @@ BM_ElementwiseBackwardData(benchmark::State &state)
 {
     ThreadPool::global().setThreadCount(int(state.range(0)));
     auto &f = elementwiseFixture();
+    WsProbe probe;
     for (auto _ : state)
         benchmark::DoNotOptimize(elementwiseBackwardData(f.dY, f.W));
+    probe.report(state);
     state.SetItemsProcessed(int64_t(state.iterations()) * f.X.uvCount() *
                             f.W.outChannels() * f.W.inChannels() *
                             f.X.batch() * f.X.tiles() * 2);
@@ -182,8 +224,10 @@ BM_ElementwiseGradWeights(benchmark::State &state)
 {
     ThreadPool::global().setThreadCount(int(state.range(0)));
     auto &f = elementwiseFixture();
+    WsProbe probe;
     for (auto _ : state)
         benchmark::DoNotOptimize(elementwiseGradWeights(f.dY, f.X));
+    probe.report(state);
     state.SetItemsProcessed(int64_t(state.iterations()) * f.X.uvCount() *
                             f.W.outChannels() * f.W.inChannels() *
                             f.X.batch() * f.X.tiles() * 2);
@@ -199,8 +243,10 @@ BM_InputTransform(benchmark::State &state)
     Tensor x(2, 32, 32, 32);
     x.fillUniform(rng);
     const auto &algo = algoF2x2_3x3();
+    WsProbe probe;
     for (auto _ : state)
         benchmark::DoNotOptimize(transformInput(x, algo));
+    probe.report(state);
 }
 BENCHMARK(BM_InputTransform)->Apply(threadArgs)
     ->Unit(benchmark::kMillisecond);
@@ -212,8 +258,10 @@ BM_InverseTransform(benchmark::State &state)
     auto &f = elementwiseFixture();
     const auto &algo = algoF4x4_3x3();
     WinoTiles Y = elementwiseForward(f.X, f.W);
+    WsProbe probe;
     for (auto _ : state)
         benchmark::DoNotOptimize(inverseTransform(Y, algo, 32, 32));
+    probe.report(state);
 }
 BENCHMARK(BM_InverseTransform)->Apply(threadArgs)
     ->Unit(benchmark::kMillisecond);
@@ -236,6 +284,7 @@ BM_WinoEndToEnd(benchmark::State &state)
     w.fillUniform(rng);
     dy.fillUniform(rng);
     WinoWeights W = transformWeights(w, algo);
+    WsProbe probe;
     for (auto _ : state) {
         Tensor y = winogradForward(x, W, algo);
         Tensor dx = winogradBackwardData(dy, W, algo, 32, 32);
@@ -244,6 +293,7 @@ BM_WinoEndToEnd(benchmark::State &state)
         benchmark::DoNotOptimize(dx);
         benchmark::DoNotOptimize(dW);
     }
+    probe.report(state);
 }
 BENCHMARK(BM_WinoEndToEnd)->Apply(threadArgs)
     ->Unit(benchmark::kMillisecond);
@@ -255,18 +305,106 @@ BM_ToomCookGenerate(benchmark::State &state)
         benchmark::DoNotOptimize(
             makeWinograd(int(state.range(0)), int(state.range(1))));
 }
-BENCHMARK(BM_ToomCookGenerate)->Args({2, 3})->Args({4, 3})->Args({6, 3});
+BENCHMARK(BM_ToomCookGenerate)->Args({2, 3})->Args({4, 3})->Args({6, 3})
+    ->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------------- --json baseline dump
+
+struct JsonRecord
+{
+    std::string name;
+    double ms = 0.0;
+    double freshBytesPerIter = 0.0;
+    double acquiresPerIter = 0.0;
+};
+
+/** Console output as usual, plus a record of every per-iteration run
+ *  for the --json artifact. */
+class RecordingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &r : runs) {
+            if (r.run_type != Run::RT_Iteration)
+                continue;
+            JsonRecord rec;
+            rec.name = r.benchmark_name();
+            rec.ms = r.GetAdjustedRealTime(); // unit: kMillisecond
+            auto it = r.counters.find("ws_fresh_bytes_per_iter");
+            if (it != r.counters.end())
+                rec.freshBytesPerIter = it->second;
+            it = r.counters.find("ws_acquires_per_iter");
+            if (it != r.counters.end())
+                rec.acquiresPerIter = it->second;
+            records.push_back(std::move(rec));
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+    std::vector<JsonRecord> records;
+};
+
+bool
+writeJson(const std::string &path, const std::vector<JsonRecord> &recs)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fprintf(f, "{\n  \"benchmarks\": [\n");
+    for (size_t i = 0; i < recs.size(); ++i)
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"ms_per_iter\": %.4f, "
+                     "\"ws_fresh_bytes_per_iter\": %.1f, "
+                     "\"ws_acquires_per_iter\": %.2f}%s\n",
+                     recs[i].name.c_str(), recs[i].ms,
+                     recs[i].freshBytesPerIter, recs[i].acquiresPerIter,
+                     i + 1 < recs.size() ? "," : "");
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+}
+
+/** Strip "--json <path>" (or "--json=<path>") from argv; returns the
+ *  path or "" when the flag is absent. */
+std::string
+extractJsonFlag(int &argc, char **argv)
+{
+    std::string path;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            path = argv[++i];
+        } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+            path = argv[i] + 7;
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    return path;
+}
 
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    const std::string json_path = extractJsonFlag(argc, argv);
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;
-    benchmark::RunSpecifiedBenchmarks();
+    RecordingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
     benchmark::Shutdown();
+    if (!json_path.empty()) {
+        if (writeJson(json_path, reporter.records))
+            std::printf("json baseline: %s\n", json_path.c_str());
+        else
+            std::fprintf(stderr, "cannot write json baseline to %s\n",
+                         json_path.c_str());
+    }
     // Emit the observability artifacts before returning so the dump
     // exists even if a wrapper kills the process at exit.
     winomc::metrics::dumpIfConfigured();

@@ -4,16 +4,15 @@ namespace winomc::mpt {
 
 namespace {
 
-Tensor
-shardOf(const Tensor &t, int b0, int count)
+/** Copy batch rows [b0, b0 + out.n()) of t into the pre-shaped out. */
+void
+shardInto(const Tensor &t, int b0, Tensor &out)
 {
-    Tensor out(count, t.c(), t.h(), t.w());
-    for (int b = 0; b < count; ++b)
+    for (int b = 0; b < out.n(); ++b)
         for (int c = 0; c < t.c(); ++c)
             for (int i = 0; i < t.h(); ++i)
                 for (int j = 0; j < t.w(); ++j)
                     out.at(b, c, i, j) = t.at(b0 + b, c, i, j);
-    return out;
 }
 
 void
@@ -45,6 +44,19 @@ MptConvLayer::MptConvLayer(int in_ch, int out_ch, int r, int ng_,
     dW = WinoWeights(algo.alpha, out_ch, in_ch);
 }
 
+void
+MptConvLayer::ensurePlans(const Tensor &x)
+{
+    const int sh = x.n() / nc;
+    if (int(plans.size()) == nc &&
+        plans[0]->matches(algo, sh, inCh, outCh, x.h(), x.w()))
+        return;
+    plans.clear();
+    for (int c = 0; c < nc; ++c)
+        plans.push_back(std::make_unique<WinoPlan>(algo, sh, inCh,
+                                                   outCh, x.h(), x.w()));
+}
+
 Tensor
 MptConvLayer::forward(const Tensor &x, bool train)
 {
@@ -54,25 +66,30 @@ MptConvLayer::forward(const Tensor &x, bool train)
     lastH = x.h();
     lastW = x.w();
     shard = x.n() / nc;
+    ensurePlans(x);
+    trainCached = train;
 
     Tensor y(x.n(), outCh, x.h(), x.w());
-    if (train)
-        cachedX.clear();
+    xShard.reshape(shard, inCh, x.h(), x.w());
+    yShard.reshape(shard, outCh, x.h(), x.w());
 
     for (int c = 0; c < nc; ++c) {
-        Tensor x_c = shardOf(x, c * shard, shard);
-        WinoTiles X = transformInput(x_c, algo);
-        WinoTiles Y(algo.alpha, outCh, shard, X.tiles());
+        WinoPlan &plan = *plans[size_t(c)];
+        shardInto(x, c * shard, xShard);
+        plan.scatterInput(xShard);
+        WinoTiles &Y = plan.outputTilesMutable();
+        Y.fill(0.0f); // the group loop accumulates partial products
         for (int g = 0; g < ng; ++g) {
-            partialElementwiseForward(X, W, g * uvShare,
+            partialElementwiseForward(plan.inputTiles(), W, g * uvShare,
                                       (g + 1) * uvShare, Y);
             tileElems += uint64_t(uvShare) * (inCh + outCh) * shard *
-                         X.tiles() * uint64_t(ng - 1) / uint64_t(ng);
+                         plan.tileGrid().tiles() * uint64_t(ng - 1) /
+                         uint64_t(ng);
         }
-        pasteShard(y, inverseTransform(Y, algo, x.h(), x.w()),
-                   c * shard);
-        if (train)
-            cachedX.push_back(std::move(X));
+        plan.gatherOutputInto(yShard);
+        pasteShard(y, yShard, c * shard);
+        if (!train)
+            plan.invalidateCache();
     }
     return y;
 }
@@ -80,30 +97,37 @@ MptConvLayer::forward(const Tensor &x, bool train)
 Tensor
 MptConvLayer::backward(const Tensor &dy)
 {
-    winomc_assert(int(cachedX.size()) == nc,
-                  "backward without cached forward");
+    winomc_assert(trainCached,
+                  "MptConvLayer::backward without a train-mode forward: "
+                  "the cached tiles are stale");
     haveGrad = true;
     Tensor dx(dy.n(), inCh, lastH, lastW);
+    dyShard.reshape(shard, outCh, lastH, lastW);
+    dxShard.reshape(shard, inCh, lastH, lastW);
 
     for (int c = 0; c < nc; ++c) {
-        Tensor dy_c = shardOf(dy, c * shard, shard);
-        WinoTiles dYt = inverseTransformAdjoint(dy_c, algo);
-        WinoTiles dXt(algo.alpha, inCh, shard, dYt.tiles());
+        WinoPlan &plan = *plans[size_t(c)];
+        shardInto(dy, c * shard, dyShard);
+        plan.scatterGradOutput(dyShard);
+        WinoTiles &dXt = plan.gradInputTilesMutable();
+        dXt.fill(0.0f); // group loop accumulates partial products
         for (int g = 0; g < ng; ++g) {
-            partialElementwiseBackwardData(dYt, W, g * uvShare,
+            partialElementwiseBackwardData(plan.gradOutputTiles(), W,
+                                           g * uvShare,
                                            (g + 1) * uvShare, dXt);
             // The cross-cluster accumulation into dW below is the ring
             // reduction of the group's weight slice.
-            partialElementwiseGradWeights(dYt, cachedX[size_t(c)],
+            partialElementwiseGradWeights(plan.gradOutputTiles(),
+                                          plan.inputTiles(),
                                           g * uvShare,
                                           (g + 1) * uvShare, dW);
             tileElems += uint64_t(uvShare) * (inCh + outCh) * shard *
-                         dYt.tiles() * uint64_t(ng - 1) / uint64_t(ng);
+                         plan.tileGrid().tiles() * uint64_t(ng - 1) /
+                         uint64_t(ng);
             weightElems += uint64_t(uvShare) * inCh * outCh;
         }
-        pasteShard(dx,
-                   transformInputAdjoint(dXt, algo, lastH, lastW),
-                   c * shard);
+        plan.gatherGradInputInto(dxShard);
+        pasteShard(dx, dxShard, c * shard);
     }
     return dx;
 }

@@ -10,13 +10,21 @@
  * results (up to FP accumulation order) to training the single-worker
  * nn::ConvLayer in WinogradLayer mode - the end-to-end demonstration
  * that MPT changes the schedule, never the learned model.
+ *
+ * Each cluster owns a shape-bound WinoPlan: the plan slabs play the role
+ * of the cluster's SRAM-resident tiles, and the partial element-wise
+ * kernels accumulate straight into them, so steady-state steps allocate
+ * nothing.
  */
 
 #ifndef WINOMC_MPT_MPT_CONV_LAYER_HH
 #define WINOMC_MPT_MPT_CONV_LAYER_HH
 
+#include <memory>
+
 #include "mpt/functional.hh"
 #include "nn/module.hh"
+#include "winograd/plan.hh"
 
 namespace winomc::mpt {
 
@@ -43,14 +51,22 @@ class MptConvLayer : public nn::Module
     uint64_t weightElemsReduced() const { return weightElems; }
 
   private:
+    /** (Re)build the per-cluster plans iff the shard shape changed. */
+    void ensurePlans(const Tensor &x);
+
     int inCh, outCh, ng, nc, uvShare;
     const WinogradAlgo &algo;
     WinoWeights W;
     WinoWeights dW;
     bool haveGrad = false;
 
-    /** Per-cluster cached forward state (tile-scattered inputs). */
-    std::vector<WinoTiles> cachedX;
+    /** One execution plan per cluster; plan slabs cache the forward
+     *  tiles the backward pass reuses. */
+    std::vector<std::unique_ptr<WinoPlan>> plans;
+    /** Persistent scatter/gather staging tensors (shard-sized). */
+    Tensor xShard, yShard, dyShard, dxShard;
+    /** True iff the plan caches come from a train-mode forward. */
+    bool trainCached = false;
     int lastH = 0, lastW = 0, shard = 0;
 
     uint64_t tileElems = 0;

@@ -16,7 +16,20 @@ ConvLayer::ConvLayer(int in_ch, int out_ch, int r_, ConvMode mode,
     if (mode != ConvMode::Direct) {
         W = transformWeights(w, algo);
         dW = WinoWeights(algo.alpha, out_ch, in_ch);
+        gScratch = WinoWeights(algo.alpha, out_ch, in_ch);
+        if (mode == ConvMode::WinogradSpatial)
+            dwScratch = Tensor(out_ch, in_ch, r_, r_);
     }
+}
+
+void
+ConvLayer::ensurePlan(const Tensor &x)
+{
+    if (execPlan &&
+        execPlan->matches(algo, x.n(), inCh, outCh, x.h(), x.w()))
+        return;
+    execPlan = std::make_unique<WinoPlan>(algo, x.n(), inCh, outCh,
+                                          x.h(), x.w());
 }
 
 Tensor
@@ -26,6 +39,7 @@ ConvLayer::forward(const Tensor &x, bool train)
                   " channels, got ", x.c());
     lastH = x.h();
     lastW = x.w();
+    trainCached = train;
 
     if (convMode == ConvMode::Direct) {
         if (train)
@@ -33,35 +47,38 @@ ConvLayer::forward(const Tensor &x, bool train)
         return directConvForward(x, w);
     }
 
-    WinoTiles X = transformInput(x, algo);
-    WinoTiles Y = elementwiseForward(X, W);
-    Tensor y = inverseTransform(Y, algo, x.h(), x.w());
-    if (train) {
-        cachedXt = std::move(X);
-        cachedY = std::move(Y);
-    }
+    ensurePlan(x);
+    Tensor y(x.n(), outCh, x.h(), x.w());
+    execPlan->forwardInto(x, W, y);
+    if (!train)
+        execPlan->invalidateCache();
     return y;
 }
 
 Tensor
 ConvLayer::backward(const Tensor &dy)
 {
+    winomc_assert(trainCached,
+                  "ConvLayer::backward without a train-mode forward: "
+                  "the cached activations are stale");
     haveGrad = true;
     if (convMode == ConvMode::Direct) {
         dw += directConvGradWeights(cachedX, dy, r);
         return directConvBackwardData(dy, w);
     }
 
-    WinoTiles dY = inverseTransformAdjoint(dy, algo);
-    WinoWeights g = elementwiseGradWeights(dY, cachedXt);
+    execPlan->transformGradOutput(dy);
+    execPlan->gradWeightsFromCachedInto(gScratch);
     if (convMode == ConvMode::WinogradLayer) {
-        dW += g;
+        dW += gScratch;
     } else {
         // Chain through W = G w G^T back to the spatial parameters.
-        dw += transformWeightsAdjoint(g, algo);
+        transformWeightsAdjointInto(gScratch, algo, dwScratch);
+        dw += dwScratch;
     }
-    WinoTiles dX = elementwiseBackwardData(dY, W);
-    return transformInputAdjoint(dX, algo, lastH, lastW);
+    Tensor dx(dy.n(), inCh, lastH, lastW);
+    execPlan->backwardDataFromCachedInto(W, dx);
+    return dx;
 }
 
 void
@@ -80,7 +97,7 @@ ConvLayer::step(float lr)
         dw *= -lr;
         w += dw;
         dw.fill(0.0f);
-        W = transformWeights(w, algo);
+        transformWeightsInto(w, algo, W);
         break;
       case ConvMode::WinogradLayer:
         dW *= -lr;
@@ -88,6 +105,14 @@ ConvLayer::step(float lr)
         dW.fill(0.0f);
         break;
     }
+}
+
+const WinoTiles &
+ConvLayer::lastOutputTiles() const
+{
+    winomc_assert(execPlan != nullptr,
+                  "lastOutputTiles before any Winograd-mode forward");
+    return execPlan->outputTiles();
 }
 
 size_t

@@ -12,14 +12,21 @@
  *
  * All three compute the same function at initialization; WinogradLayer
  * then evolves in a (slightly larger) parameter space.
+ *
+ * Winograd modes execute through a lazily-built WinoPlan bound to the
+ * incoming shape: the plan owns every tile slab and the layer keeps its
+ * gradient scratch, so steady-state training steps allocate nothing.
  */
 
 #ifndef WINOMC_NN_CONV_LAYER_HH
 #define WINOMC_NN_CONV_LAYER_HH
 
+#include <memory>
+
 #include "nn/module.hh"
 #include "winograd/algo.hh"
 #include "winograd/conv.hh"
+#include "winograd/plan.hh"
 
 namespace winomc::nn {
 
@@ -50,9 +57,15 @@ class ConvLayer : public Module
     const WinoWeights &winoWeights() const { return W; }
     /** Cached pre-activation Winograd tiles from the last forward (for
      *  the activation-prediction experiments). */
-    const WinoTiles &lastOutputTiles() const { return cachedY; }
+    const WinoTiles &lastOutputTiles() const;
+    /** The current execution plan (null before the first Winograd-mode
+     *  forward). */
+    const WinoPlan *plan() const { return execPlan.get(); }
 
   private:
+    /** (Re)build execPlan iff the incoming shape stopped matching. */
+    void ensurePlan(const Tensor &x);
+
     int inCh, outCh, r;
     ConvMode convMode;
     const WinogradAlgo &algo;
@@ -63,9 +76,14 @@ class ConvLayer : public Module
     WinoWeights dW; ///< Winograd-domain gradient
     bool haveGrad = false;
 
+    std::unique_ptr<WinoPlan> execPlan; ///< shape-bound slabs + grid
+    WinoWeights gScratch; ///< per-step Winograd weight-grad scratch
+    Tensor dwScratch;     ///< per-step spatial weight-grad scratch
+
     Tensor cachedX;    ///< input (Direct mode backward)
-    WinoTiles cachedXt; ///< transformed input tiles (Winograd modes)
-    WinoTiles cachedY; ///< pre-inverse output tiles
+    /** True iff the activations the backward pass needs were cached by
+     *  a train-mode forward and not clobbered since. */
+    bool trainCached = false;
     int lastH = 0, lastW = 0;
 };
 

@@ -17,6 +17,7 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "tensor/workspace.hh"
 
 namespace winomc {
 
@@ -24,19 +25,32 @@ namespace winomc {
  * Dense tensor with up to four dimensions (n, c, h, w), NCHW layout.
  * Lower-rank tensors set the leading dims to 1 (e.g. a matrix is
  * (1, 1, h, w)).
+ *
+ * Storage routes through ws::Workspace: construction acquires a pooled
+ * slab, destruction releases it, so steady-state shapes never touch the
+ * heap. Copy assignment reuses the destination's capacity when it
+ * suffices.
  */
 class Tensor
 {
   public:
     Tensor() : dims{0, 0, 0, 0} {}
-    Tensor(int n, int c, int h, int w)
-        : dims{n, c, h, w}, buf(size_t(n) * c * h * w, 0.0f)
-    {
-        winomc_assert(n >= 0 && c >= 0 && h >= 0 && w >= 0,
-                      "negative tensor dim");
-    }
+    Tensor(int n, int c, int h, int w);
     /** 2D convenience constructor: (1, 1, h, w). */
     Tensor(int h, int w) : Tensor(1, 1, h, w) {}
+
+    ~Tensor() { ws::release(std::move(buf)); }
+    Tensor(const Tensor &o);
+    Tensor &operator=(const Tensor &o);
+    Tensor(Tensor &&o) noexcept;
+    Tensor &operator=(Tensor &&o) noexcept;
+
+    /**
+     * Rebind to a new shape, reusing the slab when it has capacity.
+     * Contents are zeroed iff the shape changed; same-shape reshapes
+     * leave the data untouched.
+     */
+    void reshape(int n, int c, int h, int w);
 
     int n() const { return dims[0]; }
     int c() const { return dims[1]; }

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Arena-style workspace allocator with size-class slab reuse.
+ *
+ * Every Tensor / WinoTiles / WinoWeights buffer is acquired from (and
+ * released back to) this pool, so in steady state — fixed shapes, as in
+ * a training loop — the numeric substrate performs zero heap
+ * allocations: a released slab is handed straight back to the next
+ * acquire of the same size class. This is the host-side analogue of the
+ * paper's planned SRAM working set: allocation becomes a plan-time
+ * event, not a per-batch one.
+ *
+ * Design points:
+ *
+ *  - Size classes are powers of two (min 256 floats). acquire(n) takes
+ *    a slab from the smallest class holding n; release returns the slab
+ *    to the class its capacity fits. Slabs keep their capacity across
+ *    the pool, so a reuse never touches the heap.
+ *  - The pool retains at most limitBytes() (WINOMC_WORKSPACE_LIMIT_MB,
+ *    default 1024 MB); slabs released beyond that are freed to the OS.
+ *    checkBudget() lets execution plans fail loudly — not OOM — when a
+ *    planned working set alone would exceed the budget.
+ *  - Counters distinguish fresh heap allocations (pool misses) from
+ *    slab reuses; tests pin the hot path to zero fresh allocations
+ *    after a one-step warm-up. Gauges (bytes in use, high water,
+ *    pooled bytes) are mirrored into common/metrics under "workspace.*"
+ *    and surface in winomc-report.
+ *  - All operations are mutex-guarded; acquire/release happen at tensor
+ *    granularity (never inside kernels' inner loops), so contention is
+ *    negligible and the pool composes with common/parallel.hh workers.
+ */
+
+#ifndef WINOMC_TENSOR_WORKSPACE_HH
+#define WINOMC_TENSOR_WORKSPACE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace winomc::ws {
+
+/** Default retention/budget limit when the knob is unset. */
+constexpr std::size_t kDefaultLimitMb = 1024;
+/** Hard ceiling on the knob; larger requests clamp here. */
+constexpr std::size_t kMaxLimitMb = std::size_t(1) << 20; // 1 TiB
+
+/**
+ * Parse a WINOMC_WORKSPACE_LIMIT_MB string; 0 if missing/invalid (the
+ * caller then falls back to kDefaultLimitMb). Never crashes: garbage,
+ * negative, and zero values warn and return 0; values above kMaxLimitMb
+ * warn and clamp — the same contract as parseThreadCount.
+ */
+std::size_t parseWorkspaceLimitMb(const char *str);
+
+/** Pool observability counters/gauges (bytes are heap bytes). */
+struct Stats
+{
+    std::uint64_t freshAllocs = 0; ///< acquires that hit the heap
+    std::uint64_t freshBytes = 0;  ///< bytes newly heap-allocated
+    std::uint64_t reuses = 0;      ///< acquires served from the pool
+    std::uint64_t releases = 0;
+    std::uint64_t dropped = 0;     ///< slabs freed (pool at limit)
+    std::size_t bytesInUse = 0;    ///< acquired minus released
+    std::size_t highWater = 0;
+    std::size_t pooledBytes = 0;   ///< retained in free lists
+};
+
+class Workspace
+{
+  public:
+    /** The process-wide pool every tensor buffer routes through. */
+    static Workspace &global();
+
+    Workspace() = default;
+    Workspace(const Workspace &) = delete;
+    Workspace &operator=(const Workspace &) = delete;
+
+    /** A zero-filled slab of exactly n floats (capacity >= n). */
+    std::vector<float> acquire(std::size_t n);
+
+    /** Return a slab to the pool (or free it if the pool is full). */
+    void release(std::vector<float> &&buf);
+
+    Stats stats() const;
+    /** Zero the counters; bytesInUse/pooledBytes stay, highWater
+     *  restarts from the current bytesInUse. */
+    void resetStats();
+    /** Free every pooled slab back to the OS. */
+    void trim();
+
+    std::size_t limitBytes() const;
+    void setLimitBytes(std::size_t bytes);
+
+    /** Number of power-of-two size classes (min class: 256 floats). */
+    static constexpr int kClasses = 44;
+
+  private:
+    void publishGauges() const;      // callers hold mu
+    std::size_t limitBytesLocked();  // callers hold mu
+
+    mutable std::mutex mu;
+    std::vector<std::vector<float>> pool[kClasses];
+    Stats st;
+    std::size_t limitB = 0; ///< 0 = uninitialized, read env lazily
+};
+
+/** Workspace::global().acquire / release shorthands. */
+std::vector<float> acquire(std::size_t n);
+void release(std::vector<float> &&buf);
+
+/**
+ * Capacity-aware copy into a pooled destination: reuses dst's capacity
+ * when it suffices, otherwise swaps dst for a pooled slab. The
+ * copy-assignment path of the tensor classes.
+ */
+void assignCopy(std::vector<float> &dst, const std::vector<float> &src);
+
+/**
+ * Fail loudly (winomc_fatal, not OOM) when a planned working set of
+ * `bytes` exceeds the workspace budget. `what` names the plan in the
+ * error message.
+ */
+void checkBudget(std::size_t bytes, const std::string &what);
+
+} // namespace winomc::ws
+
+#endif // WINOMC_TENSOR_WORKSPACE_HH

@@ -5,6 +5,7 @@
 
 #include "common/parallel.hh"
 #include "common/trace.hh"
+#include "winograd/plan.hh"
 
 namespace winomc {
 
@@ -61,13 +62,17 @@ sandwich(const Matrix &L, const double *in, int n, int k, const Matrix &R,
 
 } // namespace
 
-WinoTiles
-transformInput(const Tensor &x, const WinogradAlgo &algo)
+void
+transformInputInto(const Tensor &x, const WinogradAlgo &algo,
+                   WinoTiles &out)
 {
     WINOMC_SPAN("wino.xform.input", "wino");
     winomc_assert(algo.alpha <= kMaxAlpha, "alpha too large");
     TileGrid grid(x.h(), x.w(), algo);
-    WinoTiles out(algo.alpha, x.c(), x.n(), grid.tiles());
+    winomc_assert(out.alphaEdge() == algo.alpha &&
+                  out.channels() == x.c() && out.batch() == x.n() &&
+                  out.tiles() == grid.tiles(),
+                  "transformInputInto destination shape mismatch");
 
     const int a = algo.alpha;
     const int nc = x.c();
@@ -103,18 +108,30 @@ transformInput(const Tensor &x, const WinogradAlgo &algo)
             }
         }
     });
+}
+
+WinoTiles
+transformInput(const Tensor &x, const WinogradAlgo &algo)
+{
+    TileGrid grid(x.h(), x.w(), algo);
+    WinoTiles out(algo.alpha, x.c(), x.n(), grid.tiles());
+    transformInputInto(x, algo, out);
     return out;
 }
 
-Tensor
-transformInputAdjoint(const WinoTiles &dX, const WinogradAlgo &algo,
-                      int h, int w)
+void
+transformInputAdjointInto(const WinoTiles &dX, const WinogradAlgo &algo,
+                          Tensor &dx)
 {
     WINOMC_SPAN("wino.xform.input_adjoint", "wino");
+    const int h = dx.h();
+    const int w = dx.w();
     TileGrid grid(h, w, algo);
     winomc_assert(grid.tiles() == dX.tiles(),
                   "tile count mismatch in input adjoint");
-    Tensor dx(dX.batch(), dX.channels(), h, w);
+    winomc_assert(dx.n() == dX.batch() && dx.c() == dX.channels(),
+                  "transformInputAdjointInto destination shape mismatch");
+    dx.fill(0.0f); // overlap-add target
 
     const int a = algo.alpha;
     const int nc = dX.channels();
@@ -151,16 +168,27 @@ transformInputAdjoint(const WinoTiles &dX, const WinogradAlgo &algo,
             }
         }
     });
+}
+
+Tensor
+transformInputAdjoint(const WinoTiles &dX, const WinogradAlgo &algo,
+                      int h, int w)
+{
+    Tensor dx(dX.batch(), dX.channels(), h, w);
+    transformInputAdjointInto(dX, algo, dx);
     return dx;
 }
 
-WinoWeights
-transformWeights(const Tensor &w, const WinogradAlgo &algo)
+void
+transformWeightsInto(const Tensor &w, const WinogradAlgo &algo,
+                     WinoWeights &out)
 {
     WINOMC_SPAN("wino.xform.weights", "wino");
     winomc_assert(w.h() == algo.r && w.w() == algo.r,
                   "weight size does not match algorithm r");
-    WinoWeights out(algo.alpha, w.n(), w.c());
+    winomc_assert(out.alphaEdge() == algo.alpha &&
+                  out.outChannels() == w.n() && out.inChannels() == w.c(),
+                  "transformWeightsInto destination shape mismatch");
     const int a = algo.alpha;
     const int r = algo.r;
     const int ni = w.c();
@@ -180,16 +208,26 @@ transformWeights(const Tensor &w, const WinogradAlgo &algo)
                 out.at(uv, j, i) = float(tw[size_t(uv)]);
         }
     });
+}
+
+WinoWeights
+transformWeights(const Tensor &w, const WinogradAlgo &algo)
+{
+    WinoWeights out(algo.alpha, w.n(), w.c());
+    transformWeightsInto(w, algo, out);
     return out;
 }
 
-Tensor
-transformWeightsAdjoint(const WinoWeights &dW, const WinogradAlgo &algo)
+void
+transformWeightsAdjointInto(const WinoWeights &dW,
+                            const WinogradAlgo &algo, Tensor &dw)
 {
     WINOMC_SPAN("wino.xform.weights_adjoint", "wino");
     const int a = algo.alpha;
     const int r = algo.r;
-    Tensor dw(dW.outChannels(), dW.inChannels(), r, r);
+    winomc_assert(dw.n() == dW.outChannels() &&
+                  dw.c() == dW.inChannels() && dw.h() == r && dw.w() == r,
+                  "transformWeightsAdjointInto destination shape mismatch");
     const int ni = dW.inChannels();
 
     parallelFor(0, std::int64_t(dW.outChannels()) * ni, 1,
@@ -208,11 +246,19 @@ transformWeightsAdjoint(const WinoWeights &dW, const WinogradAlgo &algo)
                     dw.at(j, i, y, x) = float(sp[size_t(y * r + x)]);
         }
     });
+}
+
+Tensor
+transformWeightsAdjoint(const WinoWeights &dW, const WinogradAlgo &algo)
+{
+    Tensor dw(dW.outChannels(), dW.inChannels(), algo.r, algo.r);
+    transformWeightsAdjointInto(dW, algo, dw);
     return dw;
 }
 
-WinoTiles
-elementwiseForward(const WinoTiles &X, const WinoWeights &W)
+void
+elementwiseForwardInto(const WinoTiles &X, const WinoWeights &W,
+                       WinoTiles &Y)
 {
     WINOMC_SPAN("wino.ew.fwd", "wino");
     winomc_assert(X.alphaEdge() == W.alphaEdge(),
@@ -220,7 +266,11 @@ elementwiseForward(const WinoTiles &X, const WinoWeights &W)
     winomc_assert(X.channels() == W.inChannels(),
                   "channel mismatch: tiles ", X.channels(), " weights ",
                   W.inChannels());
-    WinoTiles Y(X.alphaEdge(), W.outChannels(), X.batch(), X.tiles());
+    winomc_assert(Y.alphaEdge() == X.alphaEdge() &&
+                  Y.channels() == W.outChannels() &&
+                  Y.batch() == X.batch() && Y.tiles() == X.tiles(),
+                  "elementwiseForwardInto destination shape mismatch");
+    Y.fill(0.0f); // kernel accumulates into Y
     const int bt = X.batch() * X.tiles();
     const int nj = W.outChannels();
     const int ni = W.inChannels();
@@ -279,16 +329,28 @@ elementwiseForward(const WinoTiles &X, const WinoWeights &W)
             }
         }
     });
-    return Y;
 }
 
 WinoTiles
-elementwiseBackwardData(const WinoTiles &dY, const WinoWeights &W)
+elementwiseForward(const WinoTiles &X, const WinoWeights &W)
+{
+    WinoTiles Y(X.alphaEdge(), W.outChannels(), X.batch(), X.tiles());
+    elementwiseForwardInto(X, W, Y);
+    return Y;
+}
+
+void
+elementwiseBackwardDataInto(const WinoTiles &dY, const WinoWeights &W,
+                            WinoTiles &dX)
 {
     WINOMC_SPAN("wino.ew.bwd_data", "wino");
     winomc_assert(dY.channels() == W.outChannels(),
                   "channel mismatch in backward data");
-    WinoTiles dX(dY.alphaEdge(), W.inChannels(), dY.batch(), dY.tiles());
+    winomc_assert(dX.alphaEdge() == dY.alphaEdge() &&
+                  dX.channels() == W.inChannels() &&
+                  dX.batch() == dY.batch() && dX.tiles() == dY.tiles(),
+                  "elementwiseBackwardDataInto destination shape mismatch");
+    dX.fill(0.0f); // kernel accumulates into dX
     const int bt = dY.batch() * dY.tiles();
     const int nj = W.outChannels();
     const int ni = W.inChannels();
@@ -348,17 +410,28 @@ elementwiseBackwardData(const WinoTiles &dY, const WinoWeights &W)
             }
         }
     });
+}
+
+WinoTiles
+elementwiseBackwardData(const WinoTiles &dY, const WinoWeights &W)
+{
+    WinoTiles dX(dY.alphaEdge(), W.inChannels(), dY.batch(), dY.tiles());
+    elementwiseBackwardDataInto(dY, W, dX);
     return dX;
 }
 
-WinoWeights
-elementwiseGradWeights(const WinoTiles &dY, const WinoTiles &X)
+void
+elementwiseGradWeightsInto(const WinoTiles &dY, const WinoTiles &X,
+                           WinoWeights &dW)
 {
     WINOMC_SPAN("wino.ew.grad_weights", "wino");
     winomc_assert(dY.batch() == X.batch() && dY.tiles() == X.tiles() &&
                   dY.alphaEdge() == X.alphaEdge(),
                   "shape mismatch in weight gradient");
-    WinoWeights dW(X.alphaEdge(), dY.channels(), X.channels());
+    winomc_assert(dW.alphaEdge() == X.alphaEdge() &&
+                  dW.outChannels() == dY.channels() &&
+                  dW.inChannels() == X.channels(),
+                  "elementwiseGradWeightsInto destination shape mismatch");
     const int bt = X.batch() * X.tiles();
     const int nj = dY.channels();
     const int ni = X.channels();
@@ -411,18 +484,28 @@ elementwiseGradWeights(const WinoTiles &dY, const WinoTiles &X)
             }
         }
     });
+}
+
+WinoWeights
+elementwiseGradWeights(const WinoTiles &dY, const WinoTiles &X)
+{
+    WinoWeights dW(X.alphaEdge(), dY.channels(), X.channels());
+    elementwiseGradWeightsInto(dY, X, dW);
     return dW;
 }
 
-Tensor
-inverseTransform(const WinoTiles &Y, const WinogradAlgo &algo, int h,
-                 int w)
+void
+inverseTransformInto(const WinoTiles &Y, const WinogradAlgo &algo,
+                     Tensor &y)
 {
     WINOMC_SPAN("wino.xform.inverse", "wino");
+    const int h = y.h();
+    const int w = y.w();
     TileGrid grid(h, w, algo);
     winomc_assert(grid.tiles() == Y.tiles(),
                   "tile count mismatch in inverse transform");
-    Tensor y(Y.batch(), Y.channels(), h, w);
+    winomc_assert(y.n() == Y.batch() && y.c() == Y.channels(),
+                  "inverseTransformInto destination shape mismatch");
     const int a = algo.alpha;
     const int m = algo.m;
     const int nc = Y.channels();
@@ -452,15 +535,27 @@ inverseTransform(const WinoTiles &Y, const WinogradAlgo &algo, int h,
             }
         }
     });
+}
+
+Tensor
+inverseTransform(const WinoTiles &Y, const WinogradAlgo &algo, int h,
+                 int w)
+{
+    Tensor y(Y.batch(), Y.channels(), h, w);
+    inverseTransformInto(Y, algo, y);
     return y;
 }
 
-WinoTiles
-inverseTransformAdjoint(const Tensor &dy, const WinogradAlgo &algo)
+void
+inverseTransformAdjointInto(const Tensor &dy, const WinogradAlgo &algo,
+                            WinoTiles &dY)
 {
     WINOMC_SPAN("wino.xform.inverse_adjoint", "wino");
     TileGrid grid(dy.h(), dy.w(), algo);
-    WinoTiles dY(algo.alpha, dy.c(), dy.n(), grid.tiles());
+    winomc_assert(dY.alphaEdge() == algo.alpha &&
+                  dY.channels() == dy.c() && dY.batch() == dy.n() &&
+                  dY.tiles() == grid.tiles(),
+                  "inverseTransformAdjointInto destination shape mismatch");
     const int a = algo.alpha;
     const int m = algo.m;
     const int nc = dy.c();
@@ -492,6 +587,14 @@ inverseTransformAdjoint(const Tensor &dy, const WinogradAlgo &algo)
             }
         }
     });
+}
+
+WinoTiles
+inverseTransformAdjoint(const Tensor &dy, const WinogradAlgo &algo)
+{
+    TileGrid grid(dy.h(), dy.w(), algo);
+    WinoTiles dY(algo.alpha, dy.c(), dy.n(), grid.tiles());
+    inverseTransformAdjointInto(dy, algo, dY);
     return dY;
 }
 
@@ -499,30 +602,34 @@ Tensor
 winogradForward(const Tensor &x, const WinoWeights &W,
                 const WinogradAlgo &algo)
 {
-    WINOMC_SPAN("wino.phase.fwd", "wino");
-    WinoTiles X = transformInput(x, algo);
-    WinoTiles Y = elementwiseForward(X, W);
-    return inverseTransform(Y, algo, x.h(), x.w());
+    WinoPlan plan(algo, x.n(), W.inChannels(), W.outChannels(), x.h(),
+                  x.w());
+    Tensor y(x.n(), W.outChannels(), x.h(), x.w());
+    plan.forwardInto(x, W, y);
+    return y;
 }
 
 Tensor
 winogradBackwardData(const Tensor &dy, const WinoWeights &W,
                      const WinogradAlgo &algo, int h, int w)
 {
-    WINOMC_SPAN("wino.phase.bwd_data", "wino");
-    WinoTiles dY = inverseTransformAdjoint(dy, algo);
-    WinoTiles dX = elementwiseBackwardData(dY, W);
-    return transformInputAdjoint(dX, algo, h, w);
+    winomc_assert(dy.h() == h && dy.w() == w,
+                  "winogradBackwardData: \"same\" conv implies dy and dx "
+                  "share spatial size");
+    WinoPlan plan(algo, dy.n(), W.inChannels(), W.outChannels(), h, w);
+    Tensor dx(dy.n(), W.inChannels(), h, w);
+    plan.backwardDataInto(dy, W, dx);
+    return dx;
 }
 
 WinoWeights
 winogradGradWeights(const Tensor &x, const Tensor &dy,
                     const WinogradAlgo &algo)
 {
-    WINOMC_SPAN("wino.phase.grad_weights", "wino");
-    WinoTiles X = transformInput(x, algo);
-    WinoTiles dY = inverseTransformAdjoint(dy, algo);
-    return elementwiseGradWeights(dY, X);
+    WinoPlan plan(algo, x.n(), x.c(), dy.c(), x.h(), x.w());
+    WinoWeights dW(algo.alpha, dy.c(), x.c());
+    plan.gradWeightsInto(x, dy, dW);
+    return dW;
 }
 
 Tensor

@@ -67,7 +67,41 @@ WinoTiles inverseTransformAdjoint(const Tensor &dy,
                                   const WinogradAlgo &algo);
 
 // ---------------------------------------------------------------------
-// High-level convenience wrappers
+// Destination-passing stage kernels
+//
+// The value-returning stage functions above are thin wrappers over
+// these: the caller owns the (pre-shaped) destination, so execution
+// plans (winograd/plan.hh) can reuse workspace slabs across batches
+// with zero steady-state allocation. Destinations that the kernels
+// accumulate into (elementwiseForwardInto, elementwiseBackwardDataInto,
+// transformInputAdjointInto) are zero-filled on entry; the others are
+// fully assigned. Results are bitwise identical to the value-returning
+// forms for any thread count.
+// ---------------------------------------------------------------------
+
+void transformInputInto(const Tensor &x, const WinogradAlgo &algo,
+                        WinoTiles &out);
+/** Spatial size is taken from the pre-shaped dx. */
+void transformInputAdjointInto(const WinoTiles &dX,
+                               const WinogradAlgo &algo, Tensor &dx);
+void transformWeightsInto(const Tensor &w, const WinogradAlgo &algo,
+                          WinoWeights &out);
+void transformWeightsAdjointInto(const WinoWeights &dW,
+                                 const WinogradAlgo &algo, Tensor &dw);
+void elementwiseForwardInto(const WinoTiles &X, const WinoWeights &W,
+                            WinoTiles &Y);
+void elementwiseBackwardDataInto(const WinoTiles &dY,
+                                 const WinoWeights &W, WinoTiles &dX);
+void elementwiseGradWeightsInto(const WinoTiles &dY, const WinoTiles &X,
+                                WinoWeights &dW);
+/** Spatial size is taken from the pre-shaped y. */
+void inverseTransformInto(const WinoTiles &Y, const WinogradAlgo &algo,
+                          Tensor &y);
+void inverseTransformAdjointInto(const Tensor &dy,
+                                 const WinogradAlgo &algo, WinoTiles &dY);
+
+// ---------------------------------------------------------------------
+// High-level convenience wrappers (build a transient execution plan)
 // ---------------------------------------------------------------------
 
 /** y = winograd_conv(x, W); W already in the Winograd domain. */

@@ -1,0 +1,146 @@
+#include "winograd/plan.hh"
+
+#include "common/trace.hh"
+#include "winograd/conv.hh"
+
+namespace winomc {
+
+WinoPlan::WinoPlan(const WinogradAlgo &algo, int batch, int inCh,
+                   int outCh, int h, int w)
+    : alg(algo), nb(batch), ni(inCh), nj(outCh), fh(h), fw(w),
+      grid(h, w, algo)
+{
+    winomc_assert(batch > 0 && inCh > 0 && outCh > 0,
+                  "degenerate WinoPlan configuration");
+    // Validate the planned working set against the workspace budget
+    // before touching the pool, so an oversized shape dies with a clear
+    // message instead of an OOM mid-pipeline.
+    const std::size_t perUv =
+        std::size_t(algo.alpha) * algo.alpha * batch * grid.tiles();
+    ws::checkBudget(perUv * (2 * std::size_t(inCh + outCh)) *
+                        sizeof(float),
+                    "WinoPlan(" + std::to_string(batch) + "x" +
+                        std::to_string(inCh) + "->" +
+                        std::to_string(outCh) + "@" + std::to_string(h) +
+                        "x" + std::to_string(w) + ")");
+    Xt.reshape(algo.alpha, inCh, batch, grid.tiles());
+    Yt.reshape(algo.alpha, outCh, batch, grid.tiles());
+    dYt.reshape(algo.alpha, outCh, batch, grid.tiles());
+    dXt.reshape(algo.alpha, inCh, batch, grid.tiles());
+}
+
+bool
+WinoPlan::matches(const WinogradAlgo &algo, int batch, int inCh,
+                  int outCh, int h, int w) const
+{
+    return &algo == &alg && batch == nb && inCh == ni && outCh == nj &&
+           h == fh && w == fw;
+}
+
+std::size_t
+WinoPlan::workspaceBytes() const
+{
+    return (Xt.size() + Yt.size() + dYt.size() + dXt.size()) *
+           sizeof(float);
+}
+
+void
+WinoPlan::forwardInto(const Tensor &x, const WinoWeights &W, Tensor &y)
+{
+    WINOMC_SPAN("wino.phase.fwd", "wino");
+    transformInputInto(x, alg, Xt);
+    elementwiseForwardInto(Xt, W, Yt);
+    inverseTransformInto(Yt, alg, y);
+    haveInput = haveOutput = true;
+}
+
+void
+WinoPlan::backwardDataInto(const Tensor &dy, const WinoWeights &W,
+                           Tensor &dx)
+{
+    WINOMC_SPAN("wino.phase.bwd_data", "wino");
+    inverseTransformAdjointInto(dy, alg, dYt);
+    haveGrad = true;
+    elementwiseBackwardDataInto(dYt, W, dXt);
+    transformInputAdjointInto(dXt, alg, dx);
+}
+
+void
+WinoPlan::gradWeightsInto(const Tensor &x, const Tensor &dy,
+                          WinoWeights &dW)
+{
+    WINOMC_SPAN("wino.phase.grad_weights", "wino");
+    transformInputInto(x, alg, Xt);
+    haveInput = true;
+    inverseTransformAdjointInto(dy, alg, dYt);
+    haveGrad = true;
+    elementwiseGradWeightsInto(dYt, Xt, dW);
+}
+
+void
+WinoPlan::transformGradOutput(const Tensor &dy)
+{
+    inverseTransformAdjointInto(dy, alg, dYt);
+    haveGrad = true;
+}
+
+void
+WinoPlan::gradWeightsFromCachedInto(WinoWeights &dW)
+{
+    winomc_assert(haveInput && haveGrad,
+                  "gradWeightsFromCachedInto without cached forward "
+                  "tiles and transformed grad-output");
+    elementwiseGradWeightsInto(dYt, Xt, dW);
+}
+
+void
+WinoPlan::backwardDataFromCachedInto(const WinoWeights &W, Tensor &dx)
+{
+    winomc_assert(haveGrad, "backwardDataFromCachedInto before "
+                            "transformGradOutput");
+    elementwiseBackwardDataInto(dYt, W, dXt);
+    transformInputAdjointInto(dXt, alg, dx);
+}
+
+void
+WinoPlan::scatterInput(const Tensor &x)
+{
+    transformInputInto(x, alg, Xt);
+    haveInput = true;
+}
+
+void
+WinoPlan::gatherOutputInto(Tensor &y)
+{
+    inverseTransformInto(Yt, alg, y);
+    haveOutput = true;
+}
+
+void
+WinoPlan::gatherGradInputInto(Tensor &dx)
+{
+    transformInputAdjointInto(dXt, alg, dx);
+}
+
+const WinoTiles &
+WinoPlan::inputTiles() const
+{
+    winomc_assert(haveInput, "input tiles not populated");
+    return Xt;
+}
+
+const WinoTiles &
+WinoPlan::outputTiles() const
+{
+    winomc_assert(haveOutput, "output tiles not populated");
+    return Yt;
+}
+
+const WinoTiles &
+WinoPlan::gradOutputTiles() const
+{
+    winomc_assert(haveGrad, "grad-output tiles not populated");
+    return dYt;
+}
+
+} // namespace winomc

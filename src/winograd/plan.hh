@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Shape-bound Winograd execution plans.
+ *
+ * A WinoPlan binds one (algorithm, batch, in_ch -> out_ch, H, W)
+ * configuration, precomputes the tile grid, and owns every
+ * Winograd-domain slab the pipeline needs (input tiles, output tiles,
+ * grad-output tiles, grad-input tiles). All stage execution goes through
+ * the destination-passing kernels of winograd/conv.hh, so once a plan is
+ * built, repeated training steps over the same shape perform zero heap
+ * allocations in the Winograd path — the plan is the host-side analogue
+ * of the paper's statically scheduled SRAM working set.
+ *
+ * Lifecycle: layers build a plan lazily on the first forward and rebuild
+ * only when the incoming shape stops matching (matches()). The plan
+ * budget is validated against WINOMC_WORKSPACE_LIMIT_MB at construction,
+ * failing loudly instead of OOM-ing later.
+ *
+ * Thread-safety contract: a plan parallelizes *internally* (each stage
+ * fans out across the common/parallel.hh pool) but is not reentrant —
+ * concurrent calls into one plan race on its slabs. One plan per layer
+ * (or per cluster in MPT) is the intended usage; results are bitwise
+ * identical for any thread count.
+ */
+
+#ifndef WINOMC_WINOGRAD_PLAN_HH
+#define WINOMC_WINOGRAD_PLAN_HH
+
+#include "tensor/tensor.hh"
+#include "winograd/algo.hh"
+#include "winograd/tiling.hh"
+
+namespace winomc {
+
+class WinoPlan
+{
+  public:
+    WinoPlan(const WinogradAlgo &algo, int batch, int inCh, int outCh,
+             int h, int w);
+
+    /** Does this plan cover the given execution configuration? */
+    bool matches(const WinogradAlgo &algo, int batch, int inCh,
+                 int outCh, int h, int w) const;
+
+    const TileGrid &tileGrid() const { return grid; }
+    int batch() const { return nb; }
+    int inChannels() const { return ni; }
+    int outChannels() const { return nj; }
+    int height() const { return fh; }
+    int width() const { return fw; }
+
+    /** Total bytes of the plan-owned slabs (the planned working set). */
+    std::size_t workspaceBytes() const;
+
+    // -----------------------------------------------------------------
+    // One-shot pipelines (the free winograd* wrappers route through
+    // transient plans built on these). Each fully rewrites the slabs it
+    // touches; forwardInto leaves inputTiles()/outputTiles() caching the
+    // transformed activations of x.
+    // -----------------------------------------------------------------
+
+    /** y = winograd_conv(x, W); caches X and Y tiles in the plan. */
+    void forwardInto(const Tensor &x, const WinoWeights &W, Tensor &y);
+    /** dx from dy through the pipeline adjoint (no cached state used). */
+    void backwardDataInto(const Tensor &dy, const WinoWeights &W,
+                          Tensor &dx);
+    /** dW (assigned, not accumulated) from x and dy. */
+    void gradWeightsInto(const Tensor &x, const Tensor &dy,
+                         WinoWeights &dW);
+
+    // -----------------------------------------------------------------
+    // Staged training-step API: forwardInto caches the input tiles;
+    // transformGradOutput computes the grad-output tiles once, and both
+    // gradient products then reuse them without re-transforming.
+    // -----------------------------------------------------------------
+
+    /** dYt = A dy A^T per tile; prerequisite of the FromCached calls. */
+    void transformGradOutput(const Tensor &dy);
+    /** dW (assigned) from the cached X tiles and grad-output tiles. */
+    void gradWeightsFromCachedInto(WinoWeights &dW);
+    /** dx from the grad-output tiles through W^T and the input adjoint. */
+    void backwardDataFromCachedInto(const WinoWeights &W, Tensor &dx);
+
+    // -----------------------------------------------------------------
+    // Partial-execution access (mpt::MptConvLayer): scatter/gather move
+    // between the spatial and Winograd domains; the partial element-wise
+    // kernels of mpt/functional.hh then accumulate directly into the
+    // plan-owned slabs. Callers zero outputTilesMutable() /
+    // gradInputTilesMutable() before a fresh accumulation pass — a
+    // zeroed reused slab is bitwise identical to a fresh one.
+    // -----------------------------------------------------------------
+
+    /** Xt = B^T x B per tile (marks the input cache valid). */
+    void scatterInput(const Tensor &x);
+    /** y = inverse transform of the (accumulated) output tiles. */
+    void gatherOutputInto(Tensor &y);
+    /** dYt = A dy A^T per tile (same as transformGradOutput). */
+    void scatterGradOutput(const Tensor &dy) { transformGradOutput(dy); }
+    /** dx = overlap-add adjoint of the (accumulated) grad-input tiles. */
+    void gatherGradInputInto(Tensor &dx);
+
+    const WinoTiles &inputTiles() const;
+    const WinoTiles &outputTiles() const;
+    const WinoTiles &gradOutputTiles() const;
+    WinoTiles &outputTilesMutable() { return Yt; }
+    WinoTiles &gradInputTilesMutable() { return dXt; }
+
+    /** Is the input-tile cache populated (by forwardInto/scatterInput)? */
+    bool inputCached() const { return haveInput; }
+    /** Drop cache-validity (e.g. after an inference-only forward). */
+    void invalidateCache() { haveInput = haveOutput = haveGrad = false; }
+
+  private:
+    const WinogradAlgo &alg;
+    int nb, ni, nj, fh, fw;
+    TileGrid grid;
+
+    WinoTiles Xt;  ///< transformed input activations [a²][I][N][T]
+    WinoTiles Yt;  ///< pre-inverse output tiles       [a²][J][N][T]
+    WinoTiles dYt; ///< transformed output gradients   [a²][J][N][T]
+    WinoTiles dXt; ///< Winograd-domain input grads    [a²][I][N][T]
+
+    bool haveInput = false;  ///< Xt holds the last forward's input
+    bool haveOutput = false; ///< Yt holds the last forward's output
+    bool haveGrad = false;   ///< dYt holds the last backward's grads
+};
+
+} // namespace winomc
+
+#endif // WINOMC_WINOGRAD_PLAN_HH

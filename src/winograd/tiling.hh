@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "tensor/workspace.hh"
 #include "winograd/algo.hh"
 
 namespace winomc {
@@ -50,6 +51,16 @@ class WinoTiles
   public:
     WinoTiles() = default;
     WinoTiles(int alpha, int channels, int batch, int tiles);
+
+    ~WinoTiles() { ws::release(std::move(data)); }
+    WinoTiles(const WinoTiles &o);
+    WinoTiles &operator=(const WinoTiles &o);
+    WinoTiles(WinoTiles &&o) noexcept;
+    WinoTiles &operator=(WinoTiles &&o) noexcept;
+
+    /** Rebind shape, reusing the slab when capacity allows. Contents
+     *  are zeroed iff the shape changed. */
+    void reshape(int alpha, int channels, int batch, int tiles);
 
     int alphaEdge() const { return alpha; }
     int uvCount() const { return alpha * alpha; }
@@ -109,6 +120,16 @@ class WinoWeights
   public:
     WinoWeights() = default;
     WinoWeights(int alpha, int out_ch, int in_ch);
+
+    ~WinoWeights() { ws::release(std::move(data)); }
+    WinoWeights(const WinoWeights &o);
+    WinoWeights &operator=(const WinoWeights &o);
+    WinoWeights(WinoWeights &&o) noexcept;
+    WinoWeights &operator=(WinoWeights &&o) noexcept;
+
+    /** Rebind shape, reusing the slab when capacity allows. Contents
+     *  are zeroed iff the shape changed. */
+    void reshape(int alpha, int out_ch, int in_ch);
 
     int alphaEdge() const { return alpha; }
     int uvCount() const { return alpha * alpha; }

@@ -153,7 +153,8 @@ TEST_F(ObservabilityTest, RetiredThreadShardsAreKept)
                                  metrics::counterAdd("t.retired");
                          });
     } // pool destroyed: worker shards merge into the registry
-    const auto *c = find(metrics::snapshot(), "t.retired");
+    const auto snap = metrics::snapshot();
+    const auto *c = find(snap, "t.retired");
     ASSERT_NE(c, nullptr);
     EXPECT_DOUBLE_EQ(c->value, 1000.0);
 }
@@ -212,7 +213,8 @@ TEST_F(ObservabilityTest, SpanFeedsTraceAndMetrics)
     {
         WINOMC_SPAN("t.span", "test");
     }
-    const auto *t = find(metrics::snapshot(), "t.span");
+    const auto snap = metrics::snapshot();
+    const auto *t = find(snap, "t.span");
     ASSERT_NE(t, nullptr);
     EXPECT_EQ(t->kind, metrics::Kind::Timer);
     EXPECT_EQ(t->count, 1u);
@@ -281,7 +283,8 @@ TEST_F(ObservabilityTest, HistogramExactPercentilesUnderConcurrentAdd)
                                   100.0, 100);
     });
 
-    const auto *h = find(metrics::snapshot(), "t.hist");
+    const auto snap = metrics::snapshot();
+    const auto *h = find(snap, "t.hist");
     ASSERT_NE(h, nullptr);
     EXPECT_EQ(h->kind, metrics::Kind::Histogram);
     EXPECT_EQ(h->count, std::uint64_t(kN));
@@ -315,7 +318,8 @@ TEST_F(ObservabilityTest, HistogramMergeAccumulates)
     metrics::histogramMerge("t.hist.merged", a);
     metrics::histogramMerge("t.hist.merged", a);
 
-    const auto *h = find(metrics::snapshot(), "t.hist.merged");
+    const auto snap = metrics::snapshot();
+    const auto *h = find(snap, "t.hist.merged");
     ASSERT_NE(h, nullptr);
     EXPECT_EQ(h->count, 20u);
     EXPECT_DOUBLE_EQ(h->value, 2.0 * a.sum());

@@ -93,6 +93,13 @@ struct NetRow
     bool haveOccupancy = false;
 };
 
+/** Workspace allocator gauges of one run scope ("workspace.*"). */
+struct WorkspaceRow
+{
+    double bytesInUse = 0, highWater = 0, pooledBytes = 0;
+    double freshAllocs = 0, freshBytes = 0, reuses = 0;
+};
+
 using RowKey = std::pair<std::string, std::string>; // (scope, strategy)
 
 struct Report
@@ -101,6 +108,7 @@ struct Report
     std::map<RowKey, EnergyRow> energy;
     std::map<RowKey, TrafficRow> traffic;
     std::map<std::string, NetRow> nets; // key: scoped network prefix
+    std::map<std::string, WorkspaceRow> workspaces; // key: scope
 };
 
 void
@@ -143,6 +151,25 @@ ingest(Report &rep, const Sample &s)
         } else if (leaf == "collective_bytes") {
             rep.traffic[key].collectiveBytes = s.value;
         }
+        return;
+    }
+
+    // Workspace allocator gauges ("workspace.<leaf>").
+    if (rest.rfind("workspace.", 0) == 0) {
+        WorkspaceRow &r = rep.workspaces[scope.empty() ? "-" : scope];
+        const std::string leafw = rest.substr(10);
+        if (leafw == "bytes_in_use")
+            r.bytesInUse = s.value;
+        else if (leafw == "high_water_bytes")
+            r.highWater = s.value;
+        else if (leafw == "pooled_bytes")
+            r.pooledBytes = s.value;
+        else if (leafw == "fresh_allocs")
+            r.freshAllocs = s.value;
+        else if (leafw == "fresh_bytes")
+            r.freshBytes = s.value;
+        else if (leafw == "slab_reuses")
+            r.reuses = s.value;
         return;
     }
 
@@ -345,6 +372,23 @@ main(int argc, char **argv)
         emitSection(opt, "Network saturation",
                     {"network", "util max", "util mean", "credit stalls",
                      "HoL blocks", "occupancy p50/p90/p99"},
+                    rows);
+    }
+
+    {
+        std::vector<std::vector<std::string>> rows;
+        for (const auto &[scope, r] : rep.workspaces) {
+            const double total = r.freshAllocs + r.reuses;
+            rows.push_back(
+                {scope, fmt(r.highWater / (1 << 20)),
+                 fmt(r.bytesInUse / (1 << 20)),
+                 fmt(r.pooledBytes / (1 << 20)), fmt(r.freshAllocs),
+                 fmt(r.freshBytes / (1 << 20)),
+                 fmt(total > 0.0 ? 100.0 * r.reuses / total : 0.0)});
+        }
+        emitSection(opt, "Workspace allocator",
+                    {"scope", "high water MB", "in use MB", "pooled MB",
+                     "fresh allocs", "fresh MB", "reuse %"},
                     rows);
     }
 
