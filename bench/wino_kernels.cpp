@@ -7,15 +7,20 @@
  *
  * The elementwise / transform kernels and the end-to-end pipeline also
  * sweep the execution-engine thread count (1/2/4/hardware max) so the
- * scaling of the blocked GEMM path is tracked release to release.
+ * scaling of the blocked GEMM path is tracked release to release. Each
+ * row is labeled with the micro-kernel ISA that executed it (see
+ * WINOMC_ISA); the *Scalar variants pin the scalar table at threads:1
+ * so the SIMD speedup is visible inside one run.
  *
  * With WINOMC_METRICS=BENCH_wino.json the run additionally dumps the
  * per-stage timer registry (wino.xform.*, wino.ew.*) as a reproducible
  * JSON artifact; WINOMC_TRACE=wino.trace.json captures the spans for
  * chrome://tracing / Perfetto.
  *
- * --json <path> writes a compact baseline artifact: ms per kernel plus
- * the workspace traffic per iteration (fresh heap bytes and slab
+ * --json <path> writes a compact baseline artifact: ms per kernel, the
+ * executing ISA, achieved GFLOP/s, run-to-run stddev (the flag implies
+ * --benchmark_repetitions=3 unless one is given explicitly), plus the
+ * workspace traffic per iteration (fresh heap bytes and slab
  * acquires), so allocation regressions in the hot path are as visible
  * as time regressions.
  */
@@ -23,8 +28,10 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -34,6 +41,8 @@
 #include "tensor/workspace.hh"
 #include "winograd/algo.hh"
 #include "winograd/conv.hh"
+#include "winograd/microkernel.hh"
+#include "winograd/plan.hh"
 
 using namespace winomc;
 
@@ -42,26 +51,39 @@ namespace {
 /**
  * Brackets a benchmark's timing loop with workspace-counter snapshots
  * and reports the per-iteration allocation traffic as user counters
- * (picked up by the console table and the --json artifact).
+ * (picked up by the console table and the --json artifact). Returns
+ * the acquires/iter value so callers can assert on it.
  */
 struct WsProbe
 {
     ws::Stats s0 = ws::Workspace::global().stats();
 
-    void
+    double
     report(benchmark::State &state) const
     {
         const ws::Stats s1 = ws::Workspace::global().stats();
         const double iters = double(std::max<int64_t>(
             state.iterations(), 1));
-        state.counters["ws_fresh_bytes_per_iter"] =
-            double(s1.freshBytes - s0.freshBytes) / iters;
-        state.counters["ws_acquires_per_iter"] =
+        const double acquires =
             double((s1.freshAllocs + s1.reuses) -
                    (s0.freshAllocs + s0.reuses)) /
             iters;
+        state.counters["ws_fresh_bytes_per_iter"] =
+            double(s1.freshBytes - s0.freshBytes) / iters;
+        state.counters["ws_acquires_per_iter"] = acquires;
+        return acquires;
     }
 };
+
+/** Tag the row with the executing ISA and its raw FLOP rate. */
+void
+reportKernelRate(benchmark::State &state, double flopsPerIter)
+{
+    state.SetLabel(mk::isaName(mk::activeIsa()));
+    state.counters["flops_per_sec"] = benchmark::Counter(
+        flopsPerIter * double(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
 
 struct Shapes
 {
@@ -79,6 +101,14 @@ shapeFor(int idx)
       default:
         return {4, 8, 24};
     }
+}
+
+/** Nominal direct-conv FLOPs for an N x C -> C, hw x hw, r=3 layer:
+ *  the common yardstick all conv benchmarks report their rate in. */
+double
+convFlops(const Shapes &s)
+{
+    return 2.0 * s.batch * double(s.ch) * s.ch * s.hw * s.hw * 9;
 }
 
 /** Thread sweep 1/2/4/max, deduplicated for small machines. */
@@ -107,14 +137,21 @@ BM_DirectConv(benchmark::State &state)
     for (auto _ : state)
         benchmark::DoNotOptimize(directConvForward(x, w));
     probe.report(state);
+    reportKernelRate(state, convFlops(s));
     state.SetItemsProcessed(int64_t(state.iterations()) * s.batch *
                             s.ch * s.ch * s.hw * s.hw * 9);
 }
 BENCHMARK(BM_DirectConv)->Arg(0)->Arg(1)->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
+/**
+ * Shared body for the F(2,3)/F(4,3) forward benchmarks: a persistent
+ * WinoPlan owns every slab, so after the warm-up call the steady state
+ * must not touch the workspace at all (the transient winogradForward
+ * wrapper used to re-acquire 5 slabs per call).
+ */
 void
-BM_WinogradConvF2(benchmark::State &state)
+winogradForwardPlanned(benchmark::State &state, const WinogradAlgo &algo)
 {
     Shapes s = shapeFor(int(state.range(0)));
     Rng rng(1);
@@ -122,14 +159,29 @@ BM_WinogradConvF2(benchmark::State &state)
     Tensor w(s.ch, s.ch, 3, 3);
     x.fillUniform(rng);
     w.fillUniform(rng);
-    const auto &algo = algoF2x2_3x3();
     WinoWeights W = transformWeights(w, algo);
+    WinoPlan plan(algo, s.batch, s.ch, s.ch, s.hw, s.hw);
+    Tensor y(s.batch, s.ch, s.hw, s.hw);
+    plan.forwardInto(x, W, y); // warm-up: all slabs acquired here
     WsProbe probe;
-    for (auto _ : state)
-        benchmark::DoNotOptimize(winogradForward(x, W, algo));
-    probe.report(state);
+    for (auto _ : state) {
+        plan.forwardInto(x, W, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+    const double acquires = probe.report(state);
+    reportKernelRate(state, convFlops(s));
     state.SetItemsProcessed(int64_t(state.iterations()) * s.batch *
                             s.ch * s.ch * s.hw * s.hw * 9);
+    if (acquires > 0.5)
+        state.SkipWithError(
+            "persistent WinoPlan still acquires workspace slabs in "
+            "steady state");
+}
+
+void
+BM_WinogradConvF2(benchmark::State &state)
+{
+    winogradForwardPlanned(state, algoF2x2_3x3());
 }
 BENCHMARK(BM_WinogradConvF2)->Arg(0)->Arg(1)->Arg(2)
     ->Unit(benchmark::kMillisecond);
@@ -137,20 +189,7 @@ BENCHMARK(BM_WinogradConvF2)->Arg(0)->Arg(1)->Arg(2)
 void
 BM_WinogradConvF4(benchmark::State &state)
 {
-    Shapes s = shapeFor(int(state.range(0)));
-    Rng rng(1);
-    Tensor x(s.batch, s.ch, s.hw, s.hw);
-    Tensor w(s.ch, s.ch, 3, 3);
-    x.fillUniform(rng);
-    w.fillUniform(rng);
-    const auto &algo = algoF4x4_3x3();
-    WinoWeights W = transformWeights(w, algo);
-    WsProbe probe;
-    for (auto _ : state)
-        benchmark::DoNotOptimize(winogradForward(x, W, algo));
-    probe.report(state);
-    state.SetItemsProcessed(int64_t(state.iterations()) * s.batch *
-                            s.ch * s.ch * s.hw * s.hw * 9);
+    winogradForwardPlanned(state, algoF4x4_3x3());
 }
 BENCHMARK(BM_WinogradConvF4)->Arg(0)->Arg(1)->Arg(2)
     ->Unit(benchmark::kMillisecond);
@@ -175,6 +214,13 @@ struct ElementwiseFixture
         dY = inverseTransformAdjoint(x, algo);
     }
 
+    double
+    ewFlops() const
+    {
+        return 2.0 * X.uvCount() * double(W.outChannels()) *
+               W.inChannels() * X.batch() * X.tiles();
+    }
+
     WinoWeights W;
     WinoTiles X, dY;
 };
@@ -186,6 +232,16 @@ elementwiseFixture()
     return f;
 }
 
+/** FLOPs of one inverse transform over the fixture's tile set. */
+double
+inverseFlops(const WinoTiles &Y, const WinogradAlgo &algo)
+{
+    const int a = algo.alpha;
+    const int m = algo.m;
+    return 2.0 * m * a * (a + m) * double(Y.batch()) * Y.channels() *
+           Y.tiles();
+}
+
 void
 BM_ElementwiseForward(benchmark::State &state)
 {
@@ -195,6 +251,7 @@ BM_ElementwiseForward(benchmark::State &state)
     for (auto _ : state)
         benchmark::DoNotOptimize(elementwiseForward(f.X, f.W));
     probe.report(state);
+    reportKernelRate(state, f.ewFlops());
     // 2 flops per (uv, j, i, k) MAC.
     state.SetItemsProcessed(int64_t(state.iterations()) * f.X.uvCount() *
                             f.W.outChannels() * f.W.inChannels() *
@@ -212,6 +269,7 @@ BM_ElementwiseBackwardData(benchmark::State &state)
     for (auto _ : state)
         benchmark::DoNotOptimize(elementwiseBackwardData(f.dY, f.W));
     probe.report(state);
+    reportKernelRate(state, f.ewFlops());
     state.SetItemsProcessed(int64_t(state.iterations()) * f.X.uvCount() *
                             f.W.outChannels() * f.W.inChannels() *
                             f.X.batch() * f.X.tiles() * 2);
@@ -228,6 +286,7 @@ BM_ElementwiseGradWeights(benchmark::State &state)
     for (auto _ : state)
         benchmark::DoNotOptimize(elementwiseGradWeights(f.dY, f.X));
     probe.report(state);
+    reportKernelRate(state, f.ewFlops());
     state.SetItemsProcessed(int64_t(state.iterations()) * f.X.uvCount() *
                             f.W.outChannels() * f.W.inChannels() *
                             f.X.batch() * f.X.tiles() * 2);
@@ -243,10 +302,14 @@ BM_InputTransform(benchmark::State &state)
     Tensor x(2, 32, 32, 32);
     x.fillUniform(rng);
     const auto &algo = algoF2x2_3x3();
+    TileGrid grid(x.h(), x.w(), algo);
+    const int a = algo.alpha;
     WsProbe probe;
     for (auto _ : state)
         benchmark::DoNotOptimize(transformInput(x, algo));
     probe.report(state);
+    reportKernelRate(state, 4.0 * a * a * a * double(x.n()) * x.c() *
+                                grid.tiles());
 }
 BENCHMARK(BM_InputTransform)->Apply(threadArgs)
     ->Unit(benchmark::kMillisecond);
@@ -262,9 +325,62 @@ BM_InverseTransform(benchmark::State &state)
     for (auto _ : state)
         benchmark::DoNotOptimize(inverseTransform(Y, algo, 32, 32));
     probe.report(state);
+    reportKernelRate(state, inverseFlops(Y, algo));
 }
 BENCHMARK(BM_InverseTransform)->Apply(threadArgs)
     ->Unit(benchmark::kMillisecond);
+
+// -------------------------------------------------------------------
+// Scalar-pinned single-thread variants of the SIMD-sensitive kernels:
+// the in-run baseline the auto rows are compared against.
+// -------------------------------------------------------------------
+
+void
+BM_ElementwiseForwardScalar(benchmark::State &state)
+{
+    ThreadPool::global().setThreadCount(1);
+    mk::setIsa(mk::Isa::Scalar);
+    auto &f = elementwiseFixture();
+    WsProbe probe;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(elementwiseForward(f.X, f.W));
+    probe.report(state);
+    reportKernelRate(state, f.ewFlops());
+    mk::setIsa(mk::Isa::Auto);
+}
+BENCHMARK(BM_ElementwiseForwardScalar)->Unit(benchmark::kMillisecond);
+
+void
+BM_ElementwiseGradWeightsScalar(benchmark::State &state)
+{
+    ThreadPool::global().setThreadCount(1);
+    mk::setIsa(mk::Isa::Scalar);
+    auto &f = elementwiseFixture();
+    WsProbe probe;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(elementwiseGradWeights(f.dY, f.X));
+    probe.report(state);
+    reportKernelRate(state, f.ewFlops());
+    mk::setIsa(mk::Isa::Auto);
+}
+BENCHMARK(BM_ElementwiseGradWeightsScalar)->Unit(benchmark::kMillisecond);
+
+void
+BM_InverseTransformScalar(benchmark::State &state)
+{
+    ThreadPool::global().setThreadCount(1);
+    mk::setIsa(mk::Isa::Scalar);
+    auto &f = elementwiseFixture();
+    const auto &algo = algoF4x4_3x3();
+    WinoTiles Y = elementwiseForward(f.X, f.W);
+    WsProbe probe;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(inverseTransform(Y, algo, 32, 32));
+    probe.report(state);
+    reportKernelRate(state, inverseFlops(Y, algo));
+    mk::setIsa(mk::Isa::Auto);
+}
+BENCHMARK(BM_InverseTransformScalar)->Unit(benchmark::kMillisecond);
 
 /**
  * One full training step of a Winograd layer: forward, backward-data,
@@ -294,6 +410,7 @@ BM_WinoEndToEnd(benchmark::State &state)
         benchmark::DoNotOptimize(dW);
     }
     probe.report(state);
+    state.SetLabel(mk::isaName(mk::activeIsa()));
 }
 BENCHMARK(BM_WinoEndToEnd)->Apply(threadArgs)
     ->Unit(benchmark::kMillisecond);
@@ -313,13 +430,16 @@ BENCHMARK(BM_ToomCookGenerate)->Args({2, 3})->Args({4, 3})->Args({6, 3})
 struct JsonRecord
 {
     std::string name;
-    double ms = 0.0;
+    std::string isa;
+    std::vector<double> ms; ///< one entry per repetition
+    double gflops = 0.0;    ///< last seen (identical across reps)
     double freshBytesPerIter = 0.0;
     double acquiresPerIter = 0.0;
 };
 
 /** Console output as usual, plus a record of every per-iteration run
- *  for the --json artifact. */
+ *  for the --json artifact; repetitions of one benchmark fold into a
+ *  single record so the artifact carries run-to-run stddev. */
 class RecordingReporter : public benchmark::ConsoleReporter
 {
   public:
@@ -329,22 +449,55 @@ class RecordingReporter : public benchmark::ConsoleReporter
         for (const Run &r : runs) {
             if (r.run_type != Run::RT_Iteration)
                 continue;
-            JsonRecord rec;
-            rec.name = r.benchmark_name();
-            rec.ms = r.GetAdjustedRealTime(); // unit: kMillisecond
-            auto it = r.counters.find("ws_fresh_bytes_per_iter");
-            if (it != r.counters.end())
-                rec.freshBytesPerIter = it->second;
-            it = r.counters.find("ws_acquires_per_iter");
-            if (it != r.counters.end())
-                rec.acquiresPerIter = it->second;
-            records.push_back(std::move(rec));
+            const std::string name = r.benchmark_name();
+            JsonRecord *rec = nullptr;
+            auto it = byName.find(name);
+            if (it == byName.end()) {
+                records.push_back(JsonRecord{});
+                byName[name] = records.size() - 1;
+                rec = &records.back();
+                rec->name = name;
+            } else {
+                rec = &records[it->second];
+            }
+            rec->isa = r.report_label.empty() ? rec->isa : r.report_label;
+            rec->ms.push_back(r.GetAdjustedRealTime()); // unit: ms
+            auto c = r.counters.find("flops_per_sec");
+            if (c != r.counters.end())
+                rec->gflops = c->second / 1e9;
+            c = r.counters.find("ws_fresh_bytes_per_iter");
+            if (c != r.counters.end())
+                rec->freshBytesPerIter = c->second;
+            c = r.counters.find("ws_acquires_per_iter");
+            if (c != r.counters.end())
+                rec->acquiresPerIter = c->second;
         }
         ConsoleReporter::ReportRuns(runs);
     }
 
     std::vector<JsonRecord> records;
+
+  private:
+    std::map<std::string, size_t> byName;
 };
+
+void
+meanStddev(const std::vector<double> &v, double &mean, double &stddev)
+{
+    mean = 0.0;
+    stddev = 0.0;
+    if (v.empty())
+        return;
+    for (double x : v)
+        mean += x;
+    mean /= double(v.size());
+    if (v.size() < 2)
+        return;
+    double ss = 0.0;
+    for (double x : v)
+        ss += (x - mean) * (x - mean);
+    stddev = std::sqrt(ss / double(v.size() - 1));
+}
 
 bool
 writeJson(const std::string &path, const std::vector<JsonRecord> &recs)
@@ -353,14 +506,20 @@ writeJson(const std::string &path, const std::vector<JsonRecord> &recs)
     if (!f)
         return false;
     std::fprintf(f, "{\n  \"benchmarks\": [\n");
-    for (size_t i = 0; i < recs.size(); ++i)
+    for (size_t i = 0; i < recs.size(); ++i) {
+        double mean = 0.0, stddev = 0.0;
+        meanStddev(recs[i].ms, mean, stddev);
         std::fprintf(f,
-                     "    {\"name\": \"%s\", \"ms_per_iter\": %.4f, "
+                     "    {\"name\": \"%s\", \"isa\": \"%s\", "
+                     "\"ms_per_iter\": %.4f, \"stddev_ms\": %.4f, "
+                     "\"gflops\": %.2f, "
                      "\"ws_fresh_bytes_per_iter\": %.1f, "
                      "\"ws_acquires_per_iter\": %.2f}%s\n",
-                     recs[i].name.c_str(), recs[i].ms,
-                     recs[i].freshBytesPerIter, recs[i].acquiresPerIter,
+                     recs[i].name.c_str(), recs[i].isa.c_str(), mean,
+                     stddev, recs[i].gflops, recs[i].freshBytesPerIter,
+                     recs[i].acquiresPerIter,
                      i + 1 < recs.size() ? "," : "");
+    }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
     return true;
@@ -392,8 +551,21 @@ int
 main(int argc, char **argv)
 {
     const std::string json_path = extractJsonFlag(argc, argv);
-    benchmark::Initialize(&argc, argv);
-    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    // A --json artifact should carry run-to-run stddev: default to 3
+    // repetitions unless the caller chose a count themselves.
+    std::vector<char *> args(argv, argv + argc);
+    char repFlag[] = "--benchmark_repetitions=3";
+    if (!json_path.empty()) {
+        bool hasReps = false;
+        for (int i = 1; i < argc; ++i)
+            if (std::strncmp(argv[i], "--benchmark_repetitions", 23) == 0)
+                hasReps = true;
+        if (!hasReps)
+            args.push_back(repFlag);
+    }
+    int argc2 = int(args.size());
+    benchmark::Initialize(&argc2, args.data());
+    if (benchmark::ReportUnrecognizedArguments(argc2, args.data()))
         return 1;
     RecordingReporter reporter;
     benchmark::RunSpecifiedBenchmarks(&reporter);

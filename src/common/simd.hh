@@ -1,0 +1,402 @@
+/**
+ * @file
+ * Portable SIMD vector wrapper for the micro-kernel TUs.
+ *
+ * VF (packed float) and VD (packed double) map to the widest vector
+ * unit the *current translation unit* is compiled for, selected from
+ * the compiler's predefined macros:
+ *
+ *   __AVX512F__          -> 16 floats / 8 doubles
+ *   __AVX2__ + __FMA__   ->  8 floats / 4 doubles
+ *   __SSE2__ (x86-64)    ->  4 floats / 2 doubles
+ *   anything else        ->  1 float  / 1 double (plain scalar)
+ *
+ * IMPORTANT: this header is meant to be included ONLY from the
+ * ISA-specific micro-kernel TUs (winograd/microkernel_*.cc), each of
+ * which is compiled with its own -m flags. Everything lives in an
+ * anonymous namespace so two TUs compiled at different ISA levels can
+ * coexist in one binary without ODR violations; the only symbols a TU
+ * exports are its uniquely named kernel-table factory.
+ *
+ * Masked tails: loadPartial/storePartial handle the trailing n < W
+ * lanes of a loop (AVX-512 uses native mask registers; the narrower
+ * levels fall back to a lane loop). Partial loads zero-fill the lanes
+ * beyond n so arithmetic on the tail never touches garbage.
+ */
+
+#ifndef WINOMC_COMMON_SIMD_HH
+#define WINOMC_COMMON_SIMD_HH
+
+#include <cstdint>
+
+#if defined(__AVX512F__)
+#define WINOMC_SIMD_LEVEL 3
+#elif defined(__AVX2__) && defined(__FMA__)
+#define WINOMC_SIMD_LEVEL 2
+#elif defined(__SSE2__) || defined(__x86_64__) || defined(_M_X64)
+#define WINOMC_SIMD_LEVEL 1
+#else
+#define WINOMC_SIMD_LEVEL 0
+#endif
+
+#if WINOMC_SIMD_LEVEL >= 1
+#include <immintrin.h>
+#endif
+
+namespace {
+namespace simd {
+
+#if WINOMC_SIMD_LEVEL == 3
+
+struct VF
+{
+    __m512 v;
+    static constexpr int W = 16;
+
+    static VF zero() { return {_mm512_setzero_ps()}; }
+    static VF broadcast(float x) { return {_mm512_set1_ps(x)}; }
+    static VF load(const float *p) { return {_mm512_loadu_ps(p)}; }
+    static VF
+    loadPartial(const float *p, int n)
+    {
+        const __mmask16 m = __mmask16((1u << n) - 1u);
+        return {_mm512_maskz_loadu_ps(m, p)};
+    }
+    void store(float *p) const { _mm512_storeu_ps(p, v); }
+    void
+    storePartial(float *p, int n) const
+    {
+        _mm512_mask_storeu_ps(p, __mmask16((1u << n) - 1u), v);
+    }
+    static VF
+    fma(VF a, VF b, VF acc)
+    {
+        return {_mm512_fmadd_ps(a.v, b.v, acc.v)};
+    }
+    static VF add(VF a, VF b) { return {_mm512_add_ps(a.v, b.v)}; }
+    static VF mul(VF a, VF b) { return {_mm512_mul_ps(a.v, b.v)}; }
+    /** max(x, 0) with the scalar `x > 0 ? x : 0` semantics. */
+    static VF
+    reluOf(VF x)
+    {
+        return {_mm512_max_ps(x.v, _mm512_setzero_ps())};
+    }
+    /** 1.0f where x > 0, else 0.0f. */
+    static VF
+    gtZeroOne(VF x)
+    {
+        const __mmask16 m =
+            _mm512_cmp_ps_mask(x.v, _mm512_setzero_ps(), _CMP_GT_OQ);
+        return {_mm512_maskz_mov_ps(m, _mm512_set1_ps(1.0f))};
+    }
+};
+
+struct VD
+{
+    __m512d v;
+    static constexpr int W = 8;
+
+    static VD zero() { return {_mm512_setzero_pd()}; }
+    static VD broadcast(double x) { return {_mm512_set1_pd(x)}; }
+    static VD load(const double *p) { return {_mm512_loadu_pd(p)}; }
+    void store(double *p) const { _mm512_storeu_pd(p, v); }
+    static VD
+    loadFromFloat(const float *p)
+    {
+        return {_mm512_cvtps_pd(_mm256_loadu_ps(p))};
+    }
+    static VD
+    loadFromFloatPartial(const float *p, int n)
+    {
+        // 512-bit masked load (AVX512F; the 256-bit form needs VL),
+        // low half converted. n <= 8 keeps the mask in the low lanes.
+        const __mmask16 m = __mmask16((1u << n) - 1u);
+        const __m512 wide = _mm512_maskz_loadu_ps(m, p);
+        return {_mm512_cvtps_pd(_mm512_castps512_ps256(wide))};
+    }
+    void
+    storeToFloat(float *p) const
+    {
+        _mm256_storeu_ps(p, _mm512_cvtpd_ps(v));
+    }
+    void
+    storeToFloatPartial(float *p, int n) const
+    {
+        // Widen to 512 bits for the F-level masked store; only the
+        // low n (<= 8) lanes are written, the rest stay untouched.
+        const __m512 wide =
+            _mm512_zextps256_ps512(_mm512_cvtpd_ps(v));
+        _mm512_mask_storeu_ps(p, __mmask16((1u << n) - 1u), wide);
+    }
+    static VD
+    fma(VD a, VD b, VD acc)
+    {
+        return {_mm512_fmadd_pd(a.v, b.v, acc.v)};
+    }
+    static VD add(VD a, VD b) { return {_mm512_add_pd(a.v, b.v)}; }
+    static VD mul(VD a, VD b) { return {_mm512_mul_pd(a.v, b.v)}; }
+};
+
+#elif WINOMC_SIMD_LEVEL == 2
+
+struct VF
+{
+    __m256 v;
+    static constexpr int W = 8;
+
+    static VF zero() { return {_mm256_setzero_ps()}; }
+    static VF broadcast(float x) { return {_mm256_set1_ps(x)}; }
+    static VF load(const float *p) { return {_mm256_loadu_ps(p)}; }
+    static VF
+    loadPartial(const float *p, int n)
+    {
+        alignas(32) float tmp[W] = {};
+        for (int i = 0; i < n; ++i)
+            tmp[i] = p[i];
+        return {_mm256_load_ps(tmp)};
+    }
+    void store(float *p) const { _mm256_storeu_ps(p, v); }
+    void
+    storePartial(float *p, int n) const
+    {
+        alignas(32) float tmp[W];
+        _mm256_store_ps(tmp, v);
+        for (int i = 0; i < n; ++i)
+            p[i] = tmp[i];
+    }
+    static VF
+    fma(VF a, VF b, VF acc)
+    {
+        return {_mm256_fmadd_ps(a.v, b.v, acc.v)};
+    }
+    static VF add(VF a, VF b) { return {_mm256_add_ps(a.v, b.v)}; }
+    static VF mul(VF a, VF b) { return {_mm256_mul_ps(a.v, b.v)}; }
+    static VF
+    reluOf(VF x)
+    {
+        return {_mm256_max_ps(x.v, _mm256_setzero_ps())};
+    }
+    static VF
+    gtZeroOne(VF x)
+    {
+        const __m256 m =
+            _mm256_cmp_ps(x.v, _mm256_setzero_ps(), _CMP_GT_OQ);
+        return {_mm256_and_ps(m, _mm256_set1_ps(1.0f))};
+    }
+};
+
+struct VD
+{
+    __m256d v;
+    static constexpr int W = 4;
+
+    static VD zero() { return {_mm256_setzero_pd()}; }
+    static VD broadcast(double x) { return {_mm256_set1_pd(x)}; }
+    static VD load(const double *p) { return {_mm256_loadu_pd(p)}; }
+    void store(double *p) const { _mm256_storeu_pd(p, v); }
+    static VD
+    loadFromFloat(const float *p)
+    {
+        return {_mm256_cvtps_pd(_mm_loadu_ps(p))};
+    }
+    static VD
+    loadFromFloatPartial(const float *p, int n)
+    {
+        alignas(16) float tmp[W] = {};
+        for (int i = 0; i < n; ++i)
+            tmp[i] = p[i];
+        return {_mm256_cvtps_pd(_mm_load_ps(tmp))};
+    }
+    void
+    storeToFloat(float *p) const
+    {
+        _mm_storeu_ps(p, _mm256_cvtpd_ps(v));
+    }
+    void
+    storeToFloatPartial(float *p, int n) const
+    {
+        alignas(16) float tmp[W];
+        _mm_store_ps(tmp, _mm256_cvtpd_ps(v));
+        for (int i = 0; i < n; ++i)
+            p[i] = tmp[i];
+    }
+    static VD
+    fma(VD a, VD b, VD acc)
+    {
+        return {_mm256_fmadd_pd(a.v, b.v, acc.v)};
+    }
+    static VD add(VD a, VD b) { return {_mm256_add_pd(a.v, b.v)}; }
+    static VD mul(VD a, VD b) { return {_mm256_mul_pd(a.v, b.v)}; }
+};
+
+#elif WINOMC_SIMD_LEVEL == 1
+
+struct VF
+{
+    __m128 v;
+    static constexpr int W = 4;
+
+    static VF zero() { return {_mm_setzero_ps()}; }
+    static VF broadcast(float x) { return {_mm_set1_ps(x)}; }
+    static VF load(const float *p) { return {_mm_loadu_ps(p)}; }
+    static VF
+    loadPartial(const float *p, int n)
+    {
+        alignas(16) float tmp[W] = {};
+        for (int i = 0; i < n; ++i)
+            tmp[i] = p[i];
+        return {_mm_load_ps(tmp)};
+    }
+    void store(float *p) const { _mm_storeu_ps(p, v); }
+    void
+    storePartial(float *p, int n) const
+    {
+        alignas(16) float tmp[W];
+        _mm_store_ps(tmp, v);
+        for (int i = 0; i < n; ++i)
+            p[i] = tmp[i];
+    }
+    /** No FMA at this level: mul + add, rounded separately. */
+    static VF
+    fma(VF a, VF b, VF acc)
+    {
+        return {_mm_add_ps(acc.v, _mm_mul_ps(a.v, b.v))};
+    }
+    static VF add(VF a, VF b) { return {_mm_add_ps(a.v, b.v)}; }
+    static VF mul(VF a, VF b) { return {_mm_mul_ps(a.v, b.v)}; }
+    static VF
+    reluOf(VF x)
+    {
+        return {_mm_max_ps(x.v, _mm_setzero_ps())};
+    }
+    static VF
+    gtZeroOne(VF x)
+    {
+        const __m128 m = _mm_cmpgt_ps(x.v, _mm_setzero_ps());
+        return {_mm_and_ps(m, _mm_set1_ps(1.0f))};
+    }
+};
+
+struct VD
+{
+    __m128d v;
+    static constexpr int W = 2;
+
+    static VD zero() { return {_mm_setzero_pd()}; }
+    static VD broadcast(double x) { return {_mm_set1_pd(x)}; }
+    static VD load(const double *p) { return {_mm_loadu_pd(p)}; }
+    void store(double *p) const { _mm_storeu_pd(p, v); }
+    static VD
+    loadFromFloat(const float *p)
+    {
+        // Convert the two low floats of an 8-byte load.
+        return {_mm_cvtps_pd(
+            _mm_castsi128_ps(_mm_loadl_epi64(
+                reinterpret_cast<const __m128i *>(p))))};
+    }
+    static VD
+    loadFromFloatPartial(const float *p, int n)
+    {
+        alignas(16) float tmp[4] = {};
+        for (int i = 0; i < n; ++i)
+            tmp[i] = p[i];
+        return {_mm_cvtps_pd(_mm_load_ps(tmp))};
+    }
+    void
+    storeToFloat(float *p) const
+    {
+        alignas(16) float tmp[4];
+        _mm_store_ps(tmp, _mm_cvtpd_ps(v));
+        p[0] = tmp[0];
+        p[1] = tmp[1];
+    }
+    void
+    storeToFloatPartial(float *p, int n) const
+    {
+        alignas(16) float tmp[4];
+        _mm_store_ps(tmp, _mm_cvtpd_ps(v));
+        for (int i = 0; i < n; ++i)
+            p[i] = tmp[i];
+    }
+    static VD
+    fma(VD a, VD b, VD acc)
+    {
+        return {_mm_add_pd(acc.v, _mm_mul_pd(a.v, b.v))};
+    }
+    static VD add(VD a, VD b) { return {_mm_add_pd(a.v, b.v)}; }
+    static VD mul(VD a, VD b) { return {_mm_mul_pd(a.v, b.v)}; }
+};
+
+#else // WINOMC_SIMD_LEVEL == 0: plain scalar fallback (non-x86 hosts)
+
+struct VF
+{
+    float v;
+    static constexpr int W = 1;
+
+    static VF zero() { return {0.0f}; }
+    static VF broadcast(float x) { return {x}; }
+    static VF load(const float *p) { return {*p}; }
+    static VF loadPartial(const float *p, int n) { return {n ? *p : 0.0f}; }
+    void store(float *p) const { *p = v; }
+    void
+    storePartial(float *p, int n) const
+    {
+        if (n)
+            *p = v;
+    }
+    static VF fma(VF a, VF b, VF acc) { return {acc.v + a.v * b.v}; }
+    static VF add(VF a, VF b) { return {a.v + b.v}; }
+    static VF mul(VF a, VF b) { return {a.v * b.v}; }
+    static VF reluOf(VF x) { return {x.v > 0.0f ? x.v : 0.0f}; }
+    static VF gtZeroOne(VF x) { return {x.v > 0.0f ? 1.0f : 0.0f}; }
+};
+
+struct VD
+{
+    double v;
+    static constexpr int W = 1;
+
+    static VD zero() { return {0.0}; }
+    static VD broadcast(double x) { return {x}; }
+    static VD load(const double *p) { return {*p}; }
+    void store(double *p) const { *p = v; }
+    static VD loadFromFloat(const float *p) { return {double(*p)}; }
+    static VD
+    loadFromFloatPartial(const float *p, int n)
+    {
+        return {n ? double(*p) : 0.0};
+    }
+    void storeToFloat(float *p) const { *p = float(v); }
+    void
+    storeToFloatPartial(float *p, int n) const
+    {
+        if (n)
+            *p = float(v);
+    }
+    static VD fma(VD a, VD b, VD acc) { return {acc.v + a.v * b.v}; }
+    static VD add(VD a, VD b) { return {a.v + b.v}; }
+    static VD mul(VD a, VD b) { return {a.v * b.v}; }
+};
+
+#endif
+
+/** Fixed-order (pairwise-tree) horizontal sum: deterministic per ISA. */
+inline double
+hsum(VD x)
+{
+    double lanes[VD::W];
+    x.store(lanes);
+    int n = VD::W;
+    while (n > 1) {
+        for (int i = 0; i < n / 2; ++i)
+            lanes[i] = lanes[2 * i] + lanes[2 * i + 1];
+        n /= 2;
+    }
+    return lanes[0];
+}
+
+} // namespace simd
+} // namespace
+
+#endif // WINOMC_COMMON_SIMD_HH

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "winograd/microkernel.hh"
+
 namespace winomc::nn {
 
 Tensor
@@ -10,19 +12,9 @@ ReLU::forward(const Tensor &x, bool train)
     Tensor y = x;
     if (train)
         mask = Tensor(x.n(), x.c(), x.h(), x.w());
-    for (int b = 0; b < x.n(); ++b) {
-        for (int c = 0; c < x.c(); ++c) {
-            for (int i = 0; i < x.h(); ++i) {
-                for (int j = 0; j < x.w(); ++j) {
-                    bool on = x.at(b, c, i, j) > 0.0f;
-                    if (!on)
-                        y.at(b, c, i, j) = 0.0f;
-                    if (train)
-                        mask.at(b, c, i, j) = on ? 1.0f : 0.0f;
-                }
-            }
-        }
-    }
+    const mk::MicroKernels &K = mk::kernels();
+    K.reluForward(y.data(), train ? mask.data() : nullptr, x.data(),
+                  std::int64_t(x.size()));
     return y;
 }
 
@@ -31,11 +23,8 @@ ReLU::backward(const Tensor &dy)
 {
     winomc_assert(dy.sameShape(mask), "ReLU backward shape mismatch");
     Tensor dx = dy;
-    for (int b = 0; b < dy.n(); ++b)
-        for (int c = 0; c < dy.c(); ++c)
-            for (int i = 0; i < dy.h(); ++i)
-                for (int j = 0; j < dy.w(); ++j)
-                    dx.at(b, c, i, j) *= mask.at(b, c, i, j);
+    mk::kernels().mulPairwise(dx.data(), dy.data(), mask.data(),
+                              std::int64_t(dy.size()));
     return dx;
 }
 
@@ -99,15 +88,20 @@ AvgPool2::forward(const Tensor &x, bool)
     const int oh = x.h() / 2, ow = x.w() / 2;
     winomc_assert(oh > 0 && ow > 0, "avgpool2 input too small");
     Tensor y(x.n(), x.c(), oh, ow);
-    for (int b = 0; b < x.n(); ++b)
-        for (int c = 0; c < x.c(); ++c)
+    const mk::MicroKernels &K = mk::kernels();
+    const float *xp = x.data();
+    float *yp = y.data();
+    for (int b = 0; b < x.n(); ++b) {
+        for (int c = 0; c < x.c(); ++c) {
+            const float *plane =
+                xp + ((size_t(b) * x.c() + c) * x.h()) * x.w();
+            float *yplane = yp + ((size_t(b) * x.c() + c) * oh) * ow;
             for (int i = 0; i < oh; ++i)
-                for (int j = 0; j < ow; ++j)
-                    y.at(b, c, i, j) =
-                        0.25f * (x.at(b, c, 2 * i, 2 * j) +
-                                 x.at(b, c, 2 * i, 2 * j + 1) +
-                                 x.at(b, c, 2 * i + 1, 2 * j) +
-                                 x.at(b, c, 2 * i + 1, 2 * j + 1));
+                K.avgPool2Row(yplane + size_t(i) * ow,
+                              plane + size_t(2 * i) * x.w(),
+                              plane + size_t(2 * i + 1) * x.w(), ow);
+        }
+    }
     return y;
 }
 
@@ -135,15 +129,16 @@ GlobalAvgPool::forward(const Tensor &x, bool)
     inW = x.w();
     Tensor y(x.n(), x.c(), 1, 1);
     const float scale = 1.0f / float(x.h() * x.w());
-    for (int b = 0; b < x.n(); ++b) {
-        for (int c = 0; c < x.c(); ++c) {
-            double acc = 0.0;
-            for (int i = 0; i < x.h(); ++i)
-                for (int j = 0; j < x.w(); ++j)
-                    acc += x.at(b, c, i, j);
-            y.at(b, c, 0, 0) = float(acc) * scale;
-        }
-    }
+    const mk::MicroKernels &K = mk::kernels();
+    const std::int64_t plane = std::int64_t(x.h()) * x.w();
+    const float *xp = x.data();
+    for (int b = 0; b < x.n(); ++b)
+        for (int c = 0; c < x.c(); ++c)
+            y.at(b, c, 0, 0) =
+                float(K.sumDouble(
+                    xp + (size_t(b) * x.c() + c) * size_t(plane),
+                    plane)) *
+                scale;
     return y;
 }
 
@@ -233,11 +228,13 @@ Dense::backward(const Tensor &dy)
 void
 Dense::step(float lr)
 {
-    dw *= -lr;
-    w += dw;
+    // SGD axpy: w += (-lr) * dw. Bitwise identical to the legacy
+    // `dw *= -lr; w += dw` sequence on the scalar path (sign flip and
+    // subtract commute exactly in IEEE-754).
+    const mk::MicroKernels &K = mk::kernels();
+    K.axpy(w.data(), -lr, dw.data(), std::int64_t(w.size()));
     dw.fill(0.0f);
-    db *= -lr;
-    b += db;
+    K.axpy(b.data(), -lr, db.data(), std::int64_t(b.size()));
     db.fill(0.0f);
 }
 

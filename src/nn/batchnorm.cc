@@ -1,6 +1,9 @@
 #include "nn/batchnorm.hh"
 
+#include <algorithm>
 #include <cmath>
+
+#include "winograd/microkernel.hh"
 
 namespace winomc::nn {
 
@@ -114,12 +117,11 @@ BatchNorm2d::step(float lr)
     if (!haveGrad)
         return;
     haveGrad = false;
-    for (int c = 0; c < channels; ++c) {
-        gamma_[size_t(c)] -= lr * dgamma[size_t(c)];
-        beta_[size_t(c)] -= lr * dbeta[size_t(c)];
-        dgamma[size_t(c)] = 0.0f;
-        dbeta[size_t(c)] = 0.0f;
-    }
+    const mk::MicroKernels &K = mk::kernels();
+    K.axpy(gamma_.data(), -lr, dgamma.data(), channels);
+    K.axpy(beta_.data(), -lr, dbeta.data(), channels);
+    std::fill(dgamma.begin(), dgamma.end(), 0.0f);
+    std::fill(dbeta.begin(), dbeta.end(), 0.0f);
 }
 
 } // namespace winomc::nn

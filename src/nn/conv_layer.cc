@@ -1,5 +1,7 @@
 #include "nn/conv_layer.hh"
 
+#include "winograd/microkernel.hh"
+
 namespace winomc::nn {
 
 ConvLayer::ConvLayer(int in_ch, int out_ch, int r_, ConvMode mode,
@@ -87,21 +89,19 @@ ConvLayer::step(float lr)
     if (!haveGrad)
         return;
     haveGrad = false;
+    const mk::MicroKernels &K = mk::kernels();
     switch (convMode) {
       case ConvMode::Direct:
-        dw *= -lr;
-        w += dw;
+        K.axpy(w.data(), -lr, dw.data(), std::int64_t(w.size()));
         dw.fill(0.0f);
         break;
       case ConvMode::WinogradSpatial:
-        dw *= -lr;
-        w += dw;
+        K.axpy(w.data(), -lr, dw.data(), std::int64_t(w.size()));
         dw.fill(0.0f);
         transformWeightsInto(w, algo, W);
         break;
       case ConvMode::WinogradLayer:
-        dW *= -lr;
-        W += dW;
+        K.axpy(W.raw(), -lr, dW.raw(), std::int64_t(W.size()));
         dW.fill(0.0f);
         break;
     }

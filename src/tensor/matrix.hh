@@ -28,6 +28,9 @@ class Matrix
     double &at(int r, int c);
     double at(int r, int c) const;
 
+    /** Row-major backing store (micro-kernels index it [r*cols+c]). */
+    const double *data() const { return buf.data(); }
+
     Matrix transposed() const;
     /** Elementwise absolute value (used for error-bound propagation). */
     Matrix abs() const;

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
+#include <vector>
 
+#include "common/metrics.hh"
 #include "common/parallel.hh"
 #include "common/trace.hh"
+#include "winograd/microkernel.hh"
 #include "winograd/plan.hh"
 
 namespace winomc {
@@ -21,16 +25,23 @@ constexpr int kMaxAlpha = 8;
  * (so a panel of every streamed row stays L1-resident), process output
  * channels in register blocks of kJBlock rows (one input-row read feeds
  * kJBlock outputs), and tile reduction outputs in kIBlock columns so
- * the accumulator block lives on the stack.
+ * the accumulator block lives on the stack. The innermost panels are
+ * the mk:: micro-kernels, vectorized along the unit-stride tile axis.
  */
 constexpr int kKBlock = 256;
 constexpr int kJBlock = 4;
 constexpr int kIBlock = 16;
 constexpr int kIUnroll = 8;
 
+/** SoA scratch: kMaxAlpha^2 transform entries x one tile panel. */
+using SoaPanel =
+    std::array<double, kMaxAlpha * kMaxAlpha * mk::kTilePanel>;
+
 /**
  * out (a x b) = L (a x n) * in (n x k) * R (k x b), all small dense,
- * double precision. Buffers are caller-provided flat arrays.
+ * double precision. Buffers are caller-provided flat arrays. Still
+ * used by the per-(j,i) weight transforms, whose tiny extent does not
+ * amortize a tile panel.
  */
 void
 sandwich(const Matrix &L, const double *in, int n, int k, const Matrix &R,
@@ -60,6 +71,38 @@ sandwich(const Matrix &L, const double *in, int n, int k, const Matrix &R,
     }
 }
 
+/**
+ * RAII throughput probe: when metrics are on, times the enclosing
+ * stage and publishes kernel.<stage>.gflops plus the vector/scalar
+ * time split. Costs one relaxed atomic load when metrics are off.
+ */
+class StageTimer
+{
+  public:
+    StageTimer(const char *stage, double flops)
+        : stage(stage), flops(flops), active(metrics::enabled())
+    {
+        if (active)
+            start = std::chrono::steady_clock::now();
+    }
+    ~StageTimer()
+    {
+        if (active) {
+            std::chrono::duration<double> d =
+                std::chrono::steady_clock::now() - start;
+            mk::publishStageMetrics(stage, d.count(), flops);
+        }
+    }
+    StageTimer(const StageTimer &) = delete;
+    StageTimer &operator=(const StageTimer &) = delete;
+
+  private:
+    const char *stage;
+    double flops;
+    bool active;
+    std::chrono::steady_clock::time_point start;
+};
+
 } // namespace
 
 void
@@ -76,35 +119,56 @@ transformInputInto(const Tensor &x, const WinogradAlgo &algo,
 
     const int a = algo.alpha;
     const int nc = x.c();
+    const int h = x.h();
+    const int w = x.w();
+    const int nt = grid.tiles();
+    const auto &K = mk::kernels();
+    const double *BT = algo.BT.data();
+    const double *B = algo.B.data();
+    const float *xbase = x.data();
+    const size_t uvStr = out.uvStride();
+    StageTimer probe("xform.input",
+                     4.0 * a * a * a * double(x.n()) * nc * nt);
 
     // Each (batch, channel) plane is independent; workers keep their
-    // scratch tiles on the stack so the loop never allocates.
+    // SoA scratch panel on the stack so the loop never allocates. The
+    // spatial side is gathered scalar (strided, padded); the transform
+    // itself runs vectorized across the panel's tiles.
     parallelFor(0, std::int64_t(x.n()) * nc, 1,
                 [&](std::int64_t lo, std::int64_t hi) {
-        std::array<double, kMaxAlpha * kMaxAlpha> patch{};
-        std::array<double, kMaxAlpha * kMaxAlpha> tx{};
+        SoaPanel soa;
         for (std::int64_t bc = lo; bc < hi; ++bc) {
             const int b = int(bc / nc);
             const int c = int(bc % nc);
-            for (int th = 0; th < grid.tilesH; ++th) {
-                for (int tw = 0; tw < grid.tilesW; ++tw) {
-                    const int r0 = grid.tileRow(th);
-                    const int c0 = grid.tileCol(tw);
+            const float *plane =
+                xbase + (size_t(b) * nc + c) * size_t(h) * w;
+            for (int t0 = 0; t0 < nt; t0 += mk::kTilePanel) {
+                const int cnt = std::min(mk::kTilePanel, nt - t0);
+                for (int l = 0; l < cnt; ++l) {
+                    const int t = t0 + l;
+                    const int r0 = grid.tileRow(t / grid.tilesW);
+                    const int c0 = grid.tileCol(t % grid.tilesW);
                     for (int i = 0; i < a; ++i) {
+                        const int rr = r0 + i;
+                        const bool rowIn = rr >= 0 && rr < h;
                         for (int j = 0; j < a; ++j) {
-                            int rr = r0 + i, cc = c0 + j;
-                            bool in_map = rr >= 0 && rr < x.h() &&
-                                          cc >= 0 && cc < x.w();
-                            patch[size_t(i * a + j)] =
-                                in_map ? double(x.at(b, c, rr, cc)) : 0.0;
+                            const int cc = c0 + j;
+                            const bool in_map =
+                                rowIn && cc >= 0 && cc < w;
+                            soa[size_t(i * a + j) * mk::kTilePanel + l] =
+                                in_map ? double(plane[size_t(rr) * w + cc])
+                                       : 0.0;
                         }
                     }
-                    sandwich(algo.BT, patch.data(), a, a, algo.B,
-                             tx.data());
-                    const int t = th * grid.tilesW + tw;
-                    for (int uv = 0; uv < a * a; ++uv)
-                        out.at(uv, c, b, t) = float(tx[size_t(uv)]);
                 }
+                // The kernel streams whole vectors over the panel, so
+                // surplus lanes of a short final panel must be defined.
+                if (cnt < mk::kTilePanel)
+                    for (int e = 0; e < a * a; ++e)
+                        for (int l = cnt; l < mk::kTilePanel; ++l)
+                            soa[size_t(e) * mk::kTilePanel + l] = 0.0;
+                K.xformToTiles(BT, a, a, B, a, a, soa.data(),
+                               out.uvBase(c, b, t0), uvStr, cnt);
             }
         }
     });
@@ -135,33 +199,48 @@ transformInputAdjointInto(const WinoTiles &dX, const WinogradAlgo &algo,
 
     const int a = algo.alpha;
     const int nc = dX.channels();
+    const int nt = grid.tiles();
+    const auto &K = mk::kernels();
+    const double *B = algo.B.data();
+    const double *BT = algo.BT.data();
+    float *dxbase = dx.data();
+    const size_t uvStr = dX.uvStride();
+    StageTimer probe("xform.input_adjoint",
+                     4.0 * a * a * a * double(dX.batch()) * nc * nt);
 
     // Partitioned over output (batch, channel) planes: overlap-add only
-    // ever collides within one plane, so any thread count is race-free
-    // and bitwise identical to serial.
+    // ever collides within one plane, and panel lanes scatter in
+    // ascending tile order, so any thread count is race-free and
+    // bitwise identical to serial.
     parallelFor(0, std::int64_t(dX.batch()) * nc, 1,
                 [&](std::int64_t lo, std::int64_t hi) {
-        std::array<double, kMaxAlpha * kMaxAlpha> tile{};
-        std::array<double, kMaxAlpha * kMaxAlpha> sp{};
+        SoaPanel soa;
         for (std::int64_t bc = lo; bc < hi; ++bc) {
             const int b = int(bc / nc);
             const int c = int(bc % nc);
-            for (int th = 0; th < grid.tilesH; ++th) {
-                for (int tw = 0; tw < grid.tilesW; ++tw) {
-                    const int t = th * grid.tilesW + tw;
-                    for (int uv = 0; uv < a * a; ++uv)
-                        tile[size_t(uv)] = double(dX.at(uv, c, b, t));
-                    // Adjoint of X = BT x B is dx = B dX B^T.
-                    sandwich(algo.B, tile.data(), a, a, algo.BT, sp.data());
-                    const int r0 = grid.tileRow(th);
-                    const int c0 = grid.tileCol(tw);
+            float *plane = dxbase + (size_t(b) * nc + c) * size_t(h) * w;
+            for (int t0 = 0; t0 < nt; t0 += mk::kTilePanel) {
+                const int cnt = std::min(mk::kTilePanel, nt - t0);
+                // Adjoint of X = BT x B is dx = B dX B^T.
+                K.xformFromTiles(B, a, a, BT, a, a,
+                                 dX.uvBase(c, b, t0), uvStr, soa.data(),
+                                 cnt);
+                for (int l = 0; l < cnt; ++l) {
+                    const int t = t0 + l;
+                    const int r0 = grid.tileRow(t / grid.tilesW);
+                    const int c0 = grid.tileCol(t % grid.tilesW);
                     for (int i = 0; i < a; ++i) {
+                        const int rr = r0 + i;
+                        if (rr < 0 || rr >= h)
+                            continue;
+                        float *row = plane + size_t(rr) * w;
                         for (int j = 0; j < a; ++j) {
-                            int rr = r0 + i, cc = c0 + j;
-                            if (rr < 0 || rr >= h || cc < 0 || cc >= w)
+                            const int cc = c0 + j;
+                            if (cc < 0 || cc >= w)
                                 continue;
-                            dx.at(b, c, rr, cc) +=
-                                float(sp[size_t(i * a + j)]);
+                            row[cc] += float(
+                                soa[size_t(i * a + j) * mk::kTilePanel +
+                                    l]);
                         }
                     }
                 }
@@ -275,6 +354,8 @@ elementwiseForwardInto(const WinoTiles &X, const WinoWeights &W,
     const int nj = W.outChannels();
     const int ni = W.inChannels();
     const int jBlocks = (nj + kJBlock - 1) / kJBlock;
+    const auto &K = mk::kernels();
+    StageTimer probe("ew.fwd", 2.0 * X.uvCount() * double(nj) * ni * bt);
 
     // Y[uv] (J x BT) = W[uv] (J x I) * X[uv] (I x BT), parallel over
     // the uv x J-block output space; each task owns kJBlock Y rows.
@@ -289,7 +370,7 @@ elementwiseForwardInto(const WinoTiles &X, const WinoWeights &W,
                 yrows[jj] = Y.row(uv, j0 + jj);
             for (int k0 = 0; k0 < bt; k0 += kKBlock) {
                 const int kb = std::min(kKBlock, bt - k0);
-                // Register unroll over kIUnroll input channels: every
+                // Register block of kIUnroll input channels: every
                 // Y load/store amortizes kIUnroll FMAs instead of one.
                 for (int i0 = 0; i0 < ni; i0 += kIUnroll) {
                     const int ib = std::min(kIUnroll, ni - i0);
@@ -305,25 +386,7 @@ elementwiseForwardInto(const WinoTiles &X, const WinoWeights &W,
                         }
                         if (!any)
                             continue; // zero weight block skips wholesale
-                        float *y = yrows[jj] + k0;
-                        if (ib == kIUnroll) {
-                            for (int k = 0; k < kb; ++k)
-                                y[k] += wv[0] * xr[0][k] +
-                                        wv[1] * xr[1][k] +
-                                        wv[2] * xr[2][k] +
-                                        wv[3] * xr[3][k] +
-                                        wv[4] * xr[4][k] +
-                                        wv[5] * xr[5][k] +
-                                        wv[6] * xr[6][k] +
-                                        wv[7] * xr[7][k];
-                        } else {
-                            for (int k = 0; k < kb; ++k) {
-                                float acc = y[k];
-                                for (int ii = 0; ii < ib; ++ii)
-                                    acc += wv[ii] * xr[ii][k];
-                                y[k] = acc;
-                            }
-                        }
+                        K.panelAccum(yrows[jj] + k0, xr, wv, ib, kb);
                     }
                 }
             }
@@ -355,6 +418,9 @@ elementwiseBackwardDataInto(const WinoTiles &dY, const WinoWeights &W,
     const int nj = W.outChannels();
     const int ni = W.inChannels();
     const int iBlocks = (ni + kJBlock - 1) / kJBlock;
+    const auto &K = mk::kernels();
+    StageTimer probe("ew.bwd_data",
+                     2.0 * dY.uvCount() * double(nj) * ni * bt);
 
     // dX[uv] (I x BT) = W[uv]^T (I x J) * dY[uv] (J x BT); same blocked
     // kernel as forward with the roles of I and J swapped. The weight
@@ -370,7 +436,7 @@ elementwiseBackwardDataInto(const WinoTiles &dY, const WinoWeights &W,
                 dxrows[ii] = dX.row(uv, i0 + ii);
             for (int k0 = 0; k0 < bt; k0 += kKBlock) {
                 const int kb = std::min(kKBlock, bt - k0);
-                // Register unroll over kIUnroll output channels (the
+                // Register block of kIUnroll output channels (the
                 // reduction axis here), mirroring the forward kernel.
                 for (int j0 = 0; j0 < nj; j0 += kIUnroll) {
                     const int jb = std::min(kIUnroll, nj - j0);
@@ -386,25 +452,7 @@ elementwiseBackwardDataInto(const WinoTiles &dY, const WinoWeights &W,
                         }
                         if (!any)
                             continue;
-                        float *dx = dxrows[ii] + k0;
-                        if (jb == kIUnroll) {
-                            for (int k = 0; k < kb; ++k)
-                                dx[k] += wv[0] * dyr[0][k] +
-                                         wv[1] * dyr[1][k] +
-                                         wv[2] * dyr[2][k] +
-                                         wv[3] * dyr[3][k] +
-                                         wv[4] * dyr[4][k] +
-                                         wv[5] * dyr[5][k] +
-                                         wv[6] * dyr[6][k] +
-                                         wv[7] * dyr[7][k];
-                        } else {
-                            for (int k = 0; k < kb; ++k) {
-                                float acc = dx[k];
-                                for (int jj = 0; jj < jb; ++jj)
-                                    acc += wv[jj] * dyr[jj][k];
-                                dx[k] = acc;
-                            }
-                        }
+                        K.panelAccum(dxrows[ii] + k0, dyr, wv, jb, kb);
                     }
                 }
             }
@@ -436,6 +484,9 @@ elementwiseGradWeightsInto(const WinoTiles &dY, const WinoTiles &X,
     const int nj = dY.channels();
     const int ni = X.channels();
     const int jBlocks = (nj + kJBlock - 1) / kJBlock;
+    const auto &K = mk::kernels();
+    StageTimer probe("ew.grad_weights",
+                     2.0 * X.uvCount() * double(nj) * ni * bt);
 
     // dW[uv] (J x I) = dY[uv] (J x BT) * X[uv]^T (BT x I). Partitioned
     // over the *output* (uv, J-block) space: every dW element is owned
@@ -459,21 +510,7 @@ elementwiseGradWeightsInto(const WinoTiles &dY, const WinoTiles &X,
                         const float *x = X.row(uv, i0 + ii) + k0;
                         for (int jj = 0; jj < jn; ++jj) {
                             const float *dy = dY.row(uv, j0 + jj) + k0;
-                            // Four fixed accumulator chains vectorize
-                            // the double-precision reduction while
-                            // keeping a deterministic summation order.
-                            double s0 = 0.0, s1 = 0.0;
-                            double s2 = 0.0, s3 = 0.0;
-                            int k = 0;
-                            for (; k + 4 <= kb; k += 4) {
-                                s0 += double(dy[k]) * x[k];
-                                s1 += double(dy[k + 1]) * x[k + 1];
-                                s2 += double(dy[k + 2]) * x[k + 2];
-                                s3 += double(dy[k + 3]) * x[k + 3];
-                            }
-                            for (; k < kb; ++k)
-                                s0 += double(dy[k]) * x[k];
-                            acc[jj][ii] += (s0 + s1) + (s2 + s3);
+                            acc[jj][ii] += K.dotDouble(dy, x, kb);
                         }
                     }
                 }
@@ -509,26 +546,42 @@ inverseTransformInto(const WinoTiles &Y, const WinogradAlgo &algo,
     const int a = algo.alpha;
     const int m = algo.m;
     const int nc = Y.channels();
+    const int nt = grid.tiles();
+    const auto &K = mk::kernels();
+    const double *AT = algo.AT.data();
+    const double *A = algo.A.data();
+    float *ybase = y.data();
+    const size_t uvStr = Y.uvStride();
+    StageTimer probe("xform.inverse",
+                     2.0 * m * a * (a + m) * double(Y.batch()) * nc * nt);
 
     parallelFor(0, std::int64_t(Y.batch()) * nc, 1,
                 [&](std::int64_t lo, std::int64_t hi) {
-        std::array<double, kMaxAlpha * kMaxAlpha> tile{};
-        std::array<double, kMaxAlpha * kMaxAlpha> sp{};
+        SoaPanel soa;
         for (std::int64_t bc = lo; bc < hi; ++bc) {
             const int b = int(bc / nc);
             const int c = int(bc % nc);
-            for (int th = 0; th < grid.tilesH; ++th) {
-                for (int tw = 0; tw < grid.tilesW; ++tw) {
-                    const int t = th * grid.tilesW + tw;
-                    for (int uv = 0; uv < a * a; ++uv)
-                        tile[size_t(uv)] = double(Y.at(uv, c, b, t));
-                    sandwich(algo.AT, tile.data(), a, a, algo.A, sp.data());
+            float *plane = ybase + (size_t(b) * nc + c) * size_t(h) * w;
+            for (int t0 = 0; t0 < nt; t0 += mk::kTilePanel) {
+                const int cnt = std::min(mk::kTilePanel, nt - t0);
+                K.xformFromTiles(AT, m, a, A, a, m, Y.uvBase(c, b, t0),
+                                 uvStr, soa.data(), cnt);
+                for (int l = 0; l < cnt; ++l) {
+                    const int t = t0 + l;
+                    const int th = t / grid.tilesW;
+                    const int tw = t % grid.tilesW;
                     for (int i = 0; i < m; ++i) {
+                        const int rr = th * m + i;
+                        if (rr >= h)
+                            continue; // boundary crop
+                        float *row = plane + size_t(rr) * w;
                         for (int j = 0; j < m; ++j) {
-                            int rr = th * m + i, cc = tw * m + j;
-                            if (rr >= h || cc >= w)
-                                continue; // boundary crop
-                            y.at(b, c, rr, cc) = float(sp[size_t(i*m + j)]);
+                            const int cc = tw * m + j;
+                            if (cc >= w)
+                                continue;
+                            row[cc] = float(
+                                soa[size_t(i * m + j) * mk::kTilePanel +
+                                    l]);
                         }
                     }
                 }
@@ -559,31 +612,50 @@ inverseTransformAdjointInto(const Tensor &dy, const WinogradAlgo &algo,
     const int a = algo.alpha;
     const int m = algo.m;
     const int nc = dy.c();
+    const int h = dy.h();
+    const int w = dy.w();
+    const int nt = grid.tiles();
+    const auto &K = mk::kernels();
+    const double *A = algo.A.data();
+    const double *AT = algo.AT.data();
+    const float *dybase = dy.data();
+    const size_t uvStr = dY.uvStride();
+    StageTimer probe("xform.inverse_adjoint",
+                     2.0 * m * a * (a + m) * double(dy.n()) * nc * nt);
 
     parallelFor(0, std::int64_t(dy.n()) * nc, 1,
                 [&](std::int64_t lo, std::int64_t hi) {
-        std::array<double, kMaxAlpha * kMaxAlpha> patch{};
-        std::array<double, kMaxAlpha * kMaxAlpha> tile{};
+        SoaPanel soa;
         for (std::int64_t bc = lo; bc < hi; ++bc) {
             const int b = int(bc / nc);
             const int c = int(bc % nc);
-            for (int th = 0; th < grid.tilesH; ++th) {
-                for (int tw = 0; tw < grid.tilesW; ++tw) {
+            const float *plane =
+                dybase + (size_t(b) * nc + c) * size_t(h) * w;
+            for (int t0 = 0; t0 < nt; t0 += mk::kTilePanel) {
+                const int cnt = std::min(mk::kTilePanel, nt - t0);
+                for (int l = 0; l < cnt; ++l) {
+                    const int t = t0 + l;
+                    const int th = t / grid.tilesW;
+                    const int tw = t % grid.tilesW;
                     for (int i = 0; i < m; ++i) {
+                        const int rr = th * m + i;
+                        const bool rowIn = rr < h;
                         for (int j = 0; j < m; ++j) {
-                            int rr = th * m + i, cc = tw * m + j;
-                            bool in_map = rr < dy.h() && cc < dy.w();
-                            patch[size_t(i * m + j)] =
-                                in_map ? double(dy.at(b, c, rr, cc)) : 0.0;
+                            const int cc = tw * m + j;
+                            const bool in_map = rowIn && cc < w;
+                            soa[size_t(i * m + j) * mk::kTilePanel + l] =
+                                in_map ? double(plane[size_t(rr) * w + cc])
+                                       : 0.0;
                         }
                     }
-                    // Adjoint of y = AT Y A is dY = A dy A^T.
-                    sandwich(algo.A, patch.data(), m, m, algo.AT,
-                             tile.data());
-                    const int t = th * grid.tilesW + tw;
-                    for (int uv = 0; uv < a * a; ++uv)
-                        dY.at(uv, c, b, t) = float(tile[size_t(uv)]);
                 }
+                if (cnt < mk::kTilePanel)
+                    for (int e = 0; e < m * m; ++e)
+                        for (int l = cnt; l < mk::kTilePanel; ++l)
+                            soa[size_t(e) * mk::kTilePanel + l] = 0.0;
+                // Adjoint of y = AT Y A is dY = A dy A^T.
+                K.xformToTiles(A, a, m, AT, m, a, soa.data(),
+                               dY.uvBase(c, b, t0), uvStr, cnt);
             }
         }
     });
@@ -643,31 +715,53 @@ directConvForward(const Tensor &x, const Tensor &w)
     const int pad = (r - 1) / 2;
     Tensor y(x.n(), w.n(), x.h(), x.w());
     const int nj = w.n();
+    const int nc = x.c();
+    const int hh = x.h();
+    const int ww = x.w();
+    const auto &K = mk::kernels();
+    const float *xbase = x.data();
+    float *ybase = y.data();
+    StageTimer probe("direct.fwd", 2.0 * x.n() * double(nj) * nc * r * r *
+                                       double(hh) * ww);
 
     parallelFor(0, std::int64_t(x.n()) * nj, 1,
                 [&](std::int64_t lo, std::int64_t hi) {
+        // One double-precision accumulator row per task, swept along
+        // the unit-stride ox axis by the rowAccumDouble micro-kernel.
+        // Per output element the (i, ky, kx) reduction order matches
+        // the scalar triple loop it replaced.
+        std::vector<double> accRow(size_t(ww), 0.0);
         for (std::int64_t bj = lo; bj < hi; ++bj) {
             const int b = int(bj / nj);
             const int j = int(bj % nj);
-            for (int oy = 0; oy < x.h(); ++oy) {
-                for (int ox = 0; ox < x.w(); ++ox) {
-                    double acc = 0.0;
-                    for (int i = 0; i < x.c(); ++i) {
-                        for (int ky = 0; ky < r; ++ky) {
-                            int iy = oy + ky - pad;
-                            if (iy < 0 || iy >= x.h())
+            float *yplane =
+                ybase + (size_t(b) * nj + j) * size_t(hh) * ww;
+            for (int oy = 0; oy < hh; ++oy) {
+                std::fill(accRow.begin(), accRow.end(), 0.0);
+                for (int i = 0; i < nc; ++i) {
+                    const float *xplane =
+                        xbase + (size_t(b) * nc + i) * size_t(hh) * ww;
+                    for (int ky = 0; ky < r; ++ky) {
+                        const int iy = oy + ky - pad;
+                        if (iy < 0 || iy >= hh)
+                            continue;
+                        const float *xrow = xplane + size_t(iy) * ww;
+                        for (int kx = 0; kx < r; ++kx) {
+                            // ix = ox + kx - pad must stay in [0, ww)
+                            const int lo2 = std::max(0, pad - kx);
+                            const int hi2 = std::min(ww, ww + pad - kx);
+                            if (hi2 <= lo2)
                                 continue;
-                            for (int kx = 0; kx < r; ++kx) {
-                                int ix = ox + kx - pad;
-                                if (ix < 0 || ix >= x.w())
-                                    continue;
-                                acc += double(x.at(b, i, iy, ix)) *
-                                       w.at(j, i, ky, kx);
-                            }
+                            K.rowAccumDouble(
+                                accRow.data() + lo2,
+                                xrow + lo2 + kx - pad,
+                                double(w.at(j, i, ky, kx)), hi2 - lo2);
                         }
                     }
-                    y.at(b, j, oy, ox) = float(acc);
                 }
+                float *yrow = yplane + size_t(oy) * ww;
+                for (int ox = 0; ox < ww; ++ox)
+                    yrow[ox] = float(accRow[size_t(ox)]);
             }
         }
     });
@@ -683,31 +777,53 @@ directConvBackwardData(const Tensor &dy, const Tensor &w)
     const int pad = (r - 1) / 2;
     Tensor dx(dy.n(), w.c(), dy.h(), dy.w());
     const int ni = w.c();
+    const int nj = dy.c();
+    const int hh = dy.h();
+    const int ww = dy.w();
+    const auto &K = mk::kernels();
+    const float *dybase = dy.data();
+    float *dxbase = dx.data();
+    StageTimer probe("direct.bwd_data",
+                     2.0 * dy.n() * double(nj) * ni * r * r * double(hh) *
+                         ww);
 
     parallelFor(0, std::int64_t(dy.n()) * ni, 1,
                 [&](std::int64_t lo, std::int64_t hi) {
+        // Same accumulator-row scheme as the forward kernel; the
+        // (j, ky, kx) reduction order per element matches the scalar
+        // loops it replaced.
+        std::vector<double> accRow(size_t(ww), 0.0);
         for (std::int64_t bi = lo; bi < hi; ++bi) {
             const int b = int(bi / ni);
             const int i = int(bi % ni);
-            for (int iy = 0; iy < dy.h(); ++iy) {
-                for (int ix = 0; ix < dy.w(); ++ix) {
-                    double acc = 0.0;
-                    for (int j = 0; j < dy.c(); ++j) {
-                        for (int ky = 0; ky < r; ++ky) {
-                            int oy = iy - ky + pad;
-                            if (oy < 0 || oy >= dy.h())
+            float *dxplane =
+                dxbase + (size_t(b) * ni + i) * size_t(hh) * ww;
+            for (int iy = 0; iy < hh; ++iy) {
+                std::fill(accRow.begin(), accRow.end(), 0.0);
+                for (int j = 0; j < nj; ++j) {
+                    const float *dyplane =
+                        dybase + (size_t(b) * nj + j) * size_t(hh) * ww;
+                    for (int ky = 0; ky < r; ++ky) {
+                        const int oy = iy - ky + pad;
+                        if (oy < 0 || oy >= hh)
+                            continue;
+                        const float *dyrow = dyplane + size_t(oy) * ww;
+                        for (int kx = 0; kx < r; ++kx) {
+                            // ox = ix - kx + pad must stay in [0, ww)
+                            const int lo2 = std::max(0, kx - pad);
+                            const int hi2 = std::min(ww, ww + kx - pad);
+                            if (hi2 <= lo2)
                                 continue;
-                            for (int kx = 0; kx < r; ++kx) {
-                                int ox = ix - kx + pad;
-                                if (ox < 0 || ox >= dy.w())
-                                    continue;
-                                acc += double(dy.at(b, j, oy, ox)) *
-                                       w.at(j, i, ky, kx);
-                            }
+                            K.rowAccumDouble(
+                                accRow.data() + lo2,
+                                dyrow + lo2 - kx + pad,
+                                double(w.at(j, i, ky, kx)), hi2 - lo2);
                         }
                     }
-                    dx.at(b, i, iy, ix) = float(acc);
                 }
+                float *dxrow = dxplane + size_t(iy) * ww;
+                for (int ix = 0; ix < ww; ++ix)
+                    dxrow[ix] = float(accRow[size_t(ix)]);
             }
         }
     });
@@ -726,6 +842,9 @@ directConvGradWeights(const Tensor &x, const Tensor &dy, int r)
 
     // Output partition over (j, i): the batch reduction stays inside
     // one task, keeping the summation order thread-count invariant.
+    // Stays scalar: the serial (b, oy, ox) accumulation order is part
+    // of the bitwise contract and does not map onto the fixed-chain
+    // dot-product kernel.
     parallelFor(0, std::int64_t(dy.c()) * ni, 1,
                 [&](std::int64_t lo, std::int64_t hi) {
         for (std::int64_t ji = lo; ji < hi; ++ji) {

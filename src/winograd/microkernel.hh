@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Vectorized micro-kernel table with runtime ISA dispatch.
+ *
+ * The hot loops of the Winograd pipeline (elementwise GEMM stages,
+ * tile-side transforms, direct conv inner loop) and the nn/ secondary
+ * paths (ReLU, pooling, SGD axpy) all funnel through a small set of
+ * primitive kernels. Each primitive exists in up to four variants —
+ * scalar, SSE2, AVX2+FMA, AVX-512F — compiled in separate translation
+ * units with per-file -m flags, so one binary runs on any x86-64 host
+ * and picks the widest supported unit at startup via cpuid.
+ *
+ * Selection order:
+ *   1. WINOMC_ISA env var (auto | scalar | sse2 | avx2 | avx512);
+ *      garbage or an ISA the CPU lacks warns and falls back, never
+ *      crashes (same discipline as WINOMC_THREADS).
+ *   2. setIsa() programmatic override (tests/benchmarks).
+ *   3. auto = highest level supported by the running CPU.
+ *
+ * Numerics policy: the scalar table reproduces today's loop structures
+ * exactly — WINOMC_ISA=scalar is bitwise identical to the pre-SIMD
+ * code and serves as the parity oracle. Vector variants may fuse and
+ * reassociate (FMA, W-lane partial sums) but keep a fixed, lane-count-
+ * determined summation order, so a given ISA level is bitwise
+ * reproducible across runs and thread counts.
+ */
+
+#ifndef WINOMC_WINOGRAD_MICROKERNEL_HH
+#define WINOMC_WINOGRAD_MICROKERNEL_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace winomc {
+namespace mk {
+
+/** ISA ladder, ordered so higher value = wider vectors. */
+enum class Isa : int {
+    Scalar = 0,
+    Sse2 = 1,
+    Avx2 = 2,
+    Avx512 = 3,
+    Auto = 99, ///< resolve to the highest level the CPU supports
+};
+
+/**
+ * Lane count of the SoA tile panels used by the transform kernels.
+ * Callers gather/scatter the spatial side in panels of kTilePanel
+ * tiles; the kernels then sweep whole panels per transform entry.
+ * 16 covers a full AVX-512 float register and two AVX2 registers.
+ */
+constexpr int kTilePanel = 16;
+
+/**
+ * One resolved kernel table. All pointers are non-null; the scalar
+ * table backs any primitive a vector TU does not specialize.
+ */
+struct MicroKernels
+{
+    Isa isa;
+    const char *name;  ///< "scalar", "sse2", "avx2", "avx512"
+    int floatLanes;    ///< packed float width of this level
+    int doubleLanes;   ///< packed double width of this level
+
+    // --- elementwise GEMM primitives (unit-stride [b*t] axis) -------
+
+    /**
+     * y[k] += sum_v w[v] * x[v][k] for k in [0, len). nv in [1, 8].
+     * The register-blocked core of elementwiseForward/BackwardData.
+     */
+    void (*panelAccum)(float *y, const float *const *x, const float *w,
+                       int nv, int len);
+
+    /**
+     * Double-precision dot product sum_k a[k]*b[k] with a deterministic
+     * (per-ISA) summation order. Core of elementwiseGradWeights.
+     */
+    double (*dotDouble)(const float *a, const float *b, int len);
+
+    // --- transform primitives (SoA across a panel of tiles) ---------
+
+    /**
+     * out = L * in * R applied per-lane across cnt (<= kTilePanel)
+     * tiles. The float input is strided: entry e of lane l lives at
+     * in[e * inStride + l] (WinoTiles uv-major layout: e indexes the
+     * n*k transform entries, lanes are contiguous tiles). out is a
+     * dense SoA double buffer out[e * kTilePanel + l] of p*q entries.
+     * Dims: L is p x n, in is n x k (per lane), R is k x q.
+     */
+    void (*xformFromTiles)(const double *L, int p, int n,
+                           const double *R, int k, int q,
+                           const float *in, std::size_t inStride,
+                           double *out, int cnt);
+
+    /**
+     * Mirror of xformFromTiles: dense SoA double input
+     * in[e * kTilePanel + l] (n x k entries per lane), float SoA
+     * output at out[e * outStride + l] (p*q entries).
+     */
+    void (*xformToTiles)(const double *L, int p, int n,
+                         const double *R, int k, int q,
+                         const double *in, float *out,
+                         std::size_t outStride, int cnt);
+
+    // --- direct conv / reduction primitives -------------------------
+
+    /** acc[i] += w * x[i] for i in [0, n), double accumulators. */
+    void (*rowAccumDouble)(double *acc, const float *x, double w, int n);
+
+    /** Fixed-order double-precision sum of n floats. */
+    double (*sumDouble)(const float *x, std::int64_t n);
+
+    // --- nn/ secondary-path primitives ------------------------------
+
+    /**
+     * y[i] = x[i] > 0 ? x[i] : 0; if mask is non-null,
+     * mask[i] = x[i] > 0 ? 1 : 0.
+     */
+    void (*reluForward)(float *y, float *mask, const float *x,
+                        std::int64_t n);
+
+    /** dst[i] = a[i] * b[i]. (ReLU backward: dst = dy * mask.) */
+    void (*mulPairwise)(float *dst, const float *a, const float *b,
+                        std::int64_t n);
+
+    /** y[i] += a * x[i]. (SGD update with a = -lr.) */
+    void (*axpy)(float *y, float a, const float *x, std::int64_t n);
+
+    /** dst[i] = a[i] + b[i]. (Pooling row combine.) */
+    void (*addRows)(float *dst, const float *a, const float *b,
+                    std::int64_t n);
+
+    /**
+     * One output row of 2x2 average pooling:
+     * y[o] = 0.25f * (((r0[2o] + r0[2o+1]) + r1[2o]) + r1[2o+1])
+     * for o in [0, outW). The association is fixed so every ISA level
+     * reproduces the scalar result bitwise.
+     */
+    void (*avgPool2Row)(float *y, const float *r0, const float *r1,
+                        int outW);
+};
+
+/**
+ * Parse a WINOMC_ISA-style string. Unknown or malformed input warns
+ * and yields Auto; never throws, never exits.
+ */
+Isa parseIsa(const char *str);
+
+/** Highest ISA level the running CPU supports (Scalar on non-x86). */
+Isa highestSupported();
+
+/**
+ * Clamp a requested level to what the CPU supports. A request above
+ * the hardware warns once and falls back to highestSupported().
+ * Auto resolves to highestSupported().
+ */
+Isa resolveIsa(Isa requested);
+
+/** Human-readable name ("scalar", "sse2", "avx2", "avx512", "auto"). */
+const char *isaName(Isa isa);
+
+/**
+ * The active kernel table. First call resolves WINOMC_ISA (or any
+ * pending setIsa override), caches the result, and publishes the
+ * kernel.isa.level gauge. Thread-safe; subsequent calls are one
+ * atomic load.
+ */
+const MicroKernels &kernels();
+
+/** ISA level of the table kernels() returns. Resolves on first use. */
+Isa activeIsa();
+
+/**
+ * Programmatic override (tests/benchmarks). Isa::Auto re-reads
+ * WINOMC_ISA and re-resolves. Takes effect for subsequent kernels()
+ * calls; not meant to race with in-flight kernel work.
+ */
+void setIsa(Isa isa);
+
+/**
+ * Publish per-stage throughput: kernel.<stage>.gflops gauge plus the
+ * kernel.time.vector / kernel.time.scalar split (nanoseconds) used by
+ * the winomc-report "Kernel dispatch" table. No-op when metrics are
+ * disabled.
+ */
+void publishStageMetrics(const char *stage, double seconds, double flops);
+
+namespace detail {
+/**
+ * Per-TU factories. Each returns a fully populated table for its
+ * level, or nullptr when that TU was compiled out (non-x86 build or
+ * compiler lacks the -m flag). Defined in microkernel_<level>.cc.
+ */
+const MicroKernels *scalarTable();
+const MicroKernels *sse2Table();
+const MicroKernels *avx2Table();
+const MicroKernels *avx512Table();
+} // namespace detail
+
+} // namespace mk
+} // namespace winomc
+
+#endif // WINOMC_WINOGRAD_MICROKERNEL_HH

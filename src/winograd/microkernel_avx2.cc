@@ -1,0 +1,34 @@
+/**
+ * @file
+ * AVX2+FMA micro-kernel TU. CMake compiles this file with
+ * -mavx2 -mfma and defines WINOMC_HAVE_MK_AVX2 when the compiler
+ * accepts those flags on an x86 target; the resulting code is only
+ * ever *executed* after the runtime cpuid check in microkernel.cc.
+ */
+
+#include "winograd/microkernel.hh"
+
+#if defined(WINOMC_HAVE_MK_AVX2)
+
+#include "common/simd.hh"
+
+static_assert(WINOMC_SIMD_LEVEL >= 2,
+              "AVX2 TU compiled without -mavx2 -mfma");
+
+#include "winograd/microkernel_impl.hh"
+
+WINOMC_MK_DEFINE_TABLE(avx2Table, Isa::Avx2, "avx2")
+
+#else
+
+namespace winomc::mk::detail {
+
+const MicroKernels *
+avx2Table()
+{
+    return nullptr;
+}
+
+} // namespace winomc::mk::detail
+
+#endif

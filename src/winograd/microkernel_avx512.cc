@@ -1,0 +1,36 @@
+/**
+ * @file
+ * AVX-512F micro-kernel TU. CMake compiles this file with -mavx512f
+ * and defines WINOMC_HAVE_MK_AVX512 when the compiler accepts the flag
+ * on an x86 target; the code is only *executed* after the runtime
+ * cpuid check in microkernel.cc, so the binary stays runnable on
+ * hosts without AVX-512 (CI builds this TU even on runners that
+ * cannot execute it).
+ */
+
+#include "winograd/microkernel.hh"
+
+#if defined(WINOMC_HAVE_MK_AVX512)
+
+#include "common/simd.hh"
+
+static_assert(WINOMC_SIMD_LEVEL >= 3,
+              "AVX-512 TU compiled without -mavx512f");
+
+#include "winograd/microkernel_impl.hh"
+
+WINOMC_MK_DEFINE_TABLE(avx512Table, Isa::Avx512, "avx512")
+
+#else
+
+namespace winomc::mk::detail {
+
+const MicroKernels *
+avx512Table()
+{
+    return nullptr;
+}
+
+} // namespace winomc::mk::detail
+
+#endif

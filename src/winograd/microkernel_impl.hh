@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Generic vector micro-kernel bodies, parameterized by the VF/VD
+ * wrappers of common/simd.hh. Include order in every vector TU:
+ *
+ *     #include "winograd/microkernel.hh"
+ *     #include "common/simd.hh"       // resolves VF/VD for this TU's -m flags
+ *     #include "winograd/microkernel_impl.hh"
+ *
+ * Everything here lives in an anonymous namespace: each TU gets its
+ * own copy compiled at its own ISA level, and exports only its
+ * distinctly named factory (see WINOMC_MK_DEFINE_TABLE below), so
+ * mixing TUs compiled with different -m flags is ODR-clean.
+ *
+ * Numerics: these bodies may fuse (FMA) and keep W partial sums, but
+ * the operation order is a pure function of the lane width, so any
+ * fixed ISA level is bitwise reproducible across runs and thread
+ * counts. Reductions accumulate in double and combine lanes with a
+ * fixed pairwise tree (simd::hsum).
+ */
+
+#ifndef WINOMC_WINOGRAD_MICROKERNEL_IMPL_HH
+#define WINOMC_WINOGRAD_MICROKERNEL_IMPL_HH
+
+namespace {
+namespace mkimpl {
+
+using simd::VD;
+using simd::VF;
+using winomc::mk::kTilePanel;
+
+static_assert(kTilePanel % VD::W == 0,
+              "tile panel must hold whole double vectors");
+static_assert(kTilePanel % VF::W == 0 || VF::W > kTilePanel,
+              "tile panel must hold whole float vectors");
+
+void
+panelAccum(float *y, const float *const *x, const float *w, int nv,
+           int len)
+{
+    int k = 0;
+    for (; k + VF::W <= len; k += VF::W) {
+        VF acc = VF::load(y + k);
+        for (int v = 0; v < nv; ++v)
+            acc = VF::fma(VF::broadcast(w[v]), VF::load(x[v] + k), acc);
+        acc.store(y + k);
+    }
+    if (k < len) {
+        const int r = len - k;
+        VF acc = VF::loadPartial(y + k, r);
+        for (int v = 0; v < nv; ++v)
+            acc = VF::fma(VF::broadcast(w[v]),
+                          VF::loadPartial(x[v] + k, r), acc);
+        acc.storePartial(y + k, r);
+    }
+}
+
+double
+dotDouble(const float *a, const float *b, int len)
+{
+    VD acc0 = VD::zero();
+    VD acc1 = VD::zero();
+    int k = 0;
+    for (; k + 2 * VD::W <= len; k += 2 * VD::W) {
+        acc0 = VD::fma(VD::loadFromFloat(a + k), VD::loadFromFloat(b + k),
+                       acc0);
+        acc1 = VD::fma(VD::loadFromFloat(a + k + VD::W),
+                       VD::loadFromFloat(b + k + VD::W), acc1);
+    }
+    if (k + VD::W <= len) {
+        acc0 = VD::fma(VD::loadFromFloat(a + k), VD::loadFromFloat(b + k),
+                       acc0);
+        k += VD::W;
+    }
+    if (k < len) {
+        // Zero-filled tail lanes contribute exact 0 * 0 terms.
+        const int r = len - k;
+        acc1 = VD::fma(VD::loadFromFloatPartial(a + k, r),
+                       VD::loadFromFloatPartial(b + k, r), acc1);
+    }
+    return simd::hsum(VD::add(acc0, acc1));
+}
+
+/**
+ * Shared SoA sandwich: out = L * in * R per lane, lanes processed
+ * VD::W at a time. `loadIn(e, l0, lc)` yields entry e for lanes
+ * [l0, l0 + lc); `store(e, l0, lc, v)` writes the output entry.
+ */
+template <typename LoadFn, typename StoreFn>
+inline void
+sandwichPanel(const double *L, int p, int n, const double *R, int k,
+              int q, int cnt, LoadFn loadIn, StoreFn store)
+{
+    for (int l0 = 0; l0 < cnt; l0 += VD::W) {
+        const int lc = cnt - l0 < VD::W ? cnt - l0 : VD::W;
+        VD tmp[8 * 8];
+        for (int i = 0; i < p; ++i) {
+            for (int j = 0; j < k; ++j) {
+                VD acc = VD::zero();
+                for (int t = 0; t < n; ++t)
+                    acc = VD::fma(VD::broadcast(L[i * n + t]),
+                                  loadIn(t * k + j, l0, lc), acc);
+                tmp[i * k + j] = acc;
+            }
+        }
+        for (int i = 0; i < p; ++i) {
+            for (int j = 0; j < q; ++j) {
+                VD acc = VD::zero();
+                for (int t = 0; t < k; ++t)
+                    acc = VD::fma(VD::broadcast(R[t * q + j]),
+                                  tmp[i * k + t], acc);
+                store(i * q + j, l0, lc, acc);
+            }
+        }
+    }
+}
+
+void
+xformFromTiles(const double *L, int p, int n, const double *R, int k,
+               int q, const float *in, std::size_t inStride, double *out,
+               int cnt)
+{
+    sandwichPanel(
+        L, p, n, R, k, q, cnt,
+        [&](int e, int l0, int lc) {
+            const float *src = in + std::size_t(e) * inStride + l0;
+            return lc == VD::W ? VD::loadFromFloat(src)
+                               : VD::loadFromFloatPartial(src, lc);
+        },
+        [&](int e, int l0, int, VD v) {
+            // The SoA panel always holds kTilePanel lanes, so a full
+            // store stays in bounds; surplus lanes are never read.
+            v.store(out + e * kTilePanel + l0);
+        });
+}
+
+void
+xformToTiles(const double *L, int p, int n, const double *R, int k,
+             int q, const double *in, float *out, std::size_t outStride,
+             int cnt)
+{
+    sandwichPanel(
+        L, p, n, R, k, q, cnt,
+        [&](int e, int l0, int) {
+            return VD::load(in + e * kTilePanel + l0);
+        },
+        [&](int e, int l0, int lc, VD v) {
+            float *dst = out + std::size_t(e) * outStride + l0;
+            if (lc == VD::W)
+                v.storeToFloat(dst);
+            else
+                v.storeToFloatPartial(dst, lc);
+        });
+}
+
+void
+rowAccumDouble(double *acc, const float *x, double w, int n)
+{
+    const VD wv = VD::broadcast(w);
+    int i = 0;
+    for (; i + VD::W <= n; i += VD::W) {
+        VD a = VD::load(acc + i);
+        a = VD::fma(VD::loadFromFloat(x + i), wv, a);
+        a.store(acc + i);
+    }
+    for (; i < n; ++i)
+        acc[i] += double(x[i]) * w;
+}
+
+double
+sumDouble(const float *x, std::int64_t n)
+{
+    VD acc = VD::zero();
+    std::int64_t i = 0;
+    for (; i + VD::W <= n; i += VD::W)
+        acc = VD::add(acc, VD::loadFromFloat(x + i));
+    if (i < n)
+        acc = VD::add(acc, VD::loadFromFloatPartial(x + i, int(n - i)));
+    return simd::hsum(acc);
+}
+
+void
+reluForward(float *y, float *mask, const float *x, std::int64_t n)
+{
+    std::int64_t i = 0;
+    if (mask) {
+        for (; i + VF::W <= n; i += VF::W) {
+            VF v = VF::load(x + i);
+            VF::reluOf(v).store(y + i);
+            VF::gtZeroOne(v).store(mask + i);
+        }
+        if (i < n) {
+            const int r = int(n - i);
+            VF v = VF::loadPartial(x + i, r);
+            VF::reluOf(v).storePartial(y + i, r);
+            VF::gtZeroOne(v).storePartial(mask + i, r);
+        }
+    } else {
+        for (; i + VF::W <= n; i += VF::W)
+            VF::reluOf(VF::load(x + i)).store(y + i);
+        if (i < n) {
+            const int r = int(n - i);
+            VF::reluOf(VF::loadPartial(x + i, r)).storePartial(y + i, r);
+        }
+    }
+}
+
+void
+mulPairwise(float *dst, const float *a, const float *b, std::int64_t n)
+{
+    std::int64_t i = 0;
+    for (; i + VF::W <= n; i += VF::W)
+        VF::mul(VF::load(a + i), VF::load(b + i)).store(dst + i);
+    if (i < n) {
+        const int r = int(n - i);
+        VF::mul(VF::loadPartial(a + i, r), VF::loadPartial(b + i, r))
+            .storePartial(dst + i, r);
+    }
+}
+
+void
+axpy(float *y, float a, const float *x, std::int64_t n)
+{
+    const VF av = VF::broadcast(a);
+    std::int64_t i = 0;
+    for (; i + VF::W <= n; i += VF::W)
+        VF::fma(av, VF::load(x + i), VF::load(y + i)).store(y + i);
+    if (i < n) {
+        const int r = int(n - i);
+        VF::fma(av, VF::loadPartial(x + i, r), VF::loadPartial(y + i, r))
+            .storePartial(y + i, r);
+    }
+}
+
+void
+addRows(float *dst, const float *a, const float *b, std::int64_t n)
+{
+    std::int64_t i = 0;
+    for (; i + VF::W <= n; i += VF::W)
+        VF::add(VF::load(a + i), VF::load(b + i)).store(dst + i);
+    if (i < n) {
+        const int r = int(n - i);
+        VF::add(VF::loadPartial(a + i, r), VF::loadPartial(b + i, r))
+            .storePartial(dst + i, r);
+    }
+}
+
+void
+avgPool2Row(float *y, const float *r0, const float *r1, int outW)
+{
+    // Deinterleave through small stack panels, then combine with the
+    // exact scalar association ((a + b) + c) + d so every ISA level
+    // matches the scalar result bitwise.
+    const VF quarter = VF::broadcast(0.25f);
+    int o = 0;
+    for (; o + VF::W <= outW; o += VF::W) {
+        float t0[VF::W], t1[VF::W], t2[VF::W], t3[VF::W];
+        for (int l = 0; l < VF::W; ++l) {
+            t0[l] = r0[2 * (o + l)];
+            t1[l] = r0[2 * (o + l) + 1];
+            t2[l] = r1[2 * (o + l)];
+            t3[l] = r1[2 * (o + l) + 1];
+        }
+        VF s = VF::add(
+            VF::add(VF::add(VF::load(t0), VF::load(t1)), VF::load(t2)),
+            VF::load(t3));
+        VF::mul(quarter, s).store(y + o);
+    }
+    for (; o < outW; ++o)
+        y[o] = 0.25f *
+               (r0[2 * o] + r0[2 * o + 1] + r1[2 * o] + r1[2 * o + 1]);
+}
+
+} // namespace mkimpl
+} // namespace
+
+/**
+ * Expands to the factory definition for this TU's ISA level. The table
+ * is a function-local static so it needs no global constructor order.
+ */
+#define WINOMC_MK_DEFINE_TABLE(factoryName, isaEnum, isaStr)              \
+    namespace winomc::mk::detail {                                        \
+    const MicroKernels *factoryName()                                     \
+    {                                                                     \
+        static const MicroKernels table = {                               \
+            isaEnum,          isaStr,                                     \
+            simd::VF::W,      simd::VD::W,                                \
+            mkimpl::panelAccum,     mkimpl::dotDouble,                    \
+            mkimpl::xformFromTiles, mkimpl::xformToTiles,                 \
+            mkimpl::rowAccumDouble, mkimpl::sumDouble,                    \
+            mkimpl::reluForward,    mkimpl::mulPairwise,                  \
+            mkimpl::axpy,           mkimpl::addRows,                      \
+            mkimpl::avgPool2Row,                                          \
+        };                                                                \
+        return &table;                                                    \
+    }                                                                     \
+    }
+
+#endif // WINOMC_WINOGRAD_MICROKERNEL_IMPL_HH

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Scalar micro-kernel table: the parity oracle.
+ *
+ * These loops reproduce, operation for operation, the arithmetic the
+ * pre-SIMD kernels in conv.cc and nn/ performed — same expressions,
+ * same association, same float/double promotion points. This TU is
+ * compiled with the project's default flags (x86-64 baseline: no FMA,
+ * so no contraction), which makes WINOMC_ISA=scalar bitwise identical
+ * to the pre-dispatch code on every platform. Do not "optimize" these
+ * loops; the vector TUs exist for that.
+ */
+
+#include "winograd/microkernel.hh"
+
+namespace {
+
+using winomc::mk::kTilePanel;
+
+void
+panelAccum(float *y, const float *const *x, const float *w, int nv,
+           int len)
+{
+    // Mirrors the elementwise-forward register block: the full
+    // 8-channel unroll is one flat expression; partial blocks take the
+    // accumulate-in-a-local path. The two shapes associate additions
+    // differently, so both are preserved verbatim.
+    if (nv == 8) {
+        const float *x0 = x[0], *x1 = x[1], *x2 = x[2], *x3 = x[3];
+        const float *x4 = x[4], *x5 = x[5], *x6 = x[6], *x7 = x[7];
+        for (int k = 0; k < len; ++k)
+            y[k] += w[0] * x0[k] + w[1] * x1[k] + w[2] * x2[k] +
+                    w[3] * x3[k] + w[4] * x4[k] + w[5] * x5[k] +
+                    w[6] * x6[k] + w[7] * x7[k];
+    } else {
+        for (int k = 0; k < len; ++k) {
+            float acc = y[k];
+            for (int v = 0; v < nv; ++v)
+                acc += w[v] * x[v][k];
+            y[k] = acc;
+        }
+    }
+}
+
+double
+dotDouble(const float *a, const float *b, int len)
+{
+    // Four fixed accumulator chains, tail into s0, pairwise combine —
+    // exactly the grad-weights reduction order.
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    int k = 0;
+    for (; k + 4 <= len; k += 4) {
+        s0 += double(a[k]) * b[k];
+        s1 += double(a[k + 1]) * b[k + 1];
+        s2 += double(a[k + 2]) * b[k + 2];
+        s3 += double(a[k + 3]) * b[k + 3];
+    }
+    for (; k < len; ++k)
+        s0 += double(a[k]) * b[k];
+    return (s0 + s1) + (s2 + s3);
+}
+
+/** Shared sandwich core: out = L (p x n) * in (n x k) * R (k x q),
+ *  identical loop structure to the old per-tile sandwich() helper. */
+template <typename LoadFn, typename StoreFn>
+inline void
+sandwichLane(const double *L, int p, int n, const double *R, int k,
+             int q, LoadFn load, StoreFn store)
+{
+    double tmp[8 * 8];
+    for (int i = 0; i < p; ++i) {
+        for (int j = 0; j < k; ++j) {
+            double acc = 0.0;
+            for (int t = 0; t < n; ++t)
+                acc += L[i * n + t] * load(t * k + j);
+            tmp[i * k + j] = acc;
+        }
+    }
+    for (int i = 0; i < p; ++i) {
+        for (int j = 0; j < q; ++j) {
+            double acc = 0.0;
+            for (int t = 0; t < k; ++t)
+                acc += tmp[i * k + t] * R[t * q + j];
+            store(i * q + j, acc);
+        }
+    }
+}
+
+void
+xformFromTiles(const double *L, int p, int n, const double *R, int k,
+               int q, const float *in, std::size_t inStride, double *out,
+               int cnt)
+{
+    for (int l = 0; l < cnt; ++l) {
+        sandwichLane(
+            L, p, n, R, k, q,
+            [&](int e) { return double(in[std::size_t(e) * inStride + l]); },
+            [&](int e, double v) { out[e * kTilePanel + l] = v; });
+    }
+}
+
+void
+xformToTiles(const double *L, int p, int n, const double *R, int k,
+             int q, const double *in, float *out, std::size_t outStride,
+             int cnt)
+{
+    for (int l = 0; l < cnt; ++l) {
+        sandwichLane(
+            L, p, n, R, k, q,
+            [&](int e) { return in[e * kTilePanel + l]; },
+            [&](int e, double v) {
+                out[std::size_t(e) * outStride + l] = float(v);
+            });
+    }
+}
+
+void
+rowAccumDouble(double *acc, const float *x, double w, int n)
+{
+    for (int i = 0; i < n; ++i)
+        acc[i] += double(x[i]) * w;
+}
+
+double
+sumDouble(const float *x, std::int64_t n)
+{
+    // Plain serial accumulation: the GlobalAvgPool reduction order.
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < n; ++i)
+        acc += x[i];
+    return acc;
+}
+
+void
+reluForward(float *y, float *mask, const float *x, std::int64_t n)
+{
+    if (mask) {
+        for (std::int64_t i = 0; i < n; ++i) {
+            bool on = x[i] > 0.0f;
+            y[i] = on ? x[i] : 0.0f;
+            mask[i] = on ? 1.0f : 0.0f;
+        }
+    } else {
+        for (std::int64_t i = 0; i < n; ++i)
+            y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+    }
+}
+
+void
+mulPairwise(float *dst, const float *a, const float *b, std::int64_t n)
+{
+    for (std::int64_t i = 0; i < n; ++i)
+        dst[i] = a[i] * b[i];
+}
+
+void
+axpy(float *y, float a, const float *x, std::int64_t n)
+{
+    for (std::int64_t i = 0; i < n; ++i)
+        y[i] += a * x[i];
+}
+
+void
+addRows(float *dst, const float *a, const float *b, std::int64_t n)
+{
+    for (std::int64_t i = 0; i < n; ++i)
+        dst[i] = a[i] + b[i];
+}
+
+void
+avgPool2Row(float *y, const float *r0, const float *r1, int outW)
+{
+    for (int o = 0; o < outW; ++o)
+        y[o] = 0.25f *
+               (r0[2 * o] + r0[2 * o + 1] + r1[2 * o] + r1[2 * o + 1]);
+}
+
+const winomc::mk::MicroKernels kTable = {
+    winomc::mk::Isa::Scalar,
+    "scalar",
+    1,
+    1,
+    panelAccum,
+    dotDouble,
+    xformFromTiles,
+    xformToTiles,
+    rowAccumDouble,
+    sumDouble,
+    reluForward,
+    mulPairwise,
+    axpy,
+    addRows,
+    avgPool2Row,
+};
+
+} // namespace
+
+namespace winomc::mk::detail {
+
+const MicroKernels *
+scalarTable()
+{
+    return &kTable;
+}
+
+} // namespace winomc::mk::detail

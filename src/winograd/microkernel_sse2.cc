@@ -1,0 +1,33 @@
+/**
+ * @file
+ * SSE2 micro-kernel TU. On x86-64 SSE2 is baseline, so this TU builds
+ * with the default flags; CMake defines WINOMC_HAVE_MK_SSE2 only for
+ * x86 targets. Elsewhere the factory reports the level as absent.
+ */
+
+#include "winograd/microkernel.hh"
+
+#if defined(WINOMC_HAVE_MK_SSE2)
+
+#include "common/simd.hh"
+
+static_assert(WINOMC_SIMD_LEVEL >= 1,
+              "SSE2 TU compiled without SSE2 support");
+
+#include "winograd/microkernel_impl.hh"
+
+WINOMC_MK_DEFINE_TABLE(sse2Table, Isa::Sse2, "sse2")
+
+#else
+
+namespace winomc::mk::detail {
+
+const MicroKernels *
+sse2Table()
+{
+    return nullptr;
+}
+
+} // namespace winomc::mk::detail
+
+#endif

@@ -94,6 +94,24 @@ class WinoTiles
 
     void fill(float v) { std::fill(data.begin(), data.end(), v); }
 
+    /**
+     * Pointer to element (uv=0, c, b, t); element (uv, c, b, t) lives
+     * uv * uvStride() floats further on. The micro-kernel transforms
+     * walk all uv entries of a panel of consecutive tiles through this
+     * base + stride pair.
+     */
+    float *
+    uvBase(int c, int b, int t)
+    {
+        return data.data() + index(0, c, b, t);
+    }
+    const float *
+    uvBase(int c, int b, int t) const
+    {
+        return data.data() + index(0, c, b, t);
+    }
+    size_t uvStride() const { return (size_t(nch) * nb) * nt; }
+
   private:
     size_t
     index(int uv, int c, int b, int t) const
@@ -141,6 +159,10 @@ class WinoWeights
     float at(int uv, int j, int i) const { return data[index(uv, j, i)]; }
 
     void fill(float v) { std::fill(data.begin(), data.end(), v); }
+
+    /** Flat backing store (for whole-buffer updates like SGD axpy). */
+    float *raw() { return data.data(); }
+    const float *raw() const { return data.data(); }
 
     WinoWeights &operator+=(const WinoWeights &o);
     WinoWeights &operator*=(float s);

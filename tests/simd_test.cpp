@@ -1,0 +1,387 @@
+/**
+ * @file
+ * SIMD micro-kernel layer tests: runtime ISA dispatch (env parsing,
+ * fallback ladder, garbage rejection), scalar-vs-vector numerical
+ * parity at both the primitive and the full-pipeline level (odd
+ * shapes exercising the masked tails), bitwise contracts (ReLU,
+ * pairwise multiply, AvgPool2 row), and per-ISA bitwise invariance
+ * across thread counts.
+ *
+ * The scalar table is the parity oracle: it is compiled with the same
+ * flags as the legacy kernels it replaced, so "scalar == vector within
+ * ULP bound" here transitively checks the vector paths against the
+ * pre-dispatch numerics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "common/parallel.hh"
+#include "common/rng.hh"
+#include "winograd/algo.hh"
+#include "winograd/conv.hh"
+#include "winograd/microkernel.hh"
+
+using namespace winomc;
+
+namespace {
+
+std::vector<float>
+randomVec(std::size_t n, unsigned seed, float lo = -1.0f,
+          float hi = 1.0f)
+{
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (float &x : v)
+        x = lo + (hi - lo) * rng.uniform();
+    return v;
+}
+
+/** Every ISA level the dispatcher can actually deliver on this host:
+ *  always Scalar, plus whatever resolveIsa() keeps of the others. */
+std::vector<mk::Isa>
+usableIsas()
+{
+    std::vector<mk::Isa> out = {mk::Isa::Scalar};
+    for (mk::Isa isa :
+         {mk::Isa::Sse2, mk::Isa::Avx2, mk::Isa::Avx512})
+        if (mk::resolveIsa(isa) == isa)
+            out.push_back(isa);
+    return out;
+}
+
+/** Restores Auto dispatch (and the env knob) after each test so test
+ *  order cannot leak a pinned ISA into unrelated tests. */
+class SimdTest : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        unsetenv("WINOMC_ISA");
+        mk::setIsa(mk::Isa::Auto);
+        ThreadPool::global().setThreadCount(defaultThreadCount());
+    }
+};
+
+// ------------------------------------------------------------------
+// Knob parsing and the fallback ladder
+// ------------------------------------------------------------------
+
+TEST_F(SimdTest, ParseIsaAcceptsKnownNamesCaseAndSpaceInsensitive)
+{
+    EXPECT_EQ(mk::parseIsa("auto"), mk::Isa::Auto);
+    EXPECT_EQ(mk::parseIsa("scalar"), mk::Isa::Scalar);
+    EXPECT_EQ(mk::parseIsa("sse2"), mk::Isa::Sse2);
+    EXPECT_EQ(mk::parseIsa("avx2"), mk::Isa::Avx2);
+    EXPECT_EQ(mk::parseIsa("avx512"), mk::Isa::Avx512);
+    EXPECT_EQ(mk::parseIsa("  AVX2 \n"), mk::Isa::Avx2);
+    EXPECT_EQ(mk::parseIsa("Scalar"), mk::Isa::Scalar);
+}
+
+TEST_F(SimdTest, ParseIsaRejectsGarbageToAuto)
+{
+    EXPECT_EQ(mk::parseIsa(nullptr), mk::Isa::Auto);
+    EXPECT_EQ(mk::parseIsa(""), mk::Isa::Auto);
+    EXPECT_EQ(mk::parseIsa("   "), mk::Isa::Auto);
+    EXPECT_EQ(mk::parseIsa("fastest"), mk::Isa::Auto);
+    EXPECT_EQ(mk::parseIsa("avx9999"), mk::Isa::Auto);
+    EXPECT_EQ(mk::parseIsa("512"), mk::Isa::Auto);
+    EXPECT_EQ(mk::parseIsa("avx2 avx512"), mk::Isa::Auto);
+}
+
+TEST_F(SimdTest, ResolveIsaNeverEscalatesAndScalarIsFixed)
+{
+    EXPECT_EQ(mk::resolveIsa(mk::Isa::Scalar), mk::Isa::Scalar);
+    EXPECT_EQ(mk::resolveIsa(mk::Isa::Auto), mk::highestSupported());
+    // A requested level either sticks or falls DOWN the ladder.
+    for (mk::Isa isa :
+         {mk::Isa::Sse2, mk::Isa::Avx2, mk::Isa::Avx512}) {
+        mk::Isa got = mk::resolveIsa(isa);
+        EXPECT_LE(int(got), int(isa));
+    }
+}
+
+TEST_F(SimdTest, GarbageEnvValueFallsBackAndNeverCrashes)
+{
+    setenv("WINOMC_ISA", "definitely-not-an-isa", 1);
+    mk::setIsa(mk::Isa::Auto); // drop cache so the env is re-read
+    const mk::MicroKernels &K = mk::kernels();
+    EXPECT_EQ(K.isa, mk::highestSupported());
+    EXPECT_EQ(mk::activeIsa(), mk::highestSupported());
+    // And the kernels actually run.
+    float y[3] = {1.0f, -2.0f, 3.0f};
+    K.reluForward(y, nullptr, y, 3);
+    EXPECT_EQ(y[1], 0.0f);
+}
+
+TEST_F(SimdTest, EnvScalarPinsScalarTable)
+{
+    setenv("WINOMC_ISA", "scalar", 1);
+    mk::setIsa(mk::Isa::Auto);
+    EXPECT_EQ(mk::activeIsa(), mk::Isa::Scalar);
+    EXPECT_STREQ(mk::kernels().name, "scalar");
+}
+
+TEST_F(SimdTest, EveryUsableTableIsFullyPopulated)
+{
+    for (mk::Isa isa : usableIsas()) {
+        mk::setIsa(isa);
+        const mk::MicroKernels &K = mk::kernels();
+        EXPECT_EQ(K.isa, isa);
+        EXPECT_NE(K.name, nullptr);
+        EXPECT_GE(K.floatLanes, 1);
+        EXPECT_GE(K.doubleLanes, 1);
+        EXPECT_NE(K.panelAccum, nullptr);
+        EXPECT_NE(K.dotDouble, nullptr);
+        EXPECT_NE(K.xformFromTiles, nullptr);
+        EXPECT_NE(K.xformToTiles, nullptr);
+        EXPECT_NE(K.rowAccumDouble, nullptr);
+        EXPECT_NE(K.sumDouble, nullptr);
+        EXPECT_NE(K.reluForward, nullptr);
+        EXPECT_NE(K.mulPairwise, nullptr);
+        EXPECT_NE(K.axpy, nullptr);
+        EXPECT_NE(K.addRows, nullptr);
+        EXPECT_NE(K.avgPool2Row, nullptr);
+    }
+}
+
+// ------------------------------------------------------------------
+// Primitive-level parity across odd lengths (masked tails)
+// ------------------------------------------------------------------
+
+TEST_F(SimdTest, ElementwisePrimitivesBitwiseMatchScalarOnOddLengths)
+{
+    const mk::MicroKernels *scalar = mk::detail::scalarTable();
+    ASSERT_NE(scalar, nullptr);
+    for (mk::Isa isa : usableIsas()) {
+        mk::setIsa(isa);
+        const mk::MicroKernels &K = mk::kernels();
+        for (std::int64_t n : {1, 2, 3, 7, 8, 9, 15, 16, 17, 31, 33}) {
+            auto x = randomVec(std::size_t(n), 7u + unsigned(n));
+            auto b = randomVec(std::size_t(n), 80u + unsigned(n));
+            // ReLU (+ mask) is bitwise across every ISA.
+            std::vector<float> yS(std::size_t(n), 0.0f), yV(std::size_t(n), 0.0f);
+            std::vector<float> mS(std::size_t(n), 0.0f), mV(std::size_t(n), 0.0f);
+            scalar->reluForward(yS.data(), mS.data(), x.data(), n);
+            K.reluForward(yV.data(), mV.data(), x.data(), n);
+            EXPECT_EQ(0, std::memcmp(yS.data(), yV.data(),
+                                     std::size_t(n) * 4))
+                << mk::isaName(isa) << " relu n=" << n;
+            EXPECT_EQ(0, std::memcmp(mS.data(), mV.data(),
+                                     std::size_t(n) * 4))
+                << mk::isaName(isa) << " relu mask n=" << n;
+            // Pairwise multiply and add are bitwise (no reduction).
+            scalar->mulPairwise(yS.data(), x.data(), b.data(), n);
+            K.mulPairwise(yV.data(), x.data(), b.data(), n);
+            EXPECT_EQ(0, std::memcmp(yS.data(), yV.data(),
+                                     std::size_t(n) * 4))
+                << mk::isaName(isa) << " mul n=" << n;
+            scalar->addRows(yS.data(), x.data(), b.data(), n);
+            K.addRows(yV.data(), x.data(), b.data(), n);
+            EXPECT_EQ(0, std::memcmp(yS.data(), yV.data(),
+                                     std::size_t(n) * 4))
+                << mk::isaName(isa) << " add n=" << n;
+        }
+    }
+}
+
+TEST_F(SimdTest, ReductionPrimitivesMatchScalarWithinUlp)
+{
+    const mk::MicroKernels *scalar = mk::detail::scalarTable();
+    ASSERT_NE(scalar, nullptr);
+    for (mk::Isa isa : usableIsas()) {
+        mk::setIsa(isa);
+        const mk::MicroKernels &K = mk::kernels();
+        for (std::int64_t n : {1, 3, 7, 8, 9, 17, 64, 101, 1000}) {
+            auto a = randomVec(std::size_t(n), 11u + unsigned(n));
+            auto b = randomVec(std::size_t(n), 12u + unsigned(n));
+            // Double-precision reductions: reassociation noise is far
+            // below float resolution, just not bitwise.
+            const double dS = scalar->dotDouble(a.data(), b.data(),
+                                                int(n));
+            const double dV = K.dotDouble(a.data(), b.data(), int(n));
+            EXPECT_NEAR(dS, dV, 1e-10 * (std::abs(dS) + 1.0))
+                << mk::isaName(isa) << " dot n=" << n;
+            const double sS = scalar->sumDouble(a.data(), n);
+            const double sV = K.sumDouble(a.data(), n);
+            EXPECT_NEAR(sS, sV, 1e-10 * (std::abs(sS) + 1.0))
+                << mk::isaName(isa) << " sum n=" << n;
+            // axpy: the only divergence is one FMA contraction per
+            // element, bounded by half an ulp of the product |a*x|
+            // (<= 0.37 here). Cancellation makes a relative-ULP bound
+            // meaningless, so bound the absolute error instead.
+            std::vector<float> yS = b, yV = b;
+            scalar->axpy(yS.data(), 0.37f, a.data(), n);
+            K.axpy(yV.data(), 0.37f, a.data(), n);
+            for (std::int64_t i = 0; i < n; ++i)
+                EXPECT_NEAR(yS[std::size_t(i)], yV[std::size_t(i)],
+                            2.5e-7)
+                    << mk::isaName(isa) << " axpy n=" << n
+                    << " i=" << i;
+        }
+    }
+}
+
+TEST_F(SimdTest, AvgPool2RowBitwiseAcrossIsas)
+{
+    const mk::MicroKernels *scalar = mk::detail::scalarTable();
+    ASSERT_NE(scalar, nullptr);
+    for (mk::Isa isa : usableIsas()) {
+        mk::setIsa(isa);
+        const mk::MicroKernels &K = mk::kernels();
+        for (int outW : {1, 2, 3, 5, 8, 13, 16, 17}) {
+            auto r0 = randomVec(std::size_t(2 * outW), 21u);
+            auto r1 = randomVec(std::size_t(2 * outW), 22u);
+            std::vector<float> yS(std::size_t(outW), 0.0f);
+            std::vector<float> yV(std::size_t(outW), 0.0f);
+            scalar->avgPool2Row(yS.data(), r0.data(), r1.data(), outW);
+            K.avgPool2Row(yV.data(), r0.data(), r1.data(), outW);
+            EXPECT_EQ(0, std::memcmp(yS.data(), yV.data(),
+                                     std::size_t(outW) * 4))
+                << mk::isaName(isa) << " outW=" << outW;
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// Pipeline-level parity on odd shapes: N=1, C != K, tile counts not a
+// multiple of any vector width, all three generated algorithms.
+// ------------------------------------------------------------------
+
+struct OddShape
+{
+    int n, c, k, hw;
+};
+
+void
+expectTensorNear(const Tensor &a, const Tensor &b, float tol,
+                 const char *what)
+{
+    ASSERT_EQ(a.size(), b.size()) << what;
+    const float *pa = a.data();
+    const float *pb = b.data();
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_NEAR(pa[i], pb[i],
+                    tol * std::max(1.0f, std::abs(pa[i])))
+            << what << " flat index " << i;
+}
+
+TEST_F(SimdTest, PipelineMatchesScalarWithinTolOnOddShapes)
+{
+    const OddShape shapes[] = {{1, 3, 5, 9}, {2, 5, 3, 13}};
+    const WinogradAlgo f6 = makeWinograd(6, 3);
+    const WinogradAlgo *algos[] = {&algoF2x2_3x3(), &algoF4x4_3x3(),
+                                   &f6};
+    for (const WinogradAlgo *algo : algos) {
+        for (const OddShape &s : shapes) {
+            Rng rng(5);
+            Tensor x(s.n, s.c, s.hw, s.hw);
+            Tensor w(s.k, s.c, 3, 3);
+            Tensor dy(s.n, s.k, s.hw, s.hw);
+            x.fillUniform(rng);
+            w.fillUniform(rng);
+            dy.fillUniform(rng);
+
+            mk::setIsa(mk::Isa::Scalar);
+            WinoWeights Ws = transformWeights(w, *algo);
+            Tensor yS = winogradForward(x, Ws, *algo);
+            Tensor dxS = winogradBackwardData(dy, Ws, *algo, s.hw,
+                                              s.hw);
+            WinoWeights gS = winogradGradWeights(x, dy, *algo);
+
+            mk::setIsa(mk::Isa::Auto);
+            WinoWeights Wv = transformWeights(w, *algo);
+            Tensor yV = winogradForward(x, Wv, *algo);
+            Tensor dxV = winogradBackwardData(dy, Wv, *algo, s.hw,
+                                              s.hw);
+            WinoWeights gV = winogradGradWeights(x, dy, *algo);
+
+            // Larger tiles are worse conditioned: F(6,3)'s transform
+            // matrices amplify reassociation + FMA noise by orders of
+            // magnitude over F(2,3) (the classic large-tile Winograd
+            // accuracy cliff), so the bound scales with m.
+            const float tol = algo->m >= 6 ? 1e-2f : 1e-3f;
+            expectTensorNear(yS, yV, tol, "forward");
+            expectTensorNear(dxS, dxV, tol, "backward-data");
+            ASSERT_EQ(gS.size(), gV.size());
+            for (std::size_t i = 0; i < gS.size(); ++i)
+                ASSERT_NEAR(gS.raw()[i], gV.raw()[i],
+                            tol * std::max(1.0f,
+                                           std::abs(gS.raw()[i])))
+                    << "gradW flat index " << i << " m=" << algo->m;
+        }
+    }
+}
+
+TEST_F(SimdTest, DirectConvMatchesScalarWithinTol)
+{
+    Rng rng(9);
+    Tensor x(1, 3, 11, 11);
+    Tensor w(5, 3, 3, 3);
+    Tensor dy(1, 5, 11, 11);
+    x.fillUniform(rng);
+    w.fillUniform(rng);
+    dy.fillUniform(rng);
+
+    mk::setIsa(mk::Isa::Scalar);
+    Tensor yS = directConvForward(x, w);
+    Tensor dxS = directConvBackwardData(dy, w);
+    Tensor gS = directConvGradWeights(x, dy, 3);
+    mk::setIsa(mk::Isa::Auto);
+    Tensor yV = directConvForward(x, w);
+    Tensor dxV = directConvBackwardData(dy, w);
+    Tensor gV = directConvGradWeights(x, dy, 3);
+
+    expectTensorNear(yS, yV, 1e-5f, "direct forward");
+    expectTensorNear(dxS, dxV, 1e-5f, "direct backward-data");
+    // GradWeights stays on the one scalar kernel by contract: its
+    // serial (b, oy, ox) reduction order is part of the bitwise spec.
+    EXPECT_EQ(0, std::memcmp(gS.data(), gV.data(), gS.size() * 4));
+}
+
+// ------------------------------------------------------------------
+// Bitwise reproducibility across thread counts, per ISA
+// ------------------------------------------------------------------
+
+TEST_F(SimdTest, PipelineBitwiseInvariantAcrossThreadCountsPerIsa)
+{
+    Rng rng(3);
+    Tensor x(2, 5, 13, 13);
+    Tensor w(3, 5, 3, 3);
+    Tensor dy(2, 3, 13, 13);
+    x.fillUniform(rng);
+    w.fillUniform(rng);
+    dy.fillUniform(rng);
+    const auto &algo = algoF4x4_3x3();
+
+    for (mk::Isa isa : usableIsas()) {
+        mk::setIsa(isa);
+        WinoWeights W = transformWeights(w, algo);
+
+        ThreadPool::global().setThreadCount(1);
+        Tensor y1 = winogradForward(x, W, algo);
+        Tensor dx1 = winogradBackwardData(dy, W, algo, 13, 13);
+        WinoWeights g1 = winogradGradWeights(x, dy, algo);
+
+        ThreadPool::global().setThreadCount(8);
+        Tensor y8 = winogradForward(x, W, algo);
+        Tensor dx8 = winogradBackwardData(dy, W, algo, 13, 13);
+        WinoWeights g8 = winogradGradWeights(x, dy, algo);
+
+        EXPECT_EQ(0, std::memcmp(y1.data(), y8.data(), y1.size() * 4))
+            << mk::isaName(isa);
+        EXPECT_EQ(0,
+                  std::memcmp(dx1.data(), dx8.data(), dx1.size() * 4))
+            << mk::isaName(isa);
+        EXPECT_EQ(0, std::memcmp(g1.raw(), g8.raw(), g1.size() * 4))
+            << mk::isaName(isa);
+    }
+}
+
+} // namespace

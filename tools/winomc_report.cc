@@ -100,6 +100,14 @@ struct WorkspaceRow
     double freshAllocs = 0, freshBytes = 0, reuses = 0;
 };
 
+/** Micro-kernel dispatch telemetry of one run scope ("kernel.*"). */
+struct KernelRow
+{
+    double isaLevel = -1;
+    std::map<std::string, double> stageGflops; // stage -> GFLOP/s
+    double vectorSec = 0, scalarSec = 0;
+};
+
 using RowKey = std::pair<std::string, std::string>; // (scope, strategy)
 
 struct Report
@@ -109,7 +117,26 @@ struct Report
     std::map<RowKey, TrafficRow> traffic;
     std::map<std::string, NetRow> nets; // key: scoped network prefix
     std::map<std::string, WorkspaceRow> workspaces; // key: scope
+    std::map<std::string, KernelRow> kernels;       // key: scope
 };
+
+/** kernel.isa.level gauge value -> WINOMC_ISA-style name. */
+const char *
+isaLevelName(double level)
+{
+    switch (int(level)) {
+      case 0:
+        return "scalar";
+      case 1:
+        return "sse2";
+      case 2:
+        return "avx2";
+      case 3:
+        return "avx512";
+      default:
+        return "?";
+    }
+}
 
 void
 ingest(Report &rep, const Sample &s)
@@ -151,6 +178,22 @@ ingest(Report &rep, const Sample &s)
         } else if (leaf == "collective_bytes") {
             rep.traffic[key].collectiveBytes = s.value;
         }
+        return;
+    }
+
+    // Micro-kernel dispatch telemetry ("kernel.<leaf>").
+    if (rest.rfind("kernel.", 0) == 0) {
+        KernelRow &r = rep.kernels[scope.empty() ? "-" : scope];
+        const std::string leafk = rest.substr(7);
+        if (leafk == "isa.level")
+            r.isaLevel = s.value;
+        else if (leafk == "time.vector")
+            r.vectorSec = s.totalSec;
+        else if (leafk == "time.scalar")
+            r.scalarSec = s.totalSec;
+        else if (leafk.size() > 7 &&
+                 leafk.rfind(".gflops") == leafk.size() - 7)
+            r.stageGflops[leafk.substr(0, leafk.size() - 7)] = s.value;
         return;
     }
 
@@ -389,6 +432,27 @@ main(int argc, char **argv)
         emitSection(opt, "Workspace allocator",
                     {"scope", "high water MB", "in use MB", "pooled MB",
                      "fresh allocs", "fresh MB", "reuse %"},
+                    rows);
+    }
+
+    {
+        std::vector<std::vector<std::string>> rows;
+        for (const auto &[scope, r] : rep.kernels) {
+            const double total = r.vectorSec + r.scalarSec;
+            const std::string share =
+                total > 0.0 ? fmt(100.0 * r.vectorSec / total) : "-";
+            if (r.stageGflops.empty())
+                rows.push_back({scope, isaLevelName(r.isaLevel), "-",
+                                "-", fmt(r.vectorSec),
+                                fmt(r.scalarSec), share});
+            for (const auto &[stage, gflops] : r.stageGflops)
+                rows.push_back({scope, isaLevelName(r.isaLevel), stage,
+                                fmt(gflops), fmt(r.vectorSec),
+                                fmt(r.scalarSec), share});
+        }
+        emitSection(opt, "Kernel dispatch",
+                    {"scope", "isa", "stage", "GFLOP/s", "vector s",
+                     "scalar s", "vector %"},
                     rows);
     }
 
