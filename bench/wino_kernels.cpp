@@ -382,37 +382,192 @@ BM_InverseTransformScalar(benchmark::State &state)
 }
 BENCHMARK(BM_InverseTransformScalar)->Unit(benchmark::kMillisecond);
 
+// -------------------------------------------------------------------
+// End-to-end pipeline benchmarks: persistent WinoPlans (zero workspace
+// traffic in steady state, enforced below), staged vs fused rows so
+// BENCH_wino.json carries both modes of every pipeline.
+// -------------------------------------------------------------------
+
+/** Per-stage FLOP yardsticks of the host pipeline (matching the
+ *  wino.* stage timers): 2D transform, elementwise GEMM, inverse. */
+double
+xfFlops(const WinogradAlgo &algo, int B, int C, int t)
+{
+    const double a = algo.alpha;
+    return 4.0 * a * a * a * B * C * t;
+}
+
+double
+ewFlops(const WinogradAlgo &algo, int B, int I, int J, int t)
+{
+    const double a = algo.alpha;
+    return 2.0 * a * a * I * J * double(B) * t;
+}
+
+double
+invFlops(const WinogradAlgo &algo, int B, int C, int t)
+{
+    const double a = algo.alpha;
+    const double m = algo.m;
+    return 2.0 * m * a * (a + m) * B * C * t;
+}
+
+/** RAII override of the fused mode, restoring the prior request so a
+ *  forced row cannot leak into later benchmarks. */
+struct FusedModeOverride
+{
+    FusedMode prev = requestedFusedMode();
+    explicit FusedModeOverride(FusedMode m) { setFusedMode(m); }
+    ~FusedModeOverride() { setFusedMode(prev); }
+};
+
 /**
- * One full training step of a Winograd layer: forward, backward-data,
- * and Winograd-domain weight gradient. The single end-to-end number
- * future PRs track.
+ * Forward pass through a persistent plan, staged or fused, on a shape
+ * whose tile slabs (~127 MiB per side for Xt/Yt) overflow any cache
+ * level — the configuration the fused strip pipeline exists for.
+ * Steady state must not touch the workspace in either mode.
  */
 void
-BM_WinoEndToEnd(benchmark::State &state)
+winoForwardPlannedMode(benchmark::State &state, bool fused)
 {
     ThreadPool::global().setThreadCount(int(state.range(0)));
+    FusedModeOverride ovr(fused ? FusedMode::On : FusedMode::Off);
+    const auto &algo = algoF4x4_3x3();
+    Rng rng(1);
+    const int B = 16, C = 96, HW = 96;
+    Tensor x(B, C, HW, HW);
+    Tensor w(C, C, 3, 3);
+    x.fillUniform(rng);
+    w.fillUniform(rng);
+    WinoWeights W = transformWeights(w, algo);
+    WinoPlan plan(algo, B, C, C, HW, HW);
+    Tensor y(B, C, HW, HW);
+    auto run = [&] {
+        if (fused)
+            plan.forwardFusedInto(x, W, y);
+        else
+            plan.forwardInto(x, W, y);
+    };
+    run(); // warm-up: slabs / strip slots acquired here
+    WsProbe probe;
+    for (auto _ : state) {
+        run();
+        benchmark::DoNotOptimize(y.data());
+    }
+    const double acquires = probe.report(state);
+    const int t = plan.tileGrid().tiles();
+    reportKernelRate(state, xfFlops(algo, B, C, t) +
+                                ewFlops(algo, B, C, C, t) +
+                                invFlops(algo, B, C, t));
+    if (acquires > 0.5)
+        state.SkipWithError("persistent WinoPlan still acquires "
+                            "workspace slabs in steady state");
+}
+
+void
+BM_WinoForward(benchmark::State &state)
+{
+    winoForwardPlannedMode(state, false);
+}
+BENCHMARK(BM_WinoForward)->Apply(threadArgs)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_WinoForwardFused(benchmark::State &state)
+{
+    winoForwardPlannedMode(state, true);
+}
+BENCHMARK(BM_WinoForwardFused)->Apply(threadArgs)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * One full training step of a Winograd layer through a persistent
+ * plan: forward, weight gradient from the cached tiles, backward-data.
+ * The single end-to-end number future PRs track. The fused variant
+ * mirrors the WINOMC_FUSED=on layer schedule: the fused forward
+ * bypasses the slabs, so the weight-gradient product re-scatters the
+ * activations (scatterInput) exactly as nn::ConvLayer::backward does.
+ * On this deliberately small, cache-resident shape the re-scatter
+ * costs more than the slab round trip saves, so the fused row reads
+ * slower here — the forward pair above, on a slab-overflowing shape,
+ * is the fusion-win comparison.
+ */
+void
+winoTrainStepPlanned(benchmark::State &state, bool fused)
+{
+    ThreadPool::global().setThreadCount(int(state.range(0)));
+    FusedModeOverride ovr(fused ? FusedMode::On : FusedMode::Off);
     Rng rng(1);
     const auto &algo = algoF4x4_3x3();
-    Tensor x(4, 32, 32, 32);
-    Tensor w(32, 32, 3, 3);
-    Tensor dy(4, 32, 32, 32);
+    const int B = 4, C = 32, HW = 32;
+    Tensor x(B, C, HW, HW);
+    Tensor w(C, C, 3, 3);
+    Tensor dy(B, C, HW, HW);
     x.fillUniform(rng);
     w.fillUniform(rng);
     dy.fillUniform(rng);
     WinoWeights W = transformWeights(w, algo);
+    WinoPlan plan(algo, B, C, C, HW, HW);
+    Tensor y(B, C, HW, HW);
+    Tensor dx(B, C, HW, HW);
+    WinoWeights dW(algo.alpha, C, C);
+    auto step = [&] {
+        if (fused) {
+            plan.forwardFusedInto(x, W, y);
+            plan.scatterInput(x); // rebuild Xt for the weight grad
+            plan.transformGradOutput(dy);
+            plan.gradWeightsFromCachedInto(dW);
+            plan.backwardDataFusedInto(dy, W, dx);
+        } else {
+            plan.forwardInto(x, W, y);
+            plan.transformGradOutput(dy);
+            plan.gradWeightsFromCachedInto(dW);
+            plan.backwardDataFromCachedInto(W, dx);
+        }
+    };
+    step(); // warm-up: slabs / strip slots acquired here
     WsProbe probe;
     for (auto _ : state) {
-        Tensor y = winogradForward(x, W, algo);
-        Tensor dx = winogradBackwardData(dy, W, algo, 32, 32);
-        WinoWeights dW = winogradGradWeights(x, dy, algo);
-        benchmark::DoNotOptimize(y);
-        benchmark::DoNotOptimize(dx);
-        benchmark::DoNotOptimize(dW);
+        step();
+        benchmark::DoNotOptimize(y.data());
+        benchmark::DoNotOptimize(dx.data());
+        benchmark::DoNotOptimize(dW.raw());
     }
-    probe.report(state);
-    state.SetLabel(mk::isaName(mk::activeIsa()));
+    const double acquires = probe.report(state);
+    // Executed FLOPs of the schedule above (the fused row pays the
+    // extra scatterInput transform; its rate is honest, not inflated).
+    const int t = plan.tileGrid().tiles();
+    const double fwd = xfFlops(algo, B, C, t) +
+                       ewFlops(algo, B, C, C, t) +
+                       invFlops(algo, B, C, t);
+    const double grad = invFlops(algo, B, C, t) + // dy adjoint
+                        ewFlops(algo, B, C, C, t);
+    const double bwd = ewFlops(algo, B, C, C, t) +
+                       xfFlops(algo, B, C, t);
+    double flops = fwd + grad + bwd;
+    if (fused)
+        flops += xfFlops(algo, B, C, t) + // scatterInput
+                 invFlops(algo, B, C, t); // bwd re-gathers dy
+    reportKernelRate(state, flops);
+    if (acquires > 0.5)
+        state.SkipWithError("persistent WinoPlan still acquires "
+                            "workspace slabs in steady state");
+}
+
+void
+BM_WinoEndToEnd(benchmark::State &state)
+{
+    winoTrainStepPlanned(state, false);
 }
 BENCHMARK(BM_WinoEndToEnd)->Apply(threadArgs)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_WinoEndToEndFused(benchmark::State &state)
+{
+    winoTrainStepPlanned(state, true);
+}
+BENCHMARK(BM_WinoEndToEndFused)->Apply(threadArgs)
     ->Unit(benchmark::kMillisecond);
 
 void

@@ -76,6 +76,16 @@ MptConvLayer::forward(const Tensor &x, bool train)
     for (int c = 0; c < nc; ++c) {
         WinoPlan &plan = *plans[size_t(c)];
         shardInto(x, c * shard, xShard);
+        // Undivided alpha^2 inference shards have no partial-product
+        // scatter/gather to satisfy, so the whole per-cluster forward
+        // can run through the fused strip pipeline. Grouped (ng > 1)
+        // or train-mode execution needs the plan slabs: the group loop
+        // accumulates into Yt and backward reads the cached Xt.
+        if (ng == 1 && !train && plan.shouldFuse(false)) {
+            plan.forwardFusedInto(xShard, W, yShard);
+            pasteShard(y, yShard, c * shard);
+            continue;
+        }
         plan.scatterInput(xShard);
         WinoTiles &Y = plan.outputTilesMutable();
         Y.fill(0.0f); // the group loop accumulates partial products

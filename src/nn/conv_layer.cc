@@ -51,9 +51,20 @@ ConvLayer::forward(const Tensor &x, bool train)
 
     ensurePlan(x);
     Tensor y(x.n(), outCh, x.h(), x.w());
-    execPlan->forwardInto(x, W, y);
-    if (!train)
-        execPlan->invalidateCache();
+    // A train-mode forward wants the plan's input-tile cache for the
+    // weight-gradient product, so Auto stays staged there; only an
+    // explicit WINOMC_FUSED=on fuses it, caching the raw activations
+    // instead and re-transforming them in backward().
+    usedFusedForward = execPlan->shouldFuse(train);
+    if (usedFusedForward) {
+        execPlan->forwardFusedInto(x, W, y);
+        if (train)
+            cachedX = x;
+    } else {
+        execPlan->forwardInto(x, W, y);
+        if (!train)
+            execPlan->invalidateCache();
+    }
     return y;
 }
 
@@ -69,6 +80,11 @@ ConvLayer::backward(const Tensor &dy)
         return directConvBackwardData(dy, w);
     }
 
+    // A fused forward bypassed the slabs, so the input-tile cache the
+    // weight-gradient product needs does not exist yet — rebuild it
+    // from the cached activations (identical tiles, staged or not).
+    if (usedFusedForward)
+        execPlan->scatterInput(cachedX);
     execPlan->transformGradOutput(dy);
     execPlan->gradWeightsFromCachedInto(gScratch);
     if (convMode == ConvMode::WinogradLayer) {
@@ -79,7 +95,10 @@ ConvLayer::backward(const Tensor &dy)
         dw += dwScratch;
     }
     Tensor dx(dy.n(), inCh, lastH, lastW);
-    execPlan->backwardDataFromCachedInto(W, dx);
+    if (execPlan->shouldFuse(false))
+        execPlan->backwardDataFusedInto(dy, W, dx);
+    else
+        execPlan->backwardDataFromCachedInto(W, dx);
     return dx;
 }
 

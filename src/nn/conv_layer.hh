@@ -80,10 +80,14 @@ class ConvLayer : public Module
     WinoWeights gScratch; ///< per-step Winograd weight-grad scratch
     Tensor dwScratch;     ///< per-step spatial weight-grad scratch
 
-    Tensor cachedX;    ///< input (Direct mode backward)
+    Tensor cachedX;    ///< input (Direct mode / fused train backward)
     /** True iff the activations the backward pass needs were cached by
      *  a train-mode forward and not clobbered since. */
     bool trainCached = false;
+    /** True iff the last train-mode Winograd forward ran fused: the
+     *  plan's input tiles are then NOT cached and backward rebuilds
+     *  them from cachedX before the weight-gradient product. */
+    bool usedFusedForward = false;
     int lastH = 0, lastW = 0;
 };
 

@@ -144,29 +144,14 @@ transformInputInto(const Tensor &x, const WinogradAlgo &algo,
                 xbase + (size_t(b) * nc + c) * size_t(h) * w;
             for (int t0 = 0; t0 < nt; t0 += mk::kTilePanel) {
                 const int cnt = std::min(mk::kTilePanel, nt - t0);
+                int tr[mk::kTilePanel], tc[mk::kTilePanel];
                 for (int l = 0; l < cnt; ++l) {
                     const int t = t0 + l;
-                    const int r0 = grid.tileRow(t / grid.tilesW);
-                    const int c0 = grid.tileCol(t % grid.tilesW);
-                    for (int i = 0; i < a; ++i) {
-                        const int rr = r0 + i;
-                        const bool rowIn = rr >= 0 && rr < h;
-                        for (int j = 0; j < a; ++j) {
-                            const int cc = c0 + j;
-                            const bool in_map =
-                                rowIn && cc >= 0 && cc < w;
-                            soa[size_t(i * a + j) * mk::kTilePanel + l] =
-                                in_map ? double(plane[size_t(rr) * w + cc])
-                                       : 0.0;
-                        }
-                    }
+                    tr[l] = grid.tileRow(t / grid.tilesW);
+                    tc[l] = grid.tileCol(t % grid.tilesW);
                 }
-                // The kernel streams whole vectors over the panel, so
-                // surplus lanes of a short final panel must be defined.
-                if (cnt < mk::kTilePanel)
-                    for (int e = 0; e < a * a; ++e)
-                        for (int l = cnt; l < mk::kTilePanel; ++l)
-                            soa[size_t(e) * mk::kTilePanel + l] = 0.0;
+                K.packTilePanel(soa.data(), plane, h, w, tr, tc, a, a,
+                                cnt);
                 K.xformToTiles(BT, a, a, B, a, a, soa.data(),
                                out.uvBase(c, b, t0), uvStr, cnt);
             }
@@ -225,25 +210,14 @@ transformInputAdjointInto(const WinoTiles &dX, const WinogradAlgo &algo,
                 K.xformFromTiles(B, a, a, BT, a, a,
                                  dX.uvBase(c, b, t0), uvStr, soa.data(),
                                  cnt);
+                int tr[mk::kTilePanel], tc[mk::kTilePanel];
                 for (int l = 0; l < cnt; ++l) {
                     const int t = t0 + l;
-                    const int r0 = grid.tileRow(t / grid.tilesW);
-                    const int c0 = grid.tileCol(t % grid.tilesW);
-                    for (int i = 0; i < a; ++i) {
-                        const int rr = r0 + i;
-                        if (rr < 0 || rr >= h)
-                            continue;
-                        float *row = plane + size_t(rr) * w;
-                        for (int j = 0; j < a; ++j) {
-                            const int cc = c0 + j;
-                            if (cc < 0 || cc >= w)
-                                continue;
-                            row[cc] += float(
-                                soa[size_t(i * a + j) * mk::kTilePanel +
-                                    l]);
-                        }
-                    }
+                    tr[l] = grid.tileRow(t / grid.tilesW);
+                    tc[l] = grid.tileCol(t % grid.tilesW);
                 }
+                K.unpackAddTilePanel(plane, h, w, tr, tc, a, a,
+                                     soa.data(), cnt);
             }
         }
     });
@@ -566,25 +540,14 @@ inverseTransformInto(const WinoTiles &Y, const WinogradAlgo &algo,
                 const int cnt = std::min(mk::kTilePanel, nt - t0);
                 K.xformFromTiles(AT, m, a, A, a, m, Y.uvBase(c, b, t0),
                                  uvStr, soa.data(), cnt);
+                int tr[mk::kTilePanel], tc[mk::kTilePanel];
                 for (int l = 0; l < cnt; ++l) {
                     const int t = t0 + l;
-                    const int th = t / grid.tilesW;
-                    const int tw = t % grid.tilesW;
-                    for (int i = 0; i < m; ++i) {
-                        const int rr = th * m + i;
-                        if (rr >= h)
-                            continue; // boundary crop
-                        float *row = plane + size_t(rr) * w;
-                        for (int j = 0; j < m; ++j) {
-                            const int cc = tw * m + j;
-                            if (cc >= w)
-                                continue;
-                            row[cc] = float(
-                                soa[size_t(i * m + j) * mk::kTilePanel +
-                                    l]);
-                        }
-                    }
+                    tr[l] = (t / grid.tilesW) * m;
+                    tc[l] = (t % grid.tilesW) * m;
                 }
+                K.unpackTilePanel(plane, h, w, tr, tc, m, m, soa.data(),
+                                  cnt);
             }
         }
     });
@@ -633,26 +596,14 @@ inverseTransformAdjointInto(const Tensor &dy, const WinogradAlgo &algo,
                 dybase + (size_t(b) * nc + c) * size_t(h) * w;
             for (int t0 = 0; t0 < nt; t0 += mk::kTilePanel) {
                 const int cnt = std::min(mk::kTilePanel, nt - t0);
+                int tr[mk::kTilePanel], tc[mk::kTilePanel];
                 for (int l = 0; l < cnt; ++l) {
                     const int t = t0 + l;
-                    const int th = t / grid.tilesW;
-                    const int tw = t % grid.tilesW;
-                    for (int i = 0; i < m; ++i) {
-                        const int rr = th * m + i;
-                        const bool rowIn = rr < h;
-                        for (int j = 0; j < m; ++j) {
-                            const int cc = tw * m + j;
-                            const bool in_map = rowIn && cc < w;
-                            soa[size_t(i * m + j) * mk::kTilePanel + l] =
-                                in_map ? double(plane[size_t(rr) * w + cc])
-                                       : 0.0;
-                        }
-                    }
+                    tr[l] = (t / grid.tilesW) * m;
+                    tc[l] = (t % grid.tilesW) * m;
                 }
-                if (cnt < mk::kTilePanel)
-                    for (int e = 0; e < m * m; ++e)
-                        for (int l = cnt; l < mk::kTilePanel; ++l)
-                            soa[size_t(e) * mk::kTilePanel + l] = 0.0;
+                K.packTilePanel(soa.data(), plane, h, w, tr, tc, m, m,
+                                cnt);
                 // Adjoint of y = AT Y A is dY = A dy A^T.
                 K.xformToTiles(A, a, m, AT, m, a, soa.data(),
                                dY.uvBase(c, b, t0), uvStr, cnt);
@@ -670,6 +621,245 @@ inverseTransformAdjoint(const Tensor &dy, const WinogradAlgo &algo)
     return dY;
 }
 
+void
+transformInputStrip(const Tensor &x, const WinogradAlgo &algo,
+                    const TileGrid &grid, int b, int t0, int tcnt,
+                    WinoTiles &Xs)
+{
+    winomc_assert(algo.alpha <= kMaxAlpha, "alpha too large");
+    winomc_assert(Xs.alphaEdge() == algo.alpha && Xs.batch() == 1 &&
+                  Xs.channels() == x.c() && Xs.tiles() >= tcnt,
+                  "transformInputStrip scratch shape mismatch");
+    const int a = algo.alpha;
+    const int nc = x.c();
+    const int h = x.h();
+    const int w = x.w();
+    const auto &K = mk::kernels();
+    const double *BT = algo.BT.data();
+    const double *B = algo.B.data();
+    const size_t uvStr = Xs.uvStride();
+    SoaPanel soa;
+    for (int c = 0; c < nc; ++c) {
+        const float *plane =
+            x.data() + (size_t(b) * nc + c) * size_t(h) * w;
+        for (int p0 = 0; p0 < tcnt; p0 += mk::kTilePanel) {
+            const int cnt = std::min(mk::kTilePanel, tcnt - p0);
+            int tr[mk::kTilePanel], tc[mk::kTilePanel];
+            for (int l = 0; l < cnt; ++l) {
+                const int t = t0 + p0 + l;
+                tr[l] = grid.tileRow(t / grid.tilesW);
+                tc[l] = grid.tileCol(t % grid.tilesW);
+            }
+            K.packTilePanel(soa.data(), plane, h, w, tr, tc, a, a, cnt);
+            K.xformToTiles(BT, a, a, B, a, a, soa.data(),
+                           Xs.uvBase(c, 0, p0), uvStr, cnt);
+        }
+    }
+}
+
+void
+elementwiseForwardStrip(const WinoTiles &Xs, const WinoWeights &W,
+                        int tcnt, WinoTiles &Ys)
+{
+    winomc_assert(Xs.channels() == W.inChannels() &&
+                  Ys.channels() == W.outChannels() &&
+                  Xs.tiles() >= tcnt && Ys.tiles() >= tcnt,
+                  "elementwiseForwardStrip shape mismatch");
+    const int a2 = Xs.uvCount();
+    const int nj = W.outChannels();
+    const int ni = W.inChannels();
+    const auto &K = mk::kernels();
+
+    // Same register blocking as elementwiseForwardInto with the
+    // streamed axis cut down to the strip; per-element arithmetic is
+    // unchanged, so the result is bitwise identical to the staged path.
+    for (int uv = 0; uv < a2; ++uv) {
+        for (int j0 = 0; j0 < nj; j0 += kJBlock) {
+            const int jn = std::min(kJBlock, nj - j0);
+            float *yrows[kJBlock];
+            for (int jj = 0; jj < jn; ++jj) {
+                yrows[jj] = Ys.row(uv, j0 + jj);
+                std::fill(yrows[jj], yrows[jj] + tcnt, 0.0f);
+            }
+            for (int k0 = 0; k0 < tcnt; k0 += kKBlock) {
+                const int kb = std::min(kKBlock, tcnt - k0);
+                for (int i0 = 0; i0 < ni; i0 += kIUnroll) {
+                    const int ib = std::min(kIUnroll, ni - i0);
+                    const float *xr[kIUnroll];
+                    for (int ii = 0; ii < ib; ++ii)
+                        xr[ii] = Xs.row(uv, i0 + ii) + k0;
+                    for (int jj = 0; jj < jn; ++jj) {
+                        float wv[kIUnroll];
+                        bool any = false;
+                        for (int ii = 0; ii < ib; ++ii) {
+                            wv[ii] = W.at(uv, j0 + jj, i0 + ii);
+                            any = any || wv[ii] != 0.0f;
+                        }
+                        if (!any)
+                            continue;
+                        K.panelAccum(yrows[jj] + k0, xr, wv, ib, kb);
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+inverseTransformStrip(const WinoTiles &Ys, const WinogradAlgo &algo,
+                      const TileGrid &grid, int b, int t0, int tcnt,
+                      Tensor &y)
+{
+    winomc_assert(Ys.alphaEdge() == algo.alpha && Ys.batch() == 1 &&
+                  Ys.channels() == y.c() && Ys.tiles() >= tcnt,
+                  "inverseTransformStrip scratch shape mismatch");
+    const int a = algo.alpha;
+    const int m = algo.m;
+    const int nc = y.c();
+    const int h = y.h();
+    const int w = y.w();
+    const auto &K = mk::kernels();
+    const double *AT = algo.AT.data();
+    const double *A = algo.A.data();
+    const size_t uvStr = Ys.uvStride();
+    SoaPanel soa;
+    for (int c = 0; c < nc; ++c) {
+        float *plane = y.data() + (size_t(b) * nc + c) * size_t(h) * w;
+        for (int p0 = 0; p0 < tcnt; p0 += mk::kTilePanel) {
+            const int cnt = std::min(mk::kTilePanel, tcnt - p0);
+            K.xformFromTiles(AT, m, a, A, a, m, Ys.uvBase(c, 0, p0),
+                             uvStr, soa.data(), cnt);
+            int tr[mk::kTilePanel], tc[mk::kTilePanel];
+            for (int l = 0; l < cnt; ++l) {
+                const int t = t0 + p0 + l;
+                tr[l] = (t / grid.tilesW) * m;
+                tc[l] = (t % grid.tilesW) * m;
+            }
+            K.unpackTilePanel(plane, h, w, tr, tc, m, m, soa.data(),
+                              cnt);
+        }
+    }
+}
+
+void
+inverseTransformAdjointStrip(const Tensor &dy, const WinogradAlgo &algo,
+                             const TileGrid &grid, int b, int t0,
+                             int tcnt, WinoTiles &dYs)
+{
+    winomc_assert(dYs.alphaEdge() == algo.alpha && dYs.batch() == 1 &&
+                  dYs.channels() == dy.c() && dYs.tiles() >= tcnt,
+                  "inverseTransformAdjointStrip scratch shape mismatch");
+    const int a = algo.alpha;
+    const int m = algo.m;
+    const int nc = dy.c();
+    const int h = dy.h();
+    const int w = dy.w();
+    const auto &K = mk::kernels();
+    const double *A = algo.A.data();
+    const double *AT = algo.AT.data();
+    const size_t uvStr = dYs.uvStride();
+    SoaPanel soa;
+    for (int c = 0; c < nc; ++c) {
+        const float *plane =
+            dy.data() + (size_t(b) * nc + c) * size_t(h) * w;
+        for (int p0 = 0; p0 < tcnt; p0 += mk::kTilePanel) {
+            const int cnt = std::min(mk::kTilePanel, tcnt - p0);
+            int tr[mk::kTilePanel], tc[mk::kTilePanel];
+            for (int l = 0; l < cnt; ++l) {
+                const int t = t0 + p0 + l;
+                tr[l] = (t / grid.tilesW) * m;
+                tc[l] = (t % grid.tilesW) * m;
+            }
+            K.packTilePanel(soa.data(), plane, h, w, tr, tc, m, m, cnt);
+            // Adjoint of y = AT Y A is dY = A dy A^T.
+            K.xformToTiles(A, a, m, AT, m, a, soa.data(),
+                           dYs.uvBase(c, 0, p0), uvStr, cnt);
+        }
+    }
+}
+
+void
+elementwiseBackwardDataStrip(const WinoTiles &dYs, const WinoWeights &W,
+                             int tcnt, WinoTiles &dXs)
+{
+    winomc_assert(dYs.channels() == W.outChannels() &&
+                  dXs.channels() == W.inChannels() &&
+                  dYs.tiles() >= tcnt && dXs.tiles() >= tcnt,
+                  "elementwiseBackwardDataStrip shape mismatch");
+    const int a2 = dYs.uvCount();
+    const int nj = W.outChannels();
+    const int ni = W.inChannels();
+    const auto &K = mk::kernels();
+
+    for (int uv = 0; uv < a2; ++uv) {
+        for (int i0 = 0; i0 < ni; i0 += kJBlock) {
+            const int in = std::min(kJBlock, ni - i0);
+            float *dxrows[kJBlock];
+            for (int ii = 0; ii < in; ++ii) {
+                dxrows[ii] = dXs.row(uv, i0 + ii);
+                std::fill(dxrows[ii], dxrows[ii] + tcnt, 0.0f);
+            }
+            for (int k0 = 0; k0 < tcnt; k0 += kKBlock) {
+                const int kb = std::min(kKBlock, tcnt - k0);
+                for (int j0 = 0; j0 < nj; j0 += kIUnroll) {
+                    const int jb = std::min(kIUnroll, nj - j0);
+                    const float *dyr[kIUnroll];
+                    for (int jj = 0; jj < jb; ++jj)
+                        dyr[jj] = dYs.row(uv, j0 + jj) + k0;
+                    for (int ii = 0; ii < in; ++ii) {
+                        float wv[kIUnroll];
+                        bool any = false;
+                        for (int jj = 0; jj < jb; ++jj) {
+                            wv[jj] = W.at(uv, j0 + jj, i0 + ii);
+                            any = any || wv[jj] != 0.0f;
+                        }
+                        if (!any)
+                            continue;
+                        K.panelAccum(dxrows[ii] + k0, dyr, wv, jb, kb);
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+transformInputAdjointStripAdd(const WinoTiles &dXs,
+                              const WinogradAlgo &algo,
+                              const TileGrid &grid, int b, int t0,
+                              int tcnt, Tensor &dx)
+{
+    winomc_assert(dXs.alphaEdge() == algo.alpha && dXs.batch() == 1 &&
+                  dXs.channels() == dx.c() && dXs.tiles() >= tcnt,
+                  "transformInputAdjointStripAdd scratch shape mismatch");
+    const int a = algo.alpha;
+    const int nc = dx.c();
+    const int h = dx.h();
+    const int w = dx.w();
+    const auto &K = mk::kernels();
+    const double *B = algo.B.data();
+    const double *BT = algo.BT.data();
+    const size_t uvStr = dXs.uvStride();
+    SoaPanel soa;
+    for (int c = 0; c < nc; ++c) {
+        float *plane = dx.data() + (size_t(b) * nc + c) * size_t(h) * w;
+        for (int p0 = 0; p0 < tcnt; p0 += mk::kTilePanel) {
+            const int cnt = std::min(mk::kTilePanel, tcnt - p0);
+            // Adjoint of X = BT x B is dx = B dX B^T.
+            K.xformFromTiles(B, a, a, BT, a, a, dXs.uvBase(c, 0, p0),
+                             uvStr, soa.data(), cnt);
+            int tr[mk::kTilePanel], tc[mk::kTilePanel];
+            for (int l = 0; l < cnt; ++l) {
+                const int t = t0 + p0 + l;
+                tr[l] = grid.tileRow(t / grid.tilesW);
+                tc[l] = grid.tileCol(t % grid.tilesW);
+            }
+            K.unpackAddTilePanel(plane, h, w, tr, tc, a, a, soa.data(),
+                                 cnt);
+        }
+    }
+}
+
 Tensor
 winogradForward(const Tensor &x, const WinoWeights &W,
                 const WinogradAlgo &algo)
@@ -677,7 +867,11 @@ winogradForward(const Tensor &x, const WinoWeights &W,
     WinoPlan plan(algo, x.n(), W.inChannels(), W.outChannels(), x.h(),
                   x.w());
     Tensor y(x.n(), W.outChannels(), x.h(), x.w());
-    plan.forwardInto(x, W, y);
+    // Transient plan, nobody reads its tile caches afterwards.
+    if (plan.shouldFuse(false))
+        plan.forwardFusedInto(x, W, y);
+    else
+        plan.forwardInto(x, W, y);
     return y;
 }
 
@@ -690,7 +884,10 @@ winogradBackwardData(const Tensor &dy, const WinoWeights &W,
                   "share spatial size");
     WinoPlan plan(algo, dy.n(), W.inChannels(), W.outChannels(), h, w);
     Tensor dx(dy.n(), W.inChannels(), h, w);
-    plan.backwardDataInto(dy, W, dx);
+    if (plan.shouldFuse(false))
+        plan.backwardDataFusedInto(dy, W, dx);
+    else
+        plan.backwardDataInto(dy, W, dx);
     return dx;
 }
 

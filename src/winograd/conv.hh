@@ -101,6 +101,50 @@ void inverseTransformAdjointInto(const Tensor &dy,
                                  const WinogradAlgo &algo, WinoTiles &dY);
 
 // ---------------------------------------------------------------------
+// Fused tile-strip stage kernels (DESIGN.md §4.11)
+//
+// Each processes the tile range [t0, t0 + tcnt) of ONE image `b`
+// serially — the strip loop in WinoPlan is the parallel unit, so these
+// must stay free of parallelFor. Strip scratch tiles (Xs/Ys/dYs/dXs)
+// are shaped (alpha, channels, 1, stripTiles >= tcnt); lanes beyond
+// tcnt are never read. The arithmetic per element is identical to the
+// staged kernels above (same micro-kernels, same blocking, same
+// summation order), so a fused pipeline is bitwise identical to the
+// staged one at every ISA level.
+// ---------------------------------------------------------------------
+
+/** Gather + input-transform one strip of image b into Xs. */
+void transformInputStrip(const Tensor &x, const WinogradAlgo &algo,
+                         const TileGrid &grid, int b, int t0, int tcnt,
+                         WinoTiles &Xs);
+/** Ys[uv] = W[uv] * Xs[uv] over the strip's first tcnt lanes. */
+void elementwiseForwardStrip(const WinoTiles &Xs, const WinoWeights &W,
+                             int tcnt, WinoTiles &Ys);
+/** Inverse-transform + store one strip of Ys into image b of y. */
+void inverseTransformStrip(const WinoTiles &Ys, const WinogradAlgo &algo,
+                           const TileGrid &grid, int b, int t0, int tcnt,
+                           Tensor &y);
+/** Gather + adjoint-transform one strip of image b of dy into dYs. */
+void inverseTransformAdjointStrip(const Tensor &dy,
+                                  const WinogradAlgo &algo,
+                                  const TileGrid &grid, int b, int t0,
+                                  int tcnt, WinoTiles &dYs);
+/** dXs[uv] = W[uv]^T * dYs[uv] over the strip's first tcnt lanes. */
+void elementwiseBackwardDataStrip(const WinoTiles &dYs,
+                                  const WinoWeights &W, int tcnt,
+                                  WinoTiles &dXs);
+/**
+ * Overlap-add one strip of dXs into image b of dx (which the caller
+ * zero-fills before the first strip). Tiles scatter in ascending
+ * order; callers must process a given image's strips in ascending
+ * order, serially, to keep the bitwise contract.
+ */
+void transformInputAdjointStripAdd(const WinoTiles &dXs,
+                                   const WinogradAlgo &algo,
+                                   const TileGrid &grid, int b, int t0,
+                                   int tcnt, Tensor &dx);
+
+// ---------------------------------------------------------------------
 // High-level convenience wrappers (build a transient execution plan)
 // ---------------------------------------------------------------------
 

@@ -130,6 +130,74 @@ winogradConvCost(const ConvSpec &spec, const WinogradAlgo &algo,
     return c;
 }
 
+TrafficPrediction
+predictedTrafficBytes(const ConvSpec &spec, const WinogradAlgo &algo,
+                      Phase phase, bool fused, int stripsPerImage,
+                      const CostModelParams &p)
+{
+    winomc_assert(spec.r == algo.r, "ConvSpec r=", spec.r,
+                  " does not match algorithm r=", algo.r);
+    winomc_assert(stripsPerImage >= 1, "need at least one strip");
+    const uint64_t B = spec.batch, I = spec.inCh, J = spec.outCh;
+    const double bytes = p.bytesPerScalar;
+
+    TileGrid grid(spec.h, spec.w, algo);
+    const uint64_t t = uint64_t(grid.tiles());
+    const uint64_t a2 = uint64_t(algo.alpha) * algo.alpha;
+    const uint64_t m2 = uint64_t(algo.m) * algo.m;
+
+    // Slab / stream sizes in elements.
+    const uint64_t tilesIn = B * I * t * a2;  // Xt / dXt
+    const uint64_t tilesOut = B * J * t * a2; // Yt / dYt
+    const uint64_t winoW = I * J * a2;        // W
+    const uint64_t inGather = B * I * t * a2; // a x a window per tile
+    const uint64_t dyGather = B * J * t * m2; // m x m window per tile
+
+    auto toBytes = [bytes](uint64_t elems) {
+        return uint64_t(double(elems) * bytes);
+    };
+
+    TrafficPrediction tp;
+    switch (phase) {
+      case Phase::Fprop:
+        if (fused) {
+            // Gather x, stream W once per (image, strip), store y; the
+            // strip scratch stays cache-resident by construction.
+            tp.xformBytes = toBytes(inGather);
+            tp.ewBytes = toBytes(winoW * B * uint64_t(stripsPerImage));
+            tp.inverseBytes = toBytes(spec.outputElems());
+        } else {
+            tp.xformBytes = toBytes(inGather + tilesIn);
+            tp.ewBytes = toBytes(tilesIn + winoW + tilesOut);
+            tp.inverseBytes = toBytes(tilesOut + spec.outputElems());
+        }
+        break;
+      case Phase::Bprop:
+        if (fused) {
+            tp.xformBytes = toBytes(dyGather);
+            tp.ewBytes = toBytes(winoW * B * uint64_t(stripsPerImage));
+            // dx zero-fill write plus the overlap-add read+write sweep.
+            tp.inverseBytes =
+                toBytes(spec.inputElems() + 2 * inGather);
+        } else {
+            tp.xformBytes = toBytes(dyGather + tilesOut);
+            tp.ewBytes = toBytes(tilesOut + winoW + tilesIn);
+            tp.inverseBytes =
+                toBytes(tilesIn + spec.inputElems() + 2 * inGather);
+        }
+        break;
+      case Phase::UpdateGrad:
+        // Staged only: both transforms stream their slabs, the dot
+        // products re-read them against a weight-sized output.
+        tp.xformBytes =
+            toBytes(inGather + tilesIn + dyGather + tilesOut);
+        tp.ewBytes = toBytes(tilesIn + tilesOut + winoW);
+        tp.inverseBytes = 0;
+        break;
+    }
+    return tp;
+}
+
 ConvCost
 directConvIterCost(const ConvSpec &spec, const CostModelParams &p)
 {

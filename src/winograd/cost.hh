@@ -71,6 +71,44 @@ ConvCost winogradConvIterCost(const ConvSpec &spec,
                               const WinogradAlgo &algo,
                               const CostModelParams &p = {});
 
+/**
+ * Predicted slab-level memory traffic (bytes) of one executed phase of
+ * the host Winograd pipeline, staged or fused (DESIGN.md §4.11).
+ *
+ * The model counts each stage's streamed operands once (stage-internal
+ * register/cache blocking is assumed resident): the staged pipeline
+ * pays a full write + read round trip through the Winograd-domain
+ * slabs between every stage, the fused pipeline only touches spatial
+ * operands plus one weight stream per (image, strip) task. Gathers are
+ * tile-quantized (alpha^2 / m^2 elements per tile); the runtime
+ * counters (`wino.<mode>.<phase>.*`) use exact in-bounds counts, so
+ * measured/predicted lands slightly under 1 on shapes with padding.
+ */
+struct TrafficPrediction
+{
+    uint64_t xformBytes = 0;   ///< input-side gather / transform stage
+    uint64_t ewBytes = 0;      ///< elementwise GEMM stage
+    uint64_t inverseBytes = 0; ///< output-side transform / store stage
+
+    uint64_t
+    totalBytes() const
+    {
+        return xformBytes + ewBytes + inverseBytes;
+    }
+};
+
+/**
+ * @param fused          staged (false) or fused tile-strip (true) mode
+ * @param stripsPerImage the fused strip count (WinoPlan::stripCount());
+ *                       ignored for staged. UpdateGrad has no fused
+ *                       path and always returns the staged prediction.
+ */
+TrafficPrediction predictedTrafficBytes(const ConvSpec &spec,
+                                        const WinogradAlgo &algo,
+                                        Phase phase, bool fused,
+                                        int stripsPerImage = 1,
+                                        const CostModelParams &p = {});
+
 } // namespace winomc
 
 #endif // WINOMC_WINOGRAD_COST_HH

@@ -102,6 +102,40 @@ struct MicroKernels
                          const double *in, float *out,
                          std::size_t outStride, int cnt);
 
+    // --- tile-panel layout pack/unpack (spatial <-> blocked SoA) ----
+
+    /**
+     * Gather cnt (<= kTilePanel) spatial eh x ew patches into the
+     * dense SoA double panel the transform kernels consume:
+     * soa[(i*ew + j) * kTilePanel + l] = plane[(tr[l]+i)*w + tc[l]+j]
+     * with 0.0 outside [0,h) x [0,w) (implicit padding / boundary
+     * crop; tr/tc may be negative). Surplus lanes l >= cnt of every
+     * entry are zeroed so whole-vector sweeps over the panel stay
+     * defined. tr/tc need only cnt valid entries.
+     */
+    void (*packTilePanel)(double *soa, const float *plane, int h, int w,
+                          const int *tr, const int *tc, int eh, int ew,
+                          int cnt);
+
+    /**
+     * Scatter a dense SoA double panel back to spatial positions:
+     * plane[(tr[l]+i)*w + tc[l]+j] = float(soa[(i*ew+j)*kTilePanel+l]),
+     * skipping entries outside [0,h) x [0,w) (boundary crop). Lanes
+     * scatter in ascending order.
+     */
+    void (*unpackTilePanel)(float *plane, int h, int w, const int *tr,
+                            const int *tc, int eh, int ew,
+                            const double *soa, int cnt);
+
+    /**
+     * Overlap-add variant of unpackTilePanel: += instead of =, lanes
+     * strictly in ascending order (the summation order at overlapping
+     * pixels is part of the bitwise contract).
+     */
+    void (*unpackAddTilePanel)(float *plane, int h, int w, const int *tr,
+                               const int *tc, int eh, int ew,
+                               const double *soa, int cnt);
+
     // --- direct conv / reduction primitives -------------------------
 
     /** acc[i] += w * x[i] for i in [0, n), double accumulators. */

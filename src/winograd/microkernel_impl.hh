@@ -153,6 +153,87 @@ xformToTiles(const double *L, int p, int n, const double *R, int k,
         });
 }
 
+/**
+ * Layout pack/unpack between spatial planes and SoA tile panels.
+ * These are pure data movement (a float->double widen at most), so
+ * every ISA level shares the scalar loop structure — the strided
+ * scatter/gather pattern (stride kTilePanel doubles per entry) does
+ * not map onto contiguous vector loads, and bitwise parity with the
+ * scalar oracle comes for free.
+ */
+void
+packTilePanel(double *soa, const float *plane, int h, int w,
+              const int *tr, const int *tc, int eh, int ew, int cnt)
+{
+    for (int l = 0; l < cnt; ++l) {
+        const int r0 = tr[l];
+        const int c0 = tc[l];
+        for (int i = 0; i < eh; ++i) {
+            const int rr = r0 + i;
+            const bool rowIn = rr >= 0 && rr < h;
+            for (int j = 0; j < ew; ++j) {
+                const int cc = c0 + j;
+                const bool in_map = rowIn && cc >= 0 && cc < w;
+                soa[std::size_t(i * ew + j) * kTilePanel + l] =
+                    in_map ? double(plane[std::size_t(rr) * w + cc])
+                           : 0.0;
+            }
+        }
+    }
+    // Surplus lanes must stay defined for whole-vector panel sweeps.
+    if (cnt < kTilePanel)
+        for (int e = 0; e < eh * ew; ++e)
+            for (int l = cnt; l < kTilePanel; ++l)
+                soa[std::size_t(e) * kTilePanel + l] = 0.0;
+}
+
+void
+unpackTilePanel(float *plane, int h, int w, const int *tr, const int *tc,
+                int eh, int ew, const double *soa, int cnt)
+{
+    for (int l = 0; l < cnt; ++l) {
+        const int r0 = tr[l];
+        const int c0 = tc[l];
+        for (int i = 0; i < eh; ++i) {
+            const int rr = r0 + i;
+            if (rr < 0 || rr >= h)
+                continue; // boundary crop
+            float *row = plane + std::size_t(rr) * w;
+            for (int j = 0; j < ew; ++j) {
+                const int cc = c0 + j;
+                if (cc < 0 || cc >= w)
+                    continue;
+                row[cc] =
+                    float(soa[std::size_t(i * ew + j) * kTilePanel + l]);
+            }
+        }
+    }
+}
+
+void
+unpackAddTilePanel(float *plane, int h, int w, const int *tr,
+                   const int *tc, int eh, int ew, const double *soa,
+                   int cnt)
+{
+    for (int l = 0; l < cnt; ++l) {
+        const int r0 = tr[l];
+        const int c0 = tc[l];
+        for (int i = 0; i < eh; ++i) {
+            const int rr = r0 + i;
+            if (rr < 0 || rr >= h)
+                continue;
+            float *row = plane + std::size_t(rr) * w;
+            for (int j = 0; j < ew; ++j) {
+                const int cc = c0 + j;
+                if (cc < 0 || cc >= w)
+                    continue;
+                row[cc] +=
+                    float(soa[std::size_t(i * ew + j) * kTilePanel + l]);
+            }
+        }
+    }
+}
+
 void
 rowAccumDouble(double *acc, const float *x, double w, int n)
 {
@@ -287,6 +368,8 @@ avgPool2Row(float *y, const float *r0, const float *r1, int outW)
             simd::VF::W,      simd::VD::W,                                \
             mkimpl::panelAccum,     mkimpl::dotDouble,                    \
             mkimpl::xformFromTiles, mkimpl::xformToTiles,                 \
+            mkimpl::packTilePanel,  mkimpl::unpackTilePanel,              \
+            mkimpl::unpackAddTilePanel,                                   \
             mkimpl::rowAccumDouble, mkimpl::sumDouble,                    \
             mkimpl::reluForward,    mkimpl::mulPairwise,                  \
             mkimpl::axpy,           mkimpl::addRows,                      \

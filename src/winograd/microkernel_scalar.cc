@@ -115,6 +115,82 @@ xformToTiles(const double *L, int p, int n, const double *R, int k,
 }
 
 void
+packTilePanel(double *soa, const float *plane, int h, int w,
+              const int *tr, const int *tc, int eh, int ew, int cnt)
+{
+    // Mirrors the spatial gather loops the staged transforms used
+    // inline: per lane, row-bounds hoisted, zero outside the plane.
+    for (int l = 0; l < cnt; ++l) {
+        const int r0 = tr[l];
+        const int c0 = tc[l];
+        for (int i = 0; i < eh; ++i) {
+            const int rr = r0 + i;
+            const bool rowIn = rr >= 0 && rr < h;
+            for (int j = 0; j < ew; ++j) {
+                const int cc = c0 + j;
+                const bool in_map = rowIn && cc >= 0 && cc < w;
+                soa[std::size_t(i * ew + j) * kTilePanel + l] =
+                    in_map ? double(plane[std::size_t(rr) * w + cc])
+                           : 0.0;
+            }
+        }
+    }
+    // The transform kernels stream whole vectors over the panel, so
+    // surplus lanes of a short panel must be defined.
+    if (cnt < kTilePanel)
+        for (int e = 0; e < eh * ew; ++e)
+            for (int l = cnt; l < kTilePanel; ++l)
+                soa[std::size_t(e) * kTilePanel + l] = 0.0;
+}
+
+void
+unpackTilePanel(float *plane, int h, int w, const int *tr, const int *tc,
+                int eh, int ew, const double *soa, int cnt)
+{
+    for (int l = 0; l < cnt; ++l) {
+        const int r0 = tr[l];
+        const int c0 = tc[l];
+        for (int i = 0; i < eh; ++i) {
+            const int rr = r0 + i;
+            if (rr < 0 || rr >= h)
+                continue; // boundary crop
+            float *row = plane + std::size_t(rr) * w;
+            for (int j = 0; j < ew; ++j) {
+                const int cc = c0 + j;
+                if (cc < 0 || cc >= w)
+                    continue;
+                row[cc] =
+                    float(soa[std::size_t(i * ew + j) * kTilePanel + l]);
+            }
+        }
+    }
+}
+
+void
+unpackAddTilePanel(float *plane, int h, int w, const int *tr,
+                   const int *tc, int eh, int ew, const double *soa,
+                   int cnt)
+{
+    for (int l = 0; l < cnt; ++l) {
+        const int r0 = tr[l];
+        const int c0 = tc[l];
+        for (int i = 0; i < eh; ++i) {
+            const int rr = r0 + i;
+            if (rr < 0 || rr >= h)
+                continue;
+            float *row = plane + std::size_t(rr) * w;
+            for (int j = 0; j < ew; ++j) {
+                const int cc = c0 + j;
+                if (cc < 0 || cc >= w)
+                    continue;
+                row[cc] +=
+                    float(soa[std::size_t(i * ew + j) * kTilePanel + l]);
+            }
+        }
+    }
+}
+
+void
 rowAccumDouble(double *acc, const float *x, double w, int n)
 {
     for (int i = 0; i < n; ++i)
@@ -184,6 +260,9 @@ const winomc::mk::MicroKernels kTable = {
     dotDouble,
     xformFromTiles,
     xformToTiles,
+    packTilePanel,
+    unpackTilePanel,
+    unpackAddTilePanel,
     rowAccumDouble,
     sumDouble,
     reluForward,

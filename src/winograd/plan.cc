@@ -1,9 +1,123 @@
 #include "winograd/plan.hh"
 
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
+#include "common/metrics.hh"
+#include "common/parallel.hh"
 #include "common/trace.hh"
 #include "winograd/conv.hh"
+#include "winograd/cost.hh"
+#include "winograd/microkernel.hh"
 
 namespace winomc {
+
+namespace {
+
+/**
+ * Strip scratch budget: one input-side plus one output-side panel set
+ * per worker should sit inside a typical L2 slice, so a whole strip's
+ * transform -> accumulate -> inverse chain runs without round trips to
+ * DRAM. Strips are whole tile panels; tiny grids collapse to one
+ * panel-sized strip.
+ */
+constexpr std::size_t kStripScratchBytes = 512 * 1024;
+
+/**
+ * Auto-mode threshold: fuse once the staged pipeline's forward slabs
+ * (Xt + Yt) overflow this. Below it the slabs are cache-resident
+ * anyway and the staged path's tile caches come for free.
+ */
+constexpr std::size_t kFusedAutoMinSlabBytes = 1u << 20;
+
+std::atomic<int> gFusedMode{-1}; ///< -1 = unresolved (parse env once)
+
+/** RAII throughput probe for the fused phases (same contract as the
+ *  staged StageTimer in conv.cc). */
+class FusedTimer
+{
+  public:
+    FusedTimer(const char *stage, double flops)
+        : stage(stage), flops(flops), active(metrics::enabled())
+    {
+        if (active)
+            start = std::chrono::steady_clock::now();
+    }
+    ~FusedTimer()
+    {
+        if (active) {
+            std::chrono::duration<double> d =
+                std::chrono::steady_clock::now() - start;
+            mk::publishStageMetrics(stage, d.count(), flops);
+        }
+    }
+    FusedTimer(const FusedTimer &) = delete;
+    FusedTimer &operator=(const FusedTimer &) = delete;
+
+  private:
+    const char *stage;
+    double flops;
+    bool active;
+    std::chrono::steady_clock::time_point start;
+};
+
+} // namespace
+
+const char *
+fusedModeName(FusedMode m)
+{
+    switch (m) {
+      case FusedMode::Off:
+        return "off";
+      case FusedMode::Auto:
+        return "auto";
+      case FusedMode::On:
+        return "on";
+    }
+    return "auto";
+}
+
+FusedMode
+parseFusedMode(const char *str)
+{
+    if (!str || !*str)
+        return FusedMode::Auto;
+    std::string s;
+    for (const char *p = str; *p; ++p)
+        if (!std::isspace(static_cast<unsigned char>(*p)))
+            s += char(std::tolower(static_cast<unsigned char>(*p)));
+    if (s == "auto")
+        return FusedMode::Auto;
+    if (s == "on")
+        return FusedMode::On;
+    if (s == "off")
+        return FusedMode::Off;
+    winomc_warn("ignoring unrecognized WINOMC_FUSED '", str,
+                "' (want auto|on|off)");
+    return FusedMode::Auto;
+}
+
+FusedMode
+requestedFusedMode()
+{
+    int m = gFusedMode.load(std::memory_order_acquire);
+    if (m < 0) {
+        // Benign race: concurrent first calls parse the same env var.
+        m = int(parseFusedMode(std::getenv("WINOMC_FUSED")));
+        gFusedMode.store(m, std::memory_order_release);
+    }
+    return FusedMode(m);
+}
+
+void
+setFusedMode(FusedMode m)
+{
+    gFusedMode.store(int(m), std::memory_order_release);
+}
 
 WinoPlan::WinoPlan(const WinogradAlgo &algo, int batch, int inCh,
                    int outCh, int h, int w)
@@ -27,6 +141,40 @@ WinoPlan::WinoPlan(const WinogradAlgo &algo, int batch, int inCh,
     Yt.reshape(algo.alpha, outCh, batch, grid.tiles());
     dYt.reshape(algo.alpha, outCh, batch, grid.tiles());
     dXt.reshape(algo.alpha, inCh, batch, grid.tiles());
+
+    // Fused strip geometry: whole tile panels, sized so one worker's
+    // in+out scratch fits kStripScratchBytes, clamped to [one panel,
+    // the panel-rounded grid].
+    const std::size_t a2 = std::size_t(algo.alpha) * algo.alpha;
+    const std::size_t perTile = a2 * std::size_t(inCh + outCh) *
+                                sizeof(float);
+    int t = int(kStripScratchBytes / perTile);
+    // Weight-amortization floor: each strip re-streams the whole
+    // Winograd weight slab (a^2*I*J floats), while fusing saves one
+    // write+read round trip of the strip's slab share (a^2*(I+J)*
+    // stripT floats each way). Keeping the re-stream at <= 1/4 of the
+    // saving needs stripT >= 2*I*J/(I+J) — without this floor, heavy
+    // channel counts shrink strips until weight traffic eats the win.
+    const int amort = 2 * inCh * outCh / (inCh + outCh);
+    t = std::max(t, amort);
+    t = ((t + mk::kTilePanel - 1) / mk::kTilePanel) * mk::kTilePanel;
+    const int ntPanels =
+        ((grid.tiles() + mk::kTilePanel - 1) / mk::kTilePanel) *
+        mk::kTilePanel;
+    stripT = std::clamp(t, mk::kTilePanel, ntPanels);
+
+    // Exact in-bounds gather footprint of one (image, channel) plane,
+    // for the measured-traffic counters.
+    const int a = algo.alpha;
+    for (int th = 0; th < grid.tilesH; ++th) {
+        const int r0 = grid.tileRow(th);
+        const int rows = std::min(r0 + a, h) - std::max(r0, 0);
+        for (int tw = 0; tw < grid.tilesW; ++tw) {
+            const int c0 = grid.tileCol(tw);
+            const int cols = std::min(c0 + a, w) - std::max(c0, 0);
+            gatherElemsA += std::size_t(rows) * cols;
+        }
+    }
 }
 
 bool
@@ -40,8 +188,104 @@ WinoPlan::matches(const WinogradAlgo &algo, int batch, int inCh,
 std::size_t
 WinoPlan::workspaceBytes() const
 {
+    std::size_t stripBytes = 0;
+    for (const auto &s : stripSlots)
+        stripBytes += (s->in.size() + s->out.size()) * sizeof(float);
     return (Xt.size() + Yt.size() + dYt.size() + dXt.size()) *
-           sizeof(float);
+               sizeof(float) +
+           stripBytes;
+}
+
+bool
+WinoPlan::fusedSupported() const
+{
+    // The strip kernels cover every "same"-conv configuration a plan
+    // accepts today; the hook stays for future constraints (strides,
+    // grouped layouts).
+    return true;
+}
+
+bool
+WinoPlan::shouldFuse(bool preserveTileCaches) const
+{
+    switch (requestedFusedMode()) {
+      case FusedMode::Off:
+        return false;
+      case FusedMode::On:
+        return fusedSupported();
+      case FusedMode::Auto:
+        break;
+    }
+    if (!fusedSupported() || preserveTileCaches)
+        return false;
+    // Fuse once the staged forward slabs overflow cache; below that,
+    // staged is already cache-resident and keeps its tile caches.
+    return (Xt.size() + Yt.size()) * sizeof(float) >=
+           kFusedAutoMinSlabBytes;
+}
+
+WinoPlan::StripScratch *
+WinoPlan::acquireStripSlot()
+{
+    std::lock_guard<std::mutex> lk(stripMu);
+    if (stripFree.empty()) {
+        auto s = std::make_unique<StripScratch>();
+        s->in.reshape(alg.alpha, ni, 1, stripT);
+        s->out.reshape(alg.alpha, nj, 1, stripT);
+        stripSlots.push_back(std::move(s));
+        return stripSlots.back().get();
+    }
+    StripScratch *s = stripFree.back();
+    stripFree.pop_back();
+    return s;
+}
+
+void
+WinoPlan::releaseStripSlot(StripScratch *s)
+{
+    std::lock_guard<std::mutex> lk(stripMu);
+    stripFree.push_back(s);
+}
+
+void
+WinoPlan::ensureStripSlots(int n)
+{
+    // Pre-build the worst-case concurrent slot count before entering
+    // the parallel region. Lazy growth inside acquireStripSlot would
+    // still be correct, but how many workers are simultaneously awake
+    // varies run to run — growing the pool up front keeps the
+    // zero-steady-state-allocation contract deterministic instead of
+    // dependent on the warm-up call's scheduling luck.
+    std::lock_guard<std::mutex> lk(stripMu);
+    while (int(stripSlots.size()) < n) {
+        auto s = std::make_unique<StripScratch>();
+        s->in.reshape(alg.alpha, ni, 1, stripT);
+        s->out.reshape(alg.alpha, nj, 1, stripT);
+        stripFree.push_back(s.get());
+        stripSlots.push_back(std::move(s));
+    }
+}
+
+void
+WinoPlan::publishTraffic(const char *mode, const char *phase,
+                         double xformFloats, double ewFloats,
+                         double invFloats, double predictedBytes) const
+{
+    std::string base = "wino.";
+    base += mode;
+    base += '.';
+    base += phase;
+    const double s = double(sizeof(float));
+    metrics::counterAdd((base + ".xform_bytes").c_str(),
+                        xformFloats * s);
+    metrics::counterAdd((base + ".ew_bytes").c_str(), ewFloats * s);
+    metrics::counterAdd((base + ".inverse_bytes").c_str(),
+                        invFloats * s);
+    metrics::counterAdd((base + ".bytes_moved").c_str(),
+                        (xformFloats + ewFloats + invFloats) * s);
+    metrics::counterAdd((base + ".calls").c_str(), 1.0);
+    metrics::gaugeSet((base + ".predicted_bytes").c_str(),
+                      predictedBytes);
 }
 
 void
@@ -52,6 +296,70 @@ WinoPlan::forwardInto(const Tensor &x, const WinoWeights &W, Tensor &y)
     elementwiseForwardInto(Xt, W, Yt);
     inverseTransformInto(Yt, alg, y);
     haveInput = haveOutput = true;
+    if (metrics::enabled()) {
+        const ConvSpec spec{"plan", nb, ni, nj, fh, fw, alg.r};
+        const double out = double(nb) * nj * fh * fw;
+        publishTraffic(
+            "staged", "fwd",
+            double(gatherElemsA) * nb * ni + double(Xt.size()),
+            double(Xt.size()) + double(W.size()) + double(Yt.size()),
+            double(Yt.size()) + out,
+            double(predictedTrafficBytes(spec, alg, Phase::Fprop, false)
+                       .totalBytes()));
+    }
+}
+
+void
+WinoPlan::forwardFusedInto(const Tensor &x, const WinoWeights &W,
+                           Tensor &y)
+{
+    WINOMC_SPAN("wino.fused.fwd", "wino");
+    winomc_assert(x.n() == nb && x.c() == ni && x.h() == fh &&
+                  x.w() == fw, "forwardFusedInto input shape mismatch");
+    winomc_assert(y.n() == nb && y.c() == nj && y.h() == fh &&
+                  y.w() == fw, "forwardFusedInto output shape mismatch");
+    winomc_assert(W.alphaEdge() == alg.alpha && W.inChannels() == ni &&
+                  W.outChannels() == nj,
+                  "forwardFusedInto weight shape mismatch");
+    const int nt = grid.tiles();
+    const int nStrips = stripCount();
+    const int a = alg.alpha;
+    const int m = alg.m;
+    FusedTimer probe("fused.fwd",
+                     4.0 * a * a * a * double(nb) * ni * nt +
+                         2.0 * a * a * double(nj) * ni * nb * nt +
+                         2.0 * m * a * (a + m) * double(nb) * nj * nt);
+
+    const std::int64_t nTasks = std::int64_t(nb) * nStrips;
+    ensureStripSlots(int(std::min<std::int64_t>(
+        ThreadPool::global().threadCount(), nTasks)));
+    // One task per (image, strip); output tiles are disjoint across
+    // tasks, so any chunking is race-free and bitwise identical.
+    parallelFor(0, nTasks, 1,
+                [&](std::int64_t lo, std::int64_t hi) {
+        StripScratch *s = acquireStripSlot();
+        for (std::int64_t task = lo; task < hi; ++task) {
+            const int b = int(task / nStrips);
+            const int t0 = int(task % nStrips) * stripT;
+            const int tcnt = std::min(stripT, nt - t0);
+            transformInputStrip(x, alg, grid, b, t0, tcnt, s->in);
+            elementwiseForwardStrip(s->in, W, tcnt, s->out);
+            inverseTransformStrip(s->out, alg, grid, b, t0, tcnt, y);
+        }
+        releaseStripSlot(s);
+    });
+    // The slabs were bypassed; previously cached tiles are now stale.
+    haveInput = haveOutput = false;
+    if (metrics::enabled()) {
+        const ConvSpec spec{"plan", nb, ni, nj, fh, fw, alg.r};
+        publishTraffic(
+            "fused", "fwd", double(gatherElemsA) * nb * ni,
+            double(W.size()) * nb * nStrips,
+            double(nb) * nj * fh * fw,
+            double(predictedTrafficBytes(spec, alg, Phase::Fprop, true,
+                                         nStrips)
+                       .totalBytes()));
+    }
 }
 
 void
@@ -63,6 +371,78 @@ WinoPlan::backwardDataInto(const Tensor &dy, const WinoWeights &W,
     haveGrad = true;
     elementwiseBackwardDataInto(dYt, W, dXt);
     transformInputAdjointInto(dXt, alg, dx);
+    if (metrics::enabled()) {
+        const ConvSpec spec{"plan", nb, ni, nj, fh, fw, alg.r};
+        const double outPlane = double(nb) * nj * fh * fw;
+        const double inPlane = double(nb) * ni * fh * fw;
+        const double addSweep = double(gatherElemsA) * nb * ni;
+        publishTraffic(
+            "staged", "bwd_data", outPlane + double(dYt.size()),
+            double(dYt.size()) + double(W.size()) + double(dXt.size()),
+            double(dXt.size()) + inPlane + 2.0 * addSweep,
+            double(predictedTrafficBytes(spec, alg, Phase::Bprop, false)
+                       .totalBytes()));
+    }
+}
+
+void
+WinoPlan::backwardDataFusedInto(const Tensor &dy, const WinoWeights &W,
+                                Tensor &dx)
+{
+    WINOMC_SPAN("wino.fused.bwd_data", "wino");
+    winomc_assert(dy.n() == nb && dy.c() == nj && dy.h() == fh &&
+                  dy.w() == fw,
+                  "backwardDataFusedInto grad shape mismatch");
+    winomc_assert(dx.n() == nb && dx.c() == ni && dx.h() == fh &&
+                  dx.w() == fw,
+                  "backwardDataFusedInto output shape mismatch");
+    winomc_assert(W.alphaEdge() == alg.alpha && W.inChannels() == ni &&
+                  W.outChannels() == nj,
+                  "backwardDataFusedInto weight shape mismatch");
+    const int nt = grid.tiles();
+    const int nStrips = stripCount();
+    const int a = alg.alpha;
+    const int m = alg.m;
+    FusedTimer probe("fused.bwd_data",
+                     2.0 * m * a * (a + m) * double(nb) * nj * nt +
+                         2.0 * a * a * double(nj) * ni * nb * nt +
+                         4.0 * a * a * a * double(nb) * ni * nt);
+
+    ensureStripSlots(
+        std::min(ThreadPool::global().threadCount(), nb));
+    // Overlap-add races across strips of one image, so the batch axis
+    // is the parallel unit and strips run serially in ascending order
+    // per image — the same summation order as the staged adjoint, so
+    // any thread count is bitwise identical to serial.
+    const std::size_t planeSz = std::size_t(ni) * fh * fw;
+    parallelFor(0, nb, 1, [&](std::int64_t lo, std::int64_t hi) {
+        StripScratch *s = acquireStripSlot();
+        for (std::int64_t b = lo; b < hi; ++b) {
+            float *dxb = dx.data() + std::size_t(b) * planeSz;
+            std::fill(dxb, dxb + planeSz, 0.0f); // overlap-add target
+            for (int strip = 0; strip < nStrips; ++strip) {
+                const int t0 = strip * stripT;
+                const int tcnt = std::min(stripT, nt - t0);
+                inverseTransformAdjointStrip(dy, alg, grid, int(b), t0,
+                                             tcnt, s->out);
+                elementwiseBackwardDataStrip(s->out, W, tcnt, s->in);
+                transformInputAdjointStripAdd(s->in, alg, grid, int(b),
+                                              t0, tcnt, dx);
+            }
+        }
+        releaseStripSlot(s);
+    });
+    if (metrics::enabled()) {
+        const ConvSpec spec{"plan", nb, ni, nj, fh, fw, alg.r};
+        const double addSweep = double(gatherElemsA) * nb * ni;
+        publishTraffic(
+            "fused", "bwd_data", double(nb) * nj * fh * fw,
+            double(W.size()) * nb * nStrips,
+            double(nb) * ni * fh * fw + 2.0 * addSweep,
+            double(predictedTrafficBytes(spec, alg, Phase::Bprop, true,
+                                         nStrips)
+                       .totalBytes()));
+    }
 }
 
 void
@@ -132,7 +512,10 @@ WinoPlan::inputTiles() const
 const WinoTiles &
 WinoPlan::outputTiles() const
 {
-    winomc_assert(haveOutput, "output tiles not populated");
+    winomc_assert(haveOutput,
+                  "output tiles not populated (a fused forward bypasses "
+                  "the tile slabs; tile-cache consumers need the staged "
+                  "path, i.e. WINOMC_FUSED=auto or off)");
     return Yt;
 }
 

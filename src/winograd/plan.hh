@@ -26,11 +26,49 @@
 #ifndef WINOMC_WINOGRAD_PLAN_HH
 #define WINOMC_WINOGRAD_PLAN_HH
 
+#include <memory>
+#include <mutex>
+#include <vector>
+
 #include "tensor/tensor.hh"
 #include "winograd/algo.hh"
 #include "winograd/tiling.hh"
 
 namespace winomc {
+
+/**
+ * WINOMC_FUSED knob: picks between the staged pipeline (full slabs
+ * between stages) and the fused tile-strip pipeline (§4.11).
+ *
+ *  - Off:  always staged.
+ *  - Auto: fused when the plan's shape qualifies (slabs overflow cache
+ *          and no caller needs the tile caches), staged otherwise.
+ *  - On:   fused wherever a fused path exists, regardless of size —
+ *          including train-mode layer forwards, whose backward then
+ *          rebuilds the input tiles from the cached activations.
+ */
+enum class FusedMode : int { Off = 0, Auto = 1, On = 2 };
+
+/**
+ * Parse a WINOMC_FUSED-style string ("auto" | "on" | "off", trimmed,
+ * case-insensitive). Unknown input warns and yields Auto; never
+ * throws, never exits (same discipline as parseIsa).
+ */
+FusedMode parseFusedMode(const char *str);
+
+/**
+ * The process-wide requested mode: the last setFusedMode() value, or
+ * WINOMC_FUSED parsed once on first use when no override was set.
+ */
+FusedMode requestedFusedMode();
+
+/** Programmatic override (tests/benchmarks); sets the mode exactly —
+ *  setFusedMode(FusedMode::Auto) selects Auto, it does NOT re-read the
+ *  environment. */
+void setFusedMode(FusedMode m);
+
+/** Human-readable name ("off", "auto", "on"). */
+const char *fusedModeName(FusedMode m);
 
 class WinoPlan
 {
@@ -67,6 +105,50 @@ class WinoPlan
     /** dW (assigned, not accumulated) from x and dy. */
     void gradWeightsInto(const Tensor &x, const Tensor &dy,
                          WinoWeights &dW);
+
+    // -----------------------------------------------------------------
+    // Fused tile-strip pipeline (§4.11): transform -> per-(K,C) panel
+    // accumulation -> inverse transform run per L2-sized strip of the
+    // tile grid, touching only per-worker strip scratch — the full
+    // Xt/Yt/dYt/dXt slabs are bypassed entirely. Bitwise identical to
+    // the staged pipeline at every ISA level and for any thread count.
+    // Leaves the plan's tile caches invalid (there are no slab tiles to
+    // cache); callers needing inputTiles()/outputTiles() must use the
+    // staged path.
+    // -----------------------------------------------------------------
+
+    /** Does a fused path exist for this plan's configuration? */
+    bool fusedSupported() const;
+
+    /**
+     * Resolve the WINOMC_FUSED knob for this plan. Pass
+     * preserveTileCaches = true when the caller will later read the
+     * plan's tile caches (e.g. a train-mode layer forward): Auto then
+     * refuses to fuse; only an explicit WINOMC_FUSED=on overrides it.
+     */
+    bool shouldFuse(bool preserveTileCaches) const;
+
+    /** y = winograd_conv(x, W) per cache-resident tile strip. */
+    void forwardFusedInto(const Tensor &x, const WinoWeights &W,
+                          Tensor &y);
+
+    /**
+     * dx from dy per tile strip. Re-gathers dy per strip (an m x m
+     * gather per tile — cheaper than streaming the a^2-wide dYt slab),
+     * so no cached state is used or produced. Strips of one image run
+     * serially in ascending order (overlap-add order is part of the
+     * bitwise contract); the batch axis is the parallel unit.
+     */
+    void backwardDataFusedInto(const Tensor &dy, const WinoWeights &W,
+                               Tensor &dx);
+
+    /** Tiles per strip (multiple of mk::kTilePanel). */
+    int stripTiles() const { return stripT; }
+    /** Strips per image: ceil(tiles / stripTiles()). */
+    int stripCount() const
+    {
+        return (grid.tiles() + stripT - 1) / stripT;
+    }
 
     // -----------------------------------------------------------------
     // Staged training-step API: forwardInto caches the input tiles;
@@ -111,6 +193,29 @@ class WinoPlan
     void invalidateCache() { haveInput = haveOutput = haveGrad = false; }
 
   private:
+    /**
+     * Per-worker strip scratch: one input-side and one output-side
+     * tile set of stripT tiles, batch dimension 1. Slots are created
+     * lazily (first fused call at a given concurrency warms the pool)
+     * and kept for the plan's lifetime, so fused steady state
+     * allocates nothing.
+     */
+    struct StripScratch
+    {
+        WinoTiles in;  ///< [a²][I][1][stripT]
+        WinoTiles out; ///< [a²][J][1][stripT]
+    };
+
+    StripScratch *acquireStripSlot();
+    void releaseStripSlot(StripScratch *s);
+    void ensureStripSlots(int n);
+
+    /** Publish wino.<mode>.<phase> traffic counters + predicted gauge
+     *  (no-op when metrics are disabled). Byte args count floats. */
+    void publishTraffic(const char *mode, const char *phase,
+                        double xformFloats, double ewFloats,
+                        double invFloats, double predictedBytes) const;
+
     const WinogradAlgo &alg;
     int nb, ni, nj, fh, fw;
     TileGrid grid;
@@ -123,6 +228,16 @@ class WinoPlan
     bool haveInput = false;  ///< Xt holds the last forward's input
     bool haveOutput = false; ///< Yt holds the last forward's output
     bool haveGrad = false;   ///< dYt holds the last backward's grads
+
+    int stripT = 0; ///< tiles per fused strip (multiple of kTilePanel)
+    /** Exact in-bounds input-gather elements per (image, channel)
+     *  plane: sum over tiles of the a x a window's overlap with the
+     *  plane. Used by the measured-traffic counters. */
+    std::size_t gatherElemsA = 0;
+
+    std::vector<std::unique_ptr<StripScratch>> stripSlots;
+    std::vector<StripScratch *> stripFree; ///< guarded by stripMu
+    std::mutex stripMu;
 };
 
 } // namespace winomc

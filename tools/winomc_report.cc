@@ -13,6 +13,10 @@
  *  - the energy split by component, including the idle-link share of
  *    link energy (the paper's Fig 15 argument);
  *  - the P2P-vs-collective traffic split;
+ *  - the Winograd pipeline memory-traffic table (wino.<mode>.<phase>
+ *    counters): measured bytes per call against the cost model's
+ *    predictedTrafficBytes() gauge, with a component sum check
+ *    (xform + ew + inverse must equal bytes_moved within 1%);
  *  - a NoC/memnet saturation summary (hottest and mean link
  *    utilization, credit-stall and head-of-line-block events, router
  *    occupancy percentiles).
@@ -84,6 +88,14 @@ struct TrafficRow
     double p2pBytes = 0, collectiveBytes = 0;
 };
 
+/** Measured-vs-predicted DRAM traffic of one wino.<mode>.<phase>
+ *  pipeline (staged/fused x fwd/bwd_data). */
+struct WinoTrafficRow
+{
+    double xformBytes = 0, ewBytes = 0, inverseBytes = 0;
+    double bytesMoved = 0, calls = 0, predictedBytes = 0;
+};
+
 /** Saturation numbers of one simulated network (noc.* / memnet.*). */
 struct NetRow
 {
@@ -115,6 +127,7 @@ struct Report
     std::map<RowKey, BreakdownRow> breakdown;
     std::map<RowKey, EnergyRow> energy;
     std::map<RowKey, TrafficRow> traffic;
+    std::map<std::string, WinoTrafficRow> winoTraffic; // key: mode.phase
     std::map<std::string, NetRow> nets; // key: scoped network prefix
     std::map<std::string, WorkspaceRow> workspaces; // key: scope
     std::map<std::string, KernelRow> kernels;       // key: scope
@@ -178,6 +191,37 @@ ingest(Report &rep, const Sample &s)
         } else if (leaf == "collective_bytes") {
             rep.traffic[key].collectiveBytes = s.value;
         }
+        return;
+    }
+
+    // Winograd pipeline traffic ("wino.<mode>.<phase>.<leaf>"). Only
+    // the known leaves land here — trace spans share the wino. prefix
+    // but never appear in metric dumps.
+    if (rest.rfind("wino.", 0) == 0) {
+        size_t dot = rest.rfind('.');
+        if (dot == std::string::npos || dot <= 5)
+            return;
+        const std::string leafT = rest.substr(dot + 1);
+        if (leafT != "xform_bytes" && leafT != "ew_bytes" &&
+            leafT != "inverse_bytes" && leafT != "bytes_moved" &&
+            leafT != "calls" && leafT != "predicted_bytes")
+            return;
+        std::string key = rest.substr(5, dot - 5); // "<mode>.<phase>"
+        if (!scope.empty())
+            key = scope + "/" + key;
+        WinoTrafficRow &r = rep.winoTraffic[key];
+        if (leafT == "xform_bytes")
+            r.xformBytes = s.value;
+        else if (leafT == "ew_bytes")
+            r.ewBytes = s.value;
+        else if (leafT == "inverse_bytes")
+            r.inverseBytes = s.value;
+        else if (leafT == "bytes_moved")
+            r.bytesMoved = s.value;
+        else if (leafT == "calls")
+            r.calls = s.value;
+        else
+            r.predictedBytes = s.value;
         return;
     }
 
@@ -398,6 +442,46 @@ main(int argc, char **argv)
         }
         emitSection(opt, "Link traffic split (bytes per worker)",
                     {"layer", "strategy", "p2p", "collective", "p2p %"},
+                    rows);
+    }
+
+    {
+        // Measured slab/tensor traffic per pipeline call against the
+        // cost model's prediction. The measured counters accumulate
+        // over all calls; predicted_bytes is a per-call gauge. The
+        // components must reproduce bytes_moved within 1% (the
+        // exporter sums them exactly, so a mismatch means a dropped
+        // or double-counted counter) — failures trip the same exit
+        // gate as the time-breakdown check. meas/pred lands slightly
+        // under 1 when the tile grid overhangs the feature map: the
+        // prediction quantizes gather traffic to whole tiles while
+        // the measured counter counts the exact in-bounds elements.
+        // The gauge keeps only the LAST call's prediction, so the
+        // ratio is only meaningful for dumps where every call through
+        // a pipeline used one layer shape.
+        std::vector<std::vector<std::string>> rows;
+        for (const auto &[key, r] : rep.winoTraffic) {
+            const double calls = r.calls > 0.0 ? r.calls : 1.0;
+            const double sum =
+                r.xformBytes + r.ewBytes + r.inverseBytes;
+            const bool ok =
+                r.bytesMoved <= 0.0
+                    ? sum <= 0.0
+                    : std::fabs(sum - r.bytesMoved) <=
+                          0.01 * r.bytesMoved;
+            if (!ok)
+                ++sum_failures;
+            const double perCall = r.bytesMoved / calls;
+            rows.push_back(
+                {key, fmt(r.calls), fmt(perCall),
+                 fmt(r.predictedBytes),
+                 r.predictedBytes > 0.0 ? fmt(perCall / r.predictedBytes)
+                                        : "-",
+                 ok ? "ok" : "MISMATCH"});
+        }
+        emitSection(opt, "Winograd memory traffic",
+                    {"pipeline", "calls", "measured B/call",
+                     "predicted B/call", "meas/pred", "sum check"},
                     rows);
     }
 
