@@ -1,0 +1,43 @@
+#include "common/env.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace winomc::env {
+
+long long
+parsePositiveInt(const char *knob, const char *str, long long maxValue)
+{
+    if (!str || !*str)
+        return 0;
+    errno = 0;
+    char *end = nullptr;
+    long long v = std::strtoll(str, &end, 10);
+    while (end && std::isspace(static_cast<unsigned char>(*end)))
+        ++end;
+    if (!end || end == str || *end != '\0') {
+        winomc_warn("ignoring unparsable ", knob, " '", str, "'");
+        return 0;
+    }
+    if (v <= 0) {
+        winomc_warn("ignoring non-positive ", knob, " '", str, "'");
+        return 0;
+    }
+    if (v > maxValue || errno == ERANGE) {
+        winomc_warn(knob, " '", str, "' clamped to ", maxValue);
+        return maxValue;
+    }
+    return v;
+}
+
+long long
+envPositiveInt(const char *knob, long long maxValue, long long fallback)
+{
+    long long v = parsePositiveInt(knob, std::getenv(knob), maxValue);
+    return v ? v : fallback;
+}
+
+} // namespace winomc::env

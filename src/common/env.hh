@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Shared parsing contract for integer environment knobs.
+ *
+ * Every positive-integer knob in the project (WINOMC_THREADS,
+ * WINOMC_WORKSPACE_LIMIT_MB, the WINOMC_SERVE_* serving knobs) follows
+ * one hardened discipline instead of hand-rolling its own strtol copy:
+ *
+ *  - missing/empty      -> 0 (caller falls back to its default), silent;
+ *  - garbage / trailing junk -> 0 with a warning;
+ *  - zero or negative   -> 0 with a warning;
+ *  - above the knob's ceiling (or out of long long range) -> warn and
+ *    clamp to the ceiling.
+ *
+ * Trailing blanks are tolerated ("8 " parses as 8). The helpers never
+ * crash and never exit: a bad knob degrades to the default, loudly.
+ */
+
+#ifndef WINOMC_COMMON_ENV_HH
+#define WINOMC_COMMON_ENV_HH
+
+namespace winomc::env {
+
+/**
+ * Parse `str` as a positive integer knob value named `knob` (used in
+ * warnings, e.g. "WINOMC_THREADS"). Returns 0 for missing/garbage/
+ * non-positive input, `maxValue` for anything larger.
+ */
+long long parsePositiveInt(const char *knob, const char *str,
+                           long long maxValue);
+
+/**
+ * getenv(knob) + parsePositiveInt, with `fallback` when the variable is
+ * unset or rejected.
+ */
+long long envPositiveInt(const char *knob, long long maxValue,
+                         long long fallback);
+
+} // namespace winomc::env
+
+#endif // WINOMC_COMMON_ENV_HH

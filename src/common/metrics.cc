@@ -1,6 +1,7 @@
 #include "common/metrics.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -147,6 +148,22 @@ struct EnvInit
     }
 };
 EnvInit envInit;
+
+/**
+ * Render a percentile for a dump: NaN (an empty histogram has no
+ * percentiles) becomes "-" — quoted in JSON so the document stays
+ * valid, bare in CSV. The metrics_io parsers map "-" back to NaN.
+ */
+std::string
+fmtPercentile(double v, bool json)
+{
+    if (std::isnan(v))
+        return json ? "\"-\"" : "-";
+    std::ostringstream oss;
+    oss.precision(17);
+    oss << v;
+    return oss.str();
+}
 
 bool
 endsWith(const std::string &s, const std::string &suffix)
@@ -341,6 +358,20 @@ histogramAdd(const char *name, double v, double lo, double hi,
 }
 
 void
+histogramRegister(const char *name, double lo, double hi, int buckets)
+{
+    if (!enabled())
+        return;
+    Shard &s = localShard();
+    std::lock_guard<std::mutex> lk(s.mu);
+    Value &val = s.values[scopedKey(name)];
+    val.kind = Kind::Histogram;
+    if (!val.hist)
+        val.hist =
+            std::make_shared<winomc::Histogram>(lo, hi, buckets);
+}
+
+void
 histogramMerge(const char *name, const winomc::Histogram &h)
 {
     if (!enabled() || h.count() == 0)
@@ -424,8 +455,9 @@ toJson()
         } else if (s.kind == Kind::Histogram) {
             oss << ", \"sum\": " << s.value
                 << ", \"mean\": " << s.mean()
-                << ", \"p50\": " << s.p50 << ", \"p90\": " << s.p90
-                << ", \"p99\": " << s.p99;
+                << ", \"p50\": " << fmtPercentile(s.p50, true)
+                << ", \"p90\": " << fmtPercentile(s.p90, true)
+                << ", \"p99\": " << fmtPercentile(s.p99, true);
         } else {
             oss << ", \"value\": " << s.value;
         }
@@ -445,8 +477,10 @@ toCsv()
     for (const Sample &s : snapshot()) {
         oss << csvField(s.name) << "," << kindName(s.kind) << ","
             << s.count << "," << s.value << "," << s.totalSec << ","
-            << s.minSec << "," << s.maxSec << "," << s.p50 << ","
-            << s.p90 << "," << s.p99 << "\n";
+            << s.minSec << "," << s.maxSec << ","
+            << fmtPercentile(s.p50, false) << ","
+            << fmtPercentile(s.p90, false) << ","
+            << fmtPercentile(s.p99, false) << "\n";
     }
     return oss.str();
 }

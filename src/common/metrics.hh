@@ -50,7 +50,8 @@ struct Sample
     double totalSec = 0.0; ///< timers only
     double minSec = 0.0;
     double maxSec = 0.0;
-    // Histograms only: distribution summary surviving the dump.
+    // Histograms only: distribution summary surviving the dump. NaN
+    // when the histogram holds no samples (rendered "-" by the dumps).
     double p50 = 0.0;
     double p90 = 0.0;
     double p99 = 0.0;
@@ -96,6 +97,17 @@ void histogramAdd(const char *name, double v, double lo, double hi,
  *  per-cycle occupancy distribution) into histogram metric `name`.
  *  No-op when disabled. */
 void histogramMerge(const char *name, const winomc::Histogram &h);
+
+/**
+ * Create histogram metric `name` with the given bucket layout and zero
+ * samples (a later histogramAdd reuses the layout). Long-lived services
+ * (serve::Engine) register their latency histograms up front so a dump
+ * taken before the first request still lists them; an empty histogram
+ * has no percentiles — snapshots carry NaN and the dumps render "-".
+ * No-op when disabled or when `name` was already recorded.
+ */
+void histogramRegister(const char *name, double lo, double hi,
+                       int buckets = 32);
 
 /**
  * Per-simulation-run metric scoping: while a scope `s` is set, every

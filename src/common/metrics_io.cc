@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -152,6 +153,19 @@ applyField(Sample &s, const std::string &key, double num)
     // dumps stay readable.
 }
 
+/** The dumps render the percentiles of an empty histogram as "-"
+ *  (JSON: quoted string; CSV: bare field). Map that back to NaN so a
+ *  round-trip through the dump preserves "no samples"; std::atof on
+ *  "-" would silently turn it into 0, a plausible-looking latency. */
+void
+applyTextField(Sample &s, const std::string &key, const std::string &v)
+{
+    if (v == "-")
+        applyField(s, key, std::numeric_limits<double>::quiet_NaN());
+    else
+        applyField(s, key, std::atof(v.c_str()));
+}
+
 Sample
 parseMetricObject(Cursor &c)
 {
@@ -167,6 +181,8 @@ parseMetricObject(Cursor &c)
                     s.name = v;
                 else if (key == "kind")
                     s.kind = kindFromName(v);
+                else
+                    applyTextField(s, key, v);
             } else {
                 applyField(s, key, c.parseNumber());
             }
@@ -282,7 +298,7 @@ parseCsvDump(const std::string &body)
             else if (col == "kind")
                 s.kind = kindFromName(row[i]);
             else
-                applyField(s, col, std::atof(row[i].c_str()));
+                applyTextField(s, col, row[i]);
         }
         out.push_back(std::move(s));
     }

@@ -1,10 +1,10 @@
 #include "common/parallel.hh"
 
 #include <algorithm>
-#include <cerrno>
 #include <cstdlib>
 #include <exception>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 
 namespace winomc {
@@ -25,27 +25,8 @@ constexpr std::int64_t kChunksPerThread = 4;
 int
 parseThreadCount(const char *str)
 {
-    if (!str || !*str)
-        return 0;
-    errno = 0;
-    char *end = nullptr;
-    long v = std::strtol(str, &end, 10);
-    while (end && (*end == ' ' || *end == '\t'))
-        ++end;
-    if (!end || end == str || *end != '\0') {
-        winomc_warn("ignoring unparsable thread count '", str, "'");
-        return 0;
-    }
-    if (v <= 0) {
-        winomc_warn("ignoring non-positive thread count '", str, "'");
-        return 0;
-    }
-    if (v > long(kMaxThreadCount) || errno == ERANGE) {
-        winomc_warn("thread count '", str, "' clamped to ",
-                    kMaxThreadCount);
-        return kMaxThreadCount;
-    }
-    return int(v);
+    return int(env::parsePositiveInt("WINOMC_THREADS thread count", str,
+                                     kMaxThreadCount));
 }
 
 int

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -114,8 +115,12 @@ double
 Histogram::percentile(double frac) const
 {
     winomc_assert(frac >= 0.0 && frac <= 1.0, "percentile frac in [0,1]");
+    // A histogram with zero samples has no percentiles. Returning `lo`
+    // here (the old behaviour) silently presented the range minimum as
+    // a latency quantile in dumps and report tables; NaN propagates to
+    // the exporters, which render it as "-".
     if (n == 0)
-        return lo;
+        return std::numeric_limits<double>::quiet_NaN();
     uint64_t target = uint64_t(frac * double(n));
     uint64_t seen = counts.front();
     if (seen > target)

@@ -61,7 +61,8 @@ class Histogram
     uint64_t overflow() const { return counts.back(); }
     int buckets() const { return int(counts.size()) - 2; }
     double bucketLow(int b) const;
-    /** Value below which the given fraction of samples fall. */
+    /** Value below which the given fraction of samples fall; NaN when
+     *  the histogram holds no samples (there is no such value). */
     double percentile(double frac) const;
 
     std::string toString(int max_width = 50) const;

@@ -29,7 +29,8 @@ pasteShard(Tensor &dst, const Tensor &shard, int b0)
 
 MptConvLayer::MptConvLayer(int in_ch, int out_ch, int r, int ng_,
                            int nc_, const WinogradAlgo &algo_, Rng &rng)
-    : inCh(in_ch), outCh(out_ch), ng(ng_), nc(nc_), algo(algo_)
+    : inCh(in_ch), outCh(out_ch), ng(ng_), nc(nc_), algo(algo_),
+      planCaches(std::size_t(nc_))
 {
     winomc_assert(algo.r == r, "algo r mismatch");
     const int a2 = algo.alpha * algo.alpha;
@@ -51,10 +52,16 @@ MptConvLayer::ensurePlans(const Tensor &x)
     if (int(plans.size()) == nc &&
         plans[0]->matches(algo, sh, inCh, outCh, x.h(), x.w()))
         return;
-    plans.clear();
-    for (int c = 0; c < nc; ++c)
-        plans.push_back(std::make_unique<WinoPlan>(algo, sh, inCh,
-                                                   outCh, x.h(), x.w()));
+    // Park each cluster's displaced plan in that cluster's pool before
+    // leasing, so a shard-shape rotation (serving batch churn) reuses
+    // parked plans instead of rebuilding every cluster's slab set.
+    plans.resize(std::size_t(nc));
+    for (int c = 0; c < nc; ++c) {
+        PlanLru &cache = planCaches[std::size_t(c)];
+        cache.releasePlan(std::move(plans[std::size_t(c)]));
+        plans[std::size_t(c)] =
+            cache.acquirePlan(algo, sh, inCh, outCh, x.h(), x.w());
+    }
 }
 
 Tensor

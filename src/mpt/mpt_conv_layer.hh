@@ -63,6 +63,12 @@ class MptConvLayer : public nn::Module
     /** One execution plan per cluster; plan slabs cache the forward
      *  tiles the backward pass reuses. */
     std::vector<std::unique_ptr<WinoPlan>> plans;
+    /** Per-cluster plan pools: a shard-shape change parks the displaced
+     *  plans here instead of destroying them, so alternating batch
+     *  shapes stop thrashing the workspace (one pool per cluster —
+     *  same-shape plans cannot share a single LRU, a lease is
+     *  exclusive). */
+    std::vector<PlanLru> planCaches;
     /** Persistent scatter/gather staging tensors (shard-sized). */
     Tensor xShard, yShard, dyShard, dxShard;
     /** True iff the plan caches come from a train-mode forward. */

@@ -30,8 +30,41 @@ ConvLayer::ensurePlan(const Tensor &x)
     if (execPlan &&
         execPlan->matches(algo, x.n(), inCh, outCh, x.h(), x.w()))
         return;
-    execPlan = std::make_unique<WinoPlan>(algo, x.n(), inCh, outCh,
-                                          x.h(), x.w());
+    // Park the displaced plan before leasing: an A/B/A shape flip then
+    // finds the parked plan and the whole rotation stays allocation-
+    // free, where rebuilding in place bounced the slabs off the
+    // workspace pool on every flip.
+    PlanSource &src = planSourceRef();
+    src.releasePlan(std::move(execPlan));
+    execPlan = src.acquirePlan(algo, x.n(), inCh, outCh, x.h(), x.w());
+}
+
+void
+ConvLayer::setPlanSource(PlanSource *src)
+{
+    if (src == planSrc)
+        return;
+    // The active plan belongs to the outgoing source's pool economy —
+    // hand it back there before switching.
+    planSourceRef().releasePlan(std::move(execPlan));
+    planSrc = src;
+}
+
+void
+ConvLayer::shareWinoWeights(std::shared_ptr<const WinoWeights> shared)
+{
+    if (shared) {
+        winomc_assert(convMode != ConvMode::Direct,
+                      "shareWinoWeights on a Direct-mode layer");
+        winomc_assert(shared->alphaEdge() == algo.alpha &&
+                          shared->outChannels() == outCh &&
+                          shared->inChannels() == inCh,
+                      "shared Winograd weights mismatch the layer: got ",
+                      shared->alphaEdge(), "/", shared->outChannels(),
+                      "/", shared->inChannels(), ", want ", algo.alpha,
+                      "/", outCh, "/", inCh);
+    }
+    sharedW = std::move(shared);
 }
 
 Tensor
@@ -39,6 +72,9 @@ ConvLayer::forward(const Tensor &x, bool train)
 {
     winomc_assert(x.c() == inCh, "ConvLayer expected ", inCh,
                   " channels, got ", x.c());
+    winomc_assert(!(train && sharedW),
+                  "train-mode forward on a ConvLayer with shared frozen "
+                  "Winograd weights (inference-only)");
     lastH = x.h();
     lastW = x.w();
     trainCached = train;
@@ -57,11 +93,11 @@ ConvLayer::forward(const Tensor &x, bool train)
     // instead and re-transforming them in backward().
     usedFusedForward = execPlan->shouldFuse(train);
     if (usedFusedForward) {
-        execPlan->forwardFusedInto(x, W, y);
+        execPlan->forwardFusedInto(x, effectiveW(), y);
         if (train)
             cachedX = x;
     } else {
-        execPlan->forwardInto(x, W, y);
+        execPlan->forwardInto(x, effectiveW(), y);
         if (!train)
             execPlan->invalidateCache();
     }
@@ -105,6 +141,9 @@ ConvLayer::backward(const Tensor &dy)
 void
 ConvLayer::step(float lr)
 {
+    winomc_assert(!sharedW,
+                  "step() on a ConvLayer with shared frozen Winograd "
+                  "weights (inference-only)");
     if (!haveGrad)
         return;
     haveGrad = false;

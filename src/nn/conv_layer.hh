@@ -53,8 +53,9 @@ class ConvLayer : public Module
     ConvMode mode() const { return convMode; }
     /** Spatial weights (valid in Direct / WinogradSpatial modes). */
     const Tensor &spatialWeights() const { return w; }
-    /** Winograd-domain weights (valid in Winograd modes). */
-    const WinoWeights &winoWeights() const { return W; }
+    /** Winograd-domain weights (valid in Winograd modes); the shared
+     *  slab when shareWinoWeights() is in effect. */
+    const WinoWeights &winoWeights() const { return effectiveW(); }
     /** Cached pre-activation Winograd tiles from the last forward (for
      *  the activation-prediction experiments). */
     const WinoTiles &lastOutputTiles() const;
@@ -62,9 +63,42 @@ class ConvLayer : public Module
      *  forward). */
     const WinoPlan *plan() const { return execPlan.get(); }
 
+    /**
+     * Route plan leases through an external source — e.g. the serving
+     * engine's shared, byte-budgeted serve::PlanCache — instead of the
+     * layer's own LRU. The current plan (if any) is handed back to the
+     * source it came from first. Pass nullptr to restore the internal
+     * per-layer cache. The source must outlive the layer (or a final
+     * setPlanSource(nullptr)).
+     */
+    void setPlanSource(PlanSource *src);
+
+    /**
+     * Adopt shared, frozen Winograd-domain weights (Winograd modes
+     * only): the layer serves forwards from *shared instead of its own
+     * W, so replicas of one model skip the per-replica weight
+     * transform entirely (the serving plan cache hands every replica
+     * the same transformed slab). The layer becomes inference-only —
+     * step() on a shared layer dies. Pass nullptr to return to the
+     * layer-owned weights.
+     */
+    void shareWinoWeights(std::shared_ptr<const WinoWeights> shared);
+
   private:
-    /** (Re)build execPlan iff the incoming shape stopped matching. */
+    /** (Re)lease execPlan iff the incoming shape stopped matching. */
     void ensurePlan(const Tensor &x);
+
+    /** The active plan source (external override or the own LRU). */
+    PlanSource &planSourceRef()
+    {
+        return planSrc ? *planSrc : planCache;
+    }
+
+    /** Winograd-domain weights to execute with (shared or own). */
+    const WinoWeights &effectiveW() const
+    {
+        return sharedW ? *sharedW : W;
+    }
 
     int inCh, outCh, r;
     ConvMode convMode;
@@ -77,6 +111,9 @@ class ConvLayer : public Module
     bool haveGrad = false;
 
     std::unique_ptr<WinoPlan> execPlan; ///< shape-bound slabs + grid
+    PlanLru planCache;        ///< parks displaced plans (shape churn)
+    PlanSource *planSrc = nullptr; ///< external override, else planCache
+    std::shared_ptr<const WinoWeights> sharedW; ///< frozen shared weights
     WinoWeights gScratch; ///< per-step Winograd weight-grad scratch
     Tensor dwScratch;     ///< per-step spatial weight-grad scratch
 

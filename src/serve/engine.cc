@@ -1,0 +1,172 @@
+#include "serve/engine.hh"
+
+#include <algorithm>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+#include "common/metrics.hh"
+#include "nn/conv_layer.hh"
+
+namespace winomc::serve {
+
+namespace {
+
+constexpr long long kMaxBatchCeiling = 4096;
+constexpr long long kMaxDelayCeilingUs = 10'000'000; // 10 s
+
+// Histogram layouts (fixed at registration; adds must match).
+constexpr double kLatencyLoUs = 0.0;
+constexpr double kLatencyHiUs = 1e5; // 100 ms; beyond -> overflow bucket
+constexpr int kLatencyBuckets = 100;
+
+/** Re-point every ConvLayer under `m` (recursing through Sequential)
+ *  at `src` (nullptr restores the layers' own plan pools). */
+void
+attachPlanSource(nn::Module &m, PlanSource *src)
+{
+    if (auto *conv = dynamic_cast<nn::ConvLayer *>(&m)) {
+        conv->setPlanSource(src);
+        return;
+    }
+    if (auto *seq = dynamic_cast<nn::Sequential *>(&m)) {
+        for (std::size_t i = 0; i < seq->size(); ++i)
+            attachPlanSource(seq->child(i), src);
+    }
+}
+
+int
+resolveMaxBatch(const EngineConfig &cfg)
+{
+    if (cfg.maxBatch > 0)
+        return cfg.maxBatch;
+    return int(env::envPositiveInt("WINOMC_SERVE_MAX_BATCH",
+                                   kMaxBatchCeiling, 8));
+}
+
+long long
+resolveMaxDelayUs(const EngineConfig &cfg)
+{
+    if (cfg.maxDelayUs >= 0)
+        return cfg.maxDelayUs;
+    return env::envPositiveInt("WINOMC_SERVE_MAX_DELAY_US",
+                               kMaxDelayCeilingUs, 1000);
+}
+
+} // namespace
+
+Engine::Engine(nn::Module &model_, const EngineConfig &cfg)
+    : model(model_),
+      ownCache(cfg.sharedCache ? nullptr
+                               : std::make_unique<PlanCache>()),
+      cache(cfg.sharedCache ? cfg.sharedCache : ownCache.get()),
+      maxB(resolveMaxBatch(cfg)),
+      delayUs(resolveMaxDelayUs(cfg)),
+      queue(cfg.queueCapacity ? cfg.queueCapacity
+                              : std::size_t(4) * std::size_t(maxB))
+{
+    attachPlanSource(model, cache);
+    // Eager registration: a metrics dump taken before the first
+    // request still lists the serving distributions (empty -> "-").
+    metrics::gaugeSet("serve.queue_depth", 0.0);
+    metrics::histogramRegister("serve.batch_size", 0.0,
+                               double(maxB) + 1.0,
+                               std::min(maxB + 1, 128));
+    metrics::histogramRegister("serve.latency_us", kLatencyLoUs,
+                               kLatencyHiUs, kLatencyBuckets);
+    worker = std::thread(&Engine::run, this);
+}
+
+Engine::~Engine()
+{
+    stop();
+}
+
+std::future<Tensor>
+Engine::submit(Tensor image)
+{
+    winomc_assert(image.n() == 1,
+                  "Engine::submit takes single images, got batch ",
+                  image.n());
+    Request r;
+    r.x = std::move(image);
+    r.enqueued = std::chrono::steady_clock::now();
+    std::future<Tensor> fut = r.done.get_future();
+    metrics::counterAdd("serve.requests");
+    const bool accepted = queue.push(std::move(r));
+    winomc_assert(accepted, "Engine::submit after stop()");
+    return fut;
+}
+
+void
+Engine::warmup(int c, int h, int w)
+{
+    for (int n = 1; n <= maxB; ++n) {
+        Tensor x(n, c, h, w);
+        model.forward(x, false);
+    }
+}
+
+void
+Engine::stop()
+{
+    if (stopped)
+        return;
+    stopped = true;
+    queue.close();
+    worker.join();
+    // Hand the layers' active plans back to the cache and restore
+    // their private pools, so the model outlives the engine safely.
+    attachPlanSource(model, nullptr);
+}
+
+void
+Engine::run()
+{
+    while (true) {
+        std::vector<Request> batch = queue.popBatch(
+            maxB, std::chrono::microseconds(delayUs));
+        if (batch.empty())
+            return; // closed and drained
+        dispatch(batch);
+    }
+}
+
+void
+Engine::dispatch(std::vector<Request> &batch)
+{
+    const int n = int(batch.size());
+    const Tensor &head = batch[0].x;
+    const std::size_t img = std::size_t(head.c()) * head.h() * head.w();
+    batchX.reshape(n, head.c(), head.h(), head.w());
+    for (int i = 0; i < n; ++i)
+        std::copy(batch[std::size_t(i)].x.data(),
+                  batch[std::size_t(i)].x.data() + img,
+                  batchX.data() + std::size_t(i) * img);
+
+    Tensor y = model.forward(batchX, false);
+
+    const std::size_t out = std::size_t(y.c()) * y.h() * y.w();
+    const auto now = std::chrono::steady_clock::now();
+    for (int i = 0; i < n; ++i) {
+        Request &r = batch[std::size_t(i)];
+        Tensor yi(1, y.c(), y.h(), y.w());
+        std::copy(y.data() + std::size_t(i) * out,
+                  y.data() + std::size_t(i + 1) * out, yi.data());
+        if (metrics::enabled()) {
+            const double us =
+                std::chrono::duration<double, std::micro>(
+                    now - r.enqueued)
+                    .count();
+            metrics::histogramAdd("serve.latency_us", us, kLatencyLoUs,
+                                  kLatencyHiUs, kLatencyBuckets);
+        }
+        r.done.set_value(std::move(yi));
+    }
+    nServed.fetch_add(std::uint64_t(n), std::memory_order_relaxed);
+    metrics::counterAdd("serve.batches");
+    metrics::histogramAdd("serve.batch_size", double(n), 0.0,
+                          double(maxB) + 1.0, std::min(maxB + 1, 128));
+    metrics::gaugeSet("serve.queue_depth", double(queue.depth()));
+}
+
+} // namespace winomc::serve

@@ -1,9 +1,9 @@
 #include "tensor/workspace.hh"
 
 #include <algorithm>
-#include <cerrno>
 #include <cstdlib>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "common/metrics.hh"
 
@@ -45,28 +45,9 @@ classFloor(std::size_t capacity)
 std::size_t
 parseWorkspaceLimitMb(const char *str)
 {
-    if (!str || !*str)
-        return 0;
-    errno = 0;
-    char *end = nullptr;
-    long long v = std::strtoll(str, &end, 10);
-    while (end && (*end == ' ' || *end == '\t'))
-        ++end;
-    if (!end || end == str || *end != '\0') {
-        winomc_warn("ignoring unparsable workspace limit '", str, "' MB");
-        return 0;
-    }
-    if (v <= 0) {
-        winomc_warn("ignoring non-positive workspace limit '", str,
-                    "' MB");
-        return 0;
-    }
-    if (v > (long long)kMaxLimitMb || errno == ERANGE) {
-        winomc_warn("workspace limit '", str, "' MB clamped to ",
-                    kMaxLimitMb);
-        return kMaxLimitMb;
-    }
-    return std::size_t(v);
+    return std::size_t(env::parsePositiveInt(
+        "WINOMC_WORKSPACE_LIMIT_MB workspace limit", str,
+        (long long)kMaxLimitMb));
 }
 
 Workspace &

@@ -526,4 +526,39 @@ WinoPlan::gradOutputTiles() const
     return dYt;
 }
 
+// ------------------------------------------------------------- PlanLru
+
+PlanLru::PlanLru(int capacity) : cap(capacity)
+{
+    winomc_assert(capacity >= 1, "PlanLru needs capacity >= 1, got ",
+                  capacity);
+}
+
+std::unique_ptr<WinoPlan>
+PlanLru::acquirePlan(const WinogradAlgo &algo, int batch, int inCh,
+                     int outCh, int h, int w)
+{
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+        if (pool[i]->matches(algo, batch, inCh, outCh, h, w)) {
+            std::unique_ptr<WinoPlan> p = std::move(pool[i]);
+            pool.erase(pool.begin() + long(i));
+            // The parked plan's tile caches describe whatever forward
+            // ran before it was displaced — never valid for the lease.
+            p->invalidateCache();
+            return p;
+        }
+    }
+    return std::make_unique<WinoPlan>(algo, batch, inCh, outCh, h, w);
+}
+
+void
+PlanLru::releasePlan(std::unique_ptr<WinoPlan> plan)
+{
+    if (!plan)
+        return;
+    pool.insert(pool.begin(), std::move(plan));
+    if (int(pool.size()) > cap)
+        pool.pop_back(); // evict LRU; slabs return to the workspace
+}
+
 } // namespace winomc

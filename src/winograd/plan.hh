@@ -240,6 +240,70 @@ class WinoPlan
     std::mutex stripMu;
 };
 
+/**
+ * Where a layer's plans come from.
+ *
+ * Plans are exclusive while leased (a WinoPlan is not reentrant), so
+ * the interface moves ownership both ways: acquirePlan() hands the
+ * caller a plan matching the configuration — a cached one when the
+ * source holds a match, a freshly built one otherwise — and
+ * releasePlan() parks a displaced plan for future reuse instead of
+ * destroying it. A re-issued plan always comes back with its tile
+ * caches invalidated (they describe activations of an earlier lease).
+ *
+ * Every nn::ConvLayer owns a small PlanLru by default; a serving
+ * engine can re-point layers at a shared, thread-safe source
+ * (serve::PlanCache) so concurrent model instances draw from one pool.
+ */
+class PlanSource
+{
+  public:
+    virtual ~PlanSource() = default;
+
+    /** Lease a plan covering the configuration (cached or new). */
+    virtual std::unique_ptr<WinoPlan>
+    acquirePlan(const WinogradAlgo &algo, int batch, int inCh,
+                int outCh, int h, int w) = 0;
+
+    /** Park a displaced plan for reuse. null is accepted and ignored,
+     *  so callers can unconditionally hand back `std::move(slot)`. */
+    virtual void releasePlan(std::unique_ptr<WinoPlan> plan) = 0;
+};
+
+/**
+ * Small MRU-ordered plan pool — the default PlanSource of every
+ * Winograd layer, and the fix for shape-churn allocation thrash:
+ * alternating batch shapes (A/B/A/B serving traffic) used to rebuild
+ * the layer plan on every flip, bouncing multi-MB slab sets off the
+ * workspace pool; parking displaced plans here makes any rotation
+ * over up to `capacity` shapes allocation-free after one warm-up of
+ * each shape. Not thread-safe (per-layer, like the layer itself);
+ * eviction destroys the least-recently-used plan, returning its slabs
+ * to the workspace pool.
+ */
+class PlanLru : public PlanSource
+{
+  public:
+    static constexpr int kDefaultCapacity = 4;
+
+    explicit PlanLru(int capacity = kDefaultCapacity);
+
+    std::unique_ptr<WinoPlan> acquirePlan(const WinogradAlgo &algo,
+                                          int batch, int inCh, int outCh,
+                                          int h, int w) override;
+    void releasePlan(std::unique_ptr<WinoPlan> plan) override;
+
+    /** Parked plans (excludes any currently leased). */
+    int size() const { return int(pool.size()); }
+    int capacity() const { return cap; }
+    /** Destroy every parked plan (slabs return to the workspace). */
+    void clear() { pool.clear(); }
+
+  private:
+    int cap;
+    std::vector<std::unique_ptr<WinoPlan>> pool; ///< MRU first
+};
+
 } // namespace winomc
 
 #endif // WINOMC_WINOGRAD_PLAN_HH

@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 
+#include "common/env.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -15,6 +17,58 @@
 
 namespace winomc {
 namespace {
+
+// ------------------------------------------------- Env knob parsing
+//
+// One parser serves every positive-integer knob (WINOMC_THREADS,
+// WINOMC_WORKSPACE_LIMIT_MB, WINOMC_SERVE_MAX_BATCH /
+// WINOMC_SERVE_MAX_DELAY_US); the table pins the shared contract so
+// the knob families cannot drift apart again.
+
+struct KnobCase
+{
+    const char *input; ///< nullptr = unset
+    long long want;    ///< parsePositiveInt result (0 = "use default")
+};
+
+TEST(EnvKnobs, SharedParserTable)
+{
+    const long long kMax = 4096;
+    const KnobCase cases[] = {
+        {nullptr, 0},                 // unset: silent fallback
+        {"", 0},                      // empty: silent fallback
+        {"8", 8},                     // plain value
+        {"  8", 8},                   // leading blanks (strtoll)
+        {"8 ", 8},                    // trailing blanks tolerated
+        {"8\t\n", 8},                 // any trailing whitespace
+        {"banana", 0},                // garbage: warn + fallback
+        {"12banana", 0},              // trailing junk: warn + fallback
+        {"1.5", 0},                   // fractions are junk too
+        {"-3", 0},                    // negative: warn + fallback
+        {"0", 0},                     // zero: warn + fallback
+        {"4096", 4096},               // at the ceiling
+        {"4097", kMax},               // above: warn + clamp
+        {"99999999999999999999", kMax}, // ERANGE: warn + clamp
+    };
+    for (const auto &c : cases) {
+        EXPECT_EQ(env::parsePositiveInt("test knob", c.input, kMax),
+                  c.want)
+            << "input '" << (c.input ? c.input : "(null)") << "'";
+    }
+}
+
+TEST(EnvKnobs, EnvLookupAppliesFallback)
+{
+    unsetenv("WINOMC_TEST_KNOB");
+    EXPECT_EQ(env::envPositiveInt("WINOMC_TEST_KNOB", 100, 7), 7);
+    setenv("WINOMC_TEST_KNOB", "42", 1);
+    EXPECT_EQ(env::envPositiveInt("WINOMC_TEST_KNOB", 100, 7), 42);
+    setenv("WINOMC_TEST_KNOB", "nope", 1);
+    EXPECT_EQ(env::envPositiveInt("WINOMC_TEST_KNOB", 100, 7), 7);
+    setenv("WINOMC_TEST_KNOB", "500", 1);
+    EXPECT_EQ(env::envPositiveInt("WINOMC_TEST_KNOB", 100, 7), 100);
+    unsetenv("WINOMC_TEST_KNOB");
+}
 
 TEST(Accumulator, BasicMoments)
 {
@@ -80,6 +134,19 @@ TEST(Histogram, PercentileMonotone)
     EXPECT_LE(p90, p99);
     EXPECT_NEAR(p50, 50.0, 5.0);
     EXPECT_NEAR(p90, 90.0, 5.0);
+}
+
+TEST(Histogram, EmptyPercentileIsNaN)
+{
+    Histogram h(0.0, 100.0, 10);
+    // No sample means no value below which any fraction falls; the old
+    // `lo` answer masqueraded as a real quantile in reports.
+    EXPECT_TRUE(std::isnan(h.percentile(0.5)));
+    EXPECT_TRUE(std::isnan(h.percentile(0.99)));
+    h.add(7.0);
+    EXPECT_FALSE(std::isnan(h.percentile(0.5)));
+    h.reset();
+    EXPECT_TRUE(std::isnan(h.percentile(0.5)));
 }
 
 TEST(Rng, Deterministic)

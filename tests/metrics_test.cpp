@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -349,6 +350,45 @@ TEST_F(ObservabilityTest, HistogramDumpRoundTrips)
         EXPECT_DOUBLE_EQ(h->p90, orig->p90);
         EXPECT_DOUBLE_EQ(h->p99, orig->p99);
     }
+}
+
+/// An eagerly registered histogram with zero samples (a serving engine
+/// registers its latency distributions before the first request) has no
+/// percentiles: the snapshot carries NaN, both dumps render "-", and a
+/// parse maps "-" back to NaN instead of a plausible-looking 0.
+TEST_F(ObservabilityTest, EmptyHistogramRendersDashAndRoundTripsNaN)
+{
+    metrics::histogramRegister("t.hist.empty", 0.0, 100.0, 10);
+    const auto snap = metrics::snapshot();
+    const auto *orig = find(snap, "t.hist.empty");
+    ASSERT_NE(orig, nullptr);
+    EXPECT_EQ(orig->kind, metrics::Kind::Histogram);
+    EXPECT_EQ(orig->count, 0u);
+    EXPECT_TRUE(std::isnan(orig->p50));
+    EXPECT_TRUE(std::isnan(orig->p90));
+    EXPECT_TRUE(std::isnan(orig->p99));
+
+    EXPECT_NE(metrics::toJson().find("\"p50\": \"-\""),
+              std::string::npos);
+    for (bool csv : {false, true}) {
+        auto parsed = csv
+                          ? metrics::parseCsvDump(metrics::toCsv())
+                          : metrics::parseJsonDump(metrics::toJson());
+        const auto *h = find(parsed, "t.hist.empty");
+        ASSERT_NE(h, nullptr) << (csv ? "csv" : "json");
+        EXPECT_EQ(h->count, 0u);
+        EXPECT_TRUE(std::isnan(h->p50)) << (csv ? "csv" : "json");
+        EXPECT_TRUE(std::isnan(h->p90)) << (csv ? "csv" : "json");
+        EXPECT_TRUE(std::isnan(h->p99)) << (csv ? "csv" : "json");
+    }
+    // A later add reuses the registered layout and the percentiles
+    // come back numeric.
+    metrics::histogramAdd("t.hist.empty", 50.0, 0.0, 100.0, 10);
+    const auto snap2 = metrics::snapshot();
+    const auto *live = find(snap2, "t.hist.empty");
+    ASSERT_NE(live, nullptr);
+    EXPECT_EQ(live->count, 1u);
+    EXPECT_FALSE(std::isnan(live->p50));
 }
 
 /// Metric names containing quotes, commas, newlines, backslashes, and

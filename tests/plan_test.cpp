@@ -297,6 +297,108 @@ TEST(WorkspaceSteadyState, MptConvLayerStepAllocatesNothingAfterWarmup)
     EXPECT_GT(s1.reuses, s0.reuses);
 }
 
+// ------------------------------- Shape-churn plan-rebuild regression
+//
+// Serving traffic alternates between a handful of batch shapes (the
+// batcher emits whatever coalesced by the deadline). A layer that
+// rebuilds its plan whenever the incoming shape stops matching throws
+// the previous plan's slabs back at the workspace pool on every flip;
+// under a pinned retention limit the pool cannot hold both shapes'
+// slabs, so every flip drops and re-allocates — heap traffic on every
+// request, forever. The fix parks displaced plans in a small per-layer
+// LRU instead of destroying them, so A/B/A/B settles to zero fresh
+// allocations after one warm-up of each shape.
+//
+// The tight limit is what makes this test bite: with the default 1 GB
+// retention the pool absorbs the rebuild churn and freshAllocs goes
+// flat even on the broken code. The limit is sized to the larger
+// plan's working set, so transient activations still pool while a
+// whole displaced plan does not.
+
+/** Pin the global workspace retention limit; restore on scope exit. */
+class ScopedWorkspaceLimit
+{
+  public:
+    explicit ScopedWorkspaceLimit(std::size_t bytes)
+        : prev(ws::Workspace::global().limitBytes())
+    {
+        ws::Workspace::global().setLimitBytes(bytes);
+    }
+    ~ScopedWorkspaceLimit()
+    {
+        ws::Workspace::global().setLimitBytes(prev);
+    }
+
+  private:
+    std::size_t prev;
+};
+
+TEST(ConvLayerPlan, AlternatingShapesAllocateNothingAfterWarmup)
+{
+    WinogradAlgo algo = makeWinograd(2, 3);
+    Rng rng(23);
+    nn::ConvLayer layer(3, 4, 3, nn::ConvMode::WinogradLayer, algo, rng);
+    Tensor xa(2, 3, 12, 12);
+    Tensor xb(4, 3, 12, 12);
+    Rng data(5);
+    xa.fillUniform(data);
+    xb.fillUniform(data);
+
+    std::size_t planBytes = 0;
+    {
+        WinoPlan probe(algo, 4, 3, 4, 12, 12);
+        planBytes = probe.workspaceBytes();
+    }
+    ScopedWorkspaceLimit limit(planBytes);
+    ws::Workspace::global().trim();
+
+    // Warm both shapes (plan build + one full flip cycle so the pool's
+    // transient-slab population settles), then alternate.
+    for (int i = 0; i < 4; ++i)
+        layer.forward(i % 2 ? xb : xa, false);
+    const auto s0 = ws::Workspace::global().stats();
+    for (int i = 0; i < 8; ++i)
+        layer.forward(i % 2 ? xb : xa, false);
+    const auto s1 = ws::Workspace::global().stats();
+    EXPECT_EQ(s1.freshAllocs, s0.freshAllocs)
+        << "alternating batch shapes hit the heap in steady state";
+    EXPECT_EQ(s1.freshBytes, s0.freshBytes);
+}
+
+TEST(MptConvLayerPlan, AlternatingShapesAllocateNothingAfterWarmup)
+{
+    WinogradAlgo algo = makeWinograd(2, 3); // alpha^2 = 16
+    Rng rng(29);
+    mpt::MptConvLayer layer(3, 4, 3, 2, 2, algo, rng);
+    Tensor xa(4, 3, 12, 12); // shard batch 2
+    Tensor xb(8, 3, 12, 12); // shard batch 4
+    Rng data(5);
+    xa.fillUniform(data);
+    xb.fillUniform(data);
+
+    std::size_t planBytes = 0;
+    {
+        WinoPlan probe(algo, 4, 3, 4, 12, 12);
+        planBytes = probe.workspaceBytes();
+    }
+    // Both clusters flip together: budget both shard plans of the
+    // larger shape.
+    ScopedWorkspaceLimit limit(2 * planBytes);
+    ws::Workspace::global().trim();
+
+    // Warm both shapes (plan build + one full flip cycle so the pool's
+    // transient-slab population settles), then alternate.
+    for (int i = 0; i < 4; ++i)
+        layer.forward(i % 2 ? xb : xa, false);
+    const auto s0 = ws::Workspace::global().stats();
+    for (int i = 0; i < 8; ++i)
+        layer.forward(i % 2 ? xb : xa, false);
+    const auto s1 = ws::Workspace::global().stats();
+    EXPECT_EQ(s1.freshAllocs, s0.freshAllocs)
+        << "alternating shard shapes hit the heap in steady state";
+    EXPECT_EQ(s1.freshBytes, s0.freshBytes);
+}
+
 // -------------------------------------------- Stale-cache regression
 
 TEST(ConvLayerDeath, BackwardAfterEvalForwardDies)

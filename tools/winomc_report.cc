@@ -112,6 +112,17 @@ struct WorkspaceRow
     double freshAllocs = 0, freshBytes = 0, reuses = 0;
 };
 
+/** Serving-engine telemetry of one run scope ("serve.*"). */
+struct ServeRow
+{
+    double requests = 0, batches = 0, queueDepth = 0;
+    double batchMean = 0, batchP50 = 0, batchP99 = 0;
+    double latP50 = 0, latP90 = 0, latP99 = 0;
+    double cacheHits = 0, cacheMisses = 0, cacheEvictions = 0;
+    double weightBuilds = 0, cacheBytes = 0, cachePlans = 0;
+    bool haveEngine = false, haveCache = false;
+};
+
 /** Micro-kernel dispatch telemetry of one run scope ("kernel.*"). */
 struct KernelRow
 {
@@ -131,6 +142,7 @@ struct Report
     std::map<std::string, NetRow> nets; // key: scoped network prefix
     std::map<std::string, WorkspaceRow> workspaces; // key: scope
     std::map<std::string, KernelRow> kernels;       // key: scope
+    std::map<std::string, ServeRow> serving;        // key: scope
 };
 
 /** kernel.isa.level gauge value -> WINOMC_ISA-style name. */
@@ -241,6 +253,50 @@ ingest(Report &rep, const Sample &s)
         return;
     }
 
+    // Serving-engine telemetry ("serve.<leaf>", see serve/engine.hh).
+    if (rest.rfind("serve.", 0) == 0) {
+        ServeRow &r = rep.serving[scope.empty() ? "-" : scope];
+        const std::string leafs = rest.substr(6);
+        if (leafs == "requests") {
+            r.requests = s.value;
+            r.haveEngine = true;
+        } else if (leafs == "batches") {
+            r.batches = s.value;
+            r.haveEngine = true;
+        } else if (leafs == "queue_depth") {
+            r.queueDepth = s.value;
+        } else if (leafs == "batch_size") {
+            r.batchMean = s.mean();
+            r.batchP50 = s.p50;
+            r.batchP99 = s.p99;
+            r.haveEngine = true;
+        } else if (leafs == "latency_us") {
+            r.latP50 = s.p50;
+            r.latP90 = s.p90;
+            r.latP99 = s.p99;
+            r.haveEngine = true;
+        } else if (leafs == "plan_cache.hits") {
+            r.cacheHits = s.value;
+            r.haveCache = true;
+        } else if (leafs == "plan_cache.misses") {
+            r.cacheMisses = s.value;
+            r.haveCache = true;
+        } else if (leafs == "plan_cache.evictions") {
+            r.cacheEvictions = s.value;
+            r.haveCache = true;
+        } else if (leafs == "plan_cache.weight_builds") {
+            r.weightBuilds = s.value;
+            r.haveCache = true;
+        } else if (leafs == "plan_cache.bytes") {
+            r.cacheBytes = s.value;
+            r.haveCache = true;
+        } else if (leafs == "plan_cache.plans") {
+            r.cachePlans = s.value;
+            r.haveCache = true;
+        }
+        return;
+    }
+
     // Workspace allocator gauges ("workspace.<leaf>").
     if (rest.rfind("workspace.", 0) == 0) {
         WorkspaceRow &r = rep.workspaces[scope.empty() ? "-" : scope];
@@ -291,6 +347,10 @@ ingest(Report &rep, const Sample &s)
 std::string
 fmt(double v)
 {
+    // NaN marks "no samples" (e.g. percentiles of an empty latency
+    // histogram); render it as the same "-" the dumps use.
+    if (std::isnan(v))
+        return "-";
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.4g", v);
     return buf;
@@ -516,6 +576,48 @@ main(int argc, char **argv)
         emitSection(opt, "Workspace allocator",
                     {"scope", "high water MB", "in use MB", "pooled MB",
                      "fresh allocs", "fresh MB", "reuse %"},
+                    rows);
+    }
+
+    {
+        // Latency percentiles render "-" for an empty histogram (NaN
+        // round-trips through the dump), so a zero-traffic run is
+        // visible as such instead of reporting a latency of 0.
+        std::vector<std::vector<std::string>> rows;
+        for (const auto &[scope, r] : rep.serving) {
+            if (!r.haveEngine)
+                continue;
+            const double perBatch =
+                r.batches > 0.0 ? r.requests / r.batches : 0.0;
+            rows.push_back({scope, fmt(r.requests), fmt(r.batches),
+                            fmt(perBatch), fmt(r.batchP50),
+                            fmt(r.batchP99), fmt(r.latP50),
+                            fmt(r.latP90), fmt(r.latP99),
+                            fmt(r.queueDepth)});
+        }
+        emitSection(opt, "Serving",
+                    {"scope", "requests", "batches", "req/batch",
+                     "batch p50", "batch p99", "lat us p50",
+                     "lat us p90", "lat us p99", "queue depth"},
+                    rows);
+    }
+
+    {
+        std::vector<std::vector<std::string>> rows;
+        for (const auto &[scope, r] : rep.serving) {
+            if (!r.haveCache)
+                continue;
+            const double lookups = r.cacheHits + r.cacheMisses;
+            rows.push_back(
+                {scope, fmt(r.cacheHits), fmt(r.cacheMisses),
+                 fmt(lookups > 0.0 ? 100.0 * r.cacheHits / lookups
+                                   : 0.0),
+                 fmt(r.cacheEvictions), fmt(r.weightBuilds),
+                 fmt(r.cachePlans), fmt(r.cacheBytes / (1 << 20))});
+        }
+        emitSection(opt, "Serving plan cache",
+                    {"scope", "hits", "misses", "hit %", "evictions",
+                     "weight builds", "parked plans", "parked MB"},
                     rows);
     }
 
