@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
 #include "common/trace.hh"
@@ -729,8 +730,7 @@ main(int argc, char **argv)
         if (writeJson(json_path, reporter.records))
             std::printf("json baseline: %s\n", json_path.c_str());
         else
-            std::fprintf(stderr, "cannot write json baseline to %s\n",
-                         json_path.c_str());
+            winomc_warn("cannot write json baseline to ", json_path);
     }
     // Emit the observability artifacts before returning so the dump
     // exists even if a wrapper kills the process at exit.

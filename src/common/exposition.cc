@@ -1,0 +1,352 @@
+#include "common/exposition.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/trace.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define WINOMC_EXPOSITION_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace winomc::exposition {
+
+namespace {
+
+constexpr int kMaxPort = 65535;
+constexpr int kPollMs = 200;     ///< listener wake-up cadence
+constexpr double kTickSec = 1.0; ///< derived-gauge publish cadence
+
+/** Prometheus float: finite via %.17g, plus the spec spellings of the
+ *  non-finite values ("NaN", never "-": a scrape body must parse). */
+std::string
+fmtVal(double v)
+{
+    if (std::isnan(v))
+        return "NaN";
+    if (std::isinf(v))
+        return v > 0 ? "+Inf" : "-Inf";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+void
+appendExemplar(std::string &out, const metrics::Sample &s)
+{
+    out += " # {trace_id=\"";
+    out += std::to_string(s.exemplarId);
+    out += "\"} ";
+    out += fmtVal(s.exemplarValue);
+}
+
+void
+renderHistogram(std::string &out, const std::string &n,
+                const metrics::Sample &s)
+{
+    out += "# TYPE " + n + " histogram\n";
+    bool exemplarPending = s.exemplarId != 0;
+    if (s.hist) {
+        const winomc::Histogram &h = *s.hist;
+        std::uint64_t cumulative = h.underflow();
+        for (int b = 0; b < h.buckets(); ++b) {
+            cumulative += h.bucketCount(b);
+            const double upper = b + 1 == h.buckets()
+                                     ? h.high()
+                                     : h.bucketLow(b + 1);
+            out += n + "_bucket{le=\"" + fmtVal(upper) + "\"} " +
+                   std::to_string(cumulative);
+            if (exemplarPending && s.exemplarValue <= upper) {
+                appendExemplar(out, s);
+                exemplarPending = false;
+            }
+            out += "\n";
+        }
+    }
+    out += n + "_bucket{le=\"+Inf\"} " + std::to_string(s.count);
+    if (exemplarPending)
+        appendExemplar(out, s);
+    out += "\n";
+    out += n + "_sum " + fmtVal(s.value) + "\n";
+    out += n + "_count " + std::to_string(s.count) + "\n";
+    // Registry-computed percentiles as companion gauges: NaN (not "-")
+    // for an empty histogram, so the body stays parseable.
+    const struct
+    {
+        const char *suffix;
+        double v;
+    } pct[3] = {{"_p50", s.p50}, {"_p90", s.p90}, {"_p99", s.p99}};
+    for (const auto &p : pct) {
+        out += "# TYPE " + n + p.suffix + " gauge\n";
+        out += n + p.suffix + " " + fmtVal(p.v) + "\n";
+    }
+}
+
+#if WINOMC_EXPOSITION_SOCKETS
+
+struct Listener
+{
+    int fd = -1;
+    int boundPort = -1;
+    std::thread thread;
+    std::atomic<bool> stopRequested{false};
+};
+
+std::mutex gMu;
+Listener *gListener = nullptr; // guarded by gMu
+std::atomic<int> gPort{-1};    // lock-free for port()/running()
+
+/** Answer one accepted connection: any request gets the scrape body
+ *  (there is only one resource worth serving). */
+void
+serveOne(int conn)
+{
+    char req[2048];
+    (void)recv(conn, req, sizeof(req), 0); // drain best-effort
+    metrics::counterAdd("exposition.scrapes");
+    const std::string body = renderText(metrics::snapshot());
+    std::string resp = "HTTP/1.1 200 OK\r\n"
+                       "Content-Type: text/plain; version=0.0.4; "
+                       "charset=utf-8\r\n"
+                       "Connection: close\r\n"
+                       "Content-Length: " +
+                       std::to_string(body.size()) + "\r\n\r\n" + body;
+    std::size_t off = 0;
+    while (off < resp.size()) {
+        const ssize_t n = send(conn, resp.data() + off,
+                               resp.size() - off, MSG_NOSIGNAL);
+        if (n <= 0)
+            break; // client went away; scrape is best-effort
+        off += std::size_t(n);
+    }
+    close(conn);
+}
+
+/** The ~1 s tick: derived gauges computed from a private delta
+ *  baseline, so one-shot consumers see rates without doing math. */
+void
+publishTick(metrics::DeltaBaseline &base, double dtSec)
+{
+    metrics::gaugeSet("process.uptime_sec", trace::nowUs() / 1e6);
+    if (dtSec <= 0.0)
+        return;
+    for (const metrics::Sample &s : metrics::snapshotDelta(base)) {
+        if (s.name == "serve.requests")
+            metrics::gaugeSet("serve.qps", s.value / dtSec);
+    }
+}
+
+void
+run(Listener *l)
+{
+    metrics::DeltaBaseline base;
+    metrics::snapshotDelta(base); // seed: first tick reports a delta
+    auto lastTick = std::chrono::steady_clock::now();
+    while (!l->stopRequested.load(std::memory_order_acquire)) {
+        pollfd pfd{l->fd, POLLIN, 0};
+        const int rc = poll(&pfd, 1, kPollMs);
+        if (rc > 0 && (pfd.revents & POLLIN)) {
+            const int conn = accept(l->fd, nullptr, nullptr);
+            if (conn >= 0)
+                serveOne(conn);
+        }
+        const auto now = std::chrono::steady_clock::now();
+        const double dt =
+            std::chrono::duration<double>(now - lastTick).count();
+        if (dt >= kTickSec) {
+            publishTick(base, dt);
+            lastTick = now;
+        }
+    }
+}
+
+void
+stopAtExit()
+{
+    stop();
+}
+
+#endif // WINOMC_EXPOSITION_SOCKETS
+
+} // namespace
+
+std::string
+promName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size() + 1);
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out.push_back(ok ? c : '_');
+    }
+    if (out.empty() || (out[0] >= '0' && out[0] <= '9'))
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+std::string
+renderText(const std::vector<metrics::Sample> &samples)
+{
+    std::string out;
+    out.reserve(samples.size() * 64);
+    for (const metrics::Sample &s : samples) {
+        const std::string n = promName(s.name);
+        switch (s.kind) {
+        case metrics::Kind::Counter:
+            out += "# TYPE " + n + " counter\n";
+            out += n + " " + fmtVal(s.value) + "\n";
+            break;
+        case metrics::Kind::Gauge:
+            out += "# TYPE " + n + " gauge\n";
+            out += n + " " + fmtVal(s.value) + "\n";
+            break;
+        case metrics::Kind::Timer:
+            out += "# TYPE " + n + " summary\n";
+            out += n + "_count " + std::to_string(s.count) + "\n";
+            out += n + "_sum " + fmtVal(s.totalSec) + "\n";
+            break;
+        case metrics::Kind::Histogram:
+            renderHistogram(out, n, s);
+            break;
+        }
+    }
+    return out;
+}
+
+#if WINOMC_EXPOSITION_SOCKETS
+
+int
+start(int portWanted)
+{
+    std::lock_guard<std::mutex> lk(gMu);
+    if (gListener)
+        return -1;
+
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        winomc_warn("WINOMC_STATS_PORT: socket() failed (",
+                    std::strerror(errno), "); exposition disabled");
+        return -1;
+    }
+    const int one = 1;
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(std::uint16_t(portWanted));
+    if (bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+             sizeof(addr)) != 0 ||
+        listen(fd, 8) != 0) {
+        winomc_warn("WINOMC_STATS_PORT: cannot listen on 127.0.0.1:",
+                    portWanted, " (", std::strerror(errno),
+                    "); exposition disabled");
+        close(fd);
+        return -1;
+    }
+    sockaddr_in bound{};
+    socklen_t blen = sizeof(bound);
+    int boundPort = portWanted;
+    if (getsockname(fd, reinterpret_cast<sockaddr *>(&bound), &blen) ==
+        0)
+        boundPort = int(ntohs(bound.sin_port));
+
+    metrics::setEnabled(true); // a scrape target must have data
+    auto *l = new Listener;
+    l->fd = fd;
+    l->boundPort = boundPort;
+    l->thread = std::thread(run, l);
+    gListener = l;
+    gPort.store(boundPort, std::memory_order_release);
+
+    static bool atexitArmed = false;
+    if (!atexitArmed) {
+        atexitArmed = true;
+        std::atexit(stopAtExit);
+    }
+    winomc_inform("metrics exposition listening on 127.0.0.1:",
+                  boundPort);
+    return boundPort;
+}
+
+void
+stop()
+{
+    Listener *l = nullptr;
+    {
+        std::lock_guard<std::mutex> lk(gMu);
+        l = gListener;
+        gListener = nullptr;
+        gPort.store(-1, std::memory_order_release);
+    }
+    if (!l)
+        return;
+    l->stopRequested.store(true, std::memory_order_release);
+    l->thread.join();
+    close(l->fd);
+    delete l;
+}
+
+#else // !WINOMC_EXPOSITION_SOCKETS
+
+int
+start(int portWanted)
+{
+    (void)portWanted;
+    winomc_warn("WINOMC_STATS_PORT: exposition not supported on this "
+                "platform");
+    return -1;
+}
+
+void
+stop()
+{
+}
+
+#endif
+
+int
+startFromEnv()
+{
+    const long long p =
+        env::envPositiveInt("WINOMC_STATS_PORT", kMaxPort, 0);
+    if (p <= 0)
+        return -1; // unset (or rejected, already warned): no listener
+    if (running())
+        return port();
+    return start(int(p));
+}
+
+bool
+running()
+{
+    return port() >= 0;
+}
+
+int
+port()
+{
+#if WINOMC_EXPOSITION_SOCKETS
+    return gPort.load(std::memory_order_acquire);
+#else
+    return -1;
+#endif
+}
+
+} // namespace winomc::exposition

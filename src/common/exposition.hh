@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Runtime metrics exposition: a minimal built-in HTTP listener serving
+ * the live metrics registry in Prometheus text format.
+ *
+ * Knob: WINOMC_STATS_PORT=<port> (env.hh parse discipline; unset or
+ * rejected means no listener). startFromEnv() is called by long-lived
+ * services (serve::Engine) and the serving bench, so setting the knob
+ * is all a deployment needs; tests call start(0) for an ephemeral
+ * port. A bind failure (port taken, no loopback) warns and degrades
+ * to "no exposition" — it never kills the process.
+ *
+ * One background publisher thread owns both duties:
+ *  - answering HTTP GETs with a fresh renderText(metrics::snapshot())
+ *    (scrapes are reads — they never reset counters; Prometheus wants
+ *    cumulative series and computes rates server-side);
+ *  - a ~1 s tick taking metrics::snapshotDelta() against its private
+ *    baseline to publish derived gauges (serve.qps from the
+ *    serve.requests delta, process.uptime_sec), so rate-style numbers
+ *    exist even for consumers that only ever look at one scrape.
+ *
+ * Exposition format notes (renderText, exercised round-trip by
+ * tests/observability_test.cpp):
+ *  - metric names are escaped to [a-zA-Z0-9_:] ('.', '/' and anything
+ *    else become '_'; a leading digit gains a '_' prefix);
+ *  - counters/gauges emit one sample; timers emit a summary
+ *    (_count/_sum of seconds); histograms emit cumulative _bucket
+ *    series with le edges, _sum, _count, plus _p50/_p90/_p99 gauges;
+ *  - empty-histogram percentiles render as "NaN" (a valid Prometheus
+ *    float), never "-";
+ *  - a histogram carrying an exemplar renders it OpenMetrics-style on
+ *    the bucket containing the exemplar value:
+ *        serve_latency_us_bucket{le="+Inf"} 42 # {trace_id="17"} 93211
+ *    so a p99 outlier is one id-lookup away from its span in the
+ *    WINOMC_TRACE file.
+ */
+
+#ifndef WINOMC_COMMON_EXPOSITION_HH
+#define WINOMC_COMMON_EXPOSITION_HH
+
+#include <string>
+#include <vector>
+
+#include "common/metrics.hh"
+
+namespace winomc::exposition {
+
+/**
+ * Start the listener on 127.0.0.1:`port` (0 = kernel-assigned
+ * ephemeral port). Returns the bound port, or -1 when binding failed
+ * (warned) or a listener is already running (its port is returned by
+ * port()). Enables metrics recording — a scrape endpoint with nothing
+ * to scrape is useless.
+ */
+int start(int port);
+
+/** start(WINOMC_STATS_PORT); silently returns -1 when the knob is
+ *  unset. Idempotent — every Engine construction calls this. */
+int startFromEnv();
+
+/** Stop the listener and join the publisher thread. Idempotent; also
+ *  runs at process exit. */
+void stop();
+
+bool running();
+
+/** Bound port of the running listener, or -1. */
+int port();
+
+/** Escape a metric name per the exposition rules above. */
+std::string promName(const std::string &name);
+
+/** Render samples as Prometheus text format (one scrape body). */
+std::string renderText(const std::vector<metrics::Sample> &samples);
+
+} // namespace winomc::exposition
+
+#endif // WINOMC_COMMON_EXPOSITION_HH

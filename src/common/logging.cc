@@ -1,23 +1,149 @@
 #include "common/logging.hh"
 
+#include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdlib>
+#include <ctime>
+#include <exception>
+#include <mutex>
+
+#include "common/metrics.hh"
+#include "common/trace.hh"
 
 namespace winomc {
 
 namespace {
-int g_log_level = 2;
+
+constexpr int kLevelUnresolved = -1;
+
+/** Resolved verbosity; kLevelUnresolved until the first log call (or
+ *  setLogLevel) so WINOMC_LOG_LEVEL is honored no matter which static
+ *  initializer logs first. */
+std::atomic<int> gLogLevel{kLevelUnresolved};
+
+int
+resolveLevel()
+{
+    int lvl = gLogLevel.load(std::memory_order_relaxed);
+    if (lvl != kLevelUnresolved)
+        return lvl;
+    // No lock: two racing threads both parse the same env var and
+    // store the same value.
+    lvl = parseLogLevel(std::getenv("WINOMC_LOG_LEVEL"));
+    gLogLevel.store(lvl, std::memory_order_relaxed);
+    return lvl;
+}
+
+/** Small dense id of the calling thread — logging keeps its own
+ *  counter (the trace recorder's tids are a separate numbering). */
+int
+logTid()
+{
+    static std::atomic<int> next{0};
+    thread_local int tid = next.fetch_add(1, std::memory_order_relaxed);
+    return tid;
+}
+
+/**
+ * One formatted line: "HH:MM:SS.mmm [tN] <tag>: <msg>". A single
+ * fprintf keeps lines from interleaving mid-record across threads
+ * (POSIX stdio locks per call).
+ */
+void
+emitLine(std::FILE *to, const char *tag, const std::string &msg)
+{
+    const auto now = std::chrono::system_clock::now();
+    const std::time_t sec = std::chrono::system_clock::to_time_t(now);
+    const int ms = int(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            now.time_since_epoch())
+            .count() %
+        1000);
+    std::tm tm{};
+#if defined(_WIN32)
+    localtime_s(&tm, &sec);
+#else
+    localtime_r(&sec, &tm);
+#endif
+    std::fprintf(to, "%02d:%02d:%02d.%03d [t%d] %s: %s\n", tm.tm_hour,
+                 tm.tm_min, tm.tm_sec, ms, logTid(), tag, msg.c_str());
+}
+
+/** Guard so a crash inside the flush cannot recurse forever. */
+std::atomic<bool> gFlushing{false};
+
+[[noreturn]] void
+terminateHandler()
+{
+    // An uncaught exception (or a violated noexcept) is about to kill
+    // the process: save what the telemetry plane has.
+    emitLine(stderr, "fatal", "std::terminate called; flushing "
+                              "telemetry before abort");
+    flushTelemetry();
+    std::abort();
+}
+
+/** Installs the terminate handler once, at static-init time of
+ *  whichever binary links logging (everything does). */
+struct TerminateInit
+{
+    TerminateInit() { std::set_terminate(terminateHandler); }
+};
+TerminateInit terminateInit;
+
 } // namespace
 
 void
 setLogLevel(int level)
 {
-    g_log_level = level;
+    gLogLevel.store(level, std::memory_order_relaxed);
 }
 
 int
 logLevel()
 {
-    return g_log_level;
+    return resolveLevel();
+}
+
+int
+parseLogLevel(const char *str)
+{
+    if (!str || !*str)
+        return 2;
+    std::string s;
+    for (const char *p = str; *p; ++p)
+        if (!std::isspace(static_cast<unsigned char>(*p)))
+            s += char(std::tolower(static_cast<unsigned char>(*p)));
+    if (s == "error")
+        return 0;
+    if (s == "warn" || s == "warning")
+        return 1;
+    if (s == "info")
+        return 2;
+    if (s == "debug")
+        return 3;
+    // Warn directly (not winomc_warn: we are resolving the level that
+    // decides whether warnings print — a bad knob must always show).
+    emitLine(stderr, "warn",
+             detail::concatMessage("ignoring unrecognized "
+                                   "WINOMC_LOG_LEVEL '", str,
+                                   "' (want debug|info|warn|error)"));
+    return 2;
+}
+
+void
+flushTelemetry() noexcept
+{
+    if (gFlushing.exchange(true))
+        return; // already flushing (re-entered from a flush failure)
+    try {
+        trace::flushIfConfigured();
+        metrics::dumpIfConfigured();
+    } catch (...) {
+        // Best-effort only: the process is already dying.
+    }
+    gFlushing.store(false);
 }
 
 namespace detail {
@@ -25,29 +151,40 @@ namespace detail {
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s\n  @ %s:%d\n", msg.c_str(), file, line);
+    emitLine(stderr, "panic",
+             concatMessage(msg, "\n  @ ", file, ":", line));
+    flushTelemetry();
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s\n  @ %s:%d\n", msg.c_str(), file, line);
+    emitLine(stderr, "fatal",
+             concatMessage(msg, "\n  @ ", file, ":", line));
+    flushTelemetry();
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    if (g_log_level >= 1)
-        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    if (resolveLevel() >= 1)
+        emitLine(stderr, "warn", msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (g_log_level >= 2)
-        std::fprintf(stdout, "info: %s\n", msg.c_str());
+    if (resolveLevel() >= 2)
+        emitLine(stdout, "info", msg);
+}
+
+void
+debugImpl(const std::string &msg)
+{
+    if (resolveLevel() >= 3)
+        emitLine(stderr, "debug", msg);
 }
 
 } // namespace detail

@@ -6,6 +6,19 @@
  * fatal()  - the user asked for something impossible (bad config). Exits.
  * warn()   - something works but not as well as it should.
  * inform() - normal status output.
+ * debug()  - development chatter, off by default.
+ *
+ * Every line carries a wall-clock timestamp and a small dense thread
+ * id ("12:34:56.789 [t0] warn: ..."), so interleaved multi-thread
+ * output stays attributable. Verbosity is controlled by
+ * WINOMC_LOG_LEVEL=debug|info|warn|error (garbage warns and falls
+ * back to info, the default) or programmatically via setLogLevel().
+ *
+ * Fatal paths (panic, fatal, uncaught exceptions via the installed
+ * std::terminate handler) best-effort flush the telemetry sinks —
+ * the WINOMC_TRACE ring and a final WINOMC_METRICS snapshot — before
+ * the process dies, so a crash under load does not lose the entire
+ * observability payload.
  */
 
 #ifndef WINOMC_COMMON_LOGGING_HH
@@ -35,12 +48,29 @@ concatMessage(Args &&...args)
                             const std::string &msg);
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
+void debugImpl(const std::string &msg);
 
 } // namespace detail
 
-/** Global verbosity: 0 = silent, 1 = warn, 2 = inform (default). */
+/**
+ * Global verbosity: 0 = errors only (panic/fatal always print),
+ * 1 = + warn, 2 = + inform (default), 3 = + debug. The first log call
+ * resolves WINOMC_LOG_LEVEL; setLogLevel() overrides it.
+ */
 void setLogLevel(int level);
 int logLevel();
+
+/** Parse a WINOMC_LOG_LEVEL word (debug|info|warn|error, case/space
+ *  tolerant) into a level. Garbage warns and returns 2 (info) — the
+ *  common/env.hh knob discipline. */
+int parseLogLevel(const char *str);
+
+/**
+ * Best-effort flush of the telemetry sinks (trace ring + metrics
+ * snapshot) to their configured paths. Re-entrancy safe and never
+ * throws; runs automatically from panic/fatal/terminate.
+ */
+void flushTelemetry() noexcept;
 
 } // namespace winomc
 
@@ -61,6 +91,11 @@ int logLevel();
 /** Normal status message. */
 #define winomc_inform(...)                                                   \
     ::winomc::detail::informImpl(                                            \
+        ::winomc::detail::concatMessage(__VA_ARGS__))
+
+/** Development chatter; needs WINOMC_LOG_LEVEL=debug. */
+#define winomc_debug(...)                                                    \
+    ::winomc::detail::debugImpl(                                             \
         ::winomc::detail::concatMessage(__VA_ARGS__))
 
 /** Assert an internal invariant; compiled in all build types. */

@@ -31,6 +31,18 @@ struct Value
     double minSec = 0.0;
     double maxSec = 0.0;
     std::shared_ptr<winomc::Histogram> hist; ///< Kind::Histogram only
+    std::uint64_t exemplarId = 0;            ///< Kind::Histogram only
+    double exemplarValue = 0.0;
+
+    void
+    takeExemplar(std::uint64_t id, double v)
+    {
+        // Keep the largest-valued exemplar: the outlier worth chasing.
+        if (id && (!exemplarId || v > exemplarValue)) {
+            exemplarId = id;
+            exemplarValue = v;
+        }
+    }
 
     void
     mergeHist(const winomc::Histogram &o)
@@ -61,6 +73,7 @@ struct Value
         totalSec += o.totalSec;
         if (o.hist)
             mergeHist(*o.hist);
+        takeExemplar(o.exemplarId, o.exemplarValue);
     }
 };
 
@@ -298,6 +311,12 @@ configuredPath()
 }
 
 void
+setConfiguredPath(const std::string &path)
+{
+    Registry::instance().path = path;
+}
+
+void
 counterAdd(const char *name, double v)
 {
     if (!enabled())
@@ -342,6 +361,13 @@ void
 histogramAdd(const char *name, double v, double lo, double hi,
              int buckets)
 {
+    histogramAddExemplar(name, v, lo, hi, buckets, 0);
+}
+
+void
+histogramAddExemplar(const char *name, double v, double lo, double hi,
+                     int buckets, std::uint64_t exemplarId)
+{
     if (!enabled())
         return;
     Shard &s = localShard();
@@ -355,6 +381,7 @@ histogramAdd(const char *name, double v, double lo, double hi,
     val.hist->add(v);
     val.value += v;
     ++val.count;
+    val.takeExemplar(exemplarId, v);
 }
 
 void
@@ -417,10 +444,45 @@ snapshot()
             s.p50 = v.hist->percentile(0.50);
             s.p90 = v.hist->percentile(0.90);
             s.p99 = v.hist->percentile(0.99);
+            s.hist = v.hist; // merged clone owned by this snapshot
         }
+        s.exemplarId = v.exemplarId;
+        s.exemplarValue = v.exemplarValue;
         out.push_back(std::move(s));
     }
     return out; // std::map iteration is already name-sorted
+}
+
+std::vector<Sample>
+snapshotDelta(DeltaBaseline &base)
+{
+    std::vector<Sample> cum = snapshot();
+    std::vector<Sample> out;
+    out.reserve(cum.size());
+    std::map<std::string, Sample> next;
+    for (Sample &s : cum) {
+        Sample d = s; // keeps percentiles/exemplar/hist cumulative
+        if (s.kind != Kind::Gauge) {
+            auto it = base.prev.find(s.name);
+            if (it != base.prev.end()) {
+                d.value -= it->second.value;
+                d.count -= it->second.count;
+                d.totalSec -= it->second.totalSec;
+            }
+        }
+        // The baseline only needs the differenced fields; drop the
+        // histogram payload so baselines stay small.
+        Sample b;
+        b.name = s.name;
+        b.kind = s.kind;
+        b.value = s.value;
+        b.count = s.count;
+        b.totalSec = s.totalSec;
+        next.emplace(b.name, std::move(b));
+        out.push_back(std::move(d));
+    }
+    base.prev = std::move(next);
+    return out;
 }
 
 void

@@ -29,6 +29,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -55,6 +57,16 @@ struct Sample
     double p50 = 0.0;
     double p90 = 0.0;
     double p99 = 0.0;
+    // Histograms only: the largest-valued exemplar recorded so far
+    // (id 0 = none). Serving attaches request trace ids here so a p99
+    // outlier in a scrape resolves to its span in the trace file.
+    std::uint64_t exemplarId = 0;
+    double exemplarValue = 0.0;
+    // Histograms only: the merged bucket payload backing this sample
+    // (never aliases registry state), so consumers like the
+    // Prometheus exposition can render per-bucket counts. Null for
+    // other kinds and for samples re-parsed from a dump.
+    std::shared_ptr<const winomc::Histogram> hist;
 
     double mean() const { return count ? value / double(count) : 0.0; }
 };
@@ -72,6 +84,11 @@ void setEnabled(bool on);
 
 /** Path configured via WINOMC_METRICS, or "" when unset. */
 const std::string &configuredPath();
+
+/** Override the dump path programmatically (tests, crash handlers):
+ *  after this, dumpIfConfigured() — including the best-effort flush
+ *  on fatal/panic — writes to `path`. Does not arm the at-exit dump. */
+void setConfiguredPath(const std::string &path);
 
 /** Accumulate `v` into counter `name`. No-op when disabled. */
 void counterAdd(const char *name, double v = 1.0);
@@ -92,6 +109,17 @@ void timerAdd(const char *name, double seconds);
  */
 void histogramAdd(const char *name, double v, double lo, double hi,
                   int buckets = 32);
+
+/**
+ * histogramAdd carrying an exemplar: `exemplarId` is an opaque
+ * correlation id (a serve request's trace id). Each histogram keeps
+ * the exemplar of the LARGEST value recorded so far, so the surviving
+ * exemplar points at the worst outlier — the one a p99 investigation
+ * wants. Id 0 means "no exemplar" (plain histogramAdd).
+ */
+void histogramAddExemplar(const char *name, double v, double lo,
+                          double hi, int buckets,
+                          std::uint64_t exemplarId);
 
 /** Merge an externally accumulated histogram (e.g. a simulator's
  *  per-cycle occupancy distribution) into histogram metric `name`.
@@ -138,6 +166,31 @@ class RunScope
 
 /** Merged view of every metric recorded so far, sorted by name. */
 std::vector<Sample> snapshot();
+
+/**
+ * Cursor for snapshotDelta(): holds the cumulative totals the last
+ * delta was taken against. One baseline per consumer (the exposition
+ * publisher, an SLO window, a test) — they never interfere, because
+ * taking a delta reads the registry without mutating it.
+ */
+struct DeltaBaseline
+{
+    std::map<std::string, Sample> prev;
+};
+
+/**
+ * Snapshot, differenced against (and then advancing) `base`:
+ * counters/timers/histograms report value/count/totalSec accumulated
+ * since the previous call with this baseline; gauges pass through
+ * their latest value. Because every record lands in exactly one shard
+ * and totals are monotone, consecutive deltas telescope exactly — the
+ * sum of all deltas equals the plain snapshot, even under concurrent
+ * recording (each in-flight record lands in exactly one delta).
+ * Histogram percentiles/buckets/exemplars stay cumulative-to-date
+ * (bucket layouts cannot be subtracted); scrape-style consumers want
+ * the cumulative distribution anyway. Never resets the registry.
+ */
+std::vector<Sample> snapshotDelta(DeltaBaseline &base);
 
 /** Drop all recorded values (all shards). Recording state unchanged. */
 void reset();

@@ -1,0 +1,195 @@
+#include "common/perfcounters.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/metrics.hh"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace winomc::perf {
+
+namespace {
+
+/** 0 = unprobed, 1 = available, 2 = disabled. */
+std::atomic<int> gState{0};
+
+#if defined(__linux__)
+
+long
+perfEventOpen(perf_event_attr *attr, pid_t pid, int cpu, int group_fd,
+              unsigned long flags)
+{
+    return syscall(__NR_perf_event_open, attr, pid, cpu, group_fd,
+                   flags);
+}
+
+perf_event_attr
+makeAttr(std::uint32_t type, std::uint64_t config)
+{
+    perf_event_attr a;
+    std::memset(&a, 0, sizeof(a));
+    a.size = sizeof(a);
+    a.type = type;
+    a.config = config;
+    a.disabled = 0;       // count from open
+    a.exclude_kernel = 1; // user-mode work only (and fewer permission
+    a.exclude_hv = 1;     // hurdles under perf_event_paranoid >= 1)
+    return a;
+}
+
+/**
+ * The calling thread's counter file descriptors, opened on first
+ * read(). Each counter opens independently so a PMU lacking one event
+ * (commonly stalled-cycles-backend) still yields the others.
+ */
+struct ThreadCounters
+{
+    int fd[4] = {-1, -1, -1, -1};
+
+    ThreadCounters()
+    {
+        if (!available())
+            return;
+        const struct
+        {
+            std::uint32_t type;
+            std::uint64_t config;
+        } events[4] = {
+            {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+            {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+            {PERF_TYPE_HW_CACHE,
+             PERF_COUNT_HW_CACHE_LL |
+                 (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+                 (PERF_COUNT_HW_CACHE_RESULT_MISS << 16)},
+            {PERF_TYPE_HARDWARE,
+             PERF_COUNT_HW_STALLED_CYCLES_BACKEND},
+        };
+        for (int i = 0; i < 4; ++i) {
+            perf_event_attr a = makeAttr(events[i].type,
+                                         events[i].config);
+            fd[i] = int(perfEventOpen(&a, 0, -1, -1, 0));
+        }
+    }
+
+    ~ThreadCounters()
+    {
+        for (int f : fd)
+            if (f >= 0)
+                close(f);
+    }
+
+    std::uint64_t
+    value(int i) const
+    {
+        if (fd[i] < 0)
+            return 0;
+        std::uint64_t v = 0;
+        if (::read(fd[i], &v, sizeof(v)) != ssize_t(sizeof(v)))
+            return 0;
+        return v;
+    }
+};
+
+ThreadCounters &
+localCounters()
+{
+    thread_local ThreadCounters tc;
+    return tc;
+}
+
+bool
+probe()
+{
+    perf_event_attr a =
+        makeAttr(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+    long fd = perfEventOpen(&a, 0, -1, -1, 0);
+    if (fd < 0) {
+        winomc_warn("hardware perf counters unavailable (",
+                    "perf_event_open: ", std::strerror(errno),
+                    "); roofline hardware columns disabled");
+        return false;
+    }
+    close(int(fd));
+    return true;
+}
+
+#else // !__linux__
+
+bool
+probe()
+{
+    winomc_warn("hardware perf counters unavailable on this platform; "
+                "roofline hardware columns disabled");
+    return false;
+}
+
+#endif
+
+} // namespace
+
+bool
+available()
+{
+    int s = gState.load(std::memory_order_acquire);
+    if (s == 0) {
+        // Two racing probers agree: probe() is idempotent and both
+        // store the same verdict.
+        s = probe() ? 1 : 2;
+        gState.store(s, std::memory_order_release);
+        if (metrics::enabled())
+            metrics::gaugeSet("perf.available", s == 1 ? 1.0 : 0.0);
+    }
+    return s == 1;
+}
+
+void
+disable()
+{
+    gState.store(2, std::memory_order_release);
+}
+
+Reading
+read()
+{
+    Reading r;
+    if (!available())
+        return r;
+#if defined(__linux__)
+    ThreadCounters &tc = localCounters();
+    r.cycles = tc.value(0);
+    r.instructions = tc.value(1);
+    r.llcMisses = tc.value(2);
+    r.stalledBackend = tc.value(3);
+    r.valid = tc.fd[0] >= 0;
+#endif
+    return r;
+}
+
+void
+publishStage(const char *stage, const Reading &start)
+{
+    if (!metrics::enabled())
+        return;
+    const Reading d = read() - start;
+    if (!d.valid)
+        return;
+    std::string base = "perf.";
+    base += stage;
+    metrics::counterAdd((base + ".cycles").c_str(), double(d.cycles));
+    metrics::counterAdd((base + ".instructions").c_str(),
+                        double(d.instructions));
+    metrics::counterAdd((base + ".llc_misses").c_str(),
+                        double(d.llcMisses));
+    metrics::counterAdd((base + ".stalled_backend").c_str(),
+                        double(d.stalledBackend));
+}
+
+} // namespace winomc::perf

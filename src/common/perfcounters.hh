@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Hardware performance counters via perf_event_open.
+ *
+ * Wraps the four counters the roofline analysis needs — cycles,
+ * instructions, LLC load misses, stalled backend cycles — behind a
+ * per-thread, lazily opened counter set. The degradation ladder never
+ * crashes a run:
+ *
+ *  1. Non-Linux builds compile a stub: available() is false, every
+ *     Reading is invalid.
+ *  2. perf_event_open refused (seccomp, perf_event_paranoid, no PMU):
+ *     one warning, then permanently disabled for the process.
+ *  3. Individual counters the PMU lacks (stalled-cycles-backend is
+ *     often unimplemented) open as absent: their fields read 0 and the
+ *     per-counter valid mask says so.
+ *
+ * Counters measure the CALLING THREAD only (pid=0, user mode). The
+ * Winograd stage probes run on the thread that enters the stage, so
+ * under a multi-threaded pool the counts cover that thread's share of
+ * the work — cycles/instruction ratios and bytes/cycle stay
+ * meaningful; absolute totals scale with 1/threads. DESIGN.md §4.13
+ * discusses the trade-off.
+ *
+ * Usage: take a Reading before a region, publish the delta after:
+ *
+ *     perf::Reading r0 = perf::read();
+ *     ... hot region ...
+ *     perf::publishStage("wino.staged.fwd", r0);   // perf.<stage>.*
+ */
+
+#ifndef WINOMC_COMMON_PERFCOUNTERS_HH
+#define WINOMC_COMMON_PERFCOUNTERS_HH
+
+#include <cstdint>
+
+namespace winomc::perf {
+
+/** One cumulative (or differenced) counter reading. */
+struct Reading
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t llcMisses = 0;
+    std::uint64_t stalledBackend = 0;
+    bool valid = false; ///< false: counters unavailable, fields are 0
+
+    Reading
+    operator-(const Reading &o) const
+    {
+        Reading d;
+        d.valid = valid && o.valid;
+        if (d.valid) {
+            d.cycles = cycles - o.cycles;
+            d.instructions = instructions - o.instructions;
+            d.llcMisses = llcMisses - o.llcMisses;
+            d.stalledBackend = stalledBackend - o.stalledBackend;
+        }
+        return d;
+    }
+};
+
+/**
+ * True when hardware counters work on this host. The first call
+ * probes (opening a cycles counter); a refusal warns once and latches
+ * false for the process.
+ */
+bool available();
+
+/** Force-disable (tests exercising the degraded path). Irreversible
+ *  within the process, like a real probe failure. */
+void disable();
+
+/** Cumulative counters of the calling thread since its first read().
+ *  Invalid (all zeros) when unavailable. */
+Reading read();
+
+/**
+ * Publish `read() - start` under metrics counters
+ * perf.<stage>.{cycles,instructions,llc_misses,stalled_backend}.
+ * No-op when metrics are disabled or the delta is invalid, so probes
+ * cost one relaxed load on the disabled path.
+ */
+void publishStage(const char *stage, const Reading &start);
+
+/** Typical LLC line size, for bytes/cycle estimates. */
+constexpr std::uint64_t kCacheLineBytes = 64;
+
+} // namespace winomc::perf
+
+#endif // WINOMC_COMMON_PERFCOUNTERS_HH

@@ -25,6 +25,7 @@ struct Event
     int pid = kHostPid;
     int tid = 0;
     bool metadata = false; ///< process_name record instead of a span
+    std::vector<SpanArg> args; ///< optional span arguments
 };
 
 /** Per-thread event buffer; same locking discipline as the metrics
@@ -152,6 +153,12 @@ configuredPath()
     return Recorder::instance().path;
 }
 
+void
+setConfiguredPath(const std::string &path)
+{
+    Recorder::instance().path = path;
+}
+
 double
 nowUs()
 {
@@ -182,6 +189,23 @@ emitComplete(const char *name, const char *cat, double ts_us,
     ev.durUs = dur_us;
     ev.pid = kHostPid;
     ev.tid = currentTid();
+    append(std::move(ev));
+}
+
+void
+emitCompleteArgs(const char *name, const char *cat, double ts_us,
+                 double dur_us, std::vector<SpanArg> args)
+{
+    if (!enabled())
+        return;
+    Event ev;
+    ev.name = name;
+    ev.cat = cat;
+    ev.tsUs = ts_us;
+    ev.durUs = dur_us;
+    ev.pid = kHostPid;
+    ev.tid = currentTid();
+    ev.args = std::move(args);
     append(std::move(ev));
 }
 
@@ -272,7 +296,17 @@ toJson()
                 << "\"cat\": \"" << escape(ev.cat) << "\", "
                 << "\"ph\": \"X\", \"ts\": " << ev.tsUs
                 << ", \"dur\": " << ev.durUs << ", \"pid\": " << ev.pid
-                << ", \"tid\": " << ev.tid << "}";
+                << ", \"tid\": " << ev.tid;
+            if (!ev.args.empty()) {
+                oss << ", \"args\": {";
+                for (std::size_t i = 0; i < ev.args.size(); ++i) {
+                    oss << (i ? ", " : "") << "\""
+                        << escape(ev.args[i].key) << "\": \""
+                        << escape(ev.args[i].value) << "\"";
+                }
+                oss << "}";
+            }
+            oss << "}";
         }
     }
     oss << "\n], \"displayTimeUnit\": \"ms\"}\n";

@@ -27,6 +27,7 @@
 #include <atomic>
 #include <chrono>
 #include <string>
+#include <vector>
 
 #include "common/metrics.hh"
 
@@ -49,6 +50,12 @@ void setEnabled(bool on);
 /** Path configured via WINOMC_TRACE, or "" when unset. */
 const std::string &configuredPath();
 
+/** Override the flush path programmatically (tests, crash handlers):
+ *  after this, flushIfConfigured() — including the best-effort flush
+ *  on fatal/panic — writes to `path`. Does not arm the at-exit
+ *  flush. */
+void setConfiguredPath(const std::string &path);
+
 /** Microseconds of wall clock since process start. */
 double nowUs();
 
@@ -58,6 +65,26 @@ int currentTid();
 /** Record a completed host span [ts_us, ts_us + dur_us). */
 void emitComplete(const char *name, const char *cat, double ts_us,
                   double dur_us);
+
+/**
+ * One "key": "value" argument attached to a span (rendered into the
+ * Chrome-trace "args" object, shown in the Perfetto details pane).
+ * Values are emitted as JSON strings; keep keys plain identifiers.
+ */
+struct SpanArg
+{
+    std::string key;
+    std::string value;
+};
+
+/**
+ * Record a completed host span carrying args — the distributed-
+ * tracing primitive: serving emits per-request spans whose
+ * {"trace_id": "<id>"} arg links them to batch spans and to the
+ * latency histogram's exemplars.
+ */
+void emitCompleteArgs(const char *name, const char *cat, double ts_us,
+                      double dur_us, std::vector<SpanArg> args);
 
 /** Record a completed span on an arbitrary (pid, tid) timeline —
  *  virtual time is fine; simulators pick their own pid. */

@@ -32,6 +32,11 @@ struct Request
     Tensor x;                  ///< input image [1, C, H, W]
     std::promise<Tensor> done; ///< fulfilled with the output [1, K, H, W]
     std::chrono::steady_clock::time_point enqueued;
+    /** Trace id minted by Engine::submit (0 = untracked). Propagated
+     *  through the queue to the dispatched batch, where it names the
+     *  request's "serve.request" span and the latency histogram's
+     *  exemplar — the correlation key of the telemetry plane. */
+    std::uint64_t id = 0;
 };
 
 /**

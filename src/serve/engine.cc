@@ -1,10 +1,13 @@
 #include "serve/engine.hh"
 
 #include <algorithm>
+#include <string>
 
 #include "common/env.hh"
+#include "common/exposition.hh"
 #include "common/logging.hh"
 #include "common/metrics.hh"
+#include "common/trace.hh"
 #include "nn/conv_layer.hh"
 
 namespace winomc::serve {
@@ -65,6 +68,10 @@ Engine::Engine(nn::Module &model_, const EngineConfig &cfg)
                               : std::size_t(4) * std::size_t(maxB))
 {
     attachPlanSource(model, cache);
+    // A long-lived service is the natural scrape target: bring up the
+    // WINOMC_STATS_PORT listener if configured (no-op otherwise, or
+    // when an earlier engine already owns it).
+    exposition::startFromEnv();
     // Eager registration: a metrics dump taken before the first
     // request still lists the serving distributions (empty -> "-").
     metrics::gaugeSet("serve.queue_depth", 0.0);
@@ -89,6 +96,7 @@ Engine::submit(Tensor image)
                   image.n());
     Request r;
     r.x = std::move(image);
+    r.id = nextId.fetch_add(1, std::memory_order_relaxed);
     r.enqueued = std::chrono::steady_clock::now();
     std::future<Tensor> fut = r.done.get_future();
     metrics::counterAdd("serve.requests");
@@ -135,6 +143,11 @@ void
 Engine::dispatch(std::vector<Request> &batch)
 {
     const int n = int(batch.size());
+    const std::uint64_t seq = ++batchSeq; // batcher thread only
+    const bool tracing = trace::enabled();
+    const std::string seqStr = tracing ? std::to_string(seq) : "";
+    const double tBatch0 = tracing ? trace::nowUs() : 0.0;
+
     const Tensor &head = batch[0].x;
     const std::size_t img = std::size_t(head.c()) * head.h() * head.w();
     batchX.reshape(n, head.c(), head.h(), head.w());
@@ -142,26 +155,60 @@ Engine::dispatch(std::vector<Request> &batch)
         std::copy(batch[std::size_t(i)].x.data(),
                   batch[std::size_t(i)].x.data() + img,
                   batchX.data() + std::size_t(i) * img);
+    const double tAssembled = tracing ? trace::nowUs() : 0.0;
 
     Tensor y = model.forward(batchX, false);
+    const double tForward = tracing ? trace::nowUs() : 0.0;
 
     const std::size_t out = std::size_t(y.c()) * y.h() * y.w();
     const auto now = std::chrono::steady_clock::now();
+    const double nowUs = tracing ? trace::nowUs() : 0.0;
     for (int i = 0; i < n; ++i) {
         Request &r = batch[std::size_t(i)];
         Tensor yi(1, y.c(), y.h(), y.w());
         std::copy(y.data() + std::size_t(i) * out,
                   y.data() + std::size_t(i + 1) * out, yi.data());
-        if (metrics::enabled()) {
-            const double us =
-                std::chrono::duration<double, std::micro>(
-                    now - r.enqueued)
-                    .count();
-            metrics::histogramAdd("serve.latency_us", us, kLatencyLoUs,
-                                  kLatencyHiUs, kLatencyBuckets);
-        }
+        const double us = std::chrono::duration<double, std::micro>(
+                              now - r.enqueued)
+                              .count();
+        if (metrics::enabled())
+            metrics::histogramAddExemplar("serve.latency_us", us,
+                                          kLatencyLoUs, kLatencyHiUs,
+                                          kLatencyBuckets, r.id);
+        slo.observe(us);
+        if (tracing)
+            // Queue-to-demux span of this request, linked to the
+            // batch it rode in (and to scrape exemplars) by trace id.
+            trace::emitCompleteArgs(
+                "serve.request", "serve", nowUs - us, us,
+                {{"trace_id", std::to_string(r.id)},
+                 {"batch", seqStr}});
         r.done.set_value(std::move(yi));
     }
+    if (tracing) {
+        const double tDemuxed = trace::nowUs();
+        trace::emitCompleteArgs("serve.batch.assemble", "serve",
+                                tBatch0, tAssembled - tBatch0,
+                                {{"batch", seqStr}});
+        trace::emitCompleteArgs("serve.batch.forward", "serve",
+                                tAssembled, tForward - tAssembled,
+                                {{"batch", seqStr}});
+        trace::emitCompleteArgs("serve.batch.demux", "serve", tForward,
+                                tDemuxed - tForward,
+                                {{"batch", seqStr}});
+        std::string ids;
+        for (int i = 0; i < n; ++i) {
+            if (i)
+                ids += ",";
+            ids += std::to_string(batch[std::size_t(i)].id);
+        }
+        trace::emitCompleteArgs("serve.batch", "serve", tBatch0,
+                                tDemuxed - tBatch0,
+                                {{"batch", seqStr},
+                                 {"n", std::to_string(n)},
+                                 {"trace_ids", ids}});
+    }
+    slo.evaluate();
     nServed.fetch_add(std::uint64_t(n), std::memory_order_relaxed);
     metrics::counterAdd("serve.batches");
     metrics::histogramAdd("serve.batch_size", double(n), 0.0,

@@ -26,6 +26,15 @@
  * serve.latency_us (histograms, registered eagerly so a dump before
  * the first request still lists them), serve.requests / serve.batches
  * (counters).
+ *
+ * Telemetry plane: submit() mints a per-request trace id that rides
+ * the Request through the queue; dispatch emits a serve.batch span
+ * with assemble/forward/demux children and one serve.request span per
+ * request carrying {"trace_id": id}, attaches the id as the latency
+ * histogram's exemplar (so a p99 outlier in a scrape resolves to its
+ * span), and feeds every latency into the SloMonitor (serve/slo.hh).
+ * The constructor starts the WINOMC_STATS_PORT exposition listener
+ * when that knob is set (common/exposition.hh).
  */
 
 #ifndef WINOMC_SERVE_ENGINE_HH
@@ -40,6 +49,7 @@
 #include "nn/module.hh"
 #include "serve/batcher.hh"
 #include "serve/plan_cache.hh"
+#include "serve/slo.hh"
 
 namespace winomc::serve {
 
@@ -91,6 +101,9 @@ class Engine
     int maxBatch() const { return maxB; }
     long long maxDelayUs() const { return delayUs; }
     PlanCache &planCache() { return *cache; }
+    /** Latency SLO monitor (observed by the batcher thread; read it
+     *  for burn rates / alert state). */
+    SloMonitor &sloMonitor() { return slo; }
     /** Requests served (completed, not merely submitted). */
     std::uint64_t served() const
     {
@@ -109,6 +122,9 @@ class Engine
     RequestQueue queue;
     Tensor batchX; ///< persistent batch-assembly slab
     std::atomic<std::uint64_t> nServed{0};
+    std::atomic<std::uint64_t> nextId{1}; ///< trace id mint (submit)
+    std::uint64_t batchSeq = 0;           ///< batcher thread only
+    SloMonitor slo;
     bool stopped = false;
     std::thread worker; ///< last member: starts after everything above
 };

@@ -1,0 +1,173 @@
+#include "serve/slo.hh"
+
+#include <algorithm>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+#include "common/metrics.hh"
+
+namespace winomc::serve {
+
+namespace {
+
+constexpr long long kObjectiveCeilingUs = 3'600'000'000; // one hour
+constexpr double kDefaultObjectiveUs = 50'000.0;         // 50 ms
+constexpr int kLongWindowCeilingSec = 3600;
+
+} // namespace
+
+SloConfig
+resolveSloConfig(SloConfig cfg)
+{
+    if (cfg.latencyObjectiveUs <= 0.0)
+        cfg.latencyObjectiveUs = double(
+            env::envPositiveInt("WINOMC_SLO_LATENCY_US",
+                                kObjectiveCeilingUs,
+                                (long long)kDefaultObjectiveUs));
+    cfg.targetFraction = std::clamp(cfg.targetFraction, 0.0, 0.9999999);
+    cfg.shortWindowSec = std::max(1, cfg.shortWindowSec);
+    cfg.longWindowSec =
+        std::clamp(cfg.longWindowSec, cfg.shortWindowSec,
+                   kLongWindowCeilingSec);
+    return cfg;
+}
+
+SloMonitor::SloMonitor(const SloConfig &config)
+    : cfg(resolveSloConfig(config)),
+      ring(std::size_t(cfg.longWindowSec)),
+      epoch(std::chrono::steady_clock::now())
+{
+    if (metrics::enabled())
+        metrics::gaugeSet("slo.objective_us", cfg.latencyObjectiveUs);
+}
+
+double
+SloMonitor::nowSec() const
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - epoch)
+        .count();
+}
+
+void
+SloMonitor::advanceTo(long long sec)
+{
+    if (sec <= curSec)
+        return; // same second, or out-of-order timestamp: fold into now
+    const long long gap = sec - curSec;
+    if (gap >= (long long)ring.size()) {
+        std::fill(ring.begin(), ring.end(), Bucket{});
+    } else {
+        for (long long s = curSec + 1; s <= sec; ++s)
+            ring[std::size_t(s % (long long)ring.size())] = Bucket{};
+    }
+    curSec = sec;
+}
+
+void
+SloMonitor::observe(double latencyUs)
+{
+    observeAt(latencyUs, nowSec());
+}
+
+void
+SloMonitor::observeAt(double latencyUs, double tSec)
+{
+    std::lock_guard<std::mutex> lk(mu);
+    advanceTo((long long)tSec);
+    Bucket &b = ring[std::size_t(curSec % (long long)ring.size())];
+    b.total += 1;
+    nObserved += 1;
+    if (latencyUs > cfg.latencyObjectiveUs) {
+        b.violations += 1;
+        nViolations += 1;
+        if (metrics::enabled())
+            metrics::counterAdd("slo.violations");
+    }
+}
+
+double
+SloMonitor::burnRateLocked(int windowSec) const
+{
+    const int w = std::min(windowSec, int(ring.size()));
+    const long long size = (long long)ring.size();
+    std::uint64_t total = 0, bad = 0;
+    for (int i = 0; i < w; ++i) {
+        const long long s = curSec - i;
+        if (s < 0)
+            break; // before monitor start: no such seconds
+        const Bucket &b = ring[std::size_t(s % size)];
+        total += b.total;
+        bad += b.violations;
+    }
+    if (total == 0)
+        return 0.0;
+    const double budget = 1.0 - cfg.targetFraction;
+    return (double(bad) / double(total)) / budget;
+}
+
+double
+SloMonitor::burnRate(int windowSec) const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return burnRateLocked(windowSec);
+}
+
+bool
+SloMonitor::evaluate()
+{
+    return evaluateAt(nowSec());
+}
+
+bool
+SloMonitor::evaluateAt(double tSec)
+{
+    std::lock_guard<std::mutex> lk(mu);
+    advanceTo((long long)tSec);
+    const double burnShort = burnRateLocked(cfg.shortWindowSec);
+    const double burnLong = burnRateLocked(cfg.longWindowSec);
+    const bool fire = burnShort >= cfg.burnThreshold &&
+                      burnLong >= cfg.burnThreshold;
+    if (fire != alertActive) {
+        alertActive = fire;
+        if (fire)
+            winomc_warn("slo: burn-rate alert firing objective_us=",
+                        cfg.latencyObjectiveUs,
+                        " burn_short=", burnShort,
+                        " burn_long=", burnLong,
+                        " threshold=", cfg.burnThreshold);
+        else
+            winomc_inform("slo: burn-rate alert cleared "
+                          "burn_short=", burnShort,
+                          " burn_long=", burnLong);
+    }
+    if (metrics::enabled()) {
+        metrics::gaugeSet("slo.burn_rate_short", burnShort);
+        metrics::gaugeSet("slo.burn_rate_long", burnLong);
+        metrics::gaugeSet("slo.alert_active", fire ? 1.0 : 0.0);
+    }
+    return fire;
+}
+
+bool
+SloMonitor::alerting() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return alertActive;
+}
+
+std::uint64_t
+SloMonitor::observed() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return nObserved;
+}
+
+std::uint64_t
+SloMonitor::violations() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return nViolations;
+}
+
+} // namespace winomc::serve

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * SLO monitoring for the serving engine: sliding-window latency
+ * objectives with multi-window burn-rate alerting.
+ *
+ * The objective is availability-style: "at least `targetFraction` of
+ * requests finish within `latencyObjectiveUs`". The error budget is
+ * the complement (0.999 -> 0.1% of requests may violate). The burn
+ * rate over a window is
+ *
+ *     burn = violation_fraction_in_window / (1 - targetFraction)
+ *
+ * i.e. how many times faster than "exactly on budget" the service is
+ * consuming its error budget (burn 1.0 = spending the budget exactly
+ * at the sustainable rate; burn 10 = the budget for the whole period
+ * gone in a tenth of it). Alerting follows the multi-window rule: the
+ * alert FIRES only when BOTH the short and the long window burn above
+ * `burnThreshold` — the long window proves the problem is sustained
+ * (no paging on a single slow batch), the short window proves it is
+ * still happening (the alert clears promptly after recovery).
+ *
+ * Mechanics: per-second ring buckets of {total, violations} counts,
+ * sized to the long window, advanced lazily by observation/evaluation
+ * timestamps. Everything is driven by the caller's clock, so tests
+ * inject virtual seconds (observeAt/evaluateAt) and get deterministic
+ * transitions; the engine's batcher thread uses the steady-clock
+ * variants.
+ *
+ * Knob: WINOMC_SLO_LATENCY_US overrides the objective latency
+ * (env.hh discipline). Published metrics: slo.objective_us,
+ * slo.burn_rate_short, slo.burn_rate_long, slo.alert_active (gauges),
+ * slo.violations (counter). Alert transitions additionally emit
+ * structured log lines ("slo: burn-rate alert firing/cleared ...").
+ */
+
+#ifndef WINOMC_SERVE_SLO_HH
+#define WINOMC_SERVE_SLO_HH
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace winomc::serve {
+
+struct SloConfig
+{
+    /** Latency objective in us; 0 reads WINOMC_SLO_LATENCY_US
+     *  (default 50000 = 50 ms). */
+    double latencyObjectiveUs = 0.0;
+    /** Fraction of requests that must meet the objective. */
+    double targetFraction = 0.999;
+    /** Fast "is it still happening" window, seconds. */
+    int shortWindowSec = 60;
+    /** Slow "is it sustained" window, seconds (ring size; capped at
+     *  one hour). */
+    int longWindowSec = 600;
+    /** Both windows must burn at or above this to fire. */
+    double burnThreshold = 2.0;
+};
+
+/** `cfg` with latencyObjectiveUs resolved against the env knob. */
+SloConfig resolveSloConfig(SloConfig cfg = {});
+
+class SloMonitor
+{
+  public:
+    explicit SloMonitor(const SloConfig &cfg = {});
+
+    /** Record one served request's latency (steady clock). */
+    void observe(double latencyUs);
+    /** Same, at virtual time `tSec` (monotone across calls). */
+    void observeAt(double latencyUs, double tSec);
+
+    /** Recompute burn rates, publish the slo.* gauges, log alert
+     *  transitions. Returns whether the alert is active. The engine
+     *  calls this once per dispatched batch. */
+    bool evaluate();
+    bool evaluateAt(double tSec);
+
+    /** Burn rate over the trailing `windowSec` seconds at the last
+     *  advanced time (1.0 = consuming the error budget exactly on
+     *  schedule; 0 when the window saw no requests). */
+    double burnRate(int windowSec) const;
+
+    bool alerting() const;
+    std::uint64_t observed() const;
+    std::uint64_t violations() const;
+    const SloConfig &config() const { return cfg; }
+
+  private:
+    struct Bucket
+    {
+        std::uint64_t total = 0;
+        std::uint64_t violations = 0;
+    };
+
+    double nowSec() const;
+    void advanceTo(long long sec); ///< callers hold mu
+    double burnRateLocked(int windowSec) const;
+
+    SloConfig cfg;
+    mutable std::mutex mu;
+    std::vector<Bucket> ring; ///< one bucket per second, longWindowSec
+    long long curSec = 0;     ///< bucket the ring head points at
+    bool alertActive = false;
+    std::uint64_t nObserved = 0;
+    std::uint64_t nViolations = 0;
+    std::chrono::steady_clock::time_point epoch;
+};
+
+} // namespace winomc::serve
+
+#endif // WINOMC_SERVE_SLO_HH

@@ -7,6 +7,7 @@
 
 #include "common/metrics.hh"
 #include "common/parallel.hh"
+#include "common/perfcounters.hh"
 #include "common/trace.hh"
 #include "winograd/microkernel.hh"
 #include "winograd/plan.hh"
@@ -82,8 +83,10 @@ class StageTimer
     StageTimer(const char *stage, double flops)
         : stage(stage), flops(flops), active(metrics::enabled())
     {
-        if (active)
+        if (active) {
             start = std::chrono::steady_clock::now();
+            perf0 = perf::read();
+        }
     }
     ~StageTimer()
     {
@@ -91,6 +94,10 @@ class StageTimer
             std::chrono::duration<double> d =
                 std::chrono::steady_clock::now() - start;
             mk::publishStageMetrics(stage, d.count(), flops);
+            // This thread's hardware-counter share of the stage
+            // (perf.<stage>.*); joins kernel.<stage>.{seconds,flops}
+            // in the winomc-report roofline.
+            perf::publishStage(stage, perf0);
         }
     }
     StageTimer(const StageTimer &) = delete;
@@ -101,6 +108,7 @@ class StageTimer
     double flops;
     bool active;
     std::chrono::steady_clock::time_point start;
+    perf::Reading perf0;
 };
 
 } // namespace

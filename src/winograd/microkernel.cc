@@ -192,11 +192,16 @@ publishStageMetrics(const char *stage, double seconds, double flops)
         return;
     const MicroKernels &k = kernels();
     metrics::gaugeSet("kernel.isa.level", double(int(k.isa)));
-    std::string name = "kernel.";
-    name += stage;
-    name += ".gflops";
-    metrics::gaugeSet(name.c_str(),
+    std::string base = "kernel.";
+    base += stage;
+    metrics::gaugeSet((base + ".gflops").c_str(),
                       seconds > 0.0 ? flops / seconds * 1e-9 : 0.0);
+    // Cumulative time and work per stage: together with the
+    // perf.<stage>.* hardware counters these are the inputs of the
+    // winomc-report roofline table (GFLOP/s from flops/seconds, IPC
+    // and bytes/cycle from the perf counters).
+    metrics::timerAdd((base + ".seconds").c_str(), seconds);
+    metrics::counterAdd((base + ".flops").c_str(), flops);
     metrics::timerAdd(k.isa == Isa::Scalar ? "kernel.time.scalar"
                                            : "kernel.time.vector",
                       seconds);

@@ -9,6 +9,7 @@
 
 #include "common/metrics.hh"
 #include "common/parallel.hh"
+#include "common/perfcounters.hh"
 #include "common/trace.hh"
 #include "winograd/conv.hh"
 #include "winograd/cost.hh"
@@ -44,8 +45,10 @@ class FusedTimer
     FusedTimer(const char *stage, double flops)
         : stage(stage), flops(flops), active(metrics::enabled())
     {
-        if (active)
+        if (active) {
             start = std::chrono::steady_clock::now();
+            perf0 = perf::read();
+        }
     }
     ~FusedTimer()
     {
@@ -53,6 +56,7 @@ class FusedTimer
             std::chrono::duration<double> d =
                 std::chrono::steady_clock::now() - start;
             mk::publishStageMetrics(stage, d.count(), flops);
+            perf::publishStage(stage, perf0);
         }
     }
     FusedTimer(const FusedTimer &) = delete;
@@ -63,6 +67,7 @@ class FusedTimer
     double flops;
     bool active;
     std::chrono::steady_clock::time_point start;
+    perf::Reading perf0;
 };
 
 } // namespace

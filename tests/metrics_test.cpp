@@ -9,11 +9,15 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/metrics.hh"
 #include "common/metrics_io.hh"
@@ -460,6 +464,121 @@ TEST_F(ObservabilityTest, DisabledTraceRecordsNothing)
     trace::setEnabled(true);
     const std::string json = trace::toJson();
     EXPECT_EQ(json.find("t.invisible"), std::string::npos);
+}
+
+// ---------------------------------------------------- Snapshot deltas
+
+TEST_F(ObservabilityTest, SnapshotDeltaTelescopesExactlyUnderConcurrentAdds)
+{
+    // Scrape-while-recording: 8 producer threads hammer one counter,
+    // one timer, and one histogram while the main thread takes deltas
+    // against a private baseline. Every record lands in exactly one
+    // shard and totals are monotone, so the deltas must telescope
+    // EXACTLY — summed deltas equal the plain snapshot, nothing lost
+    // or double-counted at shard boundaries.
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 4000;
+    metrics::DeltaBaseline base;
+    std::atomic<int> running{kThreads};
+    std::vector<std::thread> producers;
+    for (int t = 0; t < kThreads; ++t)
+        producers.emplace_back([&running] {
+            for (int i = 0; i < kPerThread; ++i) {
+                metrics::counterAdd("d.count", 1.0);
+                metrics::timerAdd("d.timer", 0.001);
+                metrics::histogramAdd("d.hist", double(i % 100), 0.0,
+                                      100.0, 100);
+            }
+            running.fetch_sub(1, std::memory_order_release);
+        });
+
+    double countSum = 0.0;
+    std::uint64_t countEvents = 0;
+    double timerSec = 0.0;
+    std::uint64_t histEvents = 0;
+    auto accumulate = [&] {
+        for (const auto &s : metrics::snapshotDelta(base)) {
+            if (s.name == "d.count") {
+                countSum += s.value;
+                countEvents += s.count;
+            } else if (s.name == "d.timer") {
+                timerSec += s.totalSec;
+            } else if (s.name == "d.hist") {
+                histEvents += s.count;
+            }
+        }
+    };
+    while (running.load(std::memory_order_acquire) > 0)
+        accumulate(); // mid-flight deltas race with the adds
+    for (auto &p : producers)
+        p.join();
+    accumulate(); // final delta picks up the remainder
+
+    const double expected = double(kThreads) * kPerThread;
+    EXPECT_DOUBLE_EQ(countSum, expected);
+    EXPECT_EQ(countEvents, std::uint64_t(expected));
+    EXPECT_EQ(histEvents, std::uint64_t(expected));
+    EXPECT_NEAR(timerSec, expected * 0.001, 1e-9 * expected);
+
+    // The registry itself was never reset by the scrapes.
+    const auto snap = metrics::snapshot();
+    const auto *c = find(snap, "d.count");
+    ASSERT_NE(c, nullptr);
+    EXPECT_DOUBLE_EQ(c->value, expected);
+}
+
+TEST_F(ObservabilityTest, SnapshotDeltaPassesGaugesThrough)
+{
+    metrics::DeltaBaseline base;
+    metrics::gaugeSet("d.gauge", 5.0);
+    auto d1 = metrics::snapshotDelta(base);
+    const auto *g1 = find(d1, "d.gauge");
+    ASSERT_NE(g1, nullptr);
+    EXPECT_DOUBLE_EQ(g1->value, 5.0);
+    // Gauges are last-write-wins state, not accumulation: the second
+    // delta reports the current value again, not zero.
+    auto d2 = metrics::snapshotDelta(base);
+    const auto *g2 = find(d2, "d.gauge");
+    ASSERT_NE(g2, nullptr);
+    EXPECT_DOUBLE_EQ(g2->value, 5.0);
+}
+
+// ---------------------------------------------------- Exemplars
+
+TEST_F(ObservabilityTest, HistogramKeepsLargestValuedExemplar)
+{
+    metrics::histogramAddExemplar("e.hist", 5.0, 0.0, 10.0, 10, 101);
+    metrics::histogramAddExemplar("e.hist", 9.0, 0.0, 10.0, 10, 202);
+    metrics::histogramAddExemplar("e.hist", 3.0, 0.0, 10.0, 10, 303);
+    const auto snap = metrics::snapshot();
+    const auto *h = find(snap, "e.hist");
+    ASSERT_NE(h, nullptr);
+    // The worst outlier survives: that is the sample a p99
+    // investigation wants to resolve to a trace span.
+    EXPECT_EQ(h->exemplarId, std::uint64_t(202));
+    EXPECT_DOUBLE_EQ(h->exemplarValue, 9.0);
+    // Id 0 marks "no exemplar" and never displaces a real one.
+    metrics::histogramAdd("e.hist", 9.9, 0.0, 10.0, 10);
+    const auto snap2 = metrics::snapshot();
+    const auto *h2 = find(snap2, "e.hist");
+    ASSERT_NE(h2, nullptr);
+    EXPECT_EQ(h2->exemplarId, std::uint64_t(202));
+}
+
+TEST_F(ObservabilityTest, SnapshotCarriesHistogramBucketPayload)
+{
+    for (int i = 0; i < 10; ++i)
+        metrics::histogramAdd("b.hist", double(i), 0.0, 10.0, 10);
+    const auto snap = metrics::snapshot();
+    const auto *h = find(snap, "b.hist");
+    ASSERT_NE(h, nullptr);
+    ASSERT_NE(h->hist, nullptr);
+    EXPECT_EQ(h->hist->count(), std::uint64_t(10));
+    std::uint64_t inBuckets = 0;
+    for (int b = 0; b < h->hist->buckets(); ++b)
+        inBuckets += h->hist->bucketCount(b);
+    EXPECT_EQ(inBuckets + h->hist->underflow() + h->hist->overflow(),
+              std::uint64_t(10));
 }
 
 } // namespace

@@ -1,0 +1,399 @@
+/**
+ * @file
+ * Telemetry-plane tests: the Prometheus exposition endpoint (name
+ * escaping, histogram bucket/exemplar rendering, NaN percentiles, a
+ * live HTTP round trip with monotone scrape counters, bind-failure
+ * fallback), the perf_event_open degradation ladder, WINOMC_LOG_LEVEL
+ * parsing, and the flush-telemetry-on-fatal contract (death tests
+ * asserting the partially-written trace file is valid JSON and the
+ * metrics dump parses back).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/exposition.hh"
+#include "common/logging.hh"
+#include "common/metrics.hh"
+#include "common/metrics_io.hh"
+#include "common/perfcounters.hh"
+#include "common/stats.hh"
+#include "common/trace.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace winomc {
+namespace {
+
+/** Enables metrics for one test and restores/clears after. */
+class ExpositionTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        wasMetrics = metrics::enabled();
+        metrics::setEnabled(true);
+        metrics::reset();
+    }
+
+    void
+    TearDown() override
+    {
+        exposition::stop();
+        metrics::reset();
+        metrics::setEnabled(wasMetrics);
+    }
+
+    bool wasMetrics = false;
+};
+
+const metrics::Sample *
+find(const std::vector<metrics::Sample> &snap, const std::string &name)
+{
+    for (const auto &s : snap)
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+/** Blocking HTTP GET against 127.0.0.1:port; returns the full
+ *  response (headers + body), or "" on any socket failure. */
+std::string
+httpGet(int port)
+{
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return "";
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(std::uint16_t(port));
+    if (connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                sizeof(addr)) != 0) {
+        close(fd);
+        return "";
+    }
+    const char req[] = "GET /metrics HTTP/1.1\r\n"
+                       "Host: localhost\r\nConnection: close\r\n\r\n";
+    (void)send(fd, req, sizeof(req) - 1, 0);
+    std::string resp;
+    char buf[4096];
+    ssize_t n;
+    while ((n = recv(fd, buf, sizeof(buf), 0)) > 0)
+        resp.append(buf, std::size_t(n));
+    close(fd);
+    return resp;
+}
+
+/**
+ * Minimal structural JSON check: quotes/escapes tracked, braces and
+ * brackets balanced and properly nested, document is one object. Not
+ * a grammar validator — but it rejects exactly the failure mode a
+ * crash-time flush risks (a truncated or interleaved write).
+ */
+bool
+structurallyValidJson(const std::string &s)
+{
+    std::vector<char> stack;
+    bool inStr = false, esc = false;
+    char first = 0, last = 0;
+    for (char c : s) {
+        if (inStr) {
+            if (esc)
+                esc = false;
+            else if (c == '\\')
+                esc = true;
+            else if (c == '"')
+                inStr = false;
+            continue;
+        }
+        if (!std::isspace(static_cast<unsigned char>(c))) {
+            if (!first)
+                first = c;
+            last = c;
+        }
+        if (c == '"') {
+            inStr = true;
+        } else if (c == '{' || c == '[') {
+            stack.push_back(c);
+        } else if (c == '}' || c == ']') {
+            if (stack.empty() ||
+                stack.back() != (c == '}' ? '{' : '['))
+                return false;
+            stack.pop_back();
+        }
+    }
+    return !inStr && stack.empty() && first == '{' && last == '}';
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+// ------------------------------------------------- Text format
+
+TEST(PromName, EscapesToMetricCharset)
+{
+    EXPECT_EQ(exposition::promName("serve.latency_us"),
+              "serve_latency_us");
+    EXPECT_EQ(exposition::promName("a-b/c d"), "a_b_c_d");
+    EXPECT_EQ(exposition::promName("run:scope"), "run:scope");
+    EXPECT_EQ(exposition::promName("9lives"), "_9lives");
+    EXPECT_EQ(exposition::promName(""), "_");
+}
+
+TEST_F(ExpositionTest, RenderTextCoversEveryKind)
+{
+    metrics::counterAdd("obs.count", 3.0);
+    metrics::gaugeSet("obs.gauge", -2.5);
+    metrics::timerAdd("obs.timer", 0.25);
+    metrics::timerAdd("obs.timer", 0.75);
+    const std::string text =
+        exposition::renderText(metrics::snapshot());
+    EXPECT_NE(text.find("# TYPE obs_count counter\nobs_count 3\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE obs_gauge gauge\nobs_gauge -2.5\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE obs_timer summary\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("obs_timer_count 2\n"), std::string::npos);
+    EXPECT_NE(text.find("obs_timer_sum 1\n"), std::string::npos);
+}
+
+TEST_F(ExpositionTest, HistogramRendersCumulativeBucketsAndExemplar)
+{
+    metrics::histogramAddExemplar("lat", 5.0, 0.0, 10.0, 10, 7);
+    metrics::histogramAddExemplar("lat", 9.5, 0.0, 10.0, 10, 42);
+    const std::string text =
+        exposition::renderText(metrics::snapshot());
+    EXPECT_NE(text.find("# TYPE lat histogram\n"), std::string::npos);
+    // Buckets are cumulative: 5.0 lands in [5,6) so le="5" still sees
+    // zero, le="6" sees one, and the top edge sees both.
+    EXPECT_NE(text.find("lat_bucket{le=\"5\"} 0\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("lat_bucket{le=\"6\"} 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("lat_bucket{le=\"+Inf\"} 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("lat_sum 14.5\n"), std::string::npos);
+    EXPECT_NE(text.find("lat_count 2\n"), std::string::npos);
+    // The surviving exemplar is the largest value (9.5, id 42),
+    // attached to the first bucket containing it.
+    EXPECT_NE(
+        text.find("lat_bucket{le=\"10\"} 2 # {trace_id=\"42\"} 9.5\n"),
+        std::string::npos);
+    EXPECT_EQ(text.find("trace_id=\"7\""), std::string::npos);
+}
+
+TEST_F(ExpositionTest, EmptyHistogramPercentilesRenderNaNNotDash)
+{
+    metrics::histogramRegister("empty.lat", 0.0, 100.0, 4);
+    const std::string text =
+        exposition::renderText(metrics::snapshot());
+    EXPECT_NE(text.find("empty_lat_p50 NaN\n"), std::string::npos);
+    EXPECT_NE(text.find("empty_lat_p99 NaN\n"), std::string::npos);
+    EXPECT_NE(text.find("empty_lat_count 0\n"), std::string::npos);
+    // "-" is the metrics-dump spelling for NaN; it must never leak
+    // into the exposition body (Prometheus would reject the scrape).
+    EXPECT_EQ(text.find(" -\n"), std::string::npos);
+}
+
+// ------------------------------------------------- Live endpoint
+
+TEST_F(ExpositionTest, ServesMonotoneScrapesOverHttp)
+{
+    metrics::counterAdd("obs.live", 5.0);
+    const int port = exposition::start(0); // ephemeral
+    ASSERT_GT(port, 0);
+    EXPECT_TRUE(exposition::running());
+    EXPECT_EQ(exposition::port(), port);
+
+    const std::string resp1 = httpGet(port);
+    ASSERT_NE(resp1.find("HTTP/1.1 200 OK"), std::string::npos);
+    ASSERT_NE(resp1.find("text/plain; version=0.0.4"),
+              std::string::npos);
+    EXPECT_NE(resp1.find("obs_live 5\n"), std::string::npos);
+
+    // Scrapes are reads: counters keep their cumulative totals, and
+    // a second scrape observes strictly more scrape traffic.
+    metrics::counterAdd("obs.live", 2.0);
+    const std::string resp2 = httpGet(port);
+    EXPECT_NE(resp2.find("obs_live 7\n"), std::string::npos);
+    EXPECT_NE(resp2.find("exposition_scrapes 2\n"),
+              std::string::npos);
+
+    // A second listener cannot start while one is running.
+    EXPECT_EQ(exposition::start(0), -1);
+
+    exposition::stop();
+    EXPECT_FALSE(exposition::running());
+    EXPECT_EQ(exposition::port(), -1);
+}
+
+TEST_F(ExpositionTest, BindFailureWarnsAndDegradesToDisabled)
+{
+    // Occupy a port ourselves, then ask the exposition to bind it.
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    ASSERT_EQ(bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+                   sizeof(addr)),
+              0);
+    ASSERT_EQ(listen(fd, 1), 0);
+    sockaddr_in bound{};
+    socklen_t blen = sizeof(bound);
+    ASSERT_EQ(getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
+                          &blen),
+              0);
+    const int taken = int(ntohs(bound.sin_port));
+
+    EXPECT_EQ(exposition::start(taken), -1);
+    EXPECT_FALSE(exposition::running());
+    close(fd);
+}
+
+TEST_F(ExpositionTest, StartFromEnvHonorsKnobDiscipline)
+{
+    unsetenv("WINOMC_STATS_PORT");
+    EXPECT_EQ(exposition::startFromEnv(), -1);
+    EXPECT_FALSE(exposition::running());
+
+    setenv("WINOMC_STATS_PORT", "eleventy", 1); // garbage: warn, skip
+    EXPECT_EQ(exposition::startFromEnv(), -1);
+    EXPECT_FALSE(exposition::running());
+    unsetenv("WINOMC_STATS_PORT");
+}
+
+// ------------------------------------------------- Perf counters
+
+TEST(PerfCounters, DegradationLadderNeverCrashes)
+{
+    const bool was = metrics::enabled();
+    metrics::setEnabled(true);
+    metrics::reset();
+
+    const perf::Reading r0 = perf::read();
+    EXPECT_EQ(r0.valid, perf::available());
+    perf::publishStage("obs.test", r0); // must not crash either way
+    if (!perf::available()) {
+        const auto snap = metrics::snapshot();
+        EXPECT_EQ(find(snap, "perf.obs.test.cycles"), nullptr);
+    }
+
+    // Differencing an invalid reading yields an invalid (zero) delta.
+    perf::Reading a, b;
+    a.cycles = 100;
+    EXPECT_FALSE((a - b).valid);
+
+    // disable() is the irreversible probe-failure path: every later
+    // read is invalid and publishes nothing. (Must run last: it
+    // disables counters for the rest of the process.)
+    perf::disable();
+    EXPECT_FALSE(perf::available());
+    EXPECT_FALSE(perf::read().valid);
+
+    metrics::reset();
+    metrics::setEnabled(was);
+}
+
+// ------------------------------------------------- Log levels
+
+TEST(Logging, ParseLogLevelFollowsKnobDiscipline)
+{
+    EXPECT_EQ(parseLogLevel("error"), 0);
+    EXPECT_EQ(parseLogLevel("warn"), 1);
+    EXPECT_EQ(parseLogLevel("warning"), 1);
+    EXPECT_EQ(parseLogLevel("info"), 2);
+    EXPECT_EQ(parseLogLevel("debug"), 3);
+    EXPECT_EQ(parseLogLevel("DEBUG"), 3);
+    EXPECT_EQ(parseLogLevel(" warn "), 1);
+    // Garbage warns (always, the knob gates warnings) -> info.
+    EXPECT_EQ(parseLogLevel("verbose"), 2);
+    EXPECT_EQ(parseLogLevel(nullptr), 2);
+    EXPECT_EQ(parseLogLevel(""), 2);
+}
+
+// ------------------------------------------------- Fatal-flush
+
+TEST(TelemetryFlushDeath, FatalDumpsTraceAndMetricsBeforeExit)
+{
+    const std::string tracePath =
+        testing::TempDir() + "winomc_fatal_trace.json";
+    const std::string metricsPath =
+        testing::TempDir() + "winomc_fatal_metrics.json";
+    std::remove(tracePath.c_str());
+    std::remove(metricsPath.c_str());
+
+    EXPECT_DEATH(
+        {
+            metrics::setEnabled(true);
+            trace::setEnabled(true);
+            metrics::setConfiguredPath(metricsPath);
+            trace::setConfiguredPath(tracePath);
+            metrics::counterAdd("death.counter", 3.0);
+            trace::emitComplete("death.span", "test", 1.0, 2.0);
+            winomc_fatal("telemetry flush death test");
+        },
+        "telemetry flush death test");
+
+    // The child died mid-run, but its flush must have left a COMPLETE
+    // trace artifact: structurally valid JSON containing the span.
+    const std::string traceBody = slurp(tracePath);
+    ASSERT_FALSE(traceBody.empty());
+    EXPECT_TRUE(structurallyValidJson(traceBody));
+    EXPECT_NE(traceBody.find("\"death.span\""), std::string::npos);
+
+    // And the metrics dump parses back through the standard reader.
+    const auto parsed = metrics::parseDumpFile(metricsPath);
+    const metrics::Sample *c = find(parsed, "death.counter");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->value, 3.0);
+
+    std::remove(tracePath.c_str());
+    std::remove(metricsPath.c_str());
+}
+
+TEST(TelemetryFlushDeath, TerminateHandlerFlushesBeforeAbort)
+{
+    const std::string tracePath =
+        testing::TempDir() + "winomc_terminate_trace.json";
+    std::remove(tracePath.c_str());
+
+    EXPECT_DEATH(
+        {
+            trace::setEnabled(true);
+            trace::setConfiguredPath(tracePath);
+            trace::emitComplete("terminate.span", "test", 1.0, 2.0);
+            std::terminate();
+        },
+        "std::terminate called; flushing telemetry");
+
+    const std::string traceBody = slurp(tracePath);
+    ASSERT_FALSE(traceBody.empty());
+    EXPECT_TRUE(structurallyValidJson(traceBody));
+    EXPECT_NE(traceBody.find("\"terminate.span\""),
+              std::string::npos);
+    std::remove(tracePath.c_str());
+}
+
+} // namespace
+} // namespace winomc

@@ -19,11 +19,14 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
+#include "common/trace.hh"
 #include "nn/conv_layer.hh"
 #include "serve/engine.hh"
 #include "serve/plan_cache.hh"
+#include "serve/slo.hh"
 #include "tensor/workspace.hh"
 #include "winograd/conv.hh"
 
@@ -402,6 +405,159 @@ TEST(ServeSteadyState, ServingAllocatesNothingAfterWarmup)
     EXPECT_EQ(s1.freshBytes, s0.freshBytes);
     engine.stop();
     EXPECT_EQ(engine.served(), 136u);
+}
+
+// --------------------------------------------- Telemetry plane
+
+TEST(ServeTelemetry, ChurnLoadExemplarResolvesToATraceSpan)
+{
+    const bool wasMetrics = metrics::enabled();
+    const bool wasTrace = trace::enabled();
+    metrics::setEnabled(true);
+    trace::setEnabled(true);
+    metrics::reset();
+    trace::reset();
+
+    nn::Sequential model = makeModel(7);
+    EngineConfig cfg;
+    cfg.maxBatch = 4;
+    cfg.maxDelayUs = 0;
+    {
+        Engine engine(model, cfg);
+        // Shape churn: alternate image sizes so batches break on
+        // shape boundaries like real mixed traffic.
+        std::vector<std::future<Tensor>> futs;
+        auto xs1 = makeImages(12, 3, 16, 16, 11);
+        auto xs2 = makeImages(12, 3, 24, 24, 13);
+        for (int i = 0; i < 12; ++i) {
+            futs.push_back(engine.submit(std::move(xs1[size_t(i)])));
+            futs.push_back(engine.submit(std::move(xs2[size_t(i)])));
+        }
+        for (auto &f : futs)
+            f.get();
+        engine.stop();
+    }
+
+    // The latency histogram must carry an exemplar, and that
+    // exemplar's trace id must resolve to a serve.request span in the
+    // trace buffer — the end-to-end correlation the telemetry plane
+    // promises (scrape outlier -> span).
+    std::uint64_t exemplarId = 0;
+    for (const auto &s : metrics::snapshot())
+        if (s.name == "serve.latency_us") {
+            EXPECT_EQ(s.count, std::uint64_t(24));
+            exemplarId = s.exemplarId;
+        }
+    ASSERT_NE(exemplarId, std::uint64_t(0));
+    const std::string json = trace::toJson();
+    EXPECT_NE(json.find("\"serve.request\""), std::string::npos);
+    EXPECT_NE(json.find("\"trace_id\": \"" +
+                        std::to_string(exemplarId) + "\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"serve.batch\""), std::string::npos);
+
+    metrics::reset();
+    trace::reset();
+    metrics::setEnabled(wasMetrics);
+    trace::setEnabled(wasTrace);
+}
+
+// --------------------------------------------- SLO monitoring
+
+TEST(ServeSlo, BurnRateMatchesBudgetArithmetic)
+{
+    serve::SloConfig cfg;
+    cfg.latencyObjectiveUs = 1000.0;
+    cfg.targetFraction = 0.99; // 1% error budget
+    cfg.shortWindowSec = 5;
+    cfg.longWindowSec = 20;
+    serve::SloMonitor m(cfg);
+    // 99 good + 1 bad in one second: violation fraction 1% = exactly
+    // the budget -> burn rate 1.0.
+    for (int i = 0; i < 99; ++i)
+        m.observeAt(500.0, 0.0);
+    m.observeAt(5000.0, 0.0);
+    EXPECT_NEAR(m.burnRate(5), 1.0, 1e-12);
+    EXPECT_EQ(m.observed(), std::uint64_t(100));
+    EXPECT_EQ(m.violations(), std::uint64_t(1));
+    // Below threshold: no alert.
+    EXPECT_FALSE(m.evaluateAt(0.0));
+}
+
+TEST(ServeSlo, MultiWindowAlertFiresOnSustainedBurnAndClears)
+{
+    serve::SloConfig cfg;
+    cfg.latencyObjectiveUs = 1000.0;
+    cfg.targetFraction = 0.9; // 10% budget
+    cfg.shortWindowSec = 5;
+    cfg.longWindowSec = 20;
+    cfg.burnThreshold = 2.0;
+    serve::SloMonitor m(cfg);
+
+    // Healthy traffic: one fast request per second.
+    for (int t = 0; t < 10; ++t)
+        m.observeAt(100.0, double(t));
+    EXPECT_FALSE(m.evaluateAt(9.0));
+
+    // A single slow second spikes the SHORT window but the long
+    // window stays quiet: no page on a transient.
+    for (int i = 0; i < 2; ++i)
+        m.observeAt(9999.0, 10.0);
+    EXPECT_GE(m.burnRate(5), cfg.burnThreshold);
+    EXPECT_FALSE(m.evaluateAt(10.0));
+    EXPECT_FALSE(m.alerting());
+
+    // Sustained violations: ten slow requests per second for ten
+    // seconds drives BOTH windows over threshold -> fires.
+    for (int t = 11; t <= 20; ++t)
+        for (int i = 0; i < 10; ++i)
+            m.observeAt(9999.0, double(t));
+    EXPECT_TRUE(m.evaluateAt(20.0));
+    EXPECT_TRUE(m.alerting());
+
+    // Recovery: fast traffic ages the violations out of the short
+    // window first -> the alert clears promptly.
+    for (int t = 21; t <= 30; ++t)
+        for (int i = 0; i < 10; ++i)
+            m.observeAt(100.0, double(t));
+    EXPECT_FALSE(m.evaluateAt(30.0));
+    EXPECT_FALSE(m.alerting());
+}
+
+TEST(ServeSlo, ObjectiveKnobFollowsEnvDiscipline)
+{
+    setenv("WINOMC_SLO_LATENCY_US", "2500", 1);
+    EXPECT_DOUBLE_EQ(serve::resolveSloConfig().latencyObjectiveUs,
+                     2500.0);
+    // Garbage warns and falls back to the 50 ms default.
+    setenv("WINOMC_SLO_LATENCY_US", "fast", 1);
+    EXPECT_DOUBLE_EQ(serve::resolveSloConfig().latencyObjectiveUs,
+                     50000.0);
+    unsetenv("WINOMC_SLO_LATENCY_US");
+    EXPECT_DOUBLE_EQ(serve::resolveSloConfig().latencyObjectiveUs,
+                     50000.0);
+    // An explicit objective wins over the environment.
+    serve::SloConfig cfg;
+    cfg.latencyObjectiveUs = 123.0;
+    EXPECT_DOUBLE_EQ(serve::resolveSloConfig(cfg).latencyObjectiveUs,
+                     123.0);
+}
+
+TEST(ServeSlo, EngineFeedsEveryServedLatencyIntoTheMonitor)
+{
+    nn::Sequential model = makeModel(3);
+    EngineConfig cfg;
+    cfg.maxBatch = 4;
+    cfg.maxDelayUs = 0;
+    Engine engine(model, cfg);
+    std::vector<std::future<Tensor>> futs;
+    auto xs = makeImages(10, 3, 16, 16, 5);
+    for (auto &x : xs)
+        futs.push_back(engine.submit(std::move(x)));
+    for (auto &f : futs)
+        f.get();
+    engine.stop();
+    EXPECT_EQ(engine.sloMonitor().observed(), std::uint64_t(10));
 }
 
 } // namespace

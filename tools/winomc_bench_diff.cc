@@ -1,0 +1,187 @@
+/**
+ * @file
+ * winomc-bench-diff: regression gate between two wino_kernels --json
+ * artifacts (a fresh run vs the committed BENCH_wino.json baseline).
+ *
+ *     winomc-bench-diff [--ms-threshold PCT] <baseline.json> <fresh.json>
+ *
+ * Exits non-zero when any benchmark row regresses:
+ *
+ *  - ms_per_iter grows more than PCT percent over the baseline
+ *    (default 10; CI uses a wide threshold because the baseline was
+ *    recorded on different hardware — the gate is for blowups, the
+ *    committed artifact is for humans);
+ *  - ws_fresh_bytes_per_iter increases AT ALL. Steady-state fresh
+ *    heap bytes are machine-independent and exactly reproducible, so
+ *    any increase is a real allocation leak into the hot path, and
+ *    zero tolerance is the right gate.
+ *
+ * Rows present only in the baseline (coverage loss) or only in the
+ * fresh run (new benchmarks) are reported but do not fail the gate:
+ * renames are routine; the hard gates are the measured regressions.
+ *
+ * The parser is line-based like the artifact writer: one benchmark
+ * object per line, "key": value pairs — not a general JSON parser, by
+ * design (the artifact is ours, and the tool must not grow deps).
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Row
+{
+    double msPerIter = 0.0;
+    double wsFreshBytesPerIter = 0.0;
+    bool haveMs = false;
+    bool haveWs = false;
+};
+
+/** Extract the string value of `"key": "..."` from a row line. */
+bool
+extractString(const std::string &line, const char *key,
+              std::string &out)
+{
+    const std::string pat = std::string("\"") + key + "\": \"";
+    const size_t at = line.find(pat);
+    if (at == std::string::npos)
+        return false;
+    const size_t start = at + pat.size();
+    const size_t end = line.find('"', start);
+    if (end == std::string::npos)
+        return false;
+    out = line.substr(start, end - start);
+    return true;
+}
+
+/** Extract the numeric value of `"key": <number>` from a row line. */
+bool
+extractNumber(const std::string &line, const char *key, double &out)
+{
+    const std::string pat = std::string("\"") + key + "\": ";
+    const size_t at = line.find(pat);
+    if (at == std::string::npos)
+        return false;
+    out = std::strtod(line.c_str() + at + pat.size(), nullptr);
+    return true;
+}
+
+/** name -> row for every benchmark object in the artifact. */
+std::map<std::string, Row>
+parseArtifact(const std::string &path, bool &ok)
+{
+    std::map<std::string, Row> rows;
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "winomc-bench-diff: cannot read '%s'\n",
+                     path.c_str());
+        ok = false;
+        return rows;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+        std::string name;
+        if (!extractString(line, "name", name))
+            continue;
+        Row r;
+        r.haveMs = extractNumber(line, "ms_per_iter", r.msPerIter);
+        r.haveWs = extractNumber(line, "ws_fresh_bytes_per_iter",
+                                 r.wsFreshBytesPerIter);
+        if (r.haveMs || r.haveWs)
+            rows[name] = r;
+    }
+    ok = true;
+    if (rows.empty()) {
+        std::fprintf(stderr,
+                     "winomc-bench-diff: no benchmark rows in '%s'\n",
+                     path.c_str());
+        ok = false;
+    }
+    return rows;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double msThresholdPct = 10.0;
+    std::vector<std::string> inputs;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--ms-threshold") == 0 &&
+            i + 1 < argc) {
+            msThresholdPct = std::strtod(argv[++i], nullptr);
+        } else if (std::strcmp(argv[i], "--help") == 0 ||
+                   std::strcmp(argv[i], "-h") == 0) {
+            std::printf(
+                "usage: winomc-bench-diff [--ms-threshold PCT] "
+                "<baseline.json> <fresh.json>\n"
+                "  exits 1 on a >PCT%% ms/iter regression (default "
+                "10) or any\n  ws_fresh_bytes_per_iter increase\n");
+            return 0;
+        } else {
+            inputs.push_back(argv[i]);
+        }
+    }
+    if (inputs.size() != 2) {
+        std::fprintf(stderr, "winomc-bench-diff: need exactly "
+                             "<baseline.json> <fresh.json> "
+                             "(try --help)\n");
+        return 2;
+    }
+
+    bool okBase = false, okFresh = false;
+    const auto base = parseArtifact(inputs[0], okBase);
+    const auto fresh = parseArtifact(inputs[1], okFresh);
+    if (!okBase || !okFresh)
+        return 2;
+
+    int regressions = 0;
+    int compared = 0;
+    for (const auto &[name, b] : base) {
+        const auto it = fresh.find(name);
+        if (it == fresh.end()) {
+            std::printf("MISSING  %s (in baseline only)\n",
+                        name.c_str());
+            continue;
+        }
+        const Row &f = it->second;
+        ++compared;
+        if (b.haveMs && f.haveMs && b.msPerIter > 0.0) {
+            const double pct =
+                100.0 * (f.msPerIter - b.msPerIter) / b.msPerIter;
+            if (pct > msThresholdPct) {
+                ++regressions;
+                std::printf("SLOWER   %s: %.4g -> %.4g ms/iter "
+                            "(+%.1f%% > %.1f%%)\n",
+                            name.c_str(), b.msPerIter, f.msPerIter,
+                            pct, msThresholdPct);
+            }
+        }
+        if (b.haveWs && f.haveWs &&
+            f.wsFreshBytesPerIter > b.wsFreshBytesPerIter) {
+            ++regressions;
+            std::printf("ALLOCS   %s: ws_fresh_bytes_per_iter "
+                        "%.4g -> %.4g (any increase fails)\n",
+                        name.c_str(), b.wsFreshBytesPerIter,
+                        f.wsFreshBytesPerIter);
+        }
+    }
+    for (const auto &[name, f] : fresh) {
+        (void)f;
+        if (!base.count(name))
+            std::printf("NEW      %s (no baseline)\n", name.c_str());
+    }
+
+    std::printf("winomc-bench-diff: %d row(s) compared, %d "
+                "regression(s), ms threshold %.1f%%\n",
+                compared, regressions, msThresholdPct);
+    return regressions ? 1 : 0;
+}

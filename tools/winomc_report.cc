@@ -19,7 +19,16 @@
  *    (xform + ew + inverse must equal bytes_moved within 1%);
  *  - a NoC/memnet saturation summary (hottest and mean link
  *    utilization, credit-stall and head-of-line-block events, router
- *    occupancy percentiles).
+ *    occupancy percentiles);
+ *  - a per-stage roofline table joining the kernel.<stage>.{seconds,
+ *    flops} software probes with the perf.<stage>.* hardware counters
+ *    (common/perfcounters.hh): achieved GFLOP/s, IPC, backend-stall
+ *    share, LLC-miss bytes/cycle, and arithmetic intensity per
+ *    LLC-filtered byte. The software columns always render; on hosts
+ *    without perf counters the hardware columns degrade to "-";
+ *  - the serving SLO state (slo.* gauges from serve/slo.hh): latency
+ *    objective, short/long-window burn rates, alert state, violation
+ *    count.
  *
  * Output is markdown (default) or CSV (--csv). Exits non-zero when a
  * breakdown row fails the 1% sum check.
@@ -131,6 +140,22 @@ struct KernelRow
     double vectorSec = 0, scalarSec = 0;
 };
 
+/** One (scope, stage) roofline row: software-side time/work from
+ *  kernel.<stage>.{seconds,flops}, hardware side from perf.<stage>.*
+ *  (zero cycles = host without usable perf counters). */
+struct RooflineRow
+{
+    double seconds = 0, flops = 0;
+    double cycles = 0, instructions = 0, llcMisses = 0, stalled = 0;
+};
+
+/** Serving SLO state of one run scope ("slo.*", serve/slo.hh). */
+struct SloRow
+{
+    double objectiveUs = 0, burnShort = 0, burnLong = 0;
+    double alertActive = 0, violations = 0;
+};
+
 using RowKey = std::pair<std::string, std::string>; // (scope, strategy)
 
 struct Report
@@ -143,6 +168,8 @@ struct Report
     std::map<std::string, WorkspaceRow> workspaces; // key: scope
     std::map<std::string, KernelRow> kernels;       // key: scope
     std::map<std::string, ServeRow> serving;        // key: scope
+    std::map<RowKey, RooflineRow> roofline; // key: (scope, stage)
+    std::map<std::string, SloRow> slos;     // key: scope
 };
 
 /** kernel.isa.level gauge value -> WINOMC_ISA-style name. */
@@ -239,17 +266,70 @@ ingest(Report &rep, const Sample &s)
 
     // Micro-kernel dispatch telemetry ("kernel.<leaf>").
     if (rest.rfind("kernel.", 0) == 0) {
-        KernelRow &r = rep.kernels[scope.empty() ? "-" : scope];
+        const std::string skey = scope.empty() ? "-" : scope;
+        KernelRow &r = rep.kernels[skey];
         const std::string leafk = rest.substr(7);
+        auto hasSuffix = [&](const char *suf) {
+            const size_t n = std::strlen(suf);
+            return leafk.size() > n &&
+                   leafk.rfind(suf) == leafk.size() - n;
+        };
         if (leafk == "isa.level")
             r.isaLevel = s.value;
         else if (leafk == "time.vector")
             r.vectorSec = s.totalSec;
         else if (leafk == "time.scalar")
             r.scalarSec = s.totalSec;
-        else if (leafk.size() > 7 &&
-                 leafk.rfind(".gflops") == leafk.size() - 7)
+        else if (hasSuffix(".gflops"))
             r.stageGflops[leafk.substr(0, leafk.size() - 7)] = s.value;
+        else if (hasSuffix(".seconds"))
+            rep.roofline[{skey, leafk.substr(0, leafk.size() - 8)}]
+                .seconds = s.totalSec;
+        else if (hasSuffix(".flops"))
+            rep.roofline[{skey, leafk.substr(0, leafk.size() - 6)}]
+                .flops = s.value;
+        return;
+    }
+
+    // Hardware counter deltas ("perf.<stage>.<counter>",
+    // common/perfcounters.hh). perf.available is a capability gauge,
+    // not a stage.
+    if (rest.rfind("perf.", 0) == 0) {
+        const std::string leafp = rest.substr(5);
+        if (leafp == "available")
+            return;
+        const size_t dot = leafp.rfind('.');
+        if (dot == std::string::npos)
+            return;
+        RooflineRow &r =
+            rep.roofline[{scope.empty() ? "-" : scope,
+                          leafp.substr(0, dot)}];
+        const std::string counter = leafp.substr(dot + 1);
+        if (counter == "cycles")
+            r.cycles = s.value;
+        else if (counter == "instructions")
+            r.instructions = s.value;
+        else if (counter == "llc_misses")
+            r.llcMisses = s.value;
+        else if (counter == "stalled_backend")
+            r.stalled = s.value;
+        return;
+    }
+
+    // Serving SLO state ("slo.<leaf>", serve/slo.hh).
+    if (rest.rfind("slo.", 0) == 0) {
+        SloRow &r = rep.slos[scope.empty() ? "-" : scope];
+        const std::string leafo = rest.substr(4);
+        if (leafo == "objective_us")
+            r.objectiveUs = s.value;
+        else if (leafo == "burn_rate_short")
+            r.burnShort = s.value;
+        else if (leafo == "burn_rate_long")
+            r.burnLong = s.value;
+        else if (leafo == "alert_active")
+            r.alertActive = s.value;
+        else if (leafo == "violations")
+            r.violations = s.value;
         return;
     }
 
@@ -639,6 +719,53 @@ main(int argc, char **argv)
         emitSection(opt, "Kernel dispatch",
                     {"scope", "isa", "stage", "GFLOP/s", "vector s",
                      "scalar s", "vector %"},
+                    rows);
+    }
+
+    {
+        // Achieved GFLOP/s comes from the software probes and always
+        // renders; IPC / stall share / LLC-miss bytes per cycle need
+        // the perf.<stage>.* hardware counters and degrade to "-" on
+        // hosts where perf_event_open is refused. FLOP per LLC-byte
+        // is the arithmetic intensity seen past the LLC — compare it
+        // against the Winograd memory-traffic table's predicted
+        // bytes/call to see whether a stage is compute- or
+        // traffic-limited. Counters are per participating thread, so
+        // ratios are exact while absolute cycle counts cover that
+        // thread's share of the stage.
+        std::vector<std::vector<std::string>> rows;
+        for (const auto &[key, r] : rep.roofline) {
+            const bool hw = r.cycles > 0.0;
+            const double llcBytes = r.llcMisses * 64.0;
+            rows.push_back(
+                {rowName(key), key.second, fmt(r.seconds),
+                 fmt(r.seconds > 0.0 ? r.flops / r.seconds * 1e-9
+                                     : 0.0),
+                 hw ? fmt(r.instructions / r.cycles) : "-",
+                 hw ? fmt(100.0 * r.stalled / r.cycles) : "-",
+                 hw ? fmt(llcBytes / r.cycles) : "-",
+                 llcBytes > 0.0 ? fmt(r.flops / llcBytes) : "-"});
+        }
+        emitSection(opt, "Roofline (per stage)",
+                    {"scope", "stage", "seconds", "GFLOP/s", "IPC",
+                     "backend stall %", "LLC-miss B/cycle",
+                     "FLOP/LLC-byte"},
+                    rows);
+    }
+
+    {
+        // Burn rate 1.0 = consuming the latency error budget exactly
+        // at the sustainable rate; the alert fires when both windows
+        // burn above the monitor's threshold (serve/slo.hh).
+        std::vector<std::vector<std::string>> rows;
+        for (const auto &[scope, r] : rep.slos)
+            rows.push_back({scope, fmt(r.objectiveUs),
+                            fmt(r.burnShort), fmt(r.burnLong),
+                            r.alertActive > 0.0 ? "FIRING" : "ok",
+                            fmt(r.violations)});
+        emitSection(opt, "Serving SLO",
+                    {"scope", "objective us", "burn short",
+                     "burn long", "alert", "violations"},
                     rows);
     }
 
