@@ -42,14 +42,17 @@ gpuLayerTime(const ConvSpec &spec, double per_gpu_batch,
     winomc_assert(per_gpu_batch > 0, "empty per-GPU batch");
     const double eff = effectiveEfficiency(cfg, per_gpu_batch);
     double flops = 2.0 * per_gpu_batch * spec.inCh * spec.outCh *
-                   spec.h * spec.w * spec.r * spec.r;
-    if (spec.r == 3)
+                   double(spec.outH()) * spec.outW() * spec.kernelH() *
+                   spec.kernelW();
+    if (spec.unitStride() && spec.squareKernel() && spec.kernelH() == 3)
         flops /= cfg.winogradSpeedup; // cuDNN picks the Winograd kernel
 
     // FP16 activations + weights traffic (roofline memory term).
-    double bytes = 2.0 * (per_gpu_batch * (spec.inCh + spec.outCh) *
-                              spec.h * spec.w +
-                          double(spec.weightElems()));
+    double bytes =
+        2.0 * (per_gpu_batch * (double(spec.inCh) * spec.h * spec.w +
+                                double(spec.outCh) * spec.outH() *
+                                    spec.outW()) +
+               double(spec.weightElems()));
 
     double kernel = std::max(flops / (cfg.peakFp16Flops * eff),
                              bytes / (cfg.memBandwidth *

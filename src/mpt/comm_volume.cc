@@ -38,7 +38,10 @@ mptCommVolume(const ConvSpec &spec, const WinogradAlgo &algo,
               const memnet::ClusterShape &shape,
               const PredictionParams *predict)
 {
-    winomc_assert(spec.r == algo.r, "spec/algo filter size mismatch");
+    winomc_assert(spec.squareKernel() && spec.kernelH() == algo.r,
+                  "spec/algo filter size mismatch");
+    winomc_assert(spec.samePadded(), "MPT tile scatter/gather volumes "
+                                     "bind the stride-1 same pipeline");
     const double ng = shape.ng;
     const double nc = shape.nc;
     winomc_assert(shape.ng >= 1 && shape.nc >= 1, "bad shape");

@@ -125,8 +125,9 @@ winoPropPhase(const ConvSpec &spec, const WinogradAlgo &algo,
         // Winograd domain every iteration (W = G w G^T; the Winograd
         // layer of Fig 2(b) avoids exactly this).
         ph.xformOps += double(spec.inCh) * spec.outCh *
-                       (g.a2 * spec.r + double(algo.alpha) * spec.r *
-                                            spec.r);
+                       (g.a2 * spec.kernelH() +
+                        double(algo.alpha) * spec.kernelH() *
+                            spec.kernelW());
     }
     ph.vectorSec = ndp::vectorTime(params.ndp, uint64_t(ph.vecOps)) +
                    ndp::transformTime(params.ndp, uint64_t(ph.xformOps));
@@ -198,8 +199,9 @@ winoUpdatePhase(const ConvSpec &spec, const WinogradAlgo &algo,
         // collective: dw = G^T dW G, r*alpha^2 + r^2*alpha MACs per
         // (i, j) pair.
         ph.xformOps += double(spec.inCh) * spec.outCh *
-                       (g.a2 * spec.r + double(algo.alpha) * spec.r *
-                                            spec.r);
+                       (g.a2 * spec.kernelH() +
+                        double(algo.alpha) * spec.kernelH() *
+                            spec.kernelW());
     }
     ph.vectorSec = ndp::vectorTime(params.ndp, uint64_t(ph.vecOps)) +
                    ndp::transformTime(params.ndp, uint64_t(ph.xformOps));
@@ -232,8 +234,8 @@ directPhase(const ConvSpec &spec, const memnet::ClusterShape &shape,
     worker_spec.batch = int(bc);
 
     WinoPhase ph;
-    const uint64_t hw = uint64_t(spec.h) * spec.w;
-    const uint64_t rr = uint64_t(spec.r) * spec.r;
+    const uint64_t hw = uint64_t(spec.outH()) * spec.outW();
+    const uint64_t rr = uint64_t(spec.kernelH()) * spec.kernelW();
     uint64_t mm = 0, kk = 0, nn = 0;
     switch (phase) {
       case Phase::Fprop:
@@ -567,7 +569,11 @@ simulateLayerWithShape(const ConvSpec &spec, Strategy strategy,
     // Winograd strategies. A single-group shape *is* data parallelism
     // (the dynamic-clustering DP configuration): weights update in the
     // spatial domain and all four links serve the collective rings.
-    const WinogradAlgo &algo = algoFor(spec.r, shape.ng);
+    winomc_assert(spec.samePadded() && spec.squareKernel(),
+                  "the MPT Winograd strategies bind the paper's "
+                  "stride-1 same-padded square-kernel geometry (got ",
+                  spec.key(), "); decompose first or use d_dp");
+    const WinogradAlgo &algo = algoFor(spec.kernelH(), shape.ng);
     res.algoName = algo.name();
     const PredictionParams *pred =
         usesPrediction(strategy) ? &params.predict : nullptr;

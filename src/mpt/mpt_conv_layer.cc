@@ -45,6 +45,16 @@ MptConvLayer::MptConvLayer(int in_ch, int out_ch, int r, int ng_,
     dW = WinoWeights(algo.alpha, out_ch, in_ch);
 }
 
+MptConvLayer::MptConvLayer(const ConvSpec &spec, int ng_, int nc_,
+                           const WinogradAlgo &algo_, Rng &rng)
+    : MptConvLayer(spec.inCh, spec.outCh, spec.kernelH(), ng_, nc_,
+                   algo_, rng)
+{
+    winomc_assert(spec.samePadded() && spec.squareKernel(),
+                  "MPT conv binds stride-1 same-padded square-kernel "
+                  "geometry (got ", spec.key(), ")");
+}
+
 void
 MptConvLayer::ensurePlans(const Tensor &x)
 {

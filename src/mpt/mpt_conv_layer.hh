@@ -24,6 +24,7 @@
 
 #include "mpt/functional.hh"
 #include "nn/module.hh"
+#include "winograd/conv_spec.hh"
 #include "winograd/plan.hh"
 
 namespace winomc::mpt {
@@ -36,6 +37,15 @@ class MptConvLayer : public nn::Module
      *                nc == 0 at forward time
      */
     MptConvLayer(int in_ch, int out_ch, int r, int ng, int nc,
+                 const WinogradAlgo &algo, Rng &rng);
+
+    /**
+     * Descriptor convenience: channels and filter size come from the
+     * generalized ConvSpec. The MPT pipeline binds the paper's
+     * geometry, so the spec must be stride-1 same-padded with a square
+     * kernel matching the algorithm — decompose other shapes first.
+     */
+    MptConvLayer(const ConvSpec &spec, int ng, int nc,
                  const WinogradAlgo &algo, Rng &rng);
 
     Tensor forward(const Tensor &x, bool train) override;

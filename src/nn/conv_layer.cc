@@ -6,29 +6,50 @@ namespace winomc::nn {
 
 ConvLayer::ConvLayer(int in_ch, int out_ch, int r_, ConvMode mode,
                      const WinogradAlgo &algo_, Rng &rng)
-    : inCh(in_ch), outCh(out_ch), r(r_), convMode(mode), algo(algo_),
-      w(out_ch, in_ch, r_, r_), dw(out_ch, in_ch, r_, r_)
+    : inCh(in_ch), outCh(out_ch), r(r_), kh(r_), kw(r_), sH(1), sW(1),
+      convMode(mode), alg(&algo_), w(out_ch, in_ch, r_, r_),
+      dw(out_ch, in_ch, r_, r_)
 {
     winomc_assert(r_ % 2 == 1, "ConvLayer needs odd filter size");
+    winomc_assert(mode != ConvMode::Auto,
+                  "Auto layers carry no algorithm hint; use the "
+                  "geometry constructor");
     if (mode != ConvMode::Direct) {
-        winomc_assert(algo.r == r_, "algorithm r=", algo.r,
+        winomc_assert(alg->r == r_, "algorithm r=", alg->r,
                       " mismatches layer r=", r_);
     }
     w.fillKaiming(rng);
     if (mode != ConvMode::Direct) {
-        W = transformWeights(w, algo);
-        dW = WinoWeights(algo.alpha, out_ch, in_ch);
-        gScratch = WinoWeights(algo.alpha, out_ch, in_ch);
+        W = transformWeights(w, *alg);
+        dW = WinoWeights(alg->alpha, out_ch, in_ch);
+        gScratch = WinoWeights(alg->alpha, out_ch, in_ch);
         if (mode == ConvMode::WinogradSpatial)
             dwScratch = Tensor(out_ch, in_ch, r_, r_);
     }
 }
 
+ConvLayer::ConvLayer(int in_ch, int out_ch, int kernel_h, int kernel_w,
+                     int stride_h, int stride_w, Rng &rng)
+    : inCh(in_ch), outCh(out_ch),
+      r(kernel_h == kernel_w ? kernel_h : 0), kh(kernel_h),
+      kw(kernel_w), sH(stride_h), sW(stride_w),
+      convMode(ConvMode::Auto), alg(nullptr),
+      w(out_ch, in_ch, kernel_h, kernel_w),
+      dw(out_ch, in_ch, kernel_h, kernel_w)
+{
+    winomc_assert(kernel_h >= 1 && kernel_w >= 1 && stride_h >= 1 &&
+                      stride_w >= 1,
+                  "bad Auto conv geometry: kernel ", kernel_h, "x",
+                  kernel_w, " stride ", stride_h, "x", stride_w);
+    w.fillKaiming(rng);
+}
+
 void
 ConvLayer::ensurePlan(const Tensor &x)
 {
+    winomc_assert(alg, "ensurePlan without a bound algorithm");
     if (execPlan &&
-        execPlan->matches(algo, x.n(), inCh, outCh, x.h(), x.w()))
+        execPlan->matches(*alg, x.n(), inCh, outCh, x.h(), x.w()))
         return;
     // Park the displaced plan before leasing: an A/B/A shape flip then
     // finds the parked plan and the whole rotation stays allocation-
@@ -36,7 +57,7 @@ ConvLayer::ensurePlan(const Tensor &x)
     // workspace pool on every flip.
     PlanSource &src = planSourceRef();
     src.releasePlan(std::move(execPlan));
-    execPlan = src.acquirePlan(algo, x.n(), inCh, outCh, x.h(), x.w());
+    execPlan = src.acquirePlan(*alg, x.n(), inCh, outCh, x.h(), x.w());
 }
 
 void
@@ -54,37 +75,79 @@ void
 ConvLayer::shareWinoWeights(std::shared_ptr<const WinoWeights> shared)
 {
     if (shared) {
-        winomc_assert(convMode != ConvMode::Direct,
-                      "shareWinoWeights on a Direct-mode layer");
-        winomc_assert(shared->alphaEdge() == algo.alpha &&
+        winomc_assert(convMode == ConvMode::WinogradSpatial ||
+                          convMode == ConvMode::WinogradLayer,
+                      "shareWinoWeights needs a manual Winograd mode");
+        winomc_assert(shared->alphaEdge() == alg->alpha &&
                           shared->outChannels() == outCh &&
                           shared->inChannels() == inCh,
                       "shared Winograd weights mismatch the layer: got ",
                       shared->alphaEdge(), "/", shared->outChannels(),
-                      "/", shared->inChannels(), ", want ", algo.alpha,
+                      "/", shared->inChannels(), ", want ", alg->alpha,
                       "/", outCh, "/", inCh);
     }
     sharedW = std::move(shared);
 }
 
-Tensor
-ConvLayer::forward(const Tensor &x, bool train)
+ConvSpec
+ConvLayer::autoSpec(const Tensor &x) const
 {
-    winomc_assert(x.c() == inCh, "ConvLayer expected ", inCh,
-                  " channels, got ", x.c());
-    winomc_assert(!(train && sharedW),
-                  "train-mode forward on a ConvLayer with shared frozen "
-                  "Winograd weights (inference-only)");
-    lastH = x.h();
-    lastW = x.w();
-    trainCached = train;
+    ConvSpec s{};
+    s.name = "auto";
+    s.batch = x.n();
+    s.inCh = inCh;
+    s.outCh = outCh;
+    s.h = x.h();
+    s.w = x.w();
+    s.r = (kh == kw) ? kh : 0;
+    s.kh = kh;
+    s.kw = kw;
+    s.strideH = sH;
+    s.strideW = sW;
+    return s;
+}
 
-    if (convMode == ConvMode::Direct) {
-        if (train)
-            cachedX = x;
-        return directConvForward(x, w);
+void
+ConvLayer::ensureChoice(const ConvSpec &spec)
+{
+    if (haveChoice && tunedB == spec.batch && tunedH == spec.h &&
+        tunedW == spec.w)
+        return;
+    const tune::AlgoChoice next = tune::selectAlgorithm(spec);
+    const bool algoChanged =
+        !haveChoice || next.kind != choice.kind || next.m != choice.m;
+    choice = next;
+    haveChoice = true;
+    tunedB = spec.batch;
+    tunedH = spec.h;
+    tunedW = spec.w;
+    if (!algoChanged)
+        return;
+    // (Re)bind the state the chosen algorithm executes with. Stale
+    // state of the losing algorithms is kept — a shape flip back needs
+    // only the dirty-flag refresh, not a rebuild.
+    switch (choice.kind) {
+      case tune::AlgoKind::Direct:
+        alg = nullptr;
+        break;
+      case tune::AlgoKind::Winograd: {
+        const WinogradAlgo &na = algoForTile(choice.m);
+        alg = &na;
+        W = transformWeights(w, na);
+        gScratch = WinoWeights(na.alpha, outCh, inCh);
+        dwScratch = Tensor(outCh, inCh, kh, kw);
+        break;
+      }
+      case tune::AlgoKind::Decomposed:
+        alg = &algoForTile(choice.m);
+        decompWeightsDirty = true;
+        break;
     }
+}
 
+Tensor
+ConvLayer::winogradForwardBody(const Tensor &x, bool train)
+{
     ensurePlan(x);
     Tensor y(x.n(), outCh, x.h(), x.w());
     // A train-mode forward wants the plan's input-tile cache for the
@@ -105,14 +168,85 @@ ConvLayer::forward(const Tensor &x, bool train)
 }
 
 Tensor
+ConvLayer::forwardAuto(const Tensor &x, bool train)
+{
+    const ConvSpec spec = autoSpec(x);
+    ensureChoice(spec);
+    switch (choice.kind) {
+      case tune::AlgoKind::Direct:
+        if (train)
+            cachedX = x;
+        return directConvForwardEx(x, w, sH, sW, spec.padHEff(),
+                                   spec.padWEff());
+      case tune::AlgoKind::Winograd:
+        return winogradForwardBody(x, train);
+      case tune::AlgoKind::Decomposed: {
+        if (!decompPlan || !decompPlan->matches(spec, *alg)) {
+            decompPlan = std::make_unique<WinoDecompPlan>(spec, *alg);
+            decompWeightsDirty = true;
+        }
+        if (decompWeightsDirty) {
+            decompPlan->setWeights(w);
+            decompWeightsDirty = false;
+        }
+        if (train)
+            cachedX = x;
+        Tensor y(x.n(), outCh, spec.outH(), spec.outW());
+        decompPlan->forwardInto(x, y);
+        return y;
+      }
+    }
+    winomc_assert(false, "unreachable conv algorithm kind");
+    return Tensor();
+}
+
+Tensor
+ConvLayer::forward(const Tensor &x, bool train)
+{
+    winomc_assert(x.c() == inCh, "ConvLayer expected ", inCh,
+                  " channels, got ", x.c());
+    winomc_assert(!(train && sharedW),
+                  "train-mode forward on a ConvLayer with shared frozen "
+                  "Winograd weights (inference-only)");
+    lastH = x.h();
+    lastW = x.w();
+    trainCached = train;
+
+    if (convMode == ConvMode::Auto)
+        return forwardAuto(x, train);
+
+    if (convMode == ConvMode::Direct) {
+        if (train)
+            cachedX = x;
+        return directConvForward(x, w);
+    }
+    return winogradForwardBody(x, train);
+}
+
+Tensor
 ConvLayer::backward(const Tensor &dy)
 {
     winomc_assert(trainCached,
                   "ConvLayer::backward without a train-mode forward: "
                   "the cached activations are stale");
     haveGrad = true;
-    if (convMode == ConvMode::Direct) {
-        dw += directConvGradWeights(cachedX, dy, r);
+
+    // Auto layers whose fast path is direct or decomposed take direct
+    // gradients (the decomposition shares the spatial parameters, so
+    // the adjoint of the direct convolution IS its adjoint); the
+    // direct kernels bind stride-1 odd square "same" geometry.
+    const bool directGrads =
+        convMode == ConvMode::Direct ||
+        (convMode == ConvMode::Auto &&
+         choice.kind != tune::AlgoKind::Winograd);
+    if (directGrads) {
+        if (convMode == ConvMode::Auto) {
+            winomc_assert(sH == 1 && sW == 1 && kh == kw && kh % 2 == 1,
+                          "training through a strided or rectangular "
+                          "Auto conv is unsupported (kernel ", kh, "x",
+                          kw, ", stride ", sH, "x", sW, ")");
+        }
+        dw += directConvGradWeights(cachedX, dy, kh);
         return directConvBackwardData(dy, w);
     }
 
@@ -127,7 +261,7 @@ ConvLayer::backward(const Tensor &dy)
         dW += gScratch;
     } else {
         // Chain through W = G w G^T back to the spatial parameters.
-        transformWeightsAdjointInto(gScratch, algo, dwScratch);
+        transformWeightsAdjointInto(gScratch, *alg, dwScratch);
         dw += dwScratch;
     }
     Tensor dx(dy.n(), inCh, lastH, lastW);
@@ -156,11 +290,21 @@ ConvLayer::step(float lr)
       case ConvMode::WinogradSpatial:
         K.axpy(w.data(), -lr, dw.data(), std::int64_t(w.size()));
         dw.fill(0.0f);
-        transformWeightsInto(w, algo, W);
+        transformWeightsInto(w, *alg, W);
         break;
       case ConvMode::WinogradLayer:
         K.axpy(W.raw(), -lr, dW.raw(), std::int64_t(W.size()));
         dW.fill(0.0f);
+        break;
+      case ConvMode::Auto:
+        K.axpy(w.data(), -lr, dw.data(), std::int64_t(w.size()));
+        dw.fill(0.0f);
+        // Refresh the fast path's derived weights lazily: transform now
+        // if the plain pipeline is live, flag the decomposition so the
+        // next forward re-splits.
+        if (haveChoice && choice.kind == tune::AlgoKind::Winograd)
+            transformWeightsInto(w, *alg, W);
+        decompWeightsDirty = true;
         break;
     }
 }
@@ -191,6 +335,8 @@ ConvLayer::name() const
         return "conv_wino_spatial";
       case ConvMode::WinogradLayer:
         return "conv_wino_layer";
+      case ConvMode::Auto:
+        return "conv_auto";
     }
     return "conv";
 }

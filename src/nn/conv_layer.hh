@@ -1,6 +1,6 @@
 /**
  * @file
- * Trainable "same" 3x3/5x5 convolution layer with three execution modes:
+ * Trainable convolution layer with four execution modes:
  *
  *  - Direct:        spatial weights, direct convolution;
  *  - WinogradSpatial: spatial weights, executed through the Winograd
@@ -8,14 +8,27 @@
  *                   weight-transform adjoint;
  *  - WinogradLayer: the paper's Winograd layer (Fig 2(b), [29]) - the
  *                   parameters ARE the Winograd-domain weights W and are
- *                   updated there directly.
+ *                   updated there directly;
+ *  - Auto:          spatial weights with generalized geometry (any
+ *                   kernel size, stride, rectangular filters); the
+ *                   execution algorithm - direct, plain F(m,3), or the
+ *                   DWM decomposition into F(m,3) units - is picked per
+ *                   shape by the winograd/tuner.hh auto-tuner
+ *                   (WINOMC_TUNE), no manual mode hint needed.
  *
- * All three compute the same function at initialization; WinogradLayer
- * then evolves in a (slightly larger) parameter space.
+ * The three manual modes compute the same function at initialization;
+ * WinogradLayer then evolves in a (slightly larger) parameter space.
  *
- * Winograd modes execute through a lazily-built WinoPlan bound to the
- * incoming shape: the plan owns every tile slab and the layer keeps its
- * gradient scratch, so steady-state training steps allocate nothing.
+ * Winograd execution goes through a lazily-built WinoPlan (or
+ * WinoDecompPlan) bound to the incoming shape: the plan owns every tile
+ * slab and the layer keeps its gradient scratch, so steady-state
+ * training steps allocate nothing.
+ *
+ * Training through an Auto layer is supported wherever the gradients
+ * are defined on the fast path's geometry: stride-1 odd square kernels
+ * (gradients run through the Winograd adjoints for 3x3, the direct
+ * kernels for decomposed shapes). Strided or rectangular-kernel Auto
+ * layers are inference-only and assert loudly in backward().
  */
 
 #ifndef WINOMC_NN_CONV_LAYER_HH
@@ -27,22 +40,34 @@
 #include "winograd/algo.hh"
 #include "winograd/conv.hh"
 #include "winograd/plan.hh"
+#include "winograd/tuner.hh"
 
 namespace winomc::nn {
 
-enum class ConvMode { Direct, WinogradSpatial, WinogradLayer };
+enum class ConvMode { Direct, WinogradSpatial, WinogradLayer, Auto };
 
 class ConvLayer : public Module
 {
   public:
     /**
+     * Manual-mode constructor (square odd r, stride 1, "same").
      * @param in_ch, out_ch  channels
      * @param r              odd filter edge
-     * @param mode           execution / weight-domain mode
+     * @param mode           execution / weight-domain mode (not Auto —
+     *                       Auto layers carry no algorithm hint; use
+     *                       the geometry constructor)
      * @param algo           Winograd algorithm (ignored for Direct)
      */
     ConvLayer(int in_ch, int out_ch, int r, ConvMode mode,
               const WinogradAlgo &algo, Rng &rng);
+
+    /**
+     * Auto-mode constructor: generalized geometry, tuner-selected
+     * execution. Padding is "same"-style ((k-1)/2 per dimension);
+     * output is (H + 2*pad - kh)/strideH + 1 on each axis.
+     */
+    ConvLayer(int in_ch, int out_ch, int kernel_h, int kernel_w,
+              int stride_h, int stride_w, Rng &rng);
 
     Tensor forward(const Tensor &x, bool train) override;
     Tensor backward(const Tensor &dy) override;
@@ -51,7 +76,7 @@ class ConvLayer : public Module
     std::string name() const override;
 
     ConvMode mode() const { return convMode; }
-    /** Spatial weights (valid in Direct / WinogradSpatial modes). */
+    /** Spatial weights (valid in every mode but WinogradLayer). */
     const Tensor &spatialWeights() const { return w; }
     /** Winograd-domain weights (valid in Winograd modes); the shared
      *  slab when shareWinoWeights() is in effect. */
@@ -62,6 +87,15 @@ class ConvLayer : public Module
     /** The current execution plan (null before the first Winograd-mode
      *  forward). */
     const WinoPlan *plan() const { return execPlan.get(); }
+    /** The current decomposed plan (Auto mode, null unless the tuner
+     *  picked the decomposition). */
+    const WinoDecompPlan *decomposedPlan() const
+    {
+        return decompPlan.get();
+    }
+    /** The tuner's decision for the last Auto-mode shape (valid once a
+     *  forward ran). */
+    const tune::AlgoChoice &autoChoice() const { return choice; }
 
     /**
      * Route plan leases through an external source — e.g. the serving
@@ -74,9 +108,9 @@ class ConvLayer : public Module
     void setPlanSource(PlanSource *src);
 
     /**
-     * Adopt shared, frozen Winograd-domain weights (Winograd modes
-     * only): the layer serves forwards from *shared instead of its own
-     * W, so replicas of one model skip the per-replica weight
+     * Adopt shared, frozen Winograd-domain weights (manual Winograd
+     * modes only): the layer serves forwards from *shared instead of
+     * its own W, so replicas of one model skip the per-replica weight
      * transform entirely (the serving plan cache hands every replica
      * the same transformed slab). The layer becomes inference-only —
      * step() on a shared layer dies. Pass nullptr to return to the
@@ -87,6 +121,15 @@ class ConvLayer : public Module
   private:
     /** (Re)lease execPlan iff the incoming shape stopped matching. */
     void ensurePlan(const Tensor &x);
+
+    /** The incoming shape as a generalized descriptor (Auto mode). */
+    ConvSpec autoSpec(const Tensor &x) const;
+    /** Consult the tuner and (re)bind the chosen algorithm's state. */
+    void ensureChoice(const ConvSpec &spec);
+    /** The plain-Winograd forward body shared by the manual Winograd
+     *  modes and Auto-with-Winograd. */
+    Tensor winogradForwardBody(const Tensor &x, bool train);
+    Tensor forwardAuto(const Tensor &x, bool train);
 
     /** The active plan source (external override or the own LRU). */
     PlanSource &planSourceRef()
@@ -101,23 +144,33 @@ class ConvLayer : public Module
     }
 
     int inCh, outCh, r;
+    int kh, kw;     ///< kernel extents (== r in the manual modes)
+    int sH, sW;     ///< strides (1 in the manual modes)
     ConvMode convMode;
-    const WinogradAlgo &algo;
+    /** Execution algorithm: fixed in the manual Winograd modes, tuner-
+     *  bound in Auto (null for Direct and before the first forward). */
+    const WinogradAlgo *alg;
 
-    Tensor w;       ///< spatial parameters (Direct / WinogradSpatial)
+    Tensor w;       ///< spatial parameters (all modes but WinogradLayer)
     Tensor dw;      ///< spatial gradient
-    WinoWeights W;  ///< Winograd-domain parameters (Winograd modes)
+    WinoWeights W;  ///< Winograd-domain parameters (Winograd execution)
     WinoWeights dW; ///< Winograd-domain gradient
     bool haveGrad = false;
 
     std::unique_ptr<WinoPlan> execPlan; ///< shape-bound slabs + grid
+    std::unique_ptr<WinoDecompPlan> decompPlan; ///< Auto decomposition
     PlanLru planCache;        ///< parks displaced plans (shape churn)
     PlanSource *planSrc = nullptr; ///< external override, else planCache
     std::shared_ptr<const WinoWeights> sharedW; ///< frozen shared weights
     WinoWeights gScratch; ///< per-step Winograd weight-grad scratch
     Tensor dwScratch;     ///< per-step spatial weight-grad scratch
 
-    Tensor cachedX;    ///< input (Direct mode / fused train backward)
+    tune::AlgoChoice choice; ///< Auto: the tuner's decision
+    bool haveChoice = false;
+    bool decompWeightsDirty = true; ///< re-split weights before forward
+    int tunedB = 0, tunedH = 0, tunedW = 0; ///< shape the choice binds
+
+    Tensor cachedX;    ///< input (direct-gradient paths / fused train)
     /** True iff the activations the backward pass needs were cached by
      *  a train-mode forward and not clobbered since. */
     bool trainCached = false;

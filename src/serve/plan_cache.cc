@@ -92,6 +92,22 @@ PlanCache::transformedWeights(const std::string &tag,
     return it->second;
 }
 
+std::shared_ptr<const WinoWeights>
+PlanCache::transformedWeights(const ConvSpec &spec,
+                              const Tensor &spatial,
+                              const WinogradAlgo &algo)
+{
+    // Batch-independent: strip the leading "b<N>_" of the canonical key
+    // so every batch shape of one layer shares a single slab.
+    std::string key = spec.key();
+    const std::size_t us = key.find('_');
+    if (us != std::string::npos)
+        key.erase(0, us + 1);
+    return transformedWeights(key + "_F" + std::to_string(algo.m) + "x" +
+                                  std::to_string(algo.r),
+                              spatial, algo);
+}
+
 std::size_t
 PlanCache::parkedBytes() const
 {

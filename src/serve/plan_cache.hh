@@ -66,6 +66,18 @@ class PlanCache : public PlanSource
     transformedWeights(const std::string &tag, const Tensor &spatial,
                        const WinogradAlgo &algo);
 
+    /**
+     * Descriptor-keyed variant: the slab is tagged by the canonical
+     * shape key (ConvSpec::key(), batch excluded — weights are batch-
+     * independent) plus the algorithm, the same identity the tuning
+     * cache (winograd/tuner.hh) persists decisions under. Engines that
+     * tune per descriptor share weight slabs per descriptor with no
+     * hand-rolled tag scheme.
+     */
+    std::shared_ptr<const WinoWeights>
+    transformedWeights(const ConvSpec &spec, const Tensor &spatial,
+                       const WinogradAlgo &algo);
+
     std::size_t budgetBytes() const { return budget; }
     std::size_t parkedBytes() const;
     int parkedPlans() const;

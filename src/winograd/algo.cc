@@ -51,6 +51,28 @@ algoF2x2_5x5()
 }
 
 const WinogradAlgo &
+algoF6x6_3x3()
+{
+    static const WinogradAlgo a = makeWinograd(6, 3);
+    return a;
+}
+
+const WinogradAlgo &
+algoForTile(int m)
+{
+    switch (m) {
+      case 2:
+        return algoF2x2_3x3();
+      case 4:
+        return algoF4x4_3x3();
+      case 6:
+        return algoF6x6_3x3();
+    }
+    winomc_assert(false, "no F(m,3) candidate for tile edge m=", m);
+    return algoF4x4_3x3(); // unreachable
+}
+
+const WinogradAlgo &
 algoF2_3()
 {
     static const WinogradAlgo a = makeWinograd(2, 3);

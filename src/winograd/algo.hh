@@ -4,8 +4,8 @@
  *
  * Holds the double-precision transform triple (B^T, G, A^T) generated
  * exactly by the Toom-Cook generator, plus derived metadata. Supports the
- * transforms the paper evaluates: F(2x2,3x3), F(4x4,3x3), F(2x2,5x5) and
- * the 1D F(2,3).
+ * transforms the paper evaluates — F(2x2,3x3), F(4x4,3x3), F(2x2,5x5),
+ * the 1D F(2,3) — plus F(6x6,3x3) for the auto-tuner candidate set.
  */
 
 #ifndef WINOMC_WINOGRAD_ALGO_HH
@@ -49,8 +49,19 @@ WinogradAlgo makeWinograd(int m, int r);
 const WinogradAlgo &algoF2x2_3x3();
 const WinogradAlgo &algoF4x4_3x3();
 const WinogradAlgo &algoF2x2_5x5();
+/** F(6x6,3x3): alpha = 8, the largest tile the micro-kernel panel
+ *  layout supports (mk::kMaxAlpha) — the auto-tuner's top candidate. */
+const WinogradAlgo &algoF6x6_3x3();
 /** 1D F(2,3): tile 4x1 (for 3x1 filters, Section VII-B). */
 const WinogradAlgo &algoF2_3();
+
+/**
+ * The shared static F(m x m, 3 x 3) instance for tile edge m in
+ * {2, 4, 6} — the auto-tuner's r = 3 candidate family (larger kernels
+ * and strides reach these through DWM decomposition). Dies on any
+ * other m.
+ */
+const WinogradAlgo &algoForTile(int m);
 
 } // namespace winomc
 

@@ -1036,6 +1036,72 @@ directConvBackwardData(const Tensor &dy, const Tensor &w)
 }
 
 Tensor
+directConvForwardEx(const Tensor &x, const Tensor &w, int strideH,
+                    int strideW, int padH, int padW)
+{
+    WINOMC_SPAN("direct.fwd_ex", "wino");
+    winomc_assert(x.c() == w.c(), "channel mismatch in direct conv");
+    winomc_assert(strideH >= 1 && strideW >= 1 && padH >= 0 && padW >= 0,
+                  "bad conv geometry: stride ", strideH, "x", strideW,
+                  " pad ", padH, "x", padW);
+    const int kh = w.h();
+    const int kw = w.w();
+    const int oh = (x.h() + 2 * padH - kh) / strideH + 1;
+    const int ow = (x.w() + 2 * padW - kw) / strideW + 1;
+    winomc_assert(oh >= 1 && ow >= 1, "conv output collapses to ", oh,
+                  "x", ow);
+    Tensor y(x.n(), w.n(), oh, ow);
+    const int nj = w.n();
+    const int nc = x.c();
+    const int hh = x.h();
+    const int ww = x.w();
+    const float *xbase = x.data();
+    float *ybase = y.data();
+    StageTimer probe("direct.fwd", 2.0 * x.n() * double(nj) * nc * kh *
+                                       kw * double(oh) * ow);
+
+    // Scalar with one double accumulator per output element: this is
+    // the oracle generalized strides/pads/rect-kernels are verified
+    // against, so clarity and a fixed (i, ky, kx) reduction order beat
+    // the strided-row vectorization the unit-stride kernel above has.
+    parallelFor(0, std::int64_t(x.n()) * nj, 1,
+                [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t bj = lo; bj < hi; ++bj) {
+            const int b = int(bj / nj);
+            const int j = int(bj % nj);
+            float *yplane =
+                ybase + (size_t(b) * nj + j) * size_t(oh) * ow;
+            for (int oy = 0; oy < oh; ++oy) {
+                for (int ox = 0; ox < ow; ++ox) {
+                    double acc = 0.0;
+                    for (int i = 0; i < nc; ++i) {
+                        const float *xplane =
+                            xbase +
+                            (size_t(b) * nc + i) * size_t(hh) * ww;
+                        for (int ky = 0; ky < kh; ++ky) {
+                            const int iy = oy * strideH + ky - padH;
+                            if (iy < 0 || iy >= hh)
+                                continue;
+                            const float *xrow =
+                                xplane + size_t(iy) * ww;
+                            for (int kx = 0; kx < kw; ++kx) {
+                                const int ix = ox * strideW + kx - padW;
+                                if (ix < 0 || ix >= ww)
+                                    continue;
+                                acc += double(w.at(j, i, ky, kx)) *
+                                       xrow[ix];
+                            }
+                        }
+                    }
+                    yplane[size_t(oy) * ow + ox] = float(acc);
+                }
+            }
+        }
+    });
+    return y;
+}
+
+Tensor
 directConvGradWeights(const Tensor &x, const Tensor &dy, int r)
 {
     WINOMC_SPAN("direct.grad_weights", "wino");

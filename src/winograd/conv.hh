@@ -169,6 +169,17 @@ Tensor directConvBackwardData(const Tensor &dy, const Tensor &w);
 /** Direct weight gradient: dw[j,i] = sum_b dy[b,j] (*) x[b,i]. */
 Tensor directConvGradWeights(const Tensor &x, const Tensor &dy, int r);
 
+/**
+ * Generalized reference direct convolution: arbitrary stride, explicit
+ * zero padding, rectangular filters (w: J, I, kh, kw), output
+ * (B, J, (H + 2*padH - kh)/strideH + 1, ...). Double-precision
+ * accumulation per output element in a fixed (i, ky, kx) order — the
+ * parity oracle of the DWM decomposition tests and the execution path
+ * of geometries no Winograd candidate covers.
+ */
+Tensor directConvForwardEx(const Tensor &x, const Tensor &w, int strideH,
+                           int strideW, int padH, int padW);
+
 } // namespace winomc
 
 #endif // WINOMC_WINOGRAD_CONV_HH

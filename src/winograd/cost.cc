@@ -1,6 +1,7 @@
 #include "winograd/cost.hh"
 
 #include "common/logging.hh"
+#include "winograd/plan.hh" // decomposeSpec
 #include "winograd/tiling.hh"
 
 namespace winomc {
@@ -19,8 +20,8 @@ ConvCost
 directConvCost(const ConvSpec &spec, Phase phase, const CostModelParams &p)
 {
     const uint64_t B = spec.batch, I = spec.inCh, J = spec.outCh;
-    const uint64_t HW = uint64_t(spec.h) * spec.w;
-    const uint64_t RR = uint64_t(spec.r) * spec.r;
+    const uint64_t HW = uint64_t(spec.outH()) * spec.outW();
+    const uint64_t RR = uint64_t(spec.kernelH()) * spec.kernelW();
     const double bytes = p.bytesPerScalar;
     const uint64_t S = uint64_t(p.systolicDim);
 
@@ -64,8 +65,14 @@ ConvCost
 winogradConvCost(const ConvSpec &spec, const WinogradAlgo &algo,
                  Phase phase, const CostModelParams &p)
 {
-    winomc_assert(spec.r == algo.r, "ConvSpec r=", spec.r,
-                  " does not match algorithm r=", algo.r);
+    winomc_assert(spec.squareKernel() && spec.kernelH() == algo.r,
+                  "ConvSpec kernel ", spec.kernelH(), "x",
+                  spec.kernelW(), " does not match algorithm r=",
+                  algo.r);
+    winomc_assert(spec.samePadded(),
+                  "plain Winograd cost needs a stride-1 same-padded "
+                  "spec (got ", spec.key(),
+                  "); use decomposedConvCost");
     const uint64_t B = spec.batch, I = spec.inCh, J = spec.outCh;
     const uint64_t S = uint64_t(p.systolicDim);
     const double bytes = p.bytesPerScalar;
@@ -135,8 +142,12 @@ predictedTrafficBytes(const ConvSpec &spec, const WinogradAlgo &algo,
                       Phase phase, bool fused, int stripsPerImage,
                       const CostModelParams &p)
 {
-    winomc_assert(spec.r == algo.r, "ConvSpec r=", spec.r,
-                  " does not match algorithm r=", algo.r);
+    winomc_assert(spec.squareKernel() && spec.kernelH() == algo.r,
+                  "ConvSpec kernel ", spec.kernelH(), "x",
+                  spec.kernelW(), " does not match algorithm r=",
+                  algo.r);
+    winomc_assert(spec.samePadded(), "slab-traffic prediction covers "
+                                     "the stride-1 same pipeline only");
     winomc_assert(stripsPerImage >= 1, "need at least one strip");
     const uint64_t B = spec.batch, I = spec.inCh, J = spec.outCh;
     const double bytes = p.bytesPerScalar;
@@ -196,6 +207,46 @@ predictedTrafficBytes(const ConvSpec &spec, const WinogradAlgo &algo,
         break;
     }
     return tp;
+}
+
+ConvCost
+decomposedConvCost(const ConvSpec &spec, const WinogradAlgo &unit,
+                   const CostModelParams &p)
+{
+    winomc_assert(unit.r == 3,
+                  "decomposition terms are 3-tap units; got r=", unit.r);
+    const uint64_t terms = uint64_t(decomposeSpec(spec).size());
+    winomc_assert(terms > 0, "empty decomposition for ", spec.key());
+
+    // Every term is the same inner stride-1 "same" 3x3 convolution
+    // over the gathered (outH+2) x (outW+2) view (the +2 border
+    // absorbs the inner pipeline's implicit padding).
+    ConvSpec innerSpec = spec;
+    innerSpec.h = spec.outH() + 2;
+    innerSpec.w = spec.outW() + 2;
+    innerSpec.r = 3;
+    innerSpec.kh = innerSpec.kw = 0;
+    innerSpec.strideH = innerSpec.strideW = 1;
+    innerSpec.padH = innerSpec.padW = -1;
+    const ConvCost one = winogradConvCost(innerSpec, unit,
+                                          Phase::Fprop, p);
+
+    // Per term on top of the inner pipeline: write + re-read the
+    // gathered view, and the crop-accumulate's read-modify-write
+    // sweep over the output map.
+    const uint64_t gatherElems = innerSpec.inputElems();
+    const uint64_t accumElems = spec.outputElems();
+
+    ConvCost c;
+    c.mults = terms * one.mults;
+    c.adds = terms * (one.adds + accumElems);
+    c.dramReadBytes =
+        terms * (one.dramReadBytes +
+                 uint64_t((gatherElems + accumElems) * p.bytesPerScalar));
+    c.dramWriteBytes =
+        terms * (one.dramWriteBytes +
+                 uint64_t((gatherElems + accumElems) * p.bytesPerScalar));
+    return c;
 }
 
 ConvCost

@@ -5,6 +5,7 @@
 #include <cctype>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "common/metrics.hh"
@@ -564,6 +565,247 @@ PlanLru::releasePlan(std::unique_ptr<WinoPlan> plan)
     pool.insert(pool.begin(), std::move(plan));
     if (int(pool.size()) > cap)
         pool.pop_back(); // evict LRU; slabs return to the workspace
+}
+
+// ------------------------------------------------- DWM decomposition
+
+namespace {
+
+/** Per-dimension decomposition units: (phase, chunk) pairs. */
+struct DimUnit
+{
+    int ph, chunk;
+};
+
+std::vector<DimUnit>
+decomposeDim(int k, int stride)
+{
+    std::vector<DimUnit> units;
+    for (int ph = 0; ph < stride; ++ph) {
+        const int taps = (k - ph + stride - 1) / stride;
+        for (int c = 0; c < (taps + 2) / 3; ++c)
+            units.push_back({ph, c});
+    }
+    return units;
+}
+
+} // namespace
+
+std::vector<DecompTerm>
+decomposeSpec(const ConvSpec &spec)
+{
+    const std::vector<DimUnit> rows =
+        decomposeDim(spec.kernelH(), spec.strideH);
+    const std::vector<DimUnit> cols =
+        decomposeDim(spec.kernelW(), spec.strideW);
+    std::vector<DecompTerm> terms;
+    terms.reserve(rows.size() * cols.size());
+    for (const DimUnit &ru : rows) {
+        for (const DimUnit &cu : cols) {
+            DecompTerm t;
+            t.phR = ru.ph;
+            t.chunkR = ru.chunk;
+            t.phC = cu.ph;
+            t.chunkC = cu.chunk;
+            t.offR = spec.strideH * (3 * ru.chunk + 1) + ru.ph -
+                     spec.padHEff();
+            t.offC = spec.strideW * (3 * cu.chunk + 1) + cu.ph -
+                     spec.padWEff();
+            terms.push_back(t);
+        }
+    }
+    return terms;
+}
+
+bool
+decompSupported(const ConvSpec &spec)
+{
+    return spec.kernelH() >= 1 && spec.kernelH() <= 11 &&
+           spec.kernelW() >= 1 && spec.kernelW() <= 11 &&
+           spec.strideH >= 1 && spec.strideH <= 3 && spec.strideW >= 1 &&
+           spec.strideW <= 3 && spec.h >= spec.kernelH() &&
+           spec.w >= spec.kernelW() && spec.outH() >= 1 &&
+           spec.outW() >= 1;
+}
+
+WinoDecompPlan::WinoDecompPlan(const ConvSpec &spec,
+                               const WinogradAlgo &unit)
+    : sp(spec), alg(unit), units(decomposeSpec(spec)),
+      kerScratch(spec.outCh, spec.inCh, 3, 3),
+      xGather(spec.batch, spec.inCh, spec.outH() + 2, spec.outW() + 2),
+      yTerm(spec.batch, spec.outCh, spec.outH() + 2, spec.outW() + 2)
+{
+    winomc_assert(unit.r == 3, "decomposition terms are 3-tap units; "
+                               "got an r=", unit.r, " algorithm");
+    winomc_assert(decompSupported(spec),
+                  "geometry not decomposable: ", spec.key());
+    unitW.reserve(units.size());
+    for (std::size_t u = 0; u < units.size(); ++u)
+        unitW.emplace_back(alg.alpha, sp.outCh, sp.inCh);
+    inner = std::make_unique<WinoPlan>(alg, sp.batch, sp.inCh, sp.outCh,
+                                       sp.outH() + 2, sp.outW() + 2);
+}
+
+bool
+WinoDecompPlan::matches(const ConvSpec &spec,
+                        const WinogradAlgo &unit) const
+{
+    return &unit == &alg && spec.batch == sp.batch &&
+           spec.inCh == sp.inCh && spec.outCh == sp.outCh &&
+           spec.h == sp.h && spec.w == sp.w &&
+           spec.kernelH() == sp.kernelH() &&
+           spec.kernelW() == sp.kernelW() &&
+           spec.strideH == sp.strideH && spec.strideW == sp.strideW &&
+           spec.padHEff() == sp.padHEff() &&
+           spec.padWEff() == sp.padWEff();
+}
+
+std::size_t
+WinoDecompPlan::workspaceBytes() const
+{
+    std::size_t elems =
+        kerScratch.size() + xGather.size() + yTerm.size();
+    for (const WinoWeights &w : unitW)
+        elems += w.size();
+    return inner->workspaceBytes() + elems * sizeof(float);
+}
+
+void
+WinoDecompPlan::setWeights(const Tensor &w)
+{
+    winomc_assert(w.n() == sp.outCh && w.c() == sp.inCh &&
+                      w.h() == sp.kernelH() && w.w() == sp.kernelW(),
+                  "decomposition weights mismatch the spec: got ",
+                  w.n(), "x", w.c(), "x", w.h(), "x", w.w());
+    const int kh = sp.kernelH();
+    const int kw = sp.kernelW();
+    for (std::size_t u = 0; u < units.size(); ++u) {
+        const DecompTerm &t = units[u];
+        for (int j = 0; j < sp.outCh; ++j) {
+            for (int i = 0; i < sp.inCh; ++i) {
+                for (int jr = 0; jr < 3; ++jr) {
+                    const int ar =
+                        sp.strideH * (3 * t.chunkR + jr) + t.phR;
+                    for (int jc = 0; jc < 3; ++jc) {
+                        const int ac =
+                            sp.strideW * (3 * t.chunkC + jc) + t.phC;
+                        kerScratch.at(j, i, jr, jc) =
+                            (ar < kh && ac < kw) ? w.at(j, i, ar, ac)
+                                                 : 0.0f;
+                    }
+                }
+            }
+        }
+        transformWeightsInto(kerScratch, alg, unitW[u]);
+    }
+    haveWeights = true;
+}
+
+void
+WinoDecompPlan::forwardInto(const Tensor &x, Tensor &y)
+{
+    WINOMC_SPAN("decomp.fwd", "wino");
+    winomc_assert(haveWeights,
+                  "WinoDecompPlan::forwardInto before setWeights");
+    winomc_assert(x.n() == sp.batch && x.c() == sp.inCh &&
+                      x.h() == sp.h && x.w() == sp.w,
+                  "input mismatches the decomposed plan's spec");
+    const int oh = sp.outH();
+    const int ow = sp.outW();
+    winomc_assert(y.n() == sp.batch && y.c() == sp.outCh &&
+                      y.h() == oh && y.w() == ow,
+                  "output mismatches the decomposed plan's spec");
+    const int gh = oh + 2;
+    const int gw = ow + 2;
+    const int sH = sp.strideH;
+    const int sW = sp.strideW;
+    const auto &K = mk::kernels();
+
+    y.fill(0.0f);
+    // Terms run serially and accumulate in list order: the sum's
+    // floating-point order is fixed regardless of thread count, and
+    // each term is bitwise identical staged or fused (the inner
+    // plan's own contract), so the whole decomposition is bitwise
+    // reproducible.
+    for (std::size_t u = 0; u < units.size(); ++u) {
+        const DecompTerm &t = units[u];
+
+        // Gather the term's strided view, one (image, channel) plane
+        // per task: xg[i', j'] = x_zeroext[sH*(i'-1) + offR,
+        // sW*(j'-1) + offC]. The 1-deep border carries real data
+        // where available — the inner pipeline's own "same" padding
+        // applies only outside the gathered map, and the border rows
+        // of the term output are cropped below.
+        const float *xbase = x.data();
+        float *gbase = xGather.data();
+        parallelFor(0, std::int64_t(sp.batch) * sp.inCh, 1,
+                    [&](std::int64_t lo, std::int64_t hi) {
+            for (std::int64_t bi = lo; bi < hi; ++bi) {
+                const float *xplane =
+                    xbase + std::size_t(bi) * sp.h * sp.w;
+                float *gplane = gbase + std::size_t(bi) * gh * gw;
+                for (int gi = 0; gi < gh; ++gi) {
+                    float *grow = gplane + std::size_t(gi) * gw;
+                    const int iy = sH * (gi - 1) + t.offR;
+                    if (iy < 0 || iy >= sp.h) {
+                        std::fill(grow, grow + gw, 0.0f);
+                        continue;
+                    }
+                    const float *xrow = xplane + std::size_t(iy) * sp.w;
+                    if (sW == 1) {
+                        // Contiguous span fast path: gj maps to
+                        // ix = gj - 1 + offC.
+                        const int lo2 = std::max(0, 1 - t.offC);
+                        const int hi2 =
+                            std::min(gw, sp.w + 1 - t.offC);
+                        std::fill(grow, grow + std::min(gw, lo2), 0.0f);
+                        if (hi2 > lo2)
+                            std::memcpy(grow + lo2,
+                                        xrow + lo2 - 1 + t.offC,
+                                        std::size_t(hi2 - lo2) *
+                                            sizeof(float));
+                        if (hi2 < gw)
+                            std::fill(grow + std::max(lo2, hi2),
+                                      grow + gw, 0.0f);
+                    } else {
+                        for (int gj = 0; gj < gw; ++gj) {
+                            const int ix = sW * (gj - 1) + t.offC;
+                            grow[gj] = (ix >= 0 && ix < sp.w)
+                                           ? xrow[ix]
+                                           : 0.0f;
+                        }
+                    }
+                }
+            }
+        });
+
+        if (inner->shouldFuse(false))
+            inner->forwardFusedInto(xGather, unitW[u], yTerm);
+        else
+            inner->forwardInto(xGather, unitW[u], yTerm);
+        inner->invalidateCache();
+
+        // Crop-accumulate the term's interior into y.
+        const float *tbase = yTerm.data();
+        float *ybase = y.data();
+        parallelFor(0, std::int64_t(sp.batch) * sp.outCh, 1,
+                    [&](std::int64_t lo, std::int64_t hi) {
+            for (std::int64_t bj = lo; bj < hi; ++bj) {
+                const float *tplane =
+                    tbase + std::size_t(bj) * gh * gw;
+                float *yplane = ybase + std::size_t(bj) * oh * ow;
+                for (int p = 0; p < oh; ++p)
+                    K.axpy(yplane + std::size_t(p) * ow, 1.0f,
+                           tplane + std::size_t(p + 1) * gw + 1,
+                           std::int64_t(ow));
+            }
+        });
+    }
+    if (metrics::enabled()) {
+        metrics::counterAdd("wino.decomp.fwd.calls");
+        metrics::counterAdd("wino.decomp.fwd.terms",
+                            double(units.size()));
+    }
 }
 
 } // namespace winomc

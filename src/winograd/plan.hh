@@ -30,8 +30,10 @@
 #include <mutex>
 #include <vector>
 
+#include "common/logging.hh"
 #include "tensor/tensor.hh"
 #include "winograd/algo.hh"
+#include "winograd/conv_spec.hh"
 #include "winograd/tiling.hh"
 
 namespace winomc {
@@ -265,6 +267,22 @@ class PlanSource
     acquirePlan(const WinogradAlgo &algo, int batch, int inCh,
                 int outCh, int h, int w) = 0;
 
+    /**
+     * Descriptor route of the same lease: a WinoPlan binds the
+     * unit-stride "same" geometry, so the spec must satisfy
+     * samePadded(). This is the spelling layers and the serving engine
+     * use, so the descriptor — not loose ints — carries the cache key.
+     */
+    std::unique_ptr<WinoPlan>
+    acquirePlan(const ConvSpec &spec, const WinogradAlgo &algo)
+    {
+        winomc_assert(spec.samePadded(),
+                      "WinoPlan lease needs a stride-1 same-padded "
+                      "spec; got ", spec.key());
+        return acquirePlan(algo, spec.batch, spec.inCh, spec.outCh,
+                           spec.h, spec.w);
+    }
+
     /** Park a displaced plan for reuse. null is accepted and ignored,
      *  so callers can unconditionally hand back `std::move(slot)`. */
     virtual void releasePlan(std::unique_ptr<WinoPlan> plan) = 0;
@@ -302,6 +320,96 @@ class PlanLru : public PlanSource
   private:
     int cap;
     std::vector<std::unique_ptr<WinoPlan>> pool; ///< MRU first
+};
+
+// ---------------------------------------------------------------------
+// DWM-style decomposition (DESIGN.md §4.14): a convolution with kernel
+// taps beyond 3 and/or stride beyond 1 is rewritten as a SUM of small
+// 3x3 stride-1 "same" convolutions over gathered input views — each
+// term runs through the ordinary F(m,3) staged/fused strip pipelines,
+// so every geometry the terms cover inherits the fast path (and its
+// bitwise thread-invariance) instead of falling back to direct.
+// ---------------------------------------------------------------------
+
+/**
+ * One decomposition term. Per dimension, tap index a of the original
+ * kernel maps to phase ph = a % stride and position p = a / stride;
+ * positions are chunked in threes (chunk c covers p in [3c, 3c+3)),
+ * and each (ph, c) pair becomes a 3-tap unit kernel
+ *   k_u[j] = w[stride * (3c + j) + ph]   (zero where out of range)
+ * convolved over the strided input view
+ *   x_u[i] = x_zeroext[stride * i + off],  off = stride*(3c+1) + ph - pad.
+ * The 2D term is the product of one row and one column unit.
+ */
+struct DecompTerm
+{
+    int phR, chunkR; ///< row phase / chunk
+    int phC, chunkC; ///< column phase / chunk
+    int offR, offC;  ///< input-view offsets (may be negative)
+};
+
+/** The term list of a spec (row-major over (row unit, col unit)). */
+std::vector<DecompTerm> decomposeSpec(const ConvSpec &spec);
+
+/**
+ * Can this geometry run decomposed? Requires positive output size,
+ * kernels up to 11 taps and strides up to 3 per dimension (beyond that
+ * the term count outgrows any benefit over direct).
+ */
+bool decompSupported(const ConvSpec &spec);
+
+/**
+ * Shape-bound decomposed execution plan.
+ *
+ * Owns one inner WinoPlan shared by every term — all terms convolve
+ * the same (batch, inCh -> outCh, outH+2, outW+2) gathered view, where
+ * the +2 border absorbs the inner pipeline's "same" zero padding (the
+ * shifted views carry real data where the inner padding would
+ * otherwise clip it; the border rows of each term's output are
+ * inner-padding artifacts and are cropped by the accumulation). Terms
+ * execute serially in term-list order and accumulate row-by-row with
+ * the fixed-chain axpy kernel, so results are bitwise identical for
+ * any thread count and for staged vs fused inner execution.
+ *
+ * Steady state allocates nothing: the gather/accumulate tensors, the
+ * per-term transformed weights, and the inner plan slabs all persist
+ * for the plan's lifetime. Like WinoPlan, not reentrant.
+ */
+class WinoDecompPlan
+{
+  public:
+    /** @param unit the F(m,3) algorithm every term executes with */
+    WinoDecompPlan(const ConvSpec &spec, const WinogradAlgo &unit);
+
+    /** Does this plan cover the given spec (name ignored) and unit? */
+    bool matches(const ConvSpec &spec, const WinogradAlgo &unit) const;
+
+    int terms() const { return int(units.size()); }
+    const WinogradAlgo &unitAlgo() const { return alg; }
+    const ConvSpec &spec() const { return sp; }
+    const WinoPlan &innerPlan() const { return *inner; }
+
+    /** Plan-owned bytes: inner plan slabs + gather/accumulate maps +
+     *  per-term Winograd weights. */
+    std::size_t workspaceBytes() const;
+
+    /** Split spatial weights (J, I, kh, kw) into per-term transformed
+     *  unit weights. Call once, and again whenever weights change. */
+    void setWeights(const Tensor &w);
+
+    /** y = conv(x) as the ordered sum of the decomposition terms. */
+    void forwardInto(const Tensor &x, Tensor &y);
+
+  private:
+    ConvSpec sp;
+    const WinogradAlgo &alg;
+    std::vector<DecompTerm> units;
+    std::vector<WinoWeights> unitW; ///< one transformed set per term
+    Tensor kerScratch; ///< (J, I, 3, 3) spatial unit-kernel staging
+    Tensor xGather;    ///< (B, I, outH+2, outW+2) strided view
+    Tensor yTerm;      ///< (B, J, outH+2, outW+2) term output
+    std::unique_ptr<WinoPlan> inner;
+    bool haveWeights = false;
 };
 
 } // namespace winomc

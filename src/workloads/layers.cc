@@ -25,4 +25,18 @@ tableTwoLayers5x5(int batch)
     return layers;
 }
 
+std::vector<ConvSpec>
+modernLayers(int batch)
+{
+    // {name, B, I, J, H, W, r} + designated geometry overrides.
+    ConvSpec stem{"Stem-7x7s2", batch, 3, 64, 224, 224, 7};
+    stem.strideH = stem.strideW = 2;
+    stem.padH = stem.padW = 3; // torchvision ResNet stem: 224 -> 112
+    ConvSpec incep{"Incep-5x5", batch, 48, 64, 28, 28, 5};
+    ConvSpec down{"Down-3x3s2", batch, 128, 128, 56, 56, 3};
+    down.strideH = down.strideW = 2;
+    down.padH = down.padW = 1; // 56 -> 28
+    return {stem, incep, down};
+}
+
 } // namespace winomc::workloads

@@ -24,6 +24,15 @@ std::vector<ConvSpec> tableTwoLayers(int batch = 256);
 /** Same shapes with 5x5 filters (the Fig 16 experiment). */
 std::vector<ConvSpec> tableTwoLayers5x5(int batch = 256);
 
+/**
+ * Generalized-geometry layers the paper's table omits but modern nets
+ * lead with: a 7x7 stride-2 stem, a 5x5 inception-style layer, and a
+ * 3x3 stride-2 downsampler. None fit the plain F(m,3) pipeline — they
+ * exercise the descriptor generalization, the DWM decomposition, and
+ * the auto-tuner's direct-vs-decomposed calls.
+ */
+std::vector<ConvSpec> modernLayers(int batch = 256);
+
 } // namespace winomc::workloads
 
 #endif // WINOMC_WORKLOADS_LAYERS_HH

@@ -156,6 +156,21 @@ struct SloRow
     double alertActive = 0, violations = 0;
 };
 
+/** One auto-tuner decision ("tuner.layer.<shape key>.*",
+ *  winograd/tuner.hh). */
+struct TunerRow
+{
+    double kind = -1, m = 0, terms = 0;
+    double predMs = 0, measMs = 0, cacheHit = 0;
+};
+
+/** Auto-tuner counter totals of one run scope ("tuner.<leaf>"). */
+struct TunerTotals
+{
+    double selects = 0, memoHits = 0, cacheHits = 0, cacheMisses = 0;
+    double measureRuns = 0;
+};
+
 using RowKey = std::pair<std::string, std::string>; // (scope, strategy)
 
 struct Report
@@ -170,7 +185,25 @@ struct Report
     std::map<std::string, ServeRow> serving;        // key: scope
     std::map<RowKey, RooflineRow> roofline; // key: (scope, stage)
     std::map<std::string, SloRow> slos;     // key: scope
+    std::map<RowKey, TunerRow> tuner;       // key: (scope, shape key)
+    std::map<std::string, TunerTotals> tunerTotals; // key: scope
 };
+
+/** tuner.layer.*.kind gauge value -> AlgoKind name. */
+const char *
+algoKindLabel(double kind)
+{
+    switch (int(kind)) {
+      case 0:
+        return "direct";
+      case 1:
+        return "winograd";
+      case 2:
+        return "decomposed";
+      default:
+        return "?";
+    }
+}
 
 /** kernel.isa.level gauge value -> WINOMC_ISA-style name. */
 const char *
@@ -230,6 +263,46 @@ ingest(Report &rep, const Sample &s)
         } else if (leaf == "collective_bytes") {
             rep.traffic[key].collectiveBytes = s.value;
         }
+        return;
+    }
+
+    // Auto-tuner decisions ("tuner.layer.<shape key>.<leaf>"; the
+    // shape key is dot-free by construction) and counter totals
+    // ("tuner.<leaf>").
+    if (rest.rfind("tuner.", 0) == 0) {
+        const std::string skey = scope.empty() ? "-" : scope;
+        if (rest.rfind("tuner.layer.", 0) == 0) {
+            const size_t dot = rest.rfind('.');
+            if (dot == std::string::npos || dot <= 12)
+                return;
+            TunerRow &r = rep.tuner[{skey, rest.substr(12, dot - 12)}];
+            const std::string leaft = rest.substr(dot + 1);
+            if (leaft == "kind")
+                r.kind = s.value;
+            else if (leaft == "m")
+                r.m = s.value;
+            else if (leaft == "terms")
+                r.terms = s.value;
+            else if (leaft == "pred_ms")
+                r.predMs = s.value;
+            else if (leaft == "meas_ms")
+                r.measMs = s.value;
+            else if (leaft == "cache_hit")
+                r.cacheHit = s.value;
+            return;
+        }
+        TunerTotals &t = rep.tunerTotals[skey];
+        const std::string leaft = rest.substr(6);
+        if (leaft == "selects")
+            t.selects = s.value;
+        else if (leaft == "memo_hits")
+            t.memoHits = s.value;
+        else if (leaft == "cache_hits")
+            t.cacheHits = s.value;
+        else if (leaft == "cache_misses")
+            t.cacheMisses = s.value;
+        else if (leaft == "measure_runs")
+            t.measureRuns = s.value;
         return;
     }
 
@@ -750,6 +823,43 @@ main(int argc, char **argv)
                     {"scope", "stage", "seconds", "GFLOP/s", "IPC",
                      "backend stall %", "LLC-miss B/cycle",
                      "FLOP/LLC-byte"},
+                    rows);
+    }
+
+    {
+        // One row per tuned shape: the chosen algorithm (with the
+        // F(m,3) tile and, for the DWM decomposition, the unit-term
+        // count), the cost model's predicted time, the measured time
+        // when WINOMC_TUNE=measure ran (else "-"), and whether the
+        // decision came from the on-disk tuning cache
+        // (WINOMC_TUNE_CACHE) instead of a fresh tuning pass.
+        std::vector<std::vector<std::string>> rows;
+        for (const auto &[key, r] : rep.tuner) {
+            std::string algo = algoKindLabel(r.kind);
+            if (int(r.kind) == 1 || int(r.kind) == 2)
+                algo += " F(" + fmt(r.m) + ",3)";
+            if (int(r.kind) == 2)
+                algo += " x" + fmt(r.terms);
+            rows.push_back(
+                {rowName(key), key.second, algo, fmt(r.predMs),
+                 r.measMs > 0.0 ? fmt(r.measMs) : "-",
+                 r.cacheHit > 0.0 ? "hit" : "miss"});
+        }
+        emitSection(opt, "Algorithm selection",
+                    {"scope", "shape", "algorithm", "predicted ms",
+                     "measured ms", "tune cache"},
+                    rows);
+    }
+
+    {
+        std::vector<std::vector<std::string>> rows;
+        for (const auto &[scope, t] : rep.tunerTotals)
+            rows.push_back({scope, fmt(t.selects), fmt(t.memoHits),
+                            fmt(t.cacheHits), fmt(t.cacheMisses),
+                            fmt(t.measureRuns)});
+        emitSection(opt, "Tuner activity",
+                    {"scope", "selects", "memo hits", "cache hits",
+                     "cache misses", "measure runs"},
                     rows);
     }
 
