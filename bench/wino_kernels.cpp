@@ -39,9 +39,11 @@
 #include "common/parallel.hh"
 #include "common/rng.hh"
 #include "common/trace.hh"
+#include "quant/prune.hh"
 #include "tensor/workspace.hh"
 #include "winograd/algo.hh"
 #include "winograd/conv.hh"
+#include "winograd/lowprec.hh"
 #include "winograd/microkernel.hh"
 #include "winograd/plan.hh"
 
@@ -670,6 +672,174 @@ BM_WinoEndToEndFused(benchmark::State &state)
 BENCHMARK(BM_WinoEndToEndFused)->Apply(threadArgs)
     ->Unit(benchmark::kMillisecond);
 
+// -------------------------------------------------------------------
+// Sparse + low-precision execution rows (the quant/ hot path). Every
+// row runs the full planned forward under a forced ExecPolicy on one
+// channel-heavy shape (B2, 128 -> 128 channels, 32x32, F(4x4,3x3) —
+// the regime the zero-skip compaction targets), with the transformed
+// weights magnitude-pruned to 85% and a post-ReLU-looking input so
+// the activation mask has dead panels to skip. Each row reports two
+// extra counters into the --json artifact:
+//
+//   achieved_sparsity  weight-slab zero fraction after pruning
+//                      (exactly reproducible);
+//   max_abs_err        max |y - y_dense_fp32| against an in-run dense
+//                      fp32 reference on identical inputs. 0.0 for the
+//                      sparse fp32 rows (bitwise contract); bounded by
+//                      the documented per-precision envelope for the
+//                      16-bit rows. winomc-bench-diff gates on this
+//                      so a numerics regression fails like a slowdown.
+//
+// The rate is reported in dense-equivalent FLOPs — skipped work must
+// show up as a higher rate / lower ms, never as a shrunken yardstick.
+// -------------------------------------------------------------------
+
+/** RAII override of the process-wide ExecPolicy, restoring the prior
+ *  request so a forced row cannot leak into later benchmarks. */
+struct PolicyOverride
+{
+    Prec prevPrec = requestedPrec();
+    bool prevSparse = requestedSparse();
+    PolicyOverride(Prec p, bool sparse)
+    {
+        setPrec(p);
+        setSparseMode(sparse);
+    }
+    ~PolicyOverride()
+    {
+        setPrec(prevPrec);
+        setSparseMode(prevSparse);
+    }
+};
+
+/** Shared input/weights/reference of every SPARSE_* / PREC_* row:
+ *  built once, dense fp32 reference computed once. */
+struct QuantFixture
+{
+    static constexpr int B = 2, C = 128, HW = 32;
+    static constexpr double kPruneTarget = 0.85;
+
+    Tensor x{B, C, HW, HW};
+    WinoWeights W;
+    Tensor yRef{B, C, HW, HW};
+    double achievedSparsity = 0.0;
+
+    QuantFixture()
+    {
+        const auto &algo = algoF4x4_3x3();
+        Rng rng(7);
+        // Post-ReLU-looking input: Gaussian, negatives clamped, whole
+        // channel planes and patch blocks zeroed so full tile panels
+        // go dead alongside scattered zeros.
+        x.fillGaussian(rng);
+        for (int n = 0; n < B; ++n)
+            for (int ch = 0; ch < C; ++ch)
+                for (int i = 0; i < HW; ++i)
+                    for (int j = 0; j < HW; ++j) {
+                        float &v = x.at(n, ch, i, j);
+                        if (v < 0.0f || ch % 3 == 0 ||
+                            (i / 4 + j / 4) % 2 == 0)
+                            v = 0.0f;
+                    }
+        Tensor w(C, C, 3, 3);
+        w.fillUniform(rng);
+        W = transformWeights(w, algo);
+        quant::magnitudePrune(W, kPruneTarget).apply(W);
+        achievedSparsity = quant::winogradWeightSparsity(W);
+        PolicyOverride dense(Prec::F32, false);
+        WinoPlan ref(algo, B, C, C, HW, HW);
+        ref.forwardInto(x, W, yRef);
+    }
+};
+
+QuantFixture &
+quantFixture()
+{
+    static QuantFixture f;
+    return f;
+}
+
+/**
+ * Forward pass under a forced (precision, sparsity, fused) policy on
+ * the shared quant fixture. The dense fp32 row (SPARSE_DenseRef) runs
+ * the untouched dense kernels on the same pruned weights and sparse
+ * input — the in-artifact baseline the SPARSE_/PREC_ rows are read
+ * against.
+ */
+void
+quantForwardPlanned(benchmark::State &state, Prec prec, bool sparse,
+                    bool fused)
+{
+    ThreadPool::global().setThreadCount(defaultThreadCount());
+    PolicyOverride pol(prec, sparse);
+    FusedModeOverride ovr(fused ? FusedMode::On : FusedMode::Off);
+    const auto &algo = algoF4x4_3x3();
+    auto &f = quantFixture();
+    WinoPlan plan(algo, f.B, f.C, f.C, f.HW, f.HW);
+    Tensor y(f.B, f.C, f.HW, f.HW);
+    auto run = [&] {
+        if (fused)
+            plan.forwardFusedInto(f.x, f.W, y);
+        else
+            plan.forwardInto(f.x, f.W, y);
+    };
+    run(); // warm-up: slabs / strip slots acquired here
+    WsProbe probe;
+    for (auto _ : state) {
+        run();
+        benchmark::DoNotOptimize(y.data());
+    }
+    probe.report(state);
+    const int t = plan.tileGrid().tiles();
+    reportKernelRate(state, xfFlops(algo, f.B, f.C, t) +
+                                ewFlops(algo, f.B, f.C, f.C, t) +
+                                invFlops(algo, f.B, f.C, t));
+    state.counters["achieved_sparsity"] = f.achievedSparsity;
+    state.counters["max_abs_err"] = double(y.maxAbsDiff(f.yRef));
+}
+
+void
+BM_SPARSE_DenseRef(benchmark::State &state)
+{
+    quantForwardPlanned(state, Prec::F32, false, false);
+}
+BENCHMARK(BM_SPARSE_DenseRef)->Unit(benchmark::kMillisecond);
+
+void
+BM_SPARSE_Forward(benchmark::State &state)
+{
+    quantForwardPlanned(state, Prec::F32, true, false);
+}
+BENCHMARK(BM_SPARSE_Forward)->Unit(benchmark::kMillisecond);
+
+void
+BM_SPARSE_ForwardFused(benchmark::State &state)
+{
+    quantForwardPlanned(state, Prec::F32, true, true);
+}
+BENCHMARK(BM_SPARSE_ForwardFused)->Unit(benchmark::kMillisecond);
+
+void
+BM_PREC_Bf16Forward(benchmark::State &state)
+{
+    quantForwardPlanned(state, Prec::Bf16, false, false);
+}
+BENCHMARK(BM_PREC_Bf16Forward)->Unit(benchmark::kMillisecond);
+
+void
+BM_PREC_Fp16Forward(benchmark::State &state)
+{
+    quantForwardPlanned(state, Prec::F16, false, false);
+}
+BENCHMARK(BM_PREC_Fp16Forward)->Unit(benchmark::kMillisecond);
+
+void
+BM_PREC_Bf16SparseForward(benchmark::State &state)
+{
+    quantForwardPlanned(state, Prec::Bf16, true, false);
+}
+BENCHMARK(BM_PREC_Bf16SparseForward)->Unit(benchmark::kMillisecond);
+
 void
 BM_ToomCookGenerate(benchmark::State &state)
 {
@@ -690,6 +860,9 @@ struct JsonRecord
     double gflops = 0.0;    ///< last seen (identical across reps)
     double freshBytesPerIter = 0.0;
     double acquiresPerIter = 0.0;
+    double achievedSparsity = 0.0; ///< quant rows only (haveQuant)
+    double maxAbsErr = 0.0;        ///< quant rows only (haveQuant)
+    bool haveQuant = false;
 };
 
 /** Console output as usual, plus a record of every per-iteration run
@@ -726,6 +899,14 @@ class RecordingReporter : public benchmark::ConsoleReporter
             c = r.counters.find("ws_acquires_per_iter");
             if (c != r.counters.end())
                 rec->acquiresPerIter = c->second;
+            c = r.counters.find("achieved_sparsity");
+            if (c != r.counters.end()) {
+                rec->achievedSparsity = c->second;
+                rec->haveQuant = true;
+            }
+            c = r.counters.find("max_abs_err");
+            if (c != r.counters.end())
+                rec->maxAbsErr = c->second;
         }
         ConsoleReporter::ReportRuns(runs);
     }
@@ -769,11 +950,16 @@ writeJson(const std::string &path, const std::vector<JsonRecord> &recs)
                      "\"ms_per_iter\": %.4f, \"stddev_ms\": %.4f, "
                      "\"gflops\": %.2f, "
                      "\"ws_fresh_bytes_per_iter\": %.1f, "
-                     "\"ws_acquires_per_iter\": %.2f}%s\n",
+                     "\"ws_acquires_per_iter\": %.2f",
                      recs[i].name.c_str(), recs[i].isa.c_str(), mean,
                      stddev, recs[i].gflops, recs[i].freshBytesPerIter,
-                     recs[i].acquiresPerIter,
-                     i + 1 < recs.size() ? "," : "");
+                     recs[i].acquiresPerIter);
+        if (recs[i].haveQuant)
+            std::fprintf(f,
+                         ", \"achieved_sparsity\": %.4f, "
+                         "\"max_abs_err\": %.6e",
+                         recs[i].achievedSparsity, recs[i].maxAbsErr);
+        std::fprintf(f, "}%s\n", i + 1 < recs.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

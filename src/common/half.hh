@@ -1,0 +1,107 @@
+// Bit-exact software conversions between fp32 and the two 16-bit
+// storage formats (IEEE binary16 and bfloat16). The encoders are
+// always software so every ISA produces identical bits (round to
+// nearest even, including subnormals and carry into inf for f16);
+// the decoders are exact by construction, so hardware-accelerated
+// decode paths in the microkernels are bitwise interchangeable with
+// these reference loops.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace winomc::half {
+
+inline std::uint32_t f32Bits(float f) {
+  std::uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  return u;
+}
+
+inline float f32FromBits(std::uint32_t u) {
+  float f;
+  std::memcpy(&f, &u, sizeof(f));
+  return f;
+}
+
+// fp32 -> bfloat16, round to nearest even. NaNs are quieted so that
+// truncation can never turn a signalling NaN payload into infinity.
+inline std::uint16_t f32ToBf16(float f) {
+  std::uint32_t u = f32Bits(f);
+  if ((u & 0x7f800000u) == 0x7f800000u && (u & 0x007fffffu) != 0u) {
+    return static_cast<std::uint16_t>((u >> 16) | 0x0040u);
+  }
+  u += 0x7fffu + ((u >> 16) & 1u);
+  return static_cast<std::uint16_t>(u >> 16);
+}
+
+inline float bf16ToF32(std::uint16_t h) {
+  return f32FromBits(static_cast<std::uint32_t>(h) << 16);
+}
+
+// fp32 -> binary16, round to nearest even with subnormal support and
+// overflow to infinity. Matches F16C (_mm_cvtps_ph with rounding mode
+// _MM_FROUND_TO_NEAREST_INT) bit-for-bit on every input.
+inline std::uint16_t f32ToF16(float f) {
+  const std::uint32_t u = f32Bits(f);
+  const std::uint32_t sign = (u >> 16) & 0x8000u;
+  const std::uint32_t abs = u & 0x7fffffffu;
+
+  if (abs >= 0x7f800000u) { // inf / NaN
+    const std::uint32_t nan = abs > 0x7f800000u ? 0x0200u : 0u;
+    return static_cast<std::uint16_t>(sign | 0x7c00u | nan);
+  }
+  const int e = static_cast<int>(abs >> 23) - 127;
+  if (abs <= 0x33000000u) { // <= 2^-25: rounds to signed zero
+    return static_cast<std::uint16_t>(sign);
+  }
+  if (e < -14) { // subnormal half
+    const std::uint32_t mant = (abs & 0x007fffffu) | 0x00800000u;
+    const int shift = 13 + (-14 - e); // 14..24
+    std::uint32_t q = mant >> shift;
+    const std::uint32_t rem = mant & ((1u << shift) - 1u);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (q & 1u))) {
+      ++q; // may carry into the smallest normal; the bit layout makes
+           // that carry land in the exponent field naturally
+    }
+    return static_cast<std::uint16_t>(sign | q);
+  }
+  if (e > 15) { // overflow to inf
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  }
+  std::uint32_t bits = static_cast<std::uint32_t>(e + 15) << 10;
+  bits |= (abs >> 13) & 0x03ffu;
+  const std::uint32_t rem = abs & 0x1fffu;
+  if (rem > 0x1000u || (rem == 0x1000u && (bits & 1u))) {
+    ++bits; // mantissa carry may roll into the exponent (correct) or
+            // all the way to inf (also correct for RNE)
+  }
+  return static_cast<std::uint16_t>(sign | bits);
+}
+
+inline float f16ToF32(std::uint16_t h) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000u) << 16;
+  const std::uint32_t e = (h >> 10) & 0x1fu;
+  const std::uint32_t m = h & 0x03ffu;
+  if (e == 0u) {
+    if (m == 0u) return f32FromBits(sign); // signed zero
+    // Subnormal: normalize by shifting the mantissa up until the
+    // implicit bit (bit 10) is set, adjusting the exponent per shift.
+    std::uint32_t mant = m;
+    int sh = 0;
+    while ((mant & 0x0400u) == 0u) {
+      mant <<= 1;
+      ++sh;
+    }
+    mant &= 0x03ffu;
+    const std::uint32_t exp = static_cast<std::uint32_t>(113 - sh);
+    return f32FromBits(sign | (exp << 23) | (mant << 13));
+  }
+  if (e == 31u) { // inf / NaN
+    return f32FromBits(sign | 0x7f800000u | (m << 13));
+  }
+  return f32FromBits(sign | ((e + 112u) << 23) | (m << 13));
+}
+
+} // namespace winomc::half

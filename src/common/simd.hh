@@ -29,6 +29,8 @@
 
 #include <cstdint>
 
+#include "common/half.hh"
+
 #if defined(__AVX512F__)
 #define WINOMC_SIMD_LEVEL 3
 #elif defined(__AVX2__) && defined(__FMA__)
@@ -88,6 +90,39 @@ struct VF
         const __mmask16 m =
             _mm512_cmp_ps_mask(x.v, _mm512_setzero_ps(), _CMP_GT_OQ);
         return {_mm512_maskz_mov_ps(m, _mm512_set1_ps(1.0f))};
+    }
+    /** Decode W bfloat16 payloads (value << 16 — exact). */
+    static VF
+    loadBf16(const std::uint16_t *p)
+    {
+        const __m256i raw =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(p));
+        return {_mm512_castsi512_ps(
+            _mm512_slli_epi32(_mm512_cvtepu16_epi32(raw), 16))};
+    }
+    static VF
+    loadBf16Partial(const std::uint16_t *p, int n)
+    {
+        alignas(32) std::uint16_t tmp[W] = {};
+        for (int i = 0; i < n; ++i)
+            tmp[i] = p[i];
+        return loadBf16(tmp);
+    }
+    /** Decode W binary16 payloads (exact widening; AVX512F cvtph). */
+    static VF
+    loadF16(const std::uint16_t *p)
+    {
+        const __m256i raw =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(p));
+        return {_mm512_cvtph_ps(raw)};
+    }
+    static VF
+    loadF16Partial(const std::uint16_t *p, int n)
+    {
+        alignas(32) std::uint16_t tmp[W] = {};
+        for (int i = 0; i < n; ++i)
+            tmp[i] = p[i];
+        return loadF16(tmp);
     }
 };
 
@@ -183,6 +218,51 @@ struct VF
             _mm256_cmp_ps(x.v, _mm256_setzero_ps(), _CMP_GT_OQ);
         return {_mm256_and_ps(m, _mm256_set1_ps(1.0f))};
     }
+    /** Decode W bfloat16 payloads (value << 16 — exact). */
+    static VF
+    loadBf16(const std::uint16_t *p)
+    {
+        const __m128i raw =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(p));
+        return {_mm256_castsi256_ps(
+            _mm256_slli_epi32(_mm256_cvtepu16_epi32(raw), 16))};
+    }
+    static VF
+    loadBf16Partial(const std::uint16_t *p, int n)
+    {
+        alignas(16) std::uint16_t tmp[W] = {};
+        for (int i = 0; i < n; ++i)
+            tmp[i] = p[i];
+        return loadBf16(tmp);
+    }
+    /**
+     * Decode W binary16 payloads. Uses the F16C unit when this TU was
+     * compiled with it (decode is exact, so the hardware result is
+     * bitwise identical to the software reference); otherwise the
+     * common/half.hh reference loop.
+     */
+    static VF
+    loadF16(const std::uint16_t *p)
+    {
+#if defined(__F16C__)
+        const __m128i raw =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(p));
+        return {_mm256_cvtph_ps(raw)};
+#else
+        alignas(32) float tmp[W];
+        for (int i = 0; i < W; ++i)
+            tmp[i] = winomc::half::f16ToF32(p[i]);
+        return {_mm256_load_ps(tmp)};
+#endif
+    }
+    static VF
+    loadF16Partial(const std::uint16_t *p, int n)
+    {
+        alignas(16) std::uint16_t tmp[W] = {};
+        for (int i = 0; i < n; ++i)
+            tmp[i] = p[i];
+        return loadF16(tmp);
+    }
 };
 
 struct VD
@@ -275,6 +355,40 @@ struct VF
         const __m128 m = _mm_cmpgt_ps(x.v, _mm_setzero_ps());
         return {_mm_and_ps(m, _mm_set1_ps(1.0f))};
     }
+    /** Decode W bfloat16 payloads: interleave below zeros = << 16. */
+    static VF
+    loadBf16(const std::uint16_t *p)
+    {
+        const __m128i raw =
+            _mm_loadl_epi64(reinterpret_cast<const __m128i *>(p));
+        return {_mm_castsi128_ps(
+            _mm_unpacklo_epi16(_mm_setzero_si128(), raw))};
+    }
+    static VF
+    loadBf16Partial(const std::uint16_t *p, int n)
+    {
+        alignas(16) std::uint16_t tmp[W] = {};
+        for (int i = 0; i < n; ++i)
+            tmp[i] = p[i];
+        return loadBf16(tmp);
+    }
+    /** Decode W binary16 payloads via the exact software reference. */
+    static VF
+    loadF16(const std::uint16_t *p)
+    {
+        alignas(16) float tmp[W];
+        for (int i = 0; i < W; ++i)
+            tmp[i] = winomc::half::f16ToF32(p[i]);
+        return {_mm_load_ps(tmp)};
+    }
+    static VF
+    loadF16Partial(const std::uint16_t *p, int n)
+    {
+        alignas(16) std::uint16_t tmp[W] = {};
+        for (int i = 0; i < n; ++i)
+            tmp[i] = p[i];
+        return loadF16(tmp);
+    }
 };
 
 struct VD
@@ -350,6 +464,26 @@ struct VF
     static VF mul(VF a, VF b) { return {a.v * b.v}; }
     static VF reluOf(VF x) { return {x.v > 0.0f ? x.v : 0.0f}; }
     static VF gtZeroOne(VF x) { return {x.v > 0.0f ? 1.0f : 0.0f}; }
+    static VF
+    loadBf16(const std::uint16_t *p)
+    {
+        return {winomc::half::bf16ToF32(*p)};
+    }
+    static VF
+    loadBf16Partial(const std::uint16_t *p, int n)
+    {
+        return {n ? winomc::half::bf16ToF32(*p) : 0.0f};
+    }
+    static VF
+    loadF16(const std::uint16_t *p)
+    {
+        return {winomc::half::f16ToF32(*p)};
+    }
+    static VF
+    loadF16Partial(const std::uint16_t *p, int n)
+    {
+        return {n ? winomc::half::f16ToF32(*p) : 0.0f};
+    }
 };
 
 struct VD

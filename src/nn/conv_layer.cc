@@ -1,5 +1,6 @@
 #include "nn/conv_layer.hh"
 
+#include "common/metrics.hh"
 #include "winograd/microkernel.hh"
 
 namespace winomc::nn {
@@ -69,6 +70,24 @@ ConvLayer::setPlanSource(PlanSource *src)
     // hand it back there before switching.
     planSourceRef().releasePlan(std::move(execPlan));
     planSrc = src;
+}
+
+double
+ConvLayer::pruneWinogradWeights(double sparsity)
+{
+    winomc_assert(convMode == ConvMode::WinogradLayer,
+                  "pruneWinogradWeights needs WinogradLayer mode: only "
+                  "there are the parameters the Winograd-domain slab "
+                  "itself");
+    winomc_assert(!sharedW,
+                  "cannot prune shared frozen Winograd weights");
+    pruneMask = std::make_unique<quant::PruneMask>(
+        quant::magnitudePrune(W, sparsity));
+    pruneMask->apply(W);
+    if (metrics::enabled())
+        metrics::gaugeSet("quant.prune.weight_sparsity",
+                          pruneMask->sparsity());
+    return pruneMask->sparsity();
 }
 
 void
@@ -154,16 +173,18 @@ ConvLayer::winogradForwardBody(const Tensor &x, bool train)
     // weight-gradient product, so Auto stays staged there; only an
     // explicit WINOMC_FUSED=on fuses it, caching the raw activations
     // instead and re-transforming them in backward().
-    usedFusedForward = execPlan->shouldFuse(train);
-    if (usedFusedForward) {
+    if (execPlan->shouldFuse(train)) {
         execPlan->forwardFusedInto(x, effectiveW(), y);
-        if (train)
-            cachedX = x;
     } else {
         execPlan->forwardInto(x, effectiveW(), y);
         if (!train)
             execPlan->invalidateCache();
     }
+    // Fused and half-precision forwards both leave the fp32 input-tile
+    // cache unpopulated; backward then rebuilds it from the raw
+    // activations (identical fp32 tiles either way).
+    if (train && !execPlan->inputCached())
+        cachedX = x;
     return y;
 }
 
@@ -250,14 +271,19 @@ ConvLayer::backward(const Tensor &dy)
         return directConvBackwardData(dy, w);
     }
 
-    // A fused forward bypassed the slabs, so the input-tile cache the
-    // weight-gradient product needs does not exist yet — rebuild it
-    // from the cached activations (identical tiles, staged or not).
-    if (usedFusedForward)
+    // A fused or half-precision forward bypassed the fp32 input-tile
+    // slab, so the cache the weight-gradient product needs does not
+    // exist yet — rebuild it from the cached activations (identical
+    // tiles regardless of how the forward ran; backward is full fp32).
+    if (!execPlan->inputCached())
         execPlan->scatterInput(cachedX);
     execPlan->transformGradOutput(dy);
     execPlan->gradWeightsFromCachedInto(gScratch);
     if (convMode == ConvMode::WinogradLayer) {
+        // Pinned pruned coefficients take exactly-zero gradient, so
+        // they stay dead through the SGD update.
+        if (pruneMask)
+            pruneMask->apply(gScratch);
         dW += gScratch;
     } else {
         // Chain through W = G w G^T back to the spatial parameters.

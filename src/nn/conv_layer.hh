@@ -37,6 +37,7 @@
 #include <memory>
 
 #include "nn/module.hh"
+#include "quant/prune.hh"
 #include "winograd/algo.hh"
 #include "winograd/conv.hh"
 #include "winograd/plan.hh"
@@ -108,6 +109,23 @@ class ConvLayer : public Module
     void setPlanSource(PlanSource *src);
 
     /**
+     * Winograd-domain magnitude pruning (WinogradLayer mode only — the
+     * parameters must live in the Winograd domain): zeroes the
+     * smallest-|W| fraction of the transformed weights and pins them.
+     * The per-coefficient mask is kept and applied to the Winograd-
+     * domain weight gradient in backward(), so pruned coefficients
+     * receive exactly-zero updates and stay dead through any number of
+     * further SGD steps. Returns the achieved sparsity.
+     */
+    double pruneWinogradWeights(double sparsity);
+
+    /** The active prune mask (null until pruneWinogradWeights ran). */
+    const quant::PruneMask *winoPruneMask() const
+    {
+        return pruneMask.get();
+    }
+
+    /**
      * Adopt shared, frozen Winograd-domain weights (manual Winograd
      * modes only): the layer serves forwards from *shared instead of
      * its own W, so replicas of one model skip the per-replica weight
@@ -170,14 +188,13 @@ class ConvLayer : public Module
     bool decompWeightsDirty = true; ///< re-split weights before forward
     int tunedB = 0, tunedH = 0, tunedW = 0; ///< shape the choice binds
 
+    /** Pinned-zero Winograd coefficients (pruneWinogradWeights). */
+    std::unique_ptr<quant::PruneMask> pruneMask;
+
     Tensor cachedX;    ///< input (direct-gradient paths / fused train)
     /** True iff the activations the backward pass needs were cached by
      *  a train-mode forward and not clobbered since. */
     bool trainCached = false;
-    /** True iff the last train-mode Winograd forward ran fused: the
-     *  plan's input tiles are then NOT cached and backward rebuilds
-     *  them from cachedX before the weight-gradient product. */
-    bool usedFusedForward = false;
     int lastH = 0, lastW = 0;
 };
 

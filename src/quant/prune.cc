@@ -1,0 +1,105 @@
+#include "quant/prune.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace winomc::quant {
+
+PruneMask::PruneMask(int alpha, int outCh, int inCh)
+    : alpha(alpha), nj(outCh), ni(inCh)
+{
+    winomc_assert(alpha > 0 && outCh > 0 && inCh > 0,
+                  "degenerate PruneMask shape");
+    words.assign((size() + 63) / 64, 0);
+}
+
+std::size_t
+PruneMask::prunedCount() const
+{
+    std::size_t n = 0;
+    for (std::uint64_t w : words)
+        n += std::size_t(__builtin_popcountll(w));
+    return n;
+}
+
+double
+PruneMask::sparsity() const
+{
+    return empty() ? 0.0 : double(prunedCount()) / double(size());
+}
+
+void
+PruneMask::apply(WinoWeights &w) const
+{
+    winomc_assert(w.alphaEdge() == alpha && w.outChannels() == nj &&
+                      w.inChannels() == ni,
+                  "PruneMask/WinoWeights shape mismatch");
+    float *raw = w.raw();
+    const std::size_t n = size();
+    for (std::size_t f = 0; f < n; ++f)
+        if ((words[f >> 6] >> (f & 63)) & 1u)
+            raw[f] = 0.0f;
+}
+
+PruneMask
+magnitudePrune(const WinoWeights &w, double sparsity)
+{
+    const int alpha = w.alphaEdge();
+    PruneMask mask(alpha, w.outChannels(), w.inChannels());
+    const std::size_t n = mask.size();
+    sparsity = std::clamp(sparsity, 0.0, 1.0);
+    const std::size_t target =
+        std::size_t(std::llround(sparsity * double(n)));
+    if (target == 0)
+        return mask;
+
+    const float *raw = w.raw();
+    std::vector<float> mags(n);
+    for (std::size_t f = 0; f < n; ++f)
+        mags[f] = std::fabs(raw[f]);
+
+    // The threshold is the target-th smallest magnitude; everything
+    // strictly below it is pruned, then ties at the threshold are
+    // taken in flat index order until exactly `target` bits are set.
+    std::vector<float> sorted = mags;
+    std::nth_element(sorted.begin(), sorted.begin() + (target - 1),
+                     sorted.end());
+    const float thr = sorted[target - 1];
+
+    std::size_t setBits = 0;
+    for (std::size_t f = 0; f < n && setBits < target; ++f) {
+        if (mags[f] < thr) {
+            mask.setPruned(int(f / (std::size_t(w.outChannels()) *
+                                    w.inChannels())),
+                           int(f / w.inChannels() % w.outChannels()),
+                           int(f % w.inChannels()));
+            ++setBits;
+        }
+    }
+    for (std::size_t f = 0; f < n && setBits < target; ++f) {
+        const int uv = int(f / (std::size_t(w.outChannels()) *
+                                w.inChannels()));
+        const int j = int(f / w.inChannels() % w.outChannels());
+        const int i = int(f % w.inChannels());
+        if (mags[f] == thr && !mask.pruned(uv, j, i)) {
+            mask.setPruned(uv, j, i);
+            ++setBits;
+        }
+    }
+    return mask;
+}
+
+double
+winogradWeightSparsity(const WinoWeights &w)
+{
+    if (w.size() == 0)
+        return 0.0;
+    const float *raw = w.raw();
+    std::size_t zeros = 0;
+    for (std::size_t f = 0; f < w.size(); ++f)
+        zeros += raw[f] == 0.0f;
+    return double(zeros) / double(w.size());
+}
+
+} // namespace winomc::quant

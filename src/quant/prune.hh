@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Winograd-domain weight pruning with native training (Li, Park &
+ * Tang, arXiv 1702.08597).
+ *
+ * Pruning happens directly on the transformed weight slab
+ * (WinoWeights, [uv][out_ch][in_ch]): a magnitude threshold zeroes the
+ * smallest coefficients, and the resulting PruneMask is then applied
+ * to every Winograd-domain weight *gradient* before the SGD update, so
+ * pruned coefficients stay exactly 0.0f through training. Because the
+ * elementwise kernels already skip zero weight terms row-wise, a
+ * pruned slab accelerates the forward/backward passes with no
+ * separate sparse format.
+ */
+
+#ifndef WINOMC_QUANT_PRUNE_HH
+#define WINOMC_QUANT_PRUNE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "winograd/tiling.hh"
+
+namespace winomc::quant {
+
+/**
+ * Bit-per-coefficient mask over a WinoWeights slab. Bit = 1 means
+ * "pruned": the coefficient is forced to zero and its gradient is
+ * masked every step. Storage is one bit per (uv, j, i) in flat
+ * WinoWeights index order.
+ */
+class PruneMask
+{
+  public:
+    PruneMask() = default;
+    PruneMask(int alpha, int outCh, int inCh);
+
+    bool empty() const { return words.empty(); }
+    int alphaEdge() const { return alpha; }
+    int outChannels() const { return nj; }
+    int inChannels() const { return ni; }
+    std::size_t size() const { return std::size_t(alpha) * alpha * nj * ni; }
+
+    bool
+    pruned(int uv, int j, int i) const
+    {
+        const std::size_t bit = index(uv, j, i);
+        return (words[bit >> 6] >> (bit & 63)) & 1u;
+    }
+    void
+    setPruned(int uv, int j, int i)
+    {
+        const std::size_t bit = index(uv, j, i);
+        words[bit >> 6] |= std::uint64_t(1) << (bit & 63);
+    }
+
+    std::size_t prunedCount() const;
+    /** Pruned fraction in [0, 1]; 0 for an empty mask. */
+    double sparsity() const;
+
+    /** Zero every pruned coefficient of `w` (shape must match). */
+    void apply(WinoWeights &w) const;
+
+  private:
+    std::size_t
+    index(int uv, int j, int i) const
+    {
+        winomc_assert(uv >= 0 && uv < alpha * alpha && j >= 0 && j < nj &&
+                          i >= 0 && i < ni,
+                      "PruneMask index out of range");
+        return (std::size_t(uv) * nj + j) * ni + i;
+    }
+
+    int alpha = 0;
+    int nj = 0;
+    int ni = 0;
+    std::vector<std::uint64_t> words;
+};
+
+/**
+ * Magnitude pruning of a transformed weight slab: marks the
+ * `sparsity` fraction (clamped to [0, 1]) of coefficients with the
+ * smallest |w| as pruned. Deterministic: ties at the threshold
+ * magnitude are resolved in flat index order, so the mask always
+ * prunes exactly round(sparsity * size) coefficients.
+ */
+PruneMask magnitudePrune(const WinoWeights &w, double sparsity);
+
+/** Fraction of exactly-zero coefficients in a WinoWeights slab. */
+double winogradWeightSparsity(const WinoWeights &w);
+
+} // namespace winomc::quant
+
+#endif // WINOMC_QUANT_PRUNE_HH

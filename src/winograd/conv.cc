@@ -868,6 +868,603 @@ transformInputAdjointStripAdd(const WinoTiles &dXs,
     }
 }
 
+namespace {
+
+/**
+ * Task-local tallies behind the quant.* counters: accumulated in
+ * registers inside the parallel loops, published once per task so the
+ * metrics registry mutex never sits on the hot path.
+ */
+struct SparseTally
+{
+    double rowsTotal = 0.0;
+    double rowsSkipped = 0.0;
+    double flopsSkipped = 0.0;
+
+    void
+    publish() const
+    {
+        if (!metrics::enabled() || rowsTotal == 0.0)
+            return;
+        metrics::counterAdd("quant.ew.rows_total", rowsTotal);
+        metrics::counterAdd("quant.ew.rows_skipped", rowsSkipped);
+        metrics::counterAdd("quant.ew.flops_skipped", flopsSkipped);
+    }
+};
+
+/** Mask-build tallies (quant.mask.*), same per-task discipline. */
+struct MaskTally
+{
+    double panelsTotal = 0.0;
+    double panelsZero = 0.0;
+
+    void
+    add(std::uint64_t zeroBits, int uvCount)
+    {
+        panelsTotal += uvCount;
+        panelsZero += __builtin_popcountll(zeroBits);
+    }
+    void
+    publish() const
+    {
+        if (!metrics::enabled() || panelsTotal == 0.0)
+            return;
+        metrics::counterAdd("quant.mask.panels_total", panelsTotal);
+        metrics::counterAdd("quant.mask.panels_zero", panelsZero);
+    }
+};
+
+} // namespace
+
+void
+transformInputMaskInto(const Tensor &x, const WinogradAlgo &algo,
+                       WinoTiles &out, ActMask &mask)
+{
+    WINOMC_SPAN("wino.xform.input", "wino");
+    winomc_assert(algo.alpha <= kMaxAlpha, "alpha too large");
+    TileGrid grid(x.h(), x.w(), algo);
+    winomc_assert(out.alphaEdge() == algo.alpha &&
+                  out.channels() == x.c() && out.batch() == x.n() &&
+                  out.tiles() == grid.tiles(),
+                  "transformInputMaskInto destination shape mismatch");
+
+    const int a = algo.alpha;
+    const int nc = x.c();
+    const int h = x.h();
+    const int w = x.w();
+    const int nt = grid.tiles();
+    const auto &K = mk::kernels();
+    const double *BT = algo.BT.data();
+    const double *B = algo.B.data();
+    const float *xbase = x.data();
+    const size_t uvStr = out.uvStride();
+    StageTimer probe("xform.input",
+                     4.0 * a * a * a * double(x.n()) * nc * nt);
+
+    // Identical gather/transform arithmetic to transformInputInto; the
+    // only addition is the per-panel zero scan of the just-written
+    // (L1-hot) SoA output into `mask`. Each (b, c) plane region has
+    // exactly one writer, so the plane-local clear + OR is race-free.
+    parallelFor(0, std::int64_t(x.n()) * nc, 1,
+                [&](std::int64_t lo, std::int64_t hi) {
+        SoaPanel soa;
+        MaskTally tally;
+        for (std::int64_t bc = lo; bc < hi; ++bc) {
+            const int b = int(bc / nc);
+            const int c = int(bc % nc);
+            const float *plane =
+                xbase + (size_t(b) * nc + c) * size_t(h) * w;
+            std::uint64_t *mreg = mask.plane(c, b);
+            std::fill(mreg, mreg + mask.wordsPerPlane(), 0);
+            for (int t0 = 0; t0 < nt; t0 += mk::kTilePanel) {
+                const int cnt = std::min(mk::kTilePanel, nt - t0);
+                int tr[mk::kTilePanel], tc[mk::kTilePanel];
+                for (int l = 0; l < cnt; ++l) {
+                    const int t = t0 + l;
+                    tr[l] = grid.tileRow(t / grid.tilesW);
+                    tc[l] = grid.tileCol(t % grid.tilesW);
+                }
+                K.packTilePanel(soa.data(), plane, h, w, tr, tc, a, a,
+                                cnt);
+                K.xformToTiles(BT, a, a, B, a, a, soa.data(),
+                               out.uvBase(c, b, t0), uvStr, cnt);
+                const std::uint64_t zm = K.panelZeroMask(
+                    out.uvBase(c, b, t0), uvStr, a * a, cnt);
+                mask.orPanelBits(c, b, t0 / mk::kTilePanel, zm);
+                tally.add(zm, a * a);
+            }
+        }
+        tally.publish();
+    });
+}
+
+void
+transformInputHalfInto(const Tensor &x, const WinogradAlgo &algo,
+                       HalfTiles &out, int halfKind, ActMask *mask)
+{
+    WINOMC_SPAN("wino.xform.input", "wino");
+    winomc_assert(algo.alpha <= kMaxAlpha, "alpha too large");
+    TileGrid grid(x.h(), x.w(), algo);
+    winomc_assert(out.alphaEdge() == algo.alpha &&
+                  out.channels() == x.c() && out.batch() == x.n() &&
+                  out.tiles() == grid.tiles(),
+                  "transformInputHalfInto destination shape mismatch");
+
+    const int a = algo.alpha;
+    const int nc = x.c();
+    const int h = x.h();
+    const int w = x.w();
+    const int nt = grid.tiles();
+    const auto &K = mk::kernels();
+    const double *BT = algo.BT.data();
+    const double *B = algo.B.data();
+    const float *xbase = x.data();
+    const size_t uvStr = out.uvStride();
+    StageTimer probe("xform.input",
+                     4.0 * a * a * a * double(x.n()) * nc * nt);
+
+    parallelFor(0, std::int64_t(x.n()) * nc, 1,
+                [&](std::int64_t lo, std::int64_t hi) {
+        SoaPanel soa;
+        MaskTally tally;
+        for (std::int64_t bc = lo; bc < hi; ++bc) {
+            const int b = int(bc / nc);
+            const int c = int(bc % nc);
+            const float *plane =
+                xbase + (size_t(b) * nc + c) * size_t(h) * w;
+            if (mask) {
+                std::uint64_t *mreg = mask->plane(c, b);
+                std::fill(mreg, mreg + mask->wordsPerPlane(), 0);
+            }
+            for (int t0 = 0; t0 < nt; t0 += mk::kTilePanel) {
+                const int cnt = std::min(mk::kTilePanel, nt - t0);
+                int tr[mk::kTilePanel], tc[mk::kTilePanel];
+                for (int l = 0; l < cnt; ++l) {
+                    const int t = t0 + l;
+                    tr[l] = grid.tileRow(t / grid.tilesW);
+                    tc[l] = grid.tileCol(t % grid.tilesW);
+                }
+                K.packTilePanel(soa.data(), plane, h, w, tr, tc, a, a,
+                                cnt);
+                K.xformToTilesHalf(BT, a, a, B, a, a, soa.data(),
+                                   out.uvBase(c, b, t0), uvStr, cnt,
+                                   halfKind);
+                if (mask) {
+                    const std::uint64_t zm = K.panelZeroMaskHalf(
+                        out.uvBase(c, b, t0), uvStr, a * a, cnt);
+                    mask->orPanelBits(c, b, t0 / mk::kTilePanel, zm);
+                    tally.add(zm, a * a);
+                }
+            }
+        }
+        tally.publish();
+    });
+}
+
+void
+elementwiseForwardSparseInto(const WinoTiles &X, const WinoWeights &W,
+                             WinoTiles &Y, const ActMask &mask)
+{
+    WINOMC_SPAN("wino.ew.fwd", "wino");
+    winomc_assert(X.alphaEdge() == W.alphaEdge(),
+                  "algo mismatch between tiles and weights");
+    winomc_assert(X.channels() == W.inChannels(),
+                  "channel mismatch: tiles ", X.channels(), " weights ",
+                  W.inChannels());
+    winomc_assert(Y.alphaEdge() == X.alphaEdge() &&
+                  Y.channels() == W.outChannels() &&
+                  Y.batch() == X.batch() && Y.tiles() == X.tiles(),
+                  "elementwiseForwardSparseInto destination shape mismatch");
+    Y.fill(0.0f); // kernel accumulates into Y
+    const int bt = X.batch() * X.tiles();
+    const int nj = W.outChannels();
+    const int ni = W.inChannels();
+    const int jBlocks = (nj + kJBlock - 1) / kJBlock;
+    const auto &K = mk::kernels();
+    StageTimer probe("ew.fwd", 2.0 * X.uvCount() * double(nj) * ni * bt);
+
+    // Resolve the mask once into a per-(uv, row, k-block) byte table.
+    // Every J-block task over one uv needs the same row liveness, so
+    // querying the bit-packed mask from the GEMM inner loop would
+    // repeat the panel walk jBlocks times per row — measured at this
+    // granularity the walk itself, not the skipped FLOPs, dominates.
+    const int kBlocks = (bt + kKBlock - 1) / kKBlock;
+    std::vector<std::uint8_t> rowLive(std::size_t(X.uvCount()) * ni *
+                                      kBlocks);
+    parallelFor(0, X.uvCount(), 1,
+                [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t uv = lo; uv < hi; ++uv)
+            for (int kb = 0; kb < kBlocks; ++kb) {
+                const int k0 = kb * kKBlock;
+                const int kn = std::min(kKBlock, bt - k0);
+                // Unit stride in i: the compaction scan walks this.
+                std::uint8_t *dst = rowLive.data() +
+                                    (uv * kBlocks + kb) * ni;
+                for (int i = 0; i < ni; ++i)
+                    dst[i] = !mask.rowRangeZero(int(uv), i, k0, kn);
+            }
+    });
+
+    // Same task partition as elementwiseForwardInto, but the i-loop is
+    // fully compacted per output row: every surviving (weight nonzero
+    // AND activation range live) input row of the whole column goes
+    // into one panelAccumGrouped call, so each y panel is read and
+    // written once instead of ni/kIUnroll times. The group descriptor
+    // preserves the blocked kernel's per-register-block expression
+    // shapes, keeping the result bitwise identical to dense fp32. The
+    // append is branchless (slot always written, cursor advances only
+    // for survivors) — at high sparsity the scan itself is the cost,
+    // and a skipped-row branch mispredicts by construction.
+    const std::size_t xrs = X.uvStride() / std::size_t(X.channels());
+    parallelFor(0, std::int64_t(X.uvCount()) * jBlocks, 1,
+                [&](std::int64_t lo, std::int64_t hi) {
+        SparseTally tally;
+        std::vector<const float *> xc(static_cast<std::size_t>(ni));
+        std::vector<float> wc(static_cast<std::size_t>(ni));
+        std::vector<std::uint8_t> grp(
+            static_cast<std::size_t>((ni + kIUnroll - 1) / kIUnroll));
+        for (std::int64_t task = lo; task < hi; ++task) {
+            const int uv = int(task / jBlocks);
+            const int j0 = int(task % jBlocks) * kJBlock;
+            const int jn = std::min(kJBlock, nj - j0);
+            const float *xuv = X.row(uv, 0);
+            for (int k0 = 0; k0 < bt; k0 += kKBlock) {
+                const int kb = std::min(kKBlock, bt - k0);
+                const std::uint8_t *live =
+                    rowLive.data() +
+                    (std::size_t(uv) * kBlocks + k0 / kKBlock) * ni;
+                for (int jj = 0; jj < jn; ++jj) {
+                    const float *wrow =
+                        W.raw() +
+                        (std::size_t(uv) * nj + j0 + jj) * ni;
+                    int nv = 0, ng = 0, tailOrig = kIUnroll;
+                    for (int i0 = 0; i0 < ni; i0 += kIUnroll) {
+                        const int ib = std::min(kIUnroll, ni - i0);
+                        const int base = nv;
+                        for (int ii = 0; ii < ib; ++ii) {
+                            const int i = i0 + ii;
+                            const float wval = wrow[i];
+                            wc[std::size_t(nv)] = wval;
+                            xc[std::size_t(nv)] =
+                                xuv + std::size_t(i) * xrs + k0;
+                            nv += int(wval != 0.0f) & int(live[i]);
+                        }
+                        if (nv != base) {
+                            grp[std::size_t(ng++)] =
+                                std::uint8_t(nv - base);
+                            tailOrig = ib;
+                        }
+                    }
+                    tally.rowsTotal += ni;
+                    tally.rowsSkipped += ni - nv;
+                    tally.flopsSkipped += 2.0 * (ni - nv) * kb;
+                    if (nv == 0)
+                        continue;
+                    K.panelAccumGrouped(Y.row(uv, j0 + jj) + k0,
+                                        xc.data(), wc.data(), nv, kb,
+                                        grp.data(), ng, tailOrig);
+                }
+            }
+        }
+        tally.publish();
+    });
+}
+
+void
+elementwiseForwardHalfInto(const HalfTiles &X, const WinoWeights &W,
+                           WinoTiles &Y, int halfKind,
+                           const ActMask *mask)
+{
+    WINOMC_SPAN("wino.ew.fwd", "wino");
+    winomc_assert(X.alphaEdge() == W.alphaEdge(),
+                  "algo mismatch between tiles and weights");
+    winomc_assert(X.channels() == W.inChannels(),
+                  "channel mismatch: tiles ", X.channels(), " weights ",
+                  W.inChannels());
+    winomc_assert(Y.alphaEdge() == X.alphaEdge() &&
+                  Y.channels() == W.outChannels() &&
+                  Y.batch() == X.batch() && Y.tiles() == X.tiles(),
+                  "elementwiseForwardHalfInto destination shape mismatch");
+    Y.fill(0.0f);
+    const int bt = X.batch() * X.tiles();
+    const int nj = W.outChannels();
+    const int ni = W.inChannels();
+    const int jBlocks = (nj + kJBlock - 1) / kJBlock;
+    const auto &K = mk::kernels();
+    StageTimer probe("ew.fwd", 2.0 * X.uvCount() * double(nj) * ni * bt);
+
+    // Mask resolved up front, as in elementwiseForwardSparseInto: one
+    // panel walk per (uv, row, k-block) instead of one per J-block.
+    const int kBlocks = (bt + kKBlock - 1) / kKBlock;
+    std::vector<std::uint8_t> rowLive;
+    if (mask) {
+        rowLive.resize(std::size_t(X.uvCount()) * ni * kBlocks);
+        parallelFor(0, X.uvCount(), 1,
+                    [&](std::int64_t lo, std::int64_t hi) {
+            for (std::int64_t uv = lo; uv < hi; ++uv)
+                for (int kb = 0; kb < kBlocks; ++kb) {
+                    const int k0 = kb * kKBlock;
+                    const int kn = std::min(kKBlock, bt - k0);
+                    std::uint8_t *dst = rowLive.data() +
+                                        (uv * kBlocks + kb) * ni;
+                    for (int i = 0; i < ni; ++i)
+                        dst[i] =
+                            !mask->rowRangeZero(int(uv), i, k0, kn);
+                }
+        });
+    } else {
+        // No activation mask: every row is live; keeps the scan below
+        // branch-free either way.
+        rowLive.assign(std::size_t(X.uvCount()) * ni * kBlocks, 1);
+    }
+
+    // The half kernel accumulates per-row sequentially at every ISA
+    // level, so the whole input-channel column can be compacted into
+    // ONE panelAccumHalf call per y panel — same FMA chain as the
+    // blocked calls, one y pass instead of ni/kIUnroll — without an
+    // expression-shape switch. Branchless append as in the fp32 sparse
+    // kernel.
+    const std::size_t xrs = std::size_t(X.batch()) * X.tiles();
+    parallelFor(0, std::int64_t(X.uvCount()) * jBlocks, 1,
+                [&](std::int64_t lo, std::int64_t hi) {
+        SparseTally tally;
+        std::vector<const std::uint16_t *> xc(static_cast<std::size_t>(ni));
+        std::vector<float> wc(static_cast<std::size_t>(ni));
+        for (std::int64_t task = lo; task < hi; ++task) {
+            const int uv = int(task / jBlocks);
+            const int j0 = int(task % jBlocks) * kJBlock;
+            const int jn = std::min(kJBlock, nj - j0);
+            const std::uint16_t *xuv = X.row(uv, 0);
+            for (int k0 = 0; k0 < bt; k0 += kKBlock) {
+                const int kb = std::min(kKBlock, bt - k0);
+                const std::uint8_t *live =
+                    rowLive.data() +
+                    (std::size_t(uv) * kBlocks + k0 / kKBlock) * ni;
+                for (int jj = 0; jj < jn; ++jj) {
+                    const float *wrow =
+                        W.raw() +
+                        (std::size_t(uv) * nj + j0 + jj) * ni;
+                    int nv = 0;
+                    for (int i = 0; i < ni; ++i) {
+                        const float wval = wrow[i];
+                        wc[std::size_t(nv)] = wval;
+                        xc[std::size_t(nv)] =
+                            xuv + std::size_t(i) * xrs + k0;
+                        nv += int(wval != 0.0f) & int(live[i]);
+                    }
+                    if (mask) {
+                        tally.rowsTotal += ni;
+                        tally.rowsSkipped += ni - nv;
+                        tally.flopsSkipped += 2.0 * (ni - nv) * kb;
+                    }
+                    if (nv == 0)
+                        continue;
+                    K.panelAccumHalf(Y.row(uv, j0 + jj) + k0,
+                                     xc.data(), wc.data(), nv, kb,
+                                     halfKind);
+                }
+            }
+        }
+        tally.publish();
+    });
+}
+
+void
+transformInputStripMask(const Tensor &x, const WinogradAlgo &algo,
+                        const TileGrid &grid, int b, int t0, int tcnt,
+                        WinoTiles &Xs, ActMask &mask)
+{
+    winomc_assert(algo.alpha <= kMaxAlpha, "alpha too large");
+    winomc_assert(Xs.alphaEdge() == algo.alpha && Xs.batch() == 1 &&
+                  Xs.channels() == x.c() && Xs.tiles() >= tcnt,
+                  "transformInputStripMask scratch shape mismatch");
+    const int a = algo.alpha;
+    const int nc = x.c();
+    const int h = x.h();
+    const int w = x.w();
+    const auto &K = mk::kernels();
+    const double *BT = algo.BT.data();
+    const double *B = algo.B.data();
+    const size_t uvStr = Xs.uvStride();
+    SoaPanel soa;
+    for (int c = 0; c < nc; ++c) {
+        const float *plane =
+            x.data() + (size_t(b) * nc + c) * size_t(h) * w;
+        std::uint64_t *mreg = mask.plane(c, 0);
+        std::fill(mreg, mreg + mask.wordsPerPlane(), 0);
+        for (int p0 = 0; p0 < tcnt; p0 += mk::kTilePanel) {
+            const int cnt = std::min(mk::kTilePanel, tcnt - p0);
+            int tr[mk::kTilePanel], tc[mk::kTilePanel];
+            for (int l = 0; l < cnt; ++l) {
+                const int t = t0 + p0 + l;
+                tr[l] = grid.tileRow(t / grid.tilesW);
+                tc[l] = grid.tileCol(t % grid.tilesW);
+            }
+            K.packTilePanel(soa.data(), plane, h, w, tr, tc, a, a, cnt);
+            K.xformToTiles(BT, a, a, B, a, a, soa.data(),
+                           Xs.uvBase(c, 0, p0), uvStr, cnt);
+            mask.orPanelBits(c, 0, p0 / mk::kTilePanel,
+                             K.panelZeroMask(Xs.uvBase(c, 0, p0), uvStr,
+                                             a * a, cnt));
+        }
+    }
+}
+
+void
+transformInputStripHalf(const Tensor &x, const WinogradAlgo &algo,
+                        const TileGrid &grid, int b, int t0, int tcnt,
+                        HalfTiles &Xs, int halfKind, ActMask *mask)
+{
+    winomc_assert(algo.alpha <= kMaxAlpha, "alpha too large");
+    winomc_assert(Xs.alphaEdge() == algo.alpha && Xs.batch() == 1 &&
+                  Xs.channels() == x.c() && Xs.tiles() >= tcnt,
+                  "transformInputStripHalf scratch shape mismatch");
+    const int a = algo.alpha;
+    const int nc = x.c();
+    const int h = x.h();
+    const int w = x.w();
+    const auto &K = mk::kernels();
+    const double *BT = algo.BT.data();
+    const double *B = algo.B.data();
+    const size_t uvStr = Xs.uvStride();
+    SoaPanel soa;
+    for (int c = 0; c < nc; ++c) {
+        const float *plane =
+            x.data() + (size_t(b) * nc + c) * size_t(h) * w;
+        if (mask) {
+            std::uint64_t *mreg = mask->plane(c, 0);
+            std::fill(mreg, mreg + mask->wordsPerPlane(), 0);
+        }
+        for (int p0 = 0; p0 < tcnt; p0 += mk::kTilePanel) {
+            const int cnt = std::min(mk::kTilePanel, tcnt - p0);
+            int tr[mk::kTilePanel], tc[mk::kTilePanel];
+            for (int l = 0; l < cnt; ++l) {
+                const int t = t0 + p0 + l;
+                tr[l] = grid.tileRow(t / grid.tilesW);
+                tc[l] = grid.tileCol(t % grid.tilesW);
+            }
+            K.packTilePanel(soa.data(), plane, h, w, tr, tc, a, a, cnt);
+            K.xformToTilesHalf(BT, a, a, B, a, a, soa.data(),
+                               Xs.uvBase(c, 0, p0), uvStr, cnt,
+                               halfKind);
+            if (mask)
+                mask->orPanelBits(
+                    c, 0, p0 / mk::kTilePanel,
+                    K.panelZeroMaskHalf(Xs.uvBase(c, 0, p0), uvStr,
+                                        a * a, cnt));
+        }
+    }
+}
+
+void
+elementwiseForwardStripSparse(const WinoTiles &Xs, const WinoWeights &W,
+                              int tcnt, WinoTiles &Ys,
+                              const ActMask &mask)
+{
+    winomc_assert(Xs.channels() == W.inChannels() &&
+                  Ys.channels() == W.outChannels() &&
+                  Xs.tiles() >= tcnt && Ys.tiles() >= tcnt,
+                  "elementwiseForwardStripSparse shape mismatch");
+    const int a2 = Xs.uvCount();
+    const int nj = W.outChannels();
+    const int ni = W.inChannels();
+    const auto &K = mk::kernels();
+
+    // Strip-serial mirror of elementwiseForwardSparseInto: same
+    // whole-column compaction and group descriptor, so fused sparse
+    // stays bitwise identical to staged sparse (and to dense fp32).
+    std::vector<const float *> xc(static_cast<std::size_t>(ni));
+    std::vector<float> wc(static_cast<std::size_t>(ni));
+    std::vector<std::uint8_t> grp(
+        static_cast<std::size_t>((ni + kIUnroll - 1) / kIUnroll));
+    std::vector<std::uint8_t> live(static_cast<std::size_t>(ni));
+    const std::size_t xrs = Xs.uvStride() / std::size_t(Xs.channels());
+    for (int uv = 0; uv < a2; ++uv) {
+        const float *xuv = Xs.row(uv, 0);
+        for (int j0 = 0; j0 < nj; j0 += kJBlock) {
+            const int jn = std::min(kJBlock, nj - j0);
+            float *yrows[kJBlock];
+            for (int jj = 0; jj < jn; ++jj) {
+                yrows[jj] = Ys.row(uv, j0 + jj);
+                std::fill(yrows[jj], yrows[jj] + tcnt, 0.0f);
+            }
+            for (int k0 = 0; k0 < tcnt; k0 += kKBlock) {
+                const int kb = std::min(kKBlock, tcnt - k0);
+                for (int i = 0; i < ni; ++i)
+                    live[std::size_t(i)] =
+                        !mask.rowRangeZero(uv, i, k0, kb);
+                for (int jj = 0; jj < jn; ++jj) {
+                    const float *wrow =
+                        W.raw() +
+                        (std::size_t(uv) * nj + j0 + jj) * ni;
+                    int nv = 0, ng = 0, tailOrig = kIUnroll;
+                    for (int i0 = 0; i0 < ni; i0 += kIUnroll) {
+                        const int ib = std::min(kIUnroll, ni - i0);
+                        const int base = nv;
+                        for (int ii = 0; ii < ib; ++ii) {
+                            const int i = i0 + ii;
+                            const float wval = wrow[i];
+                            wc[std::size_t(nv)] = wval;
+                            xc[std::size_t(nv)] =
+                                xuv + std::size_t(i) * xrs + k0;
+                            nv += int(wval != 0.0f) &
+                                  int(live[std::size_t(i)]);
+                        }
+                        if (nv != base) {
+                            grp[std::size_t(ng++)] =
+                                std::uint8_t(nv - base);
+                            tailOrig = ib;
+                        }
+                    }
+                    if (nv == 0)
+                        continue;
+                    K.panelAccumGrouped(yrows[jj] + k0, xc.data(),
+                                        wc.data(), nv, kb, grp.data(),
+                                        ng, tailOrig);
+                }
+            }
+        }
+    }
+}
+
+void
+elementwiseForwardStripHalf(const HalfTiles &Xs, const WinoWeights &W,
+                            int tcnt, WinoTiles &Ys, int halfKind,
+                            const ActMask *mask)
+{
+    winomc_assert(Xs.channels() == W.inChannels() &&
+                  Ys.channels() == W.outChannels() &&
+                  Xs.tiles() >= tcnt && Ys.tiles() >= tcnt,
+                  "elementwiseForwardStripHalf shape mismatch");
+    const int a2 = Xs.uvCount();
+    const int nj = W.outChannels();
+    const int ni = W.inChannels();
+    const auto &K = mk::kernels();
+
+    // Whole-column compaction as in elementwiseForwardHalfInto: the
+    // half kernel's sequential per-row chain makes the merge bitwise
+    // free, and each y panel is touched once per k-block.
+    std::vector<const std::uint16_t *> xc(static_cast<std::size_t>(ni));
+    std::vector<float> wc(static_cast<std::size_t>(ni));
+    std::vector<std::uint8_t> live(static_cast<std::size_t>(ni));
+    const std::size_t xrs = std::size_t(Xs.batch()) * Xs.tiles();
+    for (int uv = 0; uv < a2; ++uv) {
+        const std::uint16_t *xuv = Xs.row(uv, 0);
+        for (int j0 = 0; j0 < nj; j0 += kJBlock) {
+            const int jn = std::min(kJBlock, nj - j0);
+            float *yrows[kJBlock];
+            for (int jj = 0; jj < jn; ++jj) {
+                yrows[jj] = Ys.row(uv, j0 + jj);
+                std::fill(yrows[jj], yrows[jj] + tcnt, 0.0f);
+            }
+            for (int k0 = 0; k0 < tcnt; k0 += kKBlock) {
+                const int kb = std::min(kKBlock, tcnt - k0);
+                for (int i = 0; i < ni; ++i)
+                    live[std::size_t(i)] =
+                        !mask || !mask->rowRangeZero(uv, i, k0, kb);
+                for (int jj = 0; jj < jn; ++jj) {
+                    const float *wrow =
+                        W.raw() +
+                        (std::size_t(uv) * nj + j0 + jj) * ni;
+                    int nv = 0;
+                    for (int i = 0; i < ni; ++i) {
+                        const float wval = wrow[i];
+                        wc[std::size_t(nv)] = wval;
+                        xc[std::size_t(nv)] =
+                            xuv + std::size_t(i) * xrs + k0;
+                        nv += int(wval != 0.0f) &
+                              int(live[std::size_t(i)]);
+                    }
+                    if (nv == 0)
+                        continue;
+                    K.panelAccumHalf(yrows[jj] + k0, xc.data(),
+                                     wc.data(), nv, kb, halfKind);
+                }
+            }
+        }
+    }
+}
+
 Tensor
 winogradForward(const Tensor &x, const WinoWeights &W,
                 const WinogradAlgo &algo)

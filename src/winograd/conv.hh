@@ -18,6 +18,7 @@
 
 #include "tensor/tensor.hh"
 #include "winograd/algo.hh"
+#include "winograd/lowprec.hh"
 #include "winograd/tiling.hh"
 
 namespace winomc {
@@ -143,6 +144,62 @@ void transformInputAdjointStripAdd(const WinoTiles &dXs,
                                    const WinogradAlgo &algo,
                                    const TileGrid &grid, int b, int t0,
                                    int tcnt, Tensor &dx);
+
+// ---------------------------------------------------------------------
+// Sparse + low-precision forward kernels (DESIGN.md §4.15)
+//
+// The sparse fp32 kernels are bitwise identical to their dense
+// counterparts at every ISA level: the activation mask and the weight
+// compaction only ever drop terms whose product is an exact ±0, and
+// the micro-kernels preserve the dense expression shapes (see
+// mk::panelAccumSel). The half kernels store transformed activations
+// as 16 bits (software round-to-nearest-even encode, exact decode)
+// and accumulate in fp32; they are deterministic per ISA and bitwise
+// identical between staged and fused blockings. Caveat: the ±0-drop
+// argument needs finite inputs — inf/NaN activations can differ
+// (0 * inf), matching the documented error-bound contract.
+// ---------------------------------------------------------------------
+
+/** transformInputInto + per-panel activation zero-mask build. The
+ *  mask (pre-shaped by the plan) is rebuilt from scratch: each
+ *  (channel, image) plane region is cleared by its single writer. */
+void transformInputMaskInto(const Tensor &x, const WinogradAlgo &algo,
+                            WinoTiles &out, ActMask &mask);
+
+/** Input transform straight into 16-bit storage (mk::kHalfBf16 /
+ *  mk::kHalfF16). With a non-null mask, also builds the zero-mask
+ *  from the encoded panels. */
+void transformInputHalfInto(const Tensor &x, const WinogradAlgo &algo,
+                            HalfTiles &out, int halfKind, ActMask *mask);
+
+/** elementwiseForwardInto with zero-skipping: weight-zero and
+ *  mask-zero rows are compacted away before the panel kernel. */
+void elementwiseForwardSparseInto(const WinoTiles &X,
+                                  const WinoWeights &W, WinoTiles &Y,
+                                  const ActMask &mask);
+
+/** elementwiseForwardInto over 16-bit activations with fp32
+ *  accumulate; a non-null mask additionally enables zero-skipping. */
+void elementwiseForwardHalfInto(const HalfTiles &X, const WinoWeights &W,
+                                WinoTiles &Y, int halfKind,
+                                const ActMask *mask);
+
+/** Strip variants (same contracts as the fused kernels above; the
+ *  strip mask is a batch=1, stripTiles-shaped ActMask). */
+void transformInputStripMask(const Tensor &x, const WinogradAlgo &algo,
+                             const TileGrid &grid, int b, int t0,
+                             int tcnt, WinoTiles &Xs, ActMask &mask);
+void transformInputStripHalf(const Tensor &x, const WinogradAlgo &algo,
+                             const TileGrid &grid, int b, int t0,
+                             int tcnt, HalfTiles &Xs, int halfKind,
+                             ActMask *mask);
+void elementwiseForwardStripSparse(const WinoTiles &Xs,
+                                   const WinoWeights &W, int tcnt,
+                                   WinoTiles &Ys, const ActMask &mask);
+void elementwiseForwardStripHalf(const HalfTiles &Xs,
+                                 const WinoWeights &W, int tcnt,
+                                 WinoTiles &Ys, int halfKind,
+                                 const ActMask *mask);
 
 // ---------------------------------------------------------------------
 // High-level convenience wrappers (build a transient execution plan)

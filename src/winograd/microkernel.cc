@@ -59,8 +59,11 @@ cpuHas(Isa isa)
       case Isa::Sse2:
         return __builtin_cpu_supports("sse2");
       case Isa::Avx2:
+        // f16c: the AVX2 TU is compiled with -mf16c for the fp16
+        // decode path (every AVX2+FMA part ships it, but verify).
         return __builtin_cpu_supports("avx2") &&
-               __builtin_cpu_supports("fma");
+               __builtin_cpu_supports("fma") &&
+               __builtin_cpu_supports("f16c");
       case Isa::Avx512:
         return __builtin_cpu_supports("avx512f");
       case Isa::Auto:

@@ -172,7 +172,92 @@ struct MicroKernels
      */
     void (*avgPool2Row)(float *y, const float *r0, const float *r1,
                         int outW);
+
+    // --- sparse + low-precision extensions --------------------------
+
+    /**
+     * panelAccum over a caller-compacted row subset. `origNv` is the
+     * row count of the uncompacted block; the scalar kernel uses it to
+     * pick the same expression shape (flat 8-term sum vs accumulate
+     * loop) panelAccum would have used, so dropping rows whose terms
+     * are exactly zero stays bitwise identical to the dense kernel.
+     * Vector levels accumulate sequentially for every nv and ignore
+     * origNv. nv may be 0 (pure no-op).
+     */
+    void (*panelAccumSel)(float *y, const float *const *x,
+                          const float *w, int nv, int len, int origNv);
+
+    /**
+     * Whole-column variant of panelAccumSel: one pass over the y panel
+     * accumulating every surviving row of the full input-channel
+     * column at once. The caller compacts rows in ascending order
+     * across consecutive kIUnroll register blocks; grpNv[g] is the
+     * survivor count of the g-th non-empty block (empty blocks are
+     * omitted) and tailOrig is the uncompacted row count of the LAST
+     * group (8 for a full block, ni % 8 for a ragged tail). The scalar
+     * kernel replays panelAccum's per-block expression shape inside a
+     * single y read-modify-write — bitwise identical to the blocked
+     * dense kernel because fp32 store/load round trips are exact.
+     * Vector levels accumulate all nv rows in one sequential FMA chain
+     * and ignore the grouping (same chain as the blocked calls). The
+     * point: the blocked kernel re-reads each y panel ni/8 times, so
+     * at high sparsity y traffic, not FLOPs, dominates; one pass makes
+     * skipped rows actually buy time.
+     */
+    void (*panelAccumGrouped)(float *y, const float *const *x,
+                              const float *w, int nv, int len,
+                              const std::uint8_t *grpNv, int nGroups,
+                              int tailOrig);
+
+    /**
+     * panelAccum with 16-bit activation rows: each x[v][k] is decoded
+     * (kHalfBf16 | kHalfF16 -> fp32, exact) before the fp32
+     * multiply-accumulate. Sequential per-row accumulation at every
+     * level, so staged and fused blockings agree bitwise per ISA.
+     */
+    void (*panelAccumHalf)(float *y, const std::uint16_t *const *x,
+                           const float *w, int nv, int len,
+                           int halfKind);
+
+    /**
+     * xformToTiles with a 16-bit destination: the fp32 transform
+     * result of each lane is encoded to `halfKind` with software
+     * round-to-nearest-even (common/half.hh), so every ISA level
+     * writes identical bits.
+     */
+    void (*xformToTilesHalf)(const double *L, int p, int n,
+                             const double *R, int k, int q,
+                             const double *in, std::uint16_t *out,
+                             std::size_t outStride, int cnt,
+                             int halfKind);
+
+    /** dst[i] = encode(src[i]) — software RNE, ISA-independent bits. */
+    void (*cvtFloatToHalf)(std::uint16_t *dst, const float *src,
+                           std::int64_t n, int halfKind);
+
+    /** dst[i] = decode(src[i]) — exact, so hardware decode is fine. */
+    void (*cvtHalfToFloat)(float *dst, const std::uint16_t *src,
+                           std::int64_t n, int halfKind);
+
+    /**
+     * Bit e (e < entries <= 64) of the result is 1 iff lanes
+     * x[e * stride + 0 .. cnt) are all exactly 0.0f (or -0.0f). Scans
+     * exactly cnt <= kTilePanel lanes per entry — the mask builder for
+     * the just-written SoA panel of the input transform.
+     */
+    std::uint64_t (*panelZeroMask)(const float *x, std::size_t stride,
+                                   int entries, int cnt);
+
+    /** panelZeroMask over 16-bit payloads: zero test is
+     *  (bits & 0x7fff) == 0 (both formats encode ±0 that way). */
+    std::uint64_t (*panelZeroMaskHalf)(const std::uint16_t *x,
+                                       std::size_t stride, int entries,
+                                       int cnt);
 };
+
+/** halfKind selector for the 16-bit microkernel variants. */
+constexpr int kHalfBf16 = 0;
+constexpr int kHalfF16 = 1;
 
 /**
  * Parse a WINOMC_ISA-style string. Unknown or malformed input warns

@@ -327,6 +327,210 @@ addRows(float *dst, const float *a, const float *b, std::int64_t n)
 }
 
 void
+panelAccumSel(float *y, const float *const *x, const float *w, int nv,
+              int len, int /*origNv*/)
+{
+    // The vector panelAccum accumulates row products sequentially for
+    // every nv, so dropping rows whose terms are exactly zero cannot
+    // change any partial sum: origNv is a scalar-TU concern only.
+    panelAccum(y, x, w, nv, len);
+}
+
+void
+panelAccumGrouped(float *y, const float *const *x, const float *w,
+                  int nv, int len, const std::uint8_t * /*grpNv*/,
+                  int /*nGroups*/, int /*tailOrig*/)
+{
+    // One sequential FMA chain over all surviving rows — exactly the
+    // chain the blocked per-group calls would produce, so the group
+    // structure only matters to the scalar TU. The chain is serial in
+    // v by the bitwise contract; the only ILP available is across k,
+    // so run four independent column accumulators per pass (each
+    // element still sees its own unchanged chain).
+    int k = 0;
+    for (; k + 4 * VF::W <= len; k += 4 * VF::W) {
+        VF a0 = VF::load(y + k);
+        VF a1 = VF::load(y + k + VF::W);
+        VF a2 = VF::load(y + k + 2 * VF::W);
+        VF a3 = VF::load(y + k + 3 * VF::W);
+        for (int v = 0; v < nv; ++v) {
+            const float *xv = x[v] + k;
+            const VF wv = VF::broadcast(w[v]);
+            a0 = VF::fma(wv, VF::load(xv), a0);
+            a1 = VF::fma(wv, VF::load(xv + VF::W), a1);
+            a2 = VF::fma(wv, VF::load(xv + 2 * VF::W), a2);
+            a3 = VF::fma(wv, VF::load(xv + 3 * VF::W), a3);
+        }
+        a0.store(y + k);
+        a1.store(y + k + VF::W);
+        a2.store(y + k + 2 * VF::W);
+        a3.store(y + k + 3 * VF::W);
+    }
+    for (; k + VF::W <= len; k += VF::W) {
+        VF acc = VF::load(y + k);
+        for (int v = 0; v < nv; ++v)
+            acc = VF::fma(VF::broadcast(w[v]), VF::load(x[v] + k), acc);
+        acc.store(y + k);
+    }
+    if (k < len) {
+        const int r = len - k;
+        VF acc = VF::loadPartial(y + k, r);
+        for (int v = 0; v < nv; ++v)
+            acc = VF::fma(VF::broadcast(w[v]),
+                          VF::loadPartial(x[v] + k, r), acc);
+        acc.storePartial(y + k, r);
+    }
+}
+
+void
+panelAccumHalf(float *y, const std::uint16_t *const *x, const float *w,
+               int nv, int len, int halfKind)
+{
+    const bool bf16 = halfKind == winomc::mk::kHalfBf16;
+    int k = 0;
+    // Two independent column accumulators: the per-row chain is serial
+    // by the bitwise contract, so ILP comes from the k axis (each
+    // element keeps its own unchanged chain).
+    for (; k + 2 * VF::W <= len; k += 2 * VF::W) {
+        VF a0 = VF::load(y + k);
+        VF a1 = VF::load(y + k + VF::W);
+        for (int v = 0; v < nv; ++v) {
+            const std::uint16_t *xv = x[v] + k;
+            const VF wv = VF::broadcast(w[v]);
+            a0 = VF::fma(wv, bf16 ? VF::loadBf16(xv) : VF::loadF16(xv),
+                         a0);
+            a1 = VF::fma(wv,
+                         bf16 ? VF::loadBf16(xv + VF::W)
+                              : VF::loadF16(xv + VF::W),
+                         a1);
+        }
+        a0.store(y + k);
+        a1.store(y + k + VF::W);
+    }
+    for (; k + VF::W <= len; k += VF::W) {
+        VF acc = VF::load(y + k);
+        for (int v = 0; v < nv; ++v) {
+            const VF xv = bf16 ? VF::loadBf16(x[v] + k)
+                               : VF::loadF16(x[v] + k);
+            acc = VF::fma(VF::broadcast(w[v]), xv, acc);
+        }
+        acc.store(y + k);
+    }
+    if (k < len) {
+        const int r = len - k;
+        VF acc = VF::loadPartial(y + k, r);
+        for (int v = 0; v < nv; ++v) {
+            const VF xv = bf16 ? VF::loadBf16Partial(x[v] + k, r)
+                               : VF::loadF16Partial(x[v] + k, r);
+            acc = VF::fma(VF::broadcast(w[v]), xv, acc);
+        }
+        acc.storePartial(y + k, r);
+    }
+}
+
+void
+xformToTilesHalf(const double *L, int p, int n, const double *R, int k,
+                 int q, const double *in, std::uint16_t *out,
+                 std::size_t outStride, int cnt, int halfKind)
+{
+    const bool bf16 = halfKind == winomc::mk::kHalfBf16;
+    sandwichPanel(
+        L, p, n, R, k, q, cnt,
+        [&](int e, int l0, int) {
+            return VD::load(in + e * kTilePanel + l0);
+        },
+        [&](int e, int l0, int lc, VD v) {
+            // Round double -> float exactly as xformToTiles would,
+            // then encode with the software RNE reference so every
+            // ISA level writes identical bits.
+            float tmp[VD::W > 4 ? VD::W : 4];
+            v.storeToFloat(tmp);
+            std::uint16_t *dst = out + std::size_t(e) * outStride + l0;
+            if (bf16)
+                for (int l = 0; l < lc; ++l)
+                    dst[l] = winomc::half::f32ToBf16(tmp[l]);
+            else
+                for (int l = 0; l < lc; ++l)
+                    dst[l] = winomc::half::f32ToF16(tmp[l]);
+        });
+}
+
+void
+cvtFloatToHalf(std::uint16_t *dst, const float *src, std::int64_t n,
+               int halfKind)
+{
+    // Encode is always the software reference: identical bits on
+    // every ISA level by construction.
+    if (halfKind == winomc::mk::kHalfBf16)
+        for (std::int64_t i = 0; i < n; ++i)
+            dst[i] = winomc::half::f32ToBf16(src[i]);
+    else
+        for (std::int64_t i = 0; i < n; ++i)
+            dst[i] = winomc::half::f32ToF16(src[i]);
+}
+
+void
+cvtHalfToFloat(float *dst, const std::uint16_t *src, std::int64_t n,
+               int halfKind)
+{
+    std::int64_t i = 0;
+    if (halfKind == winomc::mk::kHalfBf16) {
+        for (; i + VF::W <= n; i += VF::W)
+            VF::loadBf16(src + i).store(dst + i);
+        if (i < n)
+            VF::loadBf16Partial(src + i, int(n - i))
+                .storePartial(dst + i, int(n - i));
+    } else {
+        for (; i + VF::W <= n; i += VF::W)
+            VF::loadF16(src + i).store(dst + i);
+        if (i < n)
+            VF::loadF16Partial(src + i, int(n - i))
+                .storePartial(dst + i, int(n - i));
+    }
+}
+
+std::uint64_t
+panelZeroMask(const float *x, std::size_t stride, int entries, int cnt)
+{
+    // Mask building is a read-only scan off the critical arithmetic
+    // path; the scalar loop keeps every ISA level's mask identical.
+    std::uint64_t m = 0;
+    for (int e = 0; e < entries; ++e) {
+        const float *p = x + std::size_t(e) * stride;
+        bool zero = true;
+        for (int l = 0; l < cnt; ++l) {
+            if (p[l] != 0.0f) {
+                zero = false;
+                break;
+            }
+        }
+        if (zero)
+            m |= std::uint64_t(1) << e;
+    }
+    return m;
+}
+
+std::uint64_t
+panelZeroMaskHalf(const std::uint16_t *x, std::size_t stride,
+                  int entries, int cnt)
+{
+    std::uint64_t m = 0;
+    for (int e = 0; e < entries; ++e) {
+        const std::uint16_t *p = x + std::size_t(e) * stride;
+        bool zero = true;
+        for (int l = 0; l < cnt; ++l) {
+            if ((p[l] & 0x7fffu) != 0u) { // both formats: ±0 only
+                zero = false;
+                break;
+            }
+        }
+        if (zero)
+            m |= std::uint64_t(1) << e;
+    }
+    return m;
+}
+
+void
 avgPool2Row(float *y, const float *r0, const float *r1, int outW)
 {
     // Deinterleave through small stack panels, then combine with the
@@ -374,6 +578,11 @@ avgPool2Row(float *y, const float *r0, const float *r1, int outW)
             mkimpl::reluForward,    mkimpl::mulPairwise,                  \
             mkimpl::axpy,           mkimpl::addRows,                      \
             mkimpl::avgPool2Row,                                          \
+            mkimpl::panelAccumSel,  mkimpl::panelAccumGrouped,            \
+            mkimpl::panelAccumHalf,                                       \
+            mkimpl::xformToTilesHalf,                                     \
+            mkimpl::cvtFloatToHalf, mkimpl::cvtHalfToFloat,               \
+            mkimpl::panelZeroMask,  mkimpl::panelZeroMaskHalf,            \
         };                                                                \
         return &table;                                                    \
     }                                                                     \

@@ -13,6 +13,8 @@
 
 #include "winograd/microkernel.hh"
 
+#include "common/half.hh"
+
 namespace {
 
 using winomc::mk::kTilePanel;
@@ -251,6 +253,169 @@ avgPool2Row(float *y, const float *r0, const float *r1, int outW)
                (r0[2 * o] + r0[2 * o + 1] + r1[2 * o] + r1[2 * o + 1]);
 }
 
+void
+panelAccumSel(float *y, const float *const *x, const float *w, int nv,
+              int len, int origNv)
+{
+    // Row-compacted panelAccum. Terms dropped by the caller are exact
+    // ±0.0f products, and removing exact zeros from either expression
+    // shape below leaves every partial sum bitwise unchanged — but the
+    // SHAPE must match what panelAccum would have used for the
+    // uncompacted block, hence the origNv switch.
+    if (nv == 0)
+        return; // y[k] += (sum of exact zeros) is a bitwise no-op
+    if (origNv == 8) {
+        // The flat 8-term expression, minus the zero terms: seed with
+        // the first surviving product, left-associate the rest, add to
+        // y last.
+        for (int k = 0; k < len; ++k) {
+            float s = w[0] * x[0][k];
+            for (int v = 1; v < nv; ++v)
+                s += w[v] * x[v][k];
+            y[k] += s;
+        }
+    } else {
+        for (int k = 0; k < len; ++k) {
+            float acc = y[k];
+            for (int v = 0; v < nv; ++v)
+                acc += w[v] * x[v][k];
+            y[k] = acc;
+        }
+    }
+}
+
+void
+panelAccumGrouped(float *y, const float *const *x, const float *w,
+                  int /*nv*/, int len, const std::uint8_t *grpNv,
+                  int nGroups, int tailOrig)
+{
+    // One y read-modify-write per element, but each group's partial
+    // sum keeps the expression shape the blocked panelAccum /
+    // panelAccumSel sequence would have used: full blocks form the
+    // flat left-associated product sum added to the accumulator as one
+    // term; a ragged tail accumulates per row. The fp32 store/load
+    // between blocked calls is exact, so collapsing the passes cannot
+    // change any bit.
+    for (int k = 0; k < len; ++k) {
+        float acc = y[k];
+        int v = 0;
+        for (int g = 0; g < nGroups; ++g) {
+            const int gn = grpNv[g];
+            if (g + 1 < nGroups || tailOrig == 8) {
+                float s = w[v] * x[v][k];
+                for (int u = 1; u < gn; ++u)
+                    s += w[v + u] * x[v + u][k];
+                acc += s;
+            } else {
+                for (int u = 0; u < gn; ++u)
+                    acc += w[v + u] * x[v + u][k];
+            }
+            v += gn;
+        }
+        y[k] = acc;
+    }
+}
+
+void
+panelAccumHalf(float *y, const std::uint16_t *const *x, const float *w,
+               int nv, int len, int halfKind)
+{
+    const bool bf16 = halfKind == winomc::mk::kHalfBf16;
+    for (int k = 0; k < len; ++k) {
+        float acc = y[k];
+        for (int v = 0; v < nv; ++v) {
+            const float xv = bf16 ? winomc::half::bf16ToF32(x[v][k])
+                                  : winomc::half::f16ToF32(x[v][k]);
+            acc += w[v] * xv;
+        }
+        y[k] = acc;
+    }
+}
+
+void
+xformToTilesHalf(const double *L, int p, int n, const double *R, int k,
+                 int q, const double *in, std::uint16_t *out,
+                 std::size_t outStride, int cnt, int halfKind)
+{
+    const bool bf16 = halfKind == winomc::mk::kHalfBf16;
+    for (int l = 0; l < cnt; ++l) {
+        sandwichLane(
+            L, p, n, R, k, q,
+            [&](int e) { return in[e * kTilePanel + l]; },
+            [&](int e, double v) {
+                // Same double -> float rounding point as xformToTiles,
+                // then the software RNE encode.
+                const float f = float(v);
+                out[std::size_t(e) * outStride + l] =
+                    bf16 ? winomc::half::f32ToBf16(f)
+                         : winomc::half::f32ToF16(f);
+            });
+    }
+}
+
+void
+cvtFloatToHalf(std::uint16_t *dst, const float *src, std::int64_t n,
+               int halfKind)
+{
+    if (halfKind == winomc::mk::kHalfBf16)
+        for (std::int64_t i = 0; i < n; ++i)
+            dst[i] = winomc::half::f32ToBf16(src[i]);
+    else
+        for (std::int64_t i = 0; i < n; ++i)
+            dst[i] = winomc::half::f32ToF16(src[i]);
+}
+
+void
+cvtHalfToFloat(float *dst, const std::uint16_t *src, std::int64_t n,
+               int halfKind)
+{
+    if (halfKind == winomc::mk::kHalfBf16)
+        for (std::int64_t i = 0; i < n; ++i)
+            dst[i] = winomc::half::bf16ToF32(src[i]);
+    else
+        for (std::int64_t i = 0; i < n; ++i)
+            dst[i] = winomc::half::f16ToF32(src[i]);
+}
+
+std::uint64_t
+panelZeroMask(const float *x, std::size_t stride, int entries, int cnt)
+{
+    std::uint64_t m = 0;
+    for (int e = 0; e < entries; ++e) {
+        const float *p = x + std::size_t(e) * stride;
+        bool zero = true;
+        for (int l = 0; l < cnt; ++l) {
+            if (p[l] != 0.0f) {
+                zero = false;
+                break;
+            }
+        }
+        if (zero)
+            m |= std::uint64_t(1) << e;
+    }
+    return m;
+}
+
+std::uint64_t
+panelZeroMaskHalf(const std::uint16_t *x, std::size_t stride,
+                  int entries, int cnt)
+{
+    std::uint64_t m = 0;
+    for (int e = 0; e < entries; ++e) {
+        const std::uint16_t *p = x + std::size_t(e) * stride;
+        bool zero = true;
+        for (int l = 0; l < cnt; ++l) {
+            if ((p[l] & 0x7fffu) != 0u) { // both formats: ±0 only
+                zero = false;
+                break;
+            }
+        }
+        if (zero)
+            m |= std::uint64_t(1) << e;
+    }
+    return m;
+}
+
 const winomc::mk::MicroKernels kTable = {
     winomc::mk::Isa::Scalar,
     "scalar",
@@ -270,6 +435,14 @@ const winomc::mk::MicroKernels kTable = {
     axpy,
     addRows,
     avgPool2Row,
+    panelAccumSel,
+    panelAccumGrouped,
+    panelAccumHalf,
+    xformToTilesHalf,
+    cvtFloatToHalf,
+    cvtHalfToFloat,
+    panelZeroMask,
+    panelZeroMaskHalf,
 };
 
 } // namespace

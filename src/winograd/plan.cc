@@ -128,7 +128,7 @@ setFusedMode(FusedMode m)
 WinoPlan::WinoPlan(const WinogradAlgo &algo, int batch, int inCh,
                    int outCh, int h, int w)
     : alg(algo), nb(batch), ni(inCh), nj(outCh), fh(h), fw(w),
-      grid(h, w, algo)
+      grid(h, w, algo), pol(currentExecPolicy())
 {
     winomc_assert(batch > 0 && inCh > 0 && outCh > 0,
                   "degenerate WinoPlan configuration");
@@ -147,6 +147,15 @@ WinoPlan::WinoPlan(const WinogradAlgo &algo, int batch, int inCh,
     Yt.reshape(algo.alpha, outCh, batch, grid.tiles());
     dYt.reshape(algo.alpha, outCh, batch, grid.tiles());
     dXt.reshape(algo.alpha, inCh, batch, grid.tiles());
+    // Policy-dependent slabs: the 16-bit input tiles replace Xt on the
+    // staged half forward, the activation zero mask feeds the sparse
+    // elementwise kernels. Both are sized here so policy execution
+    // keeps the zero-steady-state-allocation contract.
+    if (pol.prec != Prec::F32)
+        Xh.reshape(algo.alpha, inCh, batch, grid.tiles());
+    if (pol.sparse)
+        actMask.reshape(algo.alpha * algo.alpha, inCh, batch,
+                        grid.tiles());
 
     // Fused strip geometry: whole tile panels, sized so one worker's
     // in+out scratch fits kStripScratchBytes, clamped to [one panel,
@@ -188,7 +197,7 @@ WinoPlan::matches(const WinogradAlgo &algo, int batch, int inCh,
                   int outCh, int h, int w) const
 {
     return &algo == &alg && batch == nb && inCh == ni && outCh == nj &&
-           h == fh && w == fw;
+           h == fh && w == fw && pol == currentExecPolicy();
 }
 
 std::size_t
@@ -196,10 +205,13 @@ WinoPlan::workspaceBytes() const
 {
     std::size_t stripBytes = 0;
     for (const auto &s : stripSlots)
-        stripBytes += (s->in.size() + s->out.size()) * sizeof(float);
+        stripBytes += (s->in.size() + s->out.size()) * sizeof(float) +
+                      s->inHalf.size() * sizeof(std::uint16_t) +
+                      s->mask.wordCount() * sizeof(std::uint64_t);
     return (Xt.size() + Yt.size() + dYt.size() + dXt.size()) *
                sizeof(float) +
-           stripBytes;
+           Xh.size() * sizeof(std::uint16_t) +
+           actMask.wordCount() * sizeof(std::uint64_t) + stripBytes;
 }
 
 bool
@@ -238,6 +250,10 @@ WinoPlan::acquireStripSlot()
         auto s = std::make_unique<StripScratch>();
         s->in.reshape(alg.alpha, ni, 1, stripT);
         s->out.reshape(alg.alpha, nj, 1, stripT);
+        if (pol.prec != Prec::F32)
+            s->inHalf.reshape(alg.alpha, ni, 1, stripT);
+        if (pol.sparse)
+            s->mask.reshape(alg.alpha * alg.alpha, ni, 1, stripT);
         stripSlots.push_back(std::move(s));
         return stripSlots.back().get();
     }
@@ -267,6 +283,10 @@ WinoPlan::ensureStripSlots(int n)
         auto s = std::make_unique<StripScratch>();
         s->in.reshape(alg.alpha, ni, 1, stripT);
         s->out.reshape(alg.alpha, nj, 1, stripT);
+        if (pol.prec != Prec::F32)
+            s->inHalf.reshape(alg.alpha, ni, 1, stripT);
+        if (pol.sparse)
+            s->mask.reshape(alg.alpha * alg.alpha, ni, 1, stripT);
         stripFree.push_back(s.get());
         stripSlots.push_back(std::move(s));
     }
@@ -274,21 +294,18 @@ WinoPlan::ensureStripSlots(int n)
 
 void
 WinoPlan::publishTraffic(const char *mode, const char *phase,
-                         double xformFloats, double ewFloats,
-                         double invFloats, double predictedBytes) const
+                         double xformBytes, double ewBytes,
+                         double invBytes, double predictedBytes) const
 {
     std::string base = "wino.";
     base += mode;
     base += '.';
     base += phase;
-    const double s = double(sizeof(float));
-    metrics::counterAdd((base + ".xform_bytes").c_str(),
-                        xformFloats * s);
-    metrics::counterAdd((base + ".ew_bytes").c_str(), ewFloats * s);
-    metrics::counterAdd((base + ".inverse_bytes").c_str(),
-                        invFloats * s);
+    metrics::counterAdd((base + ".xform_bytes").c_str(), xformBytes);
+    metrics::counterAdd((base + ".ew_bytes").c_str(), ewBytes);
+    metrics::counterAdd((base + ".inverse_bytes").c_str(), invBytes);
     metrics::counterAdd((base + ".bytes_moved").c_str(),
-                        (xformFloats + ewFloats + invFloats) * s);
+                        xformBytes + ewBytes + invBytes);
     metrics::counterAdd((base + ".calls").c_str(), 1.0);
     metrics::gaugeSet((base + ".predicted_bytes").c_str(),
                       predictedBytes);
@@ -298,18 +315,38 @@ void
 WinoPlan::forwardInto(const Tensor &x, const WinoWeights &W, Tensor &y)
 {
     WINOMC_SPAN("wino.phase.fwd", "wino");
-    transformInputInto(x, alg, Xt);
-    elementwiseForwardInto(Xt, W, Yt);
+    const bool half = pol.prec != Prec::F32;
+    const int hk =
+        pol.prec == Prec::F16 ? mk::kHalfF16 : mk::kHalfBf16;
+    if (half) {
+        ActMask *m = pol.sparse ? &actMask : nullptr;
+        transformInputHalfInto(x, alg, Xh, hk, m);
+        elementwiseForwardHalfInto(Xh, W, Yt, hk, m);
+        // The fp32 Xt slab was bypassed; tile-cache consumers must
+        // scatterInput (backward stays full fp32).
+        haveInput = false;
+    } else if (pol.sparse) {
+        transformInputMaskInto(x, alg, Xt, actMask);
+        elementwiseForwardSparseInto(Xt, W, Yt, actMask);
+        haveInput = true; // Xt is the same fp32 slab, bitwise
+    } else {
+        transformInputInto(x, alg, Xt);
+        elementwiseForwardInto(Xt, W, Yt);
+        haveInput = true;
+    }
     inverseTransformInto(Yt, alg, y);
-    haveInput = haveOutput = true;
+    haveOutput = true;
     if (metrics::enabled()) {
         const ConvSpec spec{"plan", nb, ni, nj, fh, fw, alg.r};
         const double out = double(nb) * nj * fh * fw;
+        const double f = double(sizeof(float));
+        const double xb = double(precBytes(pol.prec)); // X-tile stream
         publishTraffic(
             "staged", "fwd",
-            double(gatherElemsA) * nb * ni + double(Xt.size()),
-            double(Xt.size()) + double(W.size()) + double(Yt.size()),
-            double(Yt.size()) + out,
+            double(gatherElemsA) * nb * ni * f + double(Xt.size()) * xb,
+            double(Xt.size()) * xb +
+                (double(W.size()) + double(Yt.size())) * f,
+            (double(Yt.size()) + out) * f,
             double(predictedTrafficBytes(spec, alg, Phase::Fprop, false)
                        .totalBytes()));
     }
@@ -339,6 +376,9 @@ WinoPlan::forwardFusedInto(const Tensor &x, const WinoWeights &W,
     const std::int64_t nTasks = std::int64_t(nb) * nStrips;
     ensureStripSlots(int(std::min<std::int64_t>(
         ThreadPool::global().threadCount(), nTasks)));
+    const bool half = pol.prec != Prec::F32;
+    const int hk =
+        pol.prec == Prec::F16 ? mk::kHalfF16 : mk::kHalfBf16;
     // One task per (image, strip); output tiles are disjoint across
     // tasks, so any chunking is race-free and bitwise identical.
     parallelFor(0, nTasks, 1,
@@ -348,8 +388,21 @@ WinoPlan::forwardFusedInto(const Tensor &x, const WinoWeights &W,
             const int b = int(task / nStrips);
             const int t0 = int(task % nStrips) * stripT;
             const int tcnt = std::min(stripT, nt - t0);
-            transformInputStrip(x, alg, grid, b, t0, tcnt, s->in);
-            elementwiseForwardStrip(s->in, W, tcnt, s->out);
+            if (half) {
+                ActMask *m = pol.sparse ? &s->mask : nullptr;
+                transformInputStripHalf(x, alg, grid, b, t0, tcnt,
+                                        s->inHalf, hk, m);
+                elementwiseForwardStripHalf(s->inHalf, W, tcnt, s->out,
+                                            hk, m);
+            } else if (pol.sparse) {
+                transformInputStripMask(x, alg, grid, b, t0, tcnt,
+                                        s->in, s->mask);
+                elementwiseForwardStripSparse(s->in, W, tcnt, s->out,
+                                              s->mask);
+            } else {
+                transformInputStrip(x, alg, grid, b, t0, tcnt, s->in);
+                elementwiseForwardStrip(s->in, W, tcnt, s->out);
+            }
             inverseTransformStrip(s->out, alg, grid, b, t0, tcnt, y);
         }
         releaseStripSlot(s);
@@ -358,10 +411,11 @@ WinoPlan::forwardFusedInto(const Tensor &x, const WinoWeights &W,
     haveInput = haveOutput = false;
     if (metrics::enabled()) {
         const ConvSpec spec{"plan", nb, ni, nj, fh, fw, alg.r};
+        const double f = double(sizeof(float));
         publishTraffic(
-            "fused", "fwd", double(gatherElemsA) * nb * ni,
-            double(W.size()) * nb * nStrips,
-            double(nb) * nj * fh * fw,
+            "fused", "fwd", double(gatherElemsA) * nb * ni * f,
+            double(W.size()) * nb * nStrips * f,
+            double(nb) * nj * fh * fw * f,
             double(predictedTrafficBytes(spec, alg, Phase::Fprop, true,
                                          nStrips)
                        .totalBytes()));
@@ -382,10 +436,13 @@ WinoPlan::backwardDataInto(const Tensor &dy, const WinoWeights &W,
         const double outPlane = double(nb) * nj * fh * fw;
         const double inPlane = double(nb) * ni * fh * fw;
         const double addSweep = double(gatherElemsA) * nb * ni;
+        const double f = double(sizeof(float));
         publishTraffic(
-            "staged", "bwd_data", outPlane + double(dYt.size()),
-            double(dYt.size()) + double(W.size()) + double(dXt.size()),
-            double(dXt.size()) + inPlane + 2.0 * addSweep,
+            "staged", "bwd_data", (outPlane + double(dYt.size())) * f,
+            (double(dYt.size()) + double(W.size()) +
+             double(dXt.size())) *
+                f,
+            (double(dXt.size()) + inPlane + 2.0 * addSweep) * f,
             double(predictedTrafficBytes(spec, alg, Phase::Bprop, false)
                        .totalBytes()));
     }
@@ -441,10 +498,11 @@ WinoPlan::backwardDataFusedInto(const Tensor &dy, const WinoWeights &W,
     if (metrics::enabled()) {
         const ConvSpec spec{"plan", nb, ni, nj, fh, fw, alg.r};
         const double addSweep = double(gatherElemsA) * nb * ni;
+        const double f = double(sizeof(float));
         publishTraffic(
-            "fused", "bwd_data", double(nb) * nj * fh * fw,
-            double(W.size()) * nb * nStrips,
-            double(nb) * ni * fh * fw + 2.0 * addSweep,
+            "fused", "bwd_data", double(nb) * nj * fh * fw * f,
+            double(W.size()) * nb * nStrips * f,
+            (double(nb) * ni * fh * fw + 2.0 * addSweep) * f,
             double(predictedTrafficBytes(spec, alg, Phase::Bprop, true,
                                          nStrips)
                        .totalBytes()));
@@ -650,6 +708,9 @@ bool
 WinoDecompPlan::matches(const ConvSpec &spec,
                         const WinogradAlgo &unit) const
 {
+    // The inner plan carries the ExecPolicy; delegating to its
+    // matches() (via policy()) keeps decomposed execution rebuilding
+    // across WINOMC_PREC / WINOMC_SPARSE flips like plain plans do.
     return &unit == &alg && spec.batch == sp.batch &&
            spec.inCh == sp.inCh && spec.outCh == sp.outCh &&
            spec.h == sp.h && spec.w == sp.w &&
@@ -657,7 +718,8 @@ WinoDecompPlan::matches(const ConvSpec &spec,
            spec.kernelW() == sp.kernelW() &&
            spec.strideH == sp.strideH && spec.strideW == sp.strideW &&
            spec.padHEff() == sp.padHEff() &&
-           spec.padWEff() == sp.padWEff();
+           spec.padWEff() == sp.padWEff() &&
+           inner->policy() == currentExecPolicy();
 }
 
 std::size_t

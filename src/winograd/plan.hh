@@ -34,6 +34,7 @@
 #include "tensor/tensor.hh"
 #include "winograd/algo.hh"
 #include "winograd/conv_spec.hh"
+#include "winograd/lowprec.hh"
 #include "winograd/tiling.hh"
 
 namespace winomc {
@@ -78,9 +79,18 @@ class WinoPlan
     WinoPlan(const WinogradAlgo &algo, int batch, int inCh, int outCh,
              int h, int w);
 
-    /** Does this plan cover the given execution configuration? */
+    /**
+     * Does this plan cover the given execution configuration? Also
+     * false when the process-wide ExecPolicy (WINOMC_PREC /
+     * WINOMC_SPARSE) changed since construction: a plan executes
+     * forwards under the policy it captured, so plan pools must
+     * rebuild — never alias — across policy flips.
+     */
     bool matches(const WinogradAlgo &algo, int batch, int inCh,
                  int outCh, int h, int w) const;
+
+    /** The (precision, sparsity) policy captured at construction. */
+    const ExecPolicy &policy() const { return pol; }
 
     const TileGrid &tileGrid() const { return grid; }
     int batch() const { return nb; }
@@ -99,7 +109,14 @@ class WinoPlan
     // transformed activations of x.
     // -----------------------------------------------------------------
 
-    /** y = winograd_conv(x, W); caches X and Y tiles in the plan. */
+    /**
+     * y = winograd_conv(x, W); caches X and Y tiles in the plan.
+     * Executes under policy(): a sparse fp32 policy routes through the
+     * zero-skipping kernels (bitwise identical output, Xt still
+     * cached); a half policy stores the transformed activations in 16
+     * bits — the fp32 Xt slab is then NOT populated (inputCached()
+     * stays false) and callers needing input tiles must scatterInput.
+     */
     void forwardInto(const Tensor &x, const WinoWeights &W, Tensor &y);
     /** dx from dy through the pipeline adjoint (no cached state used). */
     void backwardDataInto(const Tensor &dy, const WinoWeights &W,
@@ -206,6 +223,8 @@ class WinoPlan
     {
         WinoTiles in;  ///< [a²][I][1][stripT]
         WinoTiles out; ///< [a²][J][1][stripT]
+        HalfTiles inHalf; ///< 16-bit in-side (half policies only)
+        ActMask mask;     ///< strip-local zero mask (sparse policies)
     };
 
     StripScratch *acquireStripSlot();
@@ -213,19 +232,24 @@ class WinoPlan
     void ensureStripSlots(int n);
 
     /** Publish wino.<mode>.<phase> traffic counters + predicted gauge
-     *  (no-op when metrics are disabled). Byte args count floats. */
+     *  (no-op when metrics are disabled). Args are bytes, so streams
+     *  of different element widths (fp32 vs 16-bit tiles) add up
+     *  honestly. */
     void publishTraffic(const char *mode, const char *phase,
-                        double xformFloats, double ewFloats,
-                        double invFloats, double predictedBytes) const;
+                        double xformBytes, double ewBytes,
+                        double invBytes, double predictedBytes) const;
 
     const WinogradAlgo &alg;
     int nb, ni, nj, fh, fw;
     TileGrid grid;
+    ExecPolicy pol; ///< precision/sparsity captured at construction
 
     WinoTiles Xt;  ///< transformed input activations [a²][I][N][T]
     WinoTiles Yt;  ///< pre-inverse output tiles       [a²][J][N][T]
     WinoTiles dYt; ///< transformed output gradients   [a²][J][N][T]
     WinoTiles dXt; ///< Winograd-domain input grads    [a²][I][N][T]
+    HalfTiles Xh;  ///< 16-bit input tiles (half policies only)
+    ActMask actMask; ///< activation zero mask (sparse policies only)
 
     bool haveInput = false;  ///< Xt holds the last forward's input
     bool haveOutput = false; ///< Yt holds the last forward's output

@@ -30,6 +30,9 @@ namespace {
 
 std::atomic<int> gTuneMode{-1}; ///< -1 = unresolved (parse env once)
 
+/** Expected element-wise skip ratio under a sparse policy. */
+std::atomic<double> gSparsityHint{0.0};
+
 // ------------------------------------------- analytic host roofline
 //
 // Calibrated against the committed BENCH_wino.json stage rates on the
@@ -345,6 +348,19 @@ setTuneMode(TuneMode m)
     gTuneMode.store(int(m), std::memory_order_release);
 }
 
+double
+sparsityHint()
+{
+    return gSparsityHint.load(std::memory_order_acquire);
+}
+
+void
+setSparsityHint(double ratio)
+{
+    gSparsityHint.store(std::clamp(ratio, 0.0, 1.0),
+                        std::memory_order_release);
+}
+
 const char *
 algoKindName(AlgoKind k)
 {
@@ -410,9 +426,26 @@ predictMs(const ConvSpec &spec, const AlgoChoice &choice)
         // 0/±1, so the nominal MAC bound understates small tiles and
         // is nearly exact for large ones.
         const double xfRate = kXfGflops * 1e9 * (6.0 / a.alpha);
-        return 1e3 * (2.0 * ewMacs / (kEwGflops * 1e9) +
+        // ExecPolicy adjustments (both zero at the fp32-dense
+        // default): a sparse policy skips the hinted fraction of the
+        // element-wise FLOPs; 16-bit storage shrinks the X-slab
+        // round trip (one write in the transform, one read in the
+        // element-wise stage).
+        const ExecPolicy pol = currentExecPolicy();
+        const double keep =
+            pol.sparse
+                ? 1.0 - std::clamp(sparsityHint(), 0.0, 0.99)
+                : 1.0;
+        double bytes = double(c.dramBytes());
+        if (pol.prec != Prec::F32) {
+            const double xSlabElems = double(grid.tiles()) * a2 *
+                                      spec.batch * spec.inCh;
+            bytes -= 2.0 * xSlabElems *
+                     (p.bytesPerScalar - precBytes(pol.prec));
+        }
+        return 1e3 * (2.0 * ewMacs * keep / (kEwGflops * 1e9) +
                       2.0 * xfMacs / xfRate +
-                      double(c.dramBytes()) / (kDramGBps * 1e9));
+                      bytes / (kDramGBps * 1e9));
       }
       case AlgoKind::Decomposed: {
         const int terms = int(decomposeSpec(spec).size());
@@ -447,7 +480,11 @@ selectAlgorithm(const ConvSpec &spec)
     if (metrics::enabled())
         metrics::counterAdd("tuner.selects");
 
-    const std::string key = spec.key();
+    // The ExecPolicy suffix is empty at the fp32-dense default, so
+    // existing cache files keep their keys; non-default policies get
+    // distinct memo/disk entries (their cost ranking differs).
+    const std::string key =
+        spec.key() + execPolicySuffix(currentExecPolicy());
     const TuneMode mode = requestedTuneMode();
 
     if (auto it = s.memo.find(key); it != s.memo.end()) {

@@ -97,9 +97,22 @@ bool numericallySafe(int m, int r);
  * stage MAC counts from winograd/cost.hh divided by calibrated
  * per-stage rates (transforms get an alpha-dependent efficiency
  * penalty — large-tile transform matrices have dense non-trivial
- * coefficients), plus a DRAM-stream term.
+ * coefficients), plus a DRAM-stream term. The process ExecPolicy
+ * folds in: 16-bit activation storage shrinks the X-slab stream term,
+ * and a sparse policy scales the element-wise FLOP term by
+ * (1 - sparsityHint()). At the fp32-dense default both adjustments
+ * vanish and predictions match the pre-policy model exactly.
  */
 double predictMs(const ConvSpec &spec, const AlgoChoice &choice);
+
+/**
+ * Expected combined skip ratio of the sparse element-wise stage
+ * (weight sparsity plus activation dead panels, in [0, 1)) the cost
+ * model charges under a sparse policy. Default 0 — callers that prune
+ * (or measure quant.ew.rows_skipped) feed the observed ratio back.
+ */
+double sparsityHint();
+void setSparsityHint(double ratio);
 
 /**
  * Pick the execution algorithm for one layer shape. Consults, in

@@ -32,6 +32,17 @@
 #include "workloads/layers.hh"
 
 namespace winomc {
+
+// This suite validates the fp32 pipeline against fp32 oracles (direct
+// convolution, numeric gradients, bitwise stage parity), so the
+// activation storage precision is pinned to fp32 regardless of
+// WINOMC_PREC. WINOMC_SPARSE stays env-driven on purpose: sparse
+// execution is bitwise identical and must keep passing here.
+[[maybe_unused]] const bool kPinFp32 = [] {
+    setPrec(Prec::F32);
+    return true;
+}();
+
 namespace {
 
 using mpt::runFunctionalMpt;
@@ -188,6 +199,11 @@ TEST(Integration, PredictionSkipsAreSoundOnTrainedNetwork)
 {
     // End to end: train, harvest real tiles, predict, and verify the
     // no-false-negative guarantee on live data (not just random tiles).
+    // Harvesting reads lastOutputTiles(), which only the staged path
+    // populates — pin fused mode to Auto for this test (WINOMC_FUSED=on
+    // would bypass the tile slabs by documented contract).
+    const FusedMode savedFused = requestedFusedMode();
+    setFusedMode(FusedMode::Auto);
     Rng rng(77);
     const auto &algo = algoF2x2_3x3();
     nn::Dataset train_set = nn::makeShapeDataset(128, 12, 3, rng);
@@ -225,6 +241,7 @@ TEST(Integration, PredictionSkipsAreSoundOnTrainedNetwork)
         EXPECT_EQ(st.falseNegatives, 0u);
         EXPECT_GT(st.tiles, 0u);
     }
+    setFusedMode(savedFused);
 }
 
 TEST(Integration, FlitSimValidatesAnalyticClusterBandwidth)

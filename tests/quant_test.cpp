@@ -14,6 +14,7 @@
 #include "common/rng.hh"
 #include "quant/activation_map.hh"
 #include "quant/predict.hh"
+#include "quant/prune.hh"
 #include "quant/quantizer.hh"
 #include "quant/zero_skip.hh"
 #include "winograd/conv.hh"
@@ -330,6 +331,75 @@ TEST(ZeroSkip, SparsePostReluInputPartiallySkippable)
     EXPECT_GT(st2.ratio(), 0.1);
     // The one-sided representation preserves more raw zeros.
     EXPECT_GE(st1.ratio(), st2.ratio());
+}
+
+// ------------------------------------------------------------- Pruning
+
+TEST(Prune, MagnitudePrunePicksSmallestAndHitsExactCount)
+{
+    // Distinct magnitudes: the pruned set is exactly the smallest-|w|
+    // fraction, with round(sparsity * size) members.
+    WinoWeights w(4, 3, 5); // 16 * 3 * 5 = 240 coefficients
+    float v = 1.0f;
+    for (int uv = 0; uv < w.uvCount(); ++uv)
+        for (int j = 0; j < w.outChannels(); ++j)
+            for (int i = 0; i < w.inChannels(); ++i) {
+                w.at(uv, j, i) = (((uv + j + i) % 2) ? v : -v) * 0.01f;
+                v += 1.0f;
+            }
+
+    PruneMask mask = magnitudePrune(w, 0.4);
+    EXPECT_EQ(mask.prunedCount(), std::size_t(96)); // 0.4 * 240
+    EXPECT_DOUBLE_EQ(mask.sparsity(), 0.4);
+
+    // Every pruned magnitude <= every kept magnitude.
+    float max_pruned = 0.0f, min_kept = 1e30f;
+    for (int uv = 0; uv < w.uvCount(); ++uv)
+        for (int j = 0; j < w.outChannels(); ++j)
+            for (int i = 0; i < w.inChannels(); ++i) {
+                const float a = std::fabs(w.at(uv, j, i));
+                if (mask.pruned(uv, j, i))
+                    max_pruned = std::max(max_pruned, a);
+                else
+                    min_kept = std::min(min_kept, a);
+            }
+    EXPECT_LE(max_pruned, min_kept);
+
+    mask.apply(w);
+    EXPECT_DOUBLE_EQ(winogradWeightSparsity(w), 0.4);
+    for (int uv = 0; uv < w.uvCount(); ++uv)
+        for (int j = 0; j < w.outChannels(); ++j)
+            for (int i = 0; i < w.inChannels(); ++i)
+                if (mask.pruned(uv, j, i)) {
+                    EXPECT_EQ(w.at(uv, j, i), 0.0f);
+                }
+}
+
+TEST(Prune, ThresholdTiesResolveDeterministically)
+{
+    // All magnitudes equal: the target count must still be met
+    // exactly, ties resolved in flat index order (so two runs always
+    // produce the same mask).
+    WinoWeights w(2, 4, 4);
+    w.fill(0.5f);
+    PruneMask a = magnitudePrune(w, 0.5);
+    PruneMask b = magnitudePrune(w, 0.5);
+    EXPECT_EQ(a.prunedCount(), w.size() / 2);
+    for (int uv = 0; uv < w.uvCount(); ++uv)
+        for (int j = 0; j < w.outChannels(); ++j)
+            for (int i = 0; i < w.inChannels(); ++i)
+                EXPECT_EQ(a.pruned(uv, j, i), b.pruned(uv, j, i));
+}
+
+TEST(Prune, SparsityExtremesAndClamping)
+{
+    WinoWeights w(2, 2, 3);
+    w.fill(1.0f);
+    EXPECT_EQ(magnitudePrune(w, 0.0).prunedCount(), 0u);
+    EXPECT_EQ(magnitudePrune(w, -2.0).prunedCount(), 0u); // clamped
+    EXPECT_EQ(magnitudePrune(w, 1.0).prunedCount(), w.size());
+    EXPECT_EQ(magnitudePrune(w, 7.0).prunedCount(), w.size());
+    EXPECT_DOUBLE_EQ(PruneMask().sparsity(), 0.0); // empty mask
 }
 
 // --------------------------------------------------------- Packing DMA

@@ -138,6 +138,9 @@ TEST_F(SimdTest, EveryUsableTableIsFullyPopulated)
         EXPECT_GE(K.floatLanes, 1);
         EXPECT_GE(K.doubleLanes, 1);
         EXPECT_NE(K.panelAccum, nullptr);
+        EXPECT_NE(K.panelAccumSel, nullptr);
+        EXPECT_NE(K.panelAccumGrouped, nullptr);
+        EXPECT_NE(K.panelAccumHalf, nullptr);
         EXPECT_NE(K.dotDouble, nullptr);
         EXPECT_NE(K.xformFromTiles, nullptr);
         EXPECT_NE(K.xformToTiles, nullptr);
@@ -187,6 +190,91 @@ TEST_F(SimdTest, ElementwisePrimitivesBitwiseMatchScalarOnOddLengths)
             EXPECT_EQ(0, std::memcmp(yS.data(), yV.data(),
                                      std::size_t(n) * 4))
                 << mk::isaName(isa) << " add n=" << n;
+        }
+    }
+}
+
+TEST_F(SimdTest, PanelAccumGroupedBitwiseMatchesBlockedSel)
+{
+    // The sparse elementwise path's contract: one whole-column
+    // panelAccumGrouped call over compacted rows must be bitwise
+    // identical to the blocked sequence of panelAccumSel calls it
+    // replaces (same per-element FMA chains, intermediate y
+    // store/loads are exact in fp32 — only the y traffic differs).
+    // 19 rows = register blocks of 8, 8, and a 3-row tail; patterns
+    // cover scattered drops, a fully dead middle block, and a sparse
+    // survivor set.
+    const int ni = 19;
+    for (mk::Isa isa : usableIsas()) {
+        mk::setIsa(isa);
+        const mk::MicroKernels &K = mk::kernels();
+        for (int len : {1, 7, 16, 33, 64}) {
+            std::vector<std::vector<float>> rows;
+            std::vector<float> w;
+            for (int i = 0; i < ni; ++i) {
+                rows.push_back(randomVec(
+                    std::size_t(len), 100u + unsigned(i * 7 + len)));
+                w.push_back(i % 5 == 0 ? 0.0f
+                                       : 0.3f * float(i) - 2.0f);
+            }
+            for (int pat = 0; pat < 3; ++pat) {
+                auto kept = [&](int i) {
+                    if (w[std::size_t(i)] == 0.0f)
+                        return false;
+                    if (pat == 1 && i >= 8 && i < 16)
+                        return false; // middle block fully dead
+                    if (pat == 2 && i % 2)
+                        return false;
+                    return true;
+                };
+                std::vector<float> yRef =
+                    randomVec(std::size_t(len), 999u + unsigned(len));
+                std::vector<float> yGrp = yRef;
+                // Reference: one panelAccumSel per non-empty block.
+                std::vector<const float *> xb;
+                std::vector<float> wb;
+                for (int b0 = 0; b0 < ni; b0 += 8) {
+                    const int orig = std::min(8, ni - b0);
+                    xb.clear();
+                    wb.clear();
+                    for (int i = b0; i < b0 + orig; ++i)
+                        if (kept(i)) {
+                            xb.push_back(rows[std::size_t(i)].data());
+                            wb.push_back(w[std::size_t(i)]);
+                        }
+                    if (!xb.empty())
+                        K.panelAccumSel(yRef.data(), xb.data(),
+                                        wb.data(), int(xb.size()),
+                                        len, orig);
+                }
+                // Grouped: compact across blocks, one y pass.
+                std::vector<const float *> xc;
+                std::vector<float> wc;
+                std::vector<std::uint8_t> grp;
+                int tailOrig = 0;
+                for (int b0 = 0; b0 < ni; b0 += 8) {
+                    const int orig = std::min(8, ni - b0);
+                    const int base = int(xc.size());
+                    for (int i = b0; i < b0 + orig; ++i)
+                        if (kept(i)) {
+                            xc.push_back(rows[std::size_t(i)].data());
+                            wc.push_back(w[std::size_t(i)]);
+                        }
+                    if (int(xc.size()) != base) {
+                        grp.push_back(
+                            std::uint8_t(int(xc.size()) - base));
+                        tailOrig = orig;
+                    }
+                }
+                ASSERT_FALSE(xc.empty());
+                K.panelAccumGrouped(yGrp.data(), xc.data(), wc.data(),
+                                    int(xc.size()), len, grp.data(),
+                                    int(grp.size()), tailOrig);
+                EXPECT_EQ(0, std::memcmp(yRef.data(), yGrp.data(),
+                                         std::size_t(len) * 4))
+                    << mk::isaName(isa) << " len=" << len
+                    << " pat=" << pat;
+            }
         }
     }
 }

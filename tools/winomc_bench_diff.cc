@@ -14,7 +14,16 @@
  *  - ws_fresh_bytes_per_iter increases AT ALL. Steady-state fresh
  *    heap bytes are machine-independent and exactly reproducible, so
  *    any increase is a real allocation leak into the hot path, and
- *    zero tolerance is the right gate.
+ *    zero tolerance is the right gate;
+ *  - max_abs_err (the SPARSE_* / PREC_* rows' numeric error against
+ *    an in-run dense fp32 reference) grows past FACTOR x the baseline
+ *    (--err-threshold, default 2). The error is deterministic per ISA
+ *    but the baseline may have been recorded under a different ISA, so
+ *    a small multiplicative headroom is allowed; a real numerics
+ *    regression (e.g. a half-precision accumulate sneaking in) moves
+ *    the error by orders of magnitude, not tens of percent. A baseline
+ *    of exactly 0 (the sparse fp32 bitwise rows) tolerates no fresh
+ *    error at all — 0 * FACTOR is still 0.
  *
  * Rows present only in the baseline (coverage loss) or only in the
  * fresh run (new benchmarks) are reported but do not fail the gate:
@@ -40,8 +49,10 @@ struct Row
 {
     double msPerIter = 0.0;
     double wsFreshBytesPerIter = 0.0;
+    double maxAbsErr = 0.0;
     bool haveMs = false;
     bool haveWs = false;
+    bool haveErr = false;
 };
 
 /** Extract the string value of `"key": "..."` from a row line. */
@@ -94,6 +105,7 @@ parseArtifact(const std::string &path, bool &ok)
         r.haveMs = extractNumber(line, "ms_per_iter", r.msPerIter);
         r.haveWs = extractNumber(line, "ws_fresh_bytes_per_iter",
                                  r.wsFreshBytesPerIter);
+        r.haveErr = extractNumber(line, "max_abs_err", r.maxAbsErr);
         if (r.haveMs || r.haveWs)
             rows[name] = r;
     }
@@ -113,18 +125,25 @@ int
 main(int argc, char **argv)
 {
     double msThresholdPct = 10.0;
+    double errThresholdFactor = 2.0;
     std::vector<std::string> inputs;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--ms-threshold") == 0 &&
             i + 1 < argc) {
             msThresholdPct = std::strtod(argv[++i], nullptr);
+        } else if (std::strcmp(argv[i], "--err-threshold") == 0 &&
+                   i + 1 < argc) {
+            errThresholdFactor = std::strtod(argv[++i], nullptr);
         } else if (std::strcmp(argv[i], "--help") == 0 ||
                    std::strcmp(argv[i], "-h") == 0) {
             std::printf(
                 "usage: winomc-bench-diff [--ms-threshold PCT] "
-                "<baseline.json> <fresh.json>\n"
+                "[--err-threshold FACTOR] <baseline.json> "
+                "<fresh.json>\n"
                 "  exits 1 on a >PCT%% ms/iter regression (default "
-                "10) or any\n  ws_fresh_bytes_per_iter increase\n");
+                "10), any\n  ws_fresh_bytes_per_iter increase, or a "
+                "max_abs_err above FACTOR x\n  the baseline "
+                "(default 2; a 0 baseline tolerates no error)\n");
             return 0;
         } else {
             inputs.push_back(argv[i]);
@@ -172,6 +191,14 @@ main(int argc, char **argv)
                         "%.4g -> %.4g (any increase fails)\n",
                         name.c_str(), b.wsFreshBytesPerIter,
                         f.wsFreshBytesPerIter);
+        }
+        if (b.haveErr && f.haveErr &&
+            f.maxAbsErr > b.maxAbsErr * errThresholdFactor) {
+            ++regressions;
+            std::printf("NUMERICS %s: max_abs_err %.6g -> %.6g "
+                        "(> %.2gx baseline fails)\n",
+                        name.c_str(), b.maxAbsErr, f.maxAbsErr,
+                        errThresholdFactor);
         }
     }
     for (const auto &[name, f] : fresh) {

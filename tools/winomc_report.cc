@@ -105,6 +105,14 @@ struct WinoTrafficRow
     double bytesMoved = 0, calls = 0, predictedBytes = 0;
 };
 
+/** Zero-skip telemetry of one run scope ("quant.*": the sparse /
+ *  low-precision elementwise counters from winograd/conv.cc). */
+struct QuantRow
+{
+    double rowsTotal = 0, rowsSkipped = 0, flopsSkipped = 0;
+    double panelsTotal = 0, panelsZero = 0;
+};
+
 /** Saturation numbers of one simulated network (noc.* / memnet.*). */
 struct NetRow
 {
@@ -179,6 +187,7 @@ struct Report
     std::map<RowKey, EnergyRow> energy;
     std::map<RowKey, TrafficRow> traffic;
     std::map<std::string, WinoTrafficRow> winoTraffic; // key: mode.phase
+    std::map<std::string, QuantRow> quant;             // key: scope
     std::map<std::string, NetRow> nets; // key: scoped network prefix
     std::map<std::string, WorkspaceRow> workspaces; // key: scope
     std::map<std::string, KernelRow> kernels;       // key: scope
@@ -334,6 +343,23 @@ ingest(Report &rep, const Sample &s)
             r.calls = s.value;
         else
             r.predictedBytes = s.value;
+        return;
+    }
+
+    // Zero-skip telemetry ("quant.ew.* / quant.mask.*").
+    if (rest.rfind("quant.", 0) == 0) {
+        QuantRow &r = rep.quant[scope.empty() ? "-" : scope];
+        const std::string leafq = rest.substr(6);
+        if (leafq == "ew.rows_total")
+            r.rowsTotal = s.value;
+        else if (leafq == "ew.rows_skipped")
+            r.rowsSkipped = s.value;
+        else if (leafq == "ew.flops_skipped")
+            r.flopsSkipped = s.value;
+        else if (leafq == "mask.panels_total")
+            r.panelsTotal = s.value;
+        else if (leafq == "mask.panels_zero")
+            r.panelsZero = s.value;
         return;
     }
 
@@ -695,6 +721,36 @@ main(int argc, char **argv)
         emitSection(opt, "Winograd memory traffic",
                     {"pipeline", "calls", "measured B/call",
                      "predicted B/call", "meas/pred", "sum check"},
+                    rows);
+    }
+
+    {
+        // Zero-skip effectiveness of the sparse / low-precision
+        // elementwise kernels (WINOMC_SPARSE, quant.* counters): how
+        // many (j, k-block) weight rows the compaction dropped (from
+        // pruned weights or dead activation panels) and what fraction
+        // of activation tile panels the mask build found all-zero. A
+        // row-skip % far below the weight sparsity means the input
+        // had little panel-level structure for the mask to exploit.
+        std::vector<std::vector<std::string>> rows;
+        for (const auto &[scope, r] : rep.quant) {
+            const std::string rowPct =
+                r.rowsTotal > 0.0
+                    ? fmt(100.0 * r.rowsSkipped / r.rowsTotal)
+                    : "-";
+            const std::string panelPct =
+                r.panelsTotal > 0.0
+                    ? fmt(100.0 * r.panelsZero / r.panelsTotal)
+                    : "-";
+            rows.push_back({scope, fmt(r.rowsTotal),
+                            fmt(r.rowsSkipped), rowPct,
+                            fmt(r.flopsSkipped), fmt(r.panelsTotal),
+                            fmt(r.panelsZero), panelPct});
+        }
+        emitSection(opt, "Sparsity & precision",
+                    {"scope", "ew rows", "rows skipped", "skip %",
+                     "FLOPs skipped", "mask panels", "panels zero",
+                     "zero %"},
                     rows);
     }
 
